@@ -1,0 +1,338 @@
+(* augem — command-line front end.
+
+     augem generate --kernel gemm --arch sandybridge [--jam j:4,i:8] ...
+     augem tune     --kernel gemm --arch piledriver
+     augem phases   --kernel gemv --arch sandybridge
+     augem verify   --kernel dot  --arch sandybridge
+     augem compile  --arch sandybridge file.c
+     augem platforms
+
+   [compile] accepts a simple C kernel (the subset of Figures 12/15-17)
+   from a file or stdin and prints the generated assembly. *)
+
+open Cmdliner
+module A = Augem
+
+let arch_conv =
+  let parse s =
+    match A.Machine.Arch.by_name s with
+    | Some a -> Ok a
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown architecture %s (try: %s)" s
+               (String.concat ", "
+                  (List.map
+                     (fun a -> a.A.Machine.Arch.name)
+                     A.Machine.Arch.all))))
+  in
+  Arg.conv (parse, fun fmt a -> Fmt.string fmt a.A.Machine.Arch.name)
+
+let kernel_conv =
+  let parse s =
+    match A.Ir.Kernels.name_of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown kernel %s" s))
+  in
+  Arg.conv (parse, fun fmt k -> Fmt.string fmt (A.Ir.Kernels.name_to_string k))
+
+let arch_arg =
+  Arg.(
+    value
+    & opt arch_conv A.Machine.Arch.sandy_bridge
+    & info [ "arch"; "a" ] ~docv:"ARCH" ~doc:"Target architecture.")
+
+let kernel_arg =
+  Arg.(
+    value
+    & opt kernel_conv A.Ir.Kernels.Gemm
+    & info [ "kernel"; "k" ] ~docv:"KERNEL"
+        ~doc:"DLA kernel: gemm, gemv, axpy, dot, ger, scal or copy.")
+
+(* --jam j:4,i:8 *)
+let jam_arg =
+  let parse s =
+    try
+      Ok
+        (String.split_on_char ',' s
+        |> List.map (fun part ->
+               match String.split_on_char ':' part with
+               | [ v; f ] -> (v, int_of_string f)
+               | _ -> failwith "syntax"))
+    with _ -> Error (`Msg "expected VAR:FACTOR[,VAR:FACTOR...]")
+  in
+  let print fmt l =
+    Fmt.string fmt
+      (String.concat "," (List.map (fun (v, f) -> Printf.sprintf "%s:%d" v f) l))
+  in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "jam" ] ~docv:"SPEC" ~doc:"Unroll&jam factors, e.g. j:4,i:8.")
+
+let unroll_arg =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ v; f ] -> ( try Ok (v, int_of_string f) with _ -> Error (`Msg "bad factor"))
+    | _ -> Error (`Msg "expected VAR:FACTOR")
+  in
+  Arg.(
+    value
+    & opt (some (conv (parse, fun fmt (v, f) -> Fmt.pf fmt "%s:%d" v f))) None
+    & info [ "unroll" ] ~docv:"SPEC" ~doc:"Innermost unroll, e.g. i:8.")
+
+let prefetch_arg =
+  Arg.(
+    value
+    & opt (some int) (Some 8)
+    & info [ "prefetch" ] ~docv:"DIST"
+        ~doc:"Prefetch distance in iterations (0 disables).")
+
+let script_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "script" ] ~docv:"FILE"
+        ~doc:
+          "Transformation script (overrides --jam/--unroll/--prefetch); see \
+           the directive language in lib/transform/script.ml.")
+
+let load_script = function
+  | None -> None
+  | Some path ->
+      let src = In_channel.with_open_text path In_channel.input_all in
+      (match A.Transform.Script.parse src with
+      | Ok s -> Some s
+      | Error msg ->
+          Fmt.epr "script error: %s@." msg;
+          exit 1)
+
+let config_of_flags kernel jam unroll prefetch =
+  let default_for k =
+    match k with
+    | A.Ir.Kernels.Gemm -> { A.Transform.Pipeline.default with jam = [ ("j", 4); ("i", 8) ] }
+    | A.Ir.Kernels.Gemv ->
+        { A.Transform.Pipeline.default with inner_unroll = Some ("j", 8) }
+    | A.Ir.Kernels.Axpy ->
+        { A.Transform.Pipeline.default with inner_unroll = Some ("i", 8) }
+    | A.Ir.Kernels.Dot ->
+        { A.Transform.Pipeline.default with inner_unroll = Some ("i", 8);
+          expand_reduction = Some 8 }
+    | A.Ir.Kernels.Ger | A.Ir.Kernels.Scal | A.Ir.Kernels.Copy ->
+        { A.Transform.Pipeline.default with inner_unroll = Some ("i", 8) }
+  in
+  let cfg = default_for kernel in
+  let cfg = match jam with None -> cfg | Some j -> { cfg with jam = j } in
+  let cfg =
+    match unroll with None -> cfg | Some u -> { cfg with inner_unroll = Some u }
+  in
+  {
+    cfg with
+    prefetch =
+      (match prefetch with
+      | None | Some 0 -> None
+      | Some d ->
+          Some { A.Transform.Prefetch.pf_distance = d; pf_stores = true });
+  }
+
+(* --- subcommands -------------------------------------------------------- *)
+
+let generate_cmd =
+  let run arch kernel jam unroll prefetch script =
+    let g =
+      match load_script script with
+      | Some s -> A.generate_scripted ~arch ~script:s kernel
+      | None ->
+          A.generate ~arch ~config:(config_of_flags kernel jam unroll prefetch)
+            kernel
+    in
+    print_string (A.assembly g)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate an assembly kernel")
+    Term.(
+      const run $ arch_arg $ kernel_arg $ jam_arg $ unroll_arg $ prefetch_arg
+      $ script_arg)
+
+let tune_cmd =
+  let run arch kernel =
+    let r = A.Tuner.tune arch kernel in
+    Fmt.pr "best configuration: %s@."
+      (A.Transform.Pipeline.config_to_string
+         r.A.Tuner.best.A.Tuner.cand_config);
+    Fmt.pr "predicted: %.0f MFLOPS (visited %d configurations, %d discarded)@."
+      r.A.Tuner.best_score r.A.Tuner.visited r.A.Tuner.discarded;
+    let g = A.tuned ~arch kernel in
+    let v = A.verify g in
+    Fmt.pr "verification: %s@." v.A.Harness.detail
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Auto-tune a kernel and report the best configuration")
+    Term.(const run $ arch_arg $ kernel_arg)
+
+let phases_cmd =
+  let run arch kernel jam unroll prefetch script =
+    let g =
+      match load_script script with
+      | Some s -> A.generate_scripted ~arch ~script:s kernel
+      | None ->
+          A.generate ~arch ~config:(config_of_flags kernel jam unroll prefetch)
+            kernel
+    in
+    Fmt.pr "=== 1. simple C input ===@.%a@.@." A.Ir.Pp.pp_kernel g.A.g_source;
+    Fmt.pr "=== 2. optimized low-level C ===@.%a@.@." A.Ir.Pp.pp_kernel
+      g.A.g_optimized;
+    Fmt.pr "=== 3. template-tagged ===@.%a@.@." A.Ir.Pp.pp_kernel g.A.g_tagged;
+    Fmt.pr "=== 4. assembly ===@.%s@." (A.assembly g)
+  in
+  Cmd.v
+    (Cmd.info "phases" ~doc:"Dump every pipeline phase for a kernel")
+    Term.(
+      const run $ arch_arg $ kernel_arg $ jam_arg $ unroll_arg $ prefetch_arg
+      $ script_arg)
+
+let verify_cmd =
+  let run arch kernel jam unroll prefetch =
+    let config = config_of_flags kernel jam unroll prefetch in
+    let g = A.generate ~arch ~config kernel in
+    let v = A.verify g in
+    Fmt.pr "%s %s on %s: %s@."
+      (A.Ir.Kernels.name_to_string kernel)
+      (A.Transform.Pipeline.config_to_string config)
+      arch.A.Machine.Arch.name
+      (if v.A.Harness.ok then "OK (simulator matches reference BLAS)"
+       else "FAILED: " ^ v.A.Harness.detail);
+    if not v.A.Harness.ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Run the generated kernel on the simulator against the reference")
+    Term.(const run $ arch_arg $ kernel_arg $ jam_arg $ unroll_arg $ prefetch_arg)
+
+let compile_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"C source file (defaults to stdin).")
+  in
+  let run arch file jam unroll prefetch script =
+    let source =
+      match file with
+      | Some f -> In_channel.with_open_text f In_channel.input_all
+      | None -> In_channel.input_all In_channel.stdin
+    in
+    match A.Ir.Parser.parse_kernel_result source with
+    | Error msg ->
+        Fmt.epr "error: %s@." msg;
+        exit 1
+    | Ok kernel ->
+        let config, opts =
+          match load_script script with
+          | Some s ->
+              (s.A.Transform.Script.sc_config, A.opts_of_script s)
+          | None ->
+              let config =
+                config_of_flags A.Ir.Kernels.Gemm jam unroll prefetch
+              in
+              (* without explicit flags, only the always-safe passes *)
+              let config =
+                if jam = None && unroll = None then
+                  { config with A.Transform.Pipeline.jam = [];
+                    inner_unroll = None }
+                else config
+              in
+              (config, A.Codegen.Emit.default_options)
+        in
+        let optimized = A.Transform.Pipeline.apply kernel config in
+        let prog = A.Codegen.Emit.generate ~arch ~opts optimized in
+        let prog = A.Codegen.Schedule.run arch prog in
+        print_string
+          (A.Machine.Att.program_to_string
+             ~avx:(arch.A.Machine.Arch.simd = A.Machine.Arch.AVX)
+             prog)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a simple C kernel from file or stdin")
+    Term.(
+      const run $ arch_arg $ file_arg $ jam_arg $ unroll_arg $ prefetch_arg
+      $ script_arg)
+
+let simulate_cmd =
+  let n_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "n" ] ~docv:"N"
+          ~doc:"Problem size (vector length; matrix dimension for \
+                gemm/gemv/ger).")
+  in
+  let run arch kernel n =
+    let g = A.tuned ~arch kernel in
+    let caches = A.Sim.Cache_sim.of_arch arch in
+    let on_access = A.Sim.Cache_sim.access caches in
+    let fill seed len =
+      let state = ref seed in
+      Array.init len (fun _ ->
+          state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+          (float_of_int !state /. 1073741824.0 *. 2.0) -. 1.0)
+    in
+    let module E = A.Sim.Exec_sim in
+    let args =
+      match kernel with
+      | A.Ir.Kernels.Gemm ->
+          let mc = min n 64 and kc = min n 64 and nc = min n 16 in
+          E.[ Aint mc; Aint kc; Aint nc; Aint mc; Abuf (fill 1 (mc * kc));
+              Abuf (fill 2 (kc * nc)); Abuf (fill 3 (mc * nc)) ]
+      | A.Ir.Kernels.Gemv ->
+          E.[ Aint n; Aint n; Aint n; Abuf (fill 1 (n * n)); Abuf (fill 2 n);
+              Abuf (fill 3 n) ]
+      | A.Ir.Kernels.Axpy ->
+          E.[ Aint n; Adouble 1.5; Abuf (fill 1 n); Abuf (fill 2 n) ]
+      | A.Ir.Kernels.Dot ->
+          E.[ Aint n; Abuf (fill 1 n); Abuf (fill 2 n); Abuf [| 0. |] ]
+      | A.Ir.Kernels.Ger ->
+          E.[ Aint n; Aint n; Aint n; Adouble 1.5; Abuf (fill 1 n);
+              Abuf (fill 2 n); Abuf (fill 3 (n * n)) ]
+      | A.Ir.Kernels.Scal -> E.[ Aint n; Adouble 1.5; Abuf (fill 1 n) ]
+      | A.Ir.Kernels.Copy ->
+          E.[ Aint n; Abuf (fill 1 n); Abuf (Array.make n 0.) ]
+    in
+    let r = E.call ~on_access g.A.g_program args in
+    Fmt.pr "%s (%s, tuned %s), n=%d:@."
+      (A.Ir.Kernels.name_to_string kernel)
+      arch.A.Machine.Arch.name
+      (A.Transform.Pipeline.config_to_string g.A.g_config)
+      n;
+    Fmt.pr "instructions executed %d, flops %d, loads %d, stores %d, \
+            prefetches %d@."
+      r.E.r_executed r.E.r_flops r.E.r_loads r.E.r_stores r.E.r_prefetches;
+    Fmt.pr "%a" A.Sim.Cache_sim.pp_stats caches
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Execute the tuned kernel on the functional simulator with a \
+          cache hierarchy attached, reporting dynamic statistics")
+    Term.(const run $ arch_arg $ kernel_arg $ n_arg)
+
+let platforms_cmd =
+  let run () =
+    Fmt.pr "%-22s %20s %20s@." "" "Intel" "AMD";
+    List.iter
+      (fun (label, a, b) -> Fmt.pr "%-22s %20s %20s@." label a b)
+      (A.Machine.Arch.table5_rows ())
+  in
+  Cmd.v
+    (Cmd.info "platforms" ~doc:"Print the modelled platform configurations")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "augem" ~version:"1.0.0"
+       ~doc:
+         "Template-based generation of optimized dense linear algebra \
+          assembly kernels (AUGEM, SC'13)")
+    [ generate_cmd; tune_cmd; phases_cmd; verify_cmd; compile_cmd;
+      simulate_cmd; platforms_cmd ]
+
+let () = exit (Cmd.eval main)

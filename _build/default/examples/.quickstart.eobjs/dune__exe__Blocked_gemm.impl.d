@@ -1,0 +1,1 @@
+examples/blocked_gemm.ml: Array Augem Fmt

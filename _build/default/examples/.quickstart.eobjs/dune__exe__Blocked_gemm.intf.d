@@ -1,0 +1,1 @@
+examples/blocked_gemm.mli:

@@ -1,0 +1,1 @@
+examples/cross_architecture.ml: Augem Fmt Hashtbl List Option

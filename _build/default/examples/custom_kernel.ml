@@ -1,0 +1,56 @@
+(* Feeding AUGEM a kernel written as C text: the framework's front end
+   accepts the same "simple C implementation" subset shown in the
+   paper's figures.  Here we compile a DSCAL-like kernel (y[i] = y[i] *
+   alpha, expressed through the mvCOMP-compatible form y[i] += x[i] *
+   alpha with x = y pre-scaled) and a user-written triad kernel, then
+   execute the generated assembly on the simulator.
+
+     dune exec examples/custom_kernel.exe *)
+
+module A = Augem
+module Arch = A.Machine.Arch
+module Exec = A.Sim.Exec_sim
+
+let triad_source =
+  {|
+void triad(int N, double alpha, double* X, double* Y)
+{
+  int i;
+  for (i = 0; i < N; i += 1) {
+    Y[i] = Y[i] + X[i] * alpha;   // STREAM triad step
+  }
+}
+|}
+
+let () =
+  let arch = Arch.piledriver in
+  match A.Ir.Parser.parse_kernel_result triad_source with
+  | Error msg -> Fmt.epr "parse error: %s@." msg
+  | Ok kernel ->
+      Fmt.pr "--- parsed kernel ---@.%a@.@." A.Ir.Pp.pp_kernel kernel;
+
+      (* unroll by 8 and prefetch 8 iterations ahead *)
+      let config =
+        {
+          A.Transform.Pipeline.default with
+          inner_unroll = Some ("i", 8);
+        }
+      in
+      let optimized = A.Transform.Pipeline.apply kernel config in
+      let prog = A.Codegen.Emit.generate ~arch optimized in
+      let prog = A.Codegen.Schedule.run arch prog in
+      Fmt.pr "--- generated assembly (Piledriver: FMA3) ---@.%s@."
+        (A.Machine.Att.program_to_string prog);
+
+      (* run it: Y += alpha * X on a 23-element vector (with remainder) *)
+      let n = 23 in
+      let alpha = 2.5 in
+      let x = Array.init n (fun i -> float_of_int i) in
+      let y = Array.init n (fun i -> float_of_int (100 + i)) in
+      let expected = Array.mapi (fun i yi -> yi +. (alpha *. x.(i))) y in
+      let _ = Exec.call prog Exec.[ Aint n; Adouble alpha; Abuf x; Abuf y ] in
+      let ok = Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-12) expected y in
+      Fmt.pr "simulated execution correct: %b@." ok;
+      Fmt.pr "y[0..5] = %a@."
+        Fmt.(list ~sep:(any ", ") (fmt "%.1f"))
+        (Array.to_list (Array.sub y 0 6))

@@ -1,0 +1,59 @@
+(* Quickstart: generate a tuned DGEMM micro-kernel for Sandy Bridge,
+   verify it against the reference BLAS on the functional simulator,
+   and estimate its performance with the cycle model.
+
+     dune exec examples/quickstart.exe *)
+
+module A = Augem
+module Arch = A.Machine.Arch
+
+let () =
+  let arch = Arch.sandy_bridge in
+
+  (* 1. let the auto-tuner pick unroll&jam factors and prefetching *)
+  let g = A.tuned ~arch A.Ir.Kernels.Gemm in
+  Fmt.pr "tuned configuration: %s@.@."
+    (A.Transform.Pipeline.config_to_string g.A.g_config);
+
+  (* 2. the input is the paper's Figure 12 "simple C implementation" *)
+  Fmt.pr "--- simple C input ---@.%a@.@." A.Ir.Pp.pp_kernel g.A.g_source;
+
+  (* 3. the generated assembly (hot loop shown) *)
+  let asm = A.assembly g in
+  let lines = String.split_on_char '\n' asm in
+  (* the hot loop: the span from the last label that precedes a vmulpd
+     up to its backward branch *)
+  let contains sub l =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length l && (String.sub l i n = sub || go (i + 1)) in
+    go 0
+  in
+  let hot =
+    let rec find acc current started = function
+      | [] -> List.rev acc
+      | l :: rest ->
+          if contains ".Lbody" l && contains ":" l then
+            find acc [ l ] false rest
+          else
+            let current = l :: current in
+            let started = started || contains "vmul" l || contains "fmadd" l in
+            if contains "\tjl " l && started then List.rev current
+            else if contains "\tjl " l then find acc [] false rest
+            else find acc current started rest
+    in
+    find [] [] false lines
+  in
+  Fmt.pr "--- generated hot loop (%d lines of assembly total) ---@."
+    (List.length lines);
+  List.iter print_endline hot;
+  Fmt.pr "@.";
+
+  (* 4. execute the assembly on the functional simulator and compare
+        with the reference BLAS *)
+  let v = A.verify g in
+  Fmt.pr "verification against reference BLAS: %s@." v.A.Harness.detail;
+
+  (* 5. estimate performance at a paper-sized problem *)
+  let est = A.predict g (A.Sim.Perf.W_gemm { m = 4096; n = 4096; k = 256 }) in
+  Fmt.pr "predicted DGEMM (m=n=4096, k=256): %.0f MFLOPS (peak %.0f)@."
+    est.A.Sim.Perf.e_mflops (Arch.peak_mflops arch)

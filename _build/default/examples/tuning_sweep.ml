@@ -1,0 +1,48 @@
+(* The empirical-tuning landscape the Optimized C Kernel Generator
+   searches (paper section 2.1): every unroll&jam configuration of the
+   GEMM kernel is generated, and its steady-state cycles/iteration and
+   predicted MFLOPS are shown.  Configurations that exceed the SIMD
+   register file fail to generate, exactly like a real tuning run
+   discards build failures.
+
+     dune exec examples/tuning_sweep.exe *)
+
+module A = Augem
+module Arch = A.Machine.Arch
+
+let () =
+  List.iter
+    (fun arch ->
+      Fmt.pr "=== %s ===@." arch.Arch.name;
+      Fmt.pr "%8s %8s %12s %12s %10s@." "jam j" "jam i" "cycles/iter"
+        "flops/iter" "MFLOPS";
+      List.iter
+        (fun j ->
+          List.iter
+            (fun i ->
+              let config =
+                { A.Transform.Pipeline.default with
+                  jam = [ ("j", j); ("i", i) ] }
+              in
+              match A.generate ~arch ~config A.Ir.Kernels.Gemm with
+              | g -> (
+                  match
+                    A.predict g
+                      (A.Sim.Perf.W_gemm { m = 4096; n = 4096; k = 256 })
+                  with
+                  | est ->
+                      Fmt.pr "%8d %8d %12.2f %12d %10.0f@." j i
+                        est.A.Sim.Perf.e_cycles_per_iter
+                        est.A.Sim.Perf.e_flops_per_iter
+                        est.A.Sim.Perf.e_mflops
+                  | exception A.Sim.Perf.No_hot_loop _ ->
+                      Fmt.pr "%8d %8d %12s@." j i "-")
+              | exception A.Codegen.Regfile.Out_of_registers _ ->
+                  Fmt.pr "%8d %8d %12s@." j i "out of registers")
+            [ 2; 4; 8; 12; 16 ])
+        [ 1; 2; 4; 6 ];
+      let r = A.Tuner.tuned arch A.Ir.Kernels.Gemm in
+      Fmt.pr "tuner pick: %s -> %.0f MFLOPS@.@."
+        (A.Transform.Pipeline.config_to_string r.A.Tuner.best.A.Tuner.cand_config)
+        r.A.Tuner.best_score)
+    [ Arch.sandy_bridge; Arch.piledriver ]

@@ -1,0 +1,1 @@
+lib/analysis/arrays.ml: Augem_ir List Set String

@@ -1,0 +1,1 @@
+lib/analysis/arrays.mli: Augem_ir

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Augem_ir List Set String

@@ -1,0 +1,100 @@
+(* Collect the array (pointer) variables a kernel touches and summarize
+   how they are accessed.  The register allocator dedicates R/m physical
+   registers to each of the m arrays (paper section 3.1), so it needs
+   this inventory up front. *)
+
+module SS = Set.Make (String)
+
+open Augem_ir.Ast
+
+type access = {
+  acc_array : string;
+  acc_index : expr;
+  acc_is_store : bool;
+}
+
+let rec accesses_expr acc = function
+  | Int_lit _ | Double_lit _ | Var _ -> acc
+  | Index (a, i) ->
+      accesses_expr
+        ({ acc_array = a; acc_index = i; acc_is_store = false } :: acc)
+        i
+  | Binop (_, x, y) -> accesses_expr (accesses_expr acc x) y
+  | Neg x -> accesses_expr acc x
+
+let rec accesses_stmt acc = function
+  | Decl (_, _, Some e) -> accesses_expr acc e
+  | Decl (_, _, None) | Comment _ -> acc
+  | Assign (Lvar _, e) -> accesses_expr acc e
+  | Assign (Lindex (a, i), e) ->
+      let acc = { acc_array = a; acc_index = i; acc_is_store = true } :: acc in
+      accesses_expr (accesses_expr acc i) e
+  | For (h, body) ->
+      let acc = accesses_expr acc h.loop_init in
+      let acc = accesses_expr acc h.loop_bound in
+      let acc = accesses_expr acc h.loop_step in
+      List.fold_left accesses_stmt acc body
+  | If (a, _, b, t, f) ->
+      let acc = accesses_expr (accesses_expr acc a) b in
+      let acc = List.fold_left accesses_stmt acc t in
+      List.fold_left accesses_stmt acc f
+  | Prefetch (_, _, off) -> accesses_expr acc off
+  | Tagged (_, body) -> List.fold_left accesses_stmt acc body
+
+let accesses_of_kernel (k : kernel) : access list =
+  List.rev (List.fold_left accesses_stmt [] k.k_body)
+
+(* Pointer-typed variables declared or passed to the kernel, in
+   declaration order.  This includes derived pointers introduced by
+   strength reduction ([ptr_A], [ptr_C0], ...). *)
+let pointer_vars (k : kernel) : string list =
+  let from_params =
+    List.filter_map
+      (fun p -> match p.p_type with Ptr _ -> Some p.p_name | _ -> None)
+      k.k_params
+  in
+  let rec from_stmts acc = function
+    | [] -> acc
+    | Decl (Ptr _, v, _) :: rest -> from_stmts (v :: acc) rest
+    | (For (_, body) | Tagged (_, body)) :: rest ->
+        from_stmts (from_stmts acc body) rest
+    | If (_, _, _, t, f) :: rest ->
+        from_stmts (from_stmts (from_stmts acc t) f) rest
+    | (Decl _ | Assign _ | Prefetch _ | Comment _) :: rest -> from_stmts acc rest
+  in
+  from_params @ List.rev (from_stmts [] k.k_body)
+
+(* Arrays actually referenced via indexing. *)
+let referenced_arrays (k : kernel) : string list =
+  accesses_of_kernel k
+  |> List.map (fun a -> a.acc_array)
+  |> List.sort_uniq String.compare
+
+(* For the paper's register partitioning we group derived pointers with
+   the original array they were derived from, using the naming
+   convention of the strength reduction pass ([ptr_A] and [ptr_A1]
+   belong to [A]). *)
+let base_array_of (name : string) : string =
+  let strip_prefix s =
+    match String.index_opt s '_' with
+    | Some i when String.length s > i + 1 && String.sub s 0 i = "ptr" ->
+        String.sub s (i + 1) (String.length s - i - 1)
+    | _ -> s
+  in
+  let s = strip_prefix name in
+  (* drop a trailing numeric suffix: C0 -> C *)
+  let n = String.length s in
+  let rec first_digit i =
+    if i = 0 then 0
+    else
+      let c = s.[i - 1] in
+      if c >= '0' && c <= '9' then first_digit (i - 1) else i
+  in
+  let cut = first_digit n in
+  if cut = 0 || cut = n then s else String.sub s 0 cut
+
+(* Distinct base arrays of a kernel: the m in the R/m partition. *)
+let base_arrays (k : kernel) : string list =
+  referenced_arrays k
+  |> List.map base_array_of
+  |> List.sort_uniq String.compare

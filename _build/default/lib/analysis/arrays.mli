@@ -1,0 +1,29 @@
+(** Inventory of the array (pointer) variables a kernel touches.
+
+    The register allocator dedicates R/m physical registers to each of
+    the m base arrays (paper section 3.1), so it needs this inventory
+    up front. *)
+
+(** One array access site. *)
+type access = {
+  acc_array : string;
+  acc_index : Augem_ir.Ast.expr;
+  acc_is_store : bool;
+}
+
+val accesses_of_kernel : Augem_ir.Ast.kernel -> access list
+
+(** Pointer-typed parameters and locals, in declaration order —
+    including pointers introduced by strength reduction. *)
+val pointer_vars : Augem_ir.Ast.kernel -> string list
+
+(** Arrays actually referenced via indexing, sorted. *)
+val referenced_arrays : Augem_ir.Ast.kernel -> string list
+
+(** The base array a derived pointer belongs to, by the strength
+    reduction pass's naming convention: [ptr_A0] and [ptr_A1] map to
+    [A]; unknown names map to themselves. *)
+val base_array_of : string -> string
+
+(** Distinct base arrays — the m of the R/m register partition. *)
+val base_arrays : Augem_ir.Ast.kernel -> string list

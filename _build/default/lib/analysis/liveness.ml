@@ -1,0 +1,91 @@
+(* Backward liveness analysis over the structured IR.  The paper uses
+   global live ranges to decide when a scalar's register can be released
+   and to annotate template regions with their live-out variables
+   (section 3.1: "the live range of each variable is computed globally
+   during the template identification process"). *)
+
+module SS = Set.Make (String)
+
+open Augem_ir.Ast
+
+let reads_expr e = SS.of_list (expr_vars e)
+
+let reads_lvalue = function
+  | Lvar _ -> SS.empty
+  | Lindex (a, i) -> SS.add a (reads_expr i)
+
+(* Variables written by a statement (scalar definitions only; stores
+   through pointers do not kill anything). *)
+let defs_stmt = function
+  | Decl (_, v, _) -> SS.singleton v
+  | Assign (Lvar v, _) -> SS.singleton v
+  | Assign (Lindex _, _) | For _ | If _ | Prefetch _ | Comment _ | Tagged _ ->
+      SS.empty
+
+let rec defs_block stmts =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | For (h, body) -> SS.union acc (SS.add h.loop_var (defs_block body))
+      | If (_, _, _, t, f) ->
+          SS.union acc (SS.union (defs_block t) (defs_block f))
+      | Tagged (_, body) -> SS.union acc (defs_block body)
+      | s -> SS.union acc (defs_stmt s))
+    SS.empty stmts
+
+(* live_in of a statement given variables live after it. *)
+let rec live_stmt (s : stmt) ~(live_out : SS.t) : SS.t =
+  match s with
+  | Decl (_, v, init) ->
+      let gen = match init with Some e -> reads_expr e | None -> SS.empty in
+      SS.union gen (SS.remove v live_out)
+  | Assign (Lvar v, e) -> SS.union (reads_expr e) (SS.remove v live_out)
+  | Assign (Lindex (a, i), e) ->
+      live_out |> SS.add a |> SS.union (reads_expr i) |> SS.union (reads_expr e)
+  | Prefetch (_, base, off) -> live_out |> SS.add base |> SS.union (reads_expr off)
+  | Comment _ -> live_out
+  | Tagged (_, body) -> live_block body ~live_out
+  | If (a, _, b, t, f) ->
+      let lt = live_block t ~live_out and lf = live_block f ~live_out in
+      SS.union lt lf |> SS.union (reads_expr a) |> SS.union (reads_expr b)
+  | For (h, body) ->
+      (* The loop may execute zero or more times.  Variables live at the
+         loop head are: uses of the header, live_out (zero-trip case),
+         and the fixpoint of the body with the back edge. *)
+      let header_uses =
+        SS.union (reads_expr h.loop_bound) (reads_expr h.loop_step)
+        |> SS.add h.loop_var
+      in
+      let rec fix acc =
+        let body_out = SS.union acc (SS.union live_out header_uses) in
+        let body_in = live_block body ~live_out:body_out in
+        let acc' = SS.union acc body_in in
+        if SS.equal acc acc' then acc else fix acc'
+      in
+      let body_in = fix SS.empty in
+      SS.union live_out header_uses
+      |> SS.union body_in
+      |> SS.union (reads_expr h.loop_init)
+      |> SS.remove h.loop_var
+      |> SS.union (reads_expr h.loop_init)
+
+and live_block (stmts : stmt list) ~(live_out : SS.t) : SS.t =
+  List.fold_right (fun s acc -> live_stmt s ~live_out:acc) stmts live_out
+
+(* [annotate stmts ~live_out] pairs each statement with the set of
+   variables live *after* it. *)
+let annotate (stmts : stmt list) ~(live_out : SS.t) : (stmt * SS.t) list =
+  let rec go = function
+    | [] -> (live_out, [])
+    | s :: rest ->
+        let after, annotated = go rest in
+        let before = live_stmt s ~live_out:after in
+        ignore before;
+        (live_stmt s ~live_out:after, (s, after) :: annotated)
+  in
+  snd (go stmts)
+
+(* Live-out sets relevant to a kernel body: nothing is live at function
+   exit except memory, so scalar live_out is empty. *)
+let kernel_live_annotations (k : kernel) : (stmt * SS.t) list =
+  annotate k.k_body ~live_out:SS.empty

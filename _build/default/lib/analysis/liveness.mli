@@ -1,0 +1,34 @@
+(** Backward liveness analysis over the structured IR.
+
+    The paper uses global live ranges to decide when a scalar's
+    register can be released and to annotate template regions with
+    their live-out variables (its section 3.1). *)
+
+module SS : Set.S with type elt = string and type t = Set.Make(String).t
+
+val reads_expr : Augem_ir.Ast.expr -> SS.t
+val reads_lvalue : Augem_ir.Ast.lvalue -> SS.t
+
+(** Scalars written by one statement (stores through pointers kill
+    nothing). *)
+val defs_stmt : Augem_ir.Ast.stmt -> SS.t
+
+(** Scalars assigned anywhere in a block, including loop counters. *)
+val defs_block : Augem_ir.Ast.stmt list -> SS.t
+
+(** [live_stmt s ~live_out] is the set of scalars live before [s].
+    Loops reach a fixpoint over the back edge (zero-or-more-trips
+    semantics). *)
+val live_stmt : Augem_ir.Ast.stmt -> live_out:SS.t -> SS.t
+
+val live_block : Augem_ir.Ast.stmt list -> live_out:SS.t -> SS.t
+
+(** Pair each statement with the set of scalars live {e after} it. *)
+val annotate :
+  Augem_ir.Ast.stmt list ->
+  live_out:SS.t ->
+  (Augem_ir.Ast.stmt * SS.t) list
+
+(** {!annotate} over a kernel body with empty live-out. *)
+val kernel_live_annotations :
+  Augem_ir.Ast.kernel -> (Augem_ir.Ast.stmt * SS.t) list

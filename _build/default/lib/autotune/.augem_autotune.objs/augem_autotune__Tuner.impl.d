@@ -1,0 +1,1 @@
+lib/autotune/tuner.ml: Ast Augem_codegen Augem_ir Augem_machine Augem_sim Augem_transform Hashtbl Kernels List Logs Pipeline Prefetch Printf Unroll

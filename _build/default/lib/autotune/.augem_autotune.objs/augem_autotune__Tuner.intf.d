@@ -1,0 +1,1 @@
+lib/autotune/tuner.mli: Augem_codegen Augem_ir Augem_machine Augem_sim Augem_transform

@@ -1,0 +1,188 @@
+(* Empirical tuning of the Optimized C Kernel Generator's parameters
+   (paper section 2.1: "our Optimized C Kernel Generator automatically
+   experiments with different unrolling and unroll&jam configurations
+   and selects the best performing configurations based on the
+   performance of their optimized code").
+
+   The performance feedback is the cycle-level model of the generated
+   assembly on the target architecture (the substitution for the
+   paper's wall-clock measurements, documented in DESIGN.md).
+   Configurations that fail to generate (register pressure) are
+   discarded, like build failures in a real tuning run. *)
+
+open Augem_ir
+open Augem_transform
+module Arch = Augem_machine.Arch
+module Insn = Augem_machine.Insn
+
+type candidate = {
+  cand_config : Pipeline.config;
+  cand_opts : Augem_codegen.Emit.options;
+}
+
+type result = {
+  best : candidate;
+  best_program : Insn.program;
+  best_score : float; (* predicted MFLOPS on the reference workload *)
+  visited : int;
+  discarded : int; (* register-pressure or generation failures *)
+}
+
+let log_src = Logs.Src.create "augem.tuner" ~doc:"AUGEM auto-tuner"
+
+module Log = (val Logs.src_log log_src)
+
+(* --- search spaces ------------------------------------------------------ *)
+
+(* prefetching variants first: on a score tie (common for
+   compute-bound GEMM, where the model's memory leg is negligible) the
+   first-seen maximum wins, and hand-written kernels always prefetch *)
+let prefetch_opts =
+  [ Some { Prefetch.pf_distance = 8; pf_stores = true };
+    Some { Prefetch.pf_distance = 4; pf_stores = true };
+    None ]
+
+let gemm_space ?(packed = false) () : candidate list =
+  let strategies =
+    if packed then [ Augem_codegen.Plan.Prefer_auto; Augem_codegen.Plan.Prefer_shuf ]
+    else [ Augem_codegen.Plan.Prefer_auto ]
+  in
+  List.concat_map
+    (fun j ->
+      List.concat_map
+        (fun i ->
+          List.concat_map
+            (fun pf ->
+              List.map
+                (fun prefer ->
+                  {
+                    cand_config =
+                      { Pipeline.default with jam = [ ("j", j); ("i", i) ];
+                        prefetch = pf };
+                    cand_opts =
+                      { Augem_codegen.Emit.default_options with prefer };
+                  })
+                strategies)
+            prefetch_opts)
+        [ 4; 8; 12; 16 ])
+    [ 1; 2; 4; 6 ]
+
+let vector_space loop_var ~expand () : candidate list =
+  List.concat_map
+    (fun u ->
+      List.map
+        (fun pf ->
+          {
+            cand_config =
+              {
+                Pipeline.default with
+                inner_unroll = Some (loop_var, u);
+                expand_reduction = (if expand then Some u else None);
+                prefetch = pf;
+              };
+            cand_opts = Augem_codegen.Emit.default_options;
+          })
+        prefetch_opts)
+    [ 2; 4; 8; 16 ]
+
+let space_for (k : Kernels.name) : candidate list =
+  match k with
+  | Kernels.Gemm -> gemm_space ()
+  | Kernels.Gemv -> vector_space "j" ~expand:false ()
+  | Kernels.Axpy -> vector_space "i" ~expand:false ()
+  | Kernels.Dot -> vector_space "i" ~expand:true ()
+  | Kernels.Ger -> vector_space "i" ~expand:false ()
+  | Kernels.Scal -> vector_space "i" ~expand:false ()
+  | Kernels.Copy -> vector_space "i" ~expand:false ()
+
+(* Reference workload per kernel (a representative point of the
+   evaluation sweeps). *)
+let reference_workload (k : Kernels.name) : Augem_sim.Perf.workload =
+  match k with
+  | Kernels.Gemm -> Augem_sim.Perf.W_gemm { m = 4096; n = 4096; k = 256 }
+  | Kernels.Gemv -> Augem_sim.Perf.W_gemv { m = 4096; n = 4096 }
+  | Kernels.Axpy -> Augem_sim.Perf.W_axpy { n = 150_000 }
+  | Kernels.Dot -> Augem_sim.Perf.W_dot { n = 150_000 }
+  | Kernels.Ger -> Augem_sim.Perf.W_gemv { m = 4096; n = 4096 }
+  | Kernels.Scal -> Augem_sim.Perf.W_axpy { n = 150_000 }
+  | Kernels.Copy -> Augem_sim.Perf.W_axpy { n = 150_000 }
+
+(* --- the loop ----------------------------------------------------------- *)
+
+exception No_viable_configuration of string
+
+let generate_candidate (arch : Arch.t) (kernel : Ast.kernel) (c : candidate) :
+    Insn.program option =
+  match
+    let optimized = Pipeline.apply kernel c.cand_config in
+    let prog =
+      Augem_codegen.Emit.generate ~arch ~opts:c.cand_opts optimized
+    in
+    Augem_codegen.Schedule.run arch prog
+  with
+  | prog -> Some prog
+  | exception Augem_codegen.Regfile.Out_of_registers _ -> None
+  | exception Augem_codegen.Gpralloc.Gpr_error _ -> None
+  | exception Augem_codegen.Ctx.Codegen_error _ -> None
+  | exception Unroll.Unroll_error _ -> None
+
+let score (arch : Arch.t) (prog : Insn.program) (w : Augem_sim.Perf.workload) :
+    float option =
+  match Augem_sim.Perf.predict arch prog w with
+  | e -> Some e.Augem_sim.Perf.e_mflops
+  | exception Augem_sim.Perf.No_hot_loop _ -> None
+
+let tune ?(workload : Augem_sim.Perf.workload option)
+    ?(space : candidate list option) (arch : Arch.t) (name : Kernels.name) :
+    result =
+  let kernel = Kernels.kernel_of_name name in
+  let workload =
+    match workload with Some w -> w | None -> reference_workload name
+  in
+  let space = match space with Some s -> s | None -> space_for name in
+  let visited = ref 0 and discarded = ref 0 in
+  let best = ref None in
+  List.iter
+    (fun cand ->
+      incr visited;
+      match generate_candidate arch kernel cand with
+      | None -> incr discarded
+      | Some prog -> (
+          match score arch prog workload with
+          | None -> incr discarded
+          | Some s ->
+              Log.debug (fun m ->
+                  m "%s/%s %s -> %.0f MFLOPS" arch.Arch.name
+                    (Kernels.name_to_string name)
+                    (Pipeline.config_to_string cand.cand_config)
+                    s);
+              (match !best with
+              | Some (_, _, s') when s' >= s -> ()
+              | _ -> best := Some (cand, prog, s))))
+    space;
+  match !best with
+  | None ->
+      raise
+        (No_viable_configuration
+           (Printf.sprintf "%s on %s" (Kernels.name_to_string name)
+              arch.Arch.name))
+  | Some (cand, prog, s) ->
+      {
+        best = cand;
+        best_program = prog;
+        best_score = s;
+        visited = !visited;
+        discarded = !discarded;
+      }
+
+(* Memoized tuning: the sweep benchmarks call this per (arch, kernel). *)
+let cache : (string * string, result) Hashtbl.t = Hashtbl.create 8
+
+let tuned (arch : Arch.t) (name : Kernels.name) : result =
+  let key = (arch.Arch.name, Kernels.name_to_string name) in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let r = tune arch name in
+      Hashtbl.replace cache key r;
+      r

@@ -1,0 +1,60 @@
+(** Empirical tuning of the Optimized C Kernel Generator's parameters
+    (paper section 2.1: the generator "automatically experiments with
+    different unrolling and unroll&jam configurations and selects the
+    best performing configurations based on the performance of their
+    optimized code").
+
+    The performance feedback is the cycle-level model of the generated
+    assembly (the substitution for the paper's wall-clock measurements,
+    see DESIGN.md).  Configurations that fail to generate — register
+    pressure — are discarded, like build failures in a real tuning
+    run. *)
+
+type candidate = {
+  cand_config : Augem_transform.Pipeline.config;
+  cand_opts : Augem_codegen.Emit.options;
+}
+
+type result = {
+  best : candidate;
+  best_program : Augem_machine.Insn.program;
+  best_score : float;  (** predicted MFLOPS on the reference workload *)
+  visited : int;
+  discarded : int;
+}
+
+(** The per-kernel search space. *)
+val space_for : Augem_ir.Kernels.name -> candidate list
+
+(** A representative point of the paper's evaluation sweep for each
+    kernel. *)
+val reference_workload : Augem_ir.Kernels.name -> Augem_sim.Perf.workload
+
+exception No_viable_configuration of string
+
+(** Generate one candidate; [None] when the configuration does not fit
+    the machine (register pressure). *)
+val generate_candidate :
+  Augem_machine.Arch.t ->
+  Augem_ir.Ast.kernel ->
+  candidate ->
+  Augem_machine.Insn.program option
+
+(** Score a generated program on a workload; [None] when the program
+    has no analyzable hot loop. *)
+val score :
+  Augem_machine.Arch.t ->
+  Augem_machine.Insn.program ->
+  Augem_sim.Perf.workload ->
+  float option
+
+(** Exhaustive search over the (given or default) space. *)
+val tune :
+  ?workload:Augem_sim.Perf.workload ->
+  ?space:candidate list ->
+  Augem_machine.Arch.t ->
+  Augem_ir.Kernels.name ->
+  result
+
+(** Memoized {!tune} on the reference workload. *)
+val tuned : Augem_machine.Arch.t -> Augem_ir.Kernels.name -> result

@@ -1,0 +1,1 @@
+lib/baselines/library.ml: Augem_autotune Augem_codegen Augem_ir Augem_machine Augem_sim Augem_transform Hashtbl Kernels Pipeline Printf String

@@ -1,0 +1,1 @@
+lib/baselines/library.mli: Augem_ir Augem_machine Augem_sim

@@ -1,0 +1,1 @@
+lib/baselines/routine_model.ml: Augem_ir Augem_machine Augem_sim Float Library List

@@ -1,0 +1,1 @@
+lib/baselines/routine_model.mli: Augem_machine Library

@@ -1,0 +1,1 @@
+lib/blas/level1.ml: Array Float Printf

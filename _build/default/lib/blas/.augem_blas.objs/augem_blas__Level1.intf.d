@@ -1,0 +1,1 @@
+lib/blas/level1.mli:

@@ -1,0 +1,1 @@
+lib/blas/level2.mli: Matrix

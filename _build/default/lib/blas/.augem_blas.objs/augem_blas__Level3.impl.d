@@ -1,0 +1,1 @@
+lib/blas/level3.ml: Array Matrix

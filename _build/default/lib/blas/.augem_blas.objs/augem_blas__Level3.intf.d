@@ -1,0 +1,1 @@
+lib/blas/level3.mli: Matrix

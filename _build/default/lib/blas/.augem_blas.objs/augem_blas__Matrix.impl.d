@@ -1,0 +1,1 @@
+lib/blas/matrix.ml: Array Float Fmt

@@ -1,0 +1,84 @@
+(* Reference Level-1 BLAS over plain float arrays, used as the numeric
+   oracle for generated AXPY/DOT kernels and as building blocks for the
+   Level-2 routines. *)
+
+let check_len name n (x : float array) =
+  if Array.length x < n then
+    invalid_arg (Printf.sprintf "%s: vector shorter than n=%d" name n)
+
+(* y := alpha * x + y *)
+let daxpy n alpha (x : float array) (y : float array) =
+  check_len "daxpy" n x;
+  check_len "daxpy" n y;
+  for i = 0 to n - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+(* dot product *)
+let ddot n (x : float array) (y : float array) : float =
+  check_len "ddot" n x;
+  check_len "ddot" n y;
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+(* x := alpha * x *)
+let dscal n alpha (x : float array) =
+  check_len "dscal" n x;
+  for i = 0 to n - 1 do
+    x.(i) <- alpha *. x.(i)
+  done
+
+(* y := x *)
+let dcopy n (x : float array) (y : float array) =
+  check_len "dcopy" n x;
+  check_len "dcopy" n y;
+  Array.blit x 0 y 0 n
+
+(* swap x and y *)
+let dswap n (x : float array) (y : float array) =
+  check_len "dswap" n x;
+  check_len "dswap" n y;
+  for i = 0 to n - 1 do
+    let t = x.(i) in
+    x.(i) <- y.(i);
+    y.(i) <- t
+  done
+
+(* Euclidean norm, with scaling against overflow *)
+let dnrm2 n (x : float array) : float =
+  check_len "dnrm2" n x;
+  let scale = ref 0. and ssq = ref 1. in
+  for i = 0 to n - 1 do
+    let xi = Float.abs x.(i) in
+    if xi > 0. then
+      if !scale < xi then begin
+        ssq := 1. +. (!ssq *. (!scale /. xi) *. (!scale /. xi));
+        scale := xi
+      end
+      else ssq := !ssq +. ((xi /. !scale) *. (xi /. !scale))
+  done;
+  !scale *. sqrt !ssq
+
+(* sum of absolute values *)
+let dasum n (x : float array) : float =
+  check_len "dasum" n x;
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. Float.abs x.(i)
+  done;
+  !acc
+
+(* index of the element with largest absolute value (0-based) *)
+let idamax n (x : float array) : int =
+  check_len "idamax" n x;
+  if n <= 0 then -1
+  else begin
+    let best = ref 0 in
+    for i = 1 to n - 1 do
+      if Float.abs x.(i) > Float.abs x.(!best) then best := i
+    done;
+    !best
+  end

@@ -1,0 +1,19 @@
+(** Reference Level-1 BLAS over plain float arrays: the numeric oracle
+    for generated AXPY/DOT/SCAL/COPY kernels and building block of the
+    Level-2 routines.  All routines check vector lengths. *)
+
+val daxpy : int -> float -> float array -> float array -> unit
+(** [daxpy n alpha x y]: y := alpha*x + y. *)
+
+val ddot : int -> float array -> float array -> float
+val dscal : int -> float -> float array -> unit
+val dcopy : int -> float array -> float array -> unit
+val dswap : int -> float array -> float array -> unit
+
+val dnrm2 : int -> float array -> float
+(** Euclidean norm, scaled against overflow. *)
+
+val dasum : int -> float array -> float
+
+val idamax : int -> float array -> int
+(** Index of the largest-magnitude element (0-based; -1 when empty). *)

@@ -1,0 +1,102 @@
+(* Reference Level-2 BLAS.  The GEMV column sweep mirrors the structure
+   of the paper's Figure 15 kernel (an AXPY per column), and GER is the
+   routine the paper's Table 6 builds from the Level-1 kernels. *)
+
+open Matrix
+
+type trans =
+  | No_trans
+  | Trans
+
+(* y := alpha * op(A) * x + beta * y *)
+let dgemv ?(trans = No_trans) ~alpha ~beta (a : t) (x : float array)
+    (y : float array) =
+  let m = a.rows and n = a.cols in
+  (match trans with
+  | No_trans ->
+      if Array.length x < n || Array.length y < m then
+        invalid_arg "dgemv: vector too short"
+  | Trans ->
+      if Array.length x < m || Array.length y < n then
+        invalid_arg "dgemv: vector too short");
+  match trans with
+  | No_trans ->
+      if beta <> 1. then
+        for i = 0 to m - 1 do
+          y.(i) <- beta *. y.(i)
+        done;
+      (* column sweep: y += (alpha * x[j]) * A(:, j) *)
+      for j = 0 to n - 1 do
+        let s = alpha *. x.(j) in
+        if s <> 0. then
+          for i = 0 to m - 1 do
+            y.(i) <- y.(i) +. (get a i j *. s)
+          done
+      done
+  | Trans ->
+      for j = 0 to n - 1 do
+        let acc = ref 0. in
+        for i = 0 to m - 1 do
+          acc := !acc +. (get a i j *. x.(i))
+        done;
+        y.(j) <- (beta *. y.(j)) +. (alpha *. !acc)
+      done
+
+(* A := alpha * x * y^T + A (rank-1 update) *)
+let dger ~alpha (a : t) (x : float array) (y : float array) =
+  let m = a.rows and n = a.cols in
+  if Array.length x < m || Array.length y < n then
+    invalid_arg "dger: vector too short";
+  for j = 0 to n - 1 do
+    let s = alpha *. y.(j) in
+    if s <> 0. then
+      for i = 0 to m - 1 do
+        set a i j (get a i j +. (x.(i) *. s))
+      done
+  done
+
+(* y := alpha * A * x + beta * y, A symmetric (lower storage) *)
+let dsymv ~alpha ~beta (a : t) (x : float array) (y : float array) =
+  let n = a.rows in
+  for i = 0 to n - 1 do
+    y.(i) <- beta *. y.(i)
+  done;
+  for j = 0 to n - 1 do
+    let s = alpha *. x.(j) in
+    for i = 0 to n - 1 do
+      let aij = if i >= j then get a i j else get a j i in
+      y.(i) <- y.(i) +. (aij *. s)
+    done
+  done
+
+(* x := op(L) * x for lower-triangular L *)
+let dtrmv ?(trans = No_trans) (l : t) (x : float array) =
+  let n = l.rows in
+  match trans with
+  | No_trans ->
+      for i = n - 1 downto 0 do
+        let acc = ref 0. in
+        for j = 0 to i do
+          acc := !acc +. (get l i j *. x.(j))
+        done;
+        x.(i) <- !acc
+      done
+  | Trans ->
+      for i = 0 to n - 1 do
+        let acc = ref 0. in
+        for j = i to n - 1 do
+          acc := !acc +. (get l j i *. x.(j))
+        done;
+        x.(i) <- !acc
+      done
+
+(* solve L * x = b in place (forward substitution) *)
+let dtrsv (l : t) (x : float array) =
+  let n = l.rows in
+  for i = 0 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (get l i j *. x.(j))
+    done;
+    x.(i) <- !acc /. get l i i
+  done

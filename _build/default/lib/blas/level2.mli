@@ -1,0 +1,30 @@
+(** Reference Level-2 BLAS.  The GEMV column sweep mirrors the paper's
+    Figure 15 kernel (an AXPY per column); GER is the Table 6 routine
+    built from the Level-1 kernels. *)
+
+type trans =
+  | No_trans
+  | Trans
+
+(** [dgemv ~trans ~alpha ~beta a x y]: y := alpha*op(A)*x + beta*y. *)
+val dgemv :
+  ?trans:trans ->
+  alpha:float ->
+  beta:float ->
+  Matrix.t ->
+  float array ->
+  float array ->
+  unit
+
+(** [dger ~alpha a x y]: A := alpha*x*y^T + A. *)
+val dger : alpha:float -> Matrix.t -> float array -> float array -> unit
+
+(** Symmetric matrix-vector product (full storage, symmetric values). *)
+val dsymv :
+  alpha:float -> beta:float -> Matrix.t -> float array -> float array -> unit
+
+(** [dtrmv l x]: x := op(L)*x for lower-triangular L. *)
+val dtrmv : ?trans:trans -> Matrix.t -> float array -> unit
+
+(** [dtrsv l x]: solve L*y = x in place (forward substitution). *)
+val dtrsv : Matrix.t -> float array -> unit

@@ -1,0 +1,280 @@
+(* Reference Level-3 BLAS.
+
+   [dgemm_naive] is the semantics oracle.  [dgemm_blocked] implements
+   Goto's block-partitioned algorithm (the one the paper's GEMM kernel
+   plugs into): loops over Kc x Nc panels of B and Mc x Kc blocks of A,
+   packs both into contiguous buffers in exactly the layouts the
+   generated micro-kernel expects (A[l*Mc + i], B[j*Kc + l]), and calls
+   a micro-kernel callback on each packed pair — by default the
+   reference micro-kernel, in tests the simulated generated assembly.
+
+   The remaining routines (SYMM, SYRK, SYR2K, TRMM, TRSM) follow the
+   standard cast-onto-GEMM decompositions of Goto & van de Geijn,
+   "High-performance implementation of the level-3 BLAS": the bulk of
+   their flops run through [dgemm_blocked]; TRSM additionally performs
+   small triangular solves that do not map onto GEMM — the structural
+   reason AUGEM loses only TRSM in the paper's Table 6. *)
+
+open Matrix
+
+(* C := alpha * A * B + beta * C, naive triple loop. *)
+let dgemm_naive ~alpha ~beta (a : t) (b : t) (c : t) =
+  let m = a.rows and k = a.cols and n = b.cols in
+  if b.rows <> k || c.rows <> m || c.cols <> n then
+    invalid_arg "dgemm: shape mismatch";
+  for j = 0 to n - 1 do
+    for i = 0 to m - 1 do
+      let acc = ref 0. in
+      for l = 0 to k - 1 do
+        acc := !acc +. (get a i l *. get b l j)
+      done;
+      set c i j ((beta *. get c i j) +. (alpha *. !acc))
+    done
+  done
+
+(* --- packing ----------------------------------------------------------- *)
+
+(* Pack an mc x kc block of A starting at (i0, l0) into [buf] in the
+   micro-kernel layout A[l*mc + i]. *)
+let pack_a (a : t) ~i0 ~l0 ~mc ~kc (buf : float array) =
+  for l = 0 to kc - 1 do
+    for i = 0 to mc - 1 do
+      buf.((l * mc) + i) <- get a (i0 + i) (l0 + l)
+    done
+  done
+
+(* Pack a kc x nc block of B starting at (l0, j0) into the per-column
+   stream layout B[j*kc + l]. *)
+let pack_b (b : t) ~l0 ~j0 ~kc ~nc (buf : float array) =
+  for j = 0 to nc - 1 do
+    for l = 0 to kc - 1 do
+      buf.((j * kc) + l) <- get b (l0 + l) (j0 + j)
+    done
+  done
+
+(* Pack the same block in the interleaved layout B[l*nc + j] that the
+   Shuf vectorization method requires. *)
+let pack_b_interleaved (b : t) ~l0 ~j0 ~kc ~nc (buf : float array) =
+  for l = 0 to kc - 1 do
+    for j = 0 to nc - 1 do
+      buf.((l * nc) + j) <- get b (l0 + l) (j0 + j)
+    done
+  done
+
+(* The reference micro-kernel: C(mc x nc) += packed_A * packed_B with
+   the packed layouts above and C at leading dimension ldc, starting at
+   element [c_off] of [c_data].  Matches the semantics of the paper's
+   Figure 12 kernel. *)
+let micro_kernel_ref ~mc ~kc ~nc ~(pa : float array) ~(pb : float array)
+    ~(c_data : float array) ~c_off ~ldc =
+  for j = 0 to nc - 1 do
+    for i = 0 to mc - 1 do
+      let acc = ref 0. in
+      for l = 0 to kc - 1 do
+        acc := !acc +. (pa.((l * mc) + i) *. pb.((j * kc) + l))
+      done;
+      let idx = c_off + (j * ldc) + i in
+      c_data.(idx) <- c_data.(idx) +. !acc
+    done
+  done
+
+type micro_kernel =
+  mc:int ->
+  kc:int ->
+  nc:int ->
+  pa:float array ->
+  pb:float array ->
+  c_data:float array ->
+  c_off:int ->
+  ldc:int ->
+  unit
+
+type blocking = {
+  bk_mc : int;
+  bk_kc : int;
+  bk_nc : int;
+}
+
+let default_blocking = { bk_mc = 128; bk_kc = 256; bk_nc = 512 }
+
+(* C := alpha * A * B + beta * C by the Goto algorithm. *)
+let dgemm_blocked ?(blocking = default_blocking)
+    ?(kernel : micro_kernel = micro_kernel_ref) ~alpha ~beta (a : t) (b : t)
+    (c : t) =
+  let m = a.rows and k = a.cols and n = b.cols in
+  if b.rows <> k || c.rows <> m || c.cols <> n then
+    invalid_arg "dgemm: shape mismatch";
+  (* beta and alpha handling: scale C once, fold alpha into packed A *)
+  if beta <> 1. then
+    for j = 0 to n - 1 do
+      for i = 0 to m - 1 do
+        set c i j (beta *. get c i j)
+      done
+    done;
+  if alpha = 0. then ()
+  else begin
+    let { bk_mc; bk_kc; bk_nc } = blocking in
+    let pa = Array.make (bk_mc * bk_kc) 0. in
+    let pb = Array.make (bk_kc * bk_nc) 0. in
+    let j0 = ref 0 in
+    while !j0 < n do
+      let nc = min bk_nc (n - !j0) in
+      let l0 = ref 0 in
+      while !l0 < k do
+        let kc = min bk_kc (k - !l0) in
+        pack_b b ~l0:!l0 ~j0:!j0 ~kc ~nc pb;
+        if alpha <> 1. then
+          for idx = 0 to (kc * nc) - 1 do
+            pb.(idx) <- alpha *. pb.(idx)
+          done;
+        let i0 = ref 0 in
+        while !i0 < m do
+          let mc = min bk_mc (m - !i0) in
+          pack_a a ~i0:!i0 ~l0:!l0 ~mc ~kc pa;
+          kernel ~mc ~kc ~nc ~pa ~pb ~c_data:c.data
+            ~c_off:((!j0 * c.ld) + !i0) ~ldc:c.ld;
+          i0 := !i0 + mc
+        done;
+        l0 := !l0 + kc
+      done;
+      j0 := !j0 + nc
+    done
+  end
+
+let dgemm = dgemm_blocked
+
+(* transpose view materialized (reference code, clarity first) *)
+let transpose (a : t) : t = init a.cols a.rows (fun i j -> get a j i)
+
+type side =
+  | Left
+  | Right
+
+(* --- SYMM: C := alpha * A * B + beta * C with A symmetric ------------- *)
+let dsymm ?blocking ?kernel ~(side : side) ~alpha ~beta (a : t) (b : t) (c : t)
+    =
+  (* materialize the full symmetric matrix (lower storage) and cast to
+     GEMM: the flops all run through the GEMM kernel *)
+  let n = a.rows in
+  let full = init n n (fun i j -> if i >= j then get a i j else get a j i) in
+  match side with
+  | Left -> dgemm_blocked ?blocking ?kernel ~alpha ~beta full b c
+  | Right -> dgemm_blocked ?blocking ?kernel ~alpha ~beta b full c
+
+(* --- SYRK: C := alpha * A * A^T + beta * C (lower) --------------------- *)
+let dsyrk ?blocking ?kernel ~alpha ~beta (a : t) (c : t) =
+  let at = transpose a in
+  let full = create c.rows c.cols in
+  for j = 0 to c.cols - 1 do
+    for i = 0 to c.rows - 1 do
+      set full i j (get c i j)
+    done
+  done;
+  dgemm_blocked ?blocking ?kernel ~alpha ~beta a at full;
+  (* only the lower triangle of C is referenced/updated *)
+  for j = 0 to c.cols - 1 do
+    for i = j to c.rows - 1 do
+      set c i j (get full i j)
+    done
+  done
+
+(* --- SYR2K: C := alpha * (A * B^T + B * A^T) + beta * C (lower) -------- *)
+let dsyr2k ?blocking ?kernel ~alpha ~beta (a : t) (b : t) (c : t) =
+  let full = create c.rows c.cols in
+  for j = 0 to c.cols - 1 do
+    for i = 0 to c.rows - 1 do
+      set full i j (get c i j)
+    done
+  done;
+  dgemm_blocked ?blocking ?kernel ~alpha ~beta a (transpose b) full;
+  dgemm_blocked ?blocking ?kernel ~alpha ~beta:1. b (transpose a) full;
+  for j = 0 to c.cols - 1 do
+    for i = j to c.rows - 1 do
+      set c i j (get full i j)
+    done
+  done
+
+(* --- TRMM: B := alpha * L * B with L lower-triangular ------------------ *)
+(* Blocked: partition L in Nb-sized diagonal blocks; the off-diagonal
+   update is GEMM, the diagonal part a small triangular multiply. *)
+let trmm_block = 64
+
+let dtrmm ?blocking ?kernel ~alpha (l : t) (b : t) =
+  let n = l.rows and rhs = b.cols in
+  let nb = trmm_block in
+  (* process block rows bottom-up so inputs are unmodified *)
+  let i0 = ref (((n - 1) / nb) * nb) in
+  while !i0 >= 0 do
+    let ib = min nb (n - !i0) in
+    (* diagonal: B[i0..i0+ib) := L(i0 block diag) * B(block) *)
+    for j = 0 to rhs - 1 do
+      for i = !i0 + ib - 1 downto !i0 do
+        let acc = ref 0. in
+        for t = !i0 to i do
+          acc := !acc +. (get l i t *. get b t j)
+        done;
+        set b i j !acc
+      done
+    done;
+    (* off-diagonal: B(block) += L(i0.., 0..i0) * B(0..i0) — GEMM *)
+    if !i0 > 0 then begin
+      let l21 = init ib !i0 (fun i j -> get l (!i0 + i) j) in
+      let b1 = init !i0 rhs (fun i j -> get b i j) in
+      let view = init ib rhs (fun i j -> get b (!i0 + i) j) in
+      dgemm_blocked ?blocking ?kernel ~alpha:1. ~beta:1. l21 b1 view;
+      for j = 0 to rhs - 1 do
+        for i = 0 to ib - 1 do
+          set b (!i0 + i) j (get view i j)
+        done
+      done
+    end;
+    i0 := !i0 - nb
+  done;
+  if alpha <> 1. then
+    for j = 0 to rhs - 1 do
+      for i = 0 to n - 1 do
+        set b i j (alpha *. get b i j)
+      done
+    done
+
+(* --- TRSM: B := alpha * L^-1 * B with L lower-triangular --------------- *)
+(* The paper's two-step decomposition: B1 := L11^-1 B1 (small solve,
+   translated straightforwardly — not GEMM-accelerated), then
+   B2 := B2 - L21 * B1 (GEMM). *)
+let dtrsm ?blocking ?kernel ~alpha (l : t) (b : t) =
+  let n = l.rows and rhs = b.cols in
+  if alpha <> 1. then
+    for j = 0 to rhs - 1 do
+      for i = 0 to n - 1 do
+        set b i j (alpha *. get b i j)
+      done
+    done;
+  let nb = trmm_block in
+  let i0 = ref 0 in
+  while !i0 < n do
+    let ib = min nb (n - !i0) in
+    (* step 1: small forward substitution on the diagonal block *)
+    for j = 0 to rhs - 1 do
+      for i = !i0 to !i0 + ib - 1 do
+        let acc = ref (get b i j) in
+        for t = !i0 to i - 1 do
+          acc := !acc -. (get l i t *. get b t j)
+        done;
+        set b i j (!acc /. get l i i)
+      done
+    done;
+    (* step 2: trailing update B2 -= L21 * B1 — GEMM *)
+    if !i0 + ib < n then begin
+      let rows = n - !i0 - ib in
+      let l21 = init rows ib (fun i j -> get l (!i0 + ib + i) (!i0 + j)) in
+      let b1 = init ib rhs (fun i j -> get b (!i0 + i) j) in
+      let view = init rows rhs (fun i j -> get b (!i0 + ib + i) j) in
+      dgemm_blocked ?blocking ?kernel ~alpha:(-1.) ~beta:1. l21 b1 view;
+      for j = 0 to rhs - 1 do
+        for i = 0 to rows - 1 do
+          set b (!i0 + ib + i) j (get view i j)
+        done
+      done
+    end;
+    i0 := !i0 + nb
+  done

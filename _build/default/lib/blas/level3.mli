@@ -1,0 +1,143 @@
+(** Reference Level-3 BLAS.
+
+    [dgemm_naive] is the semantics oracle.  [dgemm_blocked] implements
+    Goto's block-partitioned algorithm — the one the paper's GEMM
+    kernel plugs into — packing A and B into the exact layouts the
+    generated micro-kernel expects and invoking a micro-kernel callback
+    per packed pair (by default the reference micro-kernel; in tests,
+    the simulated generated assembly).
+
+    SYMM, SYRK, SYR2K, TRMM and TRSM follow the standard cast-onto-GEMM
+    decompositions of Goto & van de Geijn; TRSM's small triangular
+    solves do not map onto GEMM — the structural reason AUGEM loses
+    only TRSM in the paper's Table 6. *)
+
+val dgemm_naive : alpha:float -> beta:float -> Matrix.t -> Matrix.t -> Matrix.t -> unit
+
+(** Pack an mc x kc block of A at (i0, l0) into the micro-kernel layout
+    A[l*mc + i]. *)
+val pack_a :
+  Matrix.t -> i0:int -> l0:int -> mc:int -> kc:int -> float array -> unit
+
+(** Pack a kc x nc block of B at (l0, j0) into the per-column stream
+    layout B[j*kc + l]. *)
+val pack_b :
+  Matrix.t -> l0:int -> j0:int -> kc:int -> nc:int -> float array -> unit
+
+(** Same block in the interleaved layout B[l*nc + j] required by the
+    Shuf vectorization method. *)
+val pack_b_interleaved :
+  Matrix.t -> l0:int -> j0:int -> kc:int -> nc:int -> float array -> unit
+
+(** The reference micro-kernel over packed operands (the semantics of
+    the paper's Figure 12 kernel). *)
+val micro_kernel_ref :
+  mc:int ->
+  kc:int ->
+  nc:int ->
+  pa:float array ->
+  pb:float array ->
+  c_data:float array ->
+  c_off:int ->
+  ldc:int ->
+  unit
+
+type micro_kernel =
+  mc:int ->
+  kc:int ->
+  nc:int ->
+  pa:float array ->
+  pb:float array ->
+  c_data:float array ->
+  c_off:int ->
+  ldc:int ->
+  unit
+
+type blocking = {
+  bk_mc : int;
+  bk_kc : int;
+  bk_nc : int;
+}
+
+val default_blocking : blocking
+
+(** C := alpha*A*B + beta*C by the Goto algorithm. *)
+val dgemm_blocked :
+  ?blocking:blocking ->
+  ?kernel:micro_kernel ->
+  alpha:float ->
+  beta:float ->
+  Matrix.t ->
+  Matrix.t ->
+  Matrix.t ->
+  unit
+
+val dgemm :
+  ?blocking:blocking ->
+  ?kernel:micro_kernel ->
+  alpha:float ->
+  beta:float ->
+  Matrix.t ->
+  Matrix.t ->
+  Matrix.t ->
+  unit
+
+val transpose : Matrix.t -> Matrix.t
+
+type side =
+  | Left
+  | Right
+
+(** SYMM over a symmetric A (lower storage), cast onto GEMM. *)
+val dsymm :
+  ?blocking:blocking ->
+  ?kernel:micro_kernel ->
+  side:side ->
+  alpha:float ->
+  beta:float ->
+  Matrix.t ->
+  Matrix.t ->
+  Matrix.t ->
+  unit
+
+(** C := alpha*A*A^T + beta*C, lower triangle. *)
+val dsyrk :
+  ?blocking:blocking ->
+  ?kernel:micro_kernel ->
+  alpha:float ->
+  beta:float ->
+  Matrix.t ->
+  Matrix.t ->
+  unit
+
+(** C := alpha*(A*B^T + B*A^T) + beta*C, lower triangle. *)
+val dsyr2k :
+  ?blocking:blocking ->
+  ?kernel:micro_kernel ->
+  alpha:float ->
+  beta:float ->
+  Matrix.t ->
+  Matrix.t ->
+  Matrix.t ->
+  unit
+
+(** B := alpha*L*B, L lower-triangular; off-diagonal work through
+    GEMM. *)
+val dtrmm :
+  ?blocking:blocking ->
+  ?kernel:micro_kernel ->
+  alpha:float ->
+  Matrix.t ->
+  Matrix.t ->
+  unit
+
+(** B := alpha*L^-1*B via the paper's two-step decomposition: small
+    diagonal solves (not GEMM-accelerated) plus GEMM trailing
+    updates. *)
+val dtrsm :
+  ?blocking:blocking ->
+  ?kernel:micro_kernel ->
+  alpha:float ->
+  Matrix.t ->
+  Matrix.t ->
+  unit

@@ -1,0 +1,1 @@
+lib/codegen/ctx.ml: Arch Ast Augem_ir Augem_machine Fmt Gpralloc Hashtbl Insn Printf Reg Regfile

@@ -1,0 +1,1 @@
+lib/codegen/emit.mli: Augem_ir Augem_machine Augem_templates Plan

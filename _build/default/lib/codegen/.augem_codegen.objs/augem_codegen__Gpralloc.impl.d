@@ -1,0 +1,1 @@
+lib/codegen/gpralloc.ml: Augem_machine Fmt Hashtbl Insn List Reg

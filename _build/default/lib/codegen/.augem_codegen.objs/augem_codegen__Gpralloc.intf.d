@@ -1,0 +1,1 @@
+lib/codegen/gpralloc.mli: Augem_machine

@@ -1,0 +1,1 @@
+lib/codegen/plan.ml: Augem_analysis Augem_machine Augem_templates Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/codegen/regfile.ml: Array Augem_machine Buffer Hashtbl List Printf String

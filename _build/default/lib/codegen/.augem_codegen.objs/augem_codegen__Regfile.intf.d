@@ -1,0 +1,1 @@
+lib/codegen/regfile.mli: Augem_machine

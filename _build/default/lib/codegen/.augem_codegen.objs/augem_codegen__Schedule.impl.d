@@ -1,0 +1,1 @@
+lib/codegen/schedule.ml: Arch Array Augem_machine Depgraph Insn List

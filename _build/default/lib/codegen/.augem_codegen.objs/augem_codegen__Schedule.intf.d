@@ -1,0 +1,1 @@
+lib/codegen/schedule.mli: Augem_machine

@@ -1,0 +1,140 @@
+(* Shared emitter context: output buffer, both register allocators,
+   variable types, and the instruction-selection helpers that implement
+   the mapping rules of paper Tables 1-4 (SSE two-operand fix-ups,
+   FMA3/FMA4 selection).
+
+   Internal plumbing of this library (the emitter and its helpers
+   co-evolve), deliberately not sealed with an .mli. *)
+
+open Augem_ir
+open Augem_machine
+
+exception Codegen_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Codegen_error s)) fmt
+
+type t = {
+  arch : Arch.t;
+  out : Insn.t list ref; (* reversed; shared with the GPR allocator *)
+  mutable vecs : Regfile.t;
+  gprs : Gpralloc.t;
+  types : (string, Ast.dtype) Hashtbl.t;
+  mutable label_count : int;
+  mutable scratch_slot : int option; (* stack slot for reg->mem bounces *)
+}
+
+let emit t i = t.out := i :: !(t.out)
+
+let fresh_label t prefix =
+  t.label_count <- t.label_count + 1;
+  Printf.sprintf ".L%s%d" prefix t.label_count
+
+let type_of_var t v =
+  match Hashtbl.find_opt t.types v with
+  | Some ty -> ty
+  | None -> err "unknown variable %s" v
+
+let is_pointer t v =
+  match Hashtbl.find_opt t.types v with Some (Ast.Ptr _) -> true | _ -> false
+
+(* The SIMD width the machine natively supports in its widest mode. *)
+let full_width (t : t) : Insn.vwidth =
+  match t.arch.Arch.simd with Arch.AVX -> Insn.W256 | Arch.SSE -> Insn.W128
+
+let avx t = t.arch.Arch.simd = Arch.AVX
+
+let width_for_lanes n : Insn.vwidth option =
+  match n with 1 -> Some Insn.W64 | 2 -> Some Insn.W128 | 4 -> Some Insn.W256 | _ -> None
+
+(* --- instruction-selection helpers ------------------------------------ *)
+
+(* dst <- src1 op src2 on vectors, legal in both encoding modes: in SSE
+   mode a register move is inserted when dst <> src1 (Table 1 line 2). *)
+let sel_vop t op w ~dst ~src1 ~src2 =
+  if avx t || dst = src1 then emit t (Insn.Vop { op; w; dst; src1; src2 })
+  else if dst = src2 && (op = Insn.Fadd || op = Insn.Fmul) then
+    (* commutative: flip operands instead of moving *)
+    emit t (Insn.Vop { op; w; dst; src1 = src2; src2 = src1 })
+  else begin
+    emit t (Insn.Vop { op = Insn.Fmov; w; dst; src1; src2 = src1 });
+    emit t (Insn.Vop { op; w; dst; src1 = dst; src2 })
+  end
+
+(* acc <- acc + a * b: one FMA3/FMA4 instruction when the ISA has it,
+   otherwise Mul+Add through a scratch register (Tables 1 and 3). *)
+let sel_fmadd t w ~acc ~a ~b ~scratch =
+  match t.arch.Arch.fma with
+  | Arch.FMA3 -> emit t (Insn.Vop { op = Insn.Fma231; w; dst = acc; src1 = a; src2 = b })
+  | Arch.FMA4 -> emit t (Insn.Vfma4 { w; dst = acc; a; b; c = acc })
+  | Arch.No_fma ->
+      let s = scratch () in
+      sel_vop t Insn.Fmul w ~dst:s ~src1:a ~src2:b;
+      sel_vop t Insn.Fadd w ~dst:acc ~src1:acc ~src2:s
+
+(* zero a vector register *)
+let sel_zero t w ~dst =
+  emit t (Insn.Vop { op = Insn.Fxor; w; dst; src1 = dst; src2 = dst })
+
+(* --- lane extraction --------------------------------------------------- *)
+
+(* Copy lane [lane] of [src] into lane 0 of [dst] (dst may equal src
+   only when the operation is a pure in-place shuffle). *)
+let sel_extract_lane t ~dst ~src ~lane =
+  match lane with
+  | 0 ->
+      if dst <> src then
+        emit t (Insn.Vop { op = Insn.Fmov; w = Insn.W128; dst; src1 = src; src2 = src })
+  | 1 ->
+      (* unpckhpd dst, src, src: dst = (src[1], src[1]) *)
+      if avx t then
+        emit t (Insn.Vop { op = Insn.Funpckh; w = Insn.W128; dst; src1 = src; src2 = src })
+      else begin
+        emit t (Insn.Vop { op = Insn.Fmov; w = Insn.W128; dst; src1 = src; src2 = src });
+        emit t (Insn.Vop { op = Insn.Funpckh; w = Insn.W128; dst; src1 = dst; src2 = dst })
+      end
+  | 2 | 3 ->
+      emit t (Insn.Vextract128 { dst; src; lane = 1 });
+      if lane = 3 then
+        emit t (Insn.Vop { op = Insn.Funpckh; w = Insn.W128; dst; src1 = dst; src2 = dst })
+  | _ -> err "lane %d out of range" lane
+
+(* --- scratch stack slot ------------------------------------------------ *)
+
+let scratch_mem t : Insn.mem =
+  match t.scratch_slot with
+  | Some off -> Insn.mem ~disp:off Reg.Rbp
+  | None ->
+      (* carve 32 bytes below the gpr home area; finalized in prologue *)
+      let s = Gpralloc.state t.gprs "$scratch" in
+      let off = Gpralloc.home_slot t.gprs s in
+      (* widen to 32 bytes for a full ymm bounce *)
+      let s2 = Gpralloc.state t.gprs "$scratch2" in
+      let _ = Gpralloc.home_slot t.gprs s2 in
+      let s3 = Gpralloc.state t.gprs "$scratch3" in
+      let _ = Gpralloc.home_slot t.gprs s3 in
+      let s4 = Gpralloc.state t.gprs "$scratch4" in
+      let _ = Gpralloc.home_slot t.gprs s4 in
+      let off = off - 24 in
+      t.scratch_slot <- Some off;
+      Insn.mem ~disp:off Reg.Rbp
+
+(* Broadcast the scalar in lane 0 of [src] to all lanes of [dst] at
+   width [w].  AVX1 has no register-to-register broadcast, so W256 goes
+   through the scratch slot. *)
+let sel_splat t w ~dst ~src =
+  match w with
+  | Insn.W64 ->
+      if dst <> src then
+        emit t (Insn.Vop { op = Insn.Fmov; w = Insn.W128; dst; src1 = src; src2 = src })
+  | Insn.W128 ->
+      if avx t then
+        emit t (Insn.Vop { op = Insn.Funpckl; w = Insn.W128; dst; src1 = src; src2 = src })
+      else begin
+        if dst <> src then
+          emit t (Insn.Vop { op = Insn.Fmov; w = Insn.W128; dst; src1 = src; src2 = src });
+        emit t (Insn.Vop { op = Insn.Funpckl; w = Insn.W128; dst; src1 = dst; src2 = dst })
+      end
+  | Insn.W256 ->
+      let m = scratch_mem t in
+      emit t (Insn.Vstore { w = Insn.W64; src; dst = m });
+      emit t (Insn.Vbroadcast { w = Insn.W256; dst; src = m })

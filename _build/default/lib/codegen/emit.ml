@@ -1,0 +1,1268 @@
+(* The Assembly Kernel Generator and the Template Optimizer driver
+   (paper Figure 2 and section 2.4).  Takes a template-annotated kernel
+   and an architecture specification, and produces a complete x86-64
+   assembly implementation:
+
+     - template-tagged regions are handed to the specialized optimizers
+       (sections 3.1-3.6): SIMD vectorization by the Vdup / Shuf /
+       elementwise strategies, per-array register queues, FMA3/FMA4 or
+       Mul+Add instruction selection;
+     - the rest of the low-level C (loop control, pointer updates,
+       prefetches, leftover scalar code) is translated in a
+       straightforward fashion;
+     - the variable-to-register map (reg_table) is shared between
+       regions and plain code, keeping allocation decisions consistent.
+
+   Values live as follows: int scalars and pointers in general-purpose
+   registers (spillable to stack home slots), double scalars in SIMD
+   register lanes (never spilled), vector accumulators in SIMD
+   registers bound lane-per-scalar according to the [Plan]. *)
+
+module SS = Set.Make (String)
+
+open Augem_ir
+open Augem_machine
+open Augem_templates
+module T = Template
+module M = Matcher
+
+open Ctx
+
+type options = {
+  prefer : Plan.prefer;
+  max_width : Insn.vwidth option; (* cap vector width (None = machine) *)
+}
+
+let default_options = { prefer = Plan.Prefer_auto; max_width = None }
+
+type state = {
+  ctx : Ctx.t;
+  plan : Plan.t;
+  (* concrete accumulator registers per plan (keyed by first res var) *)
+  accs : (string, int array * bool array) Hashtbl.t;
+  mutable assigned_vars : SS.t; (* scalars ever assigned: not memoizable *)
+  mutable vec_width : Insn.vwidth; (* widest width used (for vzeroupper) *)
+  mutable used_256 : bool;
+}
+
+let machine_lanes (opts : options) (arch : Arch.t) =
+  let base = Arch.simd_lanes arch in
+  match opts.max_width with
+  | None -> base
+  | Some w -> min base (Insn.lanes w)
+
+(* ---------------------------------------------------------------------- *)
+(* integer expression evaluation                                           *)
+(* ---------------------------------------------------------------------- *)
+
+let pure_expr st e =
+  List.for_all (fun v -> not (SS.mem v st.assigned_vars)) (Ast.expr_vars e)
+
+(* Evaluate an integer expression into an owned temporary register.
+   Pure parameter expressions are memoized in synthetic variables. *)
+let rec eval_int st (e : Ast.expr) : Reg.gpr =
+  let ctx = st.ctx in
+  match Simplify.simplify_expr e with
+  | Ast.Int_lit n ->
+      let r = Gpralloc.alloc_temp ctx.gprs () in
+      emit ctx (Insn.Movri (r, n));
+      r
+  | Ast.Var v ->
+      let src = Gpralloc.get ctx.gprs v in
+      let r = Gpralloc.alloc_temp ctx.gprs ~avoid:[ src ] () in
+      emit ctx (Insn.Movrr (r, src));
+      r
+  | Ast.Binop (op, a, b) as expr -> (
+      (* reuse a hoisted loop invariant when one is in scope; never
+         create memo definitions here (only [prematerialize] may — its
+         definitions dominate their uses) *)
+      let memo_name = "$" ^ Pp.expr_to_string expr in
+      if
+        pure_expr st expr
+        && Ast.expr_size expr > 2
+        && Gpralloc.is_defined ctx.gprs memo_name
+      then begin
+        let src = Gpralloc.get ctx.gprs memo_name in
+        let r = Gpralloc.alloc_temp ctx.gprs ~avoid:[ src ] () in
+        emit ctx (Insn.Movrr (r, src));
+        r
+      end
+      else
+        let ra = eval_int st a in
+        match (op, Simplify.simplify_expr b) with
+        | Ast.Add, Ast.Int_lit n ->
+            emit ctx (Insn.Addri (ra, n));
+            ra
+        | Ast.Sub, Ast.Int_lit n ->
+            emit ctx (Insn.Subri (ra, n));
+            ra
+        | Ast.Mul, Ast.Int_lit n ->
+            emit ctx (Insn.Imulri (ra, ra, n));
+            ra
+        | _, b ->
+            let rb = eval_int st b in
+            (match op with
+            | Ast.Add -> emit ctx (Insn.Addrr (ra, rb))
+            | Ast.Sub -> emit ctx (Insn.Subrr (ra, rb))
+            | Ast.Mul -> emit ctx (Insn.Imulrr (ra, rb))
+            | Ast.Div -> err "integer division is not supported by codegen");
+            Gpralloc.free_temp ctx.gprs rb;
+            ra)
+  | Ast.Neg a ->
+      let ra = eval_int st a in
+      emit ctx (Insn.Negr ra);
+      ra
+  | Ast.Double_lit _ | Ast.Index _ ->
+      err "expected an integer expression"
+
+(* Memoize a pure parameter expression in a synthetic variable: it is
+   computed once, immediately stored to its home slot (so loop
+   spill/invalidate discipline never recomputes it), and reloaded like
+   any variable afterwards. *)
+and memoized st expr : Reg.gpr =
+  let ctx = st.ctx in
+  let name = "$" ^ Pp.expr_to_string expr in
+  if Gpralloc.is_defined ctx.gprs name then begin
+    let src = Gpralloc.get ctx.gprs name in
+    let r = Gpralloc.alloc_temp ctx.gprs ~avoid:[ src ] () in
+    emit ctx (Insn.Movrr (r, src));
+    r
+  end
+  else begin
+    let r =
+      match expr with
+      | Ast.Binop (op, a, b) ->
+          let ra = eval_int st a in
+          (match (op, Simplify.simplify_expr b) with
+          | Ast.Add, Ast.Int_lit n -> emit ctx (Insn.Addri (ra, n))
+          | Ast.Sub, Ast.Int_lit n -> emit ctx (Insn.Subri (ra, n))
+          | Ast.Mul, Ast.Int_lit n -> emit ctx (Insn.Imulri (ra, ra, n))
+          | _, b ->
+              let rb = eval_int st b in
+              (match op with
+              | Ast.Add -> emit ctx (Insn.Addrr (ra, rb))
+              | Ast.Sub -> emit ctx (Insn.Subrr (ra, rb))
+              | Ast.Mul -> emit ctx (Insn.Imulrr (ra, rb))
+              | Ast.Div -> err "integer division is not supported");
+              Gpralloc.free_temp ctx.gprs rb);
+          ra
+      | _ -> eval_int st expr
+    in
+    (* persist: give the synthetic var a home and store it clean *)
+    let s = Gpralloc.state ctx.gprs name in
+    let off = Gpralloc.home_slot ctx.gprs s in
+    emit ctx (Insn.Storeq (Insn.mem ~disp:off Reg.Rbp, r));
+    r
+  end
+
+(* ---------------------------------------------------------------------- *)
+(* addressing                                                              *)
+(* ---------------------------------------------------------------------- *)
+
+(* Build a memory operand for element [base[idx]] (8-byte doubles) and
+   pass it to [k]; index temporaries are freed afterwards. *)
+let with_addr st (base : string) (idx : Ast.expr) (k : Insn.mem -> unit) : unit
+    =
+  let ctx = st.ctx in
+  let rb = Gpralloc.get ctx.gprs base in
+  match Simplify.simplify_expr idx with
+  | Ast.Int_lit n -> k (Insn.mem ~disp:(8 * n) rb)
+  | e -> (
+      match Poly.of_expr e with
+      | Some p ->
+          let c = match Poly.Mmap.find_opt [] p with Some c -> c | None -> 0 in
+          let rest = Poly.sub p (Poly.const c) in
+          if Poly.is_zero rest then k (Insn.mem ~disp:(8 * c) rb)
+          else begin
+            let rest_expr = Poly.to_expr rest in
+            (* fast path: a live variable or memoized invariant can be
+               used as the index register directly *)
+            let direct =
+              match rest_expr with
+              | Ast.Var v when Gpralloc.is_defined ctx.gprs v -> Some v
+              | Ast.Binop _ ->
+                  let name = "$" ^ Pp.expr_to_string rest_expr in
+                  if Gpralloc.is_defined ctx.gprs name then Some name else None
+              | _ -> None
+            in
+            match direct with
+            | Some v ->
+                let ri = Gpralloc.get ctx.gprs v ~avoid:[ rb ] in
+                let rb = Gpralloc.get ctx.gprs base ~avoid:[ ri ] in
+                k (Insn.mem ~index:(ri, Insn.S8) ~disp:(8 * c) rb)
+            | None ->
+                let ri = eval_int st rest_expr in
+                let rb = Gpralloc.get ctx.gprs base ~avoid:[ ri ] in
+                k (Insn.mem ~index:(ri, Insn.S8) ~disp:(8 * c) rb);
+                Gpralloc.free_temp ctx.gprs ri
+          end
+      | None ->
+          let ri = eval_int st e in
+          let rb = Gpralloc.get ctx.gprs base ~avoid:[ ri ] in
+          k (Insn.mem ~index:(ri, Insn.S8) rb);
+          Gpralloc.free_temp ctx.gprs ri)
+
+(* ---------------------------------------------------------------------- *)
+(* scalar double expressions                                               *)
+(* ---------------------------------------------------------------------- *)
+
+let note_width st (w : Insn.vwidth) =
+  if w = Insn.W256 then st.used_256 <- true
+
+(* Read the scalar value of [v] into some register's lane 0.  Returns
+   (register, is_temporary). *)
+let read_scalar st (v : string) : int * bool =
+  let ctx = st.ctx in
+  match Regfile.residence ctx.vecs v with
+  | Some (Regfile.Lane (r, 0)) | Some (Regfile.Splat r) -> (r, false)
+  | Some (Regfile.Lane (r, lane)) ->
+      let t = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
+      sel_extract_lane ctx ~dst:t ~src:r ~lane;
+      (t, true)
+  | None -> err "read of floating-point variable %s before definition" v
+
+let free_if_temp st (r, is_temp) =
+  if is_temp then Regfile.free_temp st.ctx.vecs r
+
+(* Evaluate a double expression into a register lane 0 (owned temp
+   unless it is a direct variable reference). *)
+let rec eval_double st (e : Ast.expr) : int * bool =
+  let ctx = st.ctx in
+  match e with
+  | Ast.Var v -> read_scalar st v
+  | Ast.Double_lit 0. ->
+      let t = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
+      sel_zero ctx Insn.W128 ~dst:t;
+      (t, true)
+  | Ast.Double_lit f ->
+      let t = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
+      let g = Gpralloc.alloc_temp ctx.gprs () in
+      emit ctx (Insn.Movabs (g, Int64.bits_of_float f));
+      emit ctx (Insn.Movq_xr { dst = t; src = g });
+      Gpralloc.free_temp ctx.gprs g;
+      (t, true)
+  | Ast.Index (a, idx) ->
+      let t = Regfile.alloc_temp ctx.vecs ~cls:(Augem_analysis.Arrays.base_array_of a) in
+      with_addr st a idx (fun m ->
+          emit ctx (Insn.Vload { w = Insn.W64; dst = t; src = m }));
+      (t, true)
+  | Ast.Binop (op, a, b) ->
+      let ra = eval_double st a in
+      let rb = eval_double st b in
+      let t = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
+      let fop =
+        match op with
+        | Ast.Add -> Insn.Fadd
+        | Ast.Sub -> Insn.Fsub
+        | Ast.Mul -> Insn.Fmul
+        | Ast.Div -> Insn.Fdiv
+      in
+      sel_vop ctx fop Insn.W64 ~dst:t ~src1:(fst ra) ~src2:(fst rb);
+      free_if_temp st ra;
+      free_if_temp st rb;
+      (t, true)
+  | Ast.Neg a ->
+      let ra = eval_double st a in
+      let z = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
+      sel_zero ctx Insn.W128 ~dst:z;
+      sel_vop ctx Insn.Fsub Insn.W64 ~dst:z ~src1:z ~src2:(fst ra);
+      free_if_temp st ra;
+      (z, true)
+  | Ast.Int_lit _ -> err "integer literal in floating-point context"
+
+(* ---------------------------------------------------------------------- *)
+(* accumulator (plan) state                                                *)
+(* ---------------------------------------------------------------------- *)
+
+let plan_id (gp : Plan.group_plan) =
+  match gp.Plan.gp_slots with
+  | (v, _) :: _ -> v
+  | [] -> "?"
+
+let acc_arrays st (gp : Plan.group_plan) : (int array * bool array) option =
+  Hashtbl.find_opt st.accs (plan_id gp)
+
+(* Allocate the accumulator registers of a plan, binding every res
+   variable to its (register, lane); called at the zero-init idiom. *)
+let ensure_accs st (gp : Plan.group_plan) : int array * bool array =
+  match acc_arrays st gp with
+  | Some x -> x
+  | None ->
+      let n = gp.Plan.gp_accs in
+      let regs = Array.make n (-1) in
+      for i = 0 to n - 1 do
+        let vars =
+          gp.Plan.gp_slots
+          |> List.filter (fun (_, s) -> s.Plan.slot_acc = i)
+          |> List.sort (fun (_, a) (_, b) ->
+                 compare a.Plan.slot_lane b.Plan.slot_lane)
+          |> List.map fst
+        in
+        regs.(i) <-
+          Regfile.alloc_lanes st.ctx.vecs ~cls:gp.Plan.gp_store_class ~vars
+      done;
+      let zeroed = Array.make n false in
+      Hashtbl.replace st.accs (plan_id gp) (regs, zeroed);
+      (regs, zeroed)
+
+(* ---------------------------------------------------------------------- *)
+(* plain statement emission                                                *)
+(* ---------------------------------------------------------------------- *)
+
+let emit_double_assign_var st v (e : Ast.expr) =
+  let ctx = st.ctx in
+  match (Plan.find_plan st.plan v, e) with
+  | Some gp, Ast.Double_lit 0. ->
+      (* accumulator zero-init idiom: first lane zeroes the register *)
+      let regs, zeroed = ensure_accs st gp in
+      let slot = List.assoc v gp.Plan.gp_slots in
+      let i = slot.Plan.slot_acc in
+      if not (zeroed.(i)) then begin
+        note_width st gp.Plan.gp_width;
+        sel_zero ctx gp.Plan.gp_width ~dst:regs.(i);
+        zeroed.(i) <- true
+      end
+  | Some _, _ ->
+      err "unsupported scalar write to vector accumulator %s" v
+  | None, _ -> (
+      (* splat variables get broadcast at their defining load *)
+      let wants_splat = Plan.needs_splat st.plan v in
+      match (wants_splat, e) with
+      | true, Ast.Index (a, idx) ->
+          let w = full_width ctx in
+          note_width st w;
+          let r =
+            match Regfile.residence ctx.vecs v with
+            | Some (Regfile.Splat r) -> r
+            | Some (Regfile.Lane _) | None ->
+                Regfile.alloc_splat ctx.vecs ~var:v
+                  ~cls:(Augem_analysis.Arrays.base_array_of a)
+          in
+          with_addr st a idx (fun m ->
+              emit ctx (Insn.Vbroadcast { w; dst = r; src = m }))
+      | true, _ ->
+          (* splat variable defined by a computed expression (e.g. the
+             GER column scalar alpha*y[j]): evaluate scalar, then
+             replicate across lanes *)
+          let value = eval_double st e in
+          let w = full_width ctx in
+          note_width st w;
+          let dst =
+            match Regfile.residence ctx.vecs v with
+            | Some (Regfile.Splat r) -> r
+            | Some (Regfile.Lane _) | None ->
+                Regfile.alloc_splat ctx.vecs ~var:v ~cls:"tmp"
+          in
+          sel_splat ctx w ~dst ~src:(fst value);
+          free_if_temp st value
+      | false, _ ->
+          let value = eval_double st e in
+          let dst =
+            match Regfile.residence ctx.vecs v with
+            | Some (Regfile.Lane (r, 0)) -> r
+            | Some (Regfile.Splat _) | Some (Regfile.Lane _) ->
+                (* overwrite kills the old (splat/lane) residence *)
+                let r = Regfile.alloc_scalar ctx.vecs ~var:v in
+                Regfile.rebind ctx.vecs ~var:v ~res:(Regfile.Lane (r, 0));
+                r
+            | None ->
+                Regfile.set_class ctx.vecs ~var:v ~cls:"tmp";
+                Regfile.alloc_scalar ctx.vecs ~var:v
+          in
+          if fst value <> dst then
+            sel_vop ctx Insn.Fmov Insn.W64 ~dst ~src1:(fst value)
+              ~src2:(fst value);
+          free_if_temp st value)
+
+let emit_int_assign st v (e : Ast.expr) =
+  let ctx = st.ctx in
+  let e = Simplify.simplify_expr e in
+  if is_pointer ctx v then begin
+    (* pointer arithmetic is in elements: scale by 8 bytes *)
+    match e with
+    | Ast.Var b when is_pointer ctx b ->
+        let rb = Gpralloc.get ctx.gprs b in
+        let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb ] in
+        if rv <> rb then emit ctx (Insn.Movrr (rv, rb))
+    | Ast.Binop (Ast.Add, Ast.Var b, off) when is_pointer ctx b -> (
+        match Simplify.simplify_expr off with
+        | Ast.Int_lit n ->
+            let rb = Gpralloc.get ctx.gprs b in
+            if String.equal b v then emit ctx (Insn.Addri (rb, 8 * n))
+            else begin
+              let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb ] in
+              emit ctx (Insn.Lea (rv, Insn.mem ~disp:(8 * n) rb))
+            end;
+            ignore (Gpralloc.def ctx.gprs v)
+        | Ast.Var o when Gpralloc.is_defined ctx.gprs o ->
+            let ri = Gpralloc.get ctx.gprs o in
+            let rb = Gpralloc.get ctx.gprs b ~avoid:[ ri ] in
+            let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb; ri ] in
+            emit ctx (Insn.Lea (rv, Insn.mem ~index:(ri, Insn.S8) rb))
+        | off ->
+            let ri = eval_int st off in
+            let rb = Gpralloc.get ctx.gprs b ~avoid:[ ri ] in
+            let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb; ri ] in
+            emit ctx (Insn.Lea (rv, Insn.mem ~index:(ri, Insn.S8) rb));
+            Gpralloc.free_temp ctx.gprs ri)
+    | Ast.Binop (Ast.Sub, Ast.Var b, off) when is_pointer ctx b -> (
+        match Simplify.simplify_expr off with
+        | Ast.Int_lit n ->
+            let rb = Gpralloc.get ctx.gprs b in
+            if String.equal b v then emit ctx (Insn.Addri (rb, -8 * n))
+            else begin
+              let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb ] in
+              emit ctx (Insn.Lea (rv, Insn.mem ~disp:(-8 * n) rb))
+            end;
+            ignore (Gpralloc.def ctx.gprs v)
+        | off ->
+            let ri = eval_int st off in
+            emit ctx (Insn.Negr ri);
+            let rb = Gpralloc.get ctx.gprs b ~avoid:[ ri ] in
+            let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb; ri ] in
+            emit ctx (Insn.Lea (rv, Insn.mem ~index:(ri, Insn.S8) rb));
+            Gpralloc.free_temp ctx.gprs ri)
+    | _ -> err "unsupported pointer expression for %s" v
+  end
+  else
+    match e with
+    | Ast.Binop (Ast.Add, Ast.Var v', Ast.Int_lit n) when String.equal v v' ->
+        let r = Gpralloc.get ctx.gprs v in
+        let _ = Gpralloc.def ctx.gprs v in
+        emit ctx (Insn.Addri (r, n))
+    | Ast.Int_lit n ->
+        let r = Gpralloc.def ctx.gprs v in
+        emit ctx (Insn.Movri (r, n))
+    | _ ->
+        let rt = eval_int st e in
+        let rv = Gpralloc.def ctx.gprs v ~avoid:[ rt ] in
+        emit ctx (Insn.Movrr (rv, rt));
+        Gpralloc.free_temp ctx.gprs rt
+
+let emit_plain st (s : Ast.stmt) =
+  let ctx = st.ctx in
+  match s with
+  | Ast.Decl (ty, v, init) -> (
+      Hashtbl.replace ctx.types v ty;
+      match init with
+      | None -> ()
+      | Some e -> (
+          match ty with
+          | Ast.Double -> emit_double_assign_var st v e
+          | Ast.Int | Ast.Ptr _ -> emit_int_assign st v e))
+  | Ast.Assign (Ast.Lvar v, e) -> (
+      match type_of_var ctx v with
+      | Ast.Double -> emit_double_assign_var st v e
+      | Ast.Int | Ast.Ptr _ -> emit_int_assign st v e)
+  | Ast.Assign (Ast.Lindex (a, idx), e) ->
+      let value = eval_double st e in
+      with_addr st a idx (fun m ->
+          emit ctx (Insn.Vstore { w = Insn.W64; src = fst value; dst = m }));
+      free_if_temp st value
+  | Ast.Prefetch (hint, base, off) ->
+      let kind =
+        match hint with
+        | Ast.Prefetch_read -> Insn.Pf_t0
+        | Ast.Prefetch_write ->
+            if String.equal ctx.arch.Arch.vendor "AMD" then Insn.Pf_w
+            else Insn.Pf_t0
+      in
+      with_addr st base off (fun m -> emit ctx (Insn.Prefetch (kind, m)))
+  | Ast.Comment c -> emit ctx (Insn.Comment c)
+  | Ast.For _ | Ast.If _ | Ast.Tagged _ ->
+      err "control statement reached the plain emitter"
+
+(* ---------------------------------------------------------------------- *)
+(* template optimizers (paper sections 3.1-3.6)                            *)
+(* ---------------------------------------------------------------------- *)
+
+(* Scalar fall-back: translate the template's statements one by one,
+   releasing each unit template's dead temporaries before the next so a
+   long unrolled group does not exhaust the register file. *)
+let emit_region_scalar st (r : T.region) (live_out : SS.t) =
+  let release () =
+    Regfile.release_dead st.ctx.vecs ~live:(fun v -> SS.mem v live_out)
+  in
+  let unit_stmts =
+    match r with
+    | T.Mm_unrolled_comp l -> List.map T.mm_comp_stmts l
+    | T.Mm_unrolled_store l -> List.map T.mm_store_stmts l
+    | T.Mv_unrolled_comp l -> List.map T.mv_comp_stmts l
+    | T.Sv_unrolled_scal l -> List.map T.sv_scal_stmts l
+    | T.Sv_unrolled_copy l -> List.map T.sv_copy_stmts l
+  in
+  List.iter
+    (fun stmts ->
+      List.iter (emit_plain st) stmts;
+      release ())
+    unit_stmts
+
+(* The mmUnrolledCOMP optimizer (3.1, 3.4). *)
+let emit_mm_comp st (gp : Plan.group_plan) (group : T.mm_comp list) : bool =
+  let ctx = st.ctx in
+  match acc_arrays st gp with
+  | None -> false (* accumulators were never zero-initialized *)
+  | Some (acc_regs, _) -> (
+      let first = List.hd group in
+      let a_ptr = first.T.mc_a in
+      let a_cls = Augem_analysis.Arrays.base_array_of a_ptr in
+      let d0 =
+        match T.disp_of first.T.mc_idx1 with Some d -> d | None -> 0
+      in
+      (* rotating scratch pool: distinct registers for the Mul results
+         of consecutive template instances avoid false dependences
+         (the reason for the per-array queues in the first place) *)
+      let pool = ref [] in
+      let pos = ref 0 in
+      let scratch () =
+        if List.length !pool < 4 then (
+          match Regfile.alloc_temp ctx.vecs ~cls:"tmp" with
+          | t ->
+              pool := !pool @ [ t ];
+              t
+          | exception Regfile.Out_of_registers _ when !pool <> [] ->
+              pos := (!pos + 1) mod List.length !pool;
+              List.nth !pool !pos)
+        else begin
+          pos := (!pos + 1) mod List.length !pool;
+          List.nth !pool !pos
+        end
+      in
+      let free_pool () =
+        List.iter (Regfile.free_temp ctx.vecs) !pool;
+        pool := []
+      in
+      match gp.Plan.gp_strategy with
+      | Plan.S_scalar -> false
+      | Plan.S_vdup { w; n1 = _; chunks; bs } ->
+          note_width st w;
+          let lanes = Insn.lanes w in
+          (* load the contiguous A vectors once; reuse across B's *)
+          let va =
+            Array.init chunks (fun c ->
+                let r = Regfile.alloc_temp ctx.vecs ~cls:a_cls in
+                with_addr st a_ptr (Ast.Int_lit (d0 + (c * lanes))) (fun m ->
+                    emit ctx (Insn.Vload { w; dst = r; src = m }));
+                r)
+          in
+          List.iteri
+            (fun bi (b_ptr, b_disp) ->
+              let b_cls = Augem_analysis.Arrays.base_array_of b_ptr in
+              let vb = Regfile.alloc_temp ctx.vecs ~cls:b_cls in
+              with_addr st b_ptr (Ast.Int_lit b_disp) (fun m ->
+                  emit ctx (Insn.Vbroadcast { w; dst = vb; src = m }));
+              for c = 0 to chunks - 1 do
+                let acc = acc_regs.((bi * chunks) + c) in
+                sel_fmadd ctx w ~acc ~a:va.(c) ~b:vb ~scratch
+              done;
+              Regfile.free_temp ctx.vecs vb)
+            bs;
+          Array.iter (Regfile.free_temp ctx.vecs) va;
+          free_pool ();
+          true
+      | Plan.S_elem { w; chunks } ->
+          note_width st w;
+          let lanes = Insn.lanes w in
+          let b_ptr = first.T.mc_b in
+          let b_cls = Augem_analysis.Arrays.base_array_of b_ptr in
+          let d0b =
+            match T.disp_of first.T.mc_idx2 with Some d -> d | None -> 0
+          in
+          for c = 0 to chunks - 1 do
+            let va = Regfile.alloc_temp ctx.vecs ~cls:a_cls in
+            with_addr st a_ptr (Ast.Int_lit (d0 + (c * lanes))) (fun m ->
+                emit ctx (Insn.Vload { w; dst = va; src = m }));
+            let vb = Regfile.alloc_temp ctx.vecs ~cls:b_cls in
+            with_addr st b_ptr (Ast.Int_lit (d0b + (c * lanes))) (fun m ->
+                emit ctx (Insn.Vload { w; dst = vb; src = m }));
+            sel_fmadd ctx w ~acc:acc_regs.(c) ~a:va ~b:vb ~scratch;
+            Regfile.free_temp ctx.vecs va;
+            Regfile.free_temp ctx.vecs vb
+          done;
+          free_pool ();
+          true
+      | Plan.S_shuf { w; a_chunks; b_chunks } ->
+          note_width st w;
+          let lanes = Insn.lanes w in
+          let b_ptr = first.T.mc_b in
+          let b_cls = Augem_analysis.Arrays.base_array_of b_ptr in
+          let d0b =
+            match T.disp_of first.T.mc_idx2 with Some d -> d | None -> 0
+          in
+          let va =
+            Array.init a_chunks (fun c ->
+                let r = Regfile.alloc_temp ctx.vecs ~cls:a_cls in
+                with_addr st a_ptr (Ast.Int_lit (d0 + (c * lanes))) (fun m ->
+                    emit ctx (Insn.Vload { w; dst = r; src = m }));
+                r)
+          in
+          for bc = 0 to b_chunks - 1 do
+            let vb = Regfile.alloc_temp ctx.vecs ~cls:b_cls in
+            with_addr st b_ptr (Ast.Int_lit (d0b + (bc * lanes))) (fun m ->
+                emit ctx (Insn.Vload { w; dst = vb; src = m }));
+            let current = ref vb in
+            for k = 0 to lanes - 1 do
+              if k > 0 then begin
+                (* rotate the B vector by one lane: for W128 this is a
+                   single swap (shufpd $1) *)
+                let rot = Regfile.alloc_temp ctx.vecs ~cls:b_cls in
+                emit ctx
+                  (Insn.Vshuf { w; dst = rot; src1 = !current; src2 = !current;
+                                imm = 1 });
+                if !current <> vb then Regfile.free_temp ctx.vecs !current;
+                current := rot
+              end;
+              for ac = 0 to a_chunks - 1 do
+                let acc = acc_regs.((((ac * b_chunks) + bc) * lanes) + k) in
+                sel_fmadd ctx w ~acc ~a:va.(ac) ~b:!current ~scratch
+              done
+            done;
+            if !current <> vb then Regfile.free_temp ctx.vecs !current;
+            Regfile.free_temp ctx.vecs vb
+          done;
+          Array.iter (Regfile.free_temp ctx.vecs) va;
+          free_pool ();
+          true)
+
+(* The mmUnrolledSTORE optimizer (3.2, 3.5). *)
+let emit_mm_store st (group : T.mm_store list) (live_out : SS.t) : bool =
+  let ctx = st.ctx in
+  (* all res scalars must be dead after the region and resident in
+     vector lanes forming gatherable chunks *)
+  if List.exists (fun m -> SS.mem m.T.ms_res live_out) group then false
+  else
+    let residences =
+      List.map
+        (fun m ->
+          match Regfile.residence ctx.vecs m.T.ms_res with
+          | Some (Regfile.Lane (r, l)) -> Some (m, r, l)
+          | Some (Regfile.Splat _) | None -> None)
+        group
+    in
+    if List.exists Option.is_none residences then false
+    else
+      let residences = List.map Option.get residences in
+      let n = List.length residences in
+      let w_lanes =
+        (* width of the accumulators: infer from the plan of the first res *)
+        match Plan.find_plan st.plan (List.hd group).T.ms_res with
+        | Some gp -> Insn.lanes gp.Plan.gp_width
+        | None -> 1
+      in
+      if w_lanes < 2 || n mod w_lanes <> 0 then false
+      else begin
+        let w = Plan.Insn_width.of_lanes w_lanes in
+        note_width st w;
+        let c_ptr = (List.hd group).T.ms_c in
+        let c_cls = Augem_analysis.Arrays.base_array_of c_ptr in
+        let d0 =
+          match T.disp_of (List.hd group).T.ms_idx with Some d -> d | None -> 0
+        in
+        let chunk_ok = ref true in
+        let chunks = n / w_lanes in
+        (* validate gatherability first *)
+        let gathered = Array.make chunks None in
+        for c = 0 to chunks - 1 do
+          let sources =
+            List.filteri (fun i _ -> i / w_lanes = c) residences
+            |> List.map (fun (_, r, l) -> (r, l))
+          in
+          let identity =
+            List.mapi (fun i (r, l) -> (i, r, l)) sources
+            |> List.for_all (fun (i, r, l) ->
+                   l = i && r = (match sources with (r0, _) :: _ -> r0 | [] -> r))
+          in
+          if identity then gathered.(c) <- Some (`Direct (fst (List.hd sources)))
+          else if w_lanes = 2 then
+            match sources with
+            | [ (r0, l0); (r1, l1) ] ->
+                gathered.(c) <- Some (`Shuf (r0, l0, r1, l1))
+            | _ -> chunk_ok := false
+          else chunk_ok := false
+        done;
+        if not !chunk_ok then false
+        else begin
+          for c = 0 to chunks - 1 do
+            let src, src_temp =
+              match gathered.(c) with
+              | Some (`Direct r) -> (r, false)
+              | Some (`Shuf (r0, l0, r1, l1)) ->
+                  let t = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
+                  if avx ctx then
+                    emit ctx
+                      (Insn.Vshuf { w; dst = t; src1 = r0; src2 = r1;
+                                    imm = l0 lor (l1 lsl 1) })
+                  else begin
+                    emit ctx
+                      (Insn.Vop { op = Insn.Fmov; w; dst = t; src1 = r0;
+                                  src2 = r0 });
+                    emit ctx
+                      (Insn.Vshuf { w; dst = t; src1 = t; src2 = r1;
+                                    imm = l0 lor (l1 lsl 1) })
+                  end;
+                  (t, true)
+              | None -> assert false
+            in
+            let vc = Regfile.alloc_temp ctx.vecs ~cls:c_cls in
+            with_addr st c_ptr (Ast.Int_lit (d0 + (c * w_lanes))) (fun m ->
+                emit ctx (Insn.Vload { w; dst = vc; src = m }));
+            sel_vop ctx Insn.Fadd w ~dst:vc ~src1:vc ~src2:src;
+            with_addr st c_ptr (Ast.Int_lit (d0 + (c * w_lanes))) (fun m ->
+                emit ctx (Insn.Vstore { w; src = vc; dst = m }));
+            Regfile.free_temp ctx.vecs vc;
+            if src_temp then Regfile.free_temp ctx.vecs src
+          done;
+          true
+        end
+      end
+
+(* The mvUnrolledCOMP optimizer (3.3, 3.6). *)
+let emit_mv_comp st (group : T.mv_comp list) : bool =
+  let ctx = st.ctx in
+  let first = List.hd group in
+  let n = List.length group in
+  let disps_ok =
+    List.for_all
+      (fun m ->
+        Option.is_some (T.disp_of m.T.mv_idx1)
+        && Option.is_some (T.disp_of m.T.mv_idx2))
+      group
+  in
+  let lanes = min (Insn.lanes (full_width ctx)) 4 in
+  if (not disps_ok) || n < lanes then false
+  else begin
+    let w = full_width ctx in
+    note_width st w;
+    let chunks = n / lanes in
+    let leftover = n mod lanes in
+    let a_ptr = first.T.mv_a and b_ptr = first.T.mv_b in
+    let a_cls = Augem_analysis.Arrays.base_array_of a_ptr in
+    let b_cls = Augem_analysis.Arrays.base_array_of b_ptr in
+    let d0a = Option.get (T.disp_of first.T.mv_idx1) in
+    let d0b = Option.get (T.disp_of first.T.mv_idx2) in
+    (* the scalar multiplier must already be replicated: broadcast
+       happens at its defining load or, for parameters, at function
+       entry — never here, since this code may sit inside a loop *)
+    let scal = first.T.mv_scal in
+    match Regfile.residence ctx.vecs scal with
+    | Some (Regfile.Lane _) | None -> false
+    | Some (Regfile.Splat scal_reg) ->
+    for c = 0 to chunks - 1 do
+      let va = Regfile.alloc_temp ctx.vecs ~cls:a_cls in
+      with_addr st a_ptr (Ast.Int_lit (d0a + (c * lanes))) (fun m ->
+          emit ctx (Insn.Vload { w; dst = va; src = m }));
+      let vb = Regfile.alloc_temp ctx.vecs ~cls:b_cls in
+      with_addr st b_ptr (Ast.Int_lit (d0b + (c * lanes))) (fun m ->
+          emit ctx (Insn.Vload { w; dst = vb; src = m }));
+      let tmp = ref (-1) in
+      sel_fmadd ctx w ~acc:vb ~a:va ~b:scal_reg ~scratch:(fun () ->
+          let t = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
+          tmp := t;
+          t);
+      if !tmp >= 0 then Regfile.free_temp ctx.vecs !tmp;
+      with_addr st b_ptr (Ast.Int_lit (d0b + (c * lanes))) (fun m ->
+          emit ctx (Insn.Vstore { w; src = vb; dst = m }));
+      Regfile.free_temp ctx.vecs va;
+      Regfile.free_temp ctx.vecs vb
+    done;
+    (* leftover instances take the scalar path *)
+    if leftover > 0 then begin
+      let rest = List.filteri (fun i _ -> i >= chunks * lanes) group in
+      List.iter (fun m -> List.iter (emit_plain st) (T.mv_comp_stmts m)) rest
+    end;
+    true
+  end
+
+(* The svUnrolledSCAL optimizer (extension template): fold n in-place
+   scalings into Vld-Vmul-Vst over the replicated scalar. *)
+let emit_sv_scal st (group : T.sv_scal list) : bool =
+  let ctx = st.ctx in
+  let first = List.hd group in
+  let n = List.length group in
+  let disps_ok =
+    List.for_all (fun m -> Option.is_some (T.disp_of m.T.ss_idx)) group
+  in
+  let lanes = min (Insn.lanes (full_width ctx)) 4 in
+  if (not disps_ok) || n < lanes then false
+  else
+    match Regfile.residence ctx.vecs first.T.ss_scal with
+    | Some (Regfile.Lane _) | None -> false
+    | Some (Regfile.Splat scal_reg) ->
+        let w = full_width ctx in
+        note_width st w;
+        let chunks = n / lanes and leftover = n mod lanes in
+        let b_ptr = first.T.ss_b in
+        let b_cls = Augem_analysis.Arrays.base_array_of b_ptr in
+        let d0 = Option.get (T.disp_of first.T.ss_idx) in
+        for c = 0 to chunks - 1 do
+          let vb = Regfile.alloc_temp ctx.vecs ~cls:b_cls in
+          with_addr st b_ptr (Ast.Int_lit (d0 + (c * lanes))) (fun m ->
+              emit ctx (Insn.Vload { w; dst = vb; src = m }));
+          sel_vop ctx Insn.Fmul w ~dst:vb ~src1:vb ~src2:scal_reg;
+          with_addr st b_ptr (Ast.Int_lit (d0 + (c * lanes))) (fun m ->
+              emit ctx (Insn.Vstore { w; src = vb; dst = m }));
+          Regfile.free_temp ctx.vecs vb
+        done;
+        if leftover > 0 then begin
+          let rest = List.filteri (fun i _ -> i >= chunks * lanes) group in
+          List.iter
+            (fun m -> List.iter (emit_plain st) (T.sv_scal_stmts m))
+            rest
+        end;
+        true
+
+(* The svUnrolledCOPY optimizer (extension template): block moves. *)
+let emit_sv_copy st (group : T.sv_copy list) : bool =
+  let ctx = st.ctx in
+  let first = List.hd group in
+  let n = List.length group in
+  let disps_ok =
+    List.for_all
+      (fun m ->
+        Option.is_some (T.disp_of m.T.sc_idx1)
+        && Option.is_some (T.disp_of m.T.sc_idx2))
+      group
+  in
+  let lanes = min (Insn.lanes (full_width ctx)) 4 in
+  if (not disps_ok) || n < lanes then false
+  else begin
+    let w = full_width ctx in
+    note_width st w;
+    let chunks = n / lanes and leftover = n mod lanes in
+    let a_ptr = first.T.sc_a and b_ptr = first.T.sc_b in
+    let a_cls = Augem_analysis.Arrays.base_array_of a_ptr in
+    let d0a = Option.get (T.disp_of first.T.sc_idx1) in
+    let d0b = Option.get (T.disp_of first.T.sc_idx2) in
+    for c = 0 to chunks - 1 do
+      let va = Regfile.alloc_temp ctx.vecs ~cls:a_cls in
+      with_addr st a_ptr (Ast.Int_lit (d0a + (c * lanes))) (fun m ->
+          emit ctx (Insn.Vload { w; dst = va; src = m }));
+      with_addr st b_ptr (Ast.Int_lit (d0b + (c * lanes))) (fun m ->
+          emit ctx (Insn.Vstore { w; src = va; dst = m }));
+      Regfile.free_temp ctx.vecs va
+    done;
+    if leftover > 0 then begin
+      let rest = List.filteri (fun i _ -> i >= chunks * lanes) group in
+      List.iter (fun m -> List.iter (emit_plain st) (T.sv_copy_stmts m)) rest
+    end;
+    true
+  end
+
+let emit_region st (r : T.region) (live_out : SS.t) =
+  let ctx = st.ctx in
+  emit ctx (Insn.Comment (Printf.sprintf "<%s n=%d>" (T.region_name r)
+                            (T.region_size r)));
+  let vectorized =
+    match r with
+    | T.Mm_unrolled_comp group -> (
+        match Plan.find_plan st.plan (List.hd group).T.mc_res with
+        | Some gp
+          when gp.Plan.gp_strategy <> Plan.S_scalar
+               (* the plan must belong to THIS region: a different group
+                  may share an accumulator variable (round-robin
+                  expansion leftovers) but have a different shape *)
+               && gp.Plan.gp_region = group ->
+            emit_mm_comp st gp group
+        | Some _ | None -> false)
+    | T.Mm_unrolled_store group -> emit_mm_store st group live_out
+    | T.Mv_unrolled_comp group -> emit_mv_comp st group
+    | T.Sv_unrolled_scal group -> emit_sv_scal st group
+    | T.Sv_unrolled_copy group -> emit_sv_copy st group
+  in
+  if not vectorized then emit_region_scalar st r live_out;
+  (* release registers whose residents are dead after the region *)
+  Regfile.release_dead ctx.vecs ~live:(fun v -> SS.mem v live_out)
+
+(* ---------------------------------------------------------------------- *)
+(* control flow                                                            *)
+(* ---------------------------------------------------------------------- *)
+
+let cond_of_cmp = function
+  | Ast.Lt -> Insn.Clt
+  | Ast.Le -> Insn.Cle
+  | Ast.Gt -> Insn.Cgt
+  | Ast.Ge -> Insn.Cge
+  | Ast.Eq -> Insn.Ceq
+  | Ast.Ne -> Insn.Cne
+
+let negate = function
+  | Insn.Clt -> Insn.Cge
+  | Insn.Cle -> Insn.Cgt
+  | Insn.Cgt -> Insn.Cle
+  | Insn.Cge -> Insn.Clt
+  | Insn.Ceq -> Insn.Cne
+  | Insn.Cne -> Insn.Ceq
+
+(* integer/pointer variables referenced directly at this nesting level
+   (not inside nested loops), for pinning *)
+let hot_vars_of_astmts ctx (stmts : M.astmt list) : string list =
+  let of_stmt s =
+    match s with
+    | Ast.Assign (lv, e) ->
+        (match lv with Ast.Lindex (a, _) -> [ a ] | Ast.Lvar v -> [ v ])
+        @ Ast.expr_vars e
+    | Ast.Prefetch (_, b, off) -> b :: Ast.expr_vars off
+    | Ast.Decl (_, _, Some e) -> Ast.expr_vars e
+    | _ -> []
+  in
+  List.concat_map
+    (function
+      | M.A_plain (s, _) -> of_stmt s
+      | M.A_region (r, _) -> List.concat_map of_stmt (T.region_stmts r)
+      | M.A_for _ -> []
+      | M.A_if _ -> [])
+    stmts
+  |> List.filter (fun v ->
+         match Hashtbl.find_opt ctx.types v with
+         | Some (Ast.Int | Ast.Ptr _) -> true
+         | _ -> false)
+  |> List.sort_uniq String.compare
+
+let rec emit_astmts st (stmts : M.astmt list) =
+  List.iter (emit_astmt st) stmts
+
+and emit_astmt st = function
+  | M.A_plain (s, live_after) ->
+      emit_plain st s;
+      (* free vector registers of scalars that just died (e.g. the
+         partial accumulators after a reduction's final sums).
+         Plan-bound accumulators are exempt: their sibling lanes may
+         not have been initialized yet — the release after their store
+         region retires them. *)
+      Regfile.release_dead st.ctx.vecs ~live:(fun v ->
+          SS.mem v live_after || Plan.find_plan st.plan v <> None)
+  | M.A_region (r, live_out) -> emit_region st r live_out
+  | M.A_for (h, body) -> emit_for st h body
+  | M.A_if (a, c, b, t, f) -> emit_if st a c b t f
+
+(* Pre-materialize a pure compound integer expression outside a loop so
+   that in-body uses hit the memo table; returns its synthetic name.
+   [strip] removes the constant term first — addressing folds constants
+   into displacements, so prefetch offsets are looked up const-stripped,
+   while loop bounds are looked up whole. *)
+and prematerialize ?(strip = true) st (e : Ast.expr) : string option =
+  match Poly.of_expr (Simplify.simplify_expr e) with
+  | None -> None
+  | Some p ->
+      let rest =
+        if strip then begin
+          let c =
+            match Poly.Mmap.find_opt [] p with Some c -> c | None -> 0
+          in
+          Poly.to_expr (Poly.sub p (Poly.const c))
+        end
+        else Simplify.simplify_expr e
+      in
+      if
+        (match rest with Ast.Binop _ -> true | _ -> false)
+        && pure_expr st rest
+        && Ast.expr_size rest > 2
+      then
+        let name = "$" ^ Pp.expr_to_string rest in
+        if Gpralloc.is_defined st.ctx.gprs name then None
+          (* hoisted by an enclosing loop; that loop owns it *)
+        else begin
+          let r = memoized st rest in
+          Gpralloc.free_temp st.ctx.gprs r;
+          Some name
+        end
+      else None
+
+and emit_for st (h : Ast.loop_header) (body : M.astmt list) =
+  let ctx = st.ctx in
+  (* counter initialization *)
+  emit_int_assign st h.Ast.loop_var h.Ast.loop_init;
+  (* hoist loop-invariant prefetch offsets and the loop bound *)
+  let hoisted =
+    List.filter_map
+      (function
+        | M.A_plain (Ast.Prefetch (_, _, off), _) -> prematerialize st off
+        | _ -> None)
+      body
+    @ (match prematerialize ~strip:false st h.Ast.loop_bound with
+      | Some v -> [ v ]
+      | None -> [])
+  in
+  (* pin the loop counter and the hot scalars of this level: pointers
+     before plain ints, keeping at least 4 registers unpinned for
+     temporaries and spill traffic *)
+  let candidates =
+    (h.Ast.loop_var :: Ast.expr_vars h.Ast.loop_bound)
+    @ hot_vars_of_astmts ctx body
+  in
+  let seen = Hashtbl.create 8 in
+  let candidates =
+    List.filter
+      (fun v ->
+        if Hashtbl.mem seen v then false
+        else begin
+          Hashtbl.replace seen v ();
+          match Hashtbl.find_opt ctx.types v with
+          | Some (Ast.Int | Ast.Ptr _) -> true
+          | Some Ast.Double | None -> false
+        end)
+      candidates
+  in
+  let pointers, ints = List.partition (fun v -> is_pointer ctx v) candidates in
+  let ordered =
+    (h.Ast.loop_var :: pointers)
+    @ List.sort_uniq String.compare hoisted
+    @ List.filter (fun v -> not (String.equal v h.Ast.loop_var)) ints
+  in
+  let previously_pinned = SS.of_list (Gpralloc.pinned_vars ctx.gprs) in
+  (* the innermost loop is the hot one: it gets all remaining pinnable
+     registers, while outer loops only pin their counter and bound *)
+  let is_innermost =
+    not (List.exists (function M.A_for _ -> true | _ -> false) body)
+  in
+  let remaining = 14 - 4 - SS.cardinal previously_pinned in
+  let budget = ref (if is_innermost then remaining else min 1 remaining) in
+  let pinned =
+    List.filter
+      (fun v ->
+        if
+          !budget > 0
+          && (not (SS.mem v previously_pinned))
+          && Gpralloc.is_defined ctx.gprs v
+        then
+          match Gpralloc.get ctx.gprs v with
+          | _ ->
+              Gpralloc.pin ctx.gprs v;
+              decr budget;
+              true
+          | exception Gpralloc.Gpr_error _ -> false
+        else false)
+      ordered
+  in
+  let body_label = fresh_label ctx "body" in
+  let end_label = fresh_label ctx "end" in
+  (* head test: skip the loop when the trip count is zero *)
+  let test target cond =
+    (match Simplify.simplify_expr h.Ast.loop_bound with
+    | Ast.Int_lit n ->
+        let rc = Gpralloc.get ctx.gprs h.Ast.loop_var in
+        emit ctx (Insn.Cmpri (rc, n))
+    | Ast.Var v when Gpralloc.is_defined ctx.gprs v ->
+        let rb = Gpralloc.get ctx.gprs v in
+        let rc = Gpralloc.get ctx.gprs h.Ast.loop_var ~avoid:[ rb ] in
+        emit ctx (Insn.Cmprr (rc, rb))
+    | e -> (
+        (* memoized invariant bound *)
+        let name = "$" ^ Pp.expr_to_string (Simplify.simplify_expr e) in
+        if Gpralloc.is_defined ctx.gprs name then begin
+          let rb = Gpralloc.get ctx.gprs name in
+          let rc = Gpralloc.get ctx.gprs h.Ast.loop_var ~avoid:[ rb ] in
+          emit ctx (Insn.Cmprr (rc, rb))
+        end
+        else begin
+          let rb = eval_int st e in
+          let rc = Gpralloc.get ctx.gprs h.Ast.loop_var ~avoid:[ rb ] in
+          emit ctx (Insn.Cmprr (rc, rb));
+          Gpralloc.free_temp ctx.gprs rb
+        end));
+    emit ctx (Insn.Jcc (cond, target))
+  in
+  Gpralloc.spill_all ctx.gprs;
+  test end_label (negate (cond_of_cmp h.Ast.loop_cmp));
+  Gpralloc.spill_all ctx.gprs;
+  Gpralloc.invalidate_all ctx.gprs;
+  emit ctx (Insn.Label body_label);
+  emit_astmts st body;
+  (* counter increment *)
+  emit_int_assign st h.Ast.loop_var
+    (Ast.Binop (Ast.Add, Ast.Var h.Ast.loop_var, h.Ast.loop_step));
+  Gpralloc.spill_all ctx.gprs;
+  test body_label (cond_of_cmp h.Ast.loop_cmp);
+  emit ctx (Insn.Label end_label);
+  Gpralloc.spill_all ctx.gprs;
+  Gpralloc.invalidate_all ctx.gprs;
+  List.iter (Gpralloc.unpin ctx.gprs) pinned;
+  (* memoized invariants go out of scope with the loop that hoisted
+     them: their definition would not dominate later uses *)
+  List.iter (Gpralloc.forget ctx.gprs) hoisted
+
+and emit_if st a c b tb fb =
+  let ctx = st.ctx in
+  let else_label = fresh_label ctx "else" in
+  let end_label = fresh_label ctx "endif" in
+  let ra = eval_int st a in
+  let rb = eval_int st b in
+  emit ctx (Insn.Cmprr (ra, rb));
+  Gpralloc.free_temp ctx.gprs ra;
+  Gpralloc.free_temp ctx.gprs rb;
+  Gpralloc.spill_all ctx.gprs;
+  Gpralloc.invalidate_all ctx.gprs;
+  emit ctx (Insn.Jcc (negate (cond_of_cmp c), else_label));
+  emit_astmts st tb;
+  Gpralloc.spill_all ctx.gprs;
+  Gpralloc.invalidate_all ctx.gprs;
+  emit ctx (Insn.Jmp end_label);
+  emit ctx (Insn.Label else_label);
+  emit_astmts st fb;
+  Gpralloc.spill_all ctx.gprs;
+  Gpralloc.invalidate_all ctx.gprs;
+  emit ctx (Insn.Label end_label)
+
+(* ---------------------------------------------------------------------- *)
+(* driver                                                                  *)
+(* ---------------------------------------------------------------------- *)
+
+(* Scan declarations so variable types are known before emission. *)
+let rec record_types types = function
+  | [] -> ()
+  | M.A_plain (Ast.Decl (ty, v, _), _) :: rest ->
+      Hashtbl.replace types v ty;
+      record_types types rest
+  | M.A_for (_, body) :: rest ->
+      record_types types body;
+      record_types types rest
+  | M.A_if (_, _, _, t, f) :: rest ->
+      record_types types t;
+      record_types types f;
+      record_types types rest
+  | (M.A_plain _ | M.A_region _) :: rest -> record_types types rest
+
+let rec assigned_vars_of acc = function
+  | [] -> acc
+  | M.A_plain (Ast.Assign (Ast.Lvar v, _), _) :: rest ->
+      assigned_vars_of (SS.add v acc) rest
+  | M.A_plain (Ast.Decl (_, v, Some _), _) :: rest ->
+      assigned_vars_of (SS.add v acc) rest
+  | M.A_for (h, body) :: rest ->
+      assigned_vars_of (assigned_vars_of (SS.add h.Ast.loop_var acc) body) rest
+  | M.A_if (_, _, _, t, f) :: rest ->
+      assigned_vars_of (assigned_vars_of (assigned_vars_of acc t) f) rest
+  | M.A_region (r, _) :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc s ->
+            match s with
+            | Ast.Assign (Ast.Lvar v, _) -> SS.add v acc
+            | _ -> acc)
+          acc (T.region_stmts r)
+      in
+      assigned_vars_of acc rest
+  | M.A_plain _ :: rest -> assigned_vars_of acc rest
+
+(* Generate a complete assembly program from a template-annotated
+   kernel. *)
+let generate_annotated ~(arch : Arch.t) ?(opts = default_options)
+    (ak : M.akernel) : Insn.program =
+  let lanes = machine_lanes opts arch in
+  let plan = Plan.build ~machine_lanes:lanes ~prefer:opts.prefer ak in
+  let out = ref [] in
+  let gprs = Gpralloc.create ~emit:(fun i -> out := i :: !out) in
+  (* reserve the callee-save area (6 regs) below %rbp *)
+  let _ =
+    List.map
+      (fun r ->
+        let s = Gpralloc.state gprs ("$save_" ^ Reg.gpr_name r) in
+        Gpralloc.home_slot gprs s)
+      Reg.callee_saved
+  in
+  let array_classes =
+    List.filter_map
+      (fun p ->
+        match p.Ast.p_type with
+        | Ast.Ptr _ -> Some (Augem_analysis.Arrays.base_array_of p.Ast.p_name)
+        | _ -> None)
+      ak.M.ak_params
+    |> List.sort_uniq String.compare
+  in
+  let vecs = Regfile.create ~nregs:arch.Arch.vregs ~array_classes in
+  let types = Hashtbl.create 32 in
+  List.iter (fun p -> Hashtbl.replace types p.Ast.p_name p.Ast.p_type)
+    ak.M.ak_params;
+  record_types types ak.M.ak_body;
+  let ctx =
+    { Ctx.arch; out; vecs; gprs; types; label_count = 0; scratch_slot = None }
+  in
+  let st =
+    {
+      ctx;
+      plan;
+      accs = Hashtbl.create 8;
+      assigned_vars = assigned_vars_of SS.empty ak.M.ak_body;
+      vec_width = Insn.W64;
+      used_256 = false;
+    }
+  in
+  ignore st.vec_width;
+  (* parameter binding (System V AMD64) *)
+  let int_regs = ref Reg.argument_gprs in
+  let fp_regs = ref [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  let stack_disp = ref 16 in
+  List.iter
+    (fun p ->
+      match p.Ast.p_type with
+      | Ast.Int | Ast.Ptr _ -> (
+          match !int_regs with
+          | r :: rest ->
+              int_regs := rest;
+              Gpralloc.bind_incoming ctx.gprs ~var:p.Ast.p_name ~reg:r
+          | [] ->
+              Gpralloc.bind_stack_param ctx.gprs ~var:p.Ast.p_name
+                ~disp:!stack_disp;
+              stack_disp := !stack_disp + 8)
+      | Ast.Double -> (
+          match !fp_regs with
+          | r :: rest ->
+              fp_regs := rest;
+              Regfile.bind_incoming ctx.vecs ~var:p.Ast.p_name ~reg:r;
+              Regfile.set_class ctx.vecs ~var:p.Ast.p_name ~cls:"tmp"
+          | [] -> err "more than 8 floating-point parameters"))
+    ak.M.ak_params;
+  (* double parameters consumed by mv templates need their value
+     replicated across lanes once, before any loop *)
+  List.iter
+    (fun p ->
+      if p.Ast.p_type = Ast.Double && Plan.needs_splat plan p.Ast.p_name then
+        match Regfile.residence ctx.vecs p.Ast.p_name with
+        | Some (Regfile.Lane (r, 0)) ->
+            let w = full_width ctx in
+            if w = Insn.W256 then st.used_256 <- true;
+            let t = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
+            sel_splat ctx w ~dst:t ~src:r;
+            Regfile.rebind ctx.vecs ~var:p.Ast.p_name
+              ~res:(Regfile.Splat t);
+            Regfile.free_temp ctx.vecs t
+        | Some _ | None -> ())
+    ak.M.ak_params;
+  emit_astmts st ak.M.ak_body;
+  let body = List.rev !(ctx.out) in
+  (* prologue / epilogue *)
+  let frame = Gpralloc.frame_bytes ctx.gprs in
+  let frame = (frame + 15) / 16 * 16 in
+  let used_callee_saved =
+    let written = Hashtbl.create 8 in
+    List.iter
+      (fun i ->
+        List.iter
+          (function
+            | Reg.Gp g -> Hashtbl.replace written g ()
+            | Reg.Vr _ -> ())
+          (Insn.writes i))
+      body;
+    List.filter (fun r -> Hashtbl.mem written r) Reg.callee_saved
+    |> List.filter (fun r -> r <> Reg.Rbp)
+  in
+  let save_mem r =
+    let s = Gpralloc.state ctx.gprs ("$save_" ^ Reg.gpr_name r) in
+    Insn.mem ~disp:(Gpralloc.home_slot ctx.gprs s) Reg.Rbp
+  in
+  let prologue =
+    [ Insn.Push Reg.Rbp; Insn.Movrr (Reg.Rbp, Reg.Rsp);
+      Insn.Subri (Reg.Rsp, frame) ]
+    @ List.map (fun r -> Insn.Storeq (save_mem r, r)) used_callee_saved
+  in
+  let epilogue =
+    List.map (fun r -> Insn.Loadq (r, save_mem r)) used_callee_saved
+    @ (if st.used_256 then [ Insn.Comment "vzeroupper" ] else [])
+    @ [ Insn.Movrr (Reg.Rsp, Reg.Rbp); Insn.Pop Reg.Rbp; Insn.Ret ]
+  in
+  { Insn.prog_name = ak.M.ak_name; prog_insns = prologue @ body @ epilogue }
+
+(* Convenience: optimize + identify + generate from low-level C. *)
+let generate ~(arch : Arch.t) ?(opts = default_options) (k : Ast.kernel) :
+    Insn.program =
+  generate_annotated ~arch ~opts (M.identify k)

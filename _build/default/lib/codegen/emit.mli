@@ -1,0 +1,40 @@
+(** The Assembly Kernel Generator and the Template Optimizer driver
+    (paper Figure 2 and section 2.4).
+
+    Takes a template-annotated kernel and an architecture specification
+    and produces a complete x86-64 assembly function: template-tagged
+    regions go to the specialized optimizers (SIMD vectorization by the
+    Vdup / Shuf / elementwise strategies, per-array register queues,
+    FMA3/FMA4 or Mul+Add selection per the paper's Tables 1-4); the
+    rest of the low-level C — loop control, pointer updates, prefetches,
+    leftover scalar code — is translated straightforwardly; the shared
+    reg_table keeps allocation decisions consistent across both.
+
+    Values live as follows: integer scalars and pointers in
+    general-purpose registers (spillable to stack home slots), double
+    scalars in SIMD register lanes (never spilled), vector accumulators
+    in SIMD registers bound lane-per-scalar according to the
+    {!Plan}. *)
+
+type options = {
+  prefer : Plan.prefer;  (** vectorization strategy preference *)
+  max_width : Augem_machine.Insn.vwidth option;
+      (** cap the vector width ([None] = the machine's) *)
+}
+
+val default_options : options
+
+(** Configurations whose vector working set exceeds the register file
+    raise {!Regfile.Out_of_registers}; the tuner discards them. *)
+val generate_annotated :
+  arch:Augem_machine.Arch.t ->
+  ?opts:options ->
+  Augem_templates.Matcher.akernel ->
+  Augem_machine.Insn.program
+
+(** Identify templates, then generate. *)
+val generate :
+  arch:Augem_machine.Arch.t ->
+  ?opts:options ->
+  Augem_ir.Ast.kernel ->
+  Augem_machine.Insn.program

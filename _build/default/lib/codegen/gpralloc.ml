@@ -1,0 +1,252 @@
+(* General-purpose register allocation for integer scalars, loop
+   counters, pointers and the incoming parameters.  On-demand
+   allocation with spilling to stack home slots: when every register is
+   busy the least-recently-used unpinned variable is evicted (stored to
+   its home slot if dirty) and reloaded transparently on next use.
+   Loop counters and pointers of the innermost loops are pinned by the
+   emitter, so generated hot loops never spill in practice. *)
+
+open Augem_machine
+
+exception Gpr_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Gpr_error s)) fmt
+
+type binding = {
+  mutable bound : string option; (* variable currently in the register *)
+  mutable temp : bool; (* held as an anonymous temporary *)
+}
+
+type var_state = {
+  mutable home : int option; (* frame offset (negative, rbp-relative) *)
+  mutable in_reg : Reg.gpr option;
+  mutable dirty : bool; (* register value newer than home slot *)
+  mutable last_use : int;
+  mutable pinned : bool;
+}
+
+type t = {
+  emit : Insn.t -> unit;
+  regs : (Reg.gpr * binding) list;
+  vars : (string, var_state) Hashtbl.t;
+  mutable frame_bytes : int; (* home-slot area size *)
+  mutable tick : int;
+}
+
+let create ~emit =
+  {
+    emit;
+    regs = List.map (fun r -> (r, { bound = None; temp = false }))
+        (List.filter (fun r -> r <> Reg.Rsp && r <> Reg.Rbp) Reg.all_gprs);
+    vars = Hashtbl.create 32;
+    frame_bytes = 0;
+    tick = 0;
+  }
+
+let state t var =
+  match Hashtbl.find_opt t.vars var with
+  | Some s -> s
+  | None ->
+      let s =
+        { home = None; in_reg = None; dirty = false; last_use = 0;
+          pinned = false }
+      in
+      Hashtbl.replace t.vars var s;
+      s
+
+let touch t s =
+  t.tick <- t.tick + 1;
+  s.last_use <- t.tick
+
+let home_slot t s =
+  match s.home with
+  | Some off -> off
+  | None ->
+      t.frame_bytes <- t.frame_bytes + 8;
+      let off = -t.frame_bytes in
+      s.home <- Some off;
+      off
+
+let home_mem t s = Insn.mem ~disp:(home_slot t s) Reg.Rbp
+
+let binding_of t r = List.assoc r t.regs
+
+(* Evict whatever occupies [r]. *)
+let evict t r =
+  let b = binding_of t r in
+  (match b.bound with
+  | None -> ()
+  | Some var ->
+      let s = state t var in
+      if s.pinned then err "attempt to evict pinned variable %s" var;
+      if s.dirty then begin
+        t.emit (Insn.Storeq (home_mem t s, r));
+        s.dirty <- false
+      end;
+      s.in_reg <- None);
+  if b.temp then err "attempt to evict a live temporary register";
+  b.bound <- None;
+  b.temp <- false
+
+(* Choose a register to allocate: free first, then LRU unpinned. *)
+let pick_victim t ~avoid =
+  let candidates =
+    List.filter (fun (r, _) -> not (List.mem r avoid)) t.regs
+  in
+  let free =
+    List.find_opt (fun (_, b) -> b.bound = None && not b.temp) candidates
+  in
+  match free with
+  | Some (r, _) -> r
+  | None ->
+      let by_age =
+        List.filter_map
+          (fun (r, b) ->
+            match b.bound with
+            | Some v when not b.temp ->
+                let s = state t v in
+                if s.pinned then None else Some (s.last_use, r)
+            | _ -> None)
+          candidates
+      in
+      (match List.sort compare by_age with
+      | (_, r) :: _ -> r
+      | [] -> err "all general-purpose registers are pinned or temporary")
+
+(* Bind an incoming parameter that already sits in [r]. *)
+let bind_incoming t ~var ~reg =
+  let b = binding_of t reg in
+  b.bound <- Some var;
+  b.temp <- false;
+  let s = state t var in
+  s.in_reg <- Some reg;
+  s.dirty <- true;
+  touch t s
+
+(* Declare a parameter living on the caller's stack at [disp(%rbp)]. *)
+let bind_stack_param t ~var ~disp =
+  let s = state t var in
+  s.home <- Some disp;
+  s.dirty <- false;
+  s.in_reg <- None
+
+(* Ensure [var] is in a register, reloading from its home slot if
+   spilled.  Fails if the variable was never defined. *)
+let get t ?(avoid = []) var : Reg.gpr =
+  let s = state t var in
+  touch t s;
+  match s.in_reg with
+  | Some r -> r
+  | None -> (
+      match s.home with
+      | None -> err "use of integer variable %s before definition" var
+      | Some off ->
+          let r = pick_victim t ~avoid in
+          evict t r;
+          t.emit (Insn.Loadq (r, Insn.mem ~disp:off Reg.Rbp));
+          let b = binding_of t r in
+          b.bound <- Some var;
+          s.in_reg <- Some r;
+          s.dirty <- false;
+          r)
+
+(* A register for defining (overwriting) [var]; no reload. *)
+let def t ?(avoid = []) var : Reg.gpr =
+  let s = state t var in
+  touch t s;
+  let r =
+    match s.in_reg with
+    | Some r -> r
+    | None ->
+        let r = pick_victim t ~avoid in
+        evict t r;
+        let b = binding_of t r in
+        b.bound <- Some var;
+        s.in_reg <- Some r;
+        r
+  in
+  s.dirty <- true;
+  r
+
+let pin t var =
+  let s = state t var in
+  s.pinned <- true
+
+let unpin t var =
+  let s = state t var in
+  s.pinned <- false
+
+(* Anonymous temporary registers. *)
+let alloc_temp t ?(avoid = []) () : Reg.gpr =
+  let r = pick_victim t ~avoid in
+  evict t r;
+  let b = binding_of t r in
+  b.temp <- true;
+  r
+
+let free_temp t r =
+  let b = binding_of t r in
+  if not b.temp then err "free of a non-temporary register";
+  b.temp <- false;
+  b.bound <- None
+
+(* Spill every dirty unpinned variable back to memory (at control-flow
+   joins).  Pinned variables keep their register across the join — both
+   paths leave them in the same place — so they are never spilled or
+   invalidated while pinned. *)
+let spill_all t =
+  List.iter
+    (fun (r, b) ->
+      match b.bound with
+      | Some var ->
+          let s = state t var in
+          if s.dirty && not s.pinned then begin
+            t.emit (Insn.Storeq (home_mem t s, r));
+            s.dirty <- false
+          end
+      | None -> ())
+    t.regs
+
+(* Forget all unpinned register contents (after a label reached by a
+   jump). *)
+let invalidate_all t =
+  List.iter
+    (fun (_, b) ->
+      match b.bound with
+      | Some var ->
+          let s = state t var in
+          if not s.pinned then begin
+            if s.dirty then err "invalidate with dirty variable %s" var;
+            s.in_reg <- None;
+            b.bound <- None
+          end
+      | None -> ())
+    t.regs
+
+let frame_bytes t = t.frame_bytes
+
+(* Has [var] ever been given a value (register or home slot)?  Used to
+   memoize loop-invariant synthetic expressions. *)
+let is_defined t var =
+  match Hashtbl.find_opt t.vars var with
+  | Some s -> s.in_reg <> None || s.home <> None
+  | None -> false
+
+(* Variables currently pinned (for save/restore around loops). *)
+let pinned_vars t =
+  Hashtbl.fold (fun v s acc -> if s.pinned then v :: acc else acc) t.vars []
+
+
+(* Forget a variable entirely: its register binding and home slot are
+   dropped (the slot's stack space is not recycled).  Used to scope
+   memoized loop invariants to the loop they were hoisted for. *)
+let forget t var =
+  match Hashtbl.find_opt t.vars var with
+  | None -> ()
+  | Some s ->
+      (match s.in_reg with
+      | Some r ->
+          let b = binding_of t r in
+          b.bound <- None
+      | None -> ());
+      Hashtbl.remove t.vars var

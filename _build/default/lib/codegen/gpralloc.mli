@@ -1,0 +1,73 @@
+(** General-purpose register allocation for integer scalars, loop
+    counters, pointers and incoming parameters.
+
+    On-demand allocation with spilling to stack home slots: when every
+    register is busy, the least-recently-used unpinned variable is
+    evicted (stored to its home slot if dirty) and reloaded
+    transparently on next use.  The emitter pins the loop counter and
+    pointers of the innermost loop, so generated hot loops are
+    spill-free while arbitrarily large loop nests stay compilable. *)
+
+exception Gpr_error of string
+
+type t
+
+(** [create ~emit] routes spill/reload instructions through [emit]
+    (the shared output buffer). *)
+val create : emit:(Augem_machine.Insn.t -> unit) -> t
+
+(** Internal per-variable state; exposed so the emitter can assign home
+    slots to synthetic variables (memoized loop invariants). *)
+type var_state
+
+val state : t -> string -> var_state
+
+(** Frame offset of the variable's home slot (allocated on demand,
+    negative, rbp-relative). *)
+val home_slot : t -> var_state -> int
+
+(** Bind an incoming parameter already sitting in [reg]. *)
+val bind_incoming : t -> var:string -> reg:Augem_machine.Reg.gpr -> unit
+
+(** Declare a parameter living on the caller's stack at [disp(%rbp)]. *)
+val bind_stack_param : t -> var:string -> disp:int -> unit
+
+(** Ensure the variable is in a register (reloading if spilled);
+    [avoid] registers are not chosen as victims. *)
+val get :
+  t -> ?avoid:Augem_machine.Reg.gpr list -> string -> Augem_machine.Reg.gpr
+
+(** A register for overwriting the variable (no reload); marks dirty. *)
+val def :
+  t -> ?avoid:Augem_machine.Reg.gpr list -> string -> Augem_machine.Reg.gpr
+
+(** Pinned variables are never evicted, spilled or invalidated — they
+    keep their register across control-flow joins. *)
+val pin : t -> string -> unit
+
+val unpin : t -> string -> unit
+
+val alloc_temp :
+  t -> ?avoid:Augem_machine.Reg.gpr list -> unit -> Augem_machine.Reg.gpr
+
+val free_temp : t -> Augem_machine.Reg.gpr -> unit
+
+(** Store every dirty unpinned variable to its home slot (before a
+    control-flow join). *)
+val spill_all : t -> unit
+
+(** Forget all unpinned register contents (after a label reached by a
+    jump); fails on dirty variables — call {!spill_all} first. *)
+val invalidate_all : t -> unit
+
+(** Bytes of home-slot area used so far. *)
+val frame_bytes : t -> int
+
+(** Has the variable ever been given a value (register or home)? *)
+val is_defined : t -> string -> bool
+
+val pinned_vars : t -> string list
+
+(** Drop a variable entirely (used to scope memoized loop invariants
+    to the loop that hoisted them). *)
+val forget : t -> string -> unit

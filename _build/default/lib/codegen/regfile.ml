@@ -1,0 +1,155 @@
+(* SIMD register allocation following the paper (section 3.1):
+
+   - registers are partitioned into per-array queues, R/m registers per
+     base array, so values from different arrays never share a physical
+     register and no false dependences are introduced;
+   - the global [reg_table] remembers the variable-to-register
+     assignment across template regions (Figure 2);
+   - a register is released only when every scalar resident in it is no
+     longer live.
+
+   A scalar double lives in one lane of a register ([Lane]); a value
+   replicated across all lanes (an mv [scal]) is a [Splat].  When a
+   class queue is exhausted we borrow from the temporary queue and then
+   from any free register — a relaxation of the strict R/m split that
+   large register blockings require; configurations that still do not
+   fit raise [Out_of_registers] and are discarded by the tuner. *)
+
+exception Out_of_registers of string
+
+type residence =
+  | Lane of Augem_machine.Reg.vreg * int
+  | Splat of Augem_machine.Reg.vreg
+
+type t = {
+  nregs : int;
+  owners : (string list * bool) array; (* vars resident; reserved flag *)
+  table : (string, residence) Hashtbl.t; (* the paper's reg_table *)
+  queues : (string * int list) list; (* class -> preferred registers *)
+  class_of_var : (string, string) Hashtbl.t;
+}
+
+let classes (t : t) = List.map fst t.queues
+
+(* Partition [nregs] among the given classes, R/m each, leftovers to
+   the "tmp" class. *)
+let create ~nregs ~(array_classes : string list) : t =
+  let m = max 1 (List.length array_classes) in
+  let per = max 1 (nregs / (m + 1)) in
+  let next = ref 0 in
+  let take n =
+    let lo = !next in
+    let hi = min nregs (lo + n) in
+    next := hi;
+    List.init (hi - lo) (fun i -> lo + i)
+  in
+  let queues = List.map (fun c -> (c, take per)) array_classes in
+  let tmp = ("tmp", List.init (nregs - !next) (fun i -> !next + i)) in
+  {
+    nregs;
+    owners = Array.make nregs ([], false);
+    table = Hashtbl.create 32;
+    queues = queues @ [ tmp ];
+    class_of_var = Hashtbl.create 32;
+  }
+
+let is_free t r =
+  let owners, reserved = t.owners.(r) in
+  owners = [] && not reserved
+
+let queue_of t cls =
+  match List.assoc_opt cls t.queues with Some q -> q | None -> []
+
+(* Reserve a register for internal use (no named variable), e.g. a
+   vector temporary inside a template expansion. *)
+let alloc_temp t ~cls : int =
+  let candidates =
+    queue_of t cls @ queue_of t "tmp" @ List.init t.nregs (fun i -> i)
+  in
+  match List.find_opt (is_free t) candidates with
+  | Some r ->
+      t.owners.(r) <- ([], true);
+      r
+  | None ->
+      raise
+        (Out_of_registers
+           (Printf.sprintf "no free SIMD register for class %s" cls))
+
+let free_temp t r =
+  let owners, _ = t.owners.(r) in
+  t.owners.(r) <- (owners, false)
+
+(* Permanently pin a register that arrived holding a value (e.g. a
+   double parameter in xmm0) for variable [var]. *)
+let bind_incoming t ~var ~reg =
+  t.owners.(reg) <- ([ var ], false);
+  Hashtbl.replace t.table var (Lane (reg, 0))
+
+let residence t var = Hashtbl.find_opt t.table var
+
+let set_class t ~var ~cls = Hashtbl.replace t.class_of_var var cls
+
+let class_for t var =
+  match Hashtbl.find_opt t.class_of_var var with
+  | Some c -> c
+  | None -> "tmp"
+
+(* Allocate a fresh register and bind [vars] to its lanes (in lane
+   order).  Used for vector accumulators. *)
+let alloc_lanes t ~cls ~(vars : string list) : int =
+  let r = alloc_temp t ~cls in
+  t.owners.(r) <- (vars, false);
+  List.iteri (fun i v -> Hashtbl.replace t.table v (Lane (r, i))) vars;
+  r
+
+let alloc_scalar t ~var : int =
+  let cls = class_for t var in
+  let r = alloc_temp t ~cls in
+  t.owners.(r) <- ([ var ], false);
+  Hashtbl.replace t.table var (Lane (r, 0));
+  r
+
+let alloc_splat t ~var ~cls : int =
+  let r = alloc_temp t ~cls in
+  t.owners.(r) <- ([ var ], false);
+  Hashtbl.replace t.table var (Splat r);
+  r
+
+(* Rebind a variable that moved (e.g. extracted lane). *)
+let rebind t ~var ~(res : residence) =
+  (match Hashtbl.find_opt t.table var with
+  | Some (Lane (r, _)) | Some (Splat r) ->
+      let owners, reserved = t.owners.(r) in
+      let owners = List.filter (fun v -> not (String.equal v var)) owners in
+      t.owners.(r) <- (owners, reserved)
+  | None -> ());
+  let r = match res with Lane (r, _) | Splat r -> r in
+  let owners, reserved = t.owners.(r) in
+  if not (List.mem var owners) then t.owners.(r) <- (var :: owners, reserved);
+  Hashtbl.replace t.table var res
+
+(* Release registers whose residents are all dead. *)
+let release_dead t ~(live : string -> bool) =
+  Array.iteri
+    (fun r (owners, reserved) ->
+      if owners <> [] && not (List.exists live owners) then begin
+        List.iter (Hashtbl.remove t.table) owners;
+        t.owners.(r) <- ([], reserved)
+      end)
+    t.owners
+
+let free_count t =
+  let n = ref 0 in
+  Array.iteri (fun r _ -> if is_free t r then incr n) t.owners;
+  !n
+
+let dump t =
+  let b = Buffer.create 128 in
+  Array.iteri
+    (fun r (owners, reserved) ->
+      if owners <> [] || reserved then
+        Buffer.add_string b
+          (Printf.sprintf "v%d:%s%s " r (String.concat "," owners)
+             (if reserved then "*" else "")))
+    t.owners;
+  Buffer.contents b

@@ -1,0 +1,56 @@
+(** SIMD register allocation following the paper (section 3.1):
+    registers are partitioned into per-array queues (R/m per base
+    array) so values from different arrays never share a register and
+    no false dependences arise; the global reg_table remembers
+    variable-to-register assignments across template regions; a
+    register is released only when every scalar resident in it is
+    dead.
+
+    When a class queue is exhausted, allocation borrows from the
+    temporary queue and then any free register — large register
+    blockings need this relaxation.  Configurations that still do not
+    fit raise {!Out_of_registers} and are discarded by the tuner. *)
+
+exception Out_of_registers of string
+
+(** Where a scalar double lives: one lane of a register, or replicated
+    across all lanes (an mv/sv [scal]). *)
+type residence =
+  | Lane of Augem_machine.Reg.vreg * int
+  | Splat of Augem_machine.Reg.vreg
+
+type t
+
+val create : nregs:int -> array_classes:string list -> t
+val classes : t -> string list
+
+(** Reserve a register for internal use (a vector temporary inside a
+    template expansion); released with {!free_temp}. *)
+val alloc_temp : t -> cls:string -> Augem_machine.Reg.vreg
+
+val free_temp : t -> Augem_machine.Reg.vreg -> unit
+
+(** Pin a register that arrived holding a value (e.g. a double
+    parameter in xmm0). *)
+val bind_incoming : t -> var:string -> reg:Augem_machine.Reg.vreg -> unit
+
+val residence : t -> string -> residence option
+val set_class : t -> var:string -> cls:string -> unit
+val class_for : t -> string -> string
+
+(** Allocate a fresh register binding [vars] to its lanes in order
+    (vector accumulators). *)
+val alloc_lanes : t -> cls:string -> vars:string list -> Augem_machine.Reg.vreg
+
+val alloc_scalar : t -> var:string -> Augem_machine.Reg.vreg
+val alloc_splat : t -> var:string -> cls:string -> Augem_machine.Reg.vreg
+
+(** Move a variable to a new residence, transferring ownership. *)
+val rebind : t -> var:string -> res:residence -> unit
+
+(** Free every register whose residents are all dead according to
+    [live]. *)
+val release_dead : t -> live:(string -> bool) -> unit
+
+val free_count : t -> int
+val dump : t -> string

@@ -1,0 +1,50 @@
+(* Instruction scheduling (the "Instruction Selection/Scheduling" leg
+   of the Template Optimizer): a resource-constrained list scheduler
+   applied per basic block, using the dependence graph and the
+   architecture's latency/throughput tables.  The result is a
+   dependence-equivalent reordering that hides load and multiply
+   latencies, as a hand-tuned kernel would. *)
+
+open Augem_machine
+
+(* A basic block boundary: labels, branches, returns, stack ops. *)
+let is_boundary = function
+  | Insn.Label _ | Insn.Jmp _ | Insn.Jcc _ | Insn.Ret | Insn.Push _
+  | Insn.Pop _ ->
+      true
+  | _ -> false
+
+let split_blocks (insns : Insn.t list) :
+    [ `Block of Insn.t list | `Pin of Insn.t ] list =
+  let rec go acc cur = function
+    | [] ->
+        let acc = if cur = [] then acc else `Block (List.rev cur) :: acc in
+        List.rev acc
+    | i :: rest ->
+        if is_boundary i then
+          let acc = if cur = [] then acc else `Block (List.rev cur) :: acc in
+          go (`Pin i :: acc) [] rest
+        else go acc (i :: cur) rest
+  in
+  go [] [] insns
+
+(* List-schedule one straight-line block. *)
+let schedule_block (arch : Arch.t) (insns : Insn.t list) : Insn.t list =
+  let comments, insns =
+    List.partition (function Insn.Comment _ -> true | _ -> false) insns
+  in
+  if List.length insns <= 1 then comments @ insns
+  else
+    let order, _ = Depgraph.list_schedule arch insns in
+    let arr = Array.of_list insns in
+    comments @ List.map (fun id -> arr.(id)) order
+
+(* Schedule a whole program, block by block. *)
+let run (arch : Arch.t) (p : Insn.program) : Insn.program =
+  let insns =
+    split_blocks p.Insn.prog_insns
+    |> List.concat_map (function
+         | `Pin i -> [ i ]
+         | `Block b -> schedule_block arch b)
+  in
+  { p with Insn.prog_insns = insns }

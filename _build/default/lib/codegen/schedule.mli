@@ -1,0 +1,18 @@
+(** Instruction scheduling — the "Instruction Selection/Scheduling" leg
+    of the Template Optimizer: a resource-constrained list scheduler
+    applied per basic block, using the dependence graph and the
+    architecture's latency/throughput tables.  The result is a
+    dependence-equivalent reordering that hides load and multiply
+    latencies, as a hand-tuned kernel would. *)
+
+val schedule_block :
+  Augem_machine.Arch.t ->
+  Augem_machine.Insn.t list ->
+  Augem_machine.Insn.t list
+
+(** Schedule a whole program, block by block (labels, branches and
+    stack operations are boundaries). *)
+val run :
+  Augem_machine.Arch.t ->
+  Augem_machine.Insn.program ->
+  Augem_machine.Insn.program

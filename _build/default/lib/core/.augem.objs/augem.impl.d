@@ -1,0 +1,1 @@
+lib/core/augem.ml: Augem_analysis Augem_autotune Augem_baselines Augem_blas Augem_codegen Augem_ir Augem_machine Augem_sim Augem_templates Augem_transform Harness Option Report

@@ -1,0 +1,1 @@
+lib/core/harness.ml: Array Augem_blas Augem_ir Augem_machine Augem_sim Float Kernels Printf

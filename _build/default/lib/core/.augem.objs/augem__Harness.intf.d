@@ -1,0 +1,1 @@
+lib/core/harness.mli: Augem_ir Augem_machine Augem_sim

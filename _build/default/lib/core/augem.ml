@@ -1,0 +1,165 @@
+(* AUGEM — public API.
+
+   A reproduction of "AUGEM: Automatically Generate High Performance
+   Dense Linear Algebra Kernels on x86 CPUs" (Wang, Zhang, Zhang, Yi;
+   SC '13): a template-based framework that turns a simple C
+   implementation of a dense linear algebra kernel into a fully
+   optimized x86-64 assembly kernel, with no manual intervention.
+
+   The pipeline (paper Figure 1):
+
+     simple C --(Optimized C Kernel Generator)--> low-level C
+              --(Template Identifier)--> template-tagged C
+              --(Template Optimizer + Assembly Kernel Generator)--> asm
+
+   Entry points:
+   - [generate]: run the full pipeline under an explicit configuration.
+   - [tuned]: let the empirical tuner pick the configuration.
+   - [Harness.verify]: execute the generated assembly on the functional
+     simulator against the reference BLAS.
+   - [Sim.Perf.predict]: cycle-level performance estimate.
+
+   Sub-libraries re-exported for convenience: *)
+
+module Ir = struct
+  module Ast = Augem_ir.Ast
+  module Pp = Augem_ir.Pp
+  module Poly = Augem_ir.Poly
+  module Simplify = Augem_ir.Simplify
+  module Typecheck = Augem_ir.Typecheck
+  module Eval = Augem_ir.Eval
+  module Lexer = Augem_ir.Lexer
+  module Parser = Augem_ir.Parser
+  module Kernels = Augem_ir.Kernels
+end
+
+module Analysis = struct
+  module Liveness = Augem_analysis.Liveness
+  module Arrays = Augem_analysis.Arrays
+end
+
+module Transform = struct
+  module Unroll = Augem_transform.Unroll
+  module Strength_reduction = Augem_transform.Strength_reduction
+  module Scalar_repl = Augem_transform.Scalar_repl
+  module Prefetch = Augem_transform.Prefetch
+  module Pipeline = Augem_transform.Pipeline
+  module Script = Augem_transform.Script
+  module Names = Augem_transform.Names
+end
+
+module Templates = struct
+  module Template = Augem_templates.Template
+  module Matcher = Augem_templates.Matcher
+end
+
+module Machine = struct
+  module Reg = Augem_machine.Reg
+  module Insn = Augem_machine.Insn
+  module Arch = Augem_machine.Arch
+  module Att = Augem_machine.Att
+  module Depgraph = Augem_machine.Depgraph
+end
+
+module Codegen = struct
+  module Regfile = Augem_codegen.Regfile
+  module Gpralloc = Augem_codegen.Gpralloc
+  module Plan = Augem_codegen.Plan
+  module Emit = Augem_codegen.Emit
+  module Schedule = Augem_codegen.Schedule
+end
+
+module Sim = struct
+  module Exec_sim = Augem_sim.Exec_sim
+  module Cycle_sim = Augem_sim.Cycle_sim
+  module Cache_sim = Augem_sim.Cache_sim
+  module Mem_model = Augem_sim.Mem_model
+  module Perf = Augem_sim.Perf
+end
+
+module Blas = struct
+  module Matrix = Augem_blas.Matrix
+  module Level1 = Augem_blas.Level1
+  module Level2 = Augem_blas.Level2
+  module Level3 = Augem_blas.Level3
+end
+
+module Tuner = Augem_autotune.Tuner
+module Library = Augem_baselines.Library
+module Harness = Harness
+module Report = Report
+
+(* --- one-call pipeline -------------------------------------------------- *)
+
+type generated = {
+  g_kernel : Ir.Kernels.name;
+  g_arch : Machine.Arch.t;
+  g_config : Transform.Pipeline.config;
+  g_source : Ir.Ast.kernel; (* the simple C input *)
+  g_optimized : Ir.Ast.kernel; (* after the C kernel generator *)
+  g_tagged : Ir.Ast.kernel; (* with template annotations *)
+  g_program : Machine.Insn.program;
+}
+
+(* Run the full pipeline on one of the paper's kernels under an
+   explicit configuration. *)
+let generate ?(opts = Codegen.Emit.default_options) ~(arch : Machine.Arch.t)
+    ~(config : Transform.Pipeline.config) (name : Ir.Kernels.name) : generated
+    =
+  let source = Ir.Kernels.kernel_of_name name in
+  let optimized = Transform.Pipeline.apply source config in
+  let annotated = Templates.Matcher.identify optimized in
+  let program = Codegen.Emit.generate_annotated ~arch ~opts annotated in
+  let program = Codegen.Schedule.run arch program in
+  {
+    g_kernel = name;
+    g_arch = arch;
+    g_config = config;
+    g_source = source;
+    g_optimized = optimized;
+    g_tagged = Templates.Matcher.to_tagged_kernel annotated;
+    g_program = program;
+  }
+
+(* Run the pipeline under a transformation script (the mini-POET layer:
+   see [Transform.Script] for the directive language). *)
+let opts_of_script (s : Transform.Script.t) : Codegen.Emit.options =
+  {
+    Codegen.Emit.prefer =
+      (match s.Transform.Script.sc_prefer with
+      | `Auto -> Codegen.Plan.Prefer_auto
+      | `Vdup -> Codegen.Plan.Prefer_vdup
+      | `Shuf -> Codegen.Plan.Prefer_shuf);
+    max_width =
+      Option.map
+        (function
+          | 64 -> Machine.Insn.W64
+          | 128 -> Machine.Insn.W128
+          | _ -> Machine.Insn.W256)
+        s.Transform.Script.sc_width;
+  }
+
+let generate_scripted ~(arch : Machine.Arch.t) ~(script : Transform.Script.t)
+    (name : Ir.Kernels.name) : generated =
+  generate ~arch ~config:script.Transform.Script.sc_config
+    ~opts:(opts_of_script script) name
+
+(* Same, with the configuration chosen by the empirical tuner. *)
+let tuned ~(arch : Machine.Arch.t) (name : Ir.Kernels.name) : generated =
+  let r = Tuner.tuned arch name in
+  generate ~arch ~config:r.Tuner.best.Tuner.cand_config
+    ~opts:r.Tuner.best.Tuner.cand_opts name
+
+(* Verify a generated kernel end to end (simulator vs reference BLAS). *)
+let verify (g : generated) : Harness.outcome =
+  Harness.verify g.g_kernel g.g_program
+
+(* The assembly listing, as the Assembly Kernel Generator emits it. *)
+let assembly (g : generated) : string =
+  Machine.Att.program_to_string
+    ~avx:(g.g_arch.Machine.Arch.simd = Machine.Arch.AVX)
+    g.g_program
+
+(* Cycle-model MFLOPS estimate on a workload. *)
+let predict (g : generated) (w : Sim.Perf.workload) : Sim.Perf.estimate =
+  Sim.Perf.predict g.g_arch g.g_program w

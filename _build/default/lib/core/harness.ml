@@ -1,0 +1,196 @@
+(* Verification harness: runs a generated assembly kernel on the
+   functional simulator against the reference BLAS on randomized
+   inputs.  This is the end-to-end correctness gate for every kernel,
+   architecture and tuning configuration. *)
+
+open Augem_ir
+module Exec = Augem_sim.Exec_sim
+module L1 = Augem_blas.Level1
+module L2 = Augem_blas.Level2
+module L3 = Augem_blas.Level3
+module Mat = Augem_blas.Matrix
+module Insn = Augem_machine.Insn
+
+type shape = {
+  sh_m : int; (* rows / vector length *)
+  sh_n : int;
+  sh_k : int;
+  sh_ld_slack : int; (* extra leading-dimension padding *)
+}
+
+let default_shape = { sh_m = 8; sh_n = 6; sh_k = 16; sh_ld_slack = 2 }
+
+let fill seed n =
+  let state = ref (seed land 0x3FFFFFFF) in
+  Array.init n (fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      (float_of_int !state /. 1073741824.0 *. 2.0) -. 1.0)
+
+let close ?(tol = 1e-9) a b =
+  Float.abs (a -. b) <= tol *. (1.0 +. Float.abs a +. Float.abs b)
+
+let arrays_close ?tol a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> close ?tol x y) a b
+
+type outcome = {
+  ok : bool;
+  detail : string;
+  sim_result : Exec.result option;
+}
+
+let pass sim_result = { ok = true; detail = "ok"; sim_result }
+let fail detail = { ok = false; detail; sim_result = None }
+
+(* Run the program and catch simulator faults as failures. *)
+let run_sim prog args =
+  match Exec.call prog args with
+  | r -> Ok r
+  | exception Exec.Sim_error msg -> Error ("simulator fault: " ^ msg)
+
+(* --- per-kernel drivers ------------------------------------------------- *)
+
+let verify_gemm ?(packed = false) ?(seed = 1) ?(shape = default_shape)
+    (prog : Insn.program) : outcome =
+  let mc = shape.sh_m and kc = shape.sh_k and n = shape.sh_n in
+  let ldc = mc + shape.sh_ld_slack in
+  let pa = fill seed (mc * kc) in
+  let pb = fill (seed + 1) (kc * n) in
+  let c_ref = fill (seed + 2) (ldc * n) in
+  let c_sim = Array.copy c_ref in
+  (* reference through the independent BLAS micro-kernel *)
+  (if packed then
+     (* interleaved layout: B[l*n + j]; re-pack into stream layout for
+        the reference *)
+     let pb_stream = Array.make (kc * n) 0. in
+     for j = 0 to n - 1 do
+       for l = 0 to kc - 1 do
+         pb_stream.((j * kc) + l) <- pb.((l * n) + j)
+       done
+     done;
+     L3.micro_kernel_ref ~mc ~kc ~nc:n ~pa ~pb:pb_stream ~c_data:c_ref
+       ~c_off:0 ~ldc
+   else
+     L3.micro_kernel_ref ~mc ~kc ~nc:n ~pa ~pb ~c_data:c_ref ~c_off:0 ~ldc);
+  match
+    run_sim prog
+      Exec.[ Aint mc; Aint kc; Aint n; Aint ldc; Abuf pa; Abuf pb; Abuf c_sim ]
+  with
+  | Error e -> fail e
+  | Ok r ->
+      if arrays_close c_ref c_sim then pass (Some r)
+      else fail "gemm: output mismatch"
+
+let verify_gemv ?(seed = 2) ?(shape = default_shape) (prog : Insn.program) :
+    outcome =
+  let m = shape.sh_m + 5 and n = shape.sh_n in
+  let lda = m + shape.sh_ld_slack in
+  let a = fill seed (lda * n) in
+  let x = fill (seed + 1) n in
+  let y_ref = fill (seed + 2) m in
+  let y_sim = Array.copy y_ref in
+  let mat = Mat.{ data = a; rows = m; cols = n; ld = lda } in
+  L2.dgemv ~alpha:1.0 ~beta:1.0 mat x y_ref;
+  match
+    run_sim prog
+      Exec.[ Aint m; Aint n; Aint lda; Abuf a; Abuf x; Abuf y_sim ]
+  with
+  | Error e -> fail e
+  | Ok r ->
+      if arrays_close y_ref y_sim then pass (Some r)
+      else fail "gemv: output mismatch"
+
+let verify_axpy ?(seed = 3) ?(n = 37) ?(alpha = 1.7) (prog : Insn.program) :
+    outcome =
+  let x = fill seed n in
+  let y_ref = fill (seed + 1) n in
+  let y_sim = Array.copy y_ref in
+  L1.daxpy n alpha x y_ref;
+  match run_sim prog Exec.[ Aint n; Adouble alpha; Abuf x; Abuf y_sim ] with
+  | Error e -> fail e
+  | Ok r ->
+      if arrays_close y_ref y_sim then pass (Some r)
+      else fail "axpy: output mismatch"
+
+let verify_dot ?(seed = 4) ?(n = 37) (prog : Insn.program) : outcome =
+  let x = fill seed n in
+  let y = fill (seed + 1) n in
+  let expect = 0.5 +. L1.ddot n x y in
+  let out = [| 0.5 |] in
+  match run_sim prog Exec.[ Aint n; Abuf x; Abuf y; Abuf out ] with
+  | Error e -> fail e
+  | Ok r ->
+      if close expect out.(0) then pass (Some r)
+      else
+        fail
+          (Printf.sprintf "dot: expected %.12g, got %.12g" expect out.(0))
+
+let verify_ger ?(seed = 5) ?(shape = default_shape) (prog : Insn.program) :
+    outcome =
+  let m = shape.sh_m + 3 and n = shape.sh_n in
+  let lda = m + shape.sh_ld_slack in
+  let alpha = 1.25 in
+  let a_ref = fill seed (lda * n) in
+  let a_sim = Array.copy a_ref in
+  let x = fill (seed + 1) m in
+  let y = fill (seed + 2) n in
+  let mat = Mat.{ data = a_ref; rows = m; cols = n; ld = lda } in
+  L2.dger ~alpha mat x y;
+  match
+    run_sim prog
+      Exec.[ Aint m; Aint n; Aint lda; Adouble alpha; Abuf x; Abuf y;
+             Abuf a_sim ]
+  with
+  | Error e -> fail e
+  | Ok r ->
+      if arrays_close a_ref a_sim then pass (Some r)
+      else fail "ger: output mismatch"
+
+let verify_scal ?(seed = 6) ?(n = 37) ?(alpha = 0.75) (prog : Insn.program) :
+    outcome =
+  let x_ref = fill seed n in
+  let x_sim = Array.copy x_ref in
+  L1.dscal n alpha x_ref;
+  match run_sim prog Exec.[ Aint n; Adouble alpha; Abuf x_sim ] with
+  | Error e -> fail e
+  | Ok r ->
+      if arrays_close x_ref x_sim then pass (Some r)
+      else fail "scal: output mismatch"
+
+let verify_copy ?(seed = 7) ?(n = 37) (prog : Insn.program) : outcome =
+  let x = fill seed n in
+  let y = fill (seed + 1) (n + 2) in
+  match run_sim prog Exec.[ Aint n; Abuf x; Abuf y ] with
+  | Error e -> fail e
+  | Ok r ->
+      let copied = Array.for_all2 close x (Array.sub y 0 n) in
+      if copied then pass (Some r) else fail "copy: output mismatch"
+
+(* Verify a program implementing [kernel] (the simple-C kernels of the
+   paper) on a few shapes, including non-divisible remainder cases. *)
+let verify (kernel : Kernels.name) (prog : Insn.program) : outcome =
+  let shapes =
+    [
+      default_shape;
+      { sh_m = 16; sh_n = 8; sh_k = 32; sh_ld_slack = 0 };
+      { sh_m = 13; sh_n = 5; sh_k = 9; sh_ld_slack = 3 }; (* remainders *)
+    ]
+  in
+  let rec go seed = function
+    | [] -> { ok = true; detail = "ok"; sim_result = None }
+    | shape :: rest -> (
+        let outcome =
+          match kernel with
+          | Kernels.Gemm -> verify_gemm ~seed ~shape prog
+          | Kernels.Gemv -> verify_gemv ~seed ~shape prog
+          | Kernels.Axpy -> verify_axpy ~seed ~n:(shape.sh_m * 3 + 1) prog
+          | Kernels.Dot -> verify_dot ~seed ~n:(shape.sh_m * 3 + 2) prog
+          | Kernels.Ger -> verify_ger ~seed ~shape prog
+          | Kernels.Scal -> verify_scal ~seed ~n:((shape.sh_m * 3) + 1) prog
+          | Kernels.Copy -> verify_copy ~seed ~n:((shape.sh_m * 3) + 2) prog
+        in
+        match outcome.ok with
+        | true -> go (seed + 17) rest
+        | false -> outcome)
+  in
+  go 11 shapes

@@ -1,0 +1,48 @@
+(** Verification harness: runs generated assembly kernels on the
+    functional simulator against the reference BLAS on randomized
+    inputs — the end-to-end correctness gate for every kernel,
+    architecture and tuning configuration. *)
+
+(** Problem shape for the matrix kernels. *)
+type shape = {
+  sh_m : int;
+  sh_n : int;
+  sh_k : int;
+  sh_ld_slack : int;  (** extra leading-dimension padding *)
+}
+
+val default_shape : shape
+
+type outcome = {
+  ok : bool;
+  detail : string;  (** "ok" or a failure description *)
+  sim_result : Augem_sim.Exec_sim.result option;
+}
+
+val verify_gemm :
+  ?packed:bool ->
+  ?seed:int ->
+  ?shape:shape ->
+  Augem_machine.Insn.program ->
+  outcome
+
+val verify_gemv :
+  ?seed:int -> ?shape:shape -> Augem_machine.Insn.program -> outcome
+
+val verify_axpy :
+  ?seed:int -> ?n:int -> ?alpha:float -> Augem_machine.Insn.program -> outcome
+
+val verify_dot : ?seed:int -> ?n:int -> Augem_machine.Insn.program -> outcome
+
+val verify_ger :
+  ?seed:int -> ?shape:shape -> Augem_machine.Insn.program -> outcome
+
+val verify_scal :
+  ?seed:int -> ?n:int -> ?alpha:float -> Augem_machine.Insn.program -> outcome
+
+val verify_copy : ?seed:int -> ?n:int -> Augem_machine.Insn.program -> outcome
+
+(** Verify a program implementing the named kernel over several shapes,
+    including ones that exercise every remainder loop. *)
+val verify :
+  Augem_ir.Kernels.name -> Augem_machine.Insn.program -> outcome

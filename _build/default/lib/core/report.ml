@@ -1,0 +1,80 @@
+(* Table and data-series formatting for the benchmark harness: prints
+   the same rows and series the paper's figures and tables report. *)
+
+type series = {
+  s_label : string;
+  s_points : (int * float) list; (* size, MFLOPS *)
+}
+
+let pp_series_table fmt ~(title : string) ~(x_label : string)
+    (series : series list) =
+  Fmt.pf fmt "== %s ==@\n" title;
+  Fmt.pf fmt "%-10s" x_label;
+  List.iter (fun s -> Fmt.pf fmt " %14s" s.s_label) series;
+  Fmt.pf fmt "@\n";
+  let xs =
+    match series with [] -> [] | s :: _ -> List.map fst s.s_points
+  in
+  List.iter
+    (fun x ->
+      Fmt.pf fmt "%-10d" x;
+      List.iter
+        (fun s ->
+          match List.assoc_opt x s.s_points with
+          | Some y -> Fmt.pf fmt " %14.1f" y
+          | None -> Fmt.pf fmt " %14s" "-")
+        series;
+      Fmt.pf fmt "@\n")
+    xs
+
+let mean xs =
+  match xs with
+  | [] -> 0.
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let series_mean s = mean (List.map snd s.s_points)
+
+(* "AUGEM outperforms X by p%" rows, as the paper summarizes figures. *)
+let pp_speedups fmt ~(baseline : string) (series : series list) =
+  match List.find_opt (fun s -> String.equal s.s_label baseline) series with
+  | None -> ()
+  | Some base ->
+      let b = series_mean base in
+      List.iter
+        (fun s ->
+          if not (String.equal s.s_label baseline) then
+            let m = series_mean s in
+            if m > 0. then
+              Fmt.pf fmt "  %s vs %s: %+.1f%%@\n" baseline s.s_label
+                ((b /. m -. 1.) *. 100.))
+        series
+
+(* Plain named-rows table (Table 5, Table 6). *)
+let pp_table fmt ~(title : string) ~(header : string list)
+    (rows : (string * string list) list) =
+  Fmt.pf fmt "== %s ==@\n" title;
+  Fmt.pf fmt "%-22s" "";
+  List.iter (fun h -> Fmt.pf fmt " %16s" h) header;
+  Fmt.pf fmt "@\n";
+  List.iter
+    (fun (label, cells) ->
+      Fmt.pf fmt "%-22s" label;
+      List.iter (fun c -> Fmt.pf fmt " %16s" c) cells;
+      Fmt.pf fmt "@\n")
+    rows
+
+(* Horizontal mean-value bars: a terminal rendition of a figure's
+   message (series means relative to the best). *)
+let pp_bars fmt (series : series list) =
+  let width = 46 in
+  let best =
+    List.fold_left (fun acc s -> Float.max acc (series_mean s)) 1e-9 series
+  in
+  List.iter
+    (fun s ->
+      let m = series_mean s in
+      let n = int_of_float (Float.round (m /. best *. float_of_int width)) in
+      let n = max 0 (min width n) in
+      Fmt.pf fmt "  %-16s %9.1f |%s%s|@\n" s.s_label m (String.make n '#')
+        (String.make (width - n) ' '))
+    series

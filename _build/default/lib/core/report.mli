@@ -1,0 +1,27 @@
+(** Table and data-series formatting for the benchmark harness: the
+    same rows and series the paper's figures and tables report. *)
+
+type series = {
+  s_label : string;
+  s_points : (int * float) list;  (** (size, MFLOPS) *)
+}
+
+val pp_series_table :
+  Format.formatter -> title:string -> x_label:string -> series list -> unit
+
+val mean : float list -> float
+val series_mean : series -> float
+
+(** "AUGEM outperforms X by p%" rows, as the paper's prose quotes. *)
+val pp_speedups : Format.formatter -> baseline:string -> series list -> unit
+
+(** Plain named-row table (Tables 5 and 6). *)
+val pp_table :
+  Format.formatter ->
+  title:string ->
+  header:string list ->
+  (string * string list) list ->
+  unit
+
+(** Horizontal mean-value bars: a terminal rendition of a figure. *)
+val pp_bars : Format.formatter -> series list -> unit

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Ast Fmt Lexer List Printf String Typecheck

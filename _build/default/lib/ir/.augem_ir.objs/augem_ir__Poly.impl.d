@@ -1,0 +1,1 @@
+lib/ir/poly.ml: Ast Fmt Int List Map Option Pp String

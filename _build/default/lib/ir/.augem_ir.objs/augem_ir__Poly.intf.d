@@ -1,0 +1,1 @@
+lib/ir/poly.mli: Ast Format Map

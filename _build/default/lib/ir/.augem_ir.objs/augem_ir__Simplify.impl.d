@@ -1,0 +1,1 @@
+lib/ir/simplify.ml: Ast List Option Poly

@@ -1,0 +1,197 @@
+(* Reference interpreter for the IR.  This is the semantic oracle: the
+   output of every transformation pass and of the whole assembly
+   pipeline is checked against it.  It also counts memory and floating
+   point operations, which the performance model's tests cross-check
+   against analytic operation counts. *)
+
+open Ast
+
+exception Eval_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Eval_error s)) fmt
+
+type value =
+  | Vint of int
+  | Vdouble of float
+  | Vptr of float array * int (* buffer, element offset *)
+
+type stats = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable flops : int;
+  mutable prefetches : int;
+}
+
+let new_stats () = { loads = 0; stores = 0; flops = 0; prefetches = 0 }
+
+type state = {
+  env : (string, value) Hashtbl.t;
+  stats : stats;
+}
+
+let lookup st v =
+  match Hashtbl.find_opt st.env v with
+  | Some x -> x
+  | None -> err "unbound variable %s" v
+
+let as_int = function
+  | Vint n -> n
+  | Vdouble _ -> err "expected int, got double"
+  | Vptr _ -> err "expected int, got pointer"
+
+let as_double = function
+  | Vdouble f -> f
+  | Vint _ -> err "expected double, got int"
+  | Vptr _ -> err "expected double, got pointer"
+
+let as_ptr = function
+  | Vptr (b, o) -> (b, o)
+  | Vint _ -> err "expected pointer, got int"
+  | Vdouble _ -> err "expected pointer, got double"
+
+let rec eval_expr st (e : expr) : value =
+  match e with
+  | Int_lit n -> Vint n
+  | Double_lit f -> Vdouble f
+  | Var v -> lookup st v
+  | Index (a, i) ->
+      let buf, off = as_ptr (lookup st a) in
+      let idx = off + as_int (eval_expr st i) in
+      if idx < 0 || idx >= Array.length buf then
+        err "load %s[%d] out of bounds (length %d)" a idx (Array.length buf);
+      st.stats.loads <- st.stats.loads + 1;
+      Vdouble buf.(idx)
+  | Neg e -> (
+      match eval_expr st e with
+      | Vint n -> Vint (-n)
+      | Vdouble f -> Vdouble (-.f)
+      | Vptr _ -> err "negated pointer")
+  | Binop (op, a, b) -> (
+      let va = eval_expr st a and vb = eval_expr st b in
+      match (va, vb) with
+      | Vint x, Vint y -> (
+          match op with
+          | Add -> Vint (x + y)
+          | Sub -> Vint (x - y)
+          | Mul -> Vint (x * y)
+          | Div ->
+              if y = 0 then err "integer division by zero" else Vint (x / y))
+      | Vdouble x, Vdouble y ->
+          st.stats.flops <- st.stats.flops + 1;
+          Vdouble
+            (match op with
+            | Add -> x +. y
+            | Sub -> x -. y
+            | Mul -> x *. y
+            | Div -> x /. y)
+      | Vptr (buf, o), Vint n -> (
+          match op with
+          | Add -> Vptr (buf, o + n)
+          | Sub -> Vptr (buf, o - n)
+          | Mul | Div -> err "invalid pointer arithmetic")
+      | Vint n, Vptr (buf, o) -> (
+          match op with
+          | Add -> Vptr (buf, o + n)
+          | Sub | Mul | Div -> err "invalid pointer arithmetic")
+      | _ -> err "type mismatch in binary operation")
+
+let cmp_holds c (x : int) (y : int) =
+  match c with
+  | Lt -> x < y
+  | Le -> x <= y
+  | Gt -> x > y
+  | Ge -> x >= y
+  | Eq -> x = y
+  | Ne -> x <> y
+
+let cmp_values c va vb =
+  match (va, vb) with
+  | Vint x, Vint y -> cmp_holds c x y
+  | Vdouble x, Vdouble y -> (
+      match c with
+      | Lt -> x < y
+      | Le -> x <= y
+      | Gt -> x > y
+      | Ge -> x >= y
+      | Eq -> x = y
+      | Ne -> x <> y)
+  | Vptr (_, x), Vptr (_, y) -> cmp_holds c x y
+  | _ -> err "comparison of incompatible values"
+
+(* An uninitialized pointer is a null pointer: any dereference before
+   assignment faults with an out-of-bounds error. *)
+let zero_of = function
+  | Int -> Vint 0
+  | Double -> Vdouble 0.
+  | Ptr _ -> Vptr ([||], 0)
+
+let max_steps = 1_000_000_000
+
+let rec exec_stmt st steps (s : stmt) : unit =
+  incr steps;
+  if !steps > max_steps then err "step budget exceeded (diverging loop?)";
+  match s with
+  | Decl (t, v, init) ->
+      let value =
+        match init with Some e -> eval_expr st e | None -> zero_of t
+      in
+      Hashtbl.replace st.env v value
+  | Assign (Lvar v, e) ->
+      if not (Hashtbl.mem st.env v) then err "assignment to undeclared %s" v;
+      Hashtbl.replace st.env v (eval_expr st e)
+  | Assign (Lindex (a, i), e) ->
+      let buf, off = as_ptr (lookup st a) in
+      let idx = off + as_int (eval_expr st i) in
+      if idx < 0 || idx >= Array.length buf then
+        err "store %s[%d] out of bounds (length %d)" a idx (Array.length buf);
+      st.stats.stores <- st.stats.stores + 1;
+      buf.(idx) <- as_double (eval_expr st e)
+  | For (h, body) ->
+      Hashtbl.replace st.env h.loop_var (eval_expr st h.loop_init);
+      let continue () =
+        cmp_values h.loop_cmp (lookup st h.loop_var) (eval_expr st h.loop_bound)
+      in
+      while continue () do
+        List.iter (exec_stmt st steps) body;
+        let v = as_int (lookup st h.loop_var) in
+        let step = as_int (eval_expr st h.loop_step) in
+        Hashtbl.replace st.env h.loop_var (Vint (v + step))
+      done
+  | If (a, c, b, t, f) ->
+      if cmp_values c (eval_expr st a) (eval_expr st b) then
+        List.iter (exec_stmt st steps) t
+      else List.iter (exec_stmt st steps) f
+  | Prefetch (_, base, off) ->
+      (* Semantically a no-op; validate the address computation anyway. *)
+      let _ = lookup st base in
+      let _ = as_int (eval_expr st off) in
+      st.stats.prefetches <- st.stats.prefetches + 1
+  | Comment _ -> ()
+  | Tagged (_, body) -> List.iter (exec_stmt st steps) body
+
+(* Arguments for running a kernel. *)
+type arg =
+  | Aint of int
+  | Adouble of float
+  | Abuf of float array
+
+let value_of_arg = function
+  | Aint n -> Vint n
+  | Adouble f -> Vdouble f
+  | Abuf b -> Vptr (b, 0)
+
+let run (k : kernel) (args : arg list) : stats =
+  if List.length args <> List.length k.k_params then
+    err "kernel %s expects %d arguments, got %d" k.k_name
+      (List.length k.k_params) (List.length args);
+  let st = { env = Hashtbl.create 32; stats = new_stats () } in
+  List.iter2
+    (fun p a ->
+      (match (p.p_type, a) with
+      | Int, Aint _ | Double, Adouble _ | Ptr Double, Abuf _ -> ()
+      | _ -> err "argument type mismatch for %s" p.p_name);
+      Hashtbl.replace st.env p.p_name (value_of_arg a))
+    k.k_params args;
+  let steps = ref 0 in
+  List.iter (exec_stmt st steps) k.k_body;
+  st.stats

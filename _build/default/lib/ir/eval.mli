@@ -1,0 +1,34 @@
+(** Reference interpreter for the mini-C IR — the semantic oracle.
+
+    The output of every transformation pass and of the whole assembly
+    pipeline is checked against this interpreter; it also counts memory
+    and floating-point operations for the performance model's tests. *)
+
+exception Eval_error of string
+
+(** Runtime values: integers, doubles, and pointers as
+    (buffer, element offset) pairs. *)
+type value =
+  | Vint of int
+  | Vdouble of float
+  | Vptr of float array * int
+
+(** Dynamic operation counters, filled in by a run. *)
+type stats = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable flops : int;
+  mutable prefetches : int;
+}
+
+(** Arguments to a kernel invocation.  [Abuf] arrays are mutated in
+    place (pointer parameters). *)
+type arg =
+  | Aint of int
+  | Adouble of float
+  | Abuf of float array
+
+(** Run a kernel on the given arguments.  Array accesses are
+    bounds-checked; loops carry a step budget against divergence.
+    Raises {!Eval_error} on any fault. *)
+val run : Ast.kernel -> arg list -> stats

@@ -1,0 +1,50 @@
+(** The "simple C implementations" the paper feeds to AUGEM (its
+    Figures 12, 15, 16 and 17), expressed directly in the IR, plus the
+    extension kernels this reproduction adds.  The {!Parser} accepts
+    the same programs as C text. *)
+
+(** Helper for building canonical counted loops
+    [for (v = from; v < below; v += step)]. *)
+val loop :
+  string ->
+  from:Ast.expr ->
+  below:Ast.expr ->
+  ?step:Ast.expr ->
+  Ast.stmt list ->
+  Ast.stmt
+
+val gemm : Ast.kernel
+(** Figure 12: the GEMM micro-kernel over packed A (A[l*Mc+i]) and
+    per-column-packed B (B[j*Kc+l]), accumulating into C. *)
+
+val gemm_packed : Ast.kernel
+(** GEMM over a row-major-packed B block (B[l*N+j]) — the interleaved
+    layout GotoBLAS produces, the precondition of the Shuf method. *)
+
+val gemv : Ast.kernel
+(** Figure 15: column-sweep GEMV, y += A(:, i) * x\[i\]. *)
+
+val axpy : Ast.kernel
+(** Figure 16: AXPY, Y\[i\] += X\[i\] * alpha. *)
+
+val dot : Ast.kernel
+(** Figure 17: DOT, res += X\[i\] * Y\[i\], result in a 1-element
+    output buffer. *)
+
+val ger : Ast.kernel
+(** Extension: rank-1 update A += alpha x y^T (Table 6's GER). *)
+
+val scal : Ast.kernel
+(** Extension: DSCAL, X *= alpha (the svSCAL template). *)
+
+val copy : Ast.kernel
+(** Extension: DCOPY, Y = X (the svCOPY template). *)
+
+(** Kernel identifiers used across the tuner, library models, harness
+    and CLI. *)
+type name = Gemm | Gemv | Axpy | Dot | Ger | Scal | Copy
+
+val all : (name * Ast.kernel) list
+val kernel_of_name : name -> Ast.kernel
+val name_to_string : name -> string
+val name_of_string : string -> name option

@@ -1,0 +1,169 @@
+(* Hand-written lexer for the mini-C front end. *)
+
+type token =
+  | INT_LIT of int
+  | DOUBLE_LIT of float
+  | IDENT of string
+  | KW_VOID
+  | KW_INT
+  | KW_DOUBLE
+  | KW_FOR
+  | KW_IF
+  | KW_ELSE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | ASSIGN
+  | PLUS_ASSIGN
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | EOF
+
+exception Lex_error of string * int (* message, position *)
+
+let token_to_string = function
+  | INT_LIT n -> string_of_int n
+  | DOUBLE_LIT f -> string_of_float f
+  | IDENT s -> s
+  | KW_VOID -> "void"
+  | KW_INT -> "int"
+  | KW_DOUBLE -> "double"
+  | KW_FOR -> "for"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQ -> "=="
+  | NE -> "!="
+  | EOF -> "<eof>"
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let keyword = function
+  | "void" -> Some KW_VOID
+  | "int" -> Some KW_INT
+  | "double" -> Some KW_DOUBLE
+  | "for" -> Some KW_FOR
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | _ -> None
+
+(* Tokenize the whole input; positions accompany tokens for error
+   reporting in the parser. *)
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let rec skip_ws i =
+    if i >= n then i
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> skip_ws (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+          let rec eol j = if j >= n || src.[j] = '\n' then j else eol (j + 1) in
+          skip_ws (eol (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+          let rec close j =
+            if j + 1 >= n then raise (Lex_error ("unterminated comment", i))
+            else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+            else close (j + 1)
+          in
+          skip_ws (close (i + 2))
+      | _ -> i
+  in
+  let rec lex i acc =
+    let i = skip_ws i in
+    if i >= n then List.rev ((EOF, i) :: acc)
+    else
+      let c = src.[i] in
+      if is_digit c then (
+        let j = ref i in
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done;
+        let is_float = !j < n && (src.[!j] = '.' || src.[!j] = 'e') in
+        if is_float then (
+          if !j < n && src.[!j] = '.' then incr j;
+          while !j < n && is_digit src.[!j] do
+            incr j
+          done;
+          if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then (
+            incr j;
+            if !j < n && (src.[!j] = '+' || src.[!j] = '-') then incr j;
+            while !j < n && is_digit src.[!j] do
+              incr j
+            done);
+          let text = String.sub src i (!j - i) in
+          match float_of_string_opt text with
+          | Some f -> lex !j ((DOUBLE_LIT f, i) :: acc)
+          | None -> raise (Lex_error ("bad float literal " ^ text, i)))
+        else
+          let text = String.sub src i (!j - i) in
+          lex !j ((INT_LIT (int_of_string text), i) :: acc))
+      else if is_alpha c then (
+        let j = ref i in
+        while !j < n && is_alnum src.[!j] do
+          incr j
+        done;
+        let text = String.sub src i (!j - i) in
+        let tok =
+          match keyword text with Some k -> k | None -> IDENT text
+        in
+        lex !j ((tok, i) :: acc))
+      else
+        let two t = lex (i + 2) ((t, i) :: acc) in
+        let one t = lex (i + 1) ((t, i) :: acc) in
+        let peek = if i + 1 < n then Some src.[i + 1] else None in
+        match (c, peek) with
+        | '+', Some '=' -> two PLUS_ASSIGN
+        | '<', Some '=' -> two LE
+        | '>', Some '=' -> two GE
+        | '=', Some '=' -> two EQ
+        | '!', Some '=' -> two NE
+        | '(', _ -> one LPAREN
+        | ')', _ -> one RPAREN
+        | '{', _ -> one LBRACE
+        | '}', _ -> one RBRACE
+        | '[', _ -> one LBRACKET
+        | ']', _ -> one RBRACKET
+        | ';', _ -> one SEMI
+        | ',', _ -> one COMMA
+        | '*', _ -> one STAR
+        | '+', _ -> one PLUS
+        | '-', _ -> one MINUS
+        | '/', _ -> one SLASH
+        | '=', _ -> one ASSIGN
+        | '<', _ -> one LT
+        | '>', _ -> one GT
+        | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, i))
+  in
+  lex 0 []

@@ -1,0 +1,43 @@
+(** Hand-written lexer for the mini-C front end. *)
+
+type token =
+  | INT_LIT of int
+  | DOUBLE_LIT of float
+  | IDENT of string
+  | KW_VOID
+  | KW_INT
+  | KW_DOUBLE
+  | KW_FOR
+  | KW_IF
+  | KW_ELSE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | ASSIGN
+  | PLUS_ASSIGN
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | EOF
+
+exception Lex_error of string * int
+(** Message and byte offset. *)
+
+val token_to_string : token -> string
+
+(** Tokenize a whole input; each token carries its byte offset.  Line
+    ([//]) and block comments are skipped.  The list always ends with
+    [EOF]. *)
+val tokenize : string -> (token * int) list

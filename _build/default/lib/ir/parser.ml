@@ -1,0 +1,307 @@
+(* Recursive-descent parser for the mini-C front end.  Accepts the
+   kernel sources shown in the paper (Figures 12 and 15-17): a single
+   [void] function with int / double / double* parameters, declarations,
+   assignments (including [+=]), canonical counted [for] loops, [if]
+   with a single comparison, and [__builtin_prefetch]. *)
+
+open Ast
+
+exception Parse_error of string * int
+
+let err pos fmt = Fmt.kstr (fun s -> raise (Parse_error (s, pos))) fmt
+
+type stream = {
+  mutable toks : (Lexer.token * int) list;
+}
+
+let peek st =
+  match st.toks with [] -> (Lexer.EOF, 0) | t :: _ -> t
+
+let pos st = snd (peek st)
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let got, p = next st in
+  if got <> tok then
+    err p "expected %s, got %s" (Lexer.token_to_string tok)
+      (Lexer.token_to_string got)
+
+let expect_ident st =
+  match next st with
+  | Lexer.IDENT s, _ -> s
+  | t, p -> err p "expected identifier, got %s" (Lexer.token_to_string t)
+
+(* Expressions, precedence climbing: additive < multiplicative < unary. *)
+let rec parse_expr st = parse_additive st
+
+and parse_additive st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.PLUS, _ ->
+        advance st;
+        loop (Binop (Add, acc, parse_multiplicative st))
+    | Lexer.MINUS, _ ->
+        advance st;
+        loop (Binop (Sub, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.STAR, _ ->
+        advance st;
+        loop (Binop (Mul, acc, parse_unary st))
+    | Lexer.SLASH, _ ->
+        advance st;
+        loop (Binop (Div, acc, parse_unary st))
+    | _ -> acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS, _ ->
+      advance st;
+      Neg (parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match next st with
+  | Lexer.INT_LIT n, _ -> Int_lit n
+  | Lexer.DOUBLE_LIT f, _ -> Double_lit f
+  | Lexer.IDENT name, _ -> (
+      match peek st with
+      | Lexer.LBRACKET, _ ->
+          advance st;
+          let idx = parse_expr st in
+          expect st Lexer.RBRACKET;
+          Index (name, idx)
+      | _ -> Var name)
+  | Lexer.LPAREN, _ ->
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      e
+  | t, p -> err p "expected expression, got %s" (Lexer.token_to_string t)
+
+let parse_cmpop st =
+  match next st with
+  | Lexer.LT, _ -> Lt
+  | Lexer.LE, _ -> Le
+  | Lexer.GT, _ -> Gt
+  | Lexer.GE, _ -> Ge
+  | Lexer.EQ, _ -> Eq
+  | Lexer.NE, _ -> Ne
+  | t, p -> err p "expected comparison, got %s" (Lexer.token_to_string t)
+
+let parse_base_type st =
+  match next st with
+  | Lexer.KW_INT, _ -> Int
+  | Lexer.KW_DOUBLE, _ -> Double
+  | t, p -> err p "expected type, got %s" (Lexer.token_to_string t)
+
+let parse_type st =
+  let base = parse_base_type st in
+  let rec stars t =
+    match peek st with
+    | Lexer.STAR, _ ->
+        advance st;
+        stars (Ptr t)
+    | _ -> t
+  in
+  stars base
+
+(* One lvalue-led statement: [x = e;], [x += e;], [a[i] = e;],
+   [a[i] += e;]. *)
+let finish_assign st (lv : lvalue) =
+  let read_back = function
+    | Lvar v -> Var v
+    | Lindex (a, i) -> Index (a, i)
+  in
+  match next st with
+  | Lexer.ASSIGN, _ ->
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      Assign (lv, e)
+  | Lexer.PLUS_ASSIGN, _ ->
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      Assign (lv, Binop (Add, read_back lv, e))
+  | t, p -> err p "expected = or +=, got %s" (Lexer.token_to_string t)
+
+let rec parse_stmt st : stmt =
+  match peek st with
+  | Lexer.KW_INT, _ | Lexer.KW_DOUBLE, _ ->
+      let t = parse_type st in
+      let name = expect_ident st in
+      let init =
+        match peek st with
+        | Lexer.ASSIGN, _ ->
+            advance st;
+            Some (parse_expr st)
+        | _ -> None
+      in
+      expect st Lexer.SEMI;
+      Decl (t, name, init)
+  | Lexer.KW_FOR, _ -> parse_for st
+  | Lexer.KW_IF, _ -> parse_if st
+  | Lexer.IDENT "__builtin_prefetch", _ ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let e = parse_expr st in
+      let base, off =
+        match e with
+        | Var b -> (b, Int_lit 0)
+        | Binop (Add, Var b, off) -> (b, off)
+        | _ -> err (pos st) "prefetch address must be base + offset"
+      in
+      let hint =
+        match peek st with
+        | Lexer.COMMA, _ -> (
+            advance st;
+            match next st with
+            | Lexer.INT_LIT 0, _ -> Prefetch_read
+            | Lexer.INT_LIT 1, _ -> Prefetch_write
+            | t, p ->
+                err p "prefetch rw flag must be 0 or 1, got %s"
+                  (Lexer.token_to_string t))
+        | _ -> Prefetch_read
+      in
+      expect st Lexer.RPAREN;
+      expect st Lexer.SEMI;
+      Prefetch (hint, base, off)
+  | Lexer.IDENT name, _ -> (
+      advance st;
+      match peek st with
+      | Lexer.LBRACKET, _ ->
+          advance st;
+          let idx = parse_expr st in
+          expect st Lexer.RBRACKET;
+          finish_assign st (Lindex (name, idx))
+      | _ -> finish_assign st (Lvar name))
+  | t, p -> err p "expected statement, got %s" (Lexer.token_to_string t)
+
+and parse_block_or_stmt st : stmt list =
+  match peek st with
+  | Lexer.LBRACE, _ ->
+      advance st;
+      let rec loop acc =
+        match peek st with
+        | Lexer.RBRACE, _ ->
+            advance st;
+            List.rev acc
+        | _ -> loop (parse_stmt st :: acc)
+      in
+      loop []
+  | _ -> [ parse_stmt st ]
+
+and parse_for st : stmt =
+  expect st Lexer.KW_FOR;
+  expect st Lexer.LPAREN;
+  let v = expect_ident st in
+  expect st Lexer.ASSIGN;
+  let init = parse_expr st in
+  expect st Lexer.SEMI;
+  let v' = expect_ident st in
+  if not (String.equal v v') then
+    err (pos st) "loop condition must test the loop variable %s" v;
+  let cmp = parse_cmpop st in
+  let bound = parse_expr st in
+  expect st Lexer.SEMI;
+  let v'' = expect_ident st in
+  if not (String.equal v v'') then
+    err (pos st) "loop increment must update the loop variable %s" v;
+  let step =
+    match next st with
+    | Lexer.PLUS_ASSIGN, _ -> parse_expr st
+    | Lexer.ASSIGN, _ -> (
+        (* accept v = v + step *)
+        let e = parse_expr st in
+        match e with
+        | Binop (Add, Var x, step) when String.equal x v -> step
+        | Binop (Add, step, Var x) when String.equal x v -> step
+        | _ -> err (pos st) "loop increment must have the form %s = %s + c" v v)
+    | t, p -> err p "expected loop increment, got %s" (Lexer.token_to_string t)
+  in
+  expect st Lexer.RPAREN;
+  let body = parse_block_or_stmt st in
+  For
+    ( { loop_var = v; loop_init = init; loop_cmp = cmp; loop_bound = bound;
+        loop_step = step },
+      body )
+
+and parse_if st : stmt =
+  expect st Lexer.KW_IF;
+  expect st Lexer.LPAREN;
+  let a = parse_expr st in
+  let c = parse_cmpop st in
+  let b = parse_expr st in
+  expect st Lexer.RPAREN;
+  let t = parse_block_or_stmt st in
+  let f =
+    match peek st with
+    | Lexer.KW_ELSE, _ ->
+        advance st;
+        parse_block_or_stmt st
+    | _ -> []
+  in
+  If (a, c, b, t, f)
+
+let parse_param st : param =
+  let t = parse_type st in
+  let name = expect_ident st in
+  { p_name = name; p_type = t }
+
+let parse_kernel_stream st : kernel =
+  expect st Lexer.KW_VOID;
+  let name = expect_ident st in
+  expect st Lexer.LPAREN;
+  let rec params acc =
+    match peek st with
+    | Lexer.RPAREN, _ ->
+        advance st;
+        List.rev acc
+    | Lexer.COMMA, _ ->
+        advance st;
+        params acc
+    | _ -> params (parse_param st :: acc)
+  in
+  let ps = params [] in
+  expect st Lexer.LBRACE;
+  let rec body acc =
+    match peek st with
+    | Lexer.RBRACE, _ ->
+        advance st;
+        List.rev acc
+    | Lexer.EOF, p -> err p "unexpected end of input in function body"
+    | _ -> body (parse_stmt st :: acc)
+  in
+  let b = body [] in
+  { k_name = name; k_params = ps; k_body = b }
+
+(* Parse a kernel from C source text; checks types before returning. *)
+let parse_kernel (src : string) : kernel =
+  let st = { toks = Lexer.tokenize src } in
+  let k = parse_kernel_stream st in
+  (match peek st with
+  | Lexer.EOF, _ -> ()
+  | t, p -> err p "trailing input: %s" (Lexer.token_to_string t));
+  Typecheck.check_kernel k;
+  k
+
+let parse_kernel_result (src : string) : (kernel, string) result =
+  match parse_kernel src with
+  | k -> Ok k
+  | exception Parse_error (msg, p) ->
+      Error (Printf.sprintf "parse error at offset %d: %s" p msg)
+  | exception Lexer.Lex_error (msg, p) ->
+      Error (Printf.sprintf "lex error at offset %d: %s" p msg)
+  | exception Typecheck.Type_error msg -> Error ("type error: " ^ msg)

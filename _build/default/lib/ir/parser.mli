@@ -1,0 +1,18 @@
+(** Recursive-descent parser for the mini-C front end.
+
+    Accepts the kernel sources shown in the paper's Figures 12 and
+    15-17: a single [void] function over [int] / [double] / [double*]
+    parameters, declarations, assignments (including [+=]), canonical
+    counted [for] loops, [if] with a single comparison, and
+    [__builtin_prefetch].  Parsed kernels are type-checked before being
+    returned. *)
+
+exception Parse_error of string * int
+(** Message and byte offset. *)
+
+(** Parse a kernel from C text.  Raises {!Parse_error},
+    {!Lexer.Lex_error} or {!Typecheck.Type_error}. *)
+val parse_kernel : string -> Ast.kernel
+
+(** Like {!parse_kernel}, with all failures as [Error message]. *)
+val parse_kernel_result : string -> (Ast.kernel, string) result

@@ -1,0 +1,133 @@
+(* Multilinear integer polynomials over scalar variables, the normal
+   form used for array index arithmetic.  Strength reduction needs to
+   decompose an index expression [l*Mc + i] into a part that varies
+   with a given loop variable (the stride) and a loop-invariant base;
+   polynomials make that decomposition exact instead of syntactic. *)
+
+(* A monomial is a sorted list of variable names (a variable may repeat,
+   giving powers); a polynomial maps monomials to integer
+   coefficients. *)
+module Mono = struct
+  type t = string list
+
+  let compare = compare
+
+  let mul (a : t) (b : t) : t = List.sort String.compare (a @ b)
+end
+
+module Mmap = Map.Make (Mono)
+
+type t = int Mmap.t
+
+let zero : t = Mmap.empty
+
+let normalize (p : t) : t = Mmap.filter (fun _ c -> c <> 0) p
+
+let const n : t = if n = 0 then zero else Mmap.singleton [] n
+
+let var v : t = Mmap.singleton [ v ] 1
+
+let add (a : t) (b : t) : t =
+  normalize
+    (Mmap.union (fun _ x y -> Some (x + y)) a b)
+
+let neg (a : t) : t = Mmap.map (fun c -> -c) a
+
+let sub a b = add a (neg b)
+
+let mul (a : t) (b : t) : t =
+  Mmap.fold
+    (fun ma ca acc ->
+      Mmap.fold
+        (fun mb cb acc ->
+          let m = Mono.mul ma mb in
+          let c = ca * cb in
+          Mmap.update m
+            (function None -> Some c | Some c' -> Some (c + c'))
+            acc)
+        b acc)
+    a Mmap.empty
+  |> normalize
+
+let scale k (a : t) : t = if k = 0 then zero else Mmap.map (fun c -> c * k) a
+
+let equal (a : t) (b : t) = Mmap.equal Int.equal (normalize a) (normalize b)
+
+let is_zero p = Mmap.is_empty (normalize p)
+
+let to_const (p : t) : int option =
+  match Mmap.bindings (normalize p) with
+  | [] -> Some 0
+  | [ ([], c) ] -> Some c
+  | _ -> None
+
+let vars (p : t) : string list =
+  Mmap.fold (fun m _ acc -> m @ acc) p []
+  |> List.sort_uniq String.compare
+
+let mem_var v p = List.mem v (vars p)
+
+(* Split [p] as [base + v * stride] when [v] occurs only linearly (i.e.
+   no monomial contains [v] twice).  Returns [None] if [v] occurs
+   nonlinearly. *)
+let split_linear v (p : t) : (t * t) option =
+  let exception Nonlinear in
+  try
+    let base, stride =
+      Mmap.fold
+        (fun m c (base, stride) ->
+          let occur = List.length (List.filter (String.equal v) m) in
+          match occur with
+          | 0 -> (add base (Mmap.singleton m c), stride)
+          | 1 ->
+              let m' = List.filter (fun x -> not (String.equal x v)) m in
+              (base, add stride (Mmap.singleton m' c))
+          | _ -> raise Nonlinear)
+        p (zero, zero)
+    in
+    Some (base, stride)
+  with Nonlinear -> None
+
+(* Conversion from IR expressions.  Fails (returns None) on double
+   literals, array accesses, or division, which cannot appear in the
+   index arithmetic we strength-reduce. *)
+let rec of_expr (e : Ast.expr) : t option =
+  match e with
+  | Ast.Int_lit n -> Some (const n)
+  | Ast.Var v -> Some (var v)
+  | Ast.Binop (Ast.Add, a, b) -> map2 add a b
+  | Ast.Binop (Ast.Sub, a, b) -> map2 sub a b
+  | Ast.Binop (Ast.Mul, a, b) -> map2 mul a b
+  | Ast.Neg a -> Option.map neg (of_expr a)
+  | Ast.Double_lit _ | Ast.Index _ | Ast.Binop (Ast.Div, _, _) -> None
+
+and map2 f a b =
+  match (of_expr a, of_expr b) with
+  | Some pa, Some pb -> Some (f pa pb)
+  | _ -> None
+
+(* Conversion back to a compact IR expression: constants first within a
+   monomial, monomials in a deterministic order. *)
+let to_expr (p : t) : Ast.expr =
+  let mono_expr (m, c) =
+    let vars = List.map (fun v -> Ast.Var v) m in
+    let factors =
+      if c = 1 && vars <> [] then vars else Ast.Int_lit c :: vars
+    in
+    match factors with
+    | [] -> Ast.Int_lit 1
+    | f :: rest -> List.fold_left (fun acc x -> Ast.Binop (Ast.Mul, acc, x)) f rest
+  in
+  match Mmap.bindings (normalize p) with
+  | [] -> Ast.Int_lit 0
+  | b :: rest ->
+      List.fold_left
+        (fun acc ((_, c) as m) ->
+          if c < 0 then
+            Ast.Binop (Ast.Sub, acc, mono_expr (fst m, -c))
+          else Ast.Binop (Ast.Add, acc, mono_expr m))
+        (mono_expr b) rest
+
+let pp fmt p = Pp.pp_expr fmt (to_expr p)
+
+let to_string p = Fmt.str "%a" pp p

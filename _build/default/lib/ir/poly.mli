@@ -1,0 +1,58 @@
+(** Multilinear integer polynomials over scalar variables — the normal
+    form for array index arithmetic.
+
+    Strength reduction decomposes an index expression such as
+    [l*Mc + i] into a loop-invariant base plus a per-iteration stride;
+    this module makes that decomposition exact instead of syntactic. *)
+
+(** Monomials: a multiset of variable names (repetition = power). *)
+module Mono : sig
+  type t = string list
+
+  val compare : t -> t -> int
+  val mul : t -> t -> t
+end
+
+(** Maps from monomials to integer coefficients. *)
+module Mmap : Map.S with type key = Mono.t
+
+(** A polynomial, normalized: no zero coefficients. *)
+type t = int Mmap.t
+
+val zero : t
+val const : int -> t
+val var : string -> t
+val add : t -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [scale k p] is [k * p]. *)
+val scale : int -> t -> t
+
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+(** [Some c] iff the polynomial is the constant [c]. *)
+val to_const : t -> int option
+
+(** Variables occurring in the polynomial, sorted, without duplicates. *)
+val vars : t -> string list
+
+val mem_var : string -> t -> bool
+
+(** [split_linear v p] is [Some (base, stride)] with
+    [p = base + v * stride] and neither part mentioning [v], when [v]
+    occurs at most linearly; [None] if [v] occurs nonlinearly. *)
+val split_linear : string -> t -> (t * t) option
+
+(** Conversion from an IR expression.  [None] on doubles, array
+    accesses or division, which cannot appear in reducible index
+    arithmetic. *)
+val of_expr : Ast.expr -> t option
+
+(** Conversion back to a compact, deterministic IR expression. *)
+val to_expr : t -> Ast.expr
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

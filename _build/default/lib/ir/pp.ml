@@ -1,0 +1,94 @@
+(* C-syntax pretty printing of the IR, used by the CLI's phase dumps,
+   the examples, and golden tests. *)
+
+open Ast
+
+let rec pp_dtype fmt = function
+  | Int -> Fmt.string fmt "int"
+  | Double -> Fmt.string fmt "double"
+  | Ptr t -> Fmt.pf fmt "%a*" pp_dtype t
+
+let binop_str = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let cmpop_str = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+
+let prec = function Add | Sub -> 1 | Mul | Div -> 2
+
+let rec pp_expr_prec p fmt = function
+  | Int_lit n -> Fmt.int fmt n
+  | Double_lit f ->
+      if Float.is_integer f && Float.abs f < 1e16 then Fmt.pf fmt "%.1f" f
+      else Fmt.pf fmt "%.17g" f
+  | Var v -> Fmt.string fmt v
+  | Index (a, e) -> Fmt.pf fmt "%s[%a]" a (pp_expr_prec 0) e
+  | Neg e -> Fmt.pf fmt "-%a" (pp_expr_prec 3) e
+  | Binop (op, a, b) ->
+      let q = prec op in
+      let body fmt () =
+        Fmt.pf fmt "%a %s %a" (pp_expr_prec q) a (binop_str op)
+          (pp_expr_prec (q + 1)) b
+      in
+      if q < p then Fmt.pf fmt "(%a)" body () else body fmt ()
+
+let pp_expr fmt e = pp_expr_prec 0 fmt e
+
+let pp_lvalue fmt = function
+  | Lvar v -> Fmt.string fmt v
+  | Lindex (a, e) -> Fmt.pf fmt "%s[%a]" a pp_expr e
+
+let rec pp_stmt ~indent fmt s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Decl (t, v, None) -> Fmt.pf fmt "%s%a %s;" pad pp_dtype t v
+  | Decl (t, v, Some e) -> Fmt.pf fmt "%s%a %s = %a;" pad pp_dtype t v pp_expr e
+  | Assign (lv, e) -> Fmt.pf fmt "%s%a = %a;" pad pp_lvalue lv pp_expr e
+  | For (h, body) ->
+      Fmt.pf fmt "%sfor (%s = %a; %s %s %a; %s += %a) {@\n%a@\n%s}" pad
+        h.loop_var pp_expr h.loop_init h.loop_var (cmpop_str h.loop_cmp)
+        pp_expr h.loop_bound h.loop_var pp_expr h.loop_step
+        (pp_body ~indent:(indent + 2))
+        body pad
+  | If (a, c, b, t, []) ->
+      Fmt.pf fmt "%sif (%a %s %a) {@\n%a@\n%s}" pad pp_expr a (cmpop_str c)
+        pp_expr b
+        (pp_body ~indent:(indent + 2))
+        t pad
+  | If (a, c, b, t, f) ->
+      Fmt.pf fmt "%sif (%a %s %a) {@\n%a@\n%s} else {@\n%a@\n%s}" pad pp_expr a
+        (cmpop_str c) pp_expr b
+        (pp_body ~indent:(indent + 2))
+        t pad
+        (pp_body ~indent:(indent + 2))
+        f pad
+  | Prefetch (Prefetch_read, base, off) ->
+      Fmt.pf fmt "%s__builtin_prefetch(%s + %a, 0);" pad base pp_expr off
+  | Prefetch (Prefetch_write, base, off) ->
+      Fmt.pf fmt "%s__builtin_prefetch(%s + %a, 1);" pad base pp_expr off
+  | Comment c -> Fmt.pf fmt "%s/* %s */" pad c
+  | Tagged (tag, body) ->
+      Fmt.pf fmt "%s/* <%s%a> */@\n%a@\n%s/* </%s> */" pad tag.tag_template
+        Fmt.(
+          list ~sep:nop (fun fmt (k, v) -> Fmt.pf fmt " %s=%s" k v))
+        tag.tag_params
+        (pp_body ~indent) body pad tag.tag_template
+
+and pp_body ~indent fmt body =
+  Fmt.(list ~sep:(any "@\n") (pp_stmt ~indent)) fmt body
+
+let pp_param fmt p = Fmt.pf fmt "%a %s" pp_dtype p.p_type p.p_name
+
+let pp_kernel fmt k =
+  Fmt.pf fmt "void %s(%a) {@\n%a@\n}" k.k_name
+    Fmt.(list ~sep:(any ", ") pp_param)
+    k.k_params
+    (pp_body ~indent:2) k.k_body
+
+let expr_to_string e = Fmt.str "%a" pp_expr e
+let stmt_to_string s = Fmt.str "%a" (pp_stmt ~indent:0) s
+let kernel_to_string k = Fmt.str "%a" pp_kernel k

@@ -1,0 +1,16 @@
+(** C-syntax pretty printing of the IR, used by the CLI phase dumps,
+    the examples, and golden tests.  [Pp.kernel_to_string] output
+    re-parses to an identical kernel (tested). *)
+
+val pp_dtype : Format.formatter -> Ast.dtype -> unit
+val binop_str : Ast.binop -> string
+val cmpop_str : Ast.cmpop -> string
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_lvalue : Format.formatter -> Ast.lvalue -> unit
+val pp_stmt : indent:int -> Format.formatter -> Ast.stmt -> unit
+val pp_body : indent:int -> Format.formatter -> Ast.stmt list -> unit
+val pp_param : Format.formatter -> Ast.param -> unit
+val pp_kernel : Format.formatter -> Ast.kernel -> unit
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : Ast.stmt -> string
+val kernel_to_string : Ast.kernel -> string

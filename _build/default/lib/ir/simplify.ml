@@ -1,0 +1,77 @@
+(* Expression and statement simplification: constant folding plus
+   polynomial normalization of integer index expressions.  Run after
+   loop restructuring so that indices like [(j + 1) * Kc + l] present a
+   canonical face to strength reduction and template matching. *)
+
+open Ast
+
+let rec fold_expr e =
+  match e with
+  | Int_lit _ | Double_lit _ | Var _ -> e
+  | Index (a, i) -> Index (a, norm_index i)
+  | Neg a -> (
+      match fold_expr a with
+      | Int_lit n -> Int_lit (-n)
+      | Double_lit f -> Double_lit (-.f)
+      | a' -> Neg a')
+  | Binop (op, a, b) -> (
+      let a = fold_expr a and b = fold_expr b in
+      match (op, a, b) with
+      | _, Int_lit x, Int_lit y -> (
+          match op with
+          | Add -> Int_lit (x + y)
+          | Sub -> Int_lit (x - y)
+          | Mul -> Int_lit (x * y)
+          | Div -> if y <> 0 then Int_lit (x / y) else Binop (op, a, b))
+      | _, Double_lit x, Double_lit y -> (
+          match op with
+          | Add -> Double_lit (x +. y)
+          | Sub -> Double_lit (x -. y)
+          | Mul -> Double_lit (x *. y)
+          | Div -> Double_lit (x /. y))
+      | Add, x, Int_lit 0 | Add, Int_lit 0, x -> x
+      | Sub, x, Int_lit 0 -> x
+      | Mul, _, Int_lit 0 | Mul, Int_lit 0, _ -> Int_lit 0
+      | Mul, x, Int_lit 1 | Mul, Int_lit 1, x -> x
+      | Add, x, Double_lit 0. | Add, Double_lit 0., x -> x
+      | Mul, x, Double_lit 1. | Mul, Double_lit 1., x -> x
+      | _ -> Binop (op, a, b))
+
+(* Normalize an integer index expression through the polynomial
+   representation when possible; otherwise just fold constants. *)
+and norm_index e =
+  let e = fold_expr e in
+  match Poly.of_expr e with
+  | Some p -> Poly.to_expr p
+  | None -> e
+
+let simplify_expr e = fold_expr e
+
+let rec simplify_stmt s =
+  match s with
+  | Decl (t, v, init) -> Decl (t, v, Option.map simplify_expr init)
+  | Assign (Lindex (a, i), e) ->
+      Assign (Lindex (a, norm_index i), simplify_expr e)
+  | Assign (lv, e) -> Assign (lv, simplify_expr e)
+  | For (h, body) ->
+      let h =
+        {
+          h with
+          loop_init = simplify_expr h.loop_init;
+          loop_bound = simplify_expr h.loop_bound;
+          loop_step = simplify_expr h.loop_step;
+        }
+      in
+      For (h, List.map simplify_stmt body)
+  | If (a, c, b, t, f) ->
+      If
+        ( simplify_expr a,
+          c,
+          simplify_expr b,
+          List.map simplify_stmt t,
+          List.map simplify_stmt f )
+  | Prefetch (h, base, off) -> Prefetch (h, base, norm_index off)
+  | Comment _ -> s
+  | Tagged (tag, body) -> Tagged (tag, List.map simplify_stmt body)
+
+let simplify_kernel k = { k with k_body = List.map simplify_stmt k.k_body }

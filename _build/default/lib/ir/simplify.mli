@@ -1,0 +1,15 @@
+(** Expression and statement simplification: constant folding plus
+    polynomial normalization of integer index expressions.
+
+    Run after loop restructuring so that indices like
+    [(j + 1) * Kc + l] present a canonical face to strength reduction
+    and template matching. *)
+
+val simplify_expr : Ast.expr -> Ast.expr
+
+(** Normalize an integer index expression through {!Poly} when
+    possible; otherwise just fold constants. *)
+val norm_index : Ast.expr -> Ast.expr
+
+val simplify_stmt : Ast.stmt -> Ast.stmt
+val simplify_kernel : Ast.kernel -> Ast.kernel

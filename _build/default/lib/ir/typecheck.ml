@@ -1,0 +1,127 @@
+(* A small checker for the IR: catches malformed programs produced by
+   buggy transformation passes early, long before they reach code
+   generation.  Every pass in [lib/transform] is tested to preserve
+   well-typedness. *)
+
+open Ast
+
+exception Type_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+type env = (string, dtype) Hashtbl.t
+
+let rec type_of_expr (env : env) (e : expr) : dtype =
+  match e with
+  | Int_lit _ -> Int
+  | Double_lit _ -> Double
+  | Var v -> (
+      match Hashtbl.find_opt env v with
+      | Some t -> t
+      | None -> err "unbound variable %s" v)
+  | Index (a, i) -> (
+      (match type_of_expr env i with
+      | Int -> ()
+      | t -> err "index of %s has type %a, expected int" a Pp.pp_dtype t);
+      match Hashtbl.find_opt env a with
+      | Some (Ptr t) -> t
+      | Some t -> err "%s indexed but has type %a" a Pp.pp_dtype t
+      | None -> err "unbound array %s" a)
+  | Neg e -> (
+      match type_of_expr env e with
+      | Int -> Int
+      | Double -> Double
+      | Ptr _ -> err "negation of a pointer")
+  | Binop (op, a, b) -> (
+      let ta = type_of_expr env a and tb = type_of_expr env b in
+      match (op, ta, tb) with
+      | _, Int, Int -> Int
+      | _, Double, Double -> Double
+      | (Add | Sub), Ptr t, Int -> Ptr t
+      | Add, Int, Ptr t -> Ptr t
+      | _ ->
+          err "operands of %s have types %a and %a" (Pp.binop_str op)
+            Pp.pp_dtype ta Pp.pp_dtype tb)
+
+let check_cond env a b =
+  let ta = type_of_expr env a and tb = type_of_expr env b in
+  match (ta, tb) with
+  | Int, Int | Double, Double | Ptr _, Ptr _ -> ()
+  | _ ->
+      err "comparison of incompatible types %a and %a" Pp.pp_dtype ta
+        Pp.pp_dtype tb
+
+let rec check_stmt (env : env) (s : stmt) : unit =
+  match s with
+  | Decl (t, v, init) ->
+      (match init with
+      | None -> ()
+      | Some e ->
+          let te = type_of_expr env e in
+          if te <> t then
+            err "declaration of %s : %a initialized with %a" v Pp.pp_dtype t
+              Pp.pp_dtype te);
+      Hashtbl.replace env v t
+  | Assign (Lvar v, e) -> (
+      match Hashtbl.find_opt env v with
+      | None -> err "assignment to undeclared variable %s" v
+      | Some t ->
+          let te = type_of_expr env e in
+          if te <> t then
+            err "assignment of %a value to %s : %a" Pp.pp_dtype te v
+              Pp.pp_dtype t)
+  | Assign (Lindex (a, i), e) -> (
+      (match type_of_expr env i with
+      | Int -> ()
+      | t -> err "store index has type %a" Pp.pp_dtype t);
+      match Hashtbl.find_opt env a with
+      | Some (Ptr t) ->
+          let te = type_of_expr env e in
+          if te <> t then
+            err "store of %a value into %s : %a*" Pp.pp_dtype te a Pp.pp_dtype
+              t
+      | Some t -> err "store into non-pointer %s : %a" a Pp.pp_dtype t
+      | None -> err "store into undeclared array %s" a)
+  | For (h, body) ->
+      (match Hashtbl.find_opt env h.loop_var with
+      | Some Int -> ()
+      | Some t -> err "loop variable %s has type %a" h.loop_var Pp.pp_dtype t
+      | None -> err "undeclared loop variable %s" h.loop_var);
+      (match type_of_expr env h.loop_init with
+      | Int -> ()
+      | t -> err "loop init has type %a" Pp.pp_dtype t);
+      (match type_of_expr env h.loop_bound with
+      | Int -> ()
+      | t -> err "loop bound has type %a" Pp.pp_dtype t);
+      (match type_of_expr env h.loop_step with
+      | Int -> ()
+      | t -> err "loop step has type %a" Pp.pp_dtype t);
+      List.iter (check_stmt env) body
+  | If (a, _, b, t, f) ->
+      check_cond env a b;
+      List.iter (check_stmt env) t;
+      List.iter (check_stmt env) f
+  | Prefetch (_, base, off) -> (
+      (match type_of_expr env off with
+      | Int -> ()
+      | t -> err "prefetch offset has type %a" Pp.pp_dtype t);
+      match Hashtbl.find_opt env base with
+      | Some (Ptr _) -> ()
+      | Some t -> err "prefetch of non-pointer %s : %a" base Pp.pp_dtype t
+      | None -> err "prefetch of undeclared %s" base)
+  | Comment _ -> ()
+  | Tagged (_, body) -> List.iter (check_stmt env) body
+
+let initial_env (k : kernel) : env =
+  let env = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace env p.p_name p.p_type) k.k_params;
+  env
+
+let check_kernel (k : kernel) : unit =
+  let env = initial_env k in
+  List.iter (check_stmt env) k.k_body
+
+let well_typed (k : kernel) : (unit, string) result =
+  match check_kernel k with
+  | () -> Ok ()
+  | exception Type_error msg -> Error msg

@@ -1,0 +1,25 @@
+(** Type checking of the mini-C IR.
+
+    Catches malformed programs produced by buggy transformation passes
+    long before they reach code generation; every pass in
+    [lib/transform] is tested to preserve well-typedness. *)
+
+exception Type_error of string
+
+(** Mutable typing environment: variable name to declared type. *)
+type env = (string, Ast.dtype) Hashtbl.t
+
+(** Infer the type of an expression; raises {!Type_error}. *)
+val type_of_expr : env -> Ast.expr -> Ast.dtype
+
+(** Check one statement, extending the environment with declarations. *)
+val check_stmt : env -> Ast.stmt -> unit
+
+(** The environment induced by a kernel's parameters. *)
+val initial_env : Ast.kernel -> env
+
+(** Check a whole kernel; raises {!Type_error} on the first problem. *)
+val check_kernel : Ast.kernel -> unit
+
+(** Like {!check_kernel}, as a result. *)
+val well_typed : Ast.kernel -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/machine/att.ml: Buffer Fmt Insn List Printf Reg

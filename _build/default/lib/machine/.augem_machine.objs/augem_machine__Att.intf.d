@@ -1,0 +1,1 @@
+lib/machine/att.mli: Insn

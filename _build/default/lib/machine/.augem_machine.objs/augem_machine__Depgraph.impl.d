@@ -1,0 +1,1 @@
+lib/machine/depgraph.ml: Arch Array Hashtbl Insn List Map Option Reg

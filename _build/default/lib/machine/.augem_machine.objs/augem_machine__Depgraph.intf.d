@@ -1,0 +1,1 @@
+lib/machine/depgraph.mli: Arch Insn

@@ -1,0 +1,187 @@
+(* AT&T-syntax printer: turns an [Insn.program] into an assembly
+   listing as produced by the paper's Assembly Kernel Generator.  When
+   [avx] is set, three-operand VEX encodings are used throughout;
+   otherwise legacy SSE two-operand encodings are printed, which
+   requires [dst = src1] on register-register operations (instruction
+   selection maintains that invariant). *)
+
+open Insn
+
+exception Print_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Print_error s)) fmt
+
+let vreg_name (w : vwidth) (r : Reg.vreg) =
+  match w with
+  | W64 | W128 -> Printf.sprintf "%%xmm%d" r
+  | W256 -> Printf.sprintf "%%ymm%d" r
+
+let gpr_name r = "%" ^ Reg.gpr_name r
+
+let mem_str (m : mem) =
+  let disp = if m.disp = 0 then "" else string_of_int m.disp in
+  match m.index with
+  | None -> Printf.sprintf "%s(%s)" disp (gpr_name m.base)
+  | Some (idx, sc) ->
+      Printf.sprintf "%s(%s,%s,%d)" disp (gpr_name m.base) (gpr_name idx)
+        (scale_value sc)
+
+let cond_suffix = function
+  | Clt -> "l"
+  | Cle -> "le"
+  | Cgt -> "g"
+  | Cge -> "ge"
+  | Ceq -> "e"
+  | Cne -> "ne"
+
+(* packed-double suffixed mnemonic for a width *)
+let pd ~avx base w =
+  match (w, avx) with
+  | W64, false -> base ^ "sd"
+  | W64, true -> "v" ^ base ^ "sd"
+  | W128, false -> base ^ "pd"
+  | (W128 | W256), true -> "v" ^ base ^ "pd"
+  | W256, false -> err "256-bit %s requires AVX" base
+
+let check_sse2op ~avx ~what dst src1 =
+  if (not avx) && dst <> src1 then
+    err "SSE two-operand %s with dst=%d <> src1=%d" what dst src1
+
+let fpop_insn ~avx (op : fpop) w dst src1 src2 =
+  let v = vreg_name w in
+  let two name =
+    check_sse2op ~avx ~what:name dst src1;
+    Printf.sprintf "%s %s, %s" name (v src2) (v dst)
+  in
+  let three name = Printf.sprintf "%s %s, %s, %s" name (v src2) (v src1) (v dst) in
+  let arith base =
+    if avx then three (pd ~avx base w) else two (pd ~avx base w)
+  in
+  match op with
+  | Fadd -> arith "add"
+  | Fsub -> arith "sub"
+  | Fmul -> arith "mul"
+  | Fdiv -> arith "div"
+  | Fxor ->
+      (* zeroing and bitwise ops are always full-register packed ops *)
+      let name = if avx then "vxorpd" else "xorpd" in
+      if avx then three name else two name
+  | Fmov ->
+      let name = if avx then "vmovapd" else "movapd" in
+      Printf.sprintf "%s %s, %s" name (v src1) (v dst)
+  | Fma231 ->
+      let name = if w = W64 then "vfmadd231sd" else "vfmadd231pd" in
+      Printf.sprintf "%s %s, %s, %s" name (v src2) (v src1) (v dst)
+  | Fhadd ->
+      let name = if avx then "vhaddpd" else "haddpd" in
+      if avx then three name else two name
+  | Funpckl ->
+      let name = if avx then "vunpcklpd" else "unpcklpd" in
+      if avx then three name else two name
+  | Funpckh ->
+      let name = if avx then "vunpckhpd" else "unpckhpd" in
+      if avx then three name else two name
+
+let insn_str ~avx (i : t) : string =
+  let v = vreg_name in
+  match i with
+  | Vop { op; w; dst; src1; src2 } -> fpop_insn ~avx op w dst src1 src2
+  | Vfma4 { w; dst; a; b; c } ->
+      let name = if w = W64 then "vfmaddsd" else "vfmaddpd" in
+      Printf.sprintf "%s %s, %s, %s, %s" name (v w c) (v w b) (v w a) (v w dst)
+  | Vload { w; dst; src } -> (
+      match w with
+      | W64 ->
+          Printf.sprintf "%s %s, %s"
+            (if avx then "vmovsd" else "movsd")
+            (mem_str src) (v w dst)
+      | W128 | W256 ->
+          Printf.sprintf "%s %s, %s"
+            (if avx then "vmovupd" else "movupd")
+            (mem_str src) (v w dst))
+  | Vstore { w; src; dst } -> (
+      match w with
+      | W64 ->
+          Printf.sprintf "%s %s, %s"
+            (if avx then "vmovsd" else "movsd")
+            (v w src) (mem_str dst)
+      | W128 | W256 ->
+          Printf.sprintf "%s %s, %s"
+            (if avx then "vmovupd" else "movupd")
+            (v w src) (mem_str dst))
+  | Vbroadcast { w; dst; src } -> (
+      match w with
+      | W64 ->
+          Printf.sprintf "%s %s, %s"
+            (if avx then "vmovsd" else "movsd")
+            (mem_str src) (v w dst)
+      | W128 ->
+          Printf.sprintf "%s %s, %s"
+            (if avx then "vmovddup" else "movddup")
+            (mem_str src) (v w dst)
+      | W256 -> Printf.sprintf "vbroadcastsd %s, %s" (mem_str src) (v w dst))
+  | Vshuf { w; dst; src1; src2; imm } ->
+      if avx then
+        Printf.sprintf "vshufpd $%d, %s, %s, %s" imm (v w src2) (v w src1)
+          (v w dst)
+      else (
+        check_sse2op ~avx ~what:"shufpd" dst src1;
+        Printf.sprintf "shufpd $%d, %s, %s" imm (v w src2) (v w dst))
+  | Vblend { w; dst; src1; src2; imm } ->
+      if avx then
+        Printf.sprintf "vblendpd $%d, %s, %s, %s" imm (v w src2) (v w src1)
+          (v w dst)
+      else (
+        check_sse2op ~avx ~what:"blendpd" dst src1;
+        Printf.sprintf "blendpd $%d, %s, %s" imm (v w src2) (v w dst))
+  | Vperm128 { dst; src1; src2; imm } ->
+      Printf.sprintf "vperm2f128 $%d, %s, %s, %s" imm (v W256 src2)
+        (v W256 src1) (v W256 dst)
+  | Vextract128 { dst; src; lane } ->
+      Printf.sprintf "vextractf128 $%d, %s, %s" lane (v W256 src) (v W128 dst)
+  | Movq_xr { dst; src } ->
+      Printf.sprintf "%s %s, %s"
+        (if avx then "vmovq" else "movq")
+        (gpr_name src) (v W128 dst)
+  | Movri (r, n) -> Printf.sprintf "movq $%d, %s" n (gpr_name r)
+  | Movabs (r, n) -> Printf.sprintf "movabsq $%Ld, %s" n (gpr_name r)
+  | Movrr (d, s) -> Printf.sprintf "movq %s, %s" (gpr_name s) (gpr_name d)
+  | Loadq (d, m) -> Printf.sprintf "movq %s, %s" (mem_str m) (gpr_name d)
+  | Storeq (m, s) -> Printf.sprintf "movq %s, %s" (gpr_name s) (mem_str m)
+  | Addri (r, n) -> Printf.sprintf "addq $%d, %s" n (gpr_name r)
+  | Addrr (d, s) -> Printf.sprintf "addq %s, %s" (gpr_name s) (gpr_name d)
+  | Subri (r, n) -> Printf.sprintf "subq $%d, %s" n (gpr_name r)
+  | Subrr (d, s) -> Printf.sprintf "subq %s, %s" (gpr_name s) (gpr_name d)
+  | Imulrr (d, s) -> Printf.sprintf "imulq %s, %s" (gpr_name s) (gpr_name d)
+  | Imulri (d, s, n) ->
+      Printf.sprintf "imulq $%d, %s, %s" n (gpr_name s) (gpr_name d)
+  | Shlri (r, n) -> Printf.sprintf "shlq $%d, %s" n (gpr_name r)
+  | Negr r -> Printf.sprintf "negq %s" (gpr_name r)
+  | Lea (d, m) -> Printf.sprintf "leaq %s, %s" (mem_str m) (gpr_name d)
+  | Cmprr (a, b) -> Printf.sprintf "cmpq %s, %s" (gpr_name b) (gpr_name a)
+  | Cmpri (a, n) -> Printf.sprintf "cmpq $%d, %s" n (gpr_name a)
+  | Label l -> l ^ ":"
+  | Jmp l -> "jmp " ^ l
+  | Jcc (c, l) -> Printf.sprintf "j%s %s" (cond_suffix c) l
+  | Push r -> "pushq " ^ gpr_name r
+  | Pop r -> "popq " ^ gpr_name r
+  | Ret -> "ret"
+  | Prefetch (Pf_t0, m) -> "prefetcht0 " ^ mem_str m
+  | Prefetch (Pf_w, m) -> "prefetchw " ^ mem_str m
+  | Comment c -> "# " ^ c
+
+let program_to_string ?(avx = true) (p : program) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "\t.text\n\t.globl %s\n\t.type %s, @function\n%s:\n"
+                           p.prog_name p.prog_name p.prog_name);
+  List.iter
+    (fun i ->
+      (match i with
+      | Label _ -> Buffer.add_string buf (insn_str ~avx i)
+      | Comment _ -> Buffer.add_string buf ("\t" ^ insn_str ~avx i)
+      | _ -> Buffer.add_string buf ("\t" ^ insn_str ~avx i));
+      Buffer.add_char buf '\n')
+    p.prog_insns;
+  Buffer.add_string buf
+    (Printf.sprintf "\t.size %s, .-%s\n" p.prog_name p.prog_name);
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** AT&T-syntax printing of the generated assembly.
+
+    When [avx] is set, three-operand VEX encodings are used throughout;
+    otherwise legacy SSE two-operand encodings are printed, which
+    requires [dst = src1] on register-register operations — instruction
+    selection maintains that invariant and the printer enforces it. *)
+
+exception Print_error of string
+
+(** One instruction, without trailing newline. *)
+val insn_str : avx:bool -> Insn.t -> string
+
+(** A complete listing with [.text]/[.globl]/[.size] directives. *)
+val program_to_string : ?avx:bool -> Insn.program -> string

@@ -1,0 +1,297 @@
+(* Dependence graph over straight-line instruction sequences, shared by
+   the instruction scheduler (codegen) and the cycle-level performance
+   model (sim).  Edges cover register RAW/WAR/WAW, flags, and memory
+   ordering with a light disambiguation: accesses through the same
+   (base, index, scale) at non-overlapping displacement ranges are
+   independent, everything else involving a store is ordered. *)
+
+module RM = Map.Make (struct
+  type t = Reg.t
+
+  let compare = Reg.compare
+end)
+
+type node = {
+  id : int;
+  insn : Insn.t;
+  mutable preds : (int * int) list; (* (pred id, latency of edge) *)
+  mutable succs : int list;
+}
+
+type t = {
+  nodes : node array;
+}
+
+let mem_footprint (i : Insn.t) : (Insn.mem * int * bool) option =
+  (* (operand, bytes, is_store) *)
+  match i with
+  | Insn.Vload { w; src; _ } | Insn.Vbroadcast { w; src; _ } ->
+      Some (src, Insn.width_bits w / 8, false)
+  | Insn.Vstore { w; dst; _ } -> Some (dst, Insn.width_bits w / 8, true)
+  | Insn.Loadq (_, m) -> Some (m, 8, false)
+  | Insn.Storeq (m, _) -> Some (m, 8, true)
+  | _ -> None
+
+let mem_independent (m1, s1) (m2, s2) =
+  m1.Insn.base = m2.Insn.base
+  && m1.Insn.index = m2.Insn.index
+  && (m1.Insn.disp + s1 <= m2.Insn.disp || m2.Insn.disp + s2 <= m1.Insn.disp)
+
+(* Latency of the value produced by [i] (cycles until consumers can
+   start), from the architecture's tables. *)
+let latency (arch : Arch.t) (i : Insn.t) : int =
+  match Insn.unit_of i with
+  | Insn.U_fp_add -> arch.Arch.lat_add
+  | Insn.U_fp_mul -> arch.Arch.lat_mul
+  | Insn.U_fp_fma -> arch.Arch.lat_fma
+  | Insn.U_fp_shuf -> arch.Arch.lat_shuf
+  | Insn.U_load -> arch.Arch.lat_load
+  | Insn.U_store -> 1
+  | Insn.U_int -> 1
+  | Insn.U_branch -> 1
+  | Insn.U_none -> 0
+
+(* Number of issue slots one instruction occupies (wide vector ops on a
+   narrow datapath split into multiple uops). *)
+let uops (arch : Arch.t) (i : Insn.t) : int =
+  match i with
+  | Insn.Vop { w; _ } | Insn.Vfma4 { w; _ } | Insn.Vload { w; _ }
+  | Insn.Vstore { w; _ } | Insn.Vbroadcast { w; _ } | Insn.Vshuf { w; _ }
+  | Insn.Vblend { w; _ } ->
+      Arch.uops_for arch w
+  | Insn.Vperm128 _ | Insn.Vextract128 _ -> 1
+  | _ -> 1
+
+(* Build the dependence DAG of [insns] (assumed branch-free).  When
+   [carried] is set, register dependences wrap around from the end of
+   the sequence to the beginning, modelling a loop body in steady
+   state (used by the cycle model, not the scheduler). *)
+let build ?(arch : Arch.t option = None) ?(rename = false)
+    (insns : Insn.t list) : t =
+  let lat i =
+    match arch with Some a -> max 1 (latency a i) | None -> 1
+  in
+  let nodes =
+    Array.of_list
+      (List.mapi (fun id insn -> { id; insn; preds = []; succs = [] }) insns)
+  in
+  let add_edge src dst latency =
+    if src <> dst then begin
+      let n = nodes.(dst) in
+      if not (List.mem_assoc src n.preds) then begin
+        n.preds <- (src, latency) :: n.preds;
+        nodes.(src).succs <- dst :: nodes.(src).succs
+      end
+    end
+  in
+  let last_writer : int RM.t ref = ref RM.empty in
+  let readers_since : int list RM.t ref = ref RM.empty in
+  let last_flag_writer = ref (-1) in
+  let flag_readers = ref [] in
+  let mem_ops = ref [] in
+  (* register versions for address comparison: a pointer bumped between
+     two accesses makes their addresses differ even though the operand
+     text is identical (iteration replicas in the cycle model) *)
+  let reg_version : int RM.t ref = ref RM.empty in
+  let version r = Option.value ~default:0 (RM.find_opt r !reg_version) in
+  let mem_key (m : Insn.mem) =
+    ( m.Insn.base,
+      version (Reg.Gp m.Insn.base),
+      Option.map (fun (r, s) -> (r, version (Reg.Gp r), s)) m.Insn.index )
+  in
+  Array.iter
+    (fun n ->
+      let i = n.insn in
+      (* register RAW *)
+      List.iter
+        (fun r ->
+          (match RM.find_opt r !last_writer with
+          | Some w -> add_edge w n.id (lat nodes.(w).insn)
+          | None -> ());
+          readers_since :=
+            RM.update r
+              (function None -> Some [ n.id ] | Some l -> Some (n.id :: l))
+              !readers_since)
+        (Insn.reads i);
+      (* register WAR and WAW; an out-of-order core renames these
+         away, so the cycle model builds with [rename] set *)
+      List.iter
+        (fun r ->
+          if not rename then begin
+            (match RM.find_opt r !readers_since with
+            | Some rs -> List.iter (fun rd -> add_edge rd n.id 0) rs
+            | None -> ());
+            match RM.find_opt r !last_writer with
+            | Some w -> add_edge w n.id 0
+            | None -> ()
+          end;
+          last_writer := RM.add r n.id !last_writer;
+          reg_version := RM.add r (version r + 1) !reg_version;
+          readers_since := RM.add r [] !readers_since)
+        (Insn.writes i);
+      (* flags *)
+      if Insn.reads_flags i then begin
+        if !last_flag_writer >= 0 then add_edge !last_flag_writer n.id 1;
+        flag_readers := n.id :: !flag_readers
+      end;
+      if Insn.sets_flags i then begin
+        List.iter (fun rd -> add_edge rd n.id 0) !flag_readers;
+        if !last_flag_writer >= 0 then add_edge !last_flag_writer n.id 0;
+        last_flag_writer := n.id;
+        flag_readers := []
+      end;
+      (* memory ordering.  The static scheduler must stay conservative
+         (different base registers may alias); the out-of-order cycle
+         model ([rename]) assumes the core's memory disambiguator
+         resolves accesses through different bases, which holds for the
+         distinct packed streams of these kernels. *)
+      (match mem_footprint i with
+      | None -> ()
+      | Some (m, sz, is_store) ->
+          let key = mem_key m in
+          let may_alias (m1, s1, k1) (m2, s2, k2) =
+            if k1 = k2 && mem_independent (m1, s1) (m2, s2) then false
+            else if rename then
+              (* the OOO disambiguator: same base/index registers at the
+                 same version — otherwise the addresses moved *)
+              k1 = k2
+            else true
+          in
+          List.iter
+            (fun (id', m', sz', key', store') ->
+              if
+                (is_store || store')
+                && may_alias (m, sz, key) (m', sz', key')
+              then
+                add_edge id' n.id (if store' then 1 else lat nodes.(id').insn)
+            )
+            !mem_ops;
+          mem_ops := (n.id, m, sz, key, is_store) :: !mem_ops))
+    nodes;
+  { nodes }
+
+(* Longest path to a sink, used as scheduling priority. *)
+let heights ?(arch : Arch.t option = None) (g : t) : int array =
+  let lat i = match arch with Some a -> max 1 (latency a i) | None -> 1 in
+  let n = Array.length g.nodes in
+  let h = Array.make n 0 in
+  for id = n - 1 downto 0 do
+    let node = g.nodes.(id) in
+    let self = lat node.insn in
+    h.(id) <-
+      List.fold_left (fun acc s -> max acc (h.(s) + self)) self node.succs
+  done;
+  h
+
+(* --- resource-constrained list scheduling ------------------------------ *)
+
+(* Throughput (operations starting per cycle) of each unit class. *)
+let unit_capacity (arch : Arch.t) = function
+  | Insn.U_fp_add -> arch.Arch.fp_add_tp
+  | Insn.U_fp_mul -> arch.Arch.fp_mul_tp
+  | Insn.U_fp_fma -> max arch.Arch.fp_fma_tp 1
+  | Insn.U_fp_shuf -> arch.Arch.fp_shuf_tp
+  | Insn.U_load -> arch.Arch.load_tp
+  | Insn.U_store -> arch.Arch.store_tp
+  | Insn.U_int -> arch.Arch.int_tp
+  | Insn.U_branch -> 1
+  | Insn.U_none -> 1000
+
+(* FMA-capable machines execute adds and multiplies on the FMA pipes;
+   pool the three classes in that case. *)
+let pool_of (arch : Arch.t) (u : Insn.unit_class) : Insn.unit_class =
+  match u with
+  | Insn.U_fp_add | Insn.U_fp_mul | Insn.U_fp_fma ->
+      if arch.Arch.fma <> Arch.No_fma then Insn.U_fp_fma else u
+  | u -> u
+
+(* Greedy cycle-by-cycle list scheduling of a straight-line sequence.
+   Returns the issue order (node ids) and the makespan in cycles. *)
+let list_schedule ?(rename = false) ?(in_order = false) (arch : Arch.t)
+    (insns : Insn.t list) : int list * int =
+  let n = List.length insns in
+  if n = 0 then ([], 0)
+  else begin
+    let g = build ~arch:(Some arch) ~rename insns in
+    let height = heights ~arch:(Some arch) g in
+    let indegree = Array.map (fun nd -> List.length nd.preds) g.nodes in
+    let ready_time = Array.make n 0 in
+    let scheduled = Array.make n false in
+    let finish = Array.make n 0 in
+    let order = ref [] in
+    let cycle = ref 0 in
+    let remaining = ref n in
+    let makespan = ref 0 in
+    (* unit occupancy carried into the next cycle by instructions wider
+       than a port (e.g. 256-bit ops on a 128-bit datapath) *)
+    let carry = Hashtbl.create 8 in
+    while !remaining > 0 do
+      let used = Hashtbl.copy carry in
+      Hashtbl.reset carry;
+      let issued = ref 0 in
+      let progress = ref true in
+      while !progress && !issued < arch.Arch.issue_width do
+        progress := false;
+        let best = ref (-1) in
+        (* an in-order front end may only issue the next instruction in
+           program order; an out-of-order core picks by priority *)
+        let first_unscheduled =
+          let r = ref n in
+          (try
+             for id = 0 to n - 1 do
+               if not scheduled.(id) then begin
+                 r := id;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          !r
+        in
+        for id = 0 to n - 1 do
+          if
+            (not scheduled.(id))
+            && indegree.(id) = 0
+            && ready_time.(id) <= !cycle
+            && ((not in_order) || id = first_unscheduled)
+          then begin
+            let u = pool_of arch (Insn.unit_of g.nodes.(id).insn) in
+            let cap = unit_capacity arch u in
+            let used_u = Option.value ~default:0 (Hashtbl.find_opt used u) in
+            let cost = uops arch g.nodes.(id).insn in
+            if used_u + cost <= cap || (used_u = 0 && cost > cap) then
+              if !best < 0 || height.(id) > height.(!best) then best := id
+          end
+        done;
+        if !best >= 0 then begin
+          let id = !best in
+          scheduled.(id) <- true;
+          decr remaining;
+          incr issued;
+          progress := true;
+          let u = pool_of arch (Insn.unit_of g.nodes.(id).insn) in
+          let cost = uops arch g.nodes.(id).insn in
+          let cap = unit_capacity arch u in
+          let used_u = Option.value ~default:0 (Hashtbl.find_opt used u) in
+          Hashtbl.replace used u (used_u + cost);
+          if used_u + cost > cap then
+            Hashtbl.replace carry u (used_u + cost - cap);
+          order := id :: !order;
+          let lat = max 1 (latency arch g.nodes.(id).insn) in
+          finish.(id) <- !cycle + lat;
+          makespan := max !makespan finish.(id);
+          List.iter
+            (fun s ->
+              indegree.(s) <- indegree.(s) - 1;
+              let edge_lat =
+                match List.assoc_opt id g.nodes.(s).preds with
+                | Some l -> l
+                | None -> 1
+              in
+              ready_time.(s) <- max ready_time.(s) (!cycle + edge_lat))
+            g.nodes.(id).succs
+        end
+      done;
+      incr cycle
+    done;
+    (List.rev !order, max !makespan !cycle)
+  end

@@ -1,0 +1,45 @@
+(** Dependence graphs over straight-line instruction sequences, shared
+    by the static instruction scheduler (codegen) and the cycle-level
+    performance model (sim).
+
+    Edges cover register RAW/WAR/WAW, flags, and memory ordering.
+    Memory disambiguation is address-based with register versioning: a
+    pointer bumped between two accesses makes their addresses differ
+    even though the operand text is identical (iteration replicas in
+    the cycle model).  The [rename] mode models an out-of-order core:
+    WAR/WAW register edges vanish and accesses through different base
+    registers are assumed disjoint (the hardware disambiguator); the
+    static scheduler never uses it. *)
+
+type node = {
+  id : int;
+  insn : Insn.t;
+  mutable preds : (int * int) list;  (** (predecessor, edge latency) *)
+  mutable succs : int list;
+}
+
+type t = { nodes : node array }
+
+(** Result latency of an instruction on an architecture. *)
+val latency : Arch.t -> Insn.t -> int
+
+(** Issue slots one instruction occupies (wide ops on narrow
+    datapaths split). *)
+val uops : Arch.t -> Insn.t -> int
+
+val build : ?arch:Arch.t option -> ?rename:bool -> Insn.t list -> t
+
+(** Critical-path heights (scheduling priority). *)
+val heights : ?arch:Arch.t option -> t -> int array
+
+(** Per-cycle capacity of a unit class. *)
+val unit_capacity : Arch.t -> Insn.unit_class -> int
+
+(** FMA machines execute adds/multiplies on the FMA pipes: pool them. *)
+val pool_of : Arch.t -> Insn.unit_class -> Insn.unit_class
+
+(** Greedy cycle-by-cycle list scheduling.  Returns the issue order
+    (node ids) and the makespan in cycles.  [in_order] restricts issue
+    to program order (the in-order pipeline model). *)
+val list_schedule :
+  ?rename:bool -> ?in_order:bool -> Arch.t -> Insn.t list -> int list * int

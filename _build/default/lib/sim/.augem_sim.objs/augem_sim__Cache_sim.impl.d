@@ -1,0 +1,1 @@
+lib/sim/cache_sim.ml: Array Augem_machine Fmt List

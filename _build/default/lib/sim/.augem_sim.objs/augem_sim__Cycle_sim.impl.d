@@ -1,0 +1,1 @@
+lib/sim/cycle_sim.ml: Arch Array Augem_machine Depgraph Digest Float Hashtbl Insn List Marshal

@@ -1,0 +1,1 @@
+lib/sim/exec_sim.ml: Array Augem_machine Float Fmt Hashtbl Insn Int64 List Reg

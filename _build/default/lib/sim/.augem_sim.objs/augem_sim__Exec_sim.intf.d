@@ -1,0 +1,1 @@
+lib/sim/exec_sim.mli: Augem_machine Hashtbl

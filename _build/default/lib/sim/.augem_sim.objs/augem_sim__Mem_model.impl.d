@@ -1,0 +1,1 @@
+lib/sim/mem_model.ml: Arch Augem_machine

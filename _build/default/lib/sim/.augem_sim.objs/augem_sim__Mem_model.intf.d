@@ -1,0 +1,1 @@
+lib/sim/mem_model.mli: Augem_machine

@@ -1,0 +1,1 @@
+lib/sim/perf.ml: Arch Augem_machine Cycle_sim Float Insn Mem_model

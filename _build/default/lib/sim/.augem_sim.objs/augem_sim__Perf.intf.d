@@ -1,0 +1,1 @@
+lib/sim/perf.mli: Augem_machine Mem_model

@@ -1,0 +1,122 @@
+(* Set-associative cache hierarchy simulator.  Observes the functional
+   simulator's memory accesses (loads, stores, software prefetches) and
+   counts hits and misses per level — the measurement companion to the
+   analytic bandwidth model in [Mem_model].  Inclusive hierarchy, LRU
+   replacement, write-allocate. *)
+
+type cache = {
+  c_name : string;
+  c_sets : int;
+  c_ways : int;
+  c_line : int; (* bytes, power of two *)
+  tags : int array array; (* [set].[way] = tag, -1 empty *)
+  age : int array array; (* LRU counters *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create_cache ~name ~size_bytes ~ways ~line =
+  let sets = max 1 (size_bytes / (ways * line)) in
+  {
+    c_name = name;
+    c_sets = sets;
+    c_ways = ways;
+    c_line = line;
+    tags = Array.init sets (fun _ -> Array.make ways (-1));
+    age = Array.init sets (fun _ -> Array.make ways 0);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+(* Access one line; returns [true] on hit.  Misses allocate. *)
+let access_line (c : cache) (line_addr : int) : bool =
+  c.tick <- c.tick + 1;
+  let set = line_addr mod c.c_sets in
+  let tag = line_addr / c.c_sets in
+  let tags = c.tags.(set) and age = c.age.(set) in
+  let hit = ref false in
+  for w = 0 to c.c_ways - 1 do
+    if tags.(w) = tag then begin
+      hit := true;
+      age.(w) <- c.tick
+    end
+  done;
+  if !hit then c.hits <- c.hits + 1
+  else begin
+    c.misses <- c.misses + 1;
+    (* evict LRU *)
+    let victim = ref 0 in
+    for w = 1 to c.c_ways - 1 do
+      if age.(w) < age.(!victim) then victim := w
+    done;
+    tags.(!victim) <- tag;
+    age.(!victim) <- c.tick
+  end;
+  !hit
+
+type hierarchy = {
+  l1 : cache;
+  l2 : cache;
+  l3 : cache option;
+  mutable dram_accesses : int;
+}
+
+(* Build a hierarchy matching an architecture record (64-byte lines;
+   representative associativities). *)
+let of_arch (arch : Augem_machine.Arch.t) : hierarchy =
+  let line = 64 in
+  {
+    l1 = create_cache ~name:"L1d" ~size_bytes:arch.Augem_machine.Arch.l1_bytes
+        ~ways:8 ~line;
+    l2 = create_cache ~name:"L2" ~size_bytes:arch.Augem_machine.Arch.l2_bytes
+        ~ways:8 ~line;
+    l3 =
+      (if arch.Augem_machine.Arch.l3_bytes > 0 then
+         Some
+           (create_cache ~name:"L3"
+              ~size_bytes:arch.Augem_machine.Arch.l3_bytes ~ways:16 ~line)
+       else None);
+    dram_accesses = 0;
+  }
+
+(* One memory access of [bytes] at [addr] (stores allocate too). *)
+let access (h : hierarchy) ~(addr : int) ~(bytes : int) ~(store : bool) : unit
+    =
+  ignore store;
+  let line = h.l1.c_line in
+  let first = addr / line and last = (addr + bytes - 1) / line in
+  for la = first to last do
+    if not (access_line h.l1 la) then
+      if not (access_line h.l2 la) then
+        match h.l3 with
+        | Some l3 -> if not (access_line l3 la) then h.dram_accesses <- h.dram_accesses + 1
+        | None -> h.dram_accesses <- h.dram_accesses + 1
+  done
+
+type level_stats = {
+  ls_name : string;
+  ls_hits : int;
+  ls_misses : int;
+}
+
+let stats (h : hierarchy) : level_stats list * int =
+  let of_cache c = { ls_name = c.c_name; ls_hits = c.hits; ls_misses = c.misses } in
+  ( [ of_cache h.l1; of_cache h.l2 ]
+    @ (match h.l3 with Some c -> [ of_cache c ] | None -> []),
+    h.dram_accesses )
+
+let hit_rate (ls : level_stats) : float =
+  let total = ls.ls_hits + ls.ls_misses in
+  if total = 0 then 0. else float_of_int ls.ls_hits /. float_of_int total
+
+let pp_stats fmt (h : hierarchy) =
+  let levels, dram = stats h in
+  List.iter
+    (fun ls ->
+      Fmt.pf fmt "%-4s %9d hits %9d misses  (%.1f%% hit rate)@\n" ls.ls_name
+        ls.ls_hits ls.ls_misses
+        (100. *. hit_rate ls))
+    levels;
+  Fmt.pf fmt "DRAM %9d line fetches@\n" dram

@@ -1,0 +1,396 @@
+(* Functional simulator for the generated assembly: executes every
+   instruction of [Insn.program] with exact x86-64 semantics (as far as
+   our subset goes).  This is the correctness gate of the whole
+   framework: generated kernels run here against randomized inputs and
+   are compared with the reference BLAS.
+
+   Memory is a flat 8-byte-cell store; double-precision values live as
+   their IEEE-754 bit patterns.  Caller-allocated buffers are copied in
+   at distinct base addresses and copied back out after the run. *)
+
+open Augem_machine
+
+exception Sim_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Sim_error s)) fmt
+
+type state = {
+  gpr : int64 array; (* 16 *)
+  vec : float array array; (* 16 x 4 lanes *)
+  mem : (int, int64) Hashtbl.t; (* cell index (addr/8) -> bits *)
+  mutable flags : int64 * int64; (* last comparison operands *)
+  mutable executed : int;
+  mutable flops : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable prefetches : int;
+}
+
+let stack_base = 0x7F_0000_0000
+
+let create () =
+  {
+    gpr = Array.make 16 0L;
+    vec = Array.init 16 (fun _ -> Array.make 4 0.);
+    mem = Hashtbl.create 4096;
+    flags = (0L, 0L);
+    executed = 0;
+    flops = 0;
+    loads = 0;
+    stores = 0;
+    prefetches = 0;
+  }
+
+let gpr_idx = Reg.gpr_index
+
+let get_gpr st r = st.gpr.(gpr_idx r)
+let set_gpr st r v = st.gpr.(gpr_idx r) <- v
+
+let addr_of st (m : Insn.mem) : int =
+  let base = Int64.to_int (get_gpr st m.Insn.base) in
+  let index =
+    match m.Insn.index with
+    | None -> 0
+    | Some (r, s) -> Int64.to_int (get_gpr st r) * Insn.scale_value s
+  in
+  base + index + m.Insn.disp
+
+let read_cell st addr =
+  if addr land 7 <> 0 then err "unaligned 8-byte access at %#x" addr;
+  match Hashtbl.find_opt st.mem (addr asr 3) with
+  | Some v -> v
+  | None -> 0L
+
+let write_cell st addr v =
+  if addr land 7 <> 0 then err "unaligned 8-byte access at %#x" addr;
+  Hashtbl.replace st.mem (addr asr 3) v
+
+let read_double st addr = Int64.float_of_bits (read_cell st addr)
+let write_double st addr f = write_cell st addr (Int64.bits_of_float f)
+
+(* --- buffers ----------------------------------------------------------- *)
+
+(* Base addresses for caller buffers: 1 MiB apart, starting at 16 MiB. *)
+let buffer_base i = (16 + i) * 0x10_0000
+
+let load_buffer st ~base (data : float array) =
+  Array.iteri (fun i x -> write_double st (base + (8 * i)) x) data
+
+let read_back st ~base (data : float array) =
+  Array.iteri (fun i _ -> data.(i) <- read_double st (base + (8 * i))) data
+
+(* --- execution --------------------------------------------------------- *)
+
+let vlanes = Insn.lanes
+
+let exec_fpop st (op : Insn.fpop) w dst src1 src2 =
+  let v = st.vec in
+  let n = vlanes w in
+  let d = Array.copy v.(dst) in
+  (match op with
+  | Insn.Fadd | Insn.Fsub | Insn.Fmul | Insn.Fdiv ->
+      let f =
+        match op with
+        | Insn.Fadd -> ( +. )
+        | Insn.Fsub -> ( -. )
+        | Insn.Fmul -> ( *. )
+        | Insn.Fdiv -> ( /. )
+        | _ -> assert false
+      in
+      st.flops <- st.flops + n;
+      for i = 0 to n - 1 do
+        d.(i) <- f v.(src1).(i) v.(src2).(i)
+      done;
+      (* scalar ops leave upper lanes as src1 (VEX) / dst (SSE=src1) *)
+      if w = Insn.W64 then
+        for i = 1 to 3 do
+          d.(i) <- v.(src1).(i)
+        done
+      else if w = Insn.W128 then begin
+        d.(2) <- 0.;
+        d.(3) <- 0.
+      end
+  | Insn.Fxor ->
+      let n' = if w = Insn.W64 then 2 else n in
+      for i = 0 to 3 do
+        if i < n' then
+          d.(i) <-
+            Int64.float_of_bits
+              (Int64.logxor
+                 (Int64.bits_of_float v.(src1).(i))
+                 (Int64.bits_of_float v.(src2).(i)))
+        else d.(i) <- 0.
+      done
+  | Insn.Fmov ->
+      for i = 0 to 3 do
+        d.(i) <- (if i < max n 2 then v.(src1).(i) else 0.)
+      done
+  | Insn.Fma231 ->
+      st.flops <- st.flops + (2 * n);
+      for i = 0 to n - 1 do
+        d.(i) <- Float.fma v.(src1).(i) v.(src2).(i) v.(dst).(i)
+      done;
+      if w = Insn.W64 then ()
+      else if w = Insn.W128 then begin
+        d.(2) <- 0.;
+        d.(3) <- 0.
+      end
+  | Insn.Fhadd ->
+      st.flops <- st.flops + n;
+      d.(0) <- v.(src1).(0) +. v.(src1).(1);
+      d.(1) <- v.(src2).(0) +. v.(src2).(1);
+      if w = Insn.W256 then begin
+        d.(2) <- v.(src1).(2) +. v.(src1).(3);
+        d.(3) <- v.(src2).(2) +. v.(src2).(3)
+      end
+      else begin
+        d.(2) <- 0.;
+        d.(3) <- 0.
+      end
+  | Insn.Funpckl ->
+      d.(0) <- v.(src1).(0);
+      d.(1) <- v.(src2).(0);
+      if w = Insn.W256 then begin
+        d.(2) <- v.(src1).(2);
+        d.(3) <- v.(src2).(2)
+      end
+      else begin
+        d.(2) <- 0.;
+        d.(3) <- 0.
+      end
+  | Insn.Funpckh ->
+      d.(0) <- v.(src1).(1);
+      d.(1) <- v.(src2).(1);
+      if w = Insn.W256 then begin
+        d.(2) <- v.(src1).(3);
+        d.(3) <- v.(src2).(3)
+      end
+      else begin
+        d.(2) <- 0.;
+        d.(3) <- 0.
+      end);
+  v.(dst) <- d
+
+let cond_holds (a, b) = function
+  | Insn.Clt -> Int64.compare a b < 0
+  | Insn.Cle -> Int64.compare a b <= 0
+  | Insn.Cgt -> Int64.compare a b > 0
+  | Insn.Cge -> Int64.compare a b >= 0
+  | Insn.Ceq -> Int64.equal a b
+  | Insn.Cne -> not (Int64.equal a b)
+
+type result = {
+  r_executed : int;
+  r_flops : int;
+  r_loads : int;
+  r_stores : int;
+  r_prefetches : int;
+}
+
+let default_fuel = 2_000_000_000
+
+(* Run a program to completion (Ret at top level).  [sp] sets the
+   initial stack pointer (arguments may already sit above it);
+   [on_access] observes every data-memory access (cache simulation). *)
+let run ?(fuel = default_fuel) ?(sp = stack_base) ?on_access (st : state)
+    (p : Insn.program) : result =
+  let insns = Array.of_list p.Insn.prog_insns in
+  let labels = Hashtbl.create 32 in
+  Array.iteri
+    (fun i insn ->
+      match insn with
+      | Insn.Label l -> Hashtbl.replace labels l i
+      | _ -> ())
+    insns;
+  let target l =
+    match Hashtbl.find_opt labels l with
+    | Some i -> i
+    | None -> err "undefined label %s" l
+  in
+  set_gpr st Reg.Rsp (Int64.of_int sp);
+  let observe ~addr ~bytes ~store =
+    match on_access with
+    | Some f -> f ~addr ~bytes ~store
+    | None -> ()
+  in
+  let pc = ref 0 in
+  let steps = ref 0 in
+  let n = Array.length insns in
+  let running = ref true in
+  while !running do
+    if !pc >= n then err "fell off the end of the program";
+    incr steps;
+    if !steps > fuel then err "fuel exhausted (%d instructions)" fuel;
+    let i = insns.(!pc) in
+    st.executed <- st.executed + 1;
+    incr pc;
+    match i with
+    | Insn.Label _ | Insn.Comment _ -> st.executed <- st.executed - 1
+    | Insn.Vop { op; w; dst; src1; src2 } -> exec_fpop st op w dst src1 src2
+    | Insn.Vfma4 { w; dst; a; b; c } ->
+        let v = st.vec in
+        let nw = vlanes w in
+        st.flops <- st.flops + (2 * nw);
+        let d = Array.make 4 0. in
+        for l = 0 to nw - 1 do
+          d.(l) <- Float.fma v.(a).(l) v.(b).(l) v.(c).(l)
+        done;
+        if w = Insn.W64 then for l = 1 to 3 do d.(l) <- v.(a).(l) done;
+        v.(dst) <- d
+    | Insn.Vload { w; dst; src } ->
+        st.loads <- st.loads + 1;
+        let a = addr_of st src in
+        observe ~addr:a ~bytes:(Insn.width_bits w / 8) ~store:false;
+        let d = Array.make 4 0. in
+        for l = 0 to vlanes w - 1 do
+          d.(l) <- read_double st (a + (8 * l))
+        done;
+        st.vec.(dst) <- d
+    | Insn.Vstore { w; src; dst } ->
+        st.stores <- st.stores + 1;
+        let a = addr_of st dst in
+        observe ~addr:a ~bytes:(Insn.width_bits w / 8) ~store:true;
+        for l = 0 to vlanes w - 1 do
+          write_double st (a + (8 * l)) st.vec.(src).(l)
+        done
+    | Insn.Vbroadcast { w; dst; src } ->
+        st.loads <- st.loads + 1;
+        let a = addr_of st src in
+        observe ~addr:a ~bytes:8 ~store:false;
+        let x = read_double st a in
+        let d = Array.make 4 0. in
+        for l = 0 to max (vlanes w) 1 - 1 do
+          d.(l) <- x
+        done;
+        (* movddup fills both 128-bit lanes *)
+        if w = Insn.W128 then d.(1) <- x;
+        st.vec.(dst) <- d
+    | Insn.Vshuf { w; dst; src1; src2; imm } ->
+        let v = st.vec in
+        let d = Array.make 4 0. in
+        d.(0) <- v.(src1).(imm land 1);
+        d.(1) <- v.(src2).((imm lsr 1) land 1);
+        if w = Insn.W256 then begin
+          d.(2) <- v.(src1).(2 + ((imm lsr 2) land 1));
+          d.(3) <- v.(src2).(2 + ((imm lsr 3) land 1))
+        end;
+        v.(dst) <- d
+    | Insn.Vblend { w; dst; src1; src2; imm } ->
+        let v = st.vec in
+        let d = Array.make 4 0. in
+        for l = 0 to vlanes w - 1 do
+          d.(l) <- (if (imm lsr l) land 1 = 1 then v.(src2).(l) else v.(src1).(l))
+        done;
+        v.(dst) <- d
+    | Insn.Vperm128 { dst; src1; src2; imm } ->
+        let v = st.vec in
+        let sel nib =
+          if nib land 8 <> 0 then [| 0.; 0. |]
+          else
+            match nib land 3 with
+            | 0 -> [| v.(src1).(0); v.(src1).(1) |]
+            | 1 -> [| v.(src1).(2); v.(src1).(3) |]
+            | 2 -> [| v.(src2).(0); v.(src2).(1) |]
+            | _ -> [| v.(src2).(2); v.(src2).(3) |]
+        in
+        let lo = sel (imm land 0xF) and hi = sel ((imm lsr 4) land 0xF) in
+        v.(dst) <- [| lo.(0); lo.(1); hi.(0); hi.(1) |]
+    | Insn.Vextract128 { dst; src; lane } ->
+        let v = st.vec in
+        let o = lane * 2 in
+        v.(dst) <- [| v.(src).(o); v.(src).(o + 1); 0.; 0. |]
+    | Insn.Movq_xr { dst; src } ->
+        st.vec.(dst) <- [| Int64.float_of_bits (get_gpr st src); 0.; 0.; 0. |]
+    | Insn.Movri (r, v) -> set_gpr st r (Int64.of_int v)
+    | Insn.Movabs (r, v) -> set_gpr st r v
+    | Insn.Movrr (d, s) -> set_gpr st d (get_gpr st s)
+    | Insn.Loadq (d, m) ->
+        st.loads <- st.loads + 1;
+        set_gpr st d (read_cell st (addr_of st m))
+    | Insn.Storeq (m, s) ->
+        st.stores <- st.stores + 1;
+        write_cell st (addr_of st m) (get_gpr st s)
+    | Insn.Addri (r, v) -> set_gpr st r (Int64.add (get_gpr st r) (Int64.of_int v))
+    | Insn.Addrr (d, s) -> set_gpr st d (Int64.add (get_gpr st d) (get_gpr st s))
+    | Insn.Subri (r, v) -> set_gpr st r (Int64.sub (get_gpr st r) (Int64.of_int v))
+    | Insn.Subrr (d, s) -> set_gpr st d (Int64.sub (get_gpr st d) (get_gpr st s))
+    | Insn.Imulrr (d, s) -> set_gpr st d (Int64.mul (get_gpr st d) (get_gpr st s))
+    | Insn.Imulri (d, s, v) ->
+        set_gpr st d (Int64.mul (get_gpr st s) (Int64.of_int v))
+    | Insn.Shlri (r, v) -> set_gpr st r (Int64.shift_left (get_gpr st r) v)
+    | Insn.Negr r -> set_gpr st r (Int64.neg (get_gpr st r))
+    | Insn.Lea (d, m) -> set_gpr st d (Int64.of_int (addr_of st m))
+    | Insn.Cmprr (a, b) -> st.flags <- (get_gpr st a, get_gpr st b)
+    | Insn.Cmpri (a, v) -> st.flags <- (get_gpr st a, Int64.of_int v)
+    | Insn.Jmp l -> pc := target l
+    | Insn.Jcc (c, l) -> if cond_holds st.flags c then pc := target l
+    | Insn.Push r ->
+        let sp = Int64.sub (get_gpr st Reg.Rsp) 8L in
+        set_gpr st Reg.Rsp sp;
+        write_cell st (Int64.to_int sp) (get_gpr st r)
+    | Insn.Pop r ->
+        let sp = get_gpr st Reg.Rsp in
+        set_gpr st r (read_cell st (Int64.to_int sp));
+        set_gpr st Reg.Rsp (Int64.add sp 8L)
+    | Insn.Ret -> running := false
+    | Insn.Prefetch (_, m) ->
+        (* software prefetch fills the cache like a load *)
+        observe ~addr:(addr_of st m) ~bytes:8 ~store:false;
+        st.prefetches <- st.prefetches + 1
+  done;
+  {
+    r_executed = st.executed;
+    r_flops = st.flops;
+    r_loads = st.loads;
+    r_stores = st.stores;
+    r_prefetches = st.prefetches;
+  }
+
+(* --- high-level harness ------------------------------------------------ *)
+
+type arg =
+  | Aint of int
+  | Adouble of float
+  | Abuf of float array (* modified in place after the run *)
+
+(* Call a generated kernel with System V argument passing. *)
+let call ?(fuel = default_fuel) ?on_access (p : Insn.program)
+    (args : arg list) : result =
+  let st = create () in
+  let int_regs = ref Reg.argument_gprs in
+  let fp_reg = ref 0 in
+  let stack_args = ref [] in
+  let buffers = ref [] in
+  List.iteri
+    (fun i a ->
+      let as_int_arg v =
+        match !int_regs with
+        | r :: rest ->
+            int_regs := rest;
+            set_gpr st r v
+        | [] -> stack_args := v :: !stack_args
+      in
+      match a with
+      | Aint n -> as_int_arg (Int64.of_int n)
+      | Adouble f ->
+          if !fp_reg >= 8 then err "too many double arguments";
+          st.vec.(!fp_reg).(0) <- f;
+          incr fp_reg
+      | Abuf data ->
+          let base = buffer_base i in
+          load_buffer st ~base data;
+          buffers := (base, data) :: !buffers;
+          as_int_arg (Int64.of_int base))
+    args;
+  (* push stack args (right to left), then a fake return address *)
+  let sp = ref stack_base in
+  List.iter
+    (fun v ->
+      sp := !sp - 8;
+      write_cell st !sp v)
+    !stack_args;
+  sp := !sp - 8;
+  write_cell st !sp 0xDEAD_BEEFL;
+  let result = run ~fuel ~sp:!sp ?on_access st p in
+  List.iter (fun (base, data) -> read_back st ~base data) !buffers;
+  result

@@ -1,0 +1,67 @@
+(** Functional simulator for the generated assembly: executes every
+    instruction of an {!Augem_machine.Insn.program} with exact x86-64
+    semantics (within our subset).  This is the correctness gate of the
+    whole framework: generated kernels run here against randomized
+    inputs and are compared with the reference BLAS.
+
+    Memory is a flat 8-byte-cell store; doubles live as their IEEE-754
+    bit patterns.  Caller buffers are copied in at distinct base
+    addresses and copied back after the run. *)
+
+exception Sim_error of string
+
+(** Full machine state.  Exposed for white-box tests (e.g. checking
+    callee-saved registers survive a call). *)
+type state = {
+  gpr : int64 array;
+  vec : float array array;  (** 16 registers x 4 lanes *)
+  mem : (int, int64) Hashtbl.t;
+  mutable flags : int64 * int64;  (** last comparison operands *)
+  mutable executed : int;
+  mutable flops : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable prefetches : int;
+}
+
+val create : unit -> state
+val get_gpr : state -> Augem_machine.Reg.gpr -> int64
+val set_gpr : state -> Augem_machine.Reg.gpr -> int64 -> unit
+
+(** Dynamic-execution counters of one run. *)
+type result = {
+  r_executed : int;
+  r_flops : int;
+  r_loads : int;
+  r_stores : int;
+  r_prefetches : int;
+}
+
+(** Run a program to completion (top-level [Ret]).  [fuel] bounds the
+    dynamic instruction count; [sp] sets the initial stack pointer.
+    Raises {!Sim_error} on faults (unaligned access, undefined label,
+    fuel exhaustion). *)
+val run :
+  ?fuel:int ->
+  ?sp:int ->
+  ?on_access:(addr:int -> bytes:int -> store:bool -> unit) ->
+  state ->
+  Augem_machine.Insn.program ->
+  result
+
+(** Arguments for {!call}; [Abuf] arrays are copied back (mutated)
+    after the run. *)
+type arg =
+  | Aint of int
+  | Adouble of float
+  | Abuf of float array
+
+(** Call a program with System V AMD64 argument passing (integer and
+    pointer args in rdi/rsi/rdx/rcx/r8/r9 then the stack, doubles in
+    xmm0-7). *)
+val call :
+  ?fuel:int ->
+  ?on_access:(addr:int -> bytes:int -> store:bool -> unit) ->
+  Augem_machine.Insn.program ->
+  arg list ->
+  result

@@ -1,0 +1,54 @@
+(* Cache and bandwidth model.  Kernels are modelled as streaming
+   computations: the achievable data rate is the bandwidth of the
+   smallest cache level that holds the working set, scaled by a
+   utilization factor that rewards software prefetching (the measured
+   effect the paper's prefetch optimization exists for). *)
+
+open Augem_machine
+
+type level =
+  | L1
+  | L2
+  | L3
+  | DRAM
+
+let level_name = function L1 -> "L1" | L2 -> "L2" | L3 -> "L3" | DRAM -> "DRAM"
+
+(* The level a working set of [bytes] lives in once warm. *)
+let residency (arch : Arch.t) (bytes : int) : level =
+  if bytes <= arch.Arch.l1_bytes then L1
+  else if bytes <= arch.Arch.l2_bytes then L2
+  else if arch.Arch.l3_bytes > 0 && bytes <= arch.Arch.l3_bytes then L3
+  else DRAM
+
+let raw_bandwidth (arch : Arch.t) = function
+  | L1 -> arch.Arch.bw_l1
+  | L2 -> arch.Arch.bw_l2
+  | L3 -> arch.Arch.bw_l3
+  | DRAM -> arch.Arch.bw_mem
+
+(* Fraction of the raw bandwidth a streaming kernel sustains.  Software
+   prefetch hides most of the access latency beyond L1; without it the
+   hardware prefetcher alone leaves a gap that widens further from the
+   core. *)
+let utilization (arch : Arch.t) ~(prefetch : bool) (lvl : level) : float =
+  let hw = arch.Arch.hw_prefetch in
+  match (lvl, prefetch) with
+  | L1, _ -> 1.0
+  | L2, true -> 0.95
+  | L2, false -> 0.85 *. hw
+  | L3, true -> 0.92
+  | L3, false -> 0.75 *. hw
+  | DRAM, true -> 0.90
+  | DRAM, false -> 0.70 *. hw
+
+(* Cycles to move [traffic] bytes of streaming data whose working set
+   is [working_set] bytes. *)
+let stream_cycles (arch : Arch.t) ~(working_set : int) ~(traffic : float)
+    ~(prefetch : bool) : float =
+  let lvl = residency arch working_set in
+  let bw = raw_bandwidth arch lvl *. utilization arch ~prefetch lvl in
+  traffic /. bw
+
+let stream_level (arch : Arch.t) ~(working_set : int) : level =
+  residency arch working_set

@@ -1,0 +1,35 @@
+(** Cache and bandwidth model.
+
+    Kernels are modelled as streaming computations: the achievable data
+    rate is the bandwidth of the smallest cache level holding the
+    working set, scaled by a utilization factor that rewards software
+    prefetching (the measured effect the paper's prefetch optimization
+    exists for), with the no-prefetch case further scaled by the CPU's
+    hardware-prefetcher quality. *)
+
+type level =
+  | L1
+  | L2
+  | L3
+  | DRAM
+
+val level_name : level -> string
+
+(** The level a working set of the given size lives in once warm. *)
+val residency : Augem_machine.Arch.t -> int -> level
+
+val raw_bandwidth : Augem_machine.Arch.t -> level -> float
+
+(** Sustained fraction of raw bandwidth, per level and prefetch mode. *)
+val utilization : Augem_machine.Arch.t -> prefetch:bool -> level -> float
+
+(** Cycles to move [traffic] bytes of streaming data whose working set
+    is [working_set] bytes. *)
+val stream_cycles :
+  Augem_machine.Arch.t ->
+  working_set:int ->
+  traffic:float ->
+  prefetch:bool ->
+  float
+
+val stream_level : Augem_machine.Arch.t -> working_set:int -> level

@@ -1,0 +1,128 @@
+(* MFLOPS predictor: combines the cycle-level steady-state cost of a
+   kernel's hot loop (Cycle_sim) with the streaming-bandwidth bound of
+   the memory system (Mem_model) for a given problem size, exactly the
+   two-bound reasoning (compute roof vs. bandwidth roof) that governs
+   dense linear algebra performance.
+
+   The absolute numbers are those of the modelled microarchitectures;
+   the benchmarks compare *libraries* on the *same* model, so relative
+   positions — who wins, by what factor — are what carries over from
+   the paper. *)
+
+open Augem_machine
+
+type workload =
+  | W_gemm of { m : int; n : int; k : int } (* C(m x n) += A(m x k) B(k x n) *)
+  | W_gemv of { m : int; n : int } (* y(m) += A(m x n) x(n) *)
+  | W_axpy of { n : int }
+  | W_dot of { n : int }
+
+let workload_flops = function
+  | W_gemm { m; n; k } -> 2.0 *. float_of_int m *. float_of_int n *. float_of_int k
+  | W_gemv { m; n } -> 2.0 *. float_of_int m *. float_of_int n
+  | W_axpy { n } -> 2.0 *. float_of_int n
+  | W_dot { n } -> 2.0 *. float_of_int n
+
+(* Elements touched, for kernels that perform no arithmetic (DCOPY):
+   their "MFLOPS" figure is then millions of elements per second. *)
+let workload_elements = function
+  | W_gemm { m; n; k } -> float_of_int m *. float_of_int n *. float_of_int k
+  | W_gemv { m; n } -> float_of_int (m * n)
+  | W_axpy { n } | W_dot { n } -> float_of_int n
+
+type estimate = {
+  e_mflops : float;
+  e_compute_cycles : float;
+  e_memory_cycles : float;
+  e_flops : float;
+  e_level : Mem_model.level;
+  e_cycles_per_iter : float;
+  e_flops_per_iter : int;
+}
+
+(* Fixed call overhead (argument setup, packing-loop startup, BLAS
+   interface) in cycles. *)
+let call_overhead = 2500.
+
+(* Per-microkernel-invocation overhead for blocked GEMM: accumulator
+   zeroing, C tile update, pointer setup. *)
+let tile_overhead ~flops_per_iter = 30.0 +. float_of_int flops_per_iter
+
+exception No_hot_loop of string
+
+let analyze_loop ?pipeline_model (arch : Arch.t) (p : Insn.program) :
+    Cycle_sim.loop_info =
+  match Cycle_sim.hot_loop ?pipeline_model arch p with
+  | Some li when li.Cycle_sim.li_flops > 0 || li.Cycle_sim.li_load_bytes > 0
+    ->
+      li
+  | Some _ | None -> raise (No_hot_loop p.Insn.prog_name)
+
+(* Traffic and working-set model per workload (bytes). *)
+let memory_profile (w : workload) : int * float =
+  match w with
+  | W_gemm { m; n; k } ->
+      (* Working set of the steady state: the packed panels (sized by
+         the blocking, not the problem); traffic: A and B each read and
+         repacked once per panel pass, C read+written once. *)
+      let fm = float_of_int m and fn = float_of_int n and fk = float_of_int k in
+      let traffic = 8.0 *. ((2. *. fm *. fk) +. (2. *. fk *. fn) +. (3. *. fm *. fn)) in
+      (* steady-state working set: packed A block (L2-sized by design) *)
+      (256 * 1024, traffic)
+  | W_gemv { m; n } ->
+      let bytes = 8 * ((m * n) + m + n) in
+      (bytes, 8.0 *. float_of_int ((m * n) + (2 * m) + n))
+  | W_axpy { n } ->
+      let ws = 16 * n in
+      (ws, 24.0 *. float_of_int n)
+  | W_dot { n } ->
+      let ws = 16 * n in
+      (ws, 16.0 *. float_of_int n)
+
+let predict ?pipeline_model (arch : Arch.t) (p : Insn.program)
+    (w : workload) : estimate =
+  let li = analyze_loop ?pipeline_model arch p in
+  let flops = workload_flops w in
+  (* work accounting: flops when the loop computes, elements when it
+     only moves data (DCOPY-style) *)
+  let work, units_per_iter =
+    if li.Cycle_sim.li_flops > 0 then
+      (flops, float_of_int li.Cycle_sim.li_flops)
+    else
+      ( workload_elements w,
+        Float.max 1.0 (float_of_int (li.Cycle_sim.li_load_bytes / 8)) )
+  in
+  let work_per_cycle = units_per_iter /. li.Cycle_sim.li_cycles in
+  let compute =
+    (work /. work_per_cycle)
+    +.
+    match w with
+    | W_gemm { m; n; k = _ } ->
+        (* one microtile pass per (Mr x Nr) tile per Kc block; the k
+           loop is the hot loop, so per-invocation overhead amortizes
+           over Kc iterations *)
+        let tiles =
+          flops /. 2.0 /. float_of_int li.Cycle_sim.li_flops *. 2.0 /. 256.
+        in
+        ignore (m, n);
+        tiles *. tile_overhead ~flops_per_iter:li.Cycle_sim.li_flops
+    | W_gemv { n; _ } -> float_of_int n *. 12.0 (* per-column setup *)
+    | W_axpy _ | W_dot _ -> 0.0
+  in
+  let working_set, traffic = memory_profile w in
+  let prefetch = li.Cycle_sim.li_prefetches > 0 in
+  let memory =
+    Mem_model.stream_cycles arch ~working_set ~traffic ~prefetch
+  in
+  let total = Float.max compute memory +. call_overhead in
+  let rate_basis = if li.Cycle_sim.li_flops > 0 then flops else work in
+  let mflops = rate_basis *. arch.Arch.turbo_ghz *. 1000.0 /. total in
+  {
+    e_mflops = mflops;
+    e_compute_cycles = compute;
+    e_memory_cycles = memory;
+    e_flops = flops;
+    e_level = Mem_model.stream_level arch ~working_set;
+    e_cycles_per_iter = li.Cycle_sim.li_cycles;
+    e_flops_per_iter = li.Cycle_sim.li_flops;
+  }

@@ -1,0 +1,43 @@
+(** MFLOPS predictor: combines the cycle-level steady-state cost of a
+    kernel's hot loop ({!Cycle_sim}) with the streaming-bandwidth bound
+    of the memory system ({!Mem_model}) — the compute-roof /
+    bandwidth-roof reasoning that governs dense linear algebra.
+
+    Absolute numbers are those of the modelled microarchitectures; the
+    benchmarks compare libraries on the same model, so relative
+    positions are what carries over from the paper. *)
+
+type workload =
+  | W_gemm of { m : int; n : int; k : int }
+  | W_gemv of { m : int; n : int }
+  | W_axpy of { n : int }
+  | W_dot of { n : int }
+
+val workload_flops : workload -> float
+
+(** Elements touched — the work unit for kernels that perform no
+    arithmetic (DCOPY), whose "MFLOPS" figure is then millions of
+    elements per second. *)
+val workload_elements : workload -> float
+
+type estimate = {
+  e_mflops : float;
+  e_compute_cycles : float;
+  e_memory_cycles : float;
+  e_flops : float;
+  e_level : Mem_model.level;  (** residency of the working set *)
+  e_cycles_per_iter : float;  (** hot loop steady state *)
+  e_flops_per_iter : int;
+}
+
+exception No_hot_loop of string
+
+(** Predict performance of a generated program on a workload.
+    [pipeline_model] selects out-of-order (default) or in-order core
+    modelling (see {!Cycle_sim.steady_cycles}). *)
+val predict :
+  ?pipeline_model:[ `Out_of_order | `In_order ] ->
+  Augem_machine.Arch.t ->
+  Augem_machine.Insn.program ->
+  workload ->
+  estimate

@@ -1,0 +1,1 @@
+lib/templates/matcher.ml: Augem_analysis Augem_ir List Option Set String Template

@@ -1,0 +1,1 @@
+lib/templates/matcher.mli: Augem_ir Set String Template

@@ -1,0 +1,1 @@
+lib/templates/template.ml: Augem_ir List String

@@ -1,0 +1,1 @@
+lib/templates/template.mli: Augem_ir

@@ -1,0 +1,44 @@
+(** The Template Identifier (paper section 2.2): a recursive-descent
+    traversal recognizing code fragments that match the pre-defined
+    templates, merging consecutive units into the unrolled templates,
+    and recording the global live-range information the Template
+    Optimizer needs.
+
+    Grouping rules: mmCOMPs share the A stream with distinct
+    accumulators; mmSTOREs cover one C stream at consecutive
+    displacements; mvCOMPs one A/B stream pair at consecutive
+    displacements (with A and B distinct — folding a self-referential
+    update would reorder a loop-carried dependence); similarly for the
+    svSCAL/svCOPY extension templates.  A region's temporaries must be
+    dead after it. *)
+
+module SS : Set.S with type elt = string and type t = Set.Make(String).t
+
+(** Annotated statement tree: plain statements and regions both carry
+    the set of scalars live after them. *)
+type astmt =
+  | A_plain of Augem_ir.Ast.stmt * SS.t
+  | A_region of Template.region * SS.t
+  | A_for of Augem_ir.Ast.loop_header * astmt list
+  | A_if of
+      Augem_ir.Ast.expr
+      * Augem_ir.Ast.cmpop
+      * Augem_ir.Ast.expr
+      * astmt list
+      * astmt list
+
+type akernel = {
+  ak_name : string;
+  ak_params : Augem_ir.Ast.param list;
+  ak_body : astmt list;
+}
+
+(** Identify all template regions in an optimized kernel. *)
+val identify : Augem_ir.Ast.kernel -> akernel
+
+(** Rebuild a plain kernel with [Tagged] markers (for phase dumps);
+    semantics-preserving. *)
+val to_tagged_kernel : akernel -> Augem_ir.Ast.kernel
+
+(** All regions, in traversal order. *)
+val regions : akernel -> Template.region list

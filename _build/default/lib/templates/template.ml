@@ -1,0 +1,171 @@
+(* The six optimization templates of paper Figure 3, as structured
+   instances recovered from the three-address code.  Parameter names
+   follow the paper: mmCOMP(A,idx1,B,idx2,res), mmSTORE(C,idx,res),
+   mvCOMP(A,idx1,B,idx2,scal). *)
+
+open Augem_ir.Ast
+
+(* res = res + A[idx1] * B[idx2], through temporaries t0-t2. *)
+type mm_comp = {
+  mc_a : string;
+  mc_idx1 : expr;
+  mc_b : string;
+  mc_idx2 : expr;
+  mc_res : string;
+  mc_t0 : string;
+  mc_t1 : string;
+  mc_t2 : string;
+}
+
+(* C[idx] = C[idx] + res, through temporary t0; res is clobbered. *)
+type mm_store = {
+  ms_c : string;
+  ms_idx : expr;
+  ms_res : string;
+  ms_t0 : string;
+}
+
+(* B[idx2] = B[idx2] + A[idx1] * scal, through temporaries t0-t1. *)
+type mv_comp = {
+  mv_a : string;
+  mv_idx1 : expr;
+  mv_b : string;
+  mv_idx2 : expr;
+  mv_scal : string;
+  mv_t0 : string;
+  mv_t1 : string;
+}
+
+(* Extension templates beyond the paper's six (its section 7 proposes
+   extending the template set to broader routines): *)
+
+(* B[idx] = B[idx] * scal, through temporary t0 — the DSCAL pattern. *)
+type sv_scal = {
+  ss_b : string;
+  ss_idx : expr;
+  ss_scal : string;
+  ss_t0 : string;
+}
+
+(* B[idx2] = A[idx1], through temporary t0 — the DCOPY pattern. *)
+type sv_copy = {
+  sc_a : string;
+  sc_idx1 : expr;
+  sc_b : string;
+  sc_idx2 : expr;
+  sc_t0 : string;
+}
+
+(* A tagged region: the unrolled templates are groups of unit
+   templates; a singleton group is the unit template itself. *)
+type region =
+  | Mm_unrolled_comp of mm_comp list (* mmCOMP / mmUnrolledCOMP *)
+  | Mm_unrolled_store of mm_store list (* mmSTORE / mmUnrolledSTORE *)
+  | Mv_unrolled_comp of mv_comp list (* mvCOMP / mvUnrolledCOMP *)
+  | Sv_unrolled_scal of sv_scal list (* svSCAL / svUnrolledSCAL *)
+  | Sv_unrolled_copy of sv_copy list (* svCOPY / svUnrolledCOPY *)
+
+let region_name = function
+  | Mm_unrolled_comp [ _ ] -> "mmCOMP"
+  | Mm_unrolled_comp _ -> "mmUnrolledCOMP"
+  | Mm_unrolled_store [ _ ] -> "mmSTORE"
+  | Mm_unrolled_store _ -> "mmUnrolledSTORE"
+  | Mv_unrolled_comp [ _ ] -> "mvCOMP"
+  | Mv_unrolled_comp _ -> "mvUnrolledCOMP"
+  | Sv_unrolled_scal [ _ ] -> "svSCAL"
+  | Sv_unrolled_scal _ -> "svUnrolledSCAL"
+  | Sv_unrolled_copy [ _ ] -> "svCOPY"
+  | Sv_unrolled_copy _ -> "svUnrolledCOPY"
+
+let region_size = function
+  | Mm_unrolled_comp l -> List.length l
+  | Mm_unrolled_store l -> List.length l
+  | Mv_unrolled_comp l -> List.length l
+  | Sv_unrolled_scal l -> List.length l
+  | Sv_unrolled_copy l -> List.length l
+
+(* The statements a region stands for (used to reconstruct the plain
+   code, e.g. for the scalar fall-back path and for printing). *)
+let mm_comp_stmts (m : mm_comp) : stmt list =
+  [
+    Assign (Lvar m.mc_t0, Index (m.mc_a, m.mc_idx1));
+    Assign (Lvar m.mc_t1, Index (m.mc_b, m.mc_idx2));
+    Assign (Lvar m.mc_t2, Binop (Mul, Var m.mc_t0, Var m.mc_t1));
+    Assign (Lvar m.mc_res, Binop (Add, Var m.mc_res, Var m.mc_t2));
+  ]
+
+let mm_store_stmts (m : mm_store) : stmt list =
+  [
+    Assign (Lvar m.ms_t0, Index (m.ms_c, m.ms_idx));
+    Assign (Lvar m.ms_res, Binop (Add, Var m.ms_res, Var m.ms_t0));
+    Assign (Lindex (m.ms_c, m.ms_idx), Var m.ms_res);
+  ]
+
+let mv_comp_stmts (m : mv_comp) : stmt list =
+  [
+    Assign (Lvar m.mv_t0, Index (m.mv_a, m.mv_idx1));
+    Assign (Lvar m.mv_t1, Index (m.mv_b, m.mv_idx2));
+    Assign (Lvar m.mv_t0, Binop (Mul, Var m.mv_t0, Var m.mv_scal));
+    Assign (Lvar m.mv_t1, Binop (Add, Var m.mv_t1, Var m.mv_t0));
+    Assign (Lindex (m.mv_b, m.mv_idx2), Var m.mv_t1);
+  ]
+
+let sv_scal_stmts (m : sv_scal) : stmt list =
+  [
+    Assign (Lvar m.ss_t0, Index (m.ss_b, m.ss_idx));
+    Assign (Lvar m.ss_t0, Binop (Mul, Var m.ss_t0, Var m.ss_scal));
+    Assign (Lindex (m.ss_b, m.ss_idx), Var m.ss_t0);
+  ]
+
+let sv_copy_stmts (m : sv_copy) : stmt list =
+  [
+    Assign (Lvar m.sc_t0, Index (m.sc_a, m.sc_idx1));
+    Assign (Lindex (m.sc_b, m.sc_idx2), Var m.sc_t0);
+  ]
+
+let region_stmts = function
+  | Mm_unrolled_comp l -> List.concat_map mm_comp_stmts l
+  | Mm_unrolled_store l -> List.concat_map mm_store_stmts l
+  | Mv_unrolled_comp l -> List.concat_map mv_comp_stmts l
+  | Sv_unrolled_scal l -> List.concat_map sv_scal_stmts l
+  | Sv_unrolled_copy l -> List.concat_map sv_copy_stmts l
+
+(* Constant displacement of an index expression, when static. *)
+let disp_of = function Int_lit n -> Some n | _ -> None
+
+let region_params = function
+  | Mm_unrolled_comp (m :: _ as l) ->
+      [
+        ("A", m.mc_a);
+        ("B", m.mc_b);
+        ("n", string_of_int (List.length l));
+        ("res", String.concat "," (List.map (fun x -> x.mc_res) l));
+      ]
+  | Mm_unrolled_store (m :: _ as l) ->
+      [
+        ("C", m.ms_c);
+        ("n", string_of_int (List.length l));
+        ("res", String.concat "," (List.map (fun x -> x.ms_res) l));
+      ]
+  | Mv_unrolled_comp (m :: _ as l) ->
+      [
+        ("A", m.mv_a);
+        ("B", m.mv_b);
+        ("scal", m.mv_scal);
+        ("n", string_of_int (List.length l));
+      ]
+  | Sv_unrolled_scal (m :: _ as l) ->
+      [
+        ("B", m.ss_b);
+        ("scal", m.ss_scal);
+        ("n", string_of_int (List.length l));
+      ]
+  | Sv_unrolled_copy (m :: _ as l) ->
+      [
+        ("A", m.sc_a);
+        ("B", m.sc_b);
+        ("n", string_of_int (List.length l));
+      ]
+  | Mm_unrolled_comp [] | Mm_unrolled_store [] | Mv_unrolled_comp []
+  | Sv_unrolled_scal [] | Sv_unrolled_copy [] ->
+      []

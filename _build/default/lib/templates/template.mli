@@ -1,0 +1,81 @@
+(** The optimization templates of paper Figure 3 as structured
+    instances recovered from three-address code, plus the two extension
+    templates this reproduction adds (svSCAL, svCOPY).  Parameter names
+    follow the paper: mmCOMP(A, idx1, B, idx2, res), mmSTORE(C, idx,
+    res), mvCOMP(A, idx1, B, idx2, scal). *)
+
+(** res = res + A[idx1] * B[idx2], through temporaries t0-t2. *)
+type mm_comp = {
+  mc_a : string;
+  mc_idx1 : Augem_ir.Ast.expr;
+  mc_b : string;
+  mc_idx2 : Augem_ir.Ast.expr;
+  mc_res : string;
+  mc_t0 : string;
+  mc_t1 : string;
+  mc_t2 : string;
+}
+
+(** C[idx] = C[idx] + res, through t0; res is clobbered. *)
+type mm_store = {
+  ms_c : string;
+  ms_idx : Augem_ir.Ast.expr;
+  ms_res : string;
+  ms_t0 : string;
+}
+
+(** B[idx2] = B[idx2] + A[idx1] * scal, through t0-t1. *)
+type mv_comp = {
+  mv_a : string;
+  mv_idx1 : Augem_ir.Ast.expr;
+  mv_b : string;
+  mv_idx2 : Augem_ir.Ast.expr;
+  mv_scal : string;
+  mv_t0 : string;
+  mv_t1 : string;
+}
+
+(** B[idx] = B[idx] * scal — the DSCAL extension template. *)
+type sv_scal = {
+  ss_b : string;
+  ss_idx : Augem_ir.Ast.expr;
+  ss_scal : string;
+  ss_t0 : string;
+}
+
+(** B[idx2] = A[idx1] — the DCOPY extension template. *)
+type sv_copy = {
+  sc_a : string;
+  sc_idx1 : Augem_ir.Ast.expr;
+  sc_b : string;
+  sc_idx2 : Augem_ir.Ast.expr;
+  sc_t0 : string;
+}
+
+(** A tagged region: the unrolled templates are groups of units; a
+    singleton group is the unit template itself. *)
+type region =
+  | Mm_unrolled_comp of mm_comp list
+  | Mm_unrolled_store of mm_store list
+  | Mv_unrolled_comp of mv_comp list
+  | Sv_unrolled_scal of sv_scal list
+  | Sv_unrolled_copy of sv_copy list
+
+val region_name : region -> string
+val region_size : region -> int
+
+(** The statements one unit stands for, used by the scalar fall-back
+    path and for printing. *)
+val mm_comp_stmts : mm_comp -> Augem_ir.Ast.stmt list
+
+val mm_store_stmts : mm_store -> Augem_ir.Ast.stmt list
+val mv_comp_stmts : mv_comp -> Augem_ir.Ast.stmt list
+val sv_scal_stmts : sv_scal -> Augem_ir.Ast.stmt list
+val sv_copy_stmts : sv_copy -> Augem_ir.Ast.stmt list
+val region_stmts : region -> Augem_ir.Ast.stmt list
+
+(** Constant displacement of an index expression, when static. *)
+val disp_of : Augem_ir.Ast.expr -> int option
+
+(** Template parameter bindings for phase-dump tags. *)
+val region_params : region -> (string * string) list

@@ -1,0 +1,1 @@
+lib/transform/names.ml: Augem_ir Hashtbl List Option Set String

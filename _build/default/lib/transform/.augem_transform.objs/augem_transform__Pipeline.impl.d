@@ -1,0 +1,1 @@
+lib/transform/pipeline.ml: Ast Augem_ir List Prefetch Printf Scalar_repl Simplify Strength_reduction String Typecheck Unroll

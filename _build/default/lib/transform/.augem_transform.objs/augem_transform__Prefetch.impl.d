@@ -1,0 +1,1 @@
+lib/transform/prefetch.ml: Ast Augem_ir List Set Simplify String

@@ -1,0 +1,1 @@
+lib/transform/prefetch.mli: Augem_ir

@@ -1,0 +1,1 @@
+lib/transform/scalar_repl.ml: Ast Augem_ir Hashtbl List Names Simplify String

@@ -1,0 +1,1 @@
+lib/transform/scalar_repl.mli: Augem_ir

@@ -1,0 +1,1 @@
+lib/transform/script.ml: Buffer Fmt List Pipeline Prefetch Printf String

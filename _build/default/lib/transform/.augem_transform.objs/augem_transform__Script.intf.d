@@ -1,0 +1,1 @@
+lib/transform/script.mli: Pipeline

@@ -1,0 +1,1 @@
+lib/transform/strength_reduction.ml: Ast Augem_analysis Augem_ir Hashtbl List Names Option Poly Printf Set Simplify String

@@ -1,0 +1,1 @@
+lib/transform/strength_reduction.mli: Augem_ir

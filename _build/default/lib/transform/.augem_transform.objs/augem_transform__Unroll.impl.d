@@ -1,0 +1,1 @@
+lib/transform/unroll.ml: Ast Augem_analysis Augem_ir Fmt Hashtbl List Names Option Printf Set Simplify String

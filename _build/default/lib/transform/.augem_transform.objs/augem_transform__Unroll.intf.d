@@ -1,0 +1,1 @@
+lib/transform/unroll.mli: Augem_ir

@@ -1,0 +1,48 @@
+(* Fresh-name generation for transformation passes: collision-free with
+   respect to everything already named in the kernel. *)
+
+module SS = Set.Make (String)
+
+open Augem_ir.Ast
+
+let rec names_of_stmt acc = function
+  | Decl (_, v, _) -> SS.add v acc
+  | Assign (Lvar v, _) -> SS.add v acc
+  | Assign (Lindex (a, _), _) -> SS.add a acc
+  | For (h, body) -> List.fold_left names_of_stmt (SS.add h.loop_var acc) body
+  | If (_, _, _, t, f) ->
+      List.fold_left names_of_stmt (List.fold_left names_of_stmt acc t) f
+  | Prefetch (_, base, _) -> SS.add base acc
+  | Comment _ -> acc
+  | Tagged (_, body) -> List.fold_left names_of_stmt acc body
+
+let names_of_kernel (k : kernel) : SS.t =
+  let acc = List.fold_left (fun s p -> SS.add p.p_name s) SS.empty k.k_params in
+  List.fold_left names_of_stmt acc k.k_body
+
+type t = {
+  mutable used : SS.t;
+  counters : (string, int) Hashtbl.t;
+}
+
+let create (k : kernel) : t =
+  { used = names_of_kernel k; counters = Hashtbl.create 8 }
+
+(* [fresh t base] returns [base0], [base1], ... skipping taken names. *)
+let fresh (t : t) (base : string) : string =
+  let rec go n =
+    let candidate = base ^ string_of_int n in
+    if SS.mem candidate t.used then go (n + 1)
+    else (
+      Hashtbl.replace t.counters base (n + 1);
+      t.used <- SS.add candidate t.used;
+      candidate)
+  in
+  go (Option.value ~default:0 (Hashtbl.find_opt t.counters base))
+
+(* Reserve an exact name; returns a suffixed variant on collision. *)
+let claim (t : t) (name : string) : string =
+  if SS.mem name t.used then fresh t name
+  else (
+    t.used <- SS.add name t.used;
+    name)

@@ -1,0 +1,13 @@
+(** Fresh-name generation for transformation passes, collision-free
+    against everything already named in a kernel. *)
+
+type t
+
+val create : Augem_ir.Ast.kernel -> t
+
+(** [fresh t base] returns [base0], [base1], ... skipping names already
+    taken. *)
+val fresh : t -> string -> string
+
+(** Reserve an exact name; returns a suffixed variant on collision. *)
+val claim : t -> string -> string

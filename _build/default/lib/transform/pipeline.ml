@@ -1,0 +1,68 @@
+(* The Optimized C Kernel Generator (paper section 2.1): applies the
+   five source-to-source optimizations in order — loop unroll&jam, loop
+   unrolling, strength reduction, scalar replacement and data
+   prefetching — under a tuning configuration that the auto-tuner
+   searches over. *)
+
+open Augem_ir
+
+type config = {
+  jam : (string * int) list;
+      (* outer loops to unroll&jam, applied in list order *)
+  inner_unroll : (string * int) option; (* innermost loop unrolling *)
+  expand_reduction : int option;
+      (* partial-accumulator expansion of the unrolled loop's
+         reductions (ways); reassociates FP sums *)
+  strength_reduce : bool;
+  scalar_replace : bool;
+  prefetch : Prefetch.config option;
+}
+
+let default =
+  {
+    jam = [];
+    inner_unroll = None;
+    expand_reduction = None;
+    strength_reduce = true;
+    scalar_replace = true;
+    prefetch = Some Prefetch.default_config;
+  }
+
+let config_to_string (c : config) : string =
+  let jam =
+    c.jam |> List.map (fun (v, f) -> Printf.sprintf "%s:%d" v f)
+    |> String.concat ","
+  in
+  Printf.sprintf "jam=[%s] unroll=%s sr=%b scalar=%b pf=%s"
+    jam
+    (match c.inner_unroll with
+    | None -> "-"
+    | Some (v, f) -> Printf.sprintf "%s:%d" v f)
+    c.strength_reduce c.scalar_replace
+    (match c.prefetch with
+    | None -> "-"
+    | Some p -> string_of_int p.Prefetch.pf_distance)
+
+let apply (k : Ast.kernel) (c : config) : Ast.kernel =
+  let k =
+    List.fold_left
+      (fun k (loop_var, factor) -> Unroll.unroll_and_jam k ~loop_var ~factor)
+      k c.jam
+  in
+  let k =
+    match c.inner_unroll with
+    | None -> k
+    | Some (loop_var, factor) -> (
+        let k = Unroll.unroll k ~loop_var ~factor in
+        match c.expand_reduction with
+        | None -> k
+        | Some ways -> Unroll.expand_accumulators k ~loop_var ~ways)
+  in
+  let k = if c.strength_reduce then Strength_reduction.run k else k in
+  let k = if c.scalar_replace then Scalar_repl.run k else k in
+  let k =
+    match c.prefetch with None -> k | Some cfg -> Prefetch.insert k cfg
+  in
+  let k = Simplify.simplify_kernel k in
+  Typecheck.check_kernel k;
+  k

@@ -1,0 +1,27 @@
+(** The Optimized C Kernel Generator (paper section 2.1): applies the
+    five source-to-source optimizations in order — loop unroll&jam,
+    loop unrolling (with optional reduction-accumulator expansion),
+    strength reduction, scalar replacement and data prefetching — under
+    a tuning configuration the auto-tuner searches over. *)
+
+type config = {
+  jam : (string * int) list;
+      (** outer loops to unroll&jam, applied in list order *)
+  inner_unroll : (string * int) option;  (** innermost loop unrolling *)
+  expand_reduction : int option;
+      (** partial-accumulator expansion ways for the unrolled loop's
+          reductions; reassociates FP sums as hand-written kernels do *)
+  strength_reduce : bool;
+  scalar_replace : bool;
+  prefetch : Prefetch.config option;
+}
+
+(** Strength reduction, scalar replacement and prefetching on; no
+    unrolling. *)
+val default : config
+
+val config_to_string : config -> string
+
+(** Apply the configured passes; the result is simplified and
+    type-checked. *)
+val apply : Augem_ir.Ast.kernel -> config -> Augem_ir.Ast.kernel

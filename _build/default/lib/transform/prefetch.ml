@@ -1,0 +1,92 @@
+(* Data prefetching: the last source-to-source optimization of the
+   Optimized C Kernel Generator.  For every derived pointer that a loop
+   advances (the increments placed by strength reduction), a software
+   prefetch of the data [distance] iterations ahead is inserted at the
+   top of that loop's body — matching Figure 13, where the C pointers
+   are prefetched in the i-loop and the A/B streams in the l-loop. *)
+
+open Augem_ir
+open Ast
+
+type config = {
+  pf_distance : int; (* iterations ahead *)
+  pf_stores : bool; (* also prefetch pointers that are stored through *)
+}
+
+let default_config = { pf_distance = 8; pf_stores = true }
+
+module SS = Set.Make (String)
+
+(* Pointers incremented by a statement of the form [p = p + e]. *)
+let increment_of = function
+  | Assign (Lvar p, Binop (Add, Var p', inc)) when String.equal p p' ->
+      Some (p, inc)
+  | Decl _ | Assign _ | For _ | If _ | Prefetch _ | Comment _ | Tagged _ ->
+      None
+
+(* Pointers stored through anywhere in a block (write streams). *)
+let rec stored_pointers acc = function
+  | [] -> acc
+  | Assign (Lindex (a, _), _) :: rest -> stored_pointers (SS.add a acc) rest
+  | (For (_, b) | Tagged (_, b)) :: rest ->
+      stored_pointers (stored_pointers acc b) rest
+  | If (_, _, _, t, f) :: rest ->
+      stored_pointers (stored_pointers (stored_pointers acc t) f) rest
+  | (Decl _ | Assign (Lvar _, _) | Prefetch _ | Comment _) :: rest ->
+      stored_pointers acc rest
+
+let pointer_decls (k : kernel) : SS.t =
+  let acc =
+    List.fold_left
+      (fun s p -> match p.p_type with Ptr _ -> SS.add p.p_name s | _ -> s)
+      SS.empty k.k_params
+  in
+  let rec go acc = function
+    | [] -> acc
+    | Decl (Ptr _, v, _) :: rest -> go (SS.add v acc) rest
+    | (For (_, b) | Tagged (_, b)) :: rest -> go (go acc b) rest
+    | If (_, _, _, t, f) :: rest -> go (go (go acc t) f) rest
+    | (Decl _ | Assign _ | Prefetch _ | Comment _) :: rest -> go acc rest
+  in
+  go acc k.k_body
+
+let insert (k : kernel) (cfg : config) : kernel =
+  let pointers = pointer_decls k in
+  let rec go_block stmts =
+    List.map
+      (fun s ->
+        match s with
+        | For (h, body) ->
+            let body = go_block body in
+            let incremented =
+              List.filter_map
+                (fun s ->
+                  match increment_of s with
+                  | Some (p, inc) when SS.mem p pointers -> Some (p, inc)
+                  | _ -> None)
+                body
+            in
+            let writes = stored_pointers SS.empty body in
+            let prefetches =
+              List.filter_map
+                (fun (p, inc) ->
+                  let is_write = SS.mem p writes in
+                  if is_write && not cfg.pf_stores then None
+                  else
+                    let hint =
+                      if is_write then Prefetch_write else Prefetch_read
+                    in
+                    let dist =
+                      Simplify.simplify_expr
+                        (Binop (Mul, Int_lit cfg.pf_distance, inc))
+                    in
+                    Some (Prefetch (hint, p, dist)))
+                incremented
+            in
+            For (h, prefetches @ body)
+        | If (a, c, b, t, f) -> If (a, c, b, go_block t, go_block f)
+        | Tagged (tag, body) -> Tagged (tag, go_block body)
+        | Decl _ | Assign _ | Prefetch _ | Comment _ -> s)
+      stmts
+  in
+  if cfg.pf_distance <= 0 then k else { k with k_body = go_block k.k_body }

@@ -1,0 +1,15 @@
+(** Data prefetching: for every derived pointer a loop advances (the
+    increments placed by strength reduction), a software prefetch of
+    the data [pf_distance] iterations ahead is inserted at the top of
+    that loop's body — matching paper Figure 13, where the C pointers
+    are prefetched in the i loop and the A/B streams in the l loop. *)
+
+type config = {
+  pf_distance : int;  (** iterations ahead *)
+  pf_stores : bool;  (** also prefetch pointers that are stored through *)
+}
+
+val default_config : config
+(** Distance 8, stores included. *)
+
+val insert : Augem_ir.Ast.kernel -> config -> Augem_ir.Ast.kernel

@@ -1,0 +1,173 @@
+(* Scalar replacement: lowers compound floating-point assignments into
+   the three-address form the Template Identifier matches against.  The
+   three canonical shapes (paper Figure 3) are produced exactly:
+
+     res = res + a[i1] * b[i2]      ==>   tmp0 = a[i1]
+                                          tmp1 = b[i2]
+                                          tmp2 = tmp0 * tmp1
+                                          res  = res + tmp2        (mmCOMP)
+
+     c[i] = c[i] + res              ==>   tmp0 = c[i]
+                                          res  = res + tmp0
+                                          c[i] = res               (mmSTORE)
+
+     b[i2] = b[i2] + a[i1] * scal   ==>   tmp0 = a[i1]
+                                          tmp1 = b[i2]
+                                          tmp0 = tmp0 * scal
+                                          tmp1 = tmp1 + tmp0
+                                          b[i2] = tmp1             (mvCOMP)
+
+   Anything else is lowered by a generic recursive three-address
+   expansion.  Integer (index/pointer) assignments are left alone. *)
+
+open Augem_ir
+open Ast
+
+type state = {
+  names : Names.t;
+  mutable tmp_decls : stmt list;
+  env : (string, dtype) Hashtbl.t;
+}
+
+let new_tmp st =
+  let v = Names.fresh st.names "tmp" in
+  st.tmp_decls <- Decl (Double, v, None) :: st.tmp_decls;
+  v
+
+let expr_equal (a : expr) (b : expr) = a = b
+
+(* Generic lowering of a double-typed expression to an operand that is
+   a variable or literal, emitting helper statements in order. *)
+let rec lower_operand st acc (e : expr) : stmt list * expr =
+  match e with
+  | Double_lit _ | Var _ -> (acc, e)
+  | Index _ ->
+      let t = new_tmp st in
+      (Assign (Lvar t, e) :: acc, Var t)
+  | Neg a ->
+      let acc, a' = lower_operand st acc a in
+      let t = new_tmp st in
+      (Assign (Lvar t, Binop (Sub, Double_lit 0., a')) :: acc, Var t)
+  | Binop (op, a, b) ->
+      let acc, a' = lower_operand st acc a in
+      let acc, b' = lower_operand st acc b in
+      let t = new_tmp st in
+      (Assign (Lvar t, Binop (op, a', b')) :: acc, Var t)
+  | Int_lit _ -> (acc, e)
+
+let is_simple = function
+  | Var _ | Double_lit _ | Int_lit _ -> true
+  | Index _ | Binop _ | Neg _ -> false
+
+(* Lower one double assignment into canonical three-address form. *)
+let lower_double_assign st (lv : lvalue) (e : expr) : stmt list =
+  match (lv, e) with
+  (* mmCOMP: res = res + x * y, with x/y array loads or scalars *)
+  | Lvar r, Binop (Add, Var r', Binop (Mul, x, y))
+    when String.equal r r'
+         && (match x with Index _ | Var _ -> true | _ -> false)
+         && (match y with Index _ | Var _ -> true | _ -> false) ->
+      let acc, x' = lower_operand st [] x in
+      let acc, y' = lower_operand st acc y in
+      let t2 = new_tmp st in
+      List.rev acc
+      @ [
+          Assign (Lvar t2, Binop (Mul, x', y'));
+          Assign (Lvar r, Binop (Add, Var r, Var t2));
+        ]
+  (* mvCOMP: b[i2] = b[i2] + a[i1] * scal  (scal a scalar variable) *)
+  | Lindex (b, i2), Binop (Add, Index (b', i2'), Binop (Mul, Index (a, i1), Var s))
+    when String.equal b b' && expr_equal i2 i2' ->
+      let t0 = new_tmp st and t1 = new_tmp st in
+      [
+        Assign (Lvar t0, Index (a, i1));
+        Assign (Lvar t1, Index (b, i2));
+        Assign (Lvar t0, Binop (Mul, Var t0, Var s));
+        Assign (Lvar t1, Binop (Add, Var t1, Var t0));
+        Assign (Lindex (b, i2), Var t1);
+      ]
+  (* same with the multiplication written scal * a[i1] *)
+  | Lindex (b, i2), Binop (Add, Index (b', i2'), Binop (Mul, Var s, Index (a, i1)))
+    when String.equal b b' && expr_equal i2 i2' ->
+      let t0 = new_tmp st and t1 = new_tmp st in
+      [
+        Assign (Lvar t0, Index (a, i1));
+        Assign (Lvar t1, Index (b, i2));
+        Assign (Lvar t0, Binop (Mul, Var t0, Var s));
+        Assign (Lvar t1, Binop (Add, Var t1, Var t0));
+        Assign (Lindex (b, i2), Var t1);
+      ]
+  (* svSCAL: b[i] = b[i] * scal (extension template) *)
+  | Lindex (b, i), Binop (Mul, Index (b', i'), Var s)
+    when String.equal b b' && expr_equal i i' ->
+      let t0 = new_tmp st in
+      [
+        Assign (Lvar t0, Index (b, i));
+        Assign (Lvar t0, Binop (Mul, Var t0, Var s));
+        Assign (Lindex (b, i), Var t0);
+      ]
+  | Lindex (b, i), Binop (Mul, Var s, Index (b', i'))
+    when String.equal b b' && expr_equal i i' ->
+      let t0 = new_tmp st in
+      [
+        Assign (Lvar t0, Index (b, i));
+        Assign (Lvar t0, Binop (Mul, Var t0, Var s));
+        Assign (Lindex (b, i), Var t0);
+      ]
+  (* mmSTORE: c[i] = c[i] + res *)
+  | Lindex (c, i), Binop (Add, Index (c', i'), Var r)
+    when String.equal c c' && expr_equal i i' ->
+      let t0 = new_tmp st in
+      [
+        Assign (Lvar t0, Index (c, i));
+        Assign (Lvar r, Binop (Add, Var r, Var t0));
+        Assign (Lindex (c, i), Var r);
+      ]
+  (* store of an already-simple value *)
+  | Lindex _, e when is_simple e -> [ Assign (lv, e) ]
+  | Lvar _, e when is_simple e -> [ Assign (lv, e) ]
+  (* scalar = single load *)
+  | Lvar _, Index _ -> [ Assign (lv, e) ]
+  (* generic fallback *)
+  | _, Binop (op, a, b) ->
+      let acc, a' = lower_operand st [] a in
+      let acc, b' = lower_operand st acc b in
+      List.rev acc @ [ Assign (lv, Binop (op, a', b')) ]
+  | _, Neg a ->
+      let acc, a' = lower_operand st [] a in
+      List.rev acc @ [ Assign (lv, Binop (Sub, Double_lit 0., a')) ]
+  | _, (Index _ | Var _ | Double_lit _ | Int_lit _) ->
+      let acc, e' = lower_operand st [] e in
+      List.rev acc @ [ Assign (lv, e') ]
+
+let rec lower_stmt st (s : stmt) : stmt list =
+  match s with
+  | Decl (t, v, init) ->
+      Hashtbl.replace st.env v t;
+      [ Decl (t, v, init) ]
+  | Assign (lv, e) -> (
+      let lv_type =
+        match lv with
+        | Lvar v -> (
+            match Hashtbl.find_opt st.env v with Some t -> t | None -> Int)
+        | Lindex (a, _) -> (
+            match Hashtbl.find_opt st.env a with
+            | Some (Ptr t) -> t
+            | _ -> Double)
+      in
+      match lv_type with
+      | Double -> lower_double_assign st lv (Simplify.simplify_expr e)
+      | Int | Ptr _ -> [ s ])
+  | For (h, body) -> [ For (h, List.concat_map (lower_stmt st) body) ]
+  | If (a, c, b, t, f) ->
+      [ If (a, c, b, List.concat_map (lower_stmt st) t,
+            List.concat_map (lower_stmt st) f) ]
+  | Prefetch _ | Comment _ -> [ s ]
+  | Tagged (tag, body) -> [ Tagged (tag, List.concat_map (lower_stmt st) body) ]
+
+let run (k : kernel) : kernel =
+  let env = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace env p.p_name p.p_type) k.k_params;
+  let st = { names = Names.create k; tmp_decls = []; env } in
+  let body = List.concat_map (lower_stmt st) k.k_body in
+  { k with k_body = List.rev st.tmp_decls @ body }

@@ -1,0 +1,8 @@
+(** Scalar replacement: lowers compound floating-point assignments to
+    the three-address form the Template Identifier matches, producing
+    the paper's canonical instruction sequences exactly (mmCOMP,
+    mmSTORE, mvCOMP — Figure 3 — plus the svSCAL extension shape).
+    Integer and pointer assignments are left alone; temporaries are
+    declared at the top of the kernel. *)
+
+val run : Augem_ir.Ast.kernel -> Augem_ir.Ast.kernel

@@ -1,0 +1,144 @@
+(* A small transformation-script language playing the role POET plays
+   in the paper: the optimization sequence applied by the Optimized C
+   Kernel Generator is expressed as a text script, so tuning drivers
+   and users can state configurations without writing OCaml.
+
+   Syntax: one directive per line (or ';'-separated); '#' starts a
+   comment.
+
+     unroll_jam <var> <factor>     # register blocking of an outer loop
+     unroll <var> <factor>         # innermost loop unrolling
+     expand <ways>                 # reduction accumulator expansion
+     strength_reduce on|off
+     scalar_replace on|off
+     prefetch <distance>|off       # software prefetch distance
+     prefer auto|vdup|shuf         # SIMD vectorization strategy
+     width 64|128|256              # cap the vector width
+
+   Directives apply in the fixed pipeline order of the paper (Figure 1);
+   [unroll_jam] directives compose in the order written. *)
+
+type preference =
+  [ `Auto | `Vdup | `Shuf ]
+
+type t = {
+  sc_config : Pipeline.config;
+  sc_prefer : preference;
+  sc_width : int option; (* bits *)
+}
+
+let default =
+  { sc_config = Pipeline.default; sc_prefer = `Auto; sc_width = None }
+
+exception Script_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Script_error s)) fmt
+
+let split_directives (src : string) : string list list =
+  String.split_on_char '\n' src
+  |> List.concat_map (String.split_on_char ';')
+  |> List.map (fun line ->
+         let line =
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         in
+         String.split_on_char ' ' line
+         |> List.concat_map (String.split_on_char '\t')
+         |> List.filter (fun w -> w <> ""))
+  |> List.filter (fun words -> words <> [])
+
+let int_arg name s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> err "%s expects a positive integer, got %S" name s
+
+let onoff name = function
+  | "on" -> true
+  | "off" -> false
+  | s -> err "%s expects on or off, got %S" name s
+
+let apply_directive (t : t) (words : string list) : t =
+  let cfg = t.sc_config in
+  match words with
+  | [ "unroll_jam"; var; f ] ->
+      {
+        t with
+        sc_config =
+          { cfg with Pipeline.jam = cfg.Pipeline.jam @ [ (var, int_arg "unroll_jam" f) ] };
+      }
+  | [ "unroll"; var; f ] ->
+      { t with
+        sc_config = { cfg with Pipeline.inner_unroll = Some (var, int_arg "unroll" f) } }
+  | [ "expand"; w ] ->
+      { t with
+        sc_config = { cfg with Pipeline.expand_reduction = Some (int_arg "expand" w) } }
+  | [ "strength_reduce"; v ] ->
+      { t with
+        sc_config = { cfg with Pipeline.strength_reduce = onoff "strength_reduce" v } }
+  | [ "scalar_replace"; v ] ->
+      { t with
+        sc_config = { cfg with Pipeline.scalar_replace = onoff "scalar_replace" v } }
+  | [ "prefetch"; "off" ] ->
+      { t with sc_config = { cfg with Pipeline.prefetch = None } }
+  | [ "prefetch"; d ] ->
+      {
+        t with
+        sc_config =
+          {
+            cfg with
+            Pipeline.prefetch =
+              Some { Prefetch.pf_distance = int_arg "prefetch" d; pf_stores = true };
+          };
+      }
+  | [ "prefer"; "auto" ] -> { t with sc_prefer = `Auto }
+  | [ "prefer"; "vdup" ] -> { t with sc_prefer = `Vdup }
+  | [ "prefer"; "shuf" ] -> { t with sc_prefer = `Shuf }
+  | [ "width"; w ] -> (
+      match w with
+      | "64" -> { t with sc_width = Some 64 }
+      | "128" -> { t with sc_width = Some 128 }
+      | "256" -> { t with sc_width = Some 256 }
+      | _ -> err "width expects 64, 128 or 256, got %S" w)
+  | cmd :: _ -> err "unknown directive %S" cmd
+  | [] -> t
+
+let parse (src : string) : (t, string) result =
+  match
+    List.fold_left apply_directive default (split_directives src)
+  with
+  | t -> Ok t
+  | exception Script_error msg -> Error msg
+
+let parse_exn (src : string) : t =
+  match parse src with Ok t -> t | Error msg -> raise (Script_error msg)
+
+let to_string (t : t) : string =
+  let b = Buffer.create 128 in
+  let cfg = t.sc_config in
+  List.iter
+    (fun (v, f) -> Buffer.add_string b (Printf.sprintf "unroll_jam %s %d\n" v f))
+    cfg.Pipeline.jam;
+  (match cfg.Pipeline.inner_unroll with
+  | Some (v, f) -> Buffer.add_string b (Printf.sprintf "unroll %s %d\n" v f)
+  | None -> ());
+  (match cfg.Pipeline.expand_reduction with
+  | Some w -> Buffer.add_string b (Printf.sprintf "expand %d\n" w)
+  | None -> ());
+  if not cfg.Pipeline.strength_reduce then
+    Buffer.add_string b "strength_reduce off\n";
+  if not cfg.Pipeline.scalar_replace then
+    Buffer.add_string b "scalar_replace off\n";
+  (match cfg.Pipeline.prefetch with
+  | Some p ->
+      Buffer.add_string b
+        (Printf.sprintf "prefetch %d\n" p.Prefetch.pf_distance)
+  | None -> Buffer.add_string b "prefetch off\n");
+  (match t.sc_prefer with
+  | `Auto -> ()
+  | `Vdup -> Buffer.add_string b "prefer vdup\n"
+  | `Shuf -> Buffer.add_string b "prefer shuf\n");
+  (match t.sc_width with
+  | Some w -> Buffer.add_string b (Printf.sprintf "width %d\n" w)
+  | None -> ());
+  Buffer.contents b

@@ -1,0 +1,34 @@
+(** A small transformation-script language playing the role POET plays
+    in the paper: the optimization sequence of the Optimized C Kernel
+    Generator expressed as text.
+
+    Syntax — one directive per line (or ';'-separated), ['#'] comments:
+    {v
+      unroll_jam <var> <factor>     # register blocking of an outer loop
+      unroll <var> <factor>         # innermost loop unrolling
+      expand <ways>                 # reduction accumulator expansion
+      strength_reduce on|off
+      scalar_replace on|off
+      prefetch <distance>|off
+      prefer auto|vdup|shuf         # SIMD vectorization strategy
+      width 64|128|256              # cap the vector width
+    v} *)
+
+type preference = [ `Auto | `Vdup | `Shuf ]
+
+type t = {
+  sc_config : Pipeline.config;
+  sc_prefer : preference;
+  sc_width : int option;  (** vector width cap, in bits *)
+}
+
+val default : t
+
+exception Script_error of string
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+
+(** Render back to directive text; [parse (to_string t)] is a
+    fixpoint. *)
+val to_string : t -> string

@@ -1,0 +1,227 @@
+(* Strength reduction of array index arithmetic: affine accesses
+   [A[l*Mc + i]] become accesses through derived pointers [ptr_A0[0]]
+   that are initialized outside the loop and bumped by the index stride
+   at the end of each iteration (paper section 4.1.1, Figure 13).
+
+   Loops are processed innermost-first.  At a loop over [v], every
+   access whose index is linear in [v] with a [v]-invariant stride is
+   grouped by (array, index-minus-constant); each group receives one
+   derived pointer:
+
+     - initialization [ptr = A + idx{v := v_init} - disp] is placed
+       immediately before the loop,
+     - the pointer is incremented by [stride * step] at the end of the
+       loop body,
+     - each access is rewritten to [ptr[disp]] with its constant
+       displacement.
+
+   Outer-loop variables occurring in the initialization expression are
+   re-evaluated naturally because the initialization sits inside the
+   enclosing loop's body. *)
+
+module SS = Set.Make (String)
+
+open Augem_ir
+open Ast
+
+type group = {
+  g_ptr : string;
+  g_array : string;
+  g_common : Poly.t; (* index polynomial minus its constant term *)
+  g_stride : Poly.t; (* d(common)/dv *)
+}
+
+(* Loop variables anywhere in a statement list (used to reject strides
+   that vary inside the loop). *)
+let rec loop_vars_of stmts =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | For (h, body) -> SS.union (SS.add h.loop_var acc) (loop_vars_of body)
+      | If (_, _, _, t, f) ->
+          SS.union acc (SS.union (loop_vars_of t) (loop_vars_of f))
+      | Tagged (_, body) -> SS.union acc (loop_vars_of body)
+      | Decl _ | Assign _ | Prefetch _ | Comment _ -> acc)
+    SS.empty stmts
+
+let const_term (p : Poly.t) : int =
+  match Poly.Mmap.find_opt [] p with Some c -> c | None -> 0
+
+(* Decompose an access index at loop [v]: returns
+   (common, stride, displacement) when reducible. *)
+let decompose ~v ~forbidden (idx : expr) :
+    (Poly.t * Poly.t * int) option =
+  match Poly.of_expr idx with
+  | None -> None
+  | Some p -> (
+      match Poly.split_linear v p with
+      | None -> None
+      | Some (_, stride) ->
+          if Poly.is_zero stride then None
+          else if List.exists (fun x -> SS.mem x forbidden) (Poly.vars stride)
+          then None
+          else
+            let disp = const_term p in
+            let common = Poly.sub p (Poly.const disp) in
+            Some (common, stride, disp))
+
+type registry = {
+  names : Names.t;
+  counters : (string, int) Hashtbl.t;
+  mutable decls : stmt list;
+  array_types : (string, dtype) Hashtbl.t;
+}
+
+let group_key (array : string) (common : Poly.t) = (array, Poly.to_string common)
+
+let fresh_ptr reg array =
+  let n = Option.value ~default:0 (Hashtbl.find_opt reg.counters array) in
+  Hashtbl.replace reg.counters array (n + 1);
+  Names.claim reg.names (Printf.sprintf "ptr_%s%d" array n)
+
+let elem_type reg array =
+  match Hashtbl.find_opt reg.array_types array with
+  | Some (Ptr t) -> t
+  | Some _ | None -> Double
+
+(* Rewrite all reducible accesses in [e] for loop [v], registering
+   groups as they are discovered (in first-occurrence order). *)
+let rec rewrite_expr reg tbl ~v ~forbidden e =
+  match e with
+  | Int_lit _ | Double_lit _ | Var _ -> e
+  | Neg a -> Neg (rewrite_expr reg tbl ~v ~forbidden a)
+  | Binop (op, a, b) ->
+      Binop
+        ( op,
+          rewrite_expr reg tbl ~v ~forbidden a,
+          rewrite_expr reg tbl ~v ~forbidden b )
+  | Index (a, idx) -> (
+      let idx = rewrite_expr reg tbl ~v ~forbidden idx in
+      match decompose ~v ~forbidden idx with
+      | None -> Index (a, idx)
+      | Some (common, stride, disp) ->
+          let key = group_key a common in
+          let g =
+            match Hashtbl.find_opt tbl key with
+            | Some g -> g
+            | None ->
+                let ptr = fresh_ptr reg a in
+                let g =
+                  { g_ptr = ptr; g_array = a; g_common = common;
+                    g_stride = stride }
+                in
+                Hashtbl.replace tbl key g;
+                reg.decls <- Decl (Ptr (elem_type reg a), ptr, None) :: reg.decls;
+                g
+          in
+          Index (g.g_ptr, Int_lit disp))
+
+let rewrite_lvalue reg tbl ~v ~forbidden = function
+  | Lvar x -> Lvar x
+  | Lindex (a, idx) -> (
+      match rewrite_expr reg tbl ~v ~forbidden (Index (a, idx)) with
+      | Index (a', idx') -> Lindex (a', idx')
+      | _ -> assert false)
+
+let rec rewrite_stmt reg tbl ~v ~forbidden s =
+  let re = rewrite_expr reg tbl ~v ~forbidden in
+  match s with
+  | Decl (t, x, init) -> Decl (t, x, Option.map re init)
+  | Assign (lv, e) -> Assign (rewrite_lvalue reg tbl ~v ~forbidden lv, re e)
+  | For (h, body) ->
+      (* Indices under a deeper loop were already reduced; whatever is
+         left that varies in [v] still gets rewritten here. *)
+      For (h, List.map (rewrite_stmt reg tbl ~v ~forbidden) body)
+  | If (a, c, b, t, f) ->
+      If
+        ( re a,
+          c,
+          re b,
+          List.map (rewrite_stmt reg tbl ~v ~forbidden) t,
+          List.map (rewrite_stmt reg tbl ~v ~forbidden) f )
+  | Prefetch (h, base, off) -> Prefetch (h, base, re off)
+  | Comment _ -> s
+  | Tagged (tag, body) ->
+      Tagged (tag, List.map (rewrite_stmt reg tbl ~v ~forbidden) body)
+
+(* Process one loop after its body has been processed recursively. *)
+let reduce_loop reg (h : loop_header) (body : stmt list) : stmt list =
+  let v = h.loop_var in
+  let forbidden =
+    SS.add v (loop_vars_of body)
+    (* strides must also not depend on scalars assigned in the body;
+       conservatively forbid everything the body defines *)
+    |> SS.union (Augem_analysis.Liveness.defs_block body)
+  in
+  match (Poly.of_expr h.loop_init, Poly.of_expr h.loop_step) with
+  | Some init_p, Some step_p ->
+      let tbl = Hashtbl.create 8 in
+      let body = List.map (rewrite_stmt reg tbl ~v ~forbidden) body in
+      if Hashtbl.length tbl = 0 then [ For (h, body) ]
+      else
+        let groups =
+          Hashtbl.fold (fun _ g acc -> g :: acc) tbl []
+          |> List.sort (fun a b -> String.compare a.g_ptr b.g_ptr)
+        in
+        let init_of g =
+          (* ptr = A + common{v := init} *)
+          match Poly.split_linear v g.g_common with
+          | None -> assert false
+          | Some (base, stride) ->
+              let p = Poly.add base (Poly.mul stride init_p) in
+              Assign
+                ( Lvar g.g_ptr,
+                  Simplify.simplify_expr
+                    (Binop (Add, Var g.g_array, Poly.to_expr p)) )
+        in
+        let incr_of g =
+          let bump = Poly.mul g.g_stride step_p in
+          Assign
+            ( Lvar g.g_ptr,
+              Simplify.simplify_expr
+                (Binop (Add, Var g.g_ptr, Poly.to_expr bump)) )
+        in
+        List.map init_of groups
+        @ [ For (h, body @ List.map incr_of groups) ]
+  | _ -> [ For (h, body) ]
+
+let rec reduce_block reg stmts =
+  List.concat_map
+    (fun s ->
+      match s with
+      | For (h, body) -> reduce_loop reg h (reduce_block reg body)
+      | If (a, c, b, t, f) ->
+          [ If (a, c, b, reduce_block reg t, reduce_block reg f) ]
+      | Tagged (tag, body) -> [ Tagged (tag, reduce_block reg body) ]
+      | Decl _ | Assign _ | Prefetch _ | Comment _ -> [ s ])
+    stmts
+
+let run (k : kernel) : kernel =
+  let array_types = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      match p.p_type with
+      | Ptr _ -> Hashtbl.replace array_types p.p_name p.p_type
+      | Int | Double -> ())
+    k.k_params;
+  let rec record_decls = function
+    | [] -> ()
+    | Decl ((Ptr _ as t), v, _) :: rest ->
+        Hashtbl.replace array_types v t;
+        record_decls rest
+    | (For (_, b) | Tagged (_, b)) :: rest ->
+        record_decls b;
+        record_decls rest
+    | If (_, _, _, t, f) :: rest ->
+        record_decls t;
+        record_decls f;
+        record_decls rest
+    | (Decl _ | Assign _ | Prefetch _ | Comment _) :: rest -> record_decls rest
+  in
+  record_decls k.k_body;
+  let reg =
+    { names = Names.create k; counters = Hashtbl.create 8; decls = [];
+      array_types }
+  in
+  let body = reduce_block reg k.k_body in
+  { k with k_body = List.rev reg.decls @ body }

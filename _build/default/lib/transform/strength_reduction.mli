@@ -1,0 +1,14 @@
+(** Strength reduction of array index arithmetic (paper section 4.1.1,
+    Figure 13).
+
+    Affine accesses like [A[l*Mc + i]] become accesses through derived
+    pointers ([ptr_A0[0]]) that are initialized immediately before the
+    loop whose variable they vary with and bumped by the index stride
+    at the end of each iteration.  Accesses to the same array whose
+    index polynomials differ only by a constant share one pointer with
+    constant displacements; symbolic differences (the unrolled C
+    columns, [j*LDC] vs [j*LDC + LDC]) get separate pointers —
+    reproducing the ptr_A / ptr_B / ptr_C0 / ptr_C1 structure of the
+    paper's optimized GEMM. *)
+
+val run : Augem_ir.Ast.kernel -> Augem_ir.Ast.kernel

@@ -1,0 +1,326 @@
+(* Loop unrolling and unroll&jam (register blocking), the first two
+   source-to-source optimizations of the Optimized C Kernel Generator
+   (paper section 2.1).  Both generate a remainder loop when the trip
+   count is not statically known to be divisible by the factor. *)
+
+module SS = Set.Make (String)
+
+open Augem_ir
+open Ast
+
+exception Unroll_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Unroll_error s)) fmt
+
+let const_step h =
+  match Simplify.simplify_expr h.loop_step with
+  | Int_lit n when n > 0 -> n
+  | _ -> err "loop %s does not have a positive constant step" h.loop_var
+
+(* Is the trip count statically a multiple of [factor]?  True when both
+   bound and init are integer literals and the loop shape is canonical
+   (cmp = Lt). *)
+let statically_divisible h ~factor =
+  match
+    ( h.loop_cmp,
+      Simplify.simplify_expr h.loop_init,
+      Simplify.simplify_expr h.loop_bound )
+  with
+  | Lt, Int_lit lo, Int_lit hi ->
+      let step = const_step h in
+      let trip = if hi > lo then (hi - lo + step - 1) / step else 0 in
+      trip mod factor = 0
+  | _ -> false
+
+(* Shared remainder-loop construction: continue from the current value
+   of the loop variable with the original body. *)
+let remainder_loop h body =
+  For ({ h with loop_init = Var h.loop_var }, body)
+
+let main_header h ~factor =
+  let step = const_step h in
+  let bound =
+    Simplify.simplify_expr
+      (Binop (Sub, h.loop_bound, Int_lit ((factor - 1) * step)))
+  in
+  { h with loop_bound = bound; loop_step = Int_lit (step * factor) }
+
+(* --- Plain unrolling (innermost loops) ------------------------------- *)
+
+(* Replace uses of the loop variable by [var + c*step] in each copy.
+   No scalar renaming: accumulators written by every copy are carried
+   sequentially, exactly as in the scalar source. *)
+let unroll_body h body ~factor =
+  let step = const_step h in
+  List.concat
+    (List.init factor (fun c ->
+         let off = c * step in
+         if off = 0 then body
+         else
+           List.map
+             (fun s ->
+               Simplify.simplify_stmt
+                 (subst_stmt h.loop_var (Binop (Add, Var h.loop_var, Int_lit off)) s))
+             body))
+
+(* Unroll loop [target] by [factor].  When the trip count is not
+   statically divisible we emit main + remainder as sibling loops,
+   which requires handling at the statement-list level. *)
+let rec unroll_in_block target factor stmts =
+  List.concat_map
+    (fun s ->
+      match s with
+      | For (h, body) when String.equal h.loop_var target ->
+          let body = unroll_in_block target factor body in
+          if factor <= 1 then [ For (h, body) ]
+          else
+            let main = For (main_header h ~factor, unroll_body h body ~factor) in
+            if statically_divisible h ~factor then [ main ]
+            else [ main; remainder_loop h body ]
+      | For (h, body) -> [ For (h, unroll_in_block target factor body) ]
+      | If (a, c, b, t, f) ->
+          [ If (a, c, b, unroll_in_block target factor t,
+                unroll_in_block target factor f) ]
+      | Tagged (tag, body) -> [ Tagged (tag, unroll_in_block target factor body) ]
+      | Decl _ | Assign _ | Prefetch _ | Comment _ -> [ s ])
+    stmts
+
+let unroll (k : kernel) ~loop_var ~factor : kernel =
+  if factor < 1 then err "unroll factor must be >= 1";
+  { k with k_body = unroll_in_block loop_var factor k.k_body }
+
+(* --- reduction accumulator expansion ---------------------------------- *)
+
+(* Scalars accumulated across iterations ([v = v + e] with [v] defined
+   outside the loop) serialize the unrolled body on the add latency.
+   [expand_accumulators] rewrites each such [v] into [factor] partial
+   accumulators [v_0..v_{factor-1}] used round-robin by the unrolled
+   copies, initialized to zero before the loop and summed back into [v]
+   after it.  This reassociates the floating-point reduction — standard
+   practice in hand-written kernels, and a prerequisite for
+   vectorizing DOT-style loops. *)
+
+let is_accumulation v = function
+  | Assign (Lvar v', Binop (Add, Var v'', _)) ->
+      String.equal v v' && String.equal v v''
+  | _ -> false
+
+let expand_accumulators (k : kernel) ~loop_var ~ways : kernel =
+  if ways < 1 then err "expansion ways must be >= 1";
+  let names = Names.create k in
+  let decls = ref [] in
+  let expand_loop h body =
+    let declared_inside =
+      List.filter_map (function Decl (_, v, _) -> Some v | _ -> None) body
+      |> SS.of_list
+    in
+    let candidates =
+      List.filter_map
+        (function
+          | Assign (Lvar v, Binop (Add, Var v', _))
+            when String.equal v v' && not (SS.mem v declared_inside) ->
+              Some v
+          | _ -> None)
+        body
+      |> List.sort_uniq String.compare
+    in
+    (* keep only scalars whose every update in the body is an
+       accumulation and that are not read by other statements *)
+    let pure v =
+      List.for_all
+        (fun s ->
+          match s with
+          | Assign (Lvar v', _) when String.equal v v' -> is_accumulation v s
+          | Assign (_, e) -> not (List.mem v (expr_vars e))
+          | Decl (_, _, Some e) -> not (List.mem v (expr_vars e))
+          | For _ | If _ -> false (* conservative: no nested control *)
+          | Decl (_, _, None) | Prefetch _ | Comment _ | Tagged _ -> true)
+        body
+    in
+    (* expansion only pays off when a variable is accumulated several
+       times per iteration (i.e. in the unrolled main loop, not in the
+       single-update remainder loop) *)
+    let update_count v =
+      List.length (List.filter (is_accumulation v) body)
+    in
+    let accs = List.filter (fun v -> pure v && update_count v >= 2) candidates in
+    if accs = [] then [ For (h, body) ]
+    else
+      let parts =
+        List.map
+          (fun v ->
+            let ps =
+              List.init ways (fun c ->
+                  Names.claim names (Printf.sprintf "%s_p%d" v c))
+            in
+            decls := List.map (fun p -> Decl (Double, p, None)) ps @ !decls;
+            (v, ps))
+          accs
+      in
+      let counter = Hashtbl.create 4 in
+      let body' =
+        List.map
+          (fun s ->
+            match s with
+            | Assign (Lvar v, Binop (Add, Var v', e))
+              when String.equal v v' && List.mem_assoc v parts ->
+                let c =
+                  Option.value ~default:0 (Hashtbl.find_opt counter v)
+                in
+                Hashtbl.replace counter v ((c + 1) mod ways);
+                let p = List.nth (List.assoc v parts) c in
+                Assign (Lvar p, Binop (Add, Var p, e))
+            | s -> s)
+          body
+      in
+      let inits =
+        List.concat_map
+          (fun (_, ps) -> List.map (fun p -> Assign (Lvar p, Double_lit 0.)) ps)
+          parts
+      in
+      let sums =
+        List.concat_map
+          (fun (v, ps) ->
+            List.map (fun p -> Assign (Lvar v, Binop (Add, Var v, Var p))) ps)
+          parts
+      in
+      inits @ [ For (h, body') ] @ sums
+  in
+  let rec go_block stmts =
+    List.concat_map
+      (fun s ->
+        match s with
+        | For (h, body) when String.equal h.loop_var loop_var ->
+            expand_loop h (go_block body)
+        | For (h, body) -> [ For (h, go_block body) ]
+        | If (a, c, b, t, f) -> [ If (a, c, b, go_block t, go_block f) ]
+        | Tagged (tag, body) -> [ Tagged (tag, go_block body) ]
+        | Decl _ | Assign _ | Prefetch _ | Comment _ -> [ s ])
+      stmts
+  in
+  let body = go_block k.k_body in
+  { k with k_body = List.rev !decls @ body }
+
+(* --- Unroll & jam ----------------------------------------------------- *)
+
+(* Scalars assigned inside the jammed body must be expanded (one copy
+   per unrolled iteration): [res] becomes [res_0], [res_1], ... and new
+   declarations are emitted before the loop.  Loop variables of inner
+   loops are shared between copies, which is what makes jamming legal
+   for our canonical counted loops. *)
+
+let rec inner_loop_vars stmts =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | For (h, body) -> SS.union (SS.add h.loop_var acc) (inner_loop_vars body)
+      | If (_, _, _, t, f) ->
+          SS.union acc (SS.union (inner_loop_vars t) (inner_loop_vars f))
+      | Tagged (_, body) -> SS.union acc (inner_loop_vars body)
+      | Decl _ | Assign _ | Prefetch _ | Comment _ -> acc)
+    SS.empty stmts
+
+(* Jam [copies] (lists of statements with identical shape) by walking
+   them in lockstep: matching inner loops are fused, other statements
+   are emitted copy-major. *)
+let rec jam (copies : stmt list list) : stmt list =
+  match copies with
+  | [] -> []
+  | first :: _ ->
+      if List.exists (fun c -> List.length c <> List.length first) copies then
+        err "unroll&jam: copies diverged in shape";
+      if first = [] then []
+      else
+        let heads = List.map List.hd copies in
+        let tails = List.map List.tl copies in
+        let fused =
+          match heads with
+          | For (h0, _) :: _
+            when List.for_all
+                   (function For (h, _) -> h = h0 | _ -> false)
+                   heads ->
+              let bodies =
+                List.map
+                  (function For (_, b) -> b | _ -> assert false)
+                  heads
+              in
+              [ For (h0, jam bodies) ]
+          | _ -> heads
+        in
+        fused @ jam tails
+
+let unroll_and_jam (k : kernel) ~loop_var ~factor : kernel =
+  if factor < 1 then err "unroll&jam factor must be >= 1";
+  let names = Names.create k in
+  let new_decls = ref [] in
+  let rec go_block stmts =
+    List.concat_map
+      (fun s ->
+        match s with
+        | For (h, body) when String.equal h.loop_var loop_var ->
+            let body = go_block body in
+            if factor = 1 then [ For (h, body) ]
+            else begin
+              let step = const_step h in
+              (* Scalars to expand: assigned in the body but not inner
+                 loop counters. *)
+              let inner_vars = inner_loop_vars body in
+              let expanded =
+                SS.diff (Augem_analysis.Liveness.defs_block body) inner_vars
+                |> SS.elements
+              in
+              let copy c =
+                let off = c * step in
+                let substituted =
+                  List.map
+                    (fun s ->
+                      if off = 0 then s
+                      else
+                        subst_stmt h.loop_var
+                          (Binop (Add, Var h.loop_var, Int_lit off))
+                          s)
+                    body
+                in
+                (* rename expanded scalars for this copy *)
+                List.fold_left
+                  (fun stmts v ->
+                    let v' = Names.claim names (Printf.sprintf "%s_%d" v c) in
+                    new_decls := (v, v') :: !new_decls;
+                    List.map (rename_stmt ~from:v ~into:v') stmts)
+                  substituted expanded
+                |> List.map Simplify.simplify_stmt
+              in
+              let copies = List.init factor copy in
+              let main = For (main_header h ~factor, jam copies) in
+              if statically_divisible h ~factor then [ main ]
+              else [ main; remainder_loop h body ]
+            end
+        | For (h, body) -> [ For (h, go_block body) ]
+        | If (a, c, b, t, f) -> [ If (a, c, b, go_block t, go_block f) ]
+        | Tagged (tag, body) -> [ Tagged (tag, go_block body) ]
+        | Decl _ | Assign _ | Prefetch _ | Comment _ -> [ s ])
+      stmts
+  in
+  let body = go_block k.k_body in
+  (* Declare the expanded scalars with the type of their original. *)
+  let type_of_decl name =
+    let rec find stmts =
+      List.find_map
+        (function
+          | Decl (t, v, _) when String.equal v name -> Some t
+          | For (_, b) | Tagged (_, b) -> find b
+          | If (_, _, _, t, f) -> ( match find t with Some x -> Some x | None -> find f)
+          | Decl _ | Assign _ | Prefetch _ | Comment _ -> None)
+        stmts
+    in
+    match find k.k_body with
+    | Some t -> t
+    | None -> (
+        match List.find_opt (fun p -> String.equal p.p_name name) k.k_params with
+        | Some p -> p.p_type
+        | None -> Double)
+  in
+  let decls =
+    List.rev_map (fun (orig, v') -> Decl (type_of_decl orig, v', None)) !new_decls
+  in
+  { k with k_body = decls @ body }

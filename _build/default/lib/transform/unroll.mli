@@ -1,0 +1,26 @@
+(** Loop unrolling and unroll&jam — the register-blocking
+    transformations of the Optimized C Kernel Generator (paper section
+    2.1).  Both emit a remainder loop when the trip count is not
+    statically divisible by the factor. *)
+
+exception Unroll_error of string
+
+(** Unroll loop [loop_var] by [factor] (innermost loops): the body is
+    replicated with the loop variable offset, accumulators carried
+    sequentially. *)
+val unroll :
+  Augem_ir.Ast.kernel -> loop_var:string -> factor:int -> Augem_ir.Ast.kernel
+
+(** Unroll&jam an outer loop: replicate its body per unrolled
+    iteration, scalar-expand the scalars it defines ([res] becomes
+    [res_0], [res_1], ...), and fuse the replicated inner loops. *)
+val unroll_and_jam :
+  Augem_ir.Ast.kernel -> loop_var:string -> factor:int -> Augem_ir.Ast.kernel
+
+(** Rewrite each scalar accumulated several times per iteration of
+    [loop_var] into [ways] round-robin partial accumulators, zeroed
+    before the loop and summed after it.  Reassociates the
+    floating-point reduction — standard kernel practice, and the
+    prerequisite for vectorizing DOT-style loops. *)
+val expand_accumulators :
+  Augem_ir.Ast.kernel -> loop_var:string -> ways:int -> Augem_ir.Ast.kernel

@@ -1,0 +1,1 @@
+test/test_autotune.ml: Alcotest Augem List Printf

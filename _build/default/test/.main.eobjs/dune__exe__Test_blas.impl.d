@@ -1,0 +1,1 @@
+test/test_blas.ml: Alcotest Array Augem Float Gen List Printf QCheck QCheck_alcotest String

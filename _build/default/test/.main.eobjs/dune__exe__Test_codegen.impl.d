@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Augem Float Int64 List Printf

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Augem Float Fmt List Option QCheck QCheck_alcotest

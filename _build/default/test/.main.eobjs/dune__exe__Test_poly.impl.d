@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Augem List QCheck QCheck_alcotest

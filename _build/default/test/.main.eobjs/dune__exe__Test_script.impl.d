@@ -1,0 +1,1 @@
+test/test_script.ml: Alcotest Augem List

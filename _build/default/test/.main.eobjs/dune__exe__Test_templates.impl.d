@@ -1,0 +1,1 @@
+test/test_templates.ml: Alcotest Array Augem Float List Printf String

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Augem Float List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "augem"
+    [
+      ("poly", Test_poly.suite);
+      ("ir", Test_ir.suite);
+      ("analysis", Test_analysis.suite);
+      ("transform", Test_transform.suite);
+      ("templates", Test_templates.suite);
+      ("script", Test_script.suite);
+      ("machine", Test_machine.suite);
+      ("sim", Test_sim.suite);
+      ("blas", Test_blas.suite);
+      ("codegen", Test_codegen.suite);
+      ("autotune", Test_autotune.suite);
+      ("baselines", Test_baselines.suite);
+      ("report", Test_report.suite);
+      ("extensions", Test_extensions.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,121 @@
+(* Library models: every modelled library's kernels are functionally
+   correct (they all run on the simulator against the reference BLAS),
+   and the paper's qualitative ordering holds on the reference
+   workloads. *)
+
+module A = Augem
+module Arch = A.Machine.Arch
+module Kernels = A.Ir.Kernels
+module Lib = A.Library
+module Perf = A.Sim.Perf
+
+let archs = [ Arch.sandy_bridge; Arch.piledriver ]
+let kernels = Kernels.[ Gemm; Gemv; Axpy; Dot; Ger ]
+
+let test_all_libraries_verify () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun k ->
+          List.iter
+            (fun lib ->
+              let _, prog = Lib.generate lib arch k in
+              let o = A.Harness.verify k prog in
+              if not o.A.Harness.ok then
+                Alcotest.failf "%s %s on %s: %s"
+                  (Lib.display_name arch lib)
+                  (Kernels.name_to_string k) arch.Arch.name o.A.Harness.detail)
+            Lib.all)
+        kernels)
+    archs
+
+let workload_for = A.Tuner.reference_workload
+
+let test_augem_wins_reference_workloads () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun k ->
+          let w = workload_for k in
+          let augem = Lib.predict Lib.AUGEM arch k w in
+          List.iter
+            (fun lib ->
+              if lib <> Lib.AUGEM then
+                let other = Lib.predict lib arch k w in
+                Alcotest.(check bool)
+                  (Printf.sprintf "AUGEM (%.0f) >= %s (%.0f) on %s/%s" augem
+                     (Lib.display_name arch lib) other arch.Arch.name
+                     (Kernels.name_to_string k))
+                  true
+                  (augem >= other *. 0.999))
+            Lib.all)
+        kernels)
+    archs
+
+let test_goto_half_gemm () =
+  (* GotoBLAS (SSE2-only) lands at roughly half the AVX GEMM rate on
+     Sandy Bridge — the paper's headline GotoBLAS gap *)
+  let w = workload_for Kernels.Gemm in
+  List.iter
+    (fun arch ->
+      let augem = Lib.predict Lib.AUGEM arch Kernels.Gemm w in
+      let goto = Lib.predict Lib.GotoBLAS arch Kernels.Gemm w in
+      let ratio = augem /. goto in
+      Alcotest.(check bool)
+        (Printf.sprintf "ratio %.2f in [1.5, 3.0] on %s" ratio arch.Arch.name)
+        true
+        (ratio >= 1.5 && ratio <= 3.0))
+    archs
+
+let test_vendor_close_on_gemm () =
+  (* the vendor library is within ~10% of AUGEM on GEMM (paper: 1.4% /
+     2.6%) *)
+  let w = workload_for Kernels.Gemm in
+  List.iter
+    (fun arch ->
+      let augem = Lib.predict Lib.AUGEM arch Kernels.Gemm w in
+      let vendor = Lib.predict Lib.Vendor arch Kernels.Gemm w in
+      Alcotest.(check bool)
+        (Printf.sprintf "vendor within 10%% (%.0f vs %.0f)" vendor augem)
+        true
+        (vendor >= 0.90 *. augem))
+    archs
+
+let test_vendor_level1_prefetch_gap () =
+  (* vendor AXPY lacks software prefetch: a visible gap at streaming
+     sizes (paper: 19.7% on Sandy Bridge, 45.5% on Piledriver) *)
+  let w = Perf.W_axpy { n = 150_000 } in
+  List.iter
+    (fun arch ->
+      let augem = Lib.predict Lib.AUGEM arch Kernels.Axpy w in
+      let vendor = Lib.predict Lib.Vendor arch Kernels.Axpy w in
+      let gap = (augem /. vendor -. 1.) *. 100. in
+      Alcotest.(check bool)
+        (Printf.sprintf "axpy gap %.1f%% in [10, 80] on %s" gap arch.Arch.name)
+        true
+        (gap >= 10. && gap <= 80.))
+    archs
+
+let test_display_names () =
+  Alcotest.(check string) "intel vendor" "MKL 11.0"
+    (Lib.display_name Arch.sandy_bridge Lib.Vendor);
+  Alcotest.(check string) "amd vendor" "ACML 5.3.0"
+    (Lib.display_name Arch.piledriver Lib.Vendor)
+
+let test_goto_arch_is_sse () =
+  let a = Lib.effective_arch Arch.sandy_bridge Lib.GotoBLAS in
+  Alcotest.(check bool) "sse mode" true (a.Arch.simd = Arch.SSE);
+  Alcotest.(check int) "128-bit" 128 a.Arch.vec_bits
+
+let suite =
+  [
+    Alcotest.test_case "all libraries verify" `Slow test_all_libraries_verify;
+    Alcotest.test_case "AUGEM wins reference workloads" `Slow
+      test_augem_wins_reference_workloads;
+    Alcotest.test_case "GotoBLAS at half on GEMM" `Quick test_goto_half_gemm;
+    Alcotest.test_case "vendor close on GEMM" `Quick test_vendor_close_on_gemm;
+    Alcotest.test_case "vendor Level-1 prefetch gap" `Quick
+      test_vendor_level1_prefetch_gap;
+    Alcotest.test_case "display names" `Quick test_display_names;
+    Alcotest.test_case "GotoBLAS model is SSE2" `Quick test_goto_arch_is_sse;
+  ]

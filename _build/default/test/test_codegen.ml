@@ -1,0 +1,380 @@
+(* Code generation: end-to-end verification of generated assembly
+   against the reference BLAS across kernels, architectures, vector
+   strategies and tuning configurations — including the scheduler, the
+   SSE-only mode, FMA4, and the Shuf method on the packed GEMM. *)
+
+module A = Augem
+module Ast = A.Ir.Ast
+module Kernels = A.Ir.Kernels
+module Pipeline = A.Transform.Pipeline
+module Arch = A.Machine.Arch
+module Insn = A.Machine.Insn
+module Emit = A.Codegen.Emit
+module Reg = A.Machine.Reg
+module Regfile = A.Codegen.Regfile
+module Gpralloc = A.Codegen.Gpralloc
+
+let archs = [ Arch.sandy_bridge; Arch.piledriver ]
+
+let sse_arch =
+  { Arch.sandy_bridge with Arch.name = "sse-test"; simd = Arch.SSE;
+    fma = Arch.No_fma; vec_bits = 128; native_fp_bits = 128 }
+
+let fma4_arch = { Arch.piledriver with Arch.name = "pd-fma4"; fma = Arch.FMA4 }
+
+let check_kernel ?(schedule = true) ~arch ~config name kernel =
+  let g = A.generate ~arch ~config kernel in
+  let prog =
+    if schedule then g.A.g_program
+    else
+      (* regenerate unscheduled *)
+      Emit.generate ~arch (Pipeline.apply (Kernels.kernel_of_name kernel) config)
+  in
+  let o = A.Harness.verify kernel prog in
+  if not o.A.Harness.ok then
+    Alcotest.failf "%s on %s: %s" name arch.Arch.name o.A.Harness.detail
+
+let gemm_cfg j i = { Pipeline.default with jam = [ ("j", j); ("i", i) ] }
+
+let vec_cfg v u ~expand =
+  {
+    Pipeline.default with
+    inner_unroll = Some (v, u);
+    expand_reduction = (if expand then Some u else None);
+  }
+
+(* --- grid of configurations ----------------------------------------------- *)
+
+let test_gemm_grid () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun (j, i) ->
+          match check_kernel ~arch ~config:(gemm_cfg j i)
+                  (Printf.sprintf "gemm %dx%d" j i) Kernels.Gemm
+          with
+          | () -> ()
+          | exception Regfile.Out_of_registers _ -> () (* legal discard *))
+        [ (1, 1); (1, 4); (2, 2); (2, 4); (2, 8); (4, 4); (4, 8); (2, 12);
+          (6, 8); (2, 16); (3, 4); (1, 12) ])
+    archs
+
+let test_gemm_unscheduled () =
+  List.iter
+    (fun arch ->
+      check_kernel ~schedule:false ~arch ~config:(gemm_cfg 2 8)
+        "gemm unscheduled" Kernels.Gemm)
+    archs
+
+let test_gemv_grid () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun u ->
+          check_kernel ~arch ~config:(vec_cfg "j" u ~expand:false)
+            (Printf.sprintf "gemv u=%d" u) Kernels.Gemv)
+        [ 1; 2; 4; 8; 16 ])
+    archs
+
+let test_axpy_grid () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun u ->
+          check_kernel ~arch ~config:(vec_cfg "i" u ~expand:false)
+            (Printf.sprintf "axpy u=%d" u) Kernels.Axpy)
+        [ 1; 2; 3; 4; 8; 16 ])
+    archs
+
+let test_dot_grid () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun (u, e) ->
+          let config =
+            { Pipeline.default with inner_unroll = Some ("i", u);
+              expand_reduction = e }
+          in
+          check_kernel ~arch ~config
+            (Printf.sprintf "dot u=%d" u) Kernels.Dot)
+        [ (1, None); (4, Some 4); (8, Some 8); (8, Some 4); (16, Some 8) ])
+    archs
+
+(* --- special modes --------------------------------------------------------- *)
+
+let test_sse_only () =
+  List.iter
+    (fun (name, kernel, config) ->
+      check_kernel ~arch:sse_arch ~config name kernel)
+    [
+      ("sse gemm", Kernels.Gemm, gemm_cfg 2 4);
+      ("sse gemv", Kernels.Gemv, vec_cfg "j" 4 ~expand:false);
+      ("sse axpy", Kernels.Axpy, vec_cfg "i" 8 ~expand:false);
+      ("sse dot", Kernels.Dot, vec_cfg "i" 8 ~expand:true);
+    ]
+
+let test_fma4 () =
+  List.iter
+    (fun (name, kernel, config) ->
+      check_kernel ~arch:fma4_arch ~config name kernel)
+    [
+      ("fma4 gemm", Kernels.Gemm, gemm_cfg 2 8);
+      ("fma4 axpy", Kernels.Axpy, vec_cfg "i" 8 ~expand:false);
+    ];
+  (* FMA4 kernels contain vfmaddpd *)
+  let g = A.generate ~arch:fma4_arch ~config:(gemm_cfg 2 8) Kernels.Gemm in
+  let has_fma4 =
+    List.exists
+      (function Insn.Vfma4 _ -> true | _ -> false)
+      g.A.g_program.Insn.prog_insns
+  in
+  Alcotest.(check bool) "uses FMA4" true has_fma4
+
+let test_shuf_method () =
+  (* the Shuf vectorization on the interleaved-B GEMM, W128 *)
+  List.iter
+    (fun arch ->
+      let config = gemm_cfg 2 2 in
+      let opts =
+        { Emit.prefer = A.Codegen.Plan.Prefer_shuf;
+          max_width = Some Insn.W128 }
+      in
+      let optimized = Pipeline.apply Kernels.gemm_packed config in
+      let prog = Emit.generate ~arch ~opts optimized in
+      let prog = A.Codegen.Schedule.run arch prog in
+      (* shuffles must actually appear *)
+      let has_shuf =
+        List.exists
+          (function Insn.Vshuf _ -> true | _ -> false)
+          prog.Insn.prog_insns
+      in
+      Alcotest.(check bool) "contains shufpd" true has_shuf;
+      let o = A.Harness.verify_gemm ~packed:true prog in
+      if not o.A.Harness.ok then
+        Alcotest.failf "shuf gemm on %s: %s" arch.Arch.name o.A.Harness.detail;
+      (* non-divisible shapes too *)
+      let o2 =
+        A.Harness.verify_gemm ~packed:true
+          ~shape:{ A.Harness.sh_m = 7; sh_n = 5; sh_k = 6; sh_ld_slack = 1 }
+          prog
+      in
+      if not o2.A.Harness.ok then
+        Alcotest.failf "shuf gemm remainder on %s: %s" arch.Arch.name
+          o2.A.Harness.detail)
+    archs
+
+let test_vdup_vs_shuf_same_result () =
+  let arch = Arch.sandy_bridge in
+  let optimized = Pipeline.apply Kernels.gemm_packed (gemm_cfg 2 2) in
+  let run opts =
+    let prog = Emit.generate ~arch ~opts optimized in
+    let mc = 6 and kc = 5 and n = 4 and ldc = 6 in
+    let pa = Array.init (mc * kc) (fun i -> float_of_int (i mod 7) -. 3.) in
+    let pb = Array.init (kc * n) (fun i -> float_of_int (i mod 5) -. 2.) in
+    let c = Array.make (ldc * n) 1.0 in
+    let _ =
+      A.Sim.Exec_sim.call prog
+        A.Sim.Exec_sim.
+          [ Aint mc; Aint kc; Aint n; Aint ldc; Abuf pa; Abuf pb; Abuf c ]
+    in
+    c
+  in
+  let c1 = run { Emit.prefer = A.Codegen.Plan.Prefer_auto; max_width = None } in
+  let c2 =
+    run { Emit.prefer = A.Codegen.Plan.Prefer_shuf; max_width = Some Insn.W128 }
+  in
+  Alcotest.(check bool) "vdup == shuf results" true
+    (Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) c1 c2)
+
+(* --- scheduler equivalence -------------------------------------------------- *)
+
+let test_scheduler_preserves_semantics () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun (kernel, config) ->
+          let optimized =
+            Pipeline.apply (Kernels.kernel_of_name kernel) config
+          in
+          let prog = Emit.generate ~arch optimized in
+          let scheduled = A.Codegen.Schedule.run arch prog in
+          let o1 = A.Harness.verify kernel prog in
+          let o2 = A.Harness.verify kernel scheduled in
+          if not (o1.A.Harness.ok && o2.A.Harness.ok) then
+            Alcotest.failf "scheduling broke %s on %s"
+              (Kernels.name_to_string kernel)
+              arch.Arch.name)
+        [
+          (Kernels.Gemm, gemm_cfg 2 8);
+          (Kernels.Gemv, vec_cfg "j" 8 ~expand:false);
+          (Kernels.Dot, vec_cfg "i" 8 ~expand:true);
+        ])
+    archs
+
+(* --- structural checks -------------------------------------------------------- *)
+
+let test_prologue_epilogue () =
+  let g = A.generate ~arch:Arch.sandy_bridge ~config:(gemm_cfg 2 4) Kernels.Gemm in
+  let insns = g.A.g_program.Insn.prog_insns in
+  (match insns with
+  | Insn.Push Reg.Rbp :: Insn.Movrr (Reg.Rbp, Reg.Rsp) :: _ -> ()
+  | _ -> Alcotest.fail "missing frame setup");
+  (match List.rev insns with
+  | Insn.Ret :: Insn.Pop Reg.Rbp :: Insn.Movrr (Reg.Rsp, Reg.Rbp) :: _ -> ()
+  | _ -> Alcotest.fail "missing frame teardown")
+
+let test_callee_saved_preserved () =
+  (* execute and check rbx/r12-r15 restored *)
+  let g = A.generate ~arch:Arch.sandy_bridge ~config:(gemm_cfg 2 8) Kernels.Gemm in
+  let st = A.Sim.Exec_sim.create () in
+  let sentinel = 0x1234_5678L in
+  List.iter (fun r -> A.Sim.Exec_sim.set_gpr st r sentinel)
+    [ A.Machine.Reg.Rbx; A.Machine.Reg.R12; A.Machine.Reg.R13;
+      A.Machine.Reg.R14; A.Machine.Reg.R15 ];
+  (* minimal arguments so the kernel runs zero-trip loops *)
+  A.Sim.Exec_sim.set_gpr st A.Machine.Reg.Rdi 0L;
+  A.Sim.Exec_sim.set_gpr st A.Machine.Reg.Rsi 0L;
+  A.Sim.Exec_sim.set_gpr st A.Machine.Reg.Rdx 0L;
+  A.Sim.Exec_sim.set_gpr st A.Machine.Reg.Rcx 0L;
+  let _ = A.Sim.Exec_sim.run st g.A.g_program in
+  List.iter
+    (fun r ->
+      Alcotest.(check int64)
+        (A.Machine.Reg.gpr_name r ^ " preserved")
+        sentinel
+        (A.Sim.Exec_sim.get_gpr st r))
+    [ A.Machine.Reg.Rbx; A.Machine.Reg.R12; A.Machine.Reg.R13;
+      A.Machine.Reg.R14; A.Machine.Reg.R15 ]
+
+let test_fma_only_on_fma_machines () =
+  let has_fma prog =
+    List.exists
+      (function
+        | Insn.Vop { op = Insn.Fma231; _ } | Insn.Vfma4 _ -> true
+        | _ -> false)
+      prog.Insn.prog_insns
+  in
+  let snb = A.generate ~arch:Arch.sandy_bridge ~config:(gemm_cfg 2 8) Kernels.Gemm in
+  let pd = A.generate ~arch:Arch.piledriver ~config:(gemm_cfg 2 8) Kernels.Gemm in
+  Alcotest.(check bool) "no FMA on Sandy Bridge" false (has_fma snb.A.g_program);
+  Alcotest.(check bool) "FMA on Piledriver" true (has_fma pd.A.g_program)
+
+let test_vector_width_per_arch () =
+  let widest prog =
+    List.fold_left
+      (fun acc i ->
+        match i with
+        | Insn.Vload { w; _ } | Insn.Vop { w; _ } ->
+            max acc (Insn.width_bits w)
+        | _ -> acc)
+      0 prog.Insn.prog_insns
+  in
+  let snb = A.generate ~arch:Arch.sandy_bridge ~config:(gemm_cfg 2 8) Kernels.Gemm in
+  let sse =
+    Emit.generate ~arch:sse_arch (Pipeline.apply Kernels.gemm (gemm_cfg 2 4))
+  in
+  Alcotest.(check int) "snb uses 256-bit" 256 (widest snb.A.g_program);
+  Alcotest.(check int) "sse capped at 128-bit" 128 (widest sse)
+
+(* --- register allocators ------------------------------------------------------ *)
+
+let test_regfile_queues () =
+  let rf = Regfile.create ~nregs:16 ~array_classes:[ "A"; "B"; "C" ] in
+  let ra = Regfile.alloc_temp rf ~cls:"A" in
+  let rb = Regfile.alloc_temp rf ~cls:"B" in
+  let rc = Regfile.alloc_temp rf ~cls:"C" in
+  (* per-array queues are disjoint: R/m = 4 registers apart *)
+  Alcotest.(check bool) "distinct queues" true
+    (ra <> rb && rb <> rc && ra <> rc);
+  Alcotest.(check bool) "A queue first" true (ra < rb && rb < rc)
+
+let test_regfile_release () =
+  let rf = Regfile.create ~nregs:16 ~array_classes:[ "A" ] in
+  let r = Regfile.alloc_lanes rf ~cls:"A" ~vars:[ "x"; "y" ] in
+  Alcotest.(check bool) "x bound" true
+    (Regfile.residence rf "x" = Some (Regfile.Lane (r, 0)));
+  (* y still live: nothing released *)
+  Regfile.release_dead rf ~live:(fun v -> v = "y");
+  Alcotest.(check bool) "still bound while y lives" true
+    (Regfile.residence rf "y" <> None);
+  Regfile.release_dead rf ~live:(fun _ -> false);
+  Alcotest.(check bool) "released" true (Regfile.residence rf "x" = None);
+  Alcotest.(check int) "all free again" 16 (Regfile.free_count rf)
+
+let test_regfile_exhaustion () =
+  let rf = Regfile.create ~nregs:4 ~array_classes:[ "A" ] in
+  let _ = Regfile.alloc_temp rf ~cls:"A" in
+  let _ = Regfile.alloc_temp rf ~cls:"A" in
+  let _ = Regfile.alloc_temp rf ~cls:"A" in
+  let _ = Regfile.alloc_temp rf ~cls:"A" in
+  match Regfile.alloc_temp rf ~cls:"A" with
+  | exception Regfile.Out_of_registers _ -> ()
+  | _ -> Alcotest.fail "expected exhaustion"
+
+let test_gpralloc_spill_reload () =
+  (* allocate more variables than registers; values must survive
+     eviction and reload.  The output buffer pointer is registered as a
+     pinned variable so the allocator keeps it live. *)
+  let out = ref [] in
+  let g = Gpralloc.create ~emit:(fun i -> out := i :: !out) in
+  Gpralloc.bind_incoming g ~var:"buf" ~reg:Reg.Rdi;
+  Gpralloc.pin g "buf";
+  let nvars = 20 in
+  for v = 0 to nvars - 1 do
+    let r = Gpralloc.def g (Printf.sprintf "v%d" v) in
+    out := Insn.Movri (r, 100 + v) :: !out
+  done;
+  (* read each back (reload code is emitted through [out], so the
+     store is pushed immediately after its reload) *)
+  for v = 0 to nvars - 1 do
+    let r = Gpralloc.get g (Printf.sprintf "v%d" v) in
+    let rb = Gpralloc.get g "buf" ~avoid:[ r ] in
+    out := Insn.Storeq (Insn.mem ~disp:(8 * v) rb, r) :: !out
+  done;
+  let frame = (Gpralloc.frame_bytes g + 15) / 16 * 16 in
+  let prog =
+    Insn.
+      {
+        prog_name = "spill";
+        prog_insns =
+          [ Push Reg.Rbp; Movrr (Reg.Rbp, Reg.Rsp); Subri (Reg.Rsp, frame) ]
+          @ List.rev !out
+          @ [ Movrr (Reg.Rsp, Reg.Rbp); Pop Reg.Rbp; Ret ];
+      }
+  in
+  let buf = Array.make nvars 0. in
+  let _ = A.Sim.Exec_sim.call prog [ A.Sim.Exec_sim.Abuf buf ] in
+  (* buf holds raw int64 bit patterns; read them back *)
+  Array.iteri
+    (fun v bits ->
+      Alcotest.(check int)
+        (Printf.sprintf "v%d survives spilling" v)
+        (100 + v)
+        (Int64.to_int (Int64.bits_of_float bits)))
+    buf
+
+let suite =
+  [
+    Alcotest.test_case "gemm configuration grid" `Slow test_gemm_grid;
+    Alcotest.test_case "gemm unscheduled" `Quick test_gemm_unscheduled;
+    Alcotest.test_case "gemv unroll grid" `Quick test_gemv_grid;
+    Alcotest.test_case "axpy unroll grid" `Quick test_axpy_grid;
+    Alcotest.test_case "dot unroll/expand grid" `Quick test_dot_grid;
+    Alcotest.test_case "SSE-only generation" `Quick test_sse_only;
+    Alcotest.test_case "FMA4 generation" `Quick test_fma4;
+    Alcotest.test_case "Shuf method on packed GEMM" `Quick test_shuf_method;
+    Alcotest.test_case "Vdup and Shuf agree" `Quick test_vdup_vs_shuf_same_result;
+    Alcotest.test_case "scheduler preserves semantics" `Slow
+      test_scheduler_preserves_semantics;
+    Alcotest.test_case "prologue and epilogue" `Quick test_prologue_epilogue;
+    Alcotest.test_case "callee-saved registers preserved" `Quick
+      test_callee_saved_preserved;
+    Alcotest.test_case "FMA selection per ISA" `Quick
+      test_fma_only_on_fma_machines;
+    Alcotest.test_case "vector width per architecture" `Quick
+      test_vector_width_per_arch;
+    Alcotest.test_case "regfile per-array queues" `Quick test_regfile_queues;
+    Alcotest.test_case "regfile release on death" `Quick test_regfile_release;
+    Alcotest.test_case "regfile exhaustion" `Quick test_regfile_exhaustion;
+    Alcotest.test_case "gpralloc spill/reload" `Quick test_gpralloc_spill_reload;
+  ]

@@ -1,0 +1,213 @@
+(* Whole-pipeline fuzzing: randomly generated mini-C kernels are pushed
+   through randomly chosen optimization configurations and the full
+   code generator, and the generated assembly (executed on the
+   functional simulator) must agree with the IR interpreter on the same
+   inputs.  This exercises the template matchers, every vectorization
+   strategy, the scalar fall-backs, remainder loops, register spilling
+   and the scheduler, on programs nobody hand-picked. *)
+
+module A = Augem
+module Ast = A.Ir.Ast
+module Eval = A.Ir.Eval
+module Exec = A.Sim.Exec_sim
+module Pipeline = A.Transform.Pipeline
+module Arch = A.Machine.Arch
+
+(* --- random kernel generator --------------------------------------------- *)
+
+(* Kernels over one int size parameter [n], 2-3 double arrays and an
+   optional double scalar; bodies are loops over [0, n) whose statements
+   are drawn from DLA-shaped patterns.  Array subscripts stay within
+   [0, 4n + 8): buffers are allocated accordingly. *)
+
+type spec = {
+  sp_arrays : int; (* 2 or 3 *)
+  sp_has_alpha : bool;
+  sp_stmts : stmt_pattern list;
+  sp_two_level : bool; (* wrap in an outer loop over [0, 3) *)
+  sp_config : Pipeline.config;
+  sp_arch_idx : int; (* 0 = sandy bridge, 1 = piledriver, 2 = sse *)
+}
+
+and stmt_pattern =
+  | P_axpy of int * int (* Q[i + c] += P[i] * alpha-or-s *)
+  | P_dotacc of int * int (* s += P[i+c1] * Q[i+c2] *)
+  | P_copy of int (* Q[i + c] = P[i] *)
+  | P_scale_store of int (* R[i+c] += P[i] * s *)
+  | P_scale of int (* Q[i] = Q[i] * alpha-or-s  (svSCAL) *)
+
+let arch_of_idx = function
+  | 0 -> Arch.sandy_bridge
+  | 1 -> Arch.piledriver
+  | _ ->
+      { Arch.sandy_bridge with Arch.name = "fuzz-sse"; simd = Arch.SSE;
+        fma = Arch.No_fma; vec_bits = 128; native_fp_bits = 128 }
+
+let array_name i = [| "P"; "Q"; "R" |].(i)
+
+let gen_spec =
+  QCheck.Gen.(
+    let* sp_arrays = int_range 2 3 in
+    let* sp_has_alpha = bool in
+    let* n_stmts = int_range 1 3 in
+    let* sp_stmts =
+      list_size (return n_stmts)
+        (oneof
+           [
+             map2 (fun a b -> P_axpy (a, b)) (int_range 0 2) (int_range 0 1);
+             map2 (fun a b -> P_dotacc (a, b)) (int_range 0 2) (int_range 0 2);
+             map (fun a -> P_copy a) (int_range 0 2);
+             map (fun a -> P_scale_store a) (int_range 0 2);
+             map (fun a -> P_scale a) (int_range 0 2);
+           ])
+    in
+    let* sp_two_level = bool in
+    let* unroll = oneofl [ 1; 2; 3; 4; 7; 8 ] in
+    let* expand = oneofl [ None; Some 2; Some 4 ] in
+    let* pf = oneofl [ None; Some 4 ] in
+    let* sp_arch_idx = int_range 0 2 in
+    let config =
+      {
+        Pipeline.default with
+        inner_unroll = Some ("i", unroll);
+        expand_reduction = expand;
+        prefetch =
+          Option.map
+            (fun d -> { A.Transform.Prefetch.pf_distance = d; pf_stores = true })
+            pf;
+      }
+    in
+    return
+      { sp_arrays; sp_has_alpha; sp_stmts; sp_two_level; sp_config = config;
+        sp_arch_idx })
+
+(* Materialize the kernel AST for a spec. *)
+let kernel_of_spec (sp : spec) : Ast.kernel =
+  let open Ast in
+  let arr k = array_name (k mod sp.sp_arrays) in
+  let scal = if sp.sp_has_alpha then Var "alpha" else Var "s0" in
+  let idx ?(ofs = 0) () =
+    if sp.sp_two_level then (Var "j" *! Int_lit 3) +! Var "i" +! Int_lit ofs
+    else Var "i" +! Int_lit ofs
+  in
+  let stmt_of = function
+    | P_axpy (a, c) ->
+        let q = arr (a + 1) in
+        Assign
+          ( Lindex (q, idx ~ofs:c ()),
+            Index (q, idx ~ofs:c ()) +! (Index (arr a, idx ()) *! scal) )
+    | P_dotacc (a, b) ->
+        Assign
+          ( Lvar "acc",
+            Var "acc" +! (Index (arr a, idx ()) *! Index (arr b, idx ~ofs:1 ()))
+          )
+    | P_copy a ->
+        Assign (Lindex (arr (a + 1), idx ~ofs:2 ()), Index (arr a, idx ()))
+    | P_scale_store a ->
+        let r = arr (a + 2) in
+        Assign
+          ( Lindex (r, idx ~ofs:1 ()),
+            Index (r, idx ~ofs:1 ()) +! (Index (arr a, idx ()) *! Var "s0") )
+    | P_scale a ->
+        let q = arr a in
+        Assign (Lindex (q, idx ()), Index (q, idx ()) *! scal)
+  in
+  let inner =
+    For
+      ( { loop_var = "i"; loop_init = Int_lit 0; loop_cmp = Lt;
+          loop_bound = Var "n"; loop_step = Int_lit 1 },
+        List.map stmt_of sp.sp_stmts )
+  in
+  let looped =
+    if sp.sp_two_level then
+      For
+        ( { loop_var = "j"; loop_init = Int_lit 0; loop_cmp = Lt;
+            loop_bound = Int_lit 3; loop_step = Int_lit 1 },
+          [ inner ] )
+    else inner
+  in
+  let body =
+    [
+      Decl (Int, "i", None);
+      Decl (Int, "j", None);
+      Decl (Double, "acc", None);
+      Decl (Double, "s0", None);
+      Assign (Lvar "acc", Double_lit 0.);
+      Assign (Lvar "s0", Index ("P", Int_lit 0));
+      looped;
+      Assign
+        ( Lindex ("P", Int_lit 0),
+          Index ("P", Int_lit 0) +! Var "acc" );
+    ]
+  in
+  {
+    k_name = "fuzz_kernel";
+    k_params =
+      [ { p_name = "n"; p_type = Int } ]
+      @ (if sp.sp_has_alpha then [ { p_name = "alpha"; p_type = Double } ]
+         else [])
+      @ List.filteri
+          (fun i _ -> i < sp.sp_arrays)
+          [
+            { p_name = "P"; p_type = Ptr Double };
+            { p_name = "Q"; p_type = Ptr Double };
+            { p_name = "R"; p_type = Ptr Double };
+          ];
+    k_body = body;
+  }
+
+let print_spec sp =
+  Fmt.str "%a [%s on %s]" A.Ir.Pp.pp_kernel (kernel_of_spec sp)
+    (Pipeline.config_to_string sp.sp_config)
+    (arch_of_idx sp.sp_arch_idx).Arch.name
+
+let arb_spec = QCheck.make ~print:print_spec gen_spec
+
+(* --- the property ---------------------------------------------------------- *)
+
+let fill seed n =
+  let state = ref (seed land 0x3FFFFFFF) in
+  Array.init n (fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      (float_of_int !state /. 1073741824.0 *. 2.0) -. 1.0)
+
+let close a b = Float.abs (a -. b) <= 1e-8 *. (1.0 +. Float.abs a +. Float.abs b)
+
+let run_spec (sp : spec) : bool =
+  let kernel = kernel_of_spec sp in
+  let arch = arch_of_idx sp.sp_arch_idx in
+  match
+    let optimized = Pipeline.apply kernel sp.sp_config in
+    let prog = A.Codegen.Emit.generate ~arch optimized in
+    A.Codegen.Schedule.run arch prog
+  with
+  | exception A.Codegen.Regfile.Out_of_registers _ -> true (* legal discard *)
+  | prog ->
+      List.for_all
+        (fun n ->
+          let len = (4 * n) + 16 in
+          let mk k = fill ((n * 37) + k) len in
+          let bufs_ref = List.init sp.sp_arrays mk in
+          let bufs_sim = List.map Array.copy bufs_ref in
+          let eval_args =
+            [ Eval.Aint n ]
+            @ (if sp.sp_has_alpha then [ Eval.Adouble 1.5 ] else [])
+            @ List.map (fun b -> Eval.Abuf b) bufs_ref
+          in
+          let exec_args =
+            [ Exec.Aint n ]
+            @ (if sp.sp_has_alpha then [ Exec.Adouble 1.5 ] else [])
+            @ List.map (fun b -> Exec.Abuf b) bufs_sim
+          in
+          let _ = Eval.run kernel eval_args in
+          let _ = Exec.call prog exec_args in
+          List.for_all2
+            (fun a b -> Array.for_all2 close a b)
+            bufs_ref bufs_sim)
+        [ 5; 16; 23 ]
+
+let prop_pipeline_fuzz =
+  QCheck.Test.make ~name:"random kernels x random configs: asm == interpreter"
+    ~count:70 arb_spec run_spec
+
+let suite = [ QCheck_alcotest.to_alcotest prop_pipeline_fuzz ]

@@ -1,0 +1,266 @@
+(* IR semantics: the interpreter against the reference BLAS, the
+   pretty-printer/parser round trip, the type checker, and the
+   simplifier. *)
+
+module Ast = Augem.Ir.Ast
+module Pp = Augem.Ir.Pp
+module Eval = Augem.Ir.Eval
+module Parser = Augem.Ir.Parser
+module Typecheck = Augem.Ir.Typecheck
+module Simplify = Augem.Ir.Simplify
+module Kernels = Augem.Ir.Kernels
+module L1 = Augem.Blas.Level1
+module L3 = Augem.Blas.Level3
+
+let fill seed n =
+  let state = ref (seed land 0x3FFFFFFF) in
+  Array.init n (fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      (float_of_int !state /. 1073741824.0 *. 2.0) -. 1.0)
+
+let close a b = Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a +. Float.abs b)
+let arrays_close a b = Array.for_all2 close a b
+
+(* --- interpreter vs reference BLAS -------------------------------------- *)
+
+let test_eval_gemm () =
+  let mc = 6 and kc = 7 and n = 5 and ldc = 8 in
+  let pa = fill 1 (mc * kc) and pb = fill 2 (kc * n) in
+  let c1 = fill 3 (ldc * n) in
+  let c2 = Array.copy c1 in
+  let _ =
+    Eval.run Kernels.gemm
+      Eval.[ Aint mc; Aint kc; Aint n; Aint ldc; Abuf pa; Abuf pb; Abuf c1 ]
+  in
+  L3.micro_kernel_ref ~mc ~kc ~nc:n ~pa ~pb ~c_data:c2 ~c_off:0 ~ldc;
+  Alcotest.(check bool) "gemm kernel = reference micro-kernel" true
+    (arrays_close c1 c2)
+
+let test_eval_gemm_packed () =
+  let mc = 4 and kc = 5 and n = 6 and ldc = 4 in
+  let pa = fill 4 (mc * kc) in
+  let pb_stream = fill 5 (kc * n) in
+  (* interleave: B[l*n + j] = stream[j*kc + l] *)
+  let pb_il = Array.make (kc * n) 0. in
+  for j = 0 to n - 1 do
+    for l = 0 to kc - 1 do
+      pb_il.((l * n) + j) <- pb_stream.((j * kc) + l)
+    done
+  done;
+  let c1 = fill 6 (ldc * n) in
+  let c2 = Array.copy c1 in
+  let _ =
+    Eval.run Kernels.gemm_packed
+      Eval.[ Aint mc; Aint kc; Aint n; Aint ldc; Abuf pa; Abuf pb_il; Abuf c1 ]
+  in
+  L3.micro_kernel_ref ~mc ~kc ~nc:n ~pa ~pb:pb_stream ~c_data:c2 ~c_off:0 ~ldc;
+  Alcotest.(check bool) "packed gemm = reference" true (arrays_close c1 c2)
+
+let test_eval_axpy () =
+  let n = 13 in
+  let x = fill 7 n and y1 = fill 8 n in
+  let y2 = Array.copy y1 in
+  let _ =
+    Eval.run Kernels.axpy Eval.[ Aint n; Adouble 0.75; Abuf x; Abuf y1 ]
+  in
+  L1.daxpy n 0.75 x y2;
+  Alcotest.(check bool) "axpy" true (arrays_close y1 y2)
+
+let test_eval_dot () =
+  let n = 17 in
+  let x = fill 9 n and y = fill 10 n in
+  let out = [| 0.25 |] in
+  let _ = Eval.run Kernels.dot Eval.[ Aint n; Abuf x; Abuf y; Abuf out ] in
+  Alcotest.(check bool) "dot" true (close out.(0) (0.25 +. L1.ddot n x y))
+
+let test_eval_ger () =
+  let m = 7 and n = 4 in
+  let lda = m + 1 in
+  let a1 = fill 30 (lda * n) in
+  let a2 = Array.copy a1 in
+  let x = fill 31 m and y = fill 32 n in
+  let _ =
+    Eval.run Kernels.ger
+      Eval.[ Aint m; Aint n; Aint lda; Adouble 1.5; Abuf x; Abuf y; Abuf a1 ]
+  in
+  let mat = Augem.Blas.Matrix.{ data = a2; rows = m; cols = n; ld = lda } in
+  Augem.Blas.Level2.dger ~alpha:1.5 mat x y;
+  Alcotest.(check bool) "ger" true (arrays_close a1 a2)
+
+let test_eval_scal_copy () =
+  let n = 9 in
+  let x1 = fill 33 n in
+  let x2 = Array.copy x1 in
+  let _ = Eval.run Kernels.scal Eval.[ Aint n; Adouble 0.5; Abuf x1 ] in
+  L1.dscal n 0.5 x2;
+  Alcotest.(check bool) "scal" true (arrays_close x1 x2);
+  let src = fill 34 n and dst = Array.make n 0. in
+  let _ = Eval.run Kernels.copy Eval.[ Aint n; Abuf src; Abuf dst ] in
+  Alcotest.(check bool) "copy" true (arrays_close src dst)
+
+let test_eval_gemv () =
+  let m = 9 and n = 4 in
+  let lda = m + 1 in
+  let a = fill 11 (lda * n) and x = fill 12 n in
+  let y1 = fill 13 m in
+  let y2 = Array.copy y1 in
+  let _ =
+    Eval.run Kernels.gemv
+      Eval.[ Aint m; Aint n; Aint lda; Abuf a; Abuf x; Abuf y1 ]
+  in
+  let mat = Augem.Blas.Matrix.{ data = a; rows = m; cols = n; ld = lda } in
+  Augem.Blas.Level2.dgemv ~alpha:1.0 ~beta:1.0 mat x y2;
+  Alcotest.(check bool) "gemv" true (arrays_close y1 y2)
+
+let test_eval_stats () =
+  let n = 10 in
+  let x = fill 14 n and y = fill 15 n in
+  let out = [| 0. |] in
+  let stats = Eval.run Kernels.dot Eval.[ Aint n; Abuf x; Abuf y; Abuf out ] in
+  (* n multiplies + n adds + final add *)
+  Alcotest.(check int) "flops" ((2 * n) + 1) stats.Eval.flops;
+  Alcotest.(check int) "loads" ((2 * n) + 1) stats.Eval.loads;
+  Alcotest.(check int) "stores" 1 stats.Eval.stores
+
+let test_eval_out_of_bounds () =
+  let k =
+    Ast.
+      {
+        k_name = "oob";
+        k_params = [ { p_name = "X"; p_type = Ptr Double } ];
+        k_body = [ Assign (Lindex ("X", Int_lit 5), Double_lit 1.0) ];
+      }
+  in
+  Alcotest.check_raises "store beyond end"
+    (Eval.Eval_error "store X[5] out of bounds (length 3)") (fun () ->
+      ignore (Eval.run k [ Eval.Abuf (Array.make 3 0.) ]))
+
+(* --- parser / printer ---------------------------------------------------- *)
+
+let test_parse_roundtrip () =
+  List.iter
+    (fun k ->
+      let text = Pp.kernel_to_string k in
+      match Parser.parse_kernel_result text with
+      | Error msg -> Alcotest.failf "%s failed to reparse: %s" k.Ast.k_name msg
+      | Ok k' ->
+          Alcotest.(check string)
+            (k.Ast.k_name ^ " round trip")
+            text (Pp.kernel_to_string k'))
+    (Kernels.gemm_packed :: List.map snd Kernels.all)
+
+let test_parse_plus_equals () =
+  let src = "void f(int n, double* x) { int i; for (i = 0; i < n; i += 1) { x[i] += 2.0; } }" in
+  match Parser.parse_kernel_result src with
+  | Error m -> Alcotest.fail m
+  | Ok k ->
+      let buf = Array.make 4 1.0 in
+      let _ = Eval.run k Eval.[ Aint 4; Abuf buf ] in
+      Alcotest.(check (float 1e-12)) "+=" 3.0 buf.(2)
+
+let test_parse_comments_and_prefetch () =
+  let src =
+    "void f(double* x) { /* block\n comment */ // line\n \
+     __builtin_prefetch(x + 4, 0); x[0] = 1.0; }"
+  in
+  match Parser.parse_kernel_result src with
+  | Error m -> Alcotest.fail m
+  | Ok k -> (
+      match k.Ast.k_body with
+      | [ Ast.Prefetch (Ast.Prefetch_read, "x", Ast.Int_lit 4); _ ] -> ()
+      | _ -> Alcotest.fail "unexpected body shape")
+
+let test_parse_errors () =
+  let cases =
+    [
+      "void f(int n) { n = ; }";
+      "void f(int n) { for (i = 0; i < n; i += 1) { } }"; (* undeclared i *)
+      "void f(double* x) { x[0] = x; }"; (* type error *)
+      "void f(int n) { double d; d = n; }"; (* int into double *)
+      "int f() { }"; (* not void *)
+    ]
+  in
+  List.iter
+    (fun src ->
+      match Parser.parse_kernel_result src with
+      | Ok _ -> Alcotest.failf "accepted bad input: %s" src
+      | Error _ -> ())
+    cases
+
+(* --- typecheck ----------------------------------------------------------- *)
+
+let test_typecheck_kernels () =
+  List.iter
+    (fun (_, k) ->
+      match Typecheck.well_typed k with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" k.Ast.k_name m)
+    Kernels.all
+
+let test_typecheck_rejects () =
+  let bad =
+    Ast.
+      {
+        k_name = "bad";
+        k_params = [ { p_name = "x"; p_type = Double } ];
+        k_body = [ Assign (Lvar "x", Int_lit 1) ];
+      }
+  in
+  match Typecheck.well_typed bad with
+  | Ok () -> Alcotest.fail "accepted double := int"
+  | Error _ -> ()
+
+(* --- simplify ------------------------------------------------------------ *)
+
+let test_simplify_preserves_semantics () =
+  let k = Kernels.gemm in
+  let k' = Simplify.simplify_kernel k in
+  let mc = 4 and kc = 3 and n = 2 and ldc = 5 in
+  let pa = fill 20 (mc * kc) and pb = fill 21 (kc * n) in
+  let c1 = fill 22 (ldc * n) in
+  let c2 = Array.copy c1 in
+  let args c =
+    Eval.[ Aint mc; Aint kc; Aint n; Aint ldc; Abuf pa; Abuf pb; Abuf c ]
+  in
+  let _ = Eval.run k (args c1) in
+  let _ = Eval.run k' (args c2) in
+  Alcotest.(check bool) "same result" true (arrays_close c1 c2)
+
+let test_simplify_folds () =
+  let e = Ast.(Binop (Add, Binop (Mul, Int_lit 3, Int_lit 4), Int_lit 0)) in
+  Alcotest.(check string) "3*4+0" "12"
+    (Pp.expr_to_string (Simplify.simplify_expr e))
+
+let test_subst () =
+  let e = Ast.(Binop (Add, Var "i", Index ("A", Var "i"))) in
+  let e' = Ast.subst_expr "i" (Ast.Int_lit 7) e in
+  Alcotest.(check string) "subst" "7 + A[7]" (Pp.expr_to_string e')
+
+let suite =
+  [
+    Alcotest.test_case "eval gemm vs reference" `Quick test_eval_gemm;
+    Alcotest.test_case "eval packed gemm vs reference" `Quick
+      test_eval_gemm_packed;
+    Alcotest.test_case "eval axpy vs reference" `Quick test_eval_axpy;
+    Alcotest.test_case "eval dot vs reference" `Quick test_eval_dot;
+    Alcotest.test_case "eval gemv vs reference" `Quick test_eval_gemv;
+    Alcotest.test_case "eval ger vs reference" `Quick test_eval_ger;
+    Alcotest.test_case "eval scal/copy vs reference" `Quick
+      test_eval_scal_copy;
+    Alcotest.test_case "eval operation counters" `Quick test_eval_stats;
+    Alcotest.test_case "eval bounds checking" `Quick test_eval_out_of_bounds;
+    Alcotest.test_case "print/parse round trip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "parser accepts +=" `Quick test_parse_plus_equals;
+    Alcotest.test_case "parser comments and prefetch" `Quick
+      test_parse_comments_and_prefetch;
+    Alcotest.test_case "parser rejects malformed input" `Quick
+      test_parse_errors;
+    Alcotest.test_case "paper kernels are well-typed" `Quick
+      test_typecheck_kernels;
+    Alcotest.test_case "typechecker rejects mismatches" `Quick
+      test_typecheck_rejects;
+    Alcotest.test_case "simplify preserves semantics" `Quick
+      test_simplify_preserves_semantics;
+    Alcotest.test_case "simplify folds constants" `Quick test_simplify_folds;
+    Alcotest.test_case "substitution" `Quick test_subst;
+  ]

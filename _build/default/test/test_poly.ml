@@ -1,0 +1,143 @@
+(* Polynomial normal form: ring laws, linear decomposition, and
+   expression round-trips. *)
+
+module Poly = Augem.Ir.Poly
+module Ast = Augem.Ir.Ast
+
+let vars = [ "i"; "j"; "l"; "Mc"; "Kc"; "LDC" ]
+
+(* random polynomial generator via random expressions.  The size is
+   capped: nested multiplications multiply monomial counts, so an
+   unbounded generator can produce polynomials with 2^n terms. *)
+let gen_expr =
+  QCheck.Gen.(
+    sized_size (int_bound 8)
+    @@ fix (fun self n ->
+        if n <= 1 then
+          oneof
+            [
+              map (fun i -> Ast.Int_lit i) (int_range (-9) 9);
+              map (fun v -> Ast.Var v) (oneofl vars);
+            ]
+        else
+          oneof
+            [
+              map2
+                (fun a b -> Ast.Binop (Ast.Add, a, b))
+                (self (n / 2)) (self (n / 2));
+              map2
+                (fun a b -> Ast.Binop (Ast.Sub, a, b))
+                (self (n / 2)) (self (n / 2));
+              map2
+                (fun a b -> Ast.Binop (Ast.Mul, a, b))
+                (self (n / 2)) (self (n / 2));
+              map (fun a -> Ast.Neg a) (self (n - 1));
+            ]))
+
+let arb_expr = QCheck.make ~print:Augem.Ir.Pp.expr_to_string gen_expr
+
+(* evaluate an integer expression under an environment *)
+let rec eval env = function
+  | Ast.Int_lit n -> n
+  | Ast.Var v -> List.assoc v env
+  | Ast.Binop (Ast.Add, a, b) -> eval env a + eval env b
+  | Ast.Binop (Ast.Sub, a, b) -> eval env a - eval env b
+  | Ast.Binop (Ast.Mul, a, b) -> eval env a * eval env b
+  | Ast.Binop (Ast.Div, a, b) -> eval env a / eval env b
+  | Ast.Neg a -> -eval env a
+  | Ast.Double_lit _ | Ast.Index _ -> assert false
+
+let env_of_seed seed =
+  List.mapi (fun i v -> (v, ((seed * (i + 3)) mod 7) - 3)) vars
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_expr/to_expr preserves value" ~count:500 arb_expr
+    (fun e ->
+      match Poly.of_expr e with
+      | None -> QCheck.assume_fail ()
+      | Some p ->
+          let e' = Poly.to_expr p in
+          List.for_all
+            (fun seed ->
+              let env = env_of_seed seed in
+              eval env e = eval env e')
+            [ 1; 2; 5; 11 ])
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"polynomial addition commutes" ~count:300
+    (QCheck.pair arb_expr arb_expr) (fun (a, b) ->
+      match (Poly.of_expr a, Poly.of_expr b) with
+      | Some pa, Some pb -> Poly.equal (Poly.add pa pb) (Poly.add pb pa)
+      | _ -> QCheck.assume_fail ())
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"multiplication distributes over addition"
+    ~count:200
+    (QCheck.triple arb_expr arb_expr arb_expr)
+    (fun (a, b, c) ->
+      match (Poly.of_expr a, Poly.of_expr b, Poly.of_expr c) with
+      | Some pa, Some pb, Some pc ->
+          Poly.equal
+            (Poly.mul pa (Poly.add pb pc))
+            (Poly.add (Poly.mul pa pb) (Poly.mul pa pc))
+      | _ -> QCheck.assume_fail ())
+
+let prop_sub_self_zero =
+  QCheck.Test.make ~name:"p - p = 0" ~count:300 arb_expr (fun e ->
+      match Poly.of_expr e with
+      | Some p -> Poly.is_zero (Poly.sub p p)
+      | None -> QCheck.assume_fail ())
+
+let prop_split_linear =
+  QCheck.Test.make ~name:"split_linear reconstructs p = base + v*stride"
+    ~count:300 arb_expr (fun e ->
+      match Poly.of_expr e with
+      | None -> QCheck.assume_fail ()
+      | Some p -> (
+          match Poly.split_linear "i" p with
+          | None -> true (* nonlinear in i: nothing to check *)
+          | Some (base, stride) ->
+              (not (Poly.mem_var "i" base))
+              && (not (Poly.mem_var "i" stride))
+              && Poly.equal p
+                   (Poly.add base (Poly.mul (Poly.var "i") stride))))
+
+let unit_tests =
+  [
+    Alcotest.test_case "constants fold" `Quick (fun () ->
+        let p = Poly.add (Poly.const 2) (Poly.const 3) in
+        Alcotest.(check (option int)) "2+3" (Some 5) (Poly.to_const p));
+    Alcotest.test_case "x - x is zero" `Quick (fun () ->
+        Alcotest.(check bool) "zero" true
+          (Poly.is_zero (Poly.sub (Poly.var "x") (Poly.var "x"))));
+    Alcotest.test_case "l*Mc + i splits on l" `Quick (fun () ->
+        let p =
+          Poly.add (Poly.mul (Poly.var "l") (Poly.var "Mc")) (Poly.var "i")
+        in
+        match Poly.split_linear "l" p with
+        | Some (base, stride) ->
+            Alcotest.(check bool) "base = i" true (Poly.equal base (Poly.var "i"));
+            Alcotest.(check bool) "stride = Mc" true
+              (Poly.equal stride (Poly.var "Mc"))
+        | None -> Alcotest.fail "expected linear split");
+    Alcotest.test_case "nonlinear split rejected" `Quick (fun () ->
+        let p = Poly.mul (Poly.var "i") (Poly.var "i") in
+        Alcotest.(check bool) "i*i not linear" true
+          (Poly.split_linear "i" p = None));
+    Alcotest.test_case "vars are collected sorted" `Quick (fun () ->
+        let p =
+          Poly.add (Poly.mul (Poly.var "j") (Poly.var "a")) (Poly.var "b")
+        in
+        Alcotest.(check (list string)) "vars" [ "a"; "b"; "j" ] (Poly.vars p));
+    Alcotest.test_case "division prevents conversion" `Quick (fun () ->
+        let e = Ast.Binop (Ast.Div, Ast.Var "i", Ast.Int_lit 2) in
+        Alcotest.(check bool) "no poly" true (Poly.of_expr e = None));
+  ]
+
+let suite =
+  unit_tests
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_roundtrip; prop_add_commutes; prop_mul_distributes;
+        prop_sub_self_zero; prop_split_linear;
+      ]

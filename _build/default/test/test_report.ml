@@ -1,0 +1,56 @@
+(* Report formatting: series tables, speedup summaries, bars. *)
+
+module Report = Augem.Report
+
+let series =
+  [
+    { Report.s_label = "AUGEM"; s_points = [ (1024, 100.); (2048, 110.) ] };
+    { Report.s_label = "OTHER"; s_points = [ (1024, 80.); (2048, 90.) ] };
+  ]
+
+let test_means () =
+  Alcotest.(check (float 1e-9)) "mean" 105.0
+    (Report.series_mean (List.hd series));
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Report.mean [])
+
+let test_series_table () =
+  let out = Fmt.str "%a" (fun fmt () ->
+      Report.pp_series_table fmt ~title:"T" ~x_label:"n" series) () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (let n = String.length needle in
+         let rec go i =
+           i + n <= String.length out
+           && (String.sub out i n = needle || go (i + 1))
+         in
+         go 0))
+    [ "== T =="; "AUGEM"; "OTHER"; "1024"; "110.0"; "80.0" ]
+
+let test_speedups () =
+  let out = Fmt.str "%a" (fun fmt () ->
+      Report.pp_speedups fmt ~baseline:"AUGEM" series) () in
+  (* 105 / 85 - 1 = +23.5% *)
+  Alcotest.(check bool) "quotes +23.5%" true
+    (let needle = "+23.5%" in
+     let n = String.length needle in
+     let rec go i =
+       i + n <= String.length out && (String.sub out i n = needle || go (i + 1))
+     in
+     go 0)
+
+let test_bars () =
+  let out = Fmt.str "%a" (fun fmt () -> Report.pp_bars fmt series) () in
+  let lines = String.split_on_char '\n' out |> List.filter (( <> ) "") in
+  Alcotest.(check int) "one bar per series" 2 (List.length lines);
+  (* the best series fills the full bar *)
+  Alcotest.(check bool) "bars bounded" true
+    (List.for_all (fun l -> String.length l < 120) lines)
+
+let suite =
+  [
+    Alcotest.test_case "means" `Quick test_means;
+    Alcotest.test_case "series table" `Quick test_series_table;
+    Alcotest.test_case "speedup summary" `Quick test_speedups;
+    Alcotest.test_case "bars" `Quick test_bars;
+  ]

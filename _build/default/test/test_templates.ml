@@ -1,0 +1,185 @@
+(* The Template Identifier: the paper's Figure 14 structure must be
+   recovered from the optimized GEMM, the unit templates from the other
+   kernels, and the tagged form must reproduce the matched code
+   exactly. *)
+
+module Ast = Augem.Ir.Ast
+module Kernels = Augem.Ir.Kernels
+module Pipeline = Augem.Transform.Pipeline
+module T = Augem.Templates.Template
+module M = Augem.Templates.Matcher
+
+let optimize k cfg = Pipeline.apply k cfg
+
+let region_names k cfg =
+  let ak = M.identify (optimize k cfg) in
+  List.map (fun r -> (T.region_name r, T.region_size r)) (M.regions ak)
+
+let test_gemm_2x2_matches_figure14 () =
+  (* paper Figure 14: one mmUnrolledCOMP of 4 in loop l, two
+     mmUnrolledSTOREs of 2 after it (split by C pointer) *)
+  let cfg = { Pipeline.default with jam = [ ("j", 2); ("i", 2) ] } in
+  let names = region_names Kernels.gemm cfg in
+  let main = List.filteri (fun i _ -> i < 3) names in
+  Alcotest.(check (list (pair string int)))
+    "main loop regions"
+    [ ("mmUnrolledCOMP", 4); ("mmUnrolledSTORE", 2); ("mmUnrolledSTORE", 2) ]
+    main
+
+let test_gemm_4x8 () =
+  let cfg = { Pipeline.default with jam = [ ("j", 4); ("i", 8) ] } in
+  match region_names Kernels.gemm cfg with
+  | ("mmUnrolledCOMP", 32) :: rest ->
+      let stores = List.filter (fun (n, _) -> n = "mmUnrolledSTORE") rest in
+      (* 4 groups in the main loop (one per j column) plus one in the
+         j-remainder loop's main i loop *)
+      Alcotest.(check int) "store groups of 8" 5
+        (List.length (List.filter (fun (_, s) -> s = 8) stores))
+  | other ->
+      Alcotest.failf "unexpected first region: %s"
+        (String.concat ";" (List.map fst other))
+
+let test_gemv_matches_mv () =
+  let cfg = { Pipeline.default with inner_unroll = Some ("j", 4) } in
+  match region_names Kernels.gemv cfg with
+  | ("mvUnrolledCOMP", 4) :: _ -> ()
+  | other ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat ";"
+           (List.map (fun (n, s) -> Printf.sprintf "%s/%d" n s) other))
+
+let test_axpy_matches_mv () =
+  let cfg = { Pipeline.default with inner_unroll = Some ("i", 8) } in
+  match region_names Kernels.axpy cfg with
+  | ("mvUnrolledCOMP", 8) :: _ -> ()
+  | other -> Alcotest.failf "got %d regions" (List.length other)
+
+let test_dot_matches_mm () =
+  let cfg =
+    { Pipeline.default with inner_unroll = Some ("i", 4);
+      expand_reduction = Some 4 }
+  in
+  let names = region_names Kernels.dot cfg in
+  (match names with
+  | ("mmUnrolledCOMP", 4) :: _ -> ()
+  | _ -> Alcotest.fail "dot main loop should match mmUnrolledCOMP");
+  (* the final res_out[0] += res is an mmSTORE *)
+  Alcotest.(check bool) "final mmSTORE" true
+    (List.mem ("mmSTORE", 1) names)
+
+let test_tagged_reproduces_code () =
+  (* converting to the tagged kernel and stripping tags must preserve
+     semantics (region_stmts are exactly the matched statements) *)
+  let cfg = { Pipeline.default with jam = [ ("j", 2); ("i", 4) ] } in
+  let k' = optimize Kernels.gemm cfg in
+  let tagged = M.to_tagged_kernel (M.identify k') in
+  let fill seed n =
+    let state = ref seed in
+    Array.init n (fun _ ->
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        float_of_int (!state mod 100) /. 10.)
+  in
+  let mc = 8 and kc = 6 and n = 4 and ldc = 8 in
+  let run k =
+    let pa = fill 1 (mc * kc) and pb = fill 2 (kc * n) in
+    let c = fill 3 (ldc * n) in
+    let _ =
+      Augem.Ir.Eval.run k
+        Augem.Ir.Eval.
+          [ Aint mc; Aint kc; Aint n; Aint ldc; Abuf pa; Abuf pb; Abuf c ]
+    in
+    c
+  in
+  Alcotest.(check bool) "tagged == plain" true
+    (Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-12) (run k') (run tagged))
+
+let test_no_match_without_scalar_replacement () =
+  (* without three-address lowering nothing matches *)
+  let cfg =
+    { Pipeline.default with jam = [ ("j", 2); ("i", 2) ]; scalar_replace = false }
+  in
+  let ak = M.identify (optimize Kernels.gemm cfg) in
+  Alcotest.(check int) "no regions" 0 (List.length (M.regions ak))
+
+let test_live_temporaries_block_matching () =
+  (* a region whose temporary is used afterwards must not match *)
+  let open Ast in
+  let body =
+    [
+      Decl (Double, "t0", None);
+      Decl (Double, "t1", None);
+      Decl (Double, "t2", None);
+      Decl (Double, "r", Some (Double_lit 0.));
+      Decl (Double, "keep", None);
+      Assign (Lvar "t0", Index ("A", Int_lit 0));
+      Assign (Lvar "t1", Index ("B", Int_lit 0));
+      Assign (Lvar "t2", Binop (Mul, Var "t0", Var "t1"));
+      Assign (Lvar "r", Binop (Add, Var "r", Var "t2"));
+      (* t2 used again: the mmCOMP above must be rejected *)
+      Assign (Lvar "keep", Var "t2");
+      Assign (Lindex ("C", Int_lit 0), Var "keep");
+      Assign (Lindex ("C", Int_lit 1), Var "r");
+    ]
+  in
+  let k =
+    {
+      k_name = "t";
+      k_params =
+        [
+          { p_name = "A"; p_type = Ptr Double };
+          { p_name = "B"; p_type = Ptr Double };
+          { p_name = "C"; p_type = Ptr Double };
+        ];
+      k_body = body;
+    }
+  in
+  let ak = M.identify k in
+  Alcotest.(check int) "no regions (live temp)" 0 (List.length (M.regions ak))
+
+let test_store_group_split_by_pointer () =
+  let cfg = { Pipeline.default with jam = [ ("j", 2); ("i", 2) ] } in
+  let ak = M.identify (optimize Kernels.gemm cfg) in
+  let stores =
+    List.filter_map
+      (function T.Mm_unrolled_store l -> Some l | _ -> None)
+      (M.regions ak)
+  in
+  (* the two stores in the main loop touch different C pointers *)
+  match stores with
+  | g1 :: g2 :: _ ->
+      let c1 = (List.hd g1).T.ms_c and c2 = (List.hd g2).T.ms_c in
+      Alcotest.(check bool) "distinct C streams" true (c1 <> c2)
+  | _ -> Alcotest.fail "expected two store groups"
+
+let test_region_params () =
+  let cfg = { Pipeline.default with jam = [ ("j", 2); ("i", 2) ] } in
+  let ak = M.identify (optimize Kernels.gemm cfg) in
+  match M.regions ak with
+  | T.Mm_unrolled_comp group :: _ ->
+      Alcotest.(check int) "n = 4" 4 (List.length group);
+      let first = List.hd group in
+      Alcotest.(check bool) "A stream shared" true
+        (List.for_all (fun m -> m.T.mc_a = first.T.mc_a) group)
+  | _ -> Alcotest.fail "expected comp region first"
+
+let suite =
+  [
+    Alcotest.test_case "gemm 2x2 matches Figure 14" `Quick
+      test_gemm_2x2_matches_figure14;
+    Alcotest.test_case "gemm 4x8 groups" `Quick test_gemm_4x8;
+    Alcotest.test_case "gemv matches mvUnrolledCOMP" `Quick
+      test_gemv_matches_mv;
+    Alcotest.test_case "axpy matches mvUnrolledCOMP" `Quick
+      test_axpy_matches_mv;
+    Alcotest.test_case "dot matches mmUnrolledCOMP + mmSTORE" `Quick
+      test_dot_matches_mm;
+    Alcotest.test_case "tagged kernel reproduces code" `Quick
+      test_tagged_reproduces_code;
+    Alcotest.test_case "no match without scalar replacement" `Quick
+      test_no_match_without_scalar_replacement;
+    Alcotest.test_case "live temporaries block matching" `Quick
+      test_live_temporaries_block_matching;
+    Alcotest.test_case "store groups split by pointer" `Quick
+      test_store_group_split_by_pointer;
+    Alcotest.test_case "region structure" `Quick test_region_params;
+  ]

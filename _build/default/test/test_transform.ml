@@ -1,0 +1,246 @@
+(* Source-to-source optimizations: every pass, and every random
+   configuration of the whole pipeline, must preserve the semantics of
+   the four paper kernels (checked by the IR interpreter) and
+   well-typedness. *)
+
+module Ast = Augem.Ir.Ast
+module Eval = Augem.Ir.Eval
+module Typecheck = Augem.Ir.Typecheck
+module Kernels = Augem.Ir.Kernels
+module Unroll = Augem.Transform.Unroll
+module Strength_reduction = Augem.Transform.Strength_reduction
+module Scalar_repl = Augem.Transform.Scalar_repl
+module Prefetch = Augem.Transform.Prefetch
+module Pipeline = Augem.Transform.Pipeline
+module Pp = Augem.Ir.Pp
+
+let fill seed n =
+  let state = ref (seed land 0x3FFFFFFF) in
+  Array.init n (fun _ ->
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      (float_of_int !state /. 1073741824.0 *. 2.0) -. 1.0)
+
+let close a b = Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a +. Float.abs b)
+
+(* Run kernel and transformed kernel on the same inputs; compare every
+   output buffer. *)
+let equivalent ?(sizes = [ (8, 6, 16); (13, 5, 9); (4, 4, 4) ]) k k' =
+  List.for_all
+    (fun (m, n, kk) ->
+      let outputs k_run seed =
+        match k_run.Ast.k_name with
+        | "dgemm_kernel" | "dgemm_kernel_packed" ->
+            let ldc = m + 2 in
+            let pa = fill seed (m * kk) and pb = fill (seed + 1) (kk * n) in
+            let c = fill (seed + 2) (ldc * n) in
+            let _ =
+              Eval.run k_run
+                Eval.[ Aint m; Aint kk; Aint n; Aint ldc; Abuf pa; Abuf pb;
+                       Abuf c ]
+            in
+            c
+        | "dgemv_kernel" ->
+            let lda = m + 1 in
+            let a = fill seed (lda * n) and x = fill (seed + 1) n in
+            let y = fill (seed + 2) m in
+            let _ =
+              Eval.run k_run
+                Eval.[ Aint m; Aint n; Aint lda; Abuf a; Abuf x; Abuf y ]
+            in
+            y
+        | "daxpy_kernel" ->
+            let x = fill seed m and y = fill (seed + 1) m in
+            let _ =
+              Eval.run k_run Eval.[ Aint m; Adouble 1.3; Abuf x; Abuf y ]
+            in
+            y
+        | "ddot_kernel" ->
+            let x = fill seed m and y = fill (seed + 1) m in
+            let out = [| 0.5 |] in
+            let _ =
+              Eval.run k_run Eval.[ Aint m; Abuf x; Abuf y; Abuf out ]
+            in
+            out
+        | other -> Alcotest.failf "unknown kernel %s" other
+      in
+      let seed = (m * 131) + n in
+      Array.for_all2 close (outputs k seed) (outputs k' seed))
+    sizes
+
+let check_pass name k k' =
+  (match Typecheck.well_typed k' with
+  | Ok () -> ()
+  | Error m ->
+      Alcotest.failf "%s: output ill-typed: %s\n%s" name m
+        (Pp.kernel_to_string k'));
+  Alcotest.(check bool) (name ^ " preserves semantics") true (equivalent k k')
+
+(* --- individual passes --------------------------------------------------- *)
+
+let test_unroll_jam_gemm () =
+  List.iter
+    (fun (j, i) ->
+      let k' =
+        Unroll.unroll_and_jam
+          (Unroll.unroll_and_jam Kernels.gemm ~loop_var:"j" ~factor:j)
+          ~loop_var:"i" ~factor:i
+      in
+      check_pass (Printf.sprintf "unroll&jam j=%d i=%d" j i) Kernels.gemm k')
+    [ (1, 1); (2, 2); (3, 2); (2, 5); (4, 4) ]
+
+let test_unroll_inner () =
+  List.iter
+    (fun f ->
+      let k' = Unroll.unroll Kernels.axpy ~loop_var:"i" ~factor:f in
+      check_pass (Printf.sprintf "unroll %d" f) Kernels.axpy k')
+    [ 1; 2; 3; 4; 7; 8 ]
+
+let test_expand_accumulators () =
+  List.iter
+    (fun (f, w) ->
+      let k' = Unroll.unroll Kernels.dot ~loop_var:"i" ~factor:f in
+      let k' = Unroll.expand_accumulators k' ~loop_var:"i" ~ways:w in
+      check_pass (Printf.sprintf "expand f=%d w=%d" f w) Kernels.dot k')
+    [ (4, 4); (8, 4); (8, 8); (6, 2) ]
+
+let test_strength_reduction () =
+  List.iter
+    (fun (name, k) ->
+      check_pass ("strength reduction " ^ name) k (Strength_reduction.run k))
+    [ ("gemm", Kernels.gemm); ("gemv", Kernels.gemv); ("axpy", Kernels.axpy);
+      ("dot", Kernels.dot); ("gemm_packed", Kernels.gemm_packed) ]
+
+let test_strength_reduction_introduces_pointers () =
+  let k' = Strength_reduction.run Kernels.gemm in
+  let ptrs = Augem.Analysis.Arrays.pointer_vars k' in
+  Alcotest.(check bool) "derived pointers introduced" true
+    (List.exists (fun p -> String.length p > 4 && String.sub p 0 4 = "ptr_") ptrs)
+
+let test_scalar_replacement () =
+  List.iter
+    (fun (name, k) ->
+      let k' = Scalar_repl.run (Strength_reduction.run k) in
+      check_pass ("scalar replacement " ^ name) k k')
+    [ ("gemm", Kernels.gemm); ("gemv", Kernels.gemv); ("axpy", Kernels.axpy);
+      ("dot", Kernels.dot) ]
+
+let test_scalar_replacement_three_address () =
+  (* after the pass, no floating-point assignment nests operators *)
+  let k' = Scalar_repl.run (Strength_reduction.run Kernels.gemm) in
+  let rec max_depth = function
+    | Ast.Int_lit _ | Ast.Double_lit _ | Ast.Var _ -> 0
+    | Ast.Index (_, e) -> max_depth e
+    | Ast.Neg e -> 1 + max_depth e
+    | Ast.Binop (_, a, b) -> 1 + max (max_depth a) (max_depth b)
+  in
+  let rec check = function
+    | Ast.Assign (Ast.Lvar v, e) ->
+        (* double assignments must be single-operation *)
+        if
+          (not (String.length v > 3 && String.sub v 0 3 = "ptr"))
+          && max_depth e > 1
+        then Alcotest.failf "not three-address: %s" (Pp.stmt_to_string (Ast.Assign (Ast.Lvar v, e)))
+    | Ast.For (_, body) -> List.iter check body
+    | Ast.If (_, _, _, t, f) ->
+        List.iter check t;
+        List.iter check f
+    | _ -> ()
+  in
+  List.iter check k'.Ast.k_body
+
+let test_prefetch_insertion () =
+  let k = Strength_reduction.run Kernels.axpy in
+  let k' = Prefetch.insert k { Prefetch.pf_distance = 8; pf_stores = true } in
+  check_pass "prefetch" k k';
+  let rec count = function
+    | Ast.Prefetch _ -> 1
+    | Ast.For (_, b) | Ast.Tagged (_, b) -> List.fold_left (fun a s -> a + count s) 0 b
+    | Ast.If (_, _, _, t, f) ->
+        List.fold_left (fun a s -> a + count s) 0 (t @ f)
+    | _ -> 0
+  in
+  let total = List.fold_left (fun a s -> a + count s) 0 k'.Ast.k_body in
+  Alcotest.(check bool) "prefetches inserted" true (total >= 2)
+
+let test_prefetch_hints () =
+  let k = Strength_reduction.run Kernels.axpy in
+  let k' = Prefetch.insert k { Prefetch.pf_distance = 4; pf_stores = true } in
+  let rec hints acc = function
+    | Ast.Prefetch (h, _, _) -> h :: acc
+    | Ast.For (_, b) -> List.fold_left hints acc b
+    | _ -> acc
+  in
+  let all = List.fold_left hints [] k'.Ast.k_body in
+  Alcotest.(check bool) "read and write hints present" true
+    (List.mem Ast.Prefetch_read all && List.mem Ast.Prefetch_write all)
+
+(* --- whole-pipeline property test ---------------------------------------- *)
+
+let gen_gemm_config =
+  QCheck.Gen.(
+    let* j = int_range 1 4 in
+    let* i = int_range 1 8 in
+    let* pf = oneofl [ None; Some 4; Some 8 ] in
+    return
+      {
+        Pipeline.default with
+        jam = [ ("j", j); ("i", i) ];
+        prefetch =
+          Option.map (fun d -> { Prefetch.pf_distance = d; pf_stores = true }) pf;
+      })
+
+let arb_gemm_config =
+  QCheck.make ~print:Pipeline.config_to_string gen_gemm_config
+
+let prop_pipeline_gemm =
+  QCheck.Test.make ~name:"random pipeline configs preserve gemm semantics"
+    ~count:25 arb_gemm_config (fun cfg ->
+      let k' = Pipeline.apply Kernels.gemm cfg in
+      equivalent Kernels.gemm k')
+
+let gen_vec_config loop =
+  QCheck.Gen.(
+    let* u = int_range 1 10 in
+    let* e = oneofl [ None; Some 2; Some 4; Some u ] in
+    return
+      {
+        Pipeline.default with
+        inner_unroll = Some (loop, u);
+        expand_reduction = e;
+      })
+
+let prop_pipeline_dot =
+  QCheck.Test.make ~name:"random pipeline configs preserve dot semantics"
+    ~count:25
+    (QCheck.make ~print:Pipeline.config_to_string (gen_vec_config "i"))
+    (fun cfg ->
+      let k' = Pipeline.apply Kernels.dot cfg in
+      equivalent Kernels.dot k')
+
+let prop_pipeline_gemv =
+  QCheck.Test.make ~name:"random pipeline configs preserve gemv semantics"
+    ~count:18
+    (QCheck.make ~print:Pipeline.config_to_string (gen_vec_config "j"))
+    (fun cfg ->
+      let k' = Pipeline.apply Kernels.gemv cfg in
+      equivalent Kernels.gemv k')
+
+let suite =
+  [
+    Alcotest.test_case "unroll&jam on gemm" `Quick test_unroll_jam_gemm;
+    Alcotest.test_case "inner unrolling on axpy" `Quick test_unroll_inner;
+    Alcotest.test_case "accumulator expansion on dot" `Quick
+      test_expand_accumulators;
+    Alcotest.test_case "strength reduction on all kernels" `Quick
+      test_strength_reduction;
+    Alcotest.test_case "strength reduction introduces pointers" `Quick
+      test_strength_reduction_introduces_pointers;
+    Alcotest.test_case "scalar replacement on all kernels" `Quick
+      test_scalar_replacement;
+    Alcotest.test_case "scalar replacement yields three-address code" `Quick
+      test_scalar_replacement_three_address;
+    Alcotest.test_case "prefetch insertion" `Quick test_prefetch_insertion;
+    Alcotest.test_case "prefetch read/write hints" `Quick test_prefetch_hints;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_pipeline_gemm; prop_pipeline_dot; prop_pipeline_gemv ]
