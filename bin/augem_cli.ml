@@ -162,6 +162,11 @@ let tune_cmd =
          r.A.Tuner.best.A.Tuner.cand_config);
     Fmt.pr "predicted: %.0f MFLOPS (visited %d configurations, %d discarded)@."
       r.A.Tuner.best_score r.A.Tuner.visited r.A.Tuner.discarded;
+    if r.A.Tuner.fell_back then
+      Fmt.pr "WARNING: whole space discarded; safe baseline in use@.";
+    if r.A.Tuner.failure_histogram <> [] then
+      Fmt.pr "discard reasons:@.%a@." A.Verify.Diag.pp_histogram
+        r.A.Tuner.failure_histogram;
     let g = A.tuned ~arch kernel in
     let v = A.verify g in
     Fmt.pr "verification: %s@." v.A.Harness.detail
@@ -191,8 +196,26 @@ let phases_cmd =
       const run $ arch_arg $ kernel_arg $ jam_arg $ unroll_arg $ prefetch_arg
       $ script_arg)
 
+let chaos_arg =
+  Arg.(
+    value & flag
+    & info [ "chaos" ]
+        ~doc:
+          "After the end-to-end check, run the hardened verification \
+           layer: the per-pass differential oracle (pinpoints which \
+           transformation pass miscompiles, if any) and the fault-injection \
+           sweep (mutates the generated assembly and reports the harness's \
+           fault-detection rate).  Exits non-zero if the detection rate \
+           drops below 95%.")
+
+let max_faults_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "max-faults" ] ~docv:"N"
+        ~doc:"Cap on injected faults for $(b,--chaos).")
+
 let verify_cmd =
-  let run arch kernel jam unroll prefetch =
+  let run arch kernel jam unroll prefetch chaos max_faults =
     let config = config_of_flags kernel jam unroll prefetch in
     let g = A.generate ~arch ~config kernel in
     let v = A.verify g in
@@ -202,12 +225,40 @@ let verify_cmd =
       arch.A.Machine.Arch.name
       (if v.A.Harness.ok then "OK (simulator matches reference BLAS)"
        else "FAILED: " ^ v.A.Harness.detail);
-    if not v.A.Harness.ok then exit 1
+    let chaos_ok =
+      if not chaos then true
+      else begin
+        (* stage 1: per-pass differential oracle over the pipeline *)
+        Fmt.pr "@.per-pass differential oracle:@.";
+        let source = A.Ir.Kernels.kernel_of_name kernel in
+        let oracle_ok =
+          match A.Verify.Oracle.check source config with
+          | Ok _ ->
+              List.iter
+                (fun (name, _) -> Fmt.pr "  pass %-24s ok@." name)
+                (A.Transform.Pipeline.passes config);
+              true
+          | Error d ->
+              Fmt.pr "%s@." (A.Verify.Oracle.divergence_to_string d);
+              false
+        in
+        (* stage 2: fault injection against the harness *)
+        Fmt.pr "@.fault injection (harness sensitivity):@.";
+        let r = A.Chaos.run ~max_faults kernel g.A.g_program in
+        Fmt.pr "%a" A.Chaos.pp_report r;
+        oracle_ok && A.Chaos.rate r >= 0.95
+      end
+    in
+    if not (v.A.Harness.ok && chaos_ok) then exit 1
   in
   Cmd.v
     (Cmd.info "verify"
-       ~doc:"Run the generated kernel on the simulator against the reference")
-    Term.(const run $ arch_arg $ kernel_arg $ jam_arg $ unroll_arg $ prefetch_arg)
+       ~doc:
+         "Run the generated kernel on the simulator against the reference; \
+          with $(b,--chaos), also measure the verification layer itself")
+    Term.(
+      const run $ arch_arg $ kernel_arg $ jam_arg $ unroll_arg $ prefetch_arg
+      $ chaos_arg $ max_faults_arg)
 
 let compile_cmd =
   let file_arg =

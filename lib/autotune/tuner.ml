@@ -7,13 +7,21 @@
    The performance feedback is the cycle-level model of the generated
    assembly on the target architecture (the substitution for the
    paper's wall-clock measurements, documented in DESIGN.md).
-   Configurations that fail to generate (register pressure) are
-   discarded, like build failures in a real tuning run. *)
+
+   Robustness contract: the sweep must survive arbitrary broken
+   candidates — a tuning run over a hostile search space discards, it
+   never crashes and never hangs.  Every discarded candidate is
+   recorded as a structured Diag.t (error code, stage, kernel, arch,
+   config) instead of a bare counter; candidates whose programs blow a
+   step budget are discarded before the (program-length-proportional)
+   scoring model runs; and a fully-discarded space degrades to a safe
+   baseline configuration instead of raising. *)
 
 open Augem_ir
 open Augem_transform
 module Arch = Augem_machine.Arch
 module Insn = Augem_machine.Insn
+module Diag = Augem_verify.Diag
 
 type candidate = {
   cand_config : Pipeline.config;
@@ -26,6 +34,9 @@ type result = {
   best_score : float; (* predicted MFLOPS on the reference workload *)
   visited : int;
   discarded : int; (* register-pressure or generation failures *)
+  fell_back : bool; (* the safe baseline was used (space fully discarded) *)
+  failures : Diag.t list; (* one record per discarded candidate *)
+  failure_histogram : (string * int) list; (* failure counts by code *)
 }
 
 let log_src = Logs.Src.create "augem.tuner" ~doc:"AUGEM auto-tuner"
@@ -95,6 +106,16 @@ let space_for (k : Kernels.name) : candidate list =
   | Kernels.Scal -> vector_space "i" ~expand:false ()
   | Kernels.Copy -> vector_space "i" ~expand:false ()
 
+(* The graceful-degradation configuration: no unroll&jam, no unrolling,
+   no prefetching — just the always-safe scalar passes.  Every kernel
+   generates under it on every modelled architecture, so a sweep whose
+   whole space is discarded still returns working code. *)
+let safe_baseline : candidate =
+  {
+    cand_config = { Pipeline.default with prefetch = None };
+    cand_opts = Augem_codegen.Emit.default_options;
+  }
+
 (* Reference workload per kernel (a representative point of the
    evaluation sweeps). *)
 let reference_workload (k : Kernels.name) : Augem_sim.Perf.workload =
@@ -111,20 +132,79 @@ let reference_workload (k : Kernels.name) : Augem_sim.Perf.workload =
 
 exception No_viable_configuration of string
 
-let generate_candidate (arch : Arch.t) (kernel : Ast.kernel) (c : candidate) :
-    Insn.program option =
+(* Step budget: candidates whose generated programs exceed this many
+   instructions are discarded before scheduling analysis and the cycle
+   model run on them.  Scoring cost is proportional to program length,
+   so without the budget one pathological configuration (a huge unroll
+   product) can stall the whole sweep. *)
+let default_max_insns = 20_000
+
+let diag_of_generation_exn (exn : exn) : Diag.code * string =
+  match exn with
+  | Augem_codegen.Regfile.Out_of_registers m -> (Diag.E_out_of_registers, m)
+  | Augem_codegen.Gpralloc.Gpr_error m -> (Diag.E_gpr_pressure, m)
+  | Augem_codegen.Ctx.Codegen_error m -> (Diag.E_codegen, m)
+  | Unroll.Unroll_error m -> (Diag.E_unroll, m)
+  | Typecheck.Type_error m -> (Diag.E_type_error, m)
+  | exn -> (Diag.code_of_exn exn, Printexc.to_string exn)
+
+(* Generate one candidate, classifying every failure — including
+   exceptions nobody anticipated — instead of letting them abort the
+   sweep. *)
+let generate_candidate_diag (arch : Arch.t) ?(max_insns = default_max_insns)
+    (kname : Kernels.name) (kernel : Ast.kernel) (c : candidate) :
+    (Insn.program, Diag.t) Stdlib.result =
+  let mk code stage detail =
+    Diag.make ~code ~stage
+      ~kernel:(Kernels.name_to_string kname)
+      ~arch:arch.Arch.name
+      ~config:(Pipeline.config_to_string c.cand_config)
+      ~detail
+  in
   match
     let optimized = Pipeline.apply kernel c.cand_config in
     let prog =
       Augem_codegen.Emit.generate ~arch ~opts:c.cand_opts optimized
     in
-    Augem_codegen.Schedule.run arch prog
+    let len = List.length prog.Insn.prog_insns in
+    if len > max_insns then
+      Error
+        (mk Diag.E_budget_exceeded Diag.S_codegen
+           (Printf.sprintf "%d instructions > budget %d" len max_insns))
+    else Ok (Augem_codegen.Schedule.run arch prog)
   with
-  | prog -> Some prog
-  | exception Augem_codegen.Regfile.Out_of_registers _ -> None
-  | exception Augem_codegen.Gpralloc.Gpr_error _ -> None
-  | exception Augem_codegen.Ctx.Codegen_error _ -> None
-  | exception Unroll.Unroll_error _ -> None
+  | r -> r
+  | exception exn ->
+      let code, detail = diag_of_generation_exn exn in
+      let stage =
+        match exn with
+        | Unroll.Unroll_error _ | Typecheck.Type_error _ -> Diag.S_pipeline
+        | _ -> Diag.S_codegen
+      in
+      Error (mk code stage detail)
+
+(* Back-compatible option view. *)
+let generate_candidate (arch : Arch.t) (kernel : Ast.kernel) (c : candidate) :
+    Insn.program option =
+  match generate_candidate_diag arch Kernels.Gemm kernel c with
+  | Ok prog -> Some prog
+  | Error _ -> None
+
+let score_diag (arch : Arch.t) (kname : Kernels.name) (c : candidate)
+    (prog : Insn.program) (w : Augem_sim.Perf.workload) :
+    (float, Diag.t) Stdlib.result =
+  let mk code detail =
+    Diag.make ~code ~stage:Diag.S_score
+      ~kernel:(Kernels.name_to_string kname)
+      ~arch:arch.Arch.name
+      ~config:(Pipeline.config_to_string c.cand_config)
+      ~detail
+  in
+  match Augem_sim.Perf.predict arch prog w with
+  | e -> Ok e.Augem_sim.Perf.e_mflops
+  | exception Augem_sim.Perf.No_hot_loop m -> Error (mk Diag.E_no_hot_loop m)
+  | exception exn ->
+      Error (mk (Diag.code_of_exn exn) (Printexc.to_string exn))
 
 let score (arch : Arch.t) (prog : Insn.program) (w : Augem_sim.Perf.workload) :
     float option =
@@ -133,24 +213,29 @@ let score (arch : Arch.t) (prog : Insn.program) (w : Augem_sim.Perf.workload) :
   | exception Augem_sim.Perf.No_hot_loop _ -> None
 
 let tune ?(workload : Augem_sim.Perf.workload option)
-    ?(space : candidate list option) (arch : Arch.t) (name : Kernels.name) :
-    result =
+    ?(space : candidate list option) ?(max_insns = default_max_insns)
+    (arch : Arch.t) (name : Kernels.name) : result =
   let kernel = Kernels.kernel_of_name name in
   let workload =
     match workload with Some w -> w | None -> reference_workload name
   in
   let space = match space with Some s -> s | None -> space_for name in
-  let visited = ref 0 and discarded = ref 0 in
+  let visited = ref 0 in
+  let failures = ref [] in
   let best = ref None in
+  let record d =
+    failures := d :: !failures;
+    Log.debug (fun m -> m "discard: %s" (Diag.to_string d))
+  in
   List.iter
     (fun cand ->
       incr visited;
-      match generate_candidate arch kernel cand with
-      | None -> incr discarded
-      | Some prog -> (
-          match score arch prog workload with
-          | None -> incr discarded
-          | Some s ->
+      match generate_candidate_diag arch ~max_insns name kernel cand with
+      | Error d -> record d
+      | Ok prog -> (
+          match score_diag arch name cand prog workload with
+          | Error d -> record d
+          | Ok s ->
               Log.debug (fun m ->
                   m "%s/%s %s -> %.0f MFLOPS" arch.Arch.name
                     (Kernels.name_to_string name)
@@ -160,20 +245,52 @@ let tune ?(workload : Augem_sim.Perf.workload option)
               | Some (_, _, s') when s' >= s -> ()
               | _ -> best := Some (cand, prog, s))))
     space;
+  let failures_list = List.rev !failures in
+  let finish ~fell_back (cand, prog, s) =
+    {
+      best = cand;
+      best_program = prog;
+      best_score = s;
+      visited = !visited;
+      discarded = List.length failures_list;
+      fell_back;
+      failures = failures_list;
+      failure_histogram = Diag.histogram failures_list;
+    }
+  in
   match !best with
-  | None ->
-      raise
-        (No_viable_configuration
-           (Printf.sprintf "%s on %s" (Kernels.name_to_string name)
-              arch.Arch.name))
-  | Some (cand, prog, s) ->
-      {
-        best = cand;
-        best_program = prog;
-        best_score = s;
-        visited = !visited;
-        discarded = !discarded;
-      }
+  | Some b -> finish ~fell_back:false b
+  | None -> (
+      (* Graceful degradation: the whole space was discarded.  Fall
+         back to the safe baseline rather than raising — a library
+         build wants a slow kernel over no kernel. *)
+      Log.warn (fun m ->
+          m "%s/%s: all %d candidates discarded; falling back to baseline"
+            arch.Arch.name
+            (Kernels.name_to_string name)
+            !visited);
+      (* the baseline is generated under the default step budget, not
+         the caller's: a tight [max_insns] is a candidate filter, and
+         must not take the known-small fallback down with it *)
+      match
+        generate_candidate_diag arch ~max_insns:default_max_insns name kernel
+          safe_baseline
+      with
+      | Ok prog ->
+          let s =
+            match score_diag arch name safe_baseline prog workload with
+            | Ok s -> s
+            | Error _ -> 0.0
+          in
+          finish ~fell_back:true (safe_baseline, prog, s)
+      | Error d ->
+          (* even the baseline will not generate: a genuinely broken
+             kernel/arch pair, the one case that still raises *)
+          raise
+            (No_viable_configuration
+               (Printf.sprintf "%s on %s (baseline also failed: %s)"
+                  (Kernels.name_to_string name)
+                  arch.Arch.name (Diag.to_string d))))
 
 (* Memoized tuning: the sweep benchmarks call this per (arch, kernel). *)
 let cache : (string * string, result) Hashtbl.t = Hashtbl.create 8

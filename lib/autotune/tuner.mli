@@ -6,9 +6,14 @@
 
     The performance feedback is the cycle-level model of the generated
     assembly (the substitution for the paper's wall-clock measurements,
-    see DESIGN.md).  Configurations that fail to generate — register
-    pressure — are discarded, like build failures in a real tuning
-    run. *)
+    see DESIGN.md).
+
+    Robustness contract: the sweep survives arbitrary broken
+    candidates.  Every discarded configuration is recorded as a
+    structured {!Augem_verify.Diag.t} (never a bare counter or an
+    escaped exception); oversized programs are rejected by a step
+    budget before the scoring model runs on them; and a fully-discarded
+    space degrades to {!safe_baseline} instead of raising. *)
 
 type candidate = {
   cand_config : Augem_transform.Pipeline.config;
@@ -21,24 +26,64 @@ type result = {
   best_score : float;  (** predicted MFLOPS on the reference workload *)
   visited : int;
   discarded : int;
+  fell_back : bool;
+      (** the whole space was discarded and {!safe_baseline} was used *)
+  failures : Augem_verify.Diag.t list;
+      (** one structured record per discarded candidate, in sweep order *)
+  failure_histogram : (string * int) list;
+      (** failure counts keyed by diagnostic code, descending *)
 }
 
 (** The per-kernel search space. *)
 val space_for : Augem_ir.Kernels.name -> candidate list
 
+(** The graceful-degradation configuration: scalar passes only (no
+    unroll&jam, no unrolling, no prefetch).  Generates for every kernel
+    on every modelled architecture. *)
+val safe_baseline : candidate
+
 (** A representative point of the paper's evaluation sweep for each
     kernel. *)
 val reference_workload : Augem_ir.Kernels.name -> Augem_sim.Perf.workload
 
+(** Raised only when even {!safe_baseline} fails to generate — a
+    genuinely broken kernel/architecture pair.  An exhausted search
+    space alone no longer raises. *)
 exception No_viable_configuration of string
 
-(** Generate one candidate; [None] when the configuration does not fit
-    the machine (register pressure). *)
+(** Step budget: candidates whose generated programs exceed this many
+    instructions are discarded ({!Augem_verify.Diag.E_budget_exceeded})
+    before the program-length-proportional scheduling and scoring
+    analyses run. *)
+val default_max_insns : int
+
+(** Generate one candidate, classifying {i any} failure — anticipated
+    codegen errors and unexpected exceptions alike — as a structured
+    diagnostic instead of letting it abort the sweep. *)
+val generate_candidate_diag :
+  Augem_machine.Arch.t ->
+  ?max_insns:int ->
+  Augem_ir.Kernels.name ->
+  Augem_ir.Ast.kernel ->
+  candidate ->
+  (Augem_machine.Insn.program, Augem_verify.Diag.t) Stdlib.result
+
+(** Back-compatible view of {!generate_candidate_diag}: [None] when the
+    configuration does not fit the machine. *)
 val generate_candidate :
   Augem_machine.Arch.t ->
   Augem_ir.Ast.kernel ->
   candidate ->
   Augem_machine.Insn.program option
+
+(** Score a generated program, classifying failures. *)
+val score_diag :
+  Augem_machine.Arch.t ->
+  Augem_ir.Kernels.name ->
+  candidate ->
+  Augem_machine.Insn.program ->
+  Augem_sim.Perf.workload ->
+  (float, Augem_verify.Diag.t) Stdlib.result
 
 (** Score a generated program on a workload; [None] when the program
     has no analyzable hot loop. *)
@@ -48,10 +93,13 @@ val score :
   Augem_sim.Perf.workload ->
   float option
 
-(** Exhaustive search over the (given or default) space. *)
+(** Exhaustive search over the (given or default) space.  Never raises
+    on a fully-discarded space: the result carries [fell_back = true],
+    the baseline program, and the populated failure histogram. *)
 val tune :
   ?workload:Augem_sim.Perf.workload ->
   ?space:candidate list ->
+  ?max_insns:int ->
   Augem_machine.Arch.t ->
   Augem_ir.Kernels.name ->
   result

@@ -84,9 +84,16 @@ module Blas = struct
   module Level3 = Augem_blas.Level3
 end
 
+module Verify = struct
+  module Diag = Augem_verify.Diag
+  module Oracle = Augem_verify.Oracle
+  module Faults = Augem_verify.Faults
+end
+
 module Tuner = Augem_autotune.Tuner
 module Library = Augem_baselines.Library
 module Harness = Harness
+module Chaos = Chaos
 module Report = Report
 
 (* --- one-call pipeline -------------------------------------------------- *)

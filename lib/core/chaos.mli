@@ -1,0 +1,45 @@
+(** Chaos testing of the verification harness: measure, don't trust.
+
+    Injects single-instruction faults ({!Augem_verify.Faults}) into a
+    generated program and runs {!Harness.verify} on every mutant.  A
+    mutant that still verifies "ok" is a {i missed} fault — a hole in
+    the harness.  The meta-test over the seven paper kernels asserts a
+    detection rate of at least 95%, turning the harness's sensitivity
+    into a regression-checked number. *)
+
+type entry = {
+  e_fault : Augem_verify.Faults.fault;
+  e_detected : bool;
+  e_detail : string;  (** harness failure detail, or "MISSED" *)
+}
+
+type report = {
+  c_kernel : string;
+  c_total : int;  (** faults injected *)
+  c_detected : int;  (** faults the harness caught *)
+  c_entries : entry list;  (** per-fault verdicts, in injection order *)
+  c_by_kind : (string * (int * int)) list;
+      (** fault kind to (detected, total) *)
+}
+
+(** Detected / total (1.0 for an empty report). *)
+val rate : report -> float
+
+val missed : report -> Augem_verify.Faults.fault list
+
+(** Inject up to [max_faults] (default 96) sampled faults into the
+    program and verify every mutant with a [fuel] instruction budget
+    (default {!Harness.default_fuel}), so diverging mutants terminate.
+    Any exception escaping the harness counts as a detection. *)
+val run :
+  ?fuel:int ->
+  ?max_faults:int ->
+  ?seed:int ->
+  Augem_ir.Kernels.name ->
+  Augem_machine.Insn.program ->
+  report
+
+(** Merge reports (e.g. across kernels) for an aggregate rate. *)
+val merge : report list -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -42,15 +42,21 @@ type outcome = {
 let pass sim_result = { ok = true; detail = "ok"; sim_result }
 let fail detail = { ok = false; detail; sim_result = None }
 
+(* Instruction budget for one simulated kernel call.  The harness
+   shapes execute a few thousand instructions; anything in the millions
+   is a diverging mutant or a pathological configuration, and must fail
+   fast instead of hanging a tuning sweep or the chaos suite. *)
+let default_fuel = 20_000_000
+
 (* Run the program and catch simulator faults as failures. *)
-let run_sim prog args =
-  match Exec.call prog args with
+let run_sim ?(fuel = default_fuel) prog args =
+  match Exec.call ~fuel prog args with
   | r -> Ok r
   | exception Exec.Sim_error msg -> Error ("simulator fault: " ^ msg)
 
 (* --- per-kernel drivers ------------------------------------------------- *)
 
-let verify_gemm ?(packed = false) ?(seed = 1) ?(shape = default_shape)
+let verify_gemm ?fuel ?(packed = false) ?(seed = 1) ?(shape = default_shape)
     (prog : Insn.program) : outcome =
   let mc = shape.sh_m and kc = shape.sh_k and n = shape.sh_n in
   let ldc = mc + shape.sh_ld_slack in
@@ -73,7 +79,7 @@ let verify_gemm ?(packed = false) ?(seed = 1) ?(shape = default_shape)
    else
      L3.micro_kernel_ref ~mc ~kc ~nc:n ~pa ~pb ~c_data:c_ref ~c_off:0 ~ldc);
   match
-    run_sim prog
+    run_sim ?fuel prog
       Exec.[ Aint mc; Aint kc; Aint n; Aint ldc; Abuf pa; Abuf pb; Abuf c_sim ]
   with
   | Error e -> fail e
@@ -81,9 +87,10 @@ let verify_gemm ?(packed = false) ?(seed = 1) ?(shape = default_shape)
       if arrays_close c_ref c_sim then pass (Some r)
       else fail "gemm: output mismatch"
 
-let verify_gemv ?(seed = 2) ?(shape = default_shape) (prog : Insn.program) :
-    outcome =
-  let m = shape.sh_m + 5 and n = shape.sh_n in
+let verify_gemv ?fuel ?(seed = 2) ?(shape = default_shape) ?m ?n
+    (prog : Insn.program) : outcome =
+  let m = match m with Some m -> m | None -> shape.sh_m + 5 in
+  let n = match n with Some n -> n | None -> shape.sh_n in
   let lda = m + shape.sh_ld_slack in
   let a = fill seed (lda * n) in
   let x = fill (seed + 1) n in
@@ -92,7 +99,7 @@ let verify_gemv ?(seed = 2) ?(shape = default_shape) (prog : Insn.program) :
   let mat = Mat.{ data = a; rows = m; cols = n; ld = lda } in
   L2.dgemv ~alpha:1.0 ~beta:1.0 mat x y_ref;
   match
-    run_sim prog
+    run_sim ?fuel prog
       Exec.[ Aint m; Aint n; Aint lda; Abuf a; Abuf x; Abuf y_sim ]
   with
   | Error e -> fail e
@@ -100,24 +107,25 @@ let verify_gemv ?(seed = 2) ?(shape = default_shape) (prog : Insn.program) :
       if arrays_close y_ref y_sim then pass (Some r)
       else fail "gemv: output mismatch"
 
-let verify_axpy ?(seed = 3) ?(n = 37) ?(alpha = 1.7) (prog : Insn.program) :
-    outcome =
+let verify_axpy ?fuel ?(seed = 3) ?(n = 37) ?(alpha = 1.7)
+    (prog : Insn.program) : outcome =
   let x = fill seed n in
   let y_ref = fill (seed + 1) n in
   let y_sim = Array.copy y_ref in
   L1.daxpy n alpha x y_ref;
-  match run_sim prog Exec.[ Aint n; Adouble alpha; Abuf x; Abuf y_sim ] with
+  match run_sim ?fuel prog Exec.[ Aint n; Adouble alpha; Abuf x; Abuf y_sim ]
+  with
   | Error e -> fail e
   | Ok r ->
       if arrays_close y_ref y_sim then pass (Some r)
       else fail "axpy: output mismatch"
 
-let verify_dot ?(seed = 4) ?(n = 37) (prog : Insn.program) : outcome =
+let verify_dot ?fuel ?(seed = 4) ?(n = 37) (prog : Insn.program) : outcome =
   let x = fill seed n in
   let y = fill (seed + 1) n in
   let expect = 0.5 +. L1.ddot n x y in
   let out = [| 0.5 |] in
-  match run_sim prog Exec.[ Aint n; Abuf x; Abuf y; Abuf out ] with
+  match run_sim ?fuel prog Exec.[ Aint n; Abuf x; Abuf y; Abuf out ] with
   | Error e -> fail e
   | Ok r ->
       if close expect out.(0) then pass (Some r)
@@ -125,9 +133,10 @@ let verify_dot ?(seed = 4) ?(n = 37) (prog : Insn.program) : outcome =
         fail
           (Printf.sprintf "dot: expected %.12g, got %.12g" expect out.(0))
 
-let verify_ger ?(seed = 5) ?(shape = default_shape) (prog : Insn.program) :
-    outcome =
-  let m = shape.sh_m + 3 and n = shape.sh_n in
+let verify_ger ?fuel ?(seed = 5) ?(shape = default_shape) ?m ?n
+    (prog : Insn.program) : outcome =
+  let m = match m with Some m -> m | None -> shape.sh_m + 3 in
+  let n = match n with Some n -> n | None -> shape.sh_n in
   let lda = m + shape.sh_ld_slack in
   let alpha = 1.25 in
   let a_ref = fill seed (lda * n) in
@@ -137,7 +146,7 @@ let verify_ger ?(seed = 5) ?(shape = default_shape) (prog : Insn.program) :
   let mat = Mat.{ data = a_ref; rows = m; cols = n; ld = lda } in
   L2.dger ~alpha mat x y;
   match
-    run_sim prog
+    run_sim ?fuel prog
       Exec.[ Aint m; Aint n; Aint lda; Adouble alpha; Abuf x; Abuf y;
              Abuf a_sim ]
   with
@@ -146,48 +155,104 @@ let verify_ger ?(seed = 5) ?(shape = default_shape) (prog : Insn.program) :
       if arrays_close a_ref a_sim then pass (Some r)
       else fail "ger: output mismatch"
 
-let verify_scal ?(seed = 6) ?(n = 37) ?(alpha = 0.75) (prog : Insn.program) :
-    outcome =
+let verify_scal ?fuel ?(seed = 6) ?(n = 37) ?(alpha = 0.75)
+    (prog : Insn.program) : outcome =
   let x_ref = fill seed n in
   let x_sim = Array.copy x_ref in
   L1.dscal n alpha x_ref;
-  match run_sim prog Exec.[ Aint n; Adouble alpha; Abuf x_sim ] with
+  match run_sim ?fuel prog Exec.[ Aint n; Adouble alpha; Abuf x_sim ] with
   | Error e -> fail e
   | Ok r ->
       if arrays_close x_ref x_sim then pass (Some r)
       else fail "scal: output mismatch"
 
-let verify_copy ?(seed = 7) ?(n = 37) (prog : Insn.program) : outcome =
+let verify_copy ?fuel ?(seed = 7) ?(n = 37) (prog : Insn.program) : outcome =
   let x = fill seed n in
   let y = fill (seed + 1) (n + 2) in
-  match run_sim prog Exec.[ Aint n; Abuf x; Abuf y ] with
+  match run_sim ?fuel prog Exec.[ Aint n; Abuf x; Abuf y ] with
   | Error e -> fail e
   | Ok r ->
       let copied = Array.for_all2 close x (Array.sub y 0 n) in
       if copied then pass (Some r) else fail "copy: output mismatch"
 
+(* Degenerate problem shapes: unit dimensions and zero-length vectors.
+   These exercise the edge where every main loop is skipped and only
+   remainder (or no) code runs — a classic source of miscompiles that
+   the "nice" shapes never reach. *)
+let degenerate_cases ?fuel (kernel : Kernels.name) (prog : Insn.program) :
+    (string * (unit -> outcome)) list =
+  let unit_shape = { sh_m = 1; sh_n = 1; sh_k = 1; sh_ld_slack = 0 } in
+  match kernel with
+  | Kernels.Gemm ->
+      [ ("m=n=k=1", fun () -> verify_gemm ?fuel ~seed:401 ~shape:unit_shape prog) ]
+  | Kernels.Gemv ->
+      [
+        ("m=1,n=1", fun () -> verify_gemv ?fuel ~seed:402 ~m:1 ~n:1 prog);
+        ("n=0", fun () -> verify_gemv ?fuel ~seed:403 ~m:3 ~n:0 prog);
+      ]
+  | Kernels.Ger ->
+      [
+        ("m=1,n=1", fun () -> verify_ger ?fuel ~seed:404 ~m:1 ~n:1 prog);
+        ("n=0", fun () -> verify_ger ?fuel ~seed:405 ~m:3 ~n:0 prog);
+      ]
+  | Kernels.Axpy ->
+      [
+        ("n=1", fun () -> verify_axpy ?fuel ~seed:406 ~n:1 prog);
+        ("n=0", fun () -> verify_axpy ?fuel ~seed:407 ~n:0 prog);
+      ]
+  | Kernels.Dot ->
+      [
+        ("n=1", fun () -> verify_dot ?fuel ~seed:408 ~n:1 prog);
+        ("n=0", fun () -> verify_dot ?fuel ~seed:409 ~n:0 prog);
+      ]
+  | Kernels.Scal ->
+      [
+        ("n=1", fun () -> verify_scal ?fuel ~seed:410 ~n:1 prog);
+        ("n=0", fun () -> verify_scal ?fuel ~seed:411 ~n:0 prog);
+      ]
+  | Kernels.Copy ->
+      [
+        ("n=1", fun () -> verify_copy ?fuel ~seed:412 ~n:1 prog);
+        ("n=0", fun () -> verify_copy ?fuel ~seed:413 ~n:0 prog);
+      ]
+
 (* Verify a program implementing [kernel] (the simple-C kernels of the
-   paper) on a few shapes, including non-divisible remainder cases. *)
-let verify (kernel : Kernels.name) (prog : Insn.program) : outcome =
+   paper) on a few shapes, including non-divisible remainder cases and
+   degenerate unit / empty shapes. *)
+let verify ?fuel (kernel : Kernels.name) (prog : Insn.program) : outcome =
   let shapes =
     [
       default_shape;
       { sh_m = 16; sh_n = 8; sh_k = 32; sh_ld_slack = 0 };
       { sh_m = 13; sh_n = 5; sh_k = 9; sh_ld_slack = 3 }; (* remainders *)
+      (* vector length 11*3+1 = 34 / +2 = 35: several remainder
+         iterations after an 8-way unrolled main loop, so a fault in
+         the remainder loop's own control flow (increment, pointer
+         bump) cannot hide behind a single-trip remainder *)
+      { sh_m = 11; sh_n = 7; sh_k = 5; sh_ld_slack = 1 };
     ]
   in
   let rec go seed = function
-    | [] -> { ok = true; detail = "ok"; sim_result = None }
+    | [] ->
+        (* all regular shapes passed; sweep the degenerate edge cases *)
+        let rec degen = function
+          | [] -> { ok = true; detail = "ok"; sim_result = None }
+          | (label, case) :: rest -> (
+              match case () with
+              | { ok = true; _ } -> degen rest
+              | o -> { o with detail = "degenerate " ^ label ^ ": " ^ o.detail })
+        in
+        degen (degenerate_cases ?fuel kernel prog)
     | shape :: rest -> (
         let outcome =
           match kernel with
-          | Kernels.Gemm -> verify_gemm ~seed ~shape prog
-          | Kernels.Gemv -> verify_gemv ~seed ~shape prog
-          | Kernels.Axpy -> verify_axpy ~seed ~n:(shape.sh_m * 3 + 1) prog
-          | Kernels.Dot -> verify_dot ~seed ~n:(shape.sh_m * 3 + 2) prog
-          | Kernels.Ger -> verify_ger ~seed ~shape prog
-          | Kernels.Scal -> verify_scal ~seed ~n:((shape.sh_m * 3) + 1) prog
-          | Kernels.Copy -> verify_copy ~seed ~n:((shape.sh_m * 3) + 2) prog
+          | Kernels.Gemm -> verify_gemm ?fuel ~seed ~shape prog
+          | Kernels.Gemv -> verify_gemv ?fuel ~seed ~shape prog
+          | Kernels.Axpy -> verify_axpy ?fuel ~seed ~n:(shape.sh_m * 3 + 1) prog
+          | Kernels.Dot -> verify_dot ?fuel ~seed ~n:(shape.sh_m * 3 + 2) prog
+          | Kernels.Ger -> verify_ger ?fuel ~seed ~shape prog
+          | Kernels.Scal -> verify_scal ?fuel ~seed ~n:((shape.sh_m * 3) + 1) prog
+          | Kernels.Copy -> verify_copy ?fuel ~seed ~n:((shape.sh_m * 3) + 2) prog
         in
         match outcome.ok with
         | true -> go (seed + 17) rest

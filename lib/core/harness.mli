@@ -19,30 +19,75 @@ type outcome = {
   sim_result : Augem_sim.Exec_sim.result option;
 }
 
+(** Default per-call instruction budget for the functional simulator
+    ([fuel] below).  Regular harness shapes execute a few thousand
+    instructions; the budget exists so a diverging mutant or
+    pathological configuration fails fast instead of hanging. *)
+val default_fuel : int
+
 val verify_gemm :
+  ?fuel:int ->
   ?packed:bool ->
   ?seed:int ->
   ?shape:shape ->
   Augem_machine.Insn.program ->
   outcome
 
+(** [?m]/[?n] override the shape-derived dimensions (used for
+    degenerate unit and empty shapes). *)
 val verify_gemv :
-  ?seed:int -> ?shape:shape -> Augem_machine.Insn.program -> outcome
+  ?fuel:int ->
+  ?seed:int ->
+  ?shape:shape ->
+  ?m:int ->
+  ?n:int ->
+  Augem_machine.Insn.program ->
+  outcome
 
 val verify_axpy :
-  ?seed:int -> ?n:int -> ?alpha:float -> Augem_machine.Insn.program -> outcome
+  ?fuel:int ->
+  ?seed:int ->
+  ?n:int ->
+  ?alpha:float ->
+  Augem_machine.Insn.program ->
+  outcome
 
-val verify_dot : ?seed:int -> ?n:int -> Augem_machine.Insn.program -> outcome
+val verify_dot :
+  ?fuel:int -> ?seed:int -> ?n:int -> Augem_machine.Insn.program -> outcome
 
 val verify_ger :
-  ?seed:int -> ?shape:shape -> Augem_machine.Insn.program -> outcome
+  ?fuel:int ->
+  ?seed:int ->
+  ?shape:shape ->
+  ?m:int ->
+  ?n:int ->
+  Augem_machine.Insn.program ->
+  outcome
 
 val verify_scal :
-  ?seed:int -> ?n:int -> ?alpha:float -> Augem_machine.Insn.program -> outcome
+  ?fuel:int ->
+  ?seed:int ->
+  ?n:int ->
+  ?alpha:float ->
+  Augem_machine.Insn.program ->
+  outcome
 
-val verify_copy : ?seed:int -> ?n:int -> Augem_machine.Insn.program -> outcome
+val verify_copy :
+  ?fuel:int -> ?seed:int -> ?n:int -> Augem_machine.Insn.program -> outcome
+
+(** The degenerate-shape sweep for a kernel: labelled thunks covering
+    unit dimensions and (where the contract allows) zero-length
+    vectors.  [verify] runs these after the regular shapes; they are
+    exported so the regression suite can exercise them in isolation. *)
+val degenerate_cases :
+  ?fuel:int ->
+  Augem_ir.Kernels.name ->
+  Augem_machine.Insn.program ->
+  (string * (unit -> outcome)) list
 
 (** Verify a program implementing the named kernel over several shapes,
-    including ones that exercise every remainder loop. *)
+    including ones that exercise every remainder loop, plus degenerate
+    shapes (unit dimensions, zero-length vectors) where every main loop
+    is skipped. *)
 val verify :
-  Augem_ir.Kernels.name -> Augem_machine.Insn.program -> outcome
+  ?fuel:int -> Augem_ir.Kernels.name -> Augem_machine.Insn.program -> outcome

@@ -28,6 +28,12 @@ val create : unit -> state
 val get_gpr : state -> Augem_machine.Reg.gpr -> int64
 val set_gpr : state -> Augem_machine.Reg.gpr -> int64 -> unit
 
+(** Default [fuel] for {!run} and {!call}: the dynamic instruction
+    budget after which a run faults with {!Sim_error} ("fuel
+    exhausted").  Callers guarding against diverging programs (the
+    harness, the chaos suite) pass a much smaller budget. *)
+val default_fuel : int
+
 (** Dynamic-execution counters of one run. *)
 type result = {
   r_executed : int;

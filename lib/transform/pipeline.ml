@@ -43,26 +43,54 @@ let config_to_string (c : config) : string =
     | None -> "-"
     | Some p -> string_of_int p.Prefetch.pf_distance)
 
-let apply (k : Ast.kernel) (c : config) : Ast.kernel =
-  let k =
-    List.fold_left
-      (fun k (loop_var, factor) -> Unroll.unroll_and_jam k ~loop_var ~factor)
-      k c.jam
+(* The pass sequence a configuration denotes, as named kernel-to-kernel
+   functions.  [apply] folds over this list; the per-pass differential
+   oracle (lib/verify/oracle.ml) walks the same list to pinpoint which
+   pass miscompiled. *)
+let passes (c : config) : (string * (Ast.kernel -> Ast.kernel)) list =
+  let jam =
+    List.map
+      (fun (loop_var, factor) ->
+        ( Printf.sprintf "unroll&jam %s:%d" loop_var factor,
+          fun k -> Unroll.unroll_and_jam k ~loop_var ~factor ))
+      c.jam
   in
-  let k =
+  let unroll =
     match c.inner_unroll with
-    | None -> k
-    | Some (loop_var, factor) -> (
-        let k = Unroll.unroll k ~loop_var ~factor in
-        match c.expand_reduction with
-        | None -> k
-        | Some ways -> Unroll.expand_accumulators k ~loop_var ~ways)
+    | None -> []
+    | Some (loop_var, factor) ->
+        ( Printf.sprintf "unroll %s:%d" loop_var factor,
+          fun k -> Unroll.unroll k ~loop_var ~factor )
+        ::
+        (match c.expand_reduction with
+        | None -> []
+        | Some ways ->
+            [
+              ( Printf.sprintf "expand-reduction x%d" ways,
+                fun k -> Unroll.expand_accumulators k ~loop_var ~ways );
+            ])
   in
-  let k = if c.strength_reduce then Strength_reduction.run k else k in
-  let k = if c.scalar_replace then Scalar_repl.run k else k in
-  let k =
-    match c.prefetch with None -> k | Some cfg -> Prefetch.insert k cfg
+  let sr =
+    if c.strength_reduce then
+      [ ("strength-reduction", Strength_reduction.run) ]
+    else []
   in
-  let k = Simplify.simplify_kernel k in
+  let scalar =
+    if c.scalar_replace then [ ("scalar-replacement", Scalar_repl.run) ]
+    else []
+  in
+  let pf =
+    match c.prefetch with
+    | None -> []
+    | Some cfg ->
+        [
+          ( Printf.sprintf "prefetch %d" cfg.Prefetch.pf_distance,
+            fun k -> Prefetch.insert k cfg );
+        ]
+  in
+  jam @ unroll @ sr @ scalar @ pf @ [ ("simplify", Simplify.simplify_kernel) ]
+
+let apply (k : Ast.kernel) (c : config) : Ast.kernel =
+  let k = List.fold_left (fun k (_name, pass) -> pass k) k (passes c) in
   Typecheck.check_kernel k;
   k

@@ -22,6 +22,13 @@ val default : config
 
 val config_to_string : config -> string
 
+(** The pass sequence a configuration denotes, in application order,
+    each with a human-readable name (e.g. ["unroll&jam j:4"],
+    ["scalar-replacement"]).  [apply] folds this list; the per-pass
+    differential oracle walks it to localize miscompiles. *)
+val passes :
+  config -> (string * (Augem_ir.Ast.kernel -> Augem_ir.Ast.kernel)) list
+
 (** Apply the configured passes; the result is simplified and
     type-checked. *)
 val apply : Augem_ir.Ast.kernel -> config -> Augem_ir.Ast.kernel

@@ -1,0 +1,96 @@
+(* Structured diagnostics for failed tuning / generation candidates.
+   See diag.mli. *)
+
+type stage =
+  | S_pipeline
+  | S_codegen
+  | S_schedule
+  | S_score
+  | S_simulate
+  | S_verify
+
+type code =
+  | E_out_of_registers
+  | E_gpr_pressure
+  | E_codegen
+  | E_unroll
+  | E_no_hot_loop
+  | E_budget_exceeded
+  | E_sim_fault
+  | E_type_error
+  | E_eval_error
+  | E_mismatch
+  | E_unexpected of string
+
+type t = {
+  d_code : code;
+  d_stage : stage;
+  d_kernel : string;
+  d_arch : string;
+  d_config : string;
+  d_detail : string;
+}
+
+let stage_to_string = function
+  | S_pipeline -> "pipeline"
+  | S_codegen -> "codegen"
+  | S_schedule -> "schedule"
+  | S_score -> "score"
+  | S_simulate -> "simulate"
+  | S_verify -> "verify"
+
+let code_to_string = function
+  | E_out_of_registers -> "out-of-registers"
+  | E_gpr_pressure -> "gpr-pressure"
+  | E_codegen -> "codegen-error"
+  | E_unroll -> "unroll-error"
+  | E_no_hot_loop -> "no-hot-loop"
+  | E_budget_exceeded -> "budget-exceeded"
+  | E_sim_fault -> "sim-fault"
+  | E_type_error -> "type-error"
+  | E_eval_error -> "eval-error"
+  | E_mismatch -> "output-mismatch"
+  | E_unexpected exn -> "unexpected:" ^ exn
+
+let to_string d =
+  Printf.sprintf "%s@%s %s/%s [%s]: %s"
+    (code_to_string d.d_code)
+    (stage_to_string d.d_stage)
+    d.d_kernel d.d_arch d.d_config d.d_detail
+
+let make ~code ~stage ~kernel ~arch ~config ~detail =
+  {
+    d_code = code;
+    d_stage = stage;
+    d_kernel = kernel;
+    d_arch = arch;
+    d_config = config;
+    d_detail = detail;
+  }
+
+let code_of_exn = function
+  | Failure msg -> E_unexpected ("Failure: " ^ msg)
+  | Invalid_argument msg -> E_unexpected ("Invalid_argument: " ^ msg)
+  | Not_found -> E_unexpected "Not_found"
+  | Stack_overflow -> E_unexpected "Stack_overflow"
+  | exn -> E_unexpected (Printexc.to_string exn)
+
+let histogram (ds : t list) : (string * int) list =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      let key = code_to_string d.d_code in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    ds;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (ka, a) (kb, b) ->
+         match compare b a with 0 -> compare ka kb | c -> c)
+
+let pp_histogram fmt (h : (string * int) list) =
+  if h = [] then Format.fprintf fmt "(no failures)"
+  else
+    List.iteri
+      (fun i (k, n) ->
+        if i > 0 then Format.fprintf fmt "@\n";
+        Format.fprintf fmt "%6d  %s" n k)
+      h

@@ -1,0 +1,65 @@
+(** Structured diagnostics for failed tuning / generation candidates.
+
+    Every candidate the tuner discards — register pressure, codegen
+    faults, pathological programs, unexpected exceptions — is recorded
+    as one of these instead of being silently counted or crashing the
+    sweep.  The records aggregate into a failure-reason histogram that
+    survives in the tuner's result, so a sweep over a hostile search
+    space reports {i why} it discarded what it discarded. *)
+
+(** Pipeline stage at which a candidate died. *)
+type stage =
+  | S_pipeline  (** source-to-source transformation *)
+  | S_codegen  (** instruction selection / register allocation *)
+  | S_schedule  (** post-pass scheduling *)
+  | S_score  (** cycle-model performance prediction *)
+  | S_simulate  (** functional simulation *)
+  | S_verify  (** output comparison against the reference BLAS *)
+
+(** Classified failure reason. *)
+type code =
+  | E_out_of_registers  (** SIMD register pressure *)
+  | E_gpr_pressure  (** general-purpose register pressure *)
+  | E_codegen  (** instruction-selection fault *)
+  | E_unroll  (** loop restructuring rejected the kernel *)
+  | E_no_hot_loop  (** cycle model found no loop to score *)
+  | E_budget_exceeded  (** program too large for the step budget *)
+  | E_sim_fault  (** functional simulator fault *)
+  | E_type_error  (** transformed kernel failed to re-typecheck *)
+  | E_eval_error  (** IR interpreter fault *)
+  | E_mismatch  (** outputs diverged from the reference *)
+  | E_unexpected of string  (** anything else; payload names the exception *)
+
+type t = {
+  d_code : code;
+  d_stage : stage;
+  d_kernel : string;  (** kernel name, e.g. "gemm" *)
+  d_arch : string;  (** architecture name *)
+  d_config : string;  (** pretty-printed tuning configuration *)
+  d_detail : string;  (** free-form message from the failure site *)
+}
+
+val stage_to_string : stage -> string
+val code_to_string : code -> string
+
+(** One-line rendering: [code@stage kernel/arch config: detail]. *)
+val to_string : t -> string
+
+val make :
+  code:code ->
+  stage:stage ->
+  kernel:string ->
+  arch:string ->
+  config:string ->
+  detail:string ->
+  t
+
+(** Classify an arbitrary exception into a code (the catch-all path of
+    the tuner): [Failure]/[Invalid_argument] payloads are preserved in
+    {!E_unexpected}. *)
+val code_of_exn : exn -> code
+
+(** Failure counts keyed by [code_to_string], descending. *)
+val histogram : t list -> (string * int) list
+
+val pp_histogram : Format.formatter -> (string * int) list -> unit

@@ -1,0 +1,142 @@
+(* Fault injection into generated assembly programs.  See faults.mli. *)
+
+module Insn = Augem_machine.Insn
+module Reg = Augem_machine.Reg
+
+type kind =
+  | Drop_store
+  | Swap_operands
+  | Perturb_disp
+  | Perturb_imm
+  | Retarget_register
+  | Flip_branch
+
+type fault = {
+  f_kind : kind;
+  f_index : int;
+  f_descr : string;
+}
+
+let kind_to_string = function
+  | Drop_store -> "drop-store"
+  | Swap_operands -> "swap-operands"
+  | Perturb_disp -> "perturb-disp"
+  | Perturb_imm -> "perturb-imm"
+  | Retarget_register -> "retarget-register"
+  | Flip_branch -> "flip-branch"
+
+let describe f = Printf.sprintf "%s @%d (%s)" (kind_to_string f.f_kind) f.f_index f.f_descr
+
+(* FP ops where swapping src1/src2 changes the result. *)
+let non_commutative = function
+  | Insn.Fsub | Insn.Fdiv -> true
+  | _ -> false
+
+(* FP ops whose source registers carry data (retargeting one is a
+   semantic change; Fmov ignores src2 and Fxor is the zeroing idiom). *)
+let data_op = function
+  | Insn.Fadd | Insn.Fsub | Insn.Fmul | Insn.Fdiv | Insn.Fma231 -> true
+  | _ -> false
+
+let flip_cond = function
+  | Insn.Clt -> Insn.Cle
+  | Insn.Cle -> Insn.Clt
+  | Insn.Cgt -> Insn.Cge
+  | Insn.Cge -> Insn.Cgt
+  | Insn.Ceq -> Insn.Cne
+  | Insn.Cne -> Insn.Ceq
+
+(* Stack-frame bookkeeping: stores to rbp/rsp-relative slots are
+   callee-saved saves and scratch spills.  Their effects are invisible
+   to any output-comparison oracle (a dropped callee-save only corrupts
+   the caller's registers; a dropped spill reloads a zero cell, which
+   at worst sends the kernel down the always-correct remainder path),
+   so mutating them produces equivalent mutants that would poison the
+   detection-rate metric. *)
+let stack_slot (m : Insn.mem) =
+  match m.Insn.base with Reg.Rbp | Reg.Rsp -> true | _ -> false
+
+let faults_of_insn ~unobservable (idx : int) (i : Insn.t) : fault list =
+  let mk kind descr = { f_kind = kind; f_index = idx; f_descr = descr } in
+  match i with
+  | Insn.Vstore _ -> [ mk Drop_store "vector store"; mk Perturb_disp "vector store" ]
+  | Insn.Storeq (m, _) ->
+      if stack_slot m then
+        if unobservable then [ mk Drop_store "stack spill" ] else []
+      else [ mk Drop_store "64-bit store" ]
+  | Insn.Vop { op; src1; src2; _ } ->
+      (if non_commutative op && src1 <> src2 then
+         [ mk Swap_operands "non-commutative FP op" ]
+       else [])
+      @ (if data_op op then [ mk Retarget_register "FP op source" ] else [])
+  | Insn.Vfma4 _ -> [ mk Retarget_register "FMA4 addend" ]
+  | Insn.Vload _ -> [ mk Perturb_disp "vector load" ]
+  | Insn.Vbroadcast _ -> [ mk Perturb_disp "broadcast load" ]
+  | Insn.Addri (r, imm) when imm <> 0 && r <> Reg.Rsp ->
+      [ mk Perturb_imm "add immediate" ]
+  | Insn.Movri _ -> [ mk Perturb_imm "move immediate" ]
+  | Insn.Imulri _ -> [ mk Perturb_imm "multiply immediate" ]
+  | Insn.Cmpri _ -> [ mk Perturb_imm "compare immediate" ]
+  | Insn.Jcc _ ->
+      (* Loop-guard flips (jl/jge on the trip counter) are frequently
+         equivalent mutants in this codegen idiom: the vector loop runs
+         one boundary iteration more or less and the remainder loop
+         silently absorbs the difference.  Only enumerated on demand. *)
+      if unobservable then [ mk Flip_branch "conditional branch" ] else []
+  | _ -> []
+
+let enumerate ?(unobservable = false) (p : Insn.program) : fault list =
+  List.concat (List.mapi (faults_of_insn ~unobservable) p.Insn.prog_insns)
+
+let sample ?(seed = 0) ~max (p : Insn.program) : fault list =
+  let all = enumerate p in
+  let n = List.length all in
+  if n <= max then all
+  else
+    let arr = Array.of_list all in
+    (* evenly spaced, rotated by the seed: deterministic coverage of
+       the whole program rather than a prefix *)
+    List.init max (fun i -> arr.((seed + (i * n / max)) mod n))
+
+let perturb_mem (m : Insn.mem) : Insn.mem = { m with Insn.disp = m.Insn.disp + 8 }
+
+let retarget (v : Reg.vreg) : Reg.vreg = (v + 1) mod Reg.vreg_count
+
+let mutate (f : fault) (i : Insn.t) : Insn.t =
+  let stale () =
+    invalid_arg
+      (Printf.sprintf "Faults.apply: %s does not apply at index %d"
+         (kind_to_string f.f_kind) f.f_index)
+  in
+  match (f.f_kind, i) with
+  | Drop_store, Insn.Vstore _ | Drop_store, Insn.Storeq _ ->
+      Insn.Comment (Printf.sprintf "fault: dropped store @%d" f.f_index)
+  | Swap_operands, Insn.Vop ({ src1; src2; _ } as r) ->
+      Insn.Vop { r with src1 = src2; src2 = src1 }
+  | Perturb_disp, Insn.Vload ({ src; _ } as r) ->
+      Insn.Vload { r with src = perturb_mem src }
+  | Perturb_disp, Insn.Vstore ({ dst; _ } as r) ->
+      Insn.Vstore { r with dst = perturb_mem dst }
+  | Perturb_disp, Insn.Vbroadcast ({ src; _ } as r) ->
+      Insn.Vbroadcast { r with src = perturb_mem src }
+  | Perturb_imm, Insn.Addri (r, imm) -> Insn.Addri (r, imm + 8)
+  | Perturb_imm, Insn.Movri (r, v) -> Insn.Movri (r, v + 1)
+  | Perturb_imm, Insn.Imulri (d, s, imm) -> Insn.Imulri (d, s, imm + 1)
+  | Perturb_imm, Insn.Cmpri (r, imm) -> Insn.Cmpri (r, imm + 8)
+  | Retarget_register, Insn.Vop ({ src2; _ } as r) ->
+      Insn.Vop { r with src2 = retarget src2 }
+  | Retarget_register, Insn.Vfma4 ({ c; _ } as r) ->
+      Insn.Vfma4 { r with c = retarget c }
+  | Flip_branch, Insn.Jcc (c, l) -> Insn.Jcc (flip_cond c, l)
+  | _ -> stale ()
+
+let apply (p : Insn.program) (f : fault) : Insn.program =
+  if f.f_index < 0 || f.f_index >= List.length p.Insn.prog_insns then
+    invalid_arg "Faults.apply: index out of range";
+  {
+    p with
+    Insn.prog_insns =
+      List.mapi
+        (fun idx i -> if idx = f.f_index then mutate f i else i)
+        p.Insn.prog_insns;
+  }

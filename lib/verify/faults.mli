@@ -1,0 +1,54 @@
+(** Fault injection into generated assembly programs.
+
+    The verification harness is itself never tested by normal runs: a
+    harness that compared nothing would still report "ok".  This module
+    deliberately corrupts generated {!Augem_machine.Insn.program}s with
+    single-instruction mutations — dropped stores, swapped
+    non-commutative operands, perturbed displacements and immediates,
+    retargeted registers, flipped branch conditions — so the mutation
+    meta-test can {i measure} the harness's detection rate instead of
+    trusting it.  All enumeration and sampling is deterministic. *)
+
+type kind =
+  | Drop_store  (** delete a vector or scalar store *)
+  | Swap_operands  (** swap src1/src2 of a non-commutative FP op *)
+  | Perturb_disp  (** +8 bytes on a load/store/broadcast displacement *)
+  | Perturb_imm  (** nudge an integer immediate *)
+  | Retarget_register  (** read a different SIMD register *)
+  | Flip_branch  (** off-by-one / inverted branch condition *)
+
+(** One injectable fault: a mutation [f_kind] of the instruction at
+    [f_index] in the program. *)
+type fault = {
+  f_kind : kind;
+  f_index : int;
+  f_descr : string;  (** human-readable site description *)
+}
+
+val kind_to_string : kind -> string
+val describe : fault -> string
+
+(** Every applicable single-instruction fault of the program, in
+    instruction order.  Only sites whose corruption is observable
+    through the kernel's input/output contract are enumerated:
+    prefetches, comments and labels are never mutated, and by default
+    neither are stack-frame bookkeeping stores (callee-saved saves,
+    scratch spills), [rsp] adjustments, or loop-guard branch
+    conditions — mutating those yields {i equivalent mutants} (a
+    dropped spill reloads a zero cell and at worst reroutes work
+    through the always-correct remainder loop; a flipped loop guard
+    shifts one boundary iteration the remainder loop absorbs), which
+    would poison the detection-rate metric with faults no
+    output-comparison oracle can see.  Pass [~unobservable:true] to
+    enumerate those sites anyway. *)
+val enumerate :
+  ?unobservable:bool -> Augem_machine.Insn.program -> fault list
+
+(** A deterministic subset of {!enumerate} of size at most [max],
+    spread evenly across the program ([seed] rotates the choice). *)
+val sample : ?seed:int -> max:int -> Augem_machine.Insn.program -> fault list
+
+(** The mutated program.  Raises [Invalid_argument] if the fault does
+    not apply to the instruction at its index (a stale fault from a
+    different program). *)
+val apply : Augem_machine.Insn.program -> fault -> Augem_machine.Insn.program

@@ -1,0 +1,13 @@
+(* Hardened-verification suites: per-pass differential oracle,
+   fault-injection mutation meta-test, crash-proof tuner diagnostics,
+   and degenerate-shape regressions.  Run via `dune runtest` or the
+   focused `dune build @robustness` alias. *)
+
+let () =
+  Alcotest.run "augem-robustness"
+    [
+      ("oracle", Test_oracle.suite);
+      ("faults", Test_faults.suite);
+      ("tuner-diag", Test_tuner_diag.suite);
+      ("degenerate", Test_degenerate.suite);
+    ]

@@ -1,0 +1,76 @@
+(* Degenerate-shape regression: every tuned kernel on every modelled
+   architecture must survive unit dimensions and zero-length vectors —
+   the shapes where all main loops are skipped and only remainder (or
+   no) code runs. *)
+
+module A = Augem
+module Kernels = A.Ir.Kernels
+module Harness = A.Harness
+
+let all_kernels = Kernels.[ Gemm; Gemv; Axpy; Dot; Ger; Scal; Copy ]
+
+(* Degenerate cases in isolation, on tuned programs. *)
+let test_tuned_kernels_degenerate_cases arch () =
+  List.iter
+    (fun k ->
+      let g = A.tuned ~arch k in
+      List.iter
+        (fun (label, case) ->
+          let outcome = case () in
+          if not outcome.Harness.ok then
+            Alcotest.failf "%s on %s, degenerate %s: %s"
+              (Kernels.name_to_string k)
+              arch.A.Machine.Arch.name label outcome.Harness.detail)
+        (Harness.degenerate_cases k g.A.g_program))
+    all_kernels
+
+(* Full harness (regular shapes + degenerate sweep) on tuned programs. *)
+let test_tuned_kernels_full_verify arch () =
+  List.iter
+    (fun k ->
+      let g = A.tuned ~arch k in
+      let outcome = A.verify g in
+      if not outcome.Harness.ok then
+        Alcotest.failf "%s on %s: %s"
+          (Kernels.name_to_string k)
+          arch.A.Machine.Arch.name outcome.Harness.detail)
+    all_kernels
+
+(* degenerate_cases covers the zero-length edge for every
+   vector-shaped kernel and unit shapes for the rest. *)
+let test_degenerate_case_coverage () =
+  let prog = (A.tuned ~arch:A.Machine.Arch.sandy_bridge Kernels.Axpy).A.g_program in
+  List.iter
+    (fun k ->
+      let labels = List.map fst (Harness.degenerate_cases k prog) in
+      Alcotest.(check bool)
+        (Kernels.name_to_string k ^ " has degenerate cases")
+        true
+        (labels <> []);
+      match k with
+      | Kernels.Gemm -> ()
+      | _ ->
+          Alcotest.(check bool)
+            (Kernels.name_to_string k ^ " covers the empty shape")
+            true
+            (List.mem "n=0" labels))
+    all_kernels
+
+let suite =
+  List.concat_map
+    (fun arch ->
+      [
+        Alcotest.test_case
+          ("degenerate cases, tuned kernels, " ^ arch.A.Machine.Arch.name)
+          `Slow
+          (test_tuned_kernels_degenerate_cases arch);
+        Alcotest.test_case
+          ("full verify, tuned kernels, " ^ arch.A.Machine.Arch.name)
+          `Slow
+          (test_tuned_kernels_full_verify arch);
+      ])
+    A.Machine.Arch.all
+  @ [
+      Alcotest.test_case "degenerate case coverage" `Quick
+        test_degenerate_case_coverage;
+    ]

@@ -1,0 +1,208 @@
+(* The per-pass differential oracle: on healthy pipelines it must stay
+   silent across every kernel and a sweep of configurations; on seeded
+   miscompiles it must convict the exact guilty pass, with a usable IR
+   diff. *)
+
+module A = Augem
+module Ast = A.Ir.Ast
+module Kernels = A.Ir.Kernels
+module Pipeline = A.Transform.Pipeline
+module Oracle = A.Verify.Oracle
+
+let all_kernels =
+  Kernels.[ Gemm; Gemv; Axpy; Dot; Ger; Scal; Copy ]
+
+let config_for k =
+  match k with
+  | Kernels.Gemm -> { Pipeline.default with jam = [ ("j", 4); ("i", 8) ] }
+  | Kernels.Gemv -> { Pipeline.default with inner_unroll = Some ("j", 8) }
+  | Kernels.Dot ->
+      { Pipeline.default with inner_unroll = Some ("i", 8);
+        expand_reduction = Some 8 }
+  | _ -> { Pipeline.default with inner_unroll = Some ("i", 8) }
+
+let test_oracle_clean_on_kernels () =
+  List.iter
+    (fun k ->
+      let source = Kernels.kernel_of_name k in
+      match Oracle.check source (config_for k) with
+      | Ok _ -> ()
+      | Error d ->
+          Alcotest.failf "oracle convicted a healthy pipeline on %s:\n%s"
+            (Kernels.name_to_string k)
+            (Oracle.divergence_to_string d))
+    all_kernels
+
+(* Config sweep: every pass combination the tuner would visit must
+   survive the per-pass check, not just the hand-picked defaults. *)
+let test_oracle_clean_on_config_sweep () =
+  let configs =
+    List.concat_map
+      (fun u ->
+        List.concat_map
+          (fun expand ->
+            List.map
+              (fun pf ->
+                {
+                  Pipeline.default with
+                  inner_unroll = Some ("i", u);
+                  expand_reduction = expand;
+                  prefetch =
+                    Option.map
+                      (fun d ->
+                        { A.Transform.Prefetch.pf_distance = d;
+                          pf_stores = true })
+                      pf;
+                })
+              [ None; Some 4 ])
+          [ None; Some 2 ])
+      [ 2; 4; 7 ]
+  in
+  List.iter
+    (fun k ->
+      let source = Kernels.kernel_of_name k in
+      List.iter
+        (fun config ->
+          match Oracle.check source config with
+          | Ok _ -> ()
+          | Error d ->
+              Alcotest.failf "oracle convicted %s under %s:\n%s"
+                (Kernels.name_to_string k)
+                (Pipeline.config_to_string config)
+                (Oracle.divergence_to_string d))
+        configs)
+    Kernels.[ Axpy; Dot; Scal; Copy ]
+
+(* A deliberately miscompiling pass: turns every addition inside loop
+   bodies into a subtraction.  The oracle must name it, blame the right
+   index, and produce a diff. *)
+let evil_pass (k : Ast.kernel) : Ast.kernel =
+  let rec fix_expr (e : Ast.expr) : Ast.expr =
+    match e with
+    | Ast.Binop (Ast.Add, a, b) -> Ast.Binop (Ast.Sub, fix_expr a, fix_expr b)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, fix_expr a, fix_expr b)
+    | Ast.Neg a -> Ast.Neg (fix_expr a)
+    (* leave subscripts alone: corrupting them turns a clean numeric
+       divergence into an out-of-bounds interpreter fault *)
+    | Ast.Index _ -> e
+    | e -> e
+  in
+  let rec fix_stmt (s : Ast.stmt) : Ast.stmt =
+    match s with
+    | Ast.For (h, body) ->
+        Ast.For
+          ( h,
+            List.map
+              (function
+                | Ast.Assign (lv, e) -> Ast.Assign (lv, fix_expr e)
+                | s -> fix_stmt s)
+              body )
+    | Ast.Tagged (t, body) -> Ast.Tagged (t, List.map fix_stmt body)
+    | s -> s
+  in
+  { k with Ast.k_body = List.map fix_stmt k.Ast.k_body }
+
+let splice_after (name : string) (pass : Ast.kernel -> Ast.kernel)
+    (after : int) (passes : (string * (Ast.kernel -> Ast.kernel)) list) =
+  List.concat
+    (List.mapi
+       (fun i p -> if i = after then [ p; (name, pass) ] else [ p ])
+       passes)
+
+let test_oracle_pinpoints_seeded_miscompile () =
+  let source = Kernels.kernel_of_name Kernels.Axpy in
+  let config = config_for Kernels.Axpy in
+  let passes =
+    splice_after "evil-add-to-sub" evil_pass 0 (Pipeline.passes config)
+  in
+  let inputs = Oracle.default_inputs source in
+  match Oracle.check_passes ~inputs source passes with
+  | Ok _ -> Alcotest.fail "oracle missed the seeded miscompile"
+  | Error d ->
+      Alcotest.(check string) "guilty pass named" "evil-add-to-sub" d.Oracle.div_pass;
+      Alcotest.(check int) "guilty pass index" 1 d.Oracle.div_pass_index;
+      (match d.Oracle.div_reason with
+      | Oracle.R_diverged _ -> ()
+      | r ->
+          Alcotest.failf "expected divergence, got: %s"
+            (Oracle.reason_to_string r));
+      Alcotest.(check bool) "diff mentions the rewrite" true
+        (String.length d.Oracle.div_diff > 0)
+
+(* A pass that emits an ill-typed kernel must be convicted by the
+   re-typecheck, not flow downstream. *)
+let test_oracle_catches_type_breakage () =
+  let break_types (k : Ast.kernel) : Ast.kernel =
+    {
+      k with
+      Ast.k_body =
+        k.Ast.k_body @ [ Ast.Assign (Ast.Lvar "no_such_variable", Ast.Int_lit 0) ];
+    }
+  in
+  let source = Kernels.kernel_of_name Kernels.Scal in
+  let config = config_for Kernels.Scal in
+  let passes =
+    splice_after "evil-type-breaker" break_types 1 (Pipeline.passes config)
+  in
+  match Oracle.check_passes ~inputs:(Oracle.default_inputs source) source passes with
+  | Ok _ -> Alcotest.fail "oracle accepted an ill-typed intermediate kernel"
+  | Error d -> (
+      Alcotest.(check string) "guilty pass named" "evil-type-breaker"
+        d.Oracle.div_pass;
+      match d.Oracle.div_reason with
+      | Oracle.R_type_error _ -> ()
+      | r ->
+          Alcotest.failf "expected type error, got: %s"
+            (Oracle.reason_to_string r))
+
+(* A crashing pass is convicted as a crash, with the sweep intact. *)
+let test_oracle_catches_crashing_pass () =
+  let crash (_ : Ast.kernel) : Ast.kernel = failwith "synthetic pass crash" in
+  let source = Kernels.kernel_of_name Kernels.Copy in
+  let config = config_for Kernels.Copy in
+  let passes = splice_after "evil-crasher" crash 0 (Pipeline.passes config) in
+  match Oracle.check_passes ~inputs:(Oracle.default_inputs source) source passes with
+  | Ok _ -> Alcotest.fail "oracle accepted a crashing pass"
+  | Error d -> (
+      Alcotest.(check string) "guilty pass named" "evil-crasher" d.Oracle.div_pass;
+      match d.Oracle.div_reason with
+      | Oracle.R_crash m ->
+          Alcotest.(check bool) "crash message preserved" true
+            (String.length m > 0)
+      | r ->
+          Alcotest.failf "expected crash, got: %s" (Oracle.reason_to_string r))
+
+(* apply_checked agrees with Pipeline.apply on healthy pipelines. *)
+let test_apply_checked_matches_apply () =
+  List.iter
+    (fun k ->
+      let source = Kernels.kernel_of_name k in
+      let config = config_for k in
+      match Oracle.apply_checked source config with
+      | Error d ->
+          Alcotest.failf "apply_checked rejected %s: %s"
+            (Kernels.name_to_string k)
+            (Oracle.divergence_to_string d)
+      | Ok checked ->
+          let plain = Pipeline.apply source config in
+          Alcotest.(check string)
+            (Kernels.name_to_string k ^ ": same result as Pipeline.apply")
+            (A.Ir.Pp.kernel_to_string plain)
+            (A.Ir.Pp.kernel_to_string checked))
+    all_kernels
+
+let suite =
+  [
+    Alcotest.test_case "oracle clean on all kernels" `Quick
+      test_oracle_clean_on_kernels;
+    Alcotest.test_case "oracle clean on config sweep" `Slow
+      test_oracle_clean_on_config_sweep;
+    Alcotest.test_case "oracle pinpoints seeded miscompile" `Quick
+      test_oracle_pinpoints_seeded_miscompile;
+    Alcotest.test_case "oracle catches ill-typed pass output" `Quick
+      test_oracle_catches_type_breakage;
+    Alcotest.test_case "oracle convicts crashing pass" `Quick
+      test_oracle_catches_crashing_pass;
+    Alcotest.test_case "apply_checked matches Pipeline.apply" `Quick
+      test_apply_checked_matches_apply;
+  ]
