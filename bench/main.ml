@@ -10,9 +10,16 @@
 
    For each experiment the same series/rows the paper reports are
    printed, followed by the mean speedup summary (the numbers quoted in
-   the paper's prose).  A Bechamel micro-benchmark of the code path
-   behind each experiment runs at the end (one Test.make per table and
-   figure).
+   the paper's prose), and a machine-readable BENCH_<exp>.json artifact
+   is written next to the tables (--json-out picks the directory), so
+   every revision leaves a perf trajectory to compare against.  A timed
+   tuning-sweep section measures the sweep's wall-clock and
+   candidates/sec at --jobs 1 and --jobs N (BENCH_sweep.json).  A
+   Bechamel micro-benchmark of the code path behind each experiment
+   runs at the end (one Test.make per table and figure).
+
+   --smoke runs a reduced grid (small Figure 18 + one small sweep,
+   JSON emitted and validated by the @bench-smoke alias) for CI.
 
    Numbers come from the cycle-level + bandwidth model of the two
    modelled CPUs (see DESIGN.md): absolute values are the model's, the
@@ -25,9 +32,22 @@ module Kernels = A.Ir.Kernels
 module Lib = A.Library
 module Perf = A.Sim.Perf
 module Report = A.Report
+module Json = A.Json
+module Tuner = A.Tuner
 module Routine = Augem_baselines.Routine_model
 
 let archs = [ Arch.sandy_bridge; Arch.piledriver ]
+
+(* --- flags --------------------------------------------------------------- *)
+
+let json_out = ref "."
+let jobs_flag = ref (A.Pool.default_jobs ())
+let smoke = ref false
+
+let write_json name (v : Json.t) =
+  let path = Filename.concat !json_out ("BENCH_" ^ name ^ ".json") in
+  Json.to_file path v;
+  Fmt.pr "wrote %s@." path
 
 let range lo hi step =
   let rec go x acc = if x > hi then List.rev acc else go (x + step) (x :: acc) in
@@ -55,26 +75,83 @@ let sweep ~(kernel : Kernels.name) ~(workload : int -> Perf.workload)
       })
     (libraries_for arch)
 
-let figure ~num ~title ~kernel ~workload ~sizes ~x_label =
-  List.iteri
-    (fun i arch ->
-      let sub = if i = 0 then "a" else "b" in
-      let series = sweep ~kernel ~workload ~sizes arch in
-      Report.pp_series_table Fmt.stdout
-        ~title:
-          (Printf.sprintf "Figure %d%s: %s on %s (MFLOPS)" num sub title
-             arch.Arch.model)
-        ~x_label series;
-      Report.pp_bars Fmt.stdout series;
-      Fmt.pr "mean speedups (paper quotes these):@.";
-      Report.pp_speedups Fmt.stdout ~baseline:"AUGEM" series;
-      Fmt.pr "@.")
-    archs
+let json_of_series (s : Report.series) : Json.t =
+  Json.Obj
+    [
+      ("label", Json.String s.Report.s_label);
+      ( "points",
+        Json.List
+          (List.map
+             (fun (x, y) ->
+               Json.Obj [ ("size", Json.Int x); ("mflops", Json.Float y) ])
+             s.Report.s_points) );
+      ("mean_mflops", Json.Float (Report.series_mean s));
+    ]
 
-let fig18 () =
+(* The paper's prose numbers: AUGEM's mean over a figure vs each other
+   library's. *)
+let json_of_speedups ~(baseline : string) (series : Report.series list) :
+    Json.t =
+  match
+    List.find_opt (fun s -> String.equal s.Report.s_label baseline) series
+  with
+  | None -> Json.List []
+  | Some base ->
+      let b = Report.series_mean base in
+      Json.List
+        (List.filter_map
+           (fun s ->
+             if String.equal s.Report.s_label baseline then None
+             else
+               let m = Report.series_mean s in
+               if m <= 0. then None
+               else
+                 Some
+                   (Json.Obj
+                      [
+                        ("baseline", Json.String baseline);
+                        ("vs", Json.String s.Report.s_label);
+                        ("percent", Json.Float ((b /. m -. 1.) *. 100.));
+                      ]))
+           series)
+
+let figure ~num ~title ~kernel ~workload ~sizes ~x_label : Json.t =
+  let arch_objs =
+    List.mapi
+      (fun i arch ->
+        let sub = if i = 0 then "a" else "b" in
+        let series = sweep ~kernel ~workload ~sizes arch in
+        Report.pp_series_table Fmt.stdout
+          ~title:
+            (Printf.sprintf "Figure %d%s: %s on %s (MFLOPS)" num sub title
+               arch.Arch.model)
+          ~x_label series;
+        Report.pp_bars Fmt.stdout series;
+        Fmt.pr "mean speedups (paper quotes these):@.";
+        Report.pp_speedups Fmt.stdout ~baseline:"AUGEM" series;
+        Fmt.pr "@.";
+        Json.Obj
+          [
+            ("arch", Json.String arch.Arch.name);
+            ("model", Json.String arch.Arch.model);
+            ("series", Json.List (List.map json_of_series series));
+            ("speedups", json_of_speedups ~baseline:"AUGEM" series);
+          ])
+      archs
+  in
+  Json.Obj
+    [
+      ("experiment", Json.String (Printf.sprintf "fig%d" num));
+      ("title", Json.String title);
+      ("kernel", Json.String (Kernels.name_to_string kernel));
+      ("x_label", Json.String x_label);
+      ("arches", Json.List arch_objs);
+    ]
+
+let fig18 ?(sizes = range 1024 6144 256) () =
   figure ~num:18 ~title:"DGEMM (m=n, k=256)" ~kernel:Kernels.Gemm
     ~workload:(fun m -> Perf.W_gemm { m; n = m; k = 256 })
-    ~sizes:(range 1024 6144 256) ~x_label:"m=n"
+    ~sizes ~x_label:"m=n"
 
 let fig19 () =
   figure ~num:19 ~title:"DGEMV (m=n)" ~kernel:Kernels.Gemv
@@ -93,25 +170,163 @@ let fig21 () =
 
 (* --- Table 6 ------------------------------------------------------------- *)
 
-let table6 () =
-  List.iter
+let table6 () : Json.t =
+  let arch_objs =
+    List.map
+      (fun arch ->
+        let libs = libraries_for arch in
+        let cells =
+          List.map
+            (fun r ->
+              ( r,
+                List.map (fun (id, _) -> (id, Routine.average id arch r)) libs
+              ))
+            Routine.all
+        in
+        Report.pp_table Fmt.stdout
+          ~title:
+            (Printf.sprintf
+               "Table 6: AUGEM vs other BLAS libraries on %s (Mflops, mean)"
+               arch.Arch.model)
+          ~header:(List.map snd libs)
+          (List.map
+             (fun (r, row) ->
+               ( Routine.name r,
+                 List.map (fun (_, v) -> Printf.sprintf "%.2f" v) row ))
+             cells);
+        Fmt.pr "@.";
+        Json.Obj
+          [
+            ("arch", Json.String arch.Arch.name);
+            ("model", Json.String arch.Arch.model);
+            ( "rows",
+              Json.List
+                (List.map
+                   (fun (r, row) ->
+                     Json.Obj
+                       [
+                         ("routine", Json.String (Routine.name r));
+                         ( "mean_mflops",
+                           Json.Obj
+                             (List.map
+                                (fun (id, v) ->
+                                  (Lib.display_name arch id, Json.Float v))
+                                row) );
+                       ])
+                   cells) );
+          ])
+      archs
+  in
+  Json.Obj
+    [
+      ("experiment", Json.String "table6");
+      ("title", Json.String "AUGEM vs other BLAS libraries (Mflops, mean)");
+      ("arches", Json.List arch_objs);
+    ]
+
+(* --- timed tuning sweep ---------------------------------------------------- *)
+
+(* Fresh (unmemoized) sweeps over (arch, kernel) pairs, timed at
+   jobs=1 and at the requested job count: the ROADMAP's perf
+   trajectory for the tuner itself.  Results are checked identical
+   across job counts — the parallel sweep's determinism contract,
+   enforced here on every bench run, not just in the test suite. *)
+let tuning_sweep ~(jobs : int) (pairs : (Arch.t * Kernels.name) list) : Json.t
+    =
+  Fmt.pr "== Tuning sweep: wall-clock and candidates/sec ==@.";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let run_all jobs =
+    List.map (fun (arch, k) -> Tuner.tune ~jobs arch k) pairs
+  in
+  let seq_results, seq_wall = time (fun () -> run_all 1) in
+  let candidates =
+    List.fold_left (fun acc r -> acc + r.Tuner.visited) 0 seq_results
+  in
+  let par_results, par_wall =
+    if jobs > 1 then time (fun () -> run_all jobs)
+    else (seq_results, seq_wall)
+  in
+  (* determinism gate: identical winners, scores and histograms *)
+  List.iteri
+    (fun i (seq, par) ->
+      let arch, k = List.nth pairs i in
+      if
+        not
+          (seq.Tuner.best = par.Tuner.best
+          && seq.Tuner.best_score = par.Tuner.best_score
+          && seq.Tuner.failure_histogram = par.Tuner.failure_histogram)
+      then begin
+        Fmt.pr "DETERMINISM FAIL: %s/%s differs between jobs=1 and jobs=%d@."
+          arch.Arch.name (Kernels.name_to_string k) jobs;
+        exit 1
+      end)
+    (List.combine seq_results par_results);
+  Fmt.pr "%-14s %-8s %10s %10s %9s  %s@." "arch" "kernel" "visited"
+    "discarded" "MFLOPS" "best configuration";
+  List.iter2
+    (fun (arch, k) r ->
+      Fmt.pr "%-14s %-8s %10d %10d %9.0f  %s@." arch.Arch.name
+        (Kernels.name_to_string k) r.Tuner.visited r.Tuner.discarded
+        r.Tuner.best_score
+        (A.Transform.Pipeline.config_to_string
+           r.Tuner.best.Tuner.cand_config))
+    pairs seq_results;
+  let rate wall = float_of_int candidates /. Float.max wall 1e-9 in
+  let timing jobs wall =
+    Fmt.pr "jobs=%-2d  %d candidates in %.3f s  (%.1f candidates/sec)@." jobs
+      candidates wall (rate wall);
+    Json.Obj
+      [
+        ("jobs", Json.Int jobs);
+        ("wall_s", Json.Float wall);
+        ("candidates", Json.Int candidates);
+        ("candidates_per_sec", Json.Float (rate wall));
+      ]
+  in
+  let timings =
+    if jobs > 1 then [ timing 1 seq_wall; timing jobs par_wall ]
+    else [ timing 1 seq_wall ]
+  in
+  let speedup = seq_wall /. Float.max par_wall 1e-9 in
+  if jobs > 1 then
+    Fmt.pr "parallel sweep speedup (jobs=%d over jobs=1): %.2fx@." jobs
+      speedup;
+  Fmt.pr "@.";
+  Json.Obj
+    [
+      ("experiment", Json.String "sweep");
+      ("jobs", Json.Int jobs);
+      ( "runs",
+        Json.List
+          (List.map2
+             (fun (arch, k) r ->
+               Json.Obj
+                 [
+                   ("arch", Json.String arch.Arch.name);
+                   ("kernel", Json.String (Kernels.name_to_string k));
+                   ("visited", Json.Int r.Tuner.visited);
+                   ("discarded", Json.Int r.Tuner.discarded);
+                   ("fell_back", Json.Bool r.Tuner.fell_back);
+                   ( "best_config",
+                     Json.String
+                       (A.Transform.Pipeline.config_to_string
+                          r.Tuner.best.Tuner.cand_config) );
+                   ("best_mflops", Json.Float r.Tuner.best_score);
+                 ])
+             pairs seq_results) );
+      ("timings", Json.List timings);
+      ("speedup", Json.Float speedup);
+    ]
+
+let all_pairs () =
+  List.concat_map
     (fun arch ->
-      let libs = libraries_for arch in
-      Report.pp_table Fmt.stdout
-        ~title:
-          (Printf.sprintf
-             "Table 6: AUGEM vs other BLAS libraries on %s (Mflops, mean)"
-             arch.Arch.model)
-        ~header:(List.map snd libs)
-        (List.map
-           (fun r ->
-             ( Routine.name r,
-               List.map
-                 (fun (id, _) ->
-                   Printf.sprintf "%.2f" (Routine.average id arch r))
-                 libs ))
-           Routine.all);
-      Fmt.pr "@.")
+      List.map (fun k -> (arch, k))
+        Kernels.[ Gemm; Gemv; Axpy; Dot; Ger; Scal; Copy ])
     archs
 
 (* --- correctness gate ------------------------------------------------------ *)
@@ -313,18 +528,47 @@ let run_bechamel () =
 
 (* --- main ------------------------------------------------------------------ *)
 
-let () =
-  Fmt.pr "AUGEM reproduction benchmark harness@.";
-  Fmt.pr "(modelled CPUs; shapes reproduce the paper's figures/tables)@.@.";
+let run_full () =
   verify_everything ();
   Fmt.pr "@.";
   table5 ();
   Fmt.pr "@.";
-  fig18 ();
-  fig19 ();
-  fig20 ();
-  fig21 ();
-  table6 ();
+  write_json "fig18" (fig18 ());
+  write_json "fig19" (fig19 ());
+  write_json "fig20" (fig20 ());
+  write_json "fig21" (fig21 ());
+  write_json "table6" (table6 ());
+  write_json "sweep" (tuning_sweep ~jobs:!jobs_flag (all_pairs ()));
   ablations ();
   portability ();
   run_bechamel ()
+
+(* Reduced run for CI (@bench-smoke): a small Figure 18 grid and one
+   small sweep, emitting the same JSON artifacts the full run does. *)
+let run_smoke () =
+  write_json "fig18" (fig18 ~sizes:[ 1024; 1536 ] ());
+  write_json "sweep"
+    (tuning_sweep ~jobs:!jobs_flag
+       [ (Arch.sandy_bridge, Kernels.Axpy); (Arch.piledriver, Kernels.Dot) ])
+
+let () =
+  let usage = "bench/main.exe [--json-out DIR] [--jobs N] [--smoke]" in
+  Arg.parse
+    [
+      ( "--json-out",
+        Arg.Set_string json_out,
+        "DIR  write BENCH_*.json artifacts into DIR (default: .)" );
+      ( "--jobs",
+        Arg.Set_int jobs_flag,
+        "N  tuning-sweep parallelism (default: recommended domain count)" );
+      ( "--smoke",
+        Arg.Set smoke,
+        "  reduced CI run: small Figure 18 grid + one small sweep" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage;
+  jobs_flag := max 1 !jobs_flag;
+  Tuner.set_jobs !jobs_flag;
+  Fmt.pr "AUGEM reproduction benchmark harness@.";
+  Fmt.pr "(modelled CPUs; shapes reproduce the paper's figures/tables)@.@.";
+  if !smoke then run_smoke () else run_full ()

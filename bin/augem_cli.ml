@@ -154,26 +154,109 @@ let generate_cmd =
       const run $ arch_arg $ kernel_arg $ jam_arg $ unroll_arg $ prefetch_arg
       $ script_arg)
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Shard the tuning sweep across $(docv) domains.  Results are \
+           bit-identical for every job count (candidates are evaluated in \
+           parallel; the best-candidate selection stays sequential in \
+           candidate order).  0 means the recommended domain count for this \
+           machine.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist tuning results under $(docv) (content-addressed by \
+           architecture, kernel, search-space fingerprint and tuner \
+           version), and reuse them across runs.  Also settable via \
+           AUGEM_CACHE_DIR.  A corrupt cache file is treated as a miss, \
+           never an error.")
+
+let json_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a machine-readable JSON record of the tuning run (best \
+           configuration, score, discard histogram, wall-clock, \
+           candidates/sec, cache statistics) to $(docv).")
+
 let tune_cmd =
-  let run arch kernel =
-    let r = A.Tuner.tune arch kernel in
+  let run arch kernel jobs cache_dir json_out =
+    let jobs = if jobs <= 0 then A.Pool.default_jobs () else jobs in
+    (match cache_dir with Some _ -> A.Tuner.set_cache_dir cache_dir | None -> ());
+    let t0 = Unix.gettimeofday () in
+    let r = A.Tuner.tuned ~jobs arch kernel in
+    let wall = Unix.gettimeofday () -. t0 in
     Fmt.pr "best configuration: %s@."
       (A.Transform.Pipeline.config_to_string
          r.A.Tuner.best.A.Tuner.cand_config);
     Fmt.pr "predicted: %.0f MFLOPS (visited %d configurations, %d discarded)@."
       r.A.Tuner.best_score r.A.Tuner.visited r.A.Tuner.discarded;
+    Fmt.pr "sweep: %.3f s at jobs=%d (%.1f candidates/sec)@." wall jobs
+      (float_of_int r.A.Tuner.visited /. Float.max wall 1e-9);
+    let cs = A.Tuning_cache.stats in
+    if cache_dir <> None || A.Tuner.cache_dir () <> None then
+      Fmt.pr "cache: %d hit(s), %d miss(es), %d corrupt, %d store(s)@."
+        cs.A.Tuning_cache.hits cs.A.Tuning_cache.misses
+        cs.A.Tuning_cache.corrupt cs.A.Tuning_cache.stores;
     if r.A.Tuner.fell_back then
       Fmt.pr "WARNING: whole space discarded; safe baseline in use@.";
     if r.A.Tuner.failure_histogram <> [] then
       Fmt.pr "discard reasons:@.%a@." A.Verify.Diag.pp_histogram
         r.A.Tuner.failure_histogram;
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        A.Json.to_file path
+          (A.Json.Obj
+             [
+               ("arch", A.Json.String arch.A.Machine.Arch.name);
+               ("kernel", A.Json.String (A.Ir.Kernels.name_to_string kernel));
+               ("jobs", A.Json.Int jobs);
+               ("visited", A.Json.Int r.A.Tuner.visited);
+               ("discarded", A.Json.Int r.A.Tuner.discarded);
+               ("fell_back", A.Json.Bool r.A.Tuner.fell_back);
+               ( "best_config",
+                 A.Json.String
+                   (A.Transform.Pipeline.config_to_string
+                      r.A.Tuner.best.A.Tuner.cand_config) );
+               ("best_mflops", A.Json.Float r.A.Tuner.best_score);
+               ("wall_s", A.Json.Float wall);
+               ( "candidates_per_sec",
+                 A.Json.Float
+                   (float_of_int r.A.Tuner.visited /. Float.max wall 1e-9) );
+               ( "failure_histogram",
+                 A.Json.Obj
+                   (List.map
+                      (fun (code, n) -> (code, A.Json.Int n))
+                      r.A.Tuner.failure_histogram) );
+               ( "cache",
+                 A.Json.Obj
+                   [
+                     ("hits", A.Json.Int cs.A.Tuning_cache.hits);
+                     ("misses", A.Json.Int cs.A.Tuning_cache.misses);
+                     ("corrupt", A.Json.Int cs.A.Tuning_cache.corrupt);
+                     ("stores", A.Json.Int cs.A.Tuning_cache.stores);
+                   ] );
+             ]);
+        Fmt.pr "wrote %s@." path);
     let g = A.tuned ~arch kernel in
     let v = A.verify g in
     Fmt.pr "verification: %s@." v.A.Harness.detail
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Auto-tune a kernel and report the best configuration")
-    Term.(const run $ arch_arg $ kernel_arg)
+    Term.(
+      const run $ arch_arg $ kernel_arg $ jobs_arg $ cache_dir_arg
+      $ json_out_arg)
 
 let phases_cmd =
   let run arch kernel jam unroll prefetch script =

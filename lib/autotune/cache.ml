@@ -1,0 +1,125 @@
+(* Persistent on-disk tuning cache: content-addressed, checksummed,
+   atomic, and crash-proof on every load/store path.  See cache.mli. *)
+
+module Diag = Augem_verify.Diag
+
+let magic = "AUGEM-TUNE-CACHE 1"
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable corrupt : int;
+  mutable stores : int;
+  mutable store_errors : int;
+}
+
+let stats = { hits = 0; misses = 0; corrupt = 0; stores = 0; store_errors = 0 }
+let stats_mutex = Mutex.create ()
+let bump f = Mutex.protect stats_mutex (fun () -> f stats)
+
+let keydesc ~version ~arch ~kernel ~fingerprint =
+  Printf.sprintf "tuner=%s arch=%s kernel=%s space=%s" version arch kernel
+    fingerprint
+
+let digest ~version ~arch ~kernel ~fingerprint =
+  Digest.to_hex
+    (Digest.string (magic ^ "\x00" ^ keydesc ~version ~arch ~kernel ~fingerprint))
+
+let path ~dir ~digest = Filename.concat dir ("augem-tune-" ^ digest ^ ".cache")
+
+let mk_diag ~arch ~kernel detail =
+  Diag.make ~code:Diag.E_cache_corrupt ~stage:Diag.S_cache ~kernel ~arch
+    ~config:"-" ~detail
+
+type 'v load_result =
+  | Hit of 'v
+  | Miss
+  | Corrupt of Diag.t
+
+(* The three header lines preceding the marshalled payload. *)
+let header ~keydesc ~payload =
+  Printf.sprintf "%s\n%s\n%s\n" magic keydesc (Digest.to_hex (Digest.string payload))
+
+let load ~dir ~arch ~kernel ~keydesc:kd ~digest =
+  let file = path ~dir ~digest in
+  if not (Sys.file_exists file) then begin
+    bump (fun s -> s.misses <- s.misses + 1);
+    Miss
+  end
+  else
+    let corrupt detail =
+      bump (fun s -> s.corrupt <- s.corrupt + 1);
+      Corrupt (mk_diag ~arch ~kernel (Printf.sprintf "%s: %s" file detail))
+    in
+    match In_channel.with_open_bin file In_channel.input_all with
+    | exception e -> corrupt (Printexc.to_string e)
+    | contents -> (
+        (* split the three header lines off without touching the
+           payload bytes (which are binary and may contain '\n') *)
+        let line_end from =
+          match String.index_from_opt contents from '\n' with
+          | Some i -> Some (String.sub contents from (i - from), i + 1)
+          | None -> None
+        in
+        match line_end 0 with
+        | None -> corrupt "missing header"
+        | Some (l1, p1) -> (
+            match line_end p1 with
+            | None -> corrupt "missing key line"
+            | Some (l2, p2) -> (
+                match line_end p2 with
+                | None -> corrupt "missing checksum line"
+                | Some (l3, p3) ->
+                    let payload =
+                      String.sub contents p3 (String.length contents - p3)
+                    in
+                    if not (String.equal l1 magic) then
+                      corrupt (Printf.sprintf "bad magic %S" l1)
+                    else if not (String.equal l2 kd) then
+                      (* digest collision or hand-edited file: the
+                         payload belongs to some other key (and maybe
+                         some other type) — do not unmarshal it *)
+                      corrupt (Printf.sprintf "key mismatch: %S" l2)
+                    else if
+                      not
+                        (String.equal l3
+                           (Digest.to_hex (Digest.string payload)))
+                    then corrupt "payload checksum mismatch"
+                    else begin
+                      match Marshal.from_string payload 0 with
+                      | v ->
+                          bump (fun s -> s.hits <- s.hits + 1);
+                          Hit v
+                      | exception e -> corrupt (Printexc.to_string e)
+                    end)))
+
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if
+      (not (String.equal parent dir))
+      && not (String.equal parent Filename.current_dir_name)
+    then ensure_dir parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> () (* lost a racing mkdir *)
+  end
+
+let store ~dir ~arch ~kernel ~keydesc:kd ~digest v =
+  match
+    ensure_dir dir;
+    let payload = Marshal.to_string v [] in
+    let tmp = Filename.temp_file ~temp_dir:dir "augem-tune-" ".tmp" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+      (fun () ->
+        Out_channel.with_open_bin tmp (fun oc ->
+            Out_channel.output_string oc (header ~keydesc:kd ~payload);
+            Out_channel.output_string oc payload);
+        Sys.rename tmp (path ~dir ~digest))
+  with
+  | () ->
+      bump (fun s -> s.stores <- s.stores + 1);
+      None
+  | exception e ->
+      bump (fun s -> s.store_errors <- s.store_errors + 1);
+      Some (mk_diag ~arch ~kernel ("store failed: " ^ Printexc.to_string e))

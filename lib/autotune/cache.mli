@@ -1,0 +1,80 @@
+(** Persistent on-disk tuning cache.
+
+    Tuning results are content-addressed: the file name is a digest of
+    (format magic, tuner version, architecture name, kernel name,
+    search-space fingerprint), so {i any} change to what a sweep would
+    explore — a new tuner release, a different candidate space, another
+    machine model — lands on a different file and old entries simply
+    stop being found.  Nothing is ever invalidated in place.
+
+    The file format is a plain-text header (magic + the full key
+    description + an MD5 checksum of the payload) followed by a
+    [Marshal] payload.  Loading tolerates every corruption mode —
+    truncation, garbage, a foreign key colliding on the digest, an
+    unreadable file: each is a {i miss} plus a structured
+    {!Augem_verify.Diag.t} ([E_cache_corrupt @ cache]), never an
+    exception.
+
+    Stores are atomic (temp file in the same directory + [Sys.rename]),
+    so concurrent writers racing on one key leave a valid file — last
+    writer wins, and both wrote the same bytes anyway because tuning is
+    deterministic.
+
+    The value type is the caller's ([Marshal] is untyped); the header's
+    key-description check is what makes reading a foreign value back at
+    the wrong type practically impossible.  Callers must only store
+    closure-free values. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;  (** no file for the digest *)
+  mutable corrupt : int;  (** file present but unloadable: also a miss *)
+  mutable stores : int;
+  mutable store_errors : int;  (** failed writes (also never raised) *)
+}
+
+(** Process-wide counters, updated thread-safely. *)
+val stats : stats
+
+(** Digest of the full cache key; the content address. *)
+val digest :
+  version:string -> arch:string -> kernel:string -> fingerprint:string -> string
+
+(** The human-readable key description embedded in (and checked
+    against) the file header. *)
+val keydesc :
+  version:string -> arch:string -> kernel:string -> fingerprint:string -> string
+
+(** The cache file path for a digest under a cache directory. *)
+val path : dir:string -> digest:string -> string
+
+type 'v load_result =
+  | Hit of 'v
+  | Miss  (** no entry for this digest *)
+  | Corrupt of Augem_verify.Diag.t  (** unloadable entry: treat as a miss *)
+
+(** [load ~dir ~arch ~kernel ~keydesc ~digest] reads the entry for
+    [digest], verifying magic, key description and payload checksum.
+    [arch]/[kernel] only label the diagnostic on the corrupt path.
+    Never raises. *)
+val load :
+  dir:string ->
+  arch:string ->
+  kernel:string ->
+  keydesc:string ->
+  digest:string ->
+  'v load_result
+
+(** [store ~dir ~arch ~kernel ~keydesc ~digest v] writes the entry
+    atomically, creating [dir] (and parents) if needed.  Returns a
+    diagnostic instead of raising when the write fails (read-only
+    directory, disk full, ...): a cache that cannot persist degrades to
+    a cache that never hits. *)
+val store :
+  dir:string ->
+  arch:string ->
+  kernel:string ->
+  keydesc:string ->
+  digest:string ->
+  'v ->
+  Augem_verify.Diag.t option

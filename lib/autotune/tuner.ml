@@ -22,6 +22,7 @@ open Augem_transform
 module Arch = Augem_machine.Arch
 module Insn = Augem_machine.Insn
 module Diag = Augem_verify.Diag
+module Pool = Augem_parallel.Pool
 
 type candidate = {
   cand_config : Pipeline.config;
@@ -183,12 +184,31 @@ let generate_candidate_diag (arch : Arch.t) ?(max_insns = default_max_insns)
       in
       Error (mk code stage detail)
 
-(* Back-compatible option view. *)
-let generate_candidate (arch : Arch.t) (kernel : Ast.kernel) (c : candidate) :
+(* Back-compatible option view.  The kernel name labelling its
+   diagnostics used to be hardcoded to Gemm, mislabelling every
+   non-GEMM kernel tuned through this path; it is now inferred from the
+   kernel's own function name (or passed explicitly via [?kname] for
+   kernels outside the built-in set).  [?on_diag] observes the
+   diagnostic the option view would otherwise swallow. *)
+let infer_kname (kernel : Ast.kernel) : Kernels.name option =
+  List.find_map
+    (fun (n, k) ->
+      if String.equal k.Ast.k_name kernel.Ast.k_name then Some n else None)
+    Kernels.all
+
+let generate_candidate ?kname ?(on_diag = fun (_ : Diag.t) -> ())
+    (arch : Arch.t) (kernel : Ast.kernel) (c : candidate) :
     Insn.program option =
-  match generate_candidate_diag arch Kernels.Gemm kernel c with
+  let kname =
+    match kname with
+    | Some n -> n
+    | None -> Option.value ~default:Kernels.Gemm (infer_kname kernel)
+  in
+  match generate_candidate_diag arch kname kernel c with
   | Ok prog -> Some prog
-  | Error _ -> None
+  | Error d ->
+      on_diag d;
+      None
 
 let score_diag (arch : Arch.t) (kname : Kernels.name) (c : candidate)
     (prog : Insn.program) (w : Augem_sim.Perf.workload) :
@@ -212,14 +232,41 @@ let score (arch : Arch.t) (prog : Insn.program) (w : Augem_sim.Perf.workload) :
   | e -> Some e.Augem_sim.Perf.e_mflops
   | exception Augem_sim.Perf.No_hot_loop _ -> None
 
+(* Process-wide sweep parallelism: [tune ~jobs] overrides per call;
+   [set_jobs] (or the AUGEM_JOBS environment variable) sets the default
+   for every sweep, including the internal ones behind the library
+   models.  1 = fully sequential, no domain ever spawned. *)
+let default_jobs_ref =
+  ref
+    (match Option.bind (Sys.getenv_opt "AUGEM_JOBS") int_of_string_opt with
+    | Some j when j >= 1 -> j
+    | _ -> 1)
+
+let set_jobs j = default_jobs_ref := max 1 j
+let jobs () = !default_jobs_ref
+
+(* One candidate, generated and scored: the unit of parallel work.
+   Pure — all pipeline/codegen/model state is per call — so shards of
+   the space can evaluate on separate domains. *)
+let evaluate_candidate (arch : Arch.t) ~max_insns (name : Kernels.name)
+    (kernel : Ast.kernel) (workload : Augem_sim.Perf.workload)
+    (cand : candidate) : (Insn.program * float, Diag.t) Stdlib.result =
+  match generate_candidate_diag arch ~max_insns name kernel cand with
+  | Error d -> Error d
+  | Ok prog -> (
+      match score_diag arch name cand prog workload with
+      | Error d -> Error d
+      | Ok s -> Ok (prog, s))
+
 let tune ?(workload : Augem_sim.Perf.workload option)
     ?(space : candidate list option) ?(max_insns = default_max_insns)
-    (arch : Arch.t) (name : Kernels.name) : result =
+    ?(jobs : int option) (arch : Arch.t) (name : Kernels.name) : result =
   let kernel = Kernels.kernel_of_name name in
   let workload =
     match workload with Some w -> w | None -> reference_workload name
   in
   let space = match space with Some s -> s | None -> space_for name in
+  let jobs = match jobs with Some j -> max 1 j | None -> !default_jobs_ref in
   let visited = ref 0 in
   let failures = ref [] in
   let best = ref None in
@@ -227,24 +274,31 @@ let tune ?(workload : Augem_sim.Perf.workload option)
     failures := d :: !failures;
     Log.debug (fun m -> m "discard: %s" (Diag.to_string d))
   in
-  List.iter
-    (fun cand ->
+  (* Shard the embarrassingly-parallel part (candidate evaluation)
+     across domains; Pool.map returns per-candidate outcomes in
+     candidate order.  The order-sensitive part — the first-seen-
+     maximum tie-break the prefetch_opts ordering depends on, and the
+     sweep-ordered failure list — stays a sequential fold over that
+     ordered list, so ~jobs:n is bit-identical to ~jobs:1. *)
+  let evaluated =
+    Pool.map ~jobs (evaluate_candidate arch ~max_insns name kernel workload)
+      space
+  in
+  List.iter2
+    (fun cand outcome ->
       incr visited;
-      match generate_candidate_diag arch ~max_insns name kernel cand with
+      match outcome with
       | Error d -> record d
-      | Ok prog -> (
-          match score_diag arch name cand prog workload with
-          | Error d -> record d
-          | Ok s ->
-              Log.debug (fun m ->
-                  m "%s/%s %s -> %.0f MFLOPS" arch.Arch.name
-                    (Kernels.name_to_string name)
-                    (Pipeline.config_to_string cand.cand_config)
-                    s);
-              (match !best with
-              | Some (_, _, s') when s' >= s -> ()
-              | _ -> best := Some (cand, prog, s))))
-    space;
+      | Ok (prog, s) ->
+          Log.debug (fun m ->
+              m "%s/%s %s -> %.0f MFLOPS" arch.Arch.name
+                (Kernels.name_to_string name)
+                (Pipeline.config_to_string cand.cand_config)
+                s);
+          (match !best with
+          | Some (_, _, s') when s' >= s -> ()
+          | _ -> best := Some (cand, prog, s)))
+    space evaluated;
   let failures_list = List.rev !failures in
   let finish ~fell_back (cand, prog, s) =
     {
@@ -292,14 +346,115 @@ let tune ?(workload : Augem_sim.Perf.workload option)
                   (Kernels.name_to_string name)
                   arch.Arch.name (Diag.to_string d))))
 
-(* Memoized tuning: the sweep benchmarks call this per (arch, kernel). *)
-let cache : (string * string, result) Hashtbl.t = Hashtbl.create 8
+(* --- memoized tuning (in-memory L1 + persistent on-disk L2) ------------- *)
 
-let tuned (arch : Arch.t) (name : Kernels.name) : result =
-  let key = (arch.Arch.name, Kernels.name_to_string name) in
-  match Hashtbl.find_opt cache key with
+(* Bump whenever the sweep's semantics or the marshalled result layout
+   change: old on-disk entries then stop being found (their content
+   address changes) instead of being misread. *)
+let tuner_version = "2"
+
+let candidate_fingerprint (c : candidate) : string =
+  let prefer =
+    match c.cand_opts.Augem_codegen.Emit.prefer with
+    | Augem_codegen.Plan.Prefer_auto -> "auto"
+    | Augem_codegen.Plan.Prefer_vdup -> "vdup"
+    | Augem_codegen.Plan.Prefer_shuf -> "shuf"
+  in
+  let width =
+    match c.cand_opts.Augem_codegen.Emit.max_width with
+    | None -> "native"
+    | Some Insn.W64 -> "w64"
+    | Some Insn.W128 -> "w128"
+    | Some Insn.W256 -> "w256"
+  in
+  Printf.sprintf "%s|prefer=%s|width=%s"
+    (Pipeline.config_to_string c.cand_config)
+    prefer width
+
+(* The search-space fingerprint in the cache key: two sweeps share an
+   entry only if they would explore the same candidates in the same
+   order. *)
+let space_fingerprint (space : candidate list) : string =
+  Digest.to_hex
+    (Digest.string (String.concat "\n" (List.map candidate_fingerprint space)))
+
+(* Process-wide persistent-cache location: [set_cache_dir] (or the
+   AUGEM_CACHE_DIR environment variable); None disables the disk
+   layer. *)
+let cache_dir_ref = ref (Sys.getenv_opt "AUGEM_CACHE_DIR")
+let set_cache_dir d = cache_dir_ref := d
+let cache_dir () = !cache_dir_ref
+
+(* In-memory memo table, keyed by (arch, kernel, space fingerprint) —
+   the fingerprint keeps a caller-supplied space from ever answering
+   for the default one.  Guarded by a mutex: [tuned] may be called
+   from concurrent domains (two sweeps racing on one key both tune and
+   both store — wasteful but correct, because tuning is
+   deterministic). *)
+let cache : (string * string * string, result) Hashtbl.t = Hashtbl.create 8
+let cache_mutex = Mutex.create ()
+
+let tuned ?jobs ?cache_dir:cdir ?space (arch : Arch.t) (name : Kernels.name) :
+    result =
+  let kernel_s = Kernels.name_to_string name in
+  let space = match space with Some s -> s | None -> space_for name in
+  let fingerprint = space_fingerprint space in
+  let key = (arch.Arch.name, kernel_s, fingerprint) in
+  match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key) with
   | Some r -> r
-  | None ->
-      let r = tune arch name in
-      Hashtbl.replace cache key r;
-      r
+  | None -> (
+      let dir = match cdir with Some _ as d -> d | None -> !cache_dir_ref in
+      let ckey =
+        Option.map
+          (fun dir ->
+            let keydesc =
+              Cache.keydesc ~version:tuner_version ~arch:arch.Arch.name
+                ~kernel:kernel_s ~fingerprint
+            in
+            let digest =
+              Cache.digest ~version:tuner_version ~arch:arch.Arch.name
+                ~kernel:kernel_s ~fingerprint
+            in
+            (dir, keydesc, digest))
+          dir
+      in
+      let remember (r : result) =
+        Mutex.protect cache_mutex (fun () -> Hashtbl.replace cache key r)
+      in
+      let from_disk =
+        match ckey with
+        | None -> None
+        | Some (dir, keydesc, digest) -> (
+            match
+              Cache.load ~dir ~arch:arch.Arch.name ~kernel:kernel_s ~keydesc
+                ~digest
+            with
+            | Cache.Hit (r : result) when not r.fell_back ->
+                (* a persisted fallback result (foreign writer / older
+                   version) must not poison this process: re-tune *)
+                remember r;
+                Some r
+            | Cache.Hit _ | Cache.Miss -> None
+            | Cache.Corrupt d ->
+                Log.warn (fun m -> m "%s" (Diag.to_string d));
+                None)
+      in
+      match from_disk with
+      | Some r -> r
+      | None ->
+          let r = tune ?jobs ~space arch name in
+          (* Never memoize or persist a fallback result: a sweep that
+             degraded (e.g. under a hostile space or a transient
+             budget) must not poison later callers with the slow
+             baseline. *)
+          if not r.fell_back then begin
+            remember r;
+            match ckey with
+            | None -> ()
+            | Some (dir, keydesc, digest) ->
+                Option.iter
+                  (fun d -> Log.warn (fun m -> m "%s" (Diag.to_string d)))
+                  (Cache.store ~dir ~arch:arch.Arch.name ~kernel:kernel_s
+                     ~keydesc ~digest r)
+          end;
+          r)

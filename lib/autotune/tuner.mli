@@ -68,9 +68,19 @@ val generate_candidate_diag :
   candidate ->
   (Augem_machine.Insn.program, Augem_verify.Diag.t) Stdlib.result
 
+(** The built-in kernel a function name denotes, if any (matches the
+    [k_name] of the kernels in {!Augem_ir.Kernels.all}). *)
+val infer_kname : Augem_ir.Ast.kernel -> Augem_ir.Kernels.name option
+
 (** Back-compatible view of {!generate_candidate_diag}: [None] when the
-    configuration does not fit the machine. *)
+    configuration does not fit the machine.  The diagnostic's kernel
+    label is inferred from the kernel's function name (override with
+    [?kname] for kernels outside the built-in set — it used to be
+    hardcoded to GEMM, mislabelling every other kernel); [?on_diag]
+    observes the diagnostic this view otherwise drops. *)
 val generate_candidate :
+  ?kname:Augem_ir.Kernels.name ->
+  ?on_diag:(Augem_verify.Diag.t -> unit) ->
   Augem_machine.Arch.t ->
   Augem_ir.Ast.kernel ->
   candidate ->
@@ -93,16 +103,65 @@ val score :
   Augem_sim.Perf.workload ->
   float option
 
+(** Set the process-wide default sweep parallelism (also settable via
+    the [AUGEM_JOBS] environment variable); clamped to at least 1.
+    Affects every {!tune}/{!tuned} call that does not pass [?jobs],
+    including the sweeps behind the library models. *)
+val set_jobs : int -> unit
+
+(** The current default sweep parallelism. *)
+val jobs : unit -> int
+
 (** Exhaustive search over the (given or default) space.  Never raises
     on a fully-discarded space: the result carries [fell_back = true],
-    the baseline program, and the populated failure histogram. *)
+    the baseline program, and the populated failure histogram.
+
+    [?jobs] shards candidate evaluation across that many domains
+    (default: {!jobs}).  Results are {i bit-identical} for every job
+    count: candidates are generated and scored in parallel, but the
+    best-candidate selection (first-seen maximum, the tie-break the
+    search-space ordering depends on) and the failure list are reduced
+    sequentially in candidate order. *)
 val tune :
   ?workload:Augem_sim.Perf.workload ->
   ?space:candidate list ->
   ?max_insns:int ->
+  ?jobs:int ->
   Augem_machine.Arch.t ->
   Augem_ir.Kernels.name ->
   result
 
-(** Memoized {!tune} on the reference workload. *)
-val tuned : Augem_machine.Arch.t -> Augem_ir.Kernels.name -> result
+(** Cache-key version of the sweep semantics and marshalled result
+    layout; part of every persistent-cache content address. *)
+val tuner_version : string
+
+(** Digest of a candidate space (configurations, codegen options, and
+    their order): two sweeps share a persistent-cache entry only if
+    their fingerprints match. *)
+val space_fingerprint : candidate list -> string
+
+(** Set the process-wide persistent tuning-cache directory (also
+    settable via the [AUGEM_CACHE_DIR] environment variable); [None]
+    disables the on-disk layer. *)
+val set_cache_dir : string option -> unit
+
+(** The current persistent-cache directory. *)
+val cache_dir : unit -> string option
+
+(** Memoized {!tune} on the reference workload: an in-memory table in
+    front of the persistent on-disk cache (when a cache directory is
+    configured via [?cache_dir], {!set_cache_dir} or
+    [AUGEM_CACHE_DIR]).  Both layers key on (arch, kernel, space
+    fingerprint, tuner version), so a caller-supplied [?space] never
+    answers for the default one.  Fallback results
+    ([fell_back = true]) are never memoized or persisted — a degraded
+    sweep (e.g. over a hostile space) must not poison later callers —
+    and a corrupt cache file is a logged miss, never an error.  Safe to
+    call from concurrent domains. *)
+val tuned :
+  ?jobs:int ->
+  ?cache_dir:string ->
+  ?space:candidate list ->
+  Augem_machine.Arch.t ->
+  Augem_ir.Kernels.name ->
+  result

@@ -91,10 +91,13 @@ module Verify = struct
 end
 
 module Tuner = Augem_autotune.Tuner
+module Tuning_cache = Augem_autotune.Cache
+module Pool = Augem_parallel.Pool
 module Library = Augem_baselines.Library
 module Harness = Harness
 module Chaos = Chaos
 module Report = Report
+module Json = Json
 
 (* --- one-call pipeline -------------------------------------------------- *)
 
@@ -151,9 +154,14 @@ let generate_scripted ~(arch : Machine.Arch.t) ~(script : Transform.Script.t)
   generate ~arch ~config:script.Transform.Script.sc_config
     ~opts:(opts_of_script script) name
 
-(* Same, with the configuration chosen by the empirical tuner. *)
-let tuned ~(arch : Machine.Arch.t) (name : Ir.Kernels.name) : generated =
-  let r = Tuner.tuned arch name in
+(* Same, with the configuration chosen by the empirical tuner.
+   [?jobs] shards the sweep across domains; [?cache_dir] persists the
+   tuning result on disk (both also settable process-wide via
+   [Tuner.set_jobs] / [Tuner.set_cache_dir] or the AUGEM_JOBS /
+   AUGEM_CACHE_DIR environment variables). *)
+let tuned ?jobs ?cache_dir ~(arch : Machine.Arch.t) (name : Ir.Kernels.name) :
+    generated =
+  let r = Tuner.tuned ?jobs ?cache_dir arch name in
   generate ~arch ~config:r.Tuner.best.Tuner.cand_config
     ~opts:r.Tuner.best.Tuner.cand_opts name
 

@@ -1,0 +1,33 @@
+(** Minimal JSON: the benchmark harness's machine-readable output
+    (`BENCH_*.json`) and its validation.  No external dependency — the
+    emitter and the recursive-descent parser cover standard JSON
+    (RFC 8259) over the values the harness produces.
+
+    Non-finite floats have no JSON encoding; the emitter writes them as
+    [null] rather than producing an unparseable file. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) rendering. *)
+val to_string : t -> string
+
+(** [parse s] is the value encoded by [s], or [Error msg] with a
+    position-annotated message.  Numbers with a fraction or exponent
+    parse as {!Float}, others as {!Int}. *)
+val parse : string -> (t, string) result
+
+(** Object field lookup; [None] on missing fields and non-objects. *)
+val member : string -> t -> t option
+
+(** Write [to_string] plus a trailing newline to a file. *)
+val to_file : string -> t -> unit
+
+(** Read and {!parse} a file; I/O errors are also [Error]. *)
+val of_file : string -> (t, string) result

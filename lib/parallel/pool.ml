@@ -1,0 +1,46 @@
+(* Bounded domain pool with deterministic ordered reduction.  See
+   pool.mli for the purity contract on the mapped function. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* One result slot per item.  Each slot is written by exactly one
+   worker (the atomic cursor hands every index out once) and read only
+   after every worker has been joined, so the joins provide the
+   happens-before edge the plain array writes need. *)
+type 'b cell =
+  | Pending
+  | Done of 'b
+  | Failed of exn * Printexc.raw_backtrace
+
+let map ?(jobs = default_jobs ()) (f : 'a -> 'b) (items : 'a list) : 'b list =
+  let n = List.length items in
+  if jobs <= 1 || n <= 1 then List.map f items
+  else begin
+    let arr = Array.of_list items in
+    let results = Array.make n Pending in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          results.(i) <-
+            (match f arr.(i) with
+            | v -> Done v
+            | exception e -> Failed (e, Printexc.get_raw_backtrace ()));
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned = min (jobs - 1) (n - 1) in
+    let domains = List.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.to_list
+      (Array.map
+         (function
+           | Done v -> v
+           | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+           | Pending -> assert false)
+         results)
+  end

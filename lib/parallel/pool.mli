@@ -1,0 +1,33 @@
+(** A bounded domain pool with deterministic, ordered reduction.
+
+    The tuner's candidate evaluation is embarrassingly parallel (every
+    candidate is generated and scored independently), so sweeps shard
+    across OCaml 5 domains.  The contract that keeps parallel sweeps
+    bit-identical to sequential ones:
+
+    - [map f items] returns results in {i item order}, regardless of
+      which domain evaluated which item or in what order they finished;
+    - the caller performs any order-sensitive reduction (first-seen
+      maximum, failure lists) sequentially over that ordered list;
+    - [f] must be pure up to its return value — it must not touch
+      shared mutable state (the transformation and codegen passes
+      allocate all their state per call, which is why they can run
+      here).
+
+    With [jobs = 1] (or a single item) no domain is spawned and [map]
+    is exactly [List.map]. *)
+
+(** A sensible worker count for this machine: the recommended domain
+    count, at least 1. *)
+val default_jobs : unit -> int
+
+(** [map ~jobs f items] evaluates [f] over [items] on up to [jobs]
+    domains (the calling domain participates, so at most [jobs - 1] are
+    spawned) and returns the results in item order.
+
+    Items are handed out dynamically (an atomic cursor), so unequal
+    per-item costs balance across workers.  If one or more applications
+    of [f] raise, the exception of the {i earliest item in list order}
+    is re-raised with its backtrace after all workers have drained —
+    also deterministic. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -8,6 +8,7 @@ type stage =
   | S_score
   | S_simulate
   | S_verify
+  | S_cache
 
 type code =
   | E_out_of_registers
@@ -20,6 +21,7 @@ type code =
   | E_type_error
   | E_eval_error
   | E_mismatch
+  | E_cache_corrupt
   | E_unexpected of string
 
 type t = {
@@ -38,6 +40,7 @@ let stage_to_string = function
   | S_score -> "score"
   | S_simulate -> "simulate"
   | S_verify -> "verify"
+  | S_cache -> "cache"
 
 let code_to_string = function
   | E_out_of_registers -> "out-of-registers"
@@ -50,6 +53,7 @@ let code_to_string = function
   | E_type_error -> "type-error"
   | E_eval_error -> "eval-error"
   | E_mismatch -> "output-mismatch"
+  | E_cache_corrupt -> "cache-corrupt"
   | E_unexpected exn -> "unexpected:" ^ exn
 
 let to_string d =

@@ -15,6 +15,7 @@ type stage =
   | S_score  (** cycle-model performance prediction *)
   | S_simulate  (** functional simulation *)
   | S_verify  (** output comparison against the reference BLAS *)
+  | S_cache  (** persistent tuning-cache load/store *)
 
 (** Classified failure reason. *)
 type code =
@@ -28,6 +29,10 @@ type code =
   | E_type_error  (** transformed kernel failed to re-typecheck *)
   | E_eval_error  (** IR interpreter fault *)
   | E_mismatch  (** outputs diverged from the reference *)
+  | E_cache_corrupt
+      (** a persistent tuning-cache file failed to load (bad magic,
+          foreign key, checksum mismatch, unreadable); always a cache
+          miss, never a crash *)
   | E_unexpected of string  (** anything else; payload names the exception *)
 
 type t = {

@@ -1,0 +1,119 @@
+(* Validator behind the @bench-smoke alias: the JSON artifacts the
+   benchmark harness just emitted must parse and carry the documented
+   shape (EXPERIMENTS.md), so downstream plotting scripts can rely on
+   the keys without running the full sweep. *)
+
+module Json = Augem.Json
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.eprintf "bench-smoke: FAIL %s\n" msg)
+    fmt
+
+let field ~ctx name v =
+  match Json.member name v with
+  | Some x -> x
+  | None ->
+      fail "%s: missing field %S" ctx name;
+      Json.Null
+
+let as_list ~ctx name v =
+  match field ~ctx name v with
+  | Json.List l ->
+      if l = [] then fail "%s: field %S is empty" ctx name;
+      l
+  | Json.Null -> []
+  | _ ->
+      fail "%s: field %S is not an array" ctx name;
+      []
+
+let check_string ~ctx ?expect name v =
+  match (field ~ctx name v, expect) with
+  | Json.String s, Some e when s <> e ->
+      fail "%s: field %S is %S, expected %S" ctx name s e
+  | Json.String _, _ -> ()
+  | Json.Null, _ -> ()
+  | _ -> fail "%s: field %S is not a string" ctx name
+
+let check_number ~ctx name v =
+  match field ~ctx name v with
+  | Json.Int _ | Json.Float _ | Json.Null -> ()
+  | _ -> fail "%s: field %S is not a number" ctx name
+
+let check_point ~ctx v =
+  check_number ~ctx "size" v;
+  check_number ~ctx "mflops" v
+
+let check_series ~ctx v =
+  check_string ~ctx "label" v;
+  List.iter (check_point ~ctx:(ctx ^ ".points")) (as_list ~ctx "points" v);
+  check_number ~ctx "mean_mflops" v
+
+let check_fig18 file =
+  match Json.of_file file with
+  | Error msg -> fail "%s: %s" file msg
+  | Ok j ->
+      let ctx = Filename.basename file in
+      check_string ~ctx ~expect:"fig18" "experiment" j;
+      check_string ~ctx "title" j;
+      check_string ~ctx "kernel" j;
+      check_string ~ctx "x_label" j;
+      List.iter
+        (fun a ->
+          let ctx = ctx ^ ".arches[]" in
+          check_string ~ctx "arch" a;
+          check_string ~ctx "model" a;
+          List.iter (check_series ~ctx:(ctx ^ ".series")) (as_list ~ctx "series" a);
+          List.iter
+            (fun s ->
+              let ctx = ctx ^ ".speedups[]" in
+              check_string ~ctx "baseline" s;
+              check_string ~ctx "vs" s;
+              check_number ~ctx "percent" s)
+            (as_list ~ctx "speedups" a))
+        (as_list ~ctx "arches" j)
+
+let check_sweep file =
+  match Json.of_file file with
+  | Error msg -> fail "%s: %s" file msg
+  | Ok j ->
+      let ctx = Filename.basename file in
+      check_string ~ctx ~expect:"sweep" "experiment" j;
+      check_number ~ctx "jobs" j;
+      List.iter
+        (fun r ->
+          let ctx = ctx ^ ".runs[]" in
+          check_string ~ctx "arch" r;
+          check_string ~ctx "kernel" r;
+          check_number ~ctx "visited" r;
+          check_number ~ctx "discarded" r;
+          (match field ~ctx "fell_back" r with
+          | Json.Bool b ->
+              if b then fail "%s: smoke sweep fell back to the baseline" ctx
+          | Json.Null -> ()
+          | _ -> fail "%s: fell_back is not a bool" ctx);
+          check_string ~ctx "best_config" r;
+          check_number ~ctx "best_mflops" r)
+        (as_list ~ctx "runs" j);
+      List.iter
+        (fun t ->
+          let ctx = ctx ^ ".timings[]" in
+          check_number ~ctx "jobs" t;
+          check_number ~ctx "wall_s" t;
+          check_number ~ctx "candidates" t;
+          check_number ~ctx "candidates_per_sec" t)
+        (as_list ~ctx "timings" j);
+      check_number ~ctx "speedup" j
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
+  check_fig18 (Filename.concat dir "BENCH_fig18.json");
+  check_sweep (Filename.concat dir "BENCH_sweep.json");
+  if !failures > 0 then (
+    Printf.eprintf "bench-smoke: %d validation failure(s)\n" !failures;
+    exit 1)
+  else print_endline "bench-smoke: BENCH_fig18.json and BENCH_sweep.json valid"

@@ -12,6 +12,8 @@ let () =
       ("blas", Test_blas.suite);
       ("codegen", Test_codegen.suite);
       ("autotune", Test_autotune.suite);
+      ("parallel", Test_parallel.suite);
+      ("cache", Test_cache.suite);
       ("baselines", Test_baselines.suite);
       ("report", Test_report.suite);
       ("extensions", Test_extensions.suite);

@@ -121,6 +121,52 @@ let test_generate_candidate_option_view () =
   | None -> ()
   | Some _ -> Alcotest.fail "register-starved candidate accepted"
 
+(* Regression: generate_candidate used to hardcode Kernels.Gemm into
+   the diagnostic, mislabelling failures from every other kernel.  A
+   register-starved GEMV candidate must now be diagnosed as "gemv". *)
+let test_generate_candidate_labels_real_kernel () =
+  let kernel = Kernels.kernel_of_name Kernels.Gemv in
+  let starved =
+    {
+      Tuner.cand_config =
+        { Pipeline.default with jam = [ ("j", 64); ("i", 64) ] };
+      cand_opts = A.Codegen.Emit.default_options;
+    }
+  in
+  let seen = ref [] in
+  (match
+     Tuner.generate_candidate ~on_diag:(fun d -> seen := d :: !seen) arch
+       kernel starved
+   with
+  | None -> ()
+  | Some _ -> Alcotest.fail "register-starved gemv candidate accepted");
+  match !seen with
+  | [ d ] ->
+      Alcotest.(check string) "diagnostic names the real kernel" "gemv"
+        d.Diag.d_kernel
+  | ds -> Alcotest.failf "expected exactly one diagnostic, got %d"
+            (List.length ds)
+
+(* And an explicit [?kname] wins over inference, for kernels outside
+   the built-in set. *)
+let test_generate_candidate_explicit_kname () =
+  let gemv = Kernels.kernel_of_name Kernels.Gemv in
+  let custom = { gemv with A.Ir.Ast.k_name = "my_custom_kernel" } in
+  let starved = List.hd hostile_space in
+  let seen = ref [] in
+  (match
+     Tuner.generate_candidate ~kname:Kernels.Ger
+       ~on_diag:(fun d -> seen := d :: !seen)
+       arch custom starved
+   with
+  | None -> ()
+  | Some _ -> Alcotest.fail "register-starved candidate accepted");
+  match !seen with
+  | [ d ] ->
+      Alcotest.(check string) "explicit kname used" "ger" d.Diag.d_kernel
+  | ds -> Alcotest.failf "expected exactly one diagnostic, got %d"
+            (List.length ds)
+
 (* Diag.histogram sorts descending and aggregates by code. *)
 let test_histogram_shape () =
   let mk code =
@@ -159,6 +205,10 @@ let suite =
       test_generate_candidate_classifies_broken_kernel;
     Alcotest.test_case "option view of candidate generation" `Quick
       test_generate_candidate_option_view;
+    Alcotest.test_case "diagnostics name the real kernel (gemv)" `Quick
+      test_generate_candidate_labels_real_kernel;
+    Alcotest.test_case "explicit kname overrides inference" `Quick
+      test_generate_candidate_explicit_kname;
     Alcotest.test_case "histogram aggregates and sorts" `Quick
       test_histogram_shape;
   ]

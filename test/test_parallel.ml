@@ -1,0 +1,148 @@
+(* The domain pool and the parallel tuning sweep.
+
+   The contract under test: [Pool.map] returns results in item order
+   whatever the job count, and [Tuner.tune ~jobs:n] is bit-identical to
+   [~jobs:1] — same winner, same score, same failure histogram, same
+   sweep-ordered failure list — for every kernel on every modelled
+   architecture.  The first-seen-maximum tie-break (which the
+   prefetch_opts ordering depends on) is exactly what a naive parallel
+   reduction would break. *)
+
+module A = Augem
+module Arch = A.Machine.Arch
+module Kernels = A.Ir.Kernels
+module Tuner = A.Tuner
+module Pool = A.Pool
+module Diag = A.Verify.Diag
+
+let archs = [ Arch.sandy_bridge; Arch.piledriver ]
+let all_kernels = Kernels.[ Gemm; Gemv; Axpy; Dot; Ger; Scal; Copy ]
+
+(* --- the pool itself ----------------------------------------------------- *)
+
+let test_pool_ordered () =
+  let items = List.init 100 Fun.id in
+  let expected = List.map (fun x -> (x * x) + 1) items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d preserves item order" jobs)
+        expected
+        (Pool.map ~jobs (fun x -> (x * x) + 1) items))
+    [ 1; 2; 3; 4; 7; 16 ]
+
+let test_pool_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Pool.map ~jobs:4 succ [ 1 ])
+
+let test_pool_unbalanced_costs () =
+  (* items deliberately unequal in cost: the atomic cursor hands them
+     out dynamically, and order must still be preserved *)
+  let items = List.init 40 (fun i -> if i mod 7 = 0 then 40_000 else 10) in
+  let spin n =
+    let acc = ref 0 in
+    for i = 1 to n do
+      acc := !acc + i
+    done;
+    !acc
+  in
+  Alcotest.(check (list int))
+    "unbalanced work, ordered results"
+    (List.map spin items)
+    (Pool.map ~jobs:4 spin items)
+
+exception Boom of int
+
+let test_pool_exception_deterministic () =
+  (* multiple items raise; the earliest in item order must win, for
+     every job count *)
+  let items = List.init 30 Fun.id in
+  let f x = if x mod 11 = 5 then raise (Boom x) else x in
+  List.iter
+    (fun jobs ->
+      match Pool.map ~jobs f items with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom x ->
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d raises the earliest failure" jobs)
+            5 x)
+    [ 1; 2; 4 ]
+
+(* --- sweep determinism --------------------------------------------------- *)
+
+let check_identical ~what (seq : Tuner.result) (par : Tuner.result) =
+  Alcotest.(check bool)
+    (what ^ ": best candidate identical")
+    true
+    (seq.Tuner.best = par.Tuner.best);
+  Alcotest.(check (float 0.0))
+    (what ^ ": best score bit-identical")
+    seq.Tuner.best_score par.Tuner.best_score;
+  Alcotest.(check bool)
+    (what ^ ": best program identical")
+    true
+    (seq.Tuner.best_program = par.Tuner.best_program);
+  Alcotest.(check int) (what ^ ": visited") seq.Tuner.visited par.Tuner.visited;
+  Alcotest.(check int)
+    (what ^ ": discarded")
+    seq.Tuner.discarded par.Tuner.discarded;
+  Alcotest.(check bool)
+    (what ^ ": fell_back")
+    seq.Tuner.fell_back par.Tuner.fell_back;
+  Alcotest.(check (list (pair string int)))
+    (what ^ ": failure histogram identical")
+    seq.Tuner.failure_histogram par.Tuner.failure_histogram;
+  Alcotest.(check (list string))
+    (what ^ ": failure list identical and sweep-ordered")
+    (List.map Diag.to_string seq.Tuner.failures)
+    (List.map Diag.to_string par.Tuner.failures)
+
+let test_tune_deterministic_all_kernels () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun k ->
+          let what =
+            Printf.sprintf "%s/%s" arch.Arch.name (Kernels.name_to_string k)
+          in
+          let seq = Tuner.tune ~jobs:1 arch k in
+          let par = Tuner.tune ~jobs:4 arch k in
+          check_identical ~what seq par)
+        all_kernels)
+    archs
+
+let test_tune_deterministic_hostile_space () =
+  (* a space where most candidates die: the failure list ordering is
+     the part parallelism is most likely to scramble *)
+  let space =
+    List.concat_map
+      (fun j ->
+        List.map
+          (fun i ->
+            {
+              Tuner.cand_config =
+                { A.Transform.Pipeline.default with jam = [ ("j", j); ("i", i) ] };
+              cand_opts = A.Codegen.Emit.default_options;
+            })
+          [ 2; 8; 32; 64 ])
+      [ 1; 4; 16; 64 ]
+  in
+  let seq = Tuner.tune ~space ~jobs:1 Arch.sandy_bridge Kernels.Gemm in
+  let par = Tuner.tune ~space ~jobs:3 Arch.sandy_bridge Kernels.Gemm in
+  Alcotest.(check bool) "some candidates discarded" true
+    (seq.Tuner.discarded > 0);
+  check_identical ~what:"hostile space" seq par
+
+let suite =
+  [
+    Alcotest.test_case "pool preserves item order" `Quick test_pool_ordered;
+    Alcotest.test_case "pool edge cases" `Quick test_pool_empty_and_singleton;
+    Alcotest.test_case "pool balances unequal costs" `Quick
+      test_pool_unbalanced_costs;
+    Alcotest.test_case "pool exception determinism" `Quick
+      test_pool_exception_deterministic;
+    Alcotest.test_case "tune jobs:4 == jobs:1, all kernels x arches" `Slow
+      test_tune_deterministic_all_kernels;
+    Alcotest.test_case "tune determinism on a mostly-hostile space" `Quick
+      test_tune_deterministic_hostile_space;
+  ]
