@@ -291,6 +291,18 @@ let chaos_arg =
            fault-detection rate).  Exits non-zero if the detection rate \
            drops below 95%.")
 
+let chaos_asm_arg =
+  Arg.(
+    value & flag
+    & info [ "chaos-asm" ]
+        ~doc:
+          "Measure the static machine-code checker's sensitivity: inject \
+           the asm-level fault classes (dropped saves/restores/push/pop, \
+           dropped accumulator zeroing, dropped vzeroupper, retargeted \
+           jumps, callee-saved clobbers) and report how many mutants the \
+           CFG/dataflow lints catch.  Exits non-zero if the static \
+           detection rate drops below 95%.")
+
 let max_faults_arg =
   Arg.(
     value & opt int 256
@@ -298,7 +310,7 @@ let max_faults_arg =
         ~doc:"Cap on injected faults for $(b,--chaos).")
 
 let verify_cmd =
-  let run arch kernel jam unroll prefetch chaos max_faults =
+  let run arch kernel jam unroll prefetch chaos chaos_asm max_faults =
     let config = config_of_flags kernel jam unroll prefetch in
     let g = A.generate ~arch ~config kernel in
     let v = A.verify g in
@@ -332,16 +344,68 @@ let verify_cmd =
         oracle_ok && A.Chaos.rate r >= 0.95
       end
     in
-    if not (v.A.Harness.ok && chaos_ok) then exit 1
+    let chaos_asm_ok =
+      if not chaos_asm then true
+      else begin
+        (* asm-level fault injection against the static checker *)
+        Fmt.pr "@.asm fault injection (static checker sensitivity):@.";
+        let r = A.Chaos.run_static ~max_faults ~arch kernel g.A.g_program in
+        Fmt.pr "%a" A.Chaos.pp_report r;
+        A.Chaos.rate r >= 0.95
+      end
+    in
+    if not (v.A.Harness.ok && chaos_ok && chaos_asm_ok) then exit 1
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Run the generated kernel on the simulator against the reference; \
-          with $(b,--chaos), also measure the verification layer itself")
+          with $(b,--chaos) / $(b,--chaos-asm), also measure the \
+          verification layer itself")
     Term.(
       const run $ arch_arg $ kernel_arg $ jam_arg $ unroll_arg $ prefetch_arg
-      $ chaos_arg $ max_faults_arg)
+      $ chaos_arg $ chaos_asm_arg $ max_faults_arg)
+
+let lint_cmd =
+  let run arch kernel jam unroll prefetch script =
+    let g =
+      match load_script script with
+      | Some s -> A.generate_scripted ~arch ~script:s kernel
+      | None ->
+          A.generate ~arch ~config:(config_of_flags kernel jam unroll prefetch)
+            kernel
+    in
+    let params = (A.Ir.Kernels.kernel_of_name kernel).A.Ir.Ast.k_params in
+    let findings =
+      A.Verify.Oracle.check_static
+        ~avx:(arch.A.Machine.Arch.simd = A.Machine.Arch.AVX)
+        ~params g.A.g_program
+    in
+    let n = List.length g.A.g_program.A.Machine.Insn.prog_insns in
+    match findings with
+    | [] ->
+        Fmt.pr "%s on %s: %d instructions, no findings@."
+          (A.Ir.Kernels.name_to_string kernel)
+          arch.A.Machine.Arch.name n
+    | fs ->
+        Fmt.pr "%s on %s: %d instructions, %d finding(s)@."
+          (A.Ir.Kernels.name_to_string kernel)
+          arch.A.Machine.Arch.name n (List.length fs);
+        List.iter
+          (fun f -> Fmt.pr "  %a@." A.Analysis.Asmcheck.pp_finding f)
+          fs;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static machine-code checker (CFG + dataflow lints: \
+          undefined reads, ABI/stack discipline, vzeroupper hygiene, SSE \
+          encoding invariants, dead/unreachable code) over a generated \
+          kernel; exits non-zero if it reports any finding")
+    Term.(
+      const run $ arch_arg $ kernel_arg $ jam_arg $ unroll_arg $ prefetch_arg
+      $ script_arg)
 
 let compile_cmd =
   let file_arg =
@@ -466,7 +530,7 @@ let main =
        ~doc:
          "Template-based generation of optimized dense linear algebra \
           assembly kernels (AUGEM, SC'13)")
-    [ generate_cmd; tune_cmd; phases_cmd; verify_cmd; compile_cmd;
+    [ generate_cmd; tune_cmd; phases_cmd; verify_cmd; lint_cmd; compile_cmd;
       simulate_cmd; platforms_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,106 @@
+(** Machine-code static verifier: CFG + dataflow lints over generated
+    kernels.
+
+    Every program the backend emits is a freestanding System V AMD64
+    function.  This module checks, without executing it, that the
+    function is well-formed machine code: the control-flow graph is
+    sound ({!Cfg}), every register read is reached by a definition,
+    the ABI contract on callee-saved registers and the stack pointer
+    holds on every path to [Ret], 256-bit upper state is clean at the
+    boundaries that demand it, and SSE-mode encoding restrictions are
+    respected.
+
+    Severities split the catalog in two: [Sev_error] findings are
+    genuine miscompilations (the tuner discards such candidates and
+    {!check_exn} raises); [Sev_warning] findings are suspicious but
+    not unsound (dead writes, unreachable code). *)
+
+type severity =
+  | Sev_error
+  | Sev_warning
+
+type lint =
+  | L_malformed_cfg
+      (** undefined branch target, duplicate label, or control falling
+          off the end of the function *)
+  | L_undef_read
+      (** an instruction reads a register with no definition on some
+          path from entry *)
+  | L_mem_base_undef
+      (** a memory operand's base or index register has no reaching
+          definition at all *)
+  | L_flags_undef  (** a [Jcc] with no flag-setting instruction before it *)
+  | L_callee_saved_clobber
+      (** a callee-saved GPR is overwritten without a save, or not
+          restored on some path to [Ret] *)
+  | L_stack_imbalance
+      (** push/pop or rsp arithmetic does not rebalance to the entry
+          rsp on a path to [Ret], or rsp becomes untrackable *)
+  | L_save_slot_clobber
+      (** the stack slot holding the only saved copy of a callee-saved
+          register is overwritten while that copy is still needed *)
+  | L_uninit_slot_load
+      (** a load (or pop) reads an own-frame stack cell that is not
+          written on every path from entry — a reload without its spill *)
+  | L_dirty_upper
+      (** 256-bit upper state may be dirty at [Ret] or at an SSE
+          instruction (missing [Vzeroupper]) *)
+  | L_sse_two_operand
+      (** a two-operand SSE encoding with [dst <> src1] — the invariant
+          instruction selection must uphold in SSE mode *)
+  | L_sse_wide
+      (** a 256-bit or VEX-only instruction in SSE mode *)
+  | L_unreachable  (** instructions no path from entry reaches *)
+  | L_dead_write
+      (** a register-only FP write whose destination is dead *)
+
+type finding = {
+  f_severity : severity;
+  f_lint : lint;
+  f_index : int;  (** instruction index in [prog_insns], 0-based *)
+  f_detail : string;
+}
+
+(** What the checker may assume defined at function entry, and the
+    target's SIMD mode. *)
+type config = {
+  cfg_avx : bool;
+  cfg_entry : Augem_machine.Reg.t list;
+      (** registers carrying values at entry (arguments, callee-saved,
+          rsp); reads of anything else are reported *)
+}
+
+(** Every argument register of the ABI defined: safe for programs whose
+    signature is unknown. *)
+val conservative : avx:bool -> config
+
+(** Precise entry state for a kernel signature: only the argument
+    registers the parameter list actually binds (plus callee-saved and
+    rsp) are defined, so a read of a dropped accumulator zeroing is
+    caught even when the accumulator lands in an argument xmm. *)
+val config_for : avx:bool -> params:Augem_ir.Ast.param list -> config
+
+val lint_name : lint -> string
+val severity_name : severity -> string
+val finding_to_string : finding -> string
+val pp_finding : Format.formatter -> finding -> unit
+
+(** Run every lint.  Findings are sorted by instruction index and
+    deduplicated.  Never raises. *)
+val check : ?config:config -> Augem_machine.Insn.program -> finding list
+
+(** [Sev_error] findings only. *)
+val errors : finding list -> finding list
+
+exception Lint_error of string * finding list
+(** [(program name, error findings)] *)
+
+(** Raise {!Lint_error} if {!check} yields any [Sev_error] finding. *)
+val check_exn : ?config:config -> Augem_machine.Insn.program -> unit
+
+(** Gate for the generation-time postcondition in {!Emit}: off by
+    default, enabled by [AUGEM_ASMCHECK=1] in the environment or by
+    {!set_postcondition} (tests, debug builds). *)
+val postcondition_enabled : unit -> bool
+
+val set_postcondition : bool -> unit

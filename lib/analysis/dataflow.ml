@@ -1,0 +1,103 @@
+(* Generic iterative dataflow over a CFG.  See dataflow.mli. *)
+
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (D : DOMAIN) = struct
+  let transfer_block ~dir ~transfer (b : Cfg.block) (d : D.t) : D.t =
+    match dir with
+    | `Forward ->
+        let acc = ref d in
+        for i = b.Cfg.b_first to b.Cfg.b_last do
+          acc := transfer i !acc
+        done;
+        !acc
+    | `Backward ->
+        let acc = ref d in
+        for i = b.Cfg.b_last downto b.Cfg.b_first do
+          acc := transfer i !acc
+        done;
+        !acc
+
+  let solve (cfg : Cfg.t) ~dir ~(boundary : D.t) ~(top : D.t)
+      ~(transfer : int -> D.t -> D.t) : D.t array =
+    let nb = Array.length cfg.Cfg.blocks in
+    if nb = 0 then [||]
+    else begin
+      let input = Array.make nb top in
+      let output = Array.make nb top in
+      (* neighbour lists in the direction of flow *)
+      let sources b =
+        match dir with
+        | `Forward -> cfg.Cfg.blocks.(b).Cfg.b_preds
+        | `Backward -> cfg.Cfg.blocks.(b).Cfg.b_succs
+      in
+      let is_boundary_block b =
+        match dir with
+        | `Forward -> b = 0
+        | `Backward -> cfg.Cfg.blocks.(b).Cfg.b_succs = []
+      in
+      (* simple round-robin iteration; kernel CFGs are tiny (tens of
+         blocks), so worklist bookkeeping would cost more than it saves *)
+      let changed = ref true in
+      let rounds = ref 0 in
+      while !changed do
+        changed := false;
+        incr rounds;
+        (* a lattice of bounded height converges; the guard is a
+           backstop against a non-monotone client transfer *)
+        if !rounds > 4 * (nb + 2) then changed := false
+        else
+          for b = 0 to nb - 1 do
+            let from_neighbours =
+              List.fold_left
+                (fun acc s ->
+                  match acc with
+                  | None -> Some output.(s)
+                  | Some d -> Some (D.join d output.(s)))
+                None (sources b)
+            in
+            let seed = if is_boundary_block b then Some boundary else None in
+            let inp =
+              match (seed, from_neighbours) with
+              | Some s, Some d -> D.join s d
+              | Some s, None -> s
+              | None, Some d -> d
+              | None, None -> top
+            in
+            let out = transfer_block ~dir ~transfer cfg.Cfg.blocks.(b) inp in
+            if not (D.equal inp input.(b)) then begin
+              input.(b) <- inp;
+              changed := true
+            end;
+            if not (D.equal out output.(b)) then begin
+              output.(b) <- out;
+              changed := true
+            end
+          done
+      done;
+      input
+    end
+
+  let fold_block ~dir ~transfer (b : Cfg.block) (init : D.t)
+      (f : int -> D.t -> unit) : D.t =
+    match dir with
+    | `Forward ->
+        let acc = ref init in
+        for i = b.Cfg.b_first to b.Cfg.b_last do
+          f i !acc;
+          acc := transfer i !acc
+        done;
+        !acc
+    | `Backward ->
+        let acc = ref init in
+        for i = b.Cfg.b_last downto b.Cfg.b_first do
+          f i !acc;
+          acc := transfer i !acc
+        done;
+        !acc
+end

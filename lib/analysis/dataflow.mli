@@ -1,0 +1,55 @@
+(** Generic iterative dataflow over a {!Cfg.t}.
+
+    The framework is direction-agnostic (forward or backward) and
+    lattice-agnostic: instantiate {!Make} with a join-semilattice (for
+    may-analyses join is union; for must-analyses it is intersection —
+    the solver only needs [join] and [equal]).  Transfer functions are
+    per instruction; the solver composes them over blocks and iterates
+    a worklist to the fixpoint.
+
+    Instantiations in {!Asmcheck} cover machine-register liveness
+    (backward, union), reaching definitions (forward, union),
+    must-definedness (forward, intersection) and the symbolic
+    stack-frame tracker (forward, ad-hoc lattice). *)
+
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  (** The confluence operator at control-flow merges: union for a
+      may-analysis, intersection for a must-analysis. *)
+  val join : t -> t -> t
+end
+
+module Make (D : DOMAIN) : sig
+  (** [solve cfg ~dir ~boundary ~top ~transfer] iterates to a fixpoint
+      and returns the per-block {i input} values: for [`Forward] the
+      value at block entry, for [`Backward] the value at block exit.
+      [boundary] seeds the program entry (forward) or every exit block
+      (backward); [top] initialises unvisited blocks and must be the
+      identity of [join] (so unreachable blocks keep it).
+      [transfer i d] is the effect of instruction [i].  Per-instruction
+      values are recovered by re-applying [transfer] across a block
+      (see {!fold_block}). *)
+  val solve :
+    Cfg.t ->
+    dir:[ `Forward | `Backward ] ->
+    boundary:D.t ->
+    top:D.t ->
+    transfer:(int -> D.t -> D.t) ->
+    D.t array
+
+  (** [fold_block ~dir ~transfer block init f] replays [transfer]
+      across one block from its input value [init], calling
+      [f i value_before_i] (forward) or [f i value_after_i] (backward)
+      at every instruction — the reporting pass of a checker.  Returns
+      the block's output value. *)
+  val fold_block :
+    dir:[ `Forward | `Backward ] ->
+    transfer:(int -> D.t -> D.t) ->
+    Cfg.block ->
+    D.t ->
+    (int -> D.t -> unit) ->
+    D.t
+end

@@ -147,6 +147,11 @@ let diag_of_generation_exn (exn : exn) : Diag.code * string =
   | Augem_codegen.Ctx.Codegen_error m -> (Diag.E_codegen, m)
   | Unroll.Unroll_error m -> (Diag.E_unroll, m)
   | Typecheck.Type_error m -> (Diag.E_type_error, m)
+  | Augem_analysis.Asmcheck.Lint_error (name, fs) ->
+      ( Diag.E_lint,
+        Printf.sprintf "%s: %s" name
+          (String.concat "; "
+             (List.map Augem_analysis.Asmcheck.finding_to_string fs)) )
   | exn -> (Diag.code_of_exn exn, Printexc.to_string exn)
 
 (* Generate one candidate, classifying every failure — including
@@ -172,7 +177,27 @@ let generate_candidate_diag (arch : Arch.t) ?(max_insns = default_max_insns)
       Error
         (mk Diag.E_budget_exceeded Diag.S_codegen
            (Printf.sprintf "%d instructions > budget %d" len max_insns))
-    else Ok (Augem_codegen.Schedule.run arch prog)
+    else begin
+      let prog = Augem_codegen.Schedule.run arch prog in
+      (* static machine-code verification: a candidate the checker
+         rejects is discarded like any other structured failure, never
+         an exception out of the sweep *)
+      let lint_config =
+        Augem_analysis.Asmcheck.config_for
+          ~avx:(arch.Arch.simd = Arch.AVX)
+          ~params:kernel.Ast.k_params
+      in
+      match
+        Augem_analysis.Asmcheck.errors
+          (Augem_analysis.Asmcheck.check ~config:lint_config prog)
+      with
+      | [] -> Ok prog
+      | errs ->
+          Error
+            (mk Diag.E_lint Diag.S_asmcheck
+               (String.concat "; "
+                  (List.map Augem_analysis.Asmcheck.finding_to_string errs)))
+    end
   with
   | r -> r
   | exception exn ->
@@ -180,6 +205,7 @@ let generate_candidate_diag (arch : Arch.t) ?(max_insns = default_max_insns)
       let stage =
         match exn with
         | Unroll.Unroll_error _ | Typecheck.Type_error _ -> Diag.S_pipeline
+        | Augem_analysis.Asmcheck.Lint_error _ -> Diag.S_asmcheck
         | _ -> Diag.S_codegen
       in
       Error (mk code stage detail)
@@ -351,7 +377,7 @@ let tune ?(workload : Augem_sim.Perf.workload option)
 (* Bump whenever the sweep's semantics or the marshalled result layout
    change: old on-disk entries then stop being found (their content
    address changes) instead of being misread. *)
-let tuner_version = "2"
+let tuner_version = "3"
 
 let candidate_fingerprint (c : candidate) : string =
   let prefer =

@@ -1257,10 +1257,22 @@ let generate_annotated ~(arch : Arch.t) ?(opts = default_options)
   in
   let epilogue =
     List.map (fun r -> Insn.Loadq (r, save_mem r)) used_callee_saved
-    @ (if st.used_256 then [ Insn.Comment "vzeroupper" ] else [])
+    @ (if st.used_256 then [ Insn.Vzeroupper ] else [])
     @ [ Insn.Movrr (Reg.Rsp, Reg.Rbp); Insn.Pop Reg.Rbp; Insn.Ret ]
   in
-  { Insn.prog_name = ak.M.ak_name; prog_insns = prologue @ body @ epilogue }
+  let program =
+    { Insn.prog_name = ak.M.ak_name; prog_insns = prologue @ body @ epilogue }
+  in
+  (* generation-time postcondition (debug / verify builds): the static
+     checker must find nothing wrong with what we just emitted *)
+  if Augem_analysis.Asmcheck.postcondition_enabled () then
+    Augem_analysis.Asmcheck.check_exn
+      ~config:
+        (Augem_analysis.Asmcheck.config_for
+           ~avx:(arch.Arch.simd = Arch.AVX)
+           ~params:ak.M.ak_params)
+      program;
+  program
 
 (* Convenience: optimize + identify + generate from low-level C. *)
 let generate ~(arch : Arch.t) ?(opts = default_options) (k : Ast.kernel) :

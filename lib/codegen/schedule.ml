@@ -7,10 +7,13 @@
 
 open Augem_machine
 
-(* A basic block boundary: labels, branches, returns, stack ops. *)
+(* A basic block boundary: labels, branches, returns, stack ops.
+   [Vzeroupper] pins too — it reads and writes no tracked register, so
+   the scheduler would otherwise float it into the body, breaking the
+   "clean uppers at Ret" discipline that [Asmcheck] enforces. *)
 let is_boundary = function
   | Insn.Label _ | Insn.Jmp _ | Insn.Jcc _ | Insn.Ret | Insn.Push _
-  | Insn.Pop _ ->
+  | Insn.Pop _ | Insn.Vzeroupper ->
       true
   | _ -> false
 

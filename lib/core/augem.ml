@@ -36,6 +36,9 @@ end
 module Analysis = struct
   module Liveness = Augem_analysis.Liveness
   module Arrays = Augem_analysis.Arrays
+  module Cfg = Augem_analysis.Cfg
+  module Dataflow = Augem_analysis.Dataflow
+  module Asmcheck = Augem_analysis.Asmcheck
 end
 
 module Transform = struct

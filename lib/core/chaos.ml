@@ -63,6 +63,43 @@ let run ?(fuel = Harness.default_fuel) ?(max_faults = 96) ?(seed = 0)
     c_by_kind = by_kind entries;
   }
 
+(* Static counterpart of [run]: the mutants come from the asm-level
+   fault classes and the oracle is {!Augem_analysis.Asmcheck}, not the
+   execution harness.  This measures the machine-code checker's
+   sensitivity the same way [run] measures the differential oracle's. *)
+let run_static ?(max_faults = 96) ?(seed = 0)
+    ~(arch : Augem_machine.Arch.t) (kernel : Kernels.name)
+    (prog : Insn.program) : report =
+  let module Asmcheck = Augem_analysis.Asmcheck in
+  let avx = arch.Augem_machine.Arch.simd = Augem_machine.Arch.AVX in
+  let params = (Kernels.kernel_of_name kernel).Ast.k_params in
+  let config = Asmcheck.config_for ~avx ~params in
+  let faults =
+    Faults.sample_asm ~seed ~avx ~entry:config.Asmcheck.cfg_entry
+      ~max:max_faults prog
+  in
+  let entries =
+    List.map
+      (fun f ->
+        let mutant = Faults.apply prog f in
+        let detected, detail =
+          match Asmcheck.check ~config mutant with
+          | [] -> (false, "MISSED")
+          | fs -> (true, Asmcheck.finding_to_string (List.hd fs))
+          | exception exn ->
+              (true, "checker exception: " ^ Printexc.to_string exn)
+        in
+        { e_fault = f; e_detected = detected; e_detail = detail })
+      faults
+  in
+  {
+    c_kernel = Kernels.name_to_string kernel;
+    c_total = List.length entries;
+    c_detected = List.length (List.filter (fun e -> e.e_detected) entries);
+    c_entries = entries;
+    c_by_kind = by_kind entries;
+  }
+
 let merge (rs : report list) : report =
   let entries = List.concat_map (fun r -> r.c_entries) rs in
   {

@@ -39,6 +39,21 @@ val run :
   Augem_machine.Insn.program ->
   report
 
+(** Like {!run}, but injects the asm-level fault classes
+    ({!Augem_verify.Faults.enumerate_asm}) and judges every mutant with
+    the static machine-code checker {!Augem_analysis.Asmcheck} instead
+    of the execution harness — measuring the {i static} detection rate.
+    A mutant with zero findings is a missed fault.  [arch] selects the
+    encoding discipline (AVX vs SSE) and the kernel name supplies the
+    parameter registers defined at entry. *)
+val run_static :
+  ?max_faults:int ->
+  ?seed:int ->
+  arch:Augem_machine.Arch.t ->
+  Augem_ir.Kernels.name ->
+  Augem_machine.Insn.program ->
+  report
+
 (** Merge reports (e.g. across kernels) for an aggregate rate. *)
 val merge : report list -> report
 

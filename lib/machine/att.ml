@@ -43,6 +43,10 @@ let pd ~avx base w =
   | (W128 | W256), true -> "v" ^ base ^ "pd"
   | W256, false -> err "256-bit %s requires AVX" base
 
+(* Cheap assert only: the SSE two-operand [dst = src1] invariant is
+   enforced at generation time by [Asmcheck] (lint sse-two-operand), so
+   this can no longer fire on checked programs.  It stays as a last
+   line of defence for programs built by hand and printed directly. *)
 let check_sse2op ~avx ~what dst src1 =
   if (not avx) && dst <> src1 then
     err "SSE two-operand %s with dst=%d <> src1=%d" what dst src1
@@ -166,6 +170,7 @@ let insn_str ~avx (i : t) : string =
   | Push r -> "pushq " ^ gpr_name r
   | Pop r -> "popq " ^ gpr_name r
   | Ret -> "ret"
+  | Vzeroupper -> "vzeroupper"
   | Prefetch (Pf_t0, m) -> "prefetcht0 " ^ mem_str m
   | Prefetch (Pf_w, m) -> "prefetchw " ^ mem_str m
   | Comment c -> "# " ^ c

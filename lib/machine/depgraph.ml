@@ -60,6 +60,9 @@ let uops (arch : Arch.t) (i : Insn.t) : int =
   | Insn.Vblend { w; _ } ->
       Arch.uops_for arch w
   | Insn.Vperm128 _ | Insn.Vextract128 _ -> 1
+  (* vzeroupper is 1 uop on both modelled microarchitectures and, being
+     confined to the epilogue, never shares an issue group with FP work *)
+  | Insn.Vzeroupper -> 1
   | _ -> 1
 
 (* Build the dependence DAG of [insns] (assumed branch-free).  When

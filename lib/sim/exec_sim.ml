@@ -333,6 +333,13 @@ let run ?(fuel = default_fuel) ?(sp = stack_base) ?on_access (st : state)
         set_gpr st r (read_cell st (Int64.to_int sp));
         set_gpr st Reg.Rsp (Int64.add sp 8L)
     | Insn.Ret -> running := false
+    | Insn.Vzeroupper ->
+        (* zero bits 255:128 of every vector register: lanes 2..3 *)
+        Array.iter
+          (fun v ->
+            v.(2) <- 0.;
+            v.(3) <- 0.)
+          st.vec
     | Insn.Prefetch (_, m) ->
         (* software prefetch fills the cache like a load *)
         observe ~addr:(addr_of st m) ~bytes:8 ~store:false;

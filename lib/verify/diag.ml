@@ -8,6 +8,7 @@ type stage =
   | S_score
   | S_simulate
   | S_verify
+  | S_asmcheck
   | S_cache
 
 type code =
@@ -21,6 +22,7 @@ type code =
   | E_type_error
   | E_eval_error
   | E_mismatch
+  | E_lint
   | E_cache_corrupt
   | E_unexpected of string
 
@@ -40,6 +42,7 @@ let stage_to_string = function
   | S_score -> "score"
   | S_simulate -> "simulate"
   | S_verify -> "verify"
+  | S_asmcheck -> "asmcheck"
   | S_cache -> "cache"
 
 let code_to_string = function
@@ -53,6 +56,7 @@ let code_to_string = function
   | E_type_error -> "type-error"
   | E_eval_error -> "eval-error"
   | E_mismatch -> "output-mismatch"
+  | E_lint -> "lint-findings"
   | E_cache_corrupt -> "cache-corrupt"
   | E_unexpected exn -> "unexpected:" ^ exn
 

@@ -15,6 +15,7 @@ type stage =
   | S_score  (** cycle-model performance prediction *)
   | S_simulate  (** functional simulation *)
   | S_verify  (** output comparison against the reference BLAS *)
+  | S_asmcheck  (** machine-code static verification ({!Asmcheck}) *)
   | S_cache  (** persistent tuning-cache load/store *)
 
 (** Classified failure reason. *)
@@ -29,6 +30,7 @@ type code =
   | E_type_error  (** transformed kernel failed to re-typecheck *)
   | E_eval_error  (** IR interpreter fault *)
   | E_mismatch  (** outputs diverged from the reference *)
+  | E_lint  (** the static machine-code checker reported findings *)
   | E_cache_corrupt
       (** a persistent tuning-cache file failed to load (bad magic,
           foreign key, checksum mismatch, unreadable); always a cache

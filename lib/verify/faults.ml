@@ -10,11 +10,24 @@ type kind =
   | Perturb_imm
   | Retarget_register
   | Flip_branch
+  (* asm-level classes, statically detectable by construction: the
+     meta-test for the static checker (Asmcheck), mirroring what the
+     dynamic classes above are to the execution harness *)
+  | Asm_drop_save
+  | Asm_drop_restore
+  | Asm_drop_push
+  | Asm_drop_pop
+  | Asm_drop_zeroing
+  | Asm_drop_vzeroupper
+  | Asm_retarget_jump
+  | Asm_clobber_callee_saved
+  | Asm_swap_sse
 
 type fault = {
   f_kind : kind;
   f_index : int;
   f_descr : string;
+  f_arg : int option;
 }
 
 let kind_to_string = function
@@ -24,6 +37,15 @@ let kind_to_string = function
   | Perturb_imm -> "perturb-imm"
   | Retarget_register -> "retarget-register"
   | Flip_branch -> "flip-branch"
+  | Asm_drop_save -> "asm-drop-save"
+  | Asm_drop_restore -> "asm-drop-restore"
+  | Asm_drop_push -> "asm-drop-push"
+  | Asm_drop_pop -> "asm-drop-pop"
+  | Asm_drop_zeroing -> "asm-drop-zeroing"
+  | Asm_drop_vzeroupper -> "asm-drop-vzeroupper"
+  | Asm_retarget_jump -> "asm-retarget-jump"
+  | Asm_clobber_callee_saved -> "asm-clobber-callee-saved"
+  | Asm_swap_sse -> "asm-swap-sse"
 
 let describe f = Printf.sprintf "%s @%d (%s)" (kind_to_string f.f_kind) f.f_index f.f_descr
 
@@ -57,7 +79,9 @@ let stack_slot (m : Insn.mem) =
   match m.Insn.base with Reg.Rbp | Reg.Rsp -> true | _ -> false
 
 let faults_of_insn ~unobservable (idx : int) (i : Insn.t) : fault list =
-  let mk kind descr = { f_kind = kind; f_index = idx; f_descr = descr } in
+  let mk kind descr =
+    { f_kind = kind; f_index = idx; f_descr = descr; f_arg = None }
+  in
   match i with
   | Insn.Vstore _ -> [ mk Drop_store "vector store"; mk Perturb_disp "vector store" ]
   | Insn.Storeq (m, _) ->
@@ -98,6 +122,225 @@ let sample ?(seed = 0) ~max (p : Insn.program) : fault list =
        the whole program rather than a prefix *)
     List.init max (fun i -> arr.((seed + (i * n / max)) mod n))
 
+(* --- asm-level faults: the static checker's meta-test -------------- *)
+
+(* Unlike the dynamic classes, every asm-level fault is chosen so that
+   a sound static checker MUST flag the mutant: dropped callee-saves /
+   restores / push / pop break the ABI contract on some path, a
+   retargeted jump names a label that does not exist, a clobbered
+   never-touched callee-saved register has no saved copy, a dropped
+   zeroing leaves a read of an undefined register, a dropped
+   vzeroupper leaves dirty 256-bit state at ret, and a swapped SSE
+   operand pair violates the two-operand encoding invariant. *)
+
+let chaos_label = ".Lasm_chaos_undefined"
+let is_callee_saved g = List.mem g Reg.callee_saved
+
+let gpr_written (i : Insn.t) (g : Reg.gpr) =
+  List.exists (function Reg.Gp g' -> g' = g | Reg.Vr _ -> false)
+    (Insn.writes i)
+
+(* a callee-saved register the program never touches: the target for
+   Asm_clobber_callee_saved (clobbering it is unconditionally an ABI
+   violation, since nothing can have saved it) *)
+let untouched_callee_saved (insns : Insn.t array) : Reg.gpr option =
+  List.find_opt
+    (fun g ->
+      not
+        (Array.exists
+           (fun i ->
+             gpr_written i g
+             || match i with
+                | Insn.Push r | Insn.Storeq (_, r) -> r = g
+                | _ -> false)
+           insns))
+    Reg.callee_saved
+
+let zeroing_idiom = function
+  | Insn.Vop { op = Insn.Fxor; dst; src1; src2; _ } when src1 = src2 ->
+      Some dst
+  | _ -> None
+
+let writes_vreg (i : Insn.t) (v : Reg.vreg) =
+  List.exists (function Reg.Vr v' -> v' = v | Reg.Gp _ -> false)
+    (Insn.writes i)
+
+let reads_vreg (i : Insn.t) (v : Reg.vreg) =
+  List.exists (function Reg.Vr v' -> v' = v | Reg.Gp _ -> false)
+    (Insn.reads i)
+
+let writes_256 = function
+  | Insn.Vop { w = Insn.W256; _ }
+  | Insn.Vfma4 { w = Insn.W256; _ }
+  | Insn.Vload { w = Insn.W256; _ }
+  | Insn.Vbroadcast { w = Insn.W256; _ }
+  | Insn.Vshuf { w = Insn.W256; _ }
+  | Insn.Vblend { w = Insn.W256; _ }
+  | Insn.Vperm128 _ ->
+      true
+  | _ -> false
+
+let enumerate_asm ?(avx = true) ?(entry = []) (p : Insn.program) : fault list
+    =
+  let insns = Array.of_list p.Insn.prog_insns in
+  let n = Array.length insns in
+  let mk kind idx descr arg =
+    { f_kind = kind; f_index = idx; f_descr = descr; f_arg = arg }
+  in
+  let exists_in lo hi f =
+    let rec go i = i <= hi && i < n && (f insns.(i) || go (i + 1)) in
+    go (max lo 0)
+  in
+  let find_in lo hi f =
+    let rec go i =
+      if i > hi || i >= n then None
+      else if f insns.(i) then Some i
+      else go (i + 1)
+    in
+    go (max lo 0)
+  in
+  (* every site the stack tracker records as a saved copy of a
+     callee-saved register *)
+  let is_save r = function
+    | Insn.Storeq (m, r') -> r' = r && stack_slot m
+    | Insn.Push r' -> r' = r
+    | _ -> false
+  in
+  let save_sites =
+    List.concat_map
+      (fun r ->
+        Array.to_list insns
+        |> List.mapi (fun j x -> (j, x))
+        |> List.filter_map (fun (j, x) ->
+               if is_save r x then Some (r, j) else None))
+      Reg.callee_saved
+  in
+  (* syntactic identity of an 8-byte frame cell: rbp-relative,
+     non-indexed, below the frame base *)
+  let writes_cell (m : Insn.mem) = function
+    | Insn.Storeq (m', _) ->
+        m'.Insn.base = m.Insn.base && m'.Insn.disp = m.Insn.disp
+        && m'.Insn.index = None
+    | Insn.Vstore { w; dst = m'; _ } ->
+        m'.Insn.base = m.Insn.base && m'.Insn.index = None
+        && m'.Insn.disp <= m.Insn.disp
+        && m.Insn.disp < m'.Insn.disp + (Insn.width_bits w / 8)
+    | _ -> false
+  in
+  let reads_cell (m : Insn.mem) = function
+    | Insn.Loadq (_, m') ->
+        m'.Insn.base = m.Insn.base && m'.Insn.disp = m.Insn.disp
+        && m'.Insn.index = None
+    | _ -> false
+  in
+  let clobber_target = untouched_callee_saved insns in
+  (* the last stack reload of each callee-saved register is its
+     epilogue restore: dropping it leaves the register unrestored on
+     the path to ret *)
+  let last_restore = Hashtbl.create 8 in
+  Array.iteri
+    (fun idx i ->
+      match i with
+      | Insn.Loadq (r, m) when stack_slot m && is_callee_saved r ->
+          Hashtbl.replace last_restore r idx
+      | _ -> ())
+    insns;
+  let entry_vregs =
+    List.filter_map (function Reg.Vr v -> Some v | Reg.Gp _ -> None) entry
+  in
+  let out = ref [] in
+  let add f = out := f :: !out in
+  Array.iteri
+    (fun idx i ->
+      (match i with
+      | Insn.Storeq (m, r) when stack_slot m && is_callee_saved r ->
+          (* Dropping this store is statically detectable iff either
+             (a) it is the only write to its frame cell and the cell is
+             reloaded later (the reload then reads an uninitialized
+             slot), or (b) a write to [r] follows before any other
+             saved copy of [r] exists (the write then clobbers a
+             callee-saved register with no saved copy).  Sites meeting
+             neither are equivalent mutants for a static checker and
+             are skipped. *)
+          let reload_detectable =
+            m.Insn.index = None
+            && m.Insn.base = Reg.Rbp && m.Insn.disp < 0
+            && (not
+                  (exists_in 0 (idx - 1) (writes_cell m)
+                  || exists_in (idx + 1) (n - 1) (writes_cell m)))
+            && exists_in (idx + 1) (n - 1) (reads_cell m)
+          in
+          let clobber_detectable =
+            match
+              find_in (idx + 1) (n - 1) (fun x -> gpr_written x r)
+            with
+            | Some jw ->
+                not
+                  (List.exists
+                     (fun (r', js) -> r' = r && js <> idx && js < jw)
+                     save_sites)
+            | None -> false
+          in
+          if reload_detectable || clobber_detectable then
+            add
+              (mk Asm_drop_save idx
+                 ("save of %" ^ Reg.gpr_name r)
+                 (Some (Reg.gpr_index r)))
+      | Insn.Loadq (r, m)
+        when stack_slot m && is_callee_saved r
+             && Hashtbl.find_opt last_restore r = Some idx
+             && exists_in 0 (idx - 1) (fun j -> gpr_written j r) ->
+          add
+            (mk Asm_drop_restore idx
+               ("restore of %" ^ Reg.gpr_name r)
+               (Some (Reg.gpr_index r)))
+      | Insn.Push r ->
+          add (mk Asm_drop_push idx ("push %" ^ Reg.gpr_name r) None)
+      | Insn.Pop r ->
+          add (mk Asm_drop_pop idx ("pop %" ^ Reg.gpr_name r) None)
+      | Insn.Vzeroupper when exists_in 0 (idx - 1) writes_256 ->
+          add (mk Asm_drop_vzeroupper idx "vzeroupper" None)
+      | Insn.Jmp _ -> add (mk Asm_retarget_jump idx "unconditional jump" None)
+      | Insn.Jcc _ -> add (mk Asm_retarget_jump idx "conditional jump" None)
+      | _ -> ());
+      (match zeroing_idiom i with
+      | Some dst
+        when (not (List.mem dst entry_vregs))
+             && (not (exists_in 0 (idx - 1) (fun j -> writes_vreg j dst)))
+             && exists_in (idx + 1) (n - 1) (fun j -> reads_vreg j dst) ->
+          add
+            (mk Asm_drop_zeroing idx
+               (Printf.sprintf "zeroing of %%xmm%d" dst)
+               None)
+      | _ -> ());
+      (match (clobber_target, i) with
+      | ( Some g,
+          ( Insn.Movri _ | Insn.Movrr _ | Insn.Loadq _ | Insn.Lea _
+          | Insn.Addri _ | Insn.Subri _ ) ) ->
+          add
+            (mk Asm_clobber_callee_saved idx
+               ("retarget destination to %" ^ Reg.gpr_name g)
+               (Some (Reg.gpr_index g)))
+      | _ -> ());
+      if not avx then
+        match i with
+        | Insn.Vop { op; dst; src1; src2; _ }
+          when dst = src1 && src1 <> src2 && op <> Insn.Fmov
+               && op <> Insn.Fma231 ->
+            add (mk Asm_swap_sse idx "SSE two-operand FP op" None)
+        | _ -> ())
+    insns;
+  List.rev !out
+
+let sample_asm ?(seed = 0) ?(avx = true) ?(entry = []) ~max
+    (p : Insn.program) : fault list =
+  let all = enumerate_asm ~avx ~entry p in
+  let n = List.length all in
+  if n <= max then all
+  else
+    let arr = Array.of_list all in
+    List.init max (fun i -> arr.((seed + (i * n / max)) mod n))
+
 let perturb_mem (m : Insn.mem) : Insn.mem = { m with Insn.disp = m.Insn.disp + 8 }
 
 let retarget (v : Reg.vreg) : Reg.vreg = (v + 1) mod Reg.vreg_count
@@ -128,6 +371,36 @@ let mutate (f : fault) (i : Insn.t) : Insn.t =
   | Retarget_register, Insn.Vfma4 ({ c; _ } as r) ->
       Insn.Vfma4 { r with c = retarget c }
   | Flip_branch, Insn.Jcc (c, l) -> Insn.Jcc (flip_cond c, l)
+  | Asm_drop_save, Insn.Storeq _ ->
+      Insn.Comment (Printf.sprintf "asm-fault: dropped callee-save @%d" f.f_index)
+  | Asm_drop_restore, Insn.Loadq _ ->
+      Insn.Comment (Printf.sprintf "asm-fault: dropped restore @%d" f.f_index)
+  | Asm_drop_push, Insn.Push _ ->
+      Insn.Comment (Printf.sprintf "asm-fault: dropped push @%d" f.f_index)
+  | Asm_drop_pop, Insn.Pop _ ->
+      Insn.Comment (Printf.sprintf "asm-fault: dropped pop @%d" f.f_index)
+  | Asm_drop_zeroing, Insn.Vop _ ->
+      Insn.Comment (Printf.sprintf "asm-fault: dropped zeroing @%d" f.f_index)
+  | Asm_drop_vzeroupper, Insn.Vzeroupper ->
+      Insn.Comment (Printf.sprintf "asm-fault: dropped vzeroupper @%d" f.f_index)
+  | Asm_retarget_jump, Insn.Jmp _ -> Insn.Jmp chaos_label
+  | Asm_retarget_jump, Insn.Jcc (c, _) -> Insn.Jcc (c, chaos_label)
+  | Asm_clobber_callee_saved, i -> (
+      let g =
+        match f.f_arg with
+        | Some gi -> List.nth Reg.all_gprs gi
+        | None -> stale ()
+      in
+      match i with
+      | Insn.Movri (_, v) -> Insn.Movri (g, v)
+      | Insn.Movrr (_, s) -> Insn.Movrr (g, s)
+      | Insn.Loadq (_, m) -> Insn.Loadq (g, m)
+      | Insn.Lea (_, m) -> Insn.Lea (g, m)
+      | Insn.Addri (_, v) -> Insn.Addri (g, v)
+      | Insn.Subri (_, v) -> Insn.Subri (g, v)
+      | _ -> stale ())
+  | Asm_swap_sse, Insn.Vop ({ src1; src2; _ } as r) ->
+      Insn.Vop { r with src1 = src2; src2 = src1 }
   | _ -> stale ()
 
 let apply (p : Insn.program) (f : fault) : Insn.program =

@@ -16,6 +16,19 @@ type kind =
   | Perturb_imm  (** nudge an integer immediate *)
   | Retarget_register  (** read a different SIMD register *)
   | Flip_branch  (** off-by-one / inverted branch condition *)
+  | Asm_drop_save  (** delete a callee-saved register's stack save *)
+  | Asm_drop_restore  (** delete a callee-saved register's restore *)
+  | Asm_drop_push  (** delete a [Push] (unbalances the stack) *)
+  | Asm_drop_pop  (** delete a [Pop] *)
+  | Asm_drop_zeroing  (** delete an accumulator's xor-zeroing idiom *)
+  | Asm_drop_vzeroupper  (** delete the AVX->SSE transition fence *)
+  | Asm_retarget_jump  (** point a branch at a label that does not exist *)
+  | Asm_clobber_callee_saved
+      (** redirect an instruction's destination to a callee-saved
+          register the program never saves *)
+  | Asm_swap_sse
+      (** swap src1/src2 of a two-operand SSE encoding, breaking the
+          [dst = src1] invariant *)
 
 (** One injectable fault: a mutation [f_kind] of the instruction at
     [f_index] in the program. *)
@@ -23,6 +36,9 @@ type fault = {
   f_kind : kind;
   f_index : int;
   f_descr : string;  (** human-readable site description *)
+  f_arg : int option;
+      (** kind-specific operand (e.g. the [Reg.gpr_index] of the
+          clobber target) *)
 }
 
 val kind_to_string : kind -> string
@@ -47,6 +63,30 @@ val enumerate :
 (** A deterministic subset of {!enumerate} of size at most [max],
     spread evenly across the program ([seed] rotates the choice). *)
 val sample : ?seed:int -> max:int -> Augem_machine.Insn.program -> fault list
+
+(** The asm-level fault classes ([Asm_*]): each site is chosen so that
+    a sound static checker must flag the mutant — dropped saves /
+    restores / push / pop violate the ABI contract on some path,
+    retargeted jumps name an undefined label, the clobber target is a
+    callee-saved register the program never saves, dropped zeroings
+    leave a later read undefined (sites whose destination is defined
+    earlier, or in [entry], or never read again are skipped as
+    statically unobservable), and [Asm_swap_sse] (enumerated only when
+    [avx] is false) breaks the two-operand encoding invariant. *)
+val enumerate_asm :
+  ?avx:bool ->
+  ?entry:Augem_machine.Reg.t list ->
+  Augem_machine.Insn.program ->
+  fault list
+
+(** Deterministic subset of {!enumerate_asm}, like {!sample}. *)
+val sample_asm :
+  ?seed:int ->
+  ?avx:bool ->
+  ?entry:Augem_machine.Reg.t list ->
+  max:int ->
+  Augem_machine.Insn.program ->
+  fault list
 
 (** The mutated program.  Raises [Invalid_argument] if the fault does
     not apply to the instruction at its index (a stale fault from a

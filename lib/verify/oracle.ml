@@ -231,3 +231,19 @@ let apply_checked ?tol ?inputs (k : Ast.kernel) (config : Pipeline.config) :
               div_after = Some k';
               div_diff = "";
             })
+
+(* --- static machine-code verification ----------------------------------- *)
+
+(* The differential oracle above checks the IR pipeline; this runs the
+   machine-code static checker (CFG + dataflow lints) on the final
+   generated program, alongside the dynamic comparison the harness
+   does.  A thin re-export so verification callers need only this
+   module. *)
+let check_static ~avx ?params (p : Augem_machine.Insn.program) :
+    Augem_analysis.Asmcheck.finding list =
+  let config =
+    match params with
+    | Some params -> Augem_analysis.Asmcheck.config_for ~avx ~params
+    | None -> Augem_analysis.Asmcheck.conservative ~avx
+  in
+  Augem_analysis.Asmcheck.check ~config p

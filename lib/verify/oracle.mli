@@ -72,3 +72,15 @@ val apply_checked :
   Augem_ir.Ast.kernel ->
   Augem_transform.Pipeline.config ->
   (Augem_ir.Ast.kernel, divergence) result
+
+(** Static machine-code verification of the final generated program:
+    run the {!Augem_analysis.Asmcheck} lint suite under the precise
+    entry configuration of the kernel signature ([params]), or the
+    conservative ABI configuration when the signature is unknown.
+    Complements the dynamic differential check: the oracle convicts
+    miscompiling IR passes, this convicts malformed machine code. *)
+val check_static :
+  avx:bool ->
+  ?params:Augem_ir.Ast.param list ->
+  Augem_machine.Insn.program ->
+  Augem_analysis.Asmcheck.finding list

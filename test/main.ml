@@ -4,6 +4,7 @@ let () =
       ("poly", Test_poly.suite);
       ("ir", Test_ir.suite);
       ("analysis", Test_analysis.suite);
+      ("asmcheck", Test_asmcheck.suite);
       ("transform", Test_transform.suite);
       ("templates", Test_templates.suite);
       ("script", Test_script.suite);

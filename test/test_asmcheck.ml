@@ -1,0 +1,416 @@
+(* The static machine-code verifier: per-lint unit tests on hand-built
+   programs, a zero-findings sweep over the shipped kernel corpus and a
+   sampled slice of the tuning space, and the asm-level mutation
+   meta-test (the static analogue of test/robustness/test_faults.ml:
+   inject faults the checker must catch, measure the detection rate). *)
+
+module A = Augem
+module Insn = A.Machine.Insn
+module Reg = A.Machine.Reg
+module Kernels = A.Ir.Kernels
+module Pipeline = A.Transform.Pipeline
+module Asmcheck = A.Analysis.Asmcheck
+module Diag = A.Verify.Diag
+module Chaos = A.Chaos
+
+let prog insns = { Insn.prog_name = "t"; prog_insns = insns }
+let m ?index ?(disp = 0) base = Insn.mem ?index ~disp base
+
+(* Precise entry state with no arguments: only callee-saved + rsp. *)
+let bare = Asmcheck.config_for ~avx:true ~params:[]
+let lax = Asmcheck.conservative ~avx:true
+
+let has l fs = List.exists (fun f -> f.Asmcheck.f_lint = l) fs
+let has_error l fs = has l (Asmcheck.errors fs)
+
+let check_has ?(config = bare) name lint insns =
+  let fs = Asmcheck.check ~config (prog insns) in
+  Alcotest.(check bool)
+    (name ^ ": reports " ^ Asmcheck.lint_name lint)
+    true (has lint fs)
+
+let check_clean ?(config = bare) name insns =
+  let fs = Asmcheck.check ~config (prog insns) in
+  Alcotest.(check (list string))
+    (name ^ ": no findings")
+    []
+    (List.map Asmcheck.finding_to_string fs)
+
+(* --- per-lint unit tests ------------------------------------------- *)
+
+let test_malformed_cfg () =
+  check_has "jump to nowhere" Asmcheck.L_malformed_cfg
+    [ Insn.Jmp "nowhere"; Insn.Ret ];
+  check_has "no ret" Asmcheck.L_malformed_cfg [ Insn.Movri (Reg.Rax, 1) ];
+  check_has "duplicate label" Asmcheck.L_malformed_cfg
+    [ Insn.Label "l"; Insn.Label "l"; Insn.Ret ]
+
+let test_undef_read () =
+  check_has "fp op on undefined sources" Asmcheck.L_undef_read
+    [
+      Insn.Vop { op = Insn.Fadd; w = Insn.W128; dst = 3; src1 = 4; src2 = 5 };
+      Insn.Ret;
+    ];
+  (* the same program is clean under the conservative entry state,
+     where xmm0-7 may carry arguments *)
+  let fs =
+    Asmcheck.check ~config:lax
+      (prog
+         [
+           Insn.Vop
+             { op = Insn.Fadd; w = Insn.W128; dst = 0; src1 = 4; src2 = 5 };
+           Insn.Ret;
+         ])
+  in
+  Alcotest.(check bool) "defined under conservative entry" false
+    (has Asmcheck.L_undef_read fs)
+
+let test_partial_path_undef () =
+  (* defined on the fallthrough path only: Jcc guards the definition *)
+  check_has "defined on one path only" Asmcheck.L_undef_read
+    [
+      Insn.Movri (Reg.Rax, 0);
+      Insn.Cmpri (Reg.Rax, 0);
+      Insn.Jcc (Insn.Ceq, "skip");
+      Insn.Movri (Reg.Rcx, 7);
+      Insn.Label "skip";
+      Insn.Movrr (Reg.Rdx, Reg.Rcx);
+      Insn.Ret;
+    ]
+
+let test_mem_base_undef () =
+  check_has "load through undefined base" Asmcheck.L_mem_base_undef
+    [
+      Insn.Vload { w = Insn.W128; dst = 0; src = m Reg.Rcx };
+      Insn.Ret;
+    ]
+
+let test_flags_undef () =
+  check_has "branch with no compare" Asmcheck.L_flags_undef
+    [ Insn.Jcc (Insn.Clt, "l"); Insn.Label "l"; Insn.Ret ];
+  check_clean "branch after compare"
+    [
+      Insn.Movri (Reg.Rax, 0);
+      Insn.Cmpri (Reg.Rax, 4);
+      Insn.Jcc (Insn.Clt, "l");
+      Insn.Label "l";
+      Insn.Ret;
+    ]
+
+let test_callee_saved_clobber () =
+  check_has "rbx clobbered without save" Asmcheck.L_callee_saved_clobber
+    [ Insn.Movri (Reg.Rbx, 1); Insn.Ret ];
+  check_clean "rbx saved and restored"
+    [ Insn.Push Reg.Rbx; Insn.Movri (Reg.Rbx, 1); Insn.Pop Reg.Rbx; Insn.Ret ]
+
+let test_stack_imbalance () =
+  check_has "push without pop" Asmcheck.L_stack_imbalance
+    [ Insn.Push Reg.Rbx; Insn.Ret ];
+  check_has "rsp adjustment not rebalanced" Asmcheck.L_stack_imbalance
+    [ Insn.Subri (Reg.Rsp, 32); Insn.Ret ]
+
+let test_save_slot_clobber () =
+  check_has "only saved copy overwritten" Asmcheck.L_save_slot_clobber
+    [
+      Insn.Push Reg.Rbp;
+      Insn.Movrr (Reg.Rbp, Reg.Rsp);
+      Insn.Subri (Reg.Rsp, 16);
+      Insn.Storeq (m ~disp:(-8) Reg.Rbp, Reg.Rbx);
+      Insn.Movri (Reg.Rbx, 7);
+      Insn.Movri (Reg.Rax, 0);
+      Insn.Storeq (m ~disp:(-8) Reg.Rbp, Reg.Rax);
+      Insn.Loadq (Reg.Rbx, m ~disp:(-8) Reg.Rbp);
+      Insn.Movrr (Reg.Rsp, Reg.Rbp);
+      Insn.Pop Reg.Rbp;
+      Insn.Ret;
+    ]
+
+let test_uninit_slot_load () =
+  check_has "reload without spill" Asmcheck.L_uninit_slot_load
+    [
+      Insn.Push Reg.Rbp;
+      Insn.Movrr (Reg.Rbp, Reg.Rsp);
+      Insn.Subri (Reg.Rsp, 16);
+      Insn.Loadq (Reg.Rax, m ~disp:(-8) Reg.Rbp);
+      Insn.Movrr (Reg.Rsp, Reg.Rbp);
+      Insn.Pop Reg.Rbp;
+      Insn.Ret;
+    ];
+  check_clean "spill then reload"
+    [
+      Insn.Push Reg.Rbp;
+      Insn.Movrr (Reg.Rbp, Reg.Rsp);
+      Insn.Subri (Reg.Rsp, 16);
+      Insn.Movri (Reg.Rax, 3);
+      Insn.Storeq (m ~disp:(-8) Reg.Rbp, Reg.Rax);
+      Insn.Loadq (Reg.Rcx, m ~disp:(-8) Reg.Rbp);
+      Insn.Movrr (Reg.Rsp, Reg.Rbp);
+      Insn.Pop Reg.Rbp;
+      Insn.Ret;
+    ]
+
+let test_dirty_upper () =
+  let zero256 =
+    Insn.Vop { op = Insn.Fxor; w = Insn.W256; dst = 0; src1 = 0; src2 = 0 }
+  in
+  let fs = Asmcheck.check ~config:lax (prog [ zero256; Insn.Ret ]) in
+  Alcotest.(check bool) "256-bit state dirty at ret" true
+    (has Asmcheck.L_dirty_upper fs);
+  let fs =
+    Asmcheck.check ~config:lax (prog [ zero256; Insn.Vzeroupper; Insn.Ret ])
+  in
+  Alcotest.(check bool) "vzeroupper cleans the upper state" false
+    (has Asmcheck.L_dirty_upper fs)
+
+let test_sse_lints () =
+  let sse = Asmcheck.conservative ~avx:false in
+  let fs =
+    Asmcheck.check ~config:sse
+      (prog
+         [
+           Insn.Vop
+             { op = Insn.Fadd; w = Insn.W128; dst = 1; src1 = 2; src2 = 3 };
+           Insn.Ret;
+         ])
+  in
+  Alcotest.(check bool) "dst <> src1 in SSE mode" true
+    (has_error Asmcheck.L_sse_two_operand fs);
+  let fs =
+    Asmcheck.check ~config:sse
+      (prog
+         [
+           Insn.Vop
+             { op = Insn.Fadd; w = Insn.W256; dst = 0; src1 = 0; src2 = 1 };
+           Insn.Ret;
+         ])
+  in
+  Alcotest.(check bool) "256-bit op in SSE mode" true
+    (has_error Asmcheck.L_sse_wide fs);
+  let fs =
+    Asmcheck.check ~config:sse
+      (prog
+         [
+           Insn.Vop
+             { op = Insn.Fadd; w = Insn.W128; dst = 2; src1 = 2; src2 = 3 };
+           Insn.Ret;
+         ])
+  in
+  Alcotest.(check bool) "dst = src1 is fine in SSE mode" false
+    (has Asmcheck.L_sse_two_operand fs)
+
+let test_unreachable_and_dead () =
+  let fs =
+    Asmcheck.check ~config:bare
+      (prog
+         [
+           Insn.Jmp "end";
+           Insn.Movri (Reg.Rax, 1);
+           Insn.Label "end";
+           Insn.Ret;
+         ])
+  in
+  Alcotest.(check bool) "code after jmp unreachable" true
+    (has Asmcheck.L_unreachable fs);
+  Alcotest.(check bool) "unreachable is a warning, not an error" false
+    (has_error Asmcheck.L_unreachable fs);
+  let fs =
+    Asmcheck.check ~config:lax
+      (prog
+         [
+           Insn.Vop
+             { op = Insn.Fmov; w = Insn.W128; dst = 9; src1 = 1; src2 = 1 };
+           Insn.Ret;
+         ])
+  in
+  Alcotest.(check bool) "fp result never read" true
+    (has Asmcheck.L_dead_write fs);
+  Alcotest.(check bool) "dead write is a warning, not an error" false
+    (has_error Asmcheck.L_dead_write fs)
+
+let test_check_exn () =
+  let bad = prog [ Insn.Movri (Reg.Rbx, 1); Insn.Ret ] in
+  (match Asmcheck.check_exn ~config:bare bad with
+  | () -> Alcotest.fail "check_exn did not raise on a clobbered rbx"
+  | exception Asmcheck.Lint_error (_, fs) ->
+      Alcotest.(check bool) "error findings attached" true (fs <> []));
+  Asmcheck.check_exn ~config:bare (prog [ Insn.Ret ])
+
+(* --- the shipped corpus: zero findings everywhere ------------------- *)
+
+let config_for k =
+  match k with
+  | Kernels.Gemm -> { Pipeline.default with jam = [ ("j", 4); ("i", 8) ] }
+  | Kernels.Gemv -> { Pipeline.default with inner_unroll = Some ("j", 8) }
+  | Kernels.Dot ->
+      {
+        Pipeline.default with
+        inner_unroll = Some ("i", 8);
+        expand_reduction = Some 8;
+      }
+  | _ -> { Pipeline.default with inner_unroll = Some ("i", 8) }
+
+let all_kernels = Kernels.[ Gemm; Gemv; Axpy; Dot; Ger; Scal; Copy ]
+let arches = A.Machine.Arch.[ sandy_bridge; piledriver ]
+
+let test_corpus_clean () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun k ->
+          let g = A.generate ~arch ~config:(config_for k) k in
+          let params = (Kernels.kernel_of_name k).A.Ir.Ast.k_params in
+          let fs =
+            A.Verify.Oracle.check_static
+              ~avx:(arch.A.Machine.Arch.simd = A.Machine.Arch.AVX)
+              ~params g.A.g_program
+          in
+          if fs <> [] then
+            Alcotest.failf "%s on %s: %s"
+              (Kernels.name_to_string k)
+              arch.A.Machine.Arch.name
+              (String.concat "; " (List.map Asmcheck.finding_to_string fs)))
+        all_kernels)
+    arches
+
+(* A deterministic slice of every kernel's tuning space: candidates the
+   tuner generates must pass the very gate the tuner now applies, so no
+   sampled candidate may produce a lint diagnostic. *)
+let test_tuning_space_sampled_clean () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun k ->
+          let space = A.Tuner.space_for k in
+          let step = max 1 (List.length space / 10) in
+          let source = Kernels.kernel_of_name k in
+          List.iteri
+            (fun i cand ->
+              if i mod step = 0 then
+                match A.Tuner.generate_candidate_diag arch k source cand with
+                | Ok p ->
+                    let fs =
+                      A.Verify.Oracle.check_static
+                        ~avx:(arch.A.Machine.Arch.simd = A.Machine.Arch.AVX)
+                        ~params:source.A.Ir.Ast.k_params p
+                    in
+                    if fs <> [] then
+                      Alcotest.failf "%s on %s candidate %d: %s"
+                        (Kernels.name_to_string k)
+                        arch.A.Machine.Arch.name i
+                        (String.concat "; "
+                           (List.map Asmcheck.finding_to_string fs))
+                | Error d ->
+                    if d.Diag.d_code = Diag.E_lint then
+                      Alcotest.failf "%s on %s candidate %d discarded: %s"
+                        (Kernels.name_to_string k)
+                        arch.A.Machine.Arch.name i (Diag.to_string d))
+            space)
+        all_kernels)
+    arches
+
+(* --- asm-level mutation meta-test ----------------------------------- *)
+
+let test_static_detection_rate () =
+  let reports =
+    List.concat_map
+      (fun arch ->
+        List.map
+          (fun k ->
+            let g = A.generate ~arch ~config:(config_for k) k in
+            Chaos.run_static ~max_faults:200 ~arch k g.A.g_program)
+          all_kernels)
+      arches
+  in
+  List.iter
+    (fun r ->
+      let rate = Chaos.rate r in
+      if rate < 0.90 then
+        Alcotest.failf "%s: static detection %.1f%% below per-kernel floor \
+                        (%d/%d)"
+          r.Chaos.c_kernel (100. *. rate) r.Chaos.c_detected r.Chaos.c_total)
+    reports;
+  let agg = Chaos.merge reports in
+  let rate = Chaos.rate agg in
+  Alcotest.(check bool)
+    (Printf.sprintf "aggregate static detection %.2f%% (%d/%d) >= 95%%"
+       (100. *. rate) agg.Chaos.c_detected agg.Chaos.c_total)
+    true (rate >= 0.95)
+
+let test_asm_fault_enumeration_deterministic () =
+  let g =
+    A.generate ~arch:A.Machine.Arch.sandy_bridge
+      ~config:(config_for Kernels.Gemm) Kernels.Gemm
+  in
+  let module Faults = A.Verify.Faults in
+  let f1 = Faults.enumerate_asm g.A.g_program
+  and f2 = Faults.enumerate_asm g.A.g_program in
+  Alcotest.(check bool) "same asm fault list on re-enumeration" true (f1 = f2);
+  Alcotest.(check bool) "non-empty" true (f1 <> []);
+  let s = Faults.sample_asm ~max:16 g.A.g_program in
+  Alcotest.(check int) "sample respects max" 16 (List.length s)
+
+(* --- integration wiring --------------------------------------------- *)
+
+let test_diag_strings () =
+  Alcotest.(check string) "E_lint code" "lint-findings"
+    (Diag.code_to_string Diag.E_lint);
+  Alcotest.(check string) "S_asmcheck stage" "asmcheck"
+    (Diag.stage_to_string Diag.S_asmcheck)
+
+let test_postcondition_gate () =
+  let was = Asmcheck.postcondition_enabled () in
+  Asmcheck.set_postcondition true;
+  Fun.protect
+    ~finally:(fun () -> Asmcheck.set_postcondition was)
+    (fun () ->
+      List.iter
+        (fun arch ->
+          ignore
+            (A.generate ~arch ~config:(config_for Kernels.Gemm) Kernels.Gemm))
+        arches)
+
+let test_vzeroupper_threading () =
+  let g =
+    A.generate ~arch:A.Machine.Arch.sandy_bridge
+      ~config:(config_for Kernels.Gemm) Kernels.Gemm
+  in
+  let insns = g.A.g_program.Insn.prog_insns in
+  Alcotest.(check bool) "AVX gemm carries a real Vzeroupper" true
+    (List.mem Insn.Vzeroupper insns);
+  Alcotest.(check bool) "no comment-encoded vzeroupper remains" false
+    (List.mem (Insn.Comment "vzeroupper") insns);
+  Alcotest.(check string) "prints as the bare mnemonic" "vzeroupper"
+    (A.Machine.Att.insn_str ~avx:true Insn.Vzeroupper)
+
+let suite =
+  [
+    Alcotest.test_case "lint: malformed cfg" `Quick test_malformed_cfg;
+    Alcotest.test_case "lint: undef read" `Quick test_undef_read;
+    Alcotest.test_case "lint: partial-path undef" `Quick
+      test_partial_path_undef;
+    Alcotest.test_case "lint: mem base undef" `Quick test_mem_base_undef;
+    Alcotest.test_case "lint: flags undef" `Quick test_flags_undef;
+    Alcotest.test_case "lint: callee-saved clobber" `Quick
+      test_callee_saved_clobber;
+    Alcotest.test_case "lint: stack imbalance" `Quick test_stack_imbalance;
+    Alcotest.test_case "lint: save slot clobber" `Quick
+      test_save_slot_clobber;
+    Alcotest.test_case "lint: uninit slot load" `Quick test_uninit_slot_load;
+    Alcotest.test_case "lint: dirty upper" `Quick test_dirty_upper;
+    Alcotest.test_case "lint: sse encoding" `Quick test_sse_lints;
+    Alcotest.test_case "lint: unreachable and dead" `Quick
+      test_unreachable_and_dead;
+    Alcotest.test_case "check_exn raises on errors" `Quick test_check_exn;
+    Alcotest.test_case "corpus: zero findings (7 kernels x 2 arches)" `Quick
+      test_corpus_clean;
+    Alcotest.test_case "tuning space sample: zero findings" `Slow
+      test_tuning_space_sampled_clean;
+    Alcotest.test_case "static detection rate >= 95%" `Slow
+      test_static_detection_rate;
+    Alcotest.test_case "asm fault enumeration deterministic" `Quick
+      test_asm_fault_enumeration_deterministic;
+    Alcotest.test_case "diagnostic wiring strings" `Quick test_diag_strings;
+    Alcotest.test_case "emit postcondition gate" `Quick
+      test_postcondition_gate;
+    Alcotest.test_case "vzeroupper threading" `Quick test_vzeroupper_threading;
+  ]
