@@ -104,7 +104,8 @@ let load_script = function
       (match A.Transform.Script.parse src with
       | Ok s -> Some s
       | Error msg ->
-          Fmt.epr "script error: %s@." msg;
+          (* msg is "line N: ..." since Script tracks directive lines *)
+          Fmt.epr "%s: script error: %s@." path msg;
           exit 1)
 
 let config_of_flags kernel jam unroll prefetch =
@@ -366,8 +367,28 @@ let verify_cmd =
       const run $ arch_arg $ kernel_arg $ jam_arg $ unroll_arg $ prefetch_arg
       $ chaos_arg $ chaos_asm_arg $ max_faults_arg)
 
+let lint_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the findings as a JSON array of objects (code, severity, \
+           index, message) on stdout, for CI consumption.  The exit status \
+           is unchanged: non-zero iff there are findings.")
+
+let finding_to_json (f : A.Analysis.Asmcheck.finding) : A.Json.t =
+  A.Json.Obj
+    [
+      ("code", A.Json.String (A.Analysis.Asmcheck.lint_name f.A.Analysis.Asmcheck.f_lint));
+      ( "severity",
+        A.Json.String
+          (A.Analysis.Asmcheck.severity_name f.A.Analysis.Asmcheck.f_severity) );
+      ("index", A.Json.Int f.A.Analysis.Asmcheck.f_index);
+      ("message", A.Json.String f.A.Analysis.Asmcheck.f_detail);
+    ]
+
 let lint_cmd =
-  let run arch kernel jam unroll prefetch script =
+  let run arch kernel jam unroll prefetch script json =
     let g =
       match load_script script with
       | Some s -> A.generate_scripted ~arch ~script:s kernel
@@ -382,19 +403,25 @@ let lint_cmd =
         ~params g.A.g_program
     in
     let n = List.length g.A.g_program.A.Machine.Insn.prog_insns in
-    match findings with
-    | [] ->
-        Fmt.pr "%s on %s: %d instructions, no findings@."
-          (A.Ir.Kernels.name_to_string kernel)
-          arch.A.Machine.Arch.name n
-    | fs ->
-        Fmt.pr "%s on %s: %d instructions, %d finding(s)@."
-          (A.Ir.Kernels.name_to_string kernel)
-          arch.A.Machine.Arch.name n (List.length fs);
-        List.iter
-          (fun f -> Fmt.pr "  %a@." A.Analysis.Asmcheck.pp_finding f)
-          fs;
-        exit 1
+    if json then begin
+      print_endline
+        (A.Json.to_string (A.Json.List (List.map finding_to_json findings)));
+      if findings <> [] then exit 1
+    end
+    else
+      match findings with
+      | [] ->
+          Fmt.pr "%s on %s: %d instructions, no findings@."
+            (A.Ir.Kernels.name_to_string kernel)
+            arch.A.Machine.Arch.name n
+      | fs ->
+          Fmt.pr "%s on %s: %d instructions, %d finding(s)@."
+            (A.Ir.Kernels.name_to_string kernel)
+            arch.A.Machine.Arch.name n (List.length fs);
+          List.iter
+            (fun f -> Fmt.pr "  %a@." A.Analysis.Asmcheck.pp_finding f)
+            fs;
+          exit 1
   in
   Cmd.v
     (Cmd.info "lint"
@@ -405,7 +432,7 @@ let lint_cmd =
           kernel; exits non-zero if it reports any finding")
     Term.(
       const run $ arch_arg $ kernel_arg $ jam_arg $ unroll_arg $ prefetch_arg
-      $ script_arg)
+      $ script_arg $ lint_json_arg)
 
 let compile_cmd =
   let file_arg =
@@ -513,6 +540,141 @@ let simulate_cmd =
           cache hierarchy attached, reporting dynamic statistics")
     Term.(const run $ arch_arg $ kernel_arg $ n_arg)
 
+let explain_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the whole trace — stage names, artifact kinds and size \
+           counters, wall times, fingerprints, rendered artifacts — as a \
+           single JSON object on stdout.")
+
+let explain_cmd =
+  let run arch kernel jam unroll prefetch script json =
+    let config, prefer, max_width =
+      match load_script script with
+      | Some sc ->
+          let eo = A.opts_of_script sc in
+          ( sc.A.Transform.Script.sc_config,
+            eo.A.Codegen.Emit.prefer,
+            eo.A.Codegen.Emit.max_width )
+      | None ->
+          ( config_of_flags kernel jam unroll prefetch,
+            A.Codegen.Plan.Prefer_auto,
+            None )
+    in
+    let opts =
+      {
+        A.Driver.Lower.default_opts with
+        A.Driver.Lower.prefer;
+        max_width;
+        snapshots = true;
+      }
+    in
+    let trace = A.explain ~opts ~arch ~config kernel in
+    if json then print_endline (A.Json.to_string (A.trace_to_json trace))
+    else begin
+      Fmt.pr "lowering %s on %s (%s): %d stages@.@."
+        trace.A.Driver.Trace.tr_kernel trace.A.Driver.Trace.tr_arch
+        (Option.value ~default:"-" trace.A.Driver.Trace.tr_config)
+        (List.length trace.A.Driver.Trace.tr_stages);
+      List.iter
+        (fun (r : A.Driver.Trace.stage_record) ->
+          Fmt.pr "=== stage %d: %s (%s) ===@." r.A.Driver.Trace.sr_index
+            r.A.Driver.Trace.sr_name r.A.Driver.Trace.sr_kind;
+          Fmt.pr "%s  %.3f ms  fingerprint %s@."
+            (String.concat "  "
+               (List.map
+                  (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                  r.A.Driver.Trace.sr_stats))
+            r.A.Driver.Trace.sr_ms
+            (String.sub r.A.Driver.Trace.sr_fingerprint 0 12);
+          (match r.A.Driver.Trace.sr_artifact with
+          | Some a ->
+              Fmt.pr "%s@." a
+          | None -> ());
+          Fmt.pr "@.")
+        trace.A.Driver.Trace.tr_stages
+    end
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run the staged-lowering driver and dump every stage's artifact \
+          (C after each source pass, the template-annotated kernel, the \
+          vectorization plan, the emitted instruction stream, the framed \
+          and scheduled program) with per-stage size counters, wall times \
+          and content fingerprints; $(b,--json) renders the same trace \
+          machine-readably")
+    Term.(
+      const run $ arch_arg $ kernel_arg $ jam_arg $ unroll_arg $ prefetch_arg
+      $ script_arg $ explain_json_arg)
+
+let cache_clear_arg =
+  Arg.(
+    value & flag
+    & info [ "clear" ] ~doc:"Remove every cache entry under the directory.")
+
+let cache_cmd =
+  let run cache_dir clear =
+    let dir =
+      match cache_dir with Some d -> Some d | None -> A.Tuner.cache_dir ()
+    in
+    match dir with
+    | None ->
+        Fmt.epr
+          "no cache directory configured (use --cache-dir or \
+           AUGEM_CACHE_DIR)@.";
+        exit 1
+    | Some dir ->
+        if clear then begin
+          let removed = A.Tuning_cache.clear ~dir in
+          Fmt.pr "%s: removed %d entr%s@." dir removed
+            (if removed = 1 then "y" else "ies")
+        end
+        else begin
+          let entries = A.Tuning_cache.entries ~dir in
+          let valid, corrupt =
+            List.partition
+              (fun e -> Result.is_ok e.A.Tuning_cache.e_key)
+              entries
+          in
+          let bytes =
+            List.fold_left
+              (fun acc e -> acc + e.A.Tuning_cache.e_bytes)
+              0 entries
+          in
+          Fmt.pr "%s: %d entr%s (%d valid, %d corrupt), %d bytes on disk@."
+            dir (List.length entries)
+            (if List.length entries = 1 then "y" else "ies")
+            (List.length valid) (List.length corrupt) bytes;
+          List.iter
+            (fun e ->
+              match e.A.Tuning_cache.e_key with
+              | Ok key ->
+                  Fmt.pr "  %s  %6d B  %s@."
+                    (Filename.basename e.A.Tuning_cache.e_file)
+                    e.A.Tuning_cache.e_bytes key
+              | Error why ->
+                  Fmt.pr "  %s  %6d B  CORRUPT: %s@."
+                    (Filename.basename e.A.Tuning_cache.e_file)
+                    e.A.Tuning_cache.e_bytes why)
+            entries;
+          let st = A.Tuning_cache.stats in
+          Fmt.pr
+            "this process: %d hit(s), %d miss(es), %d corrupt, %d store(s)@."
+            st.A.Tuning_cache.hits st.A.Tuning_cache.misses
+            st.A.Tuning_cache.corrupt st.A.Tuning_cache.stores
+        end
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect the persistent tuning cache: entries, validity (header \
+          and checksum verified without unmarshalling), size on disk and \
+          this process's hit/miss counters; $(b,--clear) empties it")
+    Term.(const run $ cache_dir_arg $ cache_clear_arg)
+
 let platforms_cmd =
   let run () =
     Fmt.pr "%-22s %20s %20s@." "" "Intel" "AMD";
@@ -530,7 +692,7 @@ let main =
        ~doc:
          "Template-based generation of optimized dense linear algebra \
           assembly kernels (AUGEM, SC'13)")
-    [ generate_cmd; tune_cmd; phases_cmd; verify_cmd; lint_cmd; compile_cmd;
-      simulate_cmd; platforms_cmd ]
+    [ generate_cmd; tune_cmd; phases_cmd; explain_cmd; verify_cmd; lint_cmd;
+      compile_cmd; simulate_cmd; cache_cmd; platforms_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -29,7 +29,7 @@ let path ~dir ~digest = Filename.concat dir ("augem-tune-" ^ digest ^ ".cache")
 
 let mk_diag ~arch ~kernel detail =
   Diag.make ~code:Diag.E_cache_corrupt ~stage:Diag.S_cache ~kernel ~arch
-    ~config:"-" ~detail
+    ~config:"-" ~detail ()
 
 type 'v load_result =
   | Hit of 'v
@@ -39,6 +39,41 @@ type 'v load_result =
 (* The three header lines preceding the marshalled payload. *)
 let header ~keydesc ~payload =
   Printf.sprintf "%s\n%s\n%s\n" magic keydesc (Digest.to_hex (Digest.string payload))
+
+(* Read and verify a cache file's plain-text header — magic, key
+   description, payload checksum — WITHOUT unmarshalling the payload
+   (safe on arbitrary bytes).  Returns the embedded key description and
+   the raw payload. *)
+let parse_file (file : string) : (string * string, string) result =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception e -> Error (Printexc.to_string e)
+  | contents -> (
+      (* split the three header lines off without touching the payload
+         bytes (which are binary and may contain '\n') *)
+      let line_end from =
+        match String.index_from_opt contents from '\n' with
+        | Some i -> Some (String.sub contents from (i - from), i + 1)
+        | None -> None
+      in
+      match line_end 0 with
+      | None -> Error "missing header"
+      | Some (l1, p1) -> (
+          match line_end p1 with
+          | None -> Error "missing key line"
+          | Some (l2, p2) -> (
+              match line_end p2 with
+              | None -> Error "missing checksum line"
+              | Some (l3, p3) ->
+                  let payload =
+                    String.sub contents p3 (String.length contents - p3)
+                  in
+                  if not (String.equal l1 magic) then
+                    Error (Printf.sprintf "bad magic %S" l1)
+                  else if
+                    not
+                      (String.equal l3 (Digest.to_hex (Digest.string payload)))
+                  then Error "payload checksum mismatch"
+                  else Ok (l2, payload))))
 
 let load ~dir ~arch ~kernel ~keydesc:kd ~digest =
   let file = path ~dir ~digest in
@@ -51,47 +86,21 @@ let load ~dir ~arch ~kernel ~keydesc:kd ~digest =
       bump (fun s -> s.corrupt <- s.corrupt + 1);
       Corrupt (mk_diag ~arch ~kernel (Printf.sprintf "%s: %s" file detail))
     in
-    match In_channel.with_open_bin file In_channel.input_all with
-    | exception e -> corrupt (Printexc.to_string e)
-    | contents -> (
-        (* split the three header lines off without touching the
-           payload bytes (which are binary and may contain '\n') *)
-        let line_end from =
-          match String.index_from_opt contents from '\n' with
-          | Some i -> Some (String.sub contents from (i - from), i + 1)
-          | None -> None
-        in
-        match line_end 0 with
-        | None -> corrupt "missing header"
-        | Some (l1, p1) -> (
-            match line_end p1 with
-            | None -> corrupt "missing key line"
-            | Some (l2, p2) -> (
-                match line_end p2 with
-                | None -> corrupt "missing checksum line"
-                | Some (l3, p3) ->
-                    let payload =
-                      String.sub contents p3 (String.length contents - p3)
-                    in
-                    if not (String.equal l1 magic) then
-                      corrupt (Printf.sprintf "bad magic %S" l1)
-                    else if not (String.equal l2 kd) then
-                      (* digest collision or hand-edited file: the
-                         payload belongs to some other key (and maybe
-                         some other type) — do not unmarshal it *)
-                      corrupt (Printf.sprintf "key mismatch: %S" l2)
-                    else if
-                      not
-                        (String.equal l3
-                           (Digest.to_hex (Digest.string payload)))
-                    then corrupt "payload checksum mismatch"
-                    else begin
-                      match Marshal.from_string payload 0 with
-                      | v ->
-                          bump (fun s -> s.hits <- s.hits + 1);
-                          Hit v
-                      | exception e -> corrupt (Printexc.to_string e)
-                    end)))
+    match parse_file file with
+    | Error detail -> corrupt detail
+    | Ok (kd', payload) ->
+        if not (String.equal kd' kd) then
+          (* digest collision or hand-edited file: the payload belongs
+             to some other key (and maybe some other type) — do not
+             unmarshal it *)
+          corrupt (Printf.sprintf "key mismatch: %S" kd')
+        else begin
+          match Marshal.from_string payload 0 with
+          | v ->
+              bump (fun s -> s.hits <- s.hits + 1);
+              Hit v
+          | exception e -> corrupt (Printexc.to_string e)
+        end
 
 let rec ensure_dir dir =
   if not (Sys.file_exists dir) then begin
@@ -123,3 +132,53 @@ let store ~dir ~arch ~kernel ~keydesc:kd ~digest v =
   | exception e ->
       bump (fun s -> s.store_errors <- s.store_errors + 1);
       Some (mk_diag ~arch ~kernel ("store failed: " ^ Printexc.to_string e))
+
+(* --- cache directory inspection (the `augem cache` subcommand) --------- *)
+
+let prefix = "augem-tune-"
+let suffix = ".cache"
+
+let is_cache_file (name : string) : bool =
+  let base = Filename.basename name in
+  String.length base > String.length prefix + String.length suffix
+  && String.starts_with ~prefix base
+  && Filename.check_suffix base suffix
+
+type entry = {
+  e_file : string;  (** full path *)
+  e_bytes : int;  (** size on disk *)
+  e_key : (string, string) result;
+      (** the embedded key description, or why the file is unloadable *)
+}
+
+(* Header-verify the file without unmarshalling: a [validate]d entry is
+   exactly one [load] would accept for its embedded key. *)
+let validate (file : string) : (string, string) result =
+  Result.map fst (parse_file file)
+
+let entries ~(dir : string) : entry list =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter is_cache_file
+      |> List.sort String.compare
+      |> List.map (fun name ->
+             let file = Filename.concat dir name in
+             let bytes =
+               try
+                 In_channel.with_open_bin file (fun ic ->
+                     Int64.to_int (In_channel.length ic))
+               with Sys_error _ -> 0
+             in
+             { e_file = file; e_bytes = bytes; e_key = validate file })
+
+(* Remove every cache entry under [dir]; other files are left alone.
+   Returns the number removed; unremovable files are skipped. *)
+let clear ~(dir : string) : int =
+  List.fold_left
+    (fun n e ->
+      match Sys.remove e.e_file with
+      | () -> n + 1
+      | exception Sys_error _ -> n)
+    0 (entries ~dir)

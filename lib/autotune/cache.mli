@@ -78,3 +78,32 @@ val store :
   digest:string ->
   'v ->
   Augem_verify.Diag.t option
+
+(** {2 Cache directory inspection}
+
+    Support for the [augem cache] subcommand: enumerate, validate and
+    clear the entries under a cache directory without duplicating the
+    path or header logic. *)
+
+(** Does this path look like a cache entry ([augem-tune-*.cache])? *)
+val is_cache_file : string -> bool
+
+type entry = {
+  e_file : string;  (** full path *)
+  e_bytes : int;  (** size on disk *)
+  e_key : (string, string) result;
+      (** the embedded key description, or why the file is unloadable *)
+}
+
+(** Verify a cache file's header and payload checksum {i without}
+    unmarshalling the payload; returns the embedded key description.
+    Never raises. *)
+val validate : string -> (string, string) result
+
+(** All cache entries under [dir], sorted by file name; missing or
+    unreadable directories yield [[]].  Never raises. *)
+val entries : dir:string -> entry list
+
+(** Remove every cache entry under [dir] (other files are untouched);
+    returns how many were removed.  Never raises. *)
+val clear : dir:string -> int

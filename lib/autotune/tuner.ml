@@ -26,7 +26,7 @@ module Pool = Augem_parallel.Pool
 
 type candidate = {
   cand_config : Pipeline.config;
-  cand_opts : Augem_codegen.Emit.options;
+  cand_opts : Augem_driver.Emit.options;
 }
 
 type result = {
@@ -72,7 +72,7 @@ let gemm_space ?(packed = false) () : candidate list =
                       { Pipeline.default with jam = [ ("j", j); ("i", i) ];
                         prefetch = pf };
                     cand_opts =
-                      { Augem_codegen.Emit.default_options with prefer };
+                      { Augem_driver.Emit.default_options with prefer };
                   })
                 strategies)
             prefetch_opts)
@@ -92,7 +92,7 @@ let vector_space loop_var ~expand () : candidate list =
                 expand_reduction = (if expand then Some u else None);
                 prefetch = pf;
               };
-            cand_opts = Augem_codegen.Emit.default_options;
+            cand_opts = Augem_driver.Emit.default_options;
           })
         prefetch_opts)
     [ 2; 4; 8; 16 ]
@@ -114,7 +114,7 @@ let space_for (k : Kernels.name) : candidate list =
 let safe_baseline : candidate =
   {
     cand_config = { Pipeline.default with prefetch = None };
-    cand_opts = Augem_codegen.Emit.default_options;
+    cand_opts = Augem_driver.Emit.default_options;
   }
 
 (* Reference workload per kernel (a representative point of the
@@ -160,47 +160,42 @@ let diag_of_generation_exn (exn : exn) : Diag.code * string =
 let generate_candidate_diag (arch : Arch.t) ?(max_insns = default_max_insns)
     (kname : Kernels.name) (kernel : Ast.kernel) (c : candidate) :
     (Insn.program, Diag.t) Stdlib.result =
-  let mk code stage detail =
-    Diag.make ~code ~stage
+  let mk ?stage_name code stage detail =
+    Diag.make ?stage_name ~code ~stage
       ~kernel:(Kernels.name_to_string kname)
       ~arch:arch.Arch.name
       ~config:(Pipeline.config_to_string c.cand_config)
-      ~detail
+      ~detail ()
+  in
+  let opts =
+    {
+      Augem_driver.Lower.default_opts with
+      Augem_driver.Lower.prefer = c.cand_opts.Augem_driver.Emit.prefer;
+      max_width = c.cand_opts.Augem_driver.Emit.max_width;
+      max_insns = Some max_insns;
+      lint = true;
+      schedule = true;
+    }
   in
   match
-    let optimized = Pipeline.apply kernel c.cand_config in
-    let prog =
-      Augem_codegen.Emit.generate ~arch ~opts:c.cand_opts optimized
-    in
-    let len = List.length prog.Insn.prog_insns in
-    if len > max_insns then
-      Error
-        (mk Diag.E_budget_exceeded Diag.S_codegen
-           (Printf.sprintf "%d instructions > budget %d" len max_insns))
-    else begin
-      let prog = Augem_codegen.Schedule.run arch prog in
-      (* static machine-code verification: a candidate the checker
-         rejects is discarded like any other structured failure, never
-         an exception out of the sweep *)
-      let lint_config =
-        Augem_analysis.Asmcheck.config_for
-          ~avx:(arch.Arch.simd = Arch.AVX)
-          ~params:kernel.Ast.k_params
-      in
-      match
-        Augem_analysis.Asmcheck.errors
-          (Augem_analysis.Asmcheck.check ~config:lint_config prog)
-      with
-      | [] -> Ok prog
-      | errs ->
-          Error
-            (mk Diag.E_lint Diag.S_asmcheck
-               (String.concat "; "
-                  (List.map Augem_analysis.Asmcheck.finding_to_string errs)))
-    end
+    Augem_driver.Lower.run ~opts ~arch ~config:c.cand_config kernel
   with
-  | r -> r
-  | exception exn ->
+  | trace -> Ok (Augem_driver.Trace.program trace)
+  | exception Augem_driver.Lower.Budget_exceeded { stage; len; budget } ->
+      Error
+        (mk ~stage_name:stage Diag.E_budget_exceeded Diag.S_codegen
+           (Printf.sprintf "%d instructions > budget %d" len budget))
+  | exception
+      Augem_driver.Lower.Stage_failed
+        (sname, Augem_analysis.Asmcheck.Lint_error (_, errs)) ->
+      (* the static gate on the scheduled program: a candidate the
+         checker rejects is discarded like any other structured
+         failure, never an exception out of the sweep *)
+      Error
+        (mk ~stage_name:sname Diag.E_lint Diag.S_asmcheck
+           (String.concat "; "
+              (List.map Augem_analysis.Asmcheck.finding_to_string errs)))
+  | exception Augem_driver.Lower.Stage_failed (sname, exn) ->
       let code, detail = diag_of_generation_exn exn in
       let stage =
         match exn with
@@ -208,7 +203,10 @@ let generate_candidate_diag (arch : Arch.t) ?(max_insns = default_max_insns)
         | Augem_analysis.Asmcheck.Lint_error _ -> Diag.S_asmcheck
         | _ -> Diag.S_codegen
       in
-      Error (mk code stage detail)
+      Error (mk ~stage_name:sname code stage detail)
+  | exception exn ->
+      let code, detail = diag_of_generation_exn exn in
+      Error (mk code Diag.S_codegen detail)
 
 (* Back-compatible option view.  The kernel name labelling its
    diagnostics used to be hardcoded to Gemm, mislabelling every
@@ -244,7 +242,7 @@ let score_diag (arch : Arch.t) (kname : Kernels.name) (c : candidate)
       ~kernel:(Kernels.name_to_string kname)
       ~arch:arch.Arch.name
       ~config:(Pipeline.config_to_string c.cand_config)
-      ~detail
+      ~detail ()
   in
   match Augem_sim.Perf.predict arch prog w with
   | e -> Ok e.Augem_sim.Perf.e_mflops
@@ -377,17 +375,17 @@ let tune ?(workload : Augem_sim.Perf.workload option)
 (* Bump whenever the sweep's semantics or the marshalled result layout
    change: old on-disk entries then stop being found (their content
    address changes) instead of being misread. *)
-let tuner_version = "3"
+let tuner_version = "4"
 
 let candidate_fingerprint (c : candidate) : string =
   let prefer =
-    match c.cand_opts.Augem_codegen.Emit.prefer with
+    match c.cand_opts.Augem_driver.Emit.prefer with
     | Augem_codegen.Plan.Prefer_auto -> "auto"
     | Augem_codegen.Plan.Prefer_vdup -> "vdup"
     | Augem_codegen.Plan.Prefer_shuf -> "shuf"
   in
   let width =
-    match c.cand_opts.Augem_codegen.Emit.max_width with
+    match c.cand_opts.Augem_driver.Emit.max_width with
     | None -> "native"
     | Some Insn.W64 -> "w64"
     | Some Insn.W128 -> "w128"

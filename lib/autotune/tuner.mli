@@ -17,7 +17,7 @@
 
 type candidate = {
   cand_config : Augem_transform.Pipeline.config;
-  cand_opts : Augem_codegen.Emit.options;
+  cand_opts : Augem_driver.Emit.options;
 }
 
 type result = {

@@ -131,7 +131,7 @@ let generate_uncached (id : id) (arch : Arch.t) (kernel : Kernels.name) :
   | Vendor | ATLAS | GotoBLAS ->
       let cfg = config_for id arch' kernel in
       let optimized = Pipeline.apply (Kernels.kernel_of_name kernel) cfg in
-      let prog = Augem_codegen.Emit.generate ~arch:arch' optimized in
+      let prog = Augem_driver.Emit.generate ~arch:arch' optimized in
       (arch', Augem_codegen.Schedule.run arch' prog)
 
 let gen_cache : (string, Arch.t * Insn.program) Hashtbl.t = Hashtbl.create 32

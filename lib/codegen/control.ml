@@ -1,0 +1,287 @@
+(* Control-flow emission for the assembly generator: loops (with
+   counter pinning, invariant hoisting and spill/invalidate discipline
+   at every block boundary), conditionals, and the statement walk that
+   dispatches plain statements to [Translate] and template regions to
+   [Vectorize].  Also the pre-scans that seed the emitter state
+   (declared types, ever-assigned scalars).
+
+   Internal plumbing of this library, deliberately not sealed with an
+   .mli. *)
+
+module SS = Set.Make (String)
+
+open Augem_ir
+open Augem_machine
+open Augem_templates
+module T = Template
+module M = Matcher
+
+open Ctx
+open Translate
+
+let cond_of_cmp = function
+  | Ast.Lt -> Insn.Clt
+  | Ast.Le -> Insn.Cle
+  | Ast.Gt -> Insn.Cgt
+  | Ast.Ge -> Insn.Cge
+  | Ast.Eq -> Insn.Ceq
+  | Ast.Ne -> Insn.Cne
+
+let negate = function
+  | Insn.Clt -> Insn.Cge
+  | Insn.Cle -> Insn.Cgt
+  | Insn.Cgt -> Insn.Cle
+  | Insn.Cge -> Insn.Clt
+  | Insn.Ceq -> Insn.Cne
+  | Insn.Cne -> Insn.Ceq
+
+(* integer/pointer variables referenced directly at this nesting level
+   (not inside nested loops), for pinning *)
+let hot_vars_of_astmts ctx (stmts : M.astmt list) : string list =
+  let of_stmt s =
+    match s with
+    | Ast.Assign (lv, e) ->
+        (match lv with Ast.Lindex (a, _) -> [ a ] | Ast.Lvar v -> [ v ])
+        @ Ast.expr_vars e
+    | Ast.Prefetch (_, b, off) -> b :: Ast.expr_vars off
+    | Ast.Decl (_, _, Some e) -> Ast.expr_vars e
+    | _ -> []
+  in
+  List.concat_map
+    (function
+      | M.A_plain (s, _) -> of_stmt s
+      | M.A_region (r, _) -> List.concat_map of_stmt (T.region_stmts r)
+      | M.A_for _ -> []
+      | M.A_if _ -> [])
+    stmts
+  |> List.filter (fun v ->
+         match Hashtbl.find_opt ctx.types v with
+         | Some (Ast.Int | Ast.Ptr _) -> true
+         | _ -> false)
+  |> List.sort_uniq String.compare
+
+let rec emit_astmts st (stmts : M.astmt list) =
+  List.iter (emit_astmt st) stmts
+
+and emit_astmt st = function
+  | M.A_plain (s, live_after) ->
+      emit_plain st s;
+      (* free vector registers of scalars that just died (e.g. the
+         partial accumulators after a reduction's final sums).
+         Plan-bound accumulators are exempt: their sibling lanes may
+         not have been initialized yet — the release after their store
+         region retires them. *)
+      Regfile.release_dead st.ctx.vecs ~live:(fun v ->
+          SS.mem v live_after || Plan.find_plan st.plan v <> None)
+  | M.A_region (r, live_out) -> Vectorize.emit_region st r live_out
+  | M.A_for (h, body) -> emit_for st h body
+  | M.A_if (a, c, b, t, f) -> emit_if st a c b t f
+
+(* Pre-materialize a pure compound integer expression outside a loop so
+   that in-body uses hit the memo table; returns its synthetic name.
+   [strip] removes the constant term first — addressing folds constants
+   into displacements, so prefetch offsets are looked up const-stripped,
+   while loop bounds are looked up whole. *)
+and prematerialize ?(strip = true) st (e : Ast.expr) : string option =
+  match Poly.of_expr (Simplify.simplify_expr e) with
+  | None -> None
+  | Some p ->
+      let rest =
+        if strip then begin
+          let c =
+            match Poly.Mmap.find_opt [] p with Some c -> c | None -> 0
+          in
+          Poly.to_expr (Poly.sub p (Poly.const c))
+        end
+        else Simplify.simplify_expr e
+      in
+      if
+        (match rest with Ast.Binop _ -> true | _ -> false)
+        && pure_expr st rest
+        && Ast.expr_size rest > 2
+      then
+        let name = "$" ^ Pp.expr_to_string rest in
+        if Gpralloc.is_defined st.ctx.gprs name then None
+          (* hoisted by an enclosing loop; that loop owns it *)
+        else begin
+          let r = memoized st rest in
+          Gpralloc.free_temp st.ctx.gprs r;
+          Some name
+        end
+      else None
+
+and emit_for st (h : Ast.loop_header) (body : M.astmt list) =
+  let ctx = st.ctx in
+  (* counter initialization *)
+  emit_int_assign st h.Ast.loop_var h.Ast.loop_init;
+  (* hoist loop-invariant prefetch offsets and the loop bound *)
+  let hoisted =
+    List.filter_map
+      (function
+        | M.A_plain (Ast.Prefetch (_, _, off), _) -> prematerialize st off
+        | _ -> None)
+      body
+    @ (match prematerialize ~strip:false st h.Ast.loop_bound with
+      | Some v -> [ v ]
+      | None -> [])
+  in
+  (* pin the loop counter and the hot scalars of this level: pointers
+     before plain ints, keeping at least 4 registers unpinned for
+     temporaries and spill traffic *)
+  let candidates =
+    (h.Ast.loop_var :: Ast.expr_vars h.Ast.loop_bound)
+    @ hot_vars_of_astmts ctx body
+  in
+  let seen = Hashtbl.create 8 in
+  let candidates =
+    List.filter
+      (fun v ->
+        if Hashtbl.mem seen v then false
+        else begin
+          Hashtbl.replace seen v ();
+          match Hashtbl.find_opt ctx.types v with
+          | Some (Ast.Int | Ast.Ptr _) -> true
+          | Some Ast.Double | None -> false
+        end)
+      candidates
+  in
+  let pointers, ints = List.partition (fun v -> is_pointer ctx v) candidates in
+  let ordered =
+    (h.Ast.loop_var :: pointers)
+    @ List.sort_uniq String.compare hoisted
+    @ List.filter (fun v -> not (String.equal v h.Ast.loop_var)) ints
+  in
+  let previously_pinned = SS.of_list (Gpralloc.pinned_vars ctx.gprs) in
+  (* the innermost loop is the hot one: it gets all remaining pinnable
+     registers, while outer loops only pin their counter and bound *)
+  let is_innermost =
+    not (List.exists (function M.A_for _ -> true | _ -> false) body)
+  in
+  let remaining = 14 - 4 - SS.cardinal previously_pinned in
+  let budget = ref (if is_innermost then remaining else min 1 remaining) in
+  let pinned =
+    List.filter
+      (fun v ->
+        if
+          !budget > 0
+          && (not (SS.mem v previously_pinned))
+          && Gpralloc.is_defined ctx.gprs v
+        then
+          match Gpralloc.get ctx.gprs v with
+          | _ ->
+              Gpralloc.pin ctx.gprs v;
+              decr budget;
+              true
+          | exception Gpralloc.Gpr_error _ -> false
+        else false)
+      ordered
+  in
+  let body_label = fresh_label ctx "body" in
+  let end_label = fresh_label ctx "end" in
+  (* head test: skip the loop when the trip count is zero *)
+  let test target cond =
+    (match Simplify.simplify_expr h.Ast.loop_bound with
+    | Ast.Int_lit n ->
+        let rc = Gpralloc.get ctx.gprs h.Ast.loop_var in
+        emit ctx (Insn.Cmpri (rc, n))
+    | Ast.Var v when Gpralloc.is_defined ctx.gprs v ->
+        let rb = Gpralloc.get ctx.gprs v in
+        let rc = Gpralloc.get ctx.gprs h.Ast.loop_var ~avoid:[ rb ] in
+        emit ctx (Insn.Cmprr (rc, rb))
+    | e -> (
+        (* memoized invariant bound *)
+        let name = "$" ^ Pp.expr_to_string (Simplify.simplify_expr e) in
+        if Gpralloc.is_defined ctx.gprs name then begin
+          let rb = Gpralloc.get ctx.gprs name in
+          let rc = Gpralloc.get ctx.gprs h.Ast.loop_var ~avoid:[ rb ] in
+          emit ctx (Insn.Cmprr (rc, rb))
+        end
+        else begin
+          let rb = eval_int st e in
+          let rc = Gpralloc.get ctx.gprs h.Ast.loop_var ~avoid:[ rb ] in
+          emit ctx (Insn.Cmprr (rc, rb));
+          Gpralloc.free_temp ctx.gprs rb
+        end));
+    emit ctx (Insn.Jcc (cond, target))
+  in
+  Gpralloc.spill_all ctx.gprs;
+  test end_label (negate (cond_of_cmp h.Ast.loop_cmp));
+  Gpralloc.spill_all ctx.gprs;
+  Gpralloc.invalidate_all ctx.gprs;
+  emit ctx (Insn.Label body_label);
+  emit_astmts st body;
+  (* counter increment *)
+  emit_int_assign st h.Ast.loop_var
+    (Ast.Binop (Ast.Add, Ast.Var h.Ast.loop_var, h.Ast.loop_step));
+  Gpralloc.spill_all ctx.gprs;
+  test body_label (cond_of_cmp h.Ast.loop_cmp);
+  emit ctx (Insn.Label end_label);
+  Gpralloc.spill_all ctx.gprs;
+  Gpralloc.invalidate_all ctx.gprs;
+  List.iter (Gpralloc.unpin ctx.gprs) pinned;
+  (* memoized invariants go out of scope with the loop that hoisted
+     them: their definition would not dominate later uses *)
+  List.iter (Gpralloc.forget ctx.gprs) hoisted
+
+and emit_if st a c b tb fb =
+  let ctx = st.ctx in
+  let else_label = fresh_label ctx "else" in
+  let end_label = fresh_label ctx "endif" in
+  let ra = eval_int st a in
+  let rb = eval_int st b in
+  emit ctx (Insn.Cmprr (ra, rb));
+  Gpralloc.free_temp ctx.gprs ra;
+  Gpralloc.free_temp ctx.gprs rb;
+  Gpralloc.spill_all ctx.gprs;
+  Gpralloc.invalidate_all ctx.gprs;
+  emit ctx (Insn.Jcc (negate (cond_of_cmp c), else_label));
+  emit_astmts st tb;
+  Gpralloc.spill_all ctx.gprs;
+  Gpralloc.invalidate_all ctx.gprs;
+  emit ctx (Insn.Jmp end_label);
+  emit ctx (Insn.Label else_label);
+  emit_astmts st fb;
+  Gpralloc.spill_all ctx.gprs;
+  Gpralloc.invalidate_all ctx.gprs;
+  emit ctx (Insn.Label end_label)
+
+(* ---------------------------------------------------------------------- *)
+(* pre-scans                                                               *)
+(* ---------------------------------------------------------------------- *)
+
+(* Scan declarations so variable types are known before emission. *)
+let rec record_types types = function
+  | [] -> ()
+  | M.A_plain (Ast.Decl (ty, v, _), _) :: rest ->
+      Hashtbl.replace types v ty;
+      record_types types rest
+  | M.A_for (_, body) :: rest ->
+      record_types types body;
+      record_types types rest
+  | M.A_if (_, _, _, t, f) :: rest ->
+      record_types types t;
+      record_types types f;
+      record_types types rest
+  | (M.A_plain _ | M.A_region _) :: rest -> record_types types rest
+
+let rec assigned_vars_of acc = function
+  | [] -> acc
+  | M.A_plain (Ast.Assign (Ast.Lvar v, _), _) :: rest ->
+      assigned_vars_of (SS.add v acc) rest
+  | M.A_plain (Ast.Decl (_, v, Some _), _) :: rest ->
+      assigned_vars_of (SS.add v acc) rest
+  | M.A_for (h, body) :: rest ->
+      assigned_vars_of (assigned_vars_of (SS.add h.Ast.loop_var acc) body) rest
+  | M.A_if (_, _, _, t, f) :: rest ->
+      assigned_vars_of (assigned_vars_of (assigned_vars_of acc t) f) rest
+  | M.A_region (r, _) :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc s ->
+            match s with
+            | Ast.Assign (Ast.Lvar v, _) -> SS.add v acc
+            | _ -> acc)
+          acc (T.region_stmts r)
+      in
+      assigned_vars_of acc rest
+  | M.A_plain _ :: rest -> assigned_vars_of acc rest

@@ -1,0 +1,155 @@
+(* Function-frame emission: emitter-state creation (register
+   allocators, callee-save home slots, System V AMD64 parameter
+   binding, the entry splat pre-pass) and finalization (frame sizing,
+   prologue/epilogue, the generation-time static-checker
+   postcondition).  The body between the two is emitted by [Control];
+   the staged-lowering driver calls the three steps as separate stages.
+
+   Internal plumbing of this library, deliberately not sealed with an
+   .mli. *)
+
+module SS = Set.Make (String)
+
+open Augem_ir
+open Augem_machine
+open Augem_templates
+module M = Matcher
+
+open Ctx
+
+(* Fresh emitter state for one kernel: allocators, declared types,
+   callee-save area reservation, incoming-parameter binding, and the
+   splat pre-pass replicating double parameters the mv/sv templates
+   consume. *)
+let create_state ~(arch : Arch.t) ~(plan : Plan.t) (ak : M.akernel) :
+    Translate.state =
+  let out = ref [] in
+  let gprs = Gpralloc.create ~emit:(fun i -> out := i :: !out) in
+  (* reserve the callee-save area (6 regs) below %rbp *)
+  let _ =
+    List.map
+      (fun r ->
+        let s = Gpralloc.state gprs ("$save_" ^ Reg.gpr_name r) in
+        Gpralloc.home_slot gprs s)
+      Reg.callee_saved
+  in
+  let array_classes =
+    List.filter_map
+      (fun p ->
+        match p.Ast.p_type with
+        | Ast.Ptr _ -> Some (Augem_analysis.Arrays.base_array_of p.Ast.p_name)
+        | _ -> None)
+      ak.M.ak_params
+    |> List.sort_uniq String.compare
+  in
+  let vecs = Regfile.create ~nregs:arch.Arch.vregs ~array_classes in
+  let types = Hashtbl.create 32 in
+  List.iter (fun p -> Hashtbl.replace types p.Ast.p_name p.Ast.p_type)
+    ak.M.ak_params;
+  Control.record_types types ak.M.ak_body;
+  let ctx =
+    { Ctx.arch; out; vecs; gprs; types; label_count = 0; scratch_slot = None }
+  in
+  let st =
+    {
+      Translate.ctx;
+      plan;
+      accs = Hashtbl.create 8;
+      assigned_vars = Control.assigned_vars_of SS.empty ak.M.ak_body;
+      vec_width = Insn.W64;
+      used_256 = false;
+    }
+  in
+  ignore st.Translate.vec_width;
+  (* parameter binding (System V AMD64) *)
+  let int_regs = ref Reg.argument_gprs in
+  let fp_regs = ref [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  let stack_disp = ref 16 in
+  List.iter
+    (fun p ->
+      match p.Ast.p_type with
+      | Ast.Int | Ast.Ptr _ -> (
+          match !int_regs with
+          | r :: rest ->
+              int_regs := rest;
+              Gpralloc.bind_incoming ctx.gprs ~var:p.Ast.p_name ~reg:r
+          | [] ->
+              Gpralloc.bind_stack_param ctx.gprs ~var:p.Ast.p_name
+                ~disp:!stack_disp;
+              stack_disp := !stack_disp + 8)
+      | Ast.Double -> (
+          match !fp_regs with
+          | r :: rest ->
+              fp_regs := rest;
+              Regfile.bind_incoming ctx.vecs ~var:p.Ast.p_name ~reg:r;
+              Regfile.set_class ctx.vecs ~var:p.Ast.p_name ~cls:"tmp"
+          | [] -> err "more than 8 floating-point parameters"))
+    ak.M.ak_params;
+  (* double parameters consumed by mv templates need their value
+     replicated across lanes once, before any loop *)
+  List.iter
+    (fun p ->
+      if p.Ast.p_type = Ast.Double && Plan.needs_splat plan p.Ast.p_name then
+        match Regfile.residence ctx.vecs p.Ast.p_name with
+        | Some (Regfile.Lane (r, 0)) ->
+            let w = full_width ctx in
+            if w = Insn.W256 then st.Translate.used_256 <- true;
+            let t = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
+            sel_splat ctx w ~dst:t ~src:r;
+            Regfile.rebind ctx.vecs ~var:p.Ast.p_name
+              ~res:(Regfile.Splat t);
+            Regfile.free_temp ctx.vecs t
+        | Some _ | None -> ())
+    ak.M.ak_params;
+  st
+
+(* The instructions emitted so far, in program order. *)
+let body (st : Translate.state) : Insn.t list = List.rev !(st.Translate.ctx.out)
+
+(* Wrap an emitted body in prologue/epilogue: size and align the frame,
+   save/restore exactly the callee-saved registers the body writes, and
+   clean 256-bit upper state when it was dirtied. *)
+let finish (st : Translate.state) (ak : M.akernel) ~(body : Insn.t list) :
+    Insn.program =
+  let ctx = st.Translate.ctx in
+  let frame = Gpralloc.frame_bytes ctx.gprs in
+  let frame = (frame + 15) / 16 * 16 in
+  let used_callee_saved =
+    let written = Hashtbl.create 8 in
+    List.iter
+      (fun i ->
+        List.iter
+          (function
+            | Reg.Gp g -> Hashtbl.replace written g ()
+            | Reg.Vr _ -> ())
+          (Insn.writes i))
+      body;
+    List.filter (fun r -> Hashtbl.mem written r) Reg.callee_saved
+    |> List.filter (fun r -> r <> Reg.Rbp)
+  in
+  let save_mem r =
+    let s = Gpralloc.state ctx.gprs ("$save_" ^ Reg.gpr_name r) in
+    Insn.mem ~disp:(Gpralloc.home_slot ctx.gprs s) Reg.Rbp
+  in
+  let prologue =
+    [ Insn.Push Reg.Rbp; Insn.Movrr (Reg.Rbp, Reg.Rsp);
+      Insn.Subri (Reg.Rsp, frame) ]
+    @ List.map (fun r -> Insn.Storeq (save_mem r, r)) used_callee_saved
+  in
+  let epilogue =
+    List.map (fun r -> Insn.Loadq (r, save_mem r)) used_callee_saved
+    @ (if st.Translate.used_256 then [ Insn.Vzeroupper ] else [])
+    @ [ Insn.Movrr (Reg.Rsp, Reg.Rbp); Insn.Pop Reg.Rbp; Insn.Ret ]
+  in
+  let program =
+    { Insn.prog_name = ak.M.ak_name; prog_insns = prologue @ body @ epilogue }
+  in
+  (* generation-time postcondition (debug / verify builds): the static
+     checker must find nothing wrong with what we just emitted *)
+  if Augem_analysis.Asmcheck.postcondition_enabled () then
+    Augem_analysis.Asmcheck.check_exn
+      ~config:
+        (Augem_analysis.Asmcheck.config_for ~avx:(avx ctx)
+           ~params:ak.M.ak_params)
+      program;
+  program

@@ -373,3 +373,50 @@ let build ~machine_lanes ~prefer (ak : akernel) : t =
       | Mm_unrolled_store _ | Sv_unrolled_copy _ -> ())
     regions;
   t
+
+(* --- introspection (staged-lowering artifact rendering) ---------------- *)
+
+let strategy_name = function
+  | S_vdup _ -> "vdup"
+  | S_shuf _ -> "shuf"
+  | S_elem _ -> "elem"
+  | S_scalar -> "scalar"
+
+let width_name = function
+  | Insn_width.W64 -> "64"
+  | Insn_width.W128 -> "128"
+  | Insn_width.W256 -> "256"
+
+(* The distinct groups of a plan, deduplicated (every res variable of a
+   group maps to the same [group_plan]) and in a stable order, so
+   renderings and fingerprints are deterministic. *)
+let groups (t : t) : group_plan list =
+  Hashtbl.fold (fun _ gp acc -> gp :: acc) t.by_res []
+  |> List.sort_uniq compare
+
+let splat_vars (t : t) : string list =
+  Hashtbl.fold (fun v () acc -> v :: acc) t.splats []
+  |> List.sort_uniq String.compare
+
+let group_to_string (gp : group_plan) : string =
+  let slots =
+    gp.gp_slots
+    |> List.map (fun (v, s) ->
+           Printf.sprintf "%s->a%d.l%d" v s.slot_acc s.slot_lane)
+    |> String.concat " "
+  in
+  Printf.sprintf "strategy=%s width=%s accs=%d class=%s slots=[%s]"
+    (strategy_name gp.gp_strategy)
+    (width_name gp.gp_width)
+    gp.gp_accs gp.gp_store_class slots
+
+let to_string (t : t) : string =
+  let b = Buffer.create 128 in
+  List.iteri
+    (fun i gp ->
+      Buffer.add_string b (Printf.sprintf "group %d: %s\n" i (group_to_string gp)))
+    (groups t);
+  (match splat_vars t with
+  | [] -> ()
+  | vs -> Buffer.add_string b ("splat: " ^ String.concat " " vs ^ "\n"));
+  if Buffer.length b = 0 then "(no vectorizable groups)\n" else Buffer.contents b

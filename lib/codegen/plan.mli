@@ -73,3 +73,21 @@ val build :
   prefer:prefer ->
   Augem_templates.Matcher.akernel ->
   t
+
+(** {2 Introspection}
+
+    Deterministic views of a plan for the staged-lowering driver's
+    artifact rendering (pretty-printing, size counters, fingerprints). *)
+
+val strategy_name : strategy -> string
+
+(** The distinct groups, deduplicated and in a stable order. *)
+val groups : t -> group_plan list
+
+(** Variables the plan keeps replicated across lanes, sorted. *)
+val splat_vars : t -> string list
+
+val group_to_string : group_plan -> string
+
+(** Multi-line rendering of the whole plan; deterministic. *)
+val to_string : t -> string

@@ -1,0 +1,450 @@
+(* Straightforward translation of untemplated low-level C: integer
+   expression evaluation, addressing, scalar doubles, accumulator
+   (plan) state, and plain statement emission.  The first layer of the
+   assembly generator (paper Figure 2 and section 2.4); the template
+   optimizers ([Vectorize]) and control flow ([Control]) build on it.
+
+   Values live as follows: int scalars and pointers in general-purpose
+   registers (spillable to stack home slots), double scalars in SIMD
+   register lanes (never spilled), vector accumulators in SIMD
+   registers bound lane-per-scalar according to the [Plan].
+
+   Internal plumbing of this library (the emitter layers co-evolve),
+   deliberately not sealed with an .mli. *)
+
+module SS = Set.Make (String)
+
+open Augem_ir
+open Augem_machine
+open Ctx
+
+type state = {
+  ctx : Ctx.t;
+  plan : Plan.t;
+  (* concrete accumulator registers per plan (keyed by first res var) *)
+  accs : (string, int array * bool array) Hashtbl.t;
+  mutable assigned_vars : SS.t; (* scalars ever assigned: not memoizable *)
+  mutable vec_width : Insn.vwidth; (* widest width used (for vzeroupper) *)
+  mutable used_256 : bool;
+}
+
+(* ---------------------------------------------------------------------- *)
+(* integer expression evaluation                                           *)
+(* ---------------------------------------------------------------------- *)
+
+let pure_expr st e =
+  List.for_all (fun v -> not (SS.mem v st.assigned_vars)) (Ast.expr_vars e)
+
+(* Evaluate an integer expression into an owned temporary register.
+   Pure parameter expressions are memoized in synthetic variables. *)
+let rec eval_int st (e : Ast.expr) : Reg.gpr =
+  let ctx = st.ctx in
+  match Simplify.simplify_expr e with
+  | Ast.Int_lit n ->
+      let r = Gpralloc.alloc_temp ctx.gprs () in
+      emit ctx (Insn.Movri (r, n));
+      r
+  | Ast.Var v ->
+      let src = Gpralloc.get ctx.gprs v in
+      let r = Gpralloc.alloc_temp ctx.gprs ~avoid:[ src ] () in
+      emit ctx (Insn.Movrr (r, src));
+      r
+  | Ast.Binop (op, a, b) as expr -> (
+      (* reuse a hoisted loop invariant when one is in scope; never
+         create memo definitions here (only [Control.prematerialize]
+         may — its definitions dominate their uses) *)
+      let memo_name = "$" ^ Pp.expr_to_string expr in
+      if
+        pure_expr st expr
+        && Ast.expr_size expr > 2
+        && Gpralloc.is_defined ctx.gprs memo_name
+      then begin
+        let src = Gpralloc.get ctx.gprs memo_name in
+        let r = Gpralloc.alloc_temp ctx.gprs ~avoid:[ src ] () in
+        emit ctx (Insn.Movrr (r, src));
+        r
+      end
+      else
+        let ra = eval_int st a in
+        match (op, Simplify.simplify_expr b) with
+        | Ast.Add, Ast.Int_lit n ->
+            emit ctx (Insn.Addri (ra, n));
+            ra
+        | Ast.Sub, Ast.Int_lit n ->
+            emit ctx (Insn.Subri (ra, n));
+            ra
+        | Ast.Mul, Ast.Int_lit n ->
+            emit ctx (Insn.Imulri (ra, ra, n));
+            ra
+        | _, b ->
+            let rb = eval_int st b in
+            (match op with
+            | Ast.Add -> emit ctx (Insn.Addrr (ra, rb))
+            | Ast.Sub -> emit ctx (Insn.Subrr (ra, rb))
+            | Ast.Mul -> emit ctx (Insn.Imulrr (ra, rb))
+            | Ast.Div -> err "integer division is not supported by codegen");
+            Gpralloc.free_temp ctx.gprs rb;
+            ra)
+  | Ast.Neg a ->
+      let ra = eval_int st a in
+      emit ctx (Insn.Negr ra);
+      ra
+  | Ast.Double_lit _ | Ast.Index _ ->
+      err "expected an integer expression"
+
+(* Memoize a pure parameter expression in a synthetic variable: it is
+   computed once, immediately stored to its home slot (so loop
+   spill/invalidate discipline never recomputes it), and reloaded like
+   any variable afterwards. *)
+and memoized st expr : Reg.gpr =
+  let ctx = st.ctx in
+  let name = "$" ^ Pp.expr_to_string expr in
+  if Gpralloc.is_defined ctx.gprs name then begin
+    let src = Gpralloc.get ctx.gprs name in
+    let r = Gpralloc.alloc_temp ctx.gprs ~avoid:[ src ] () in
+    emit ctx (Insn.Movrr (r, src));
+    r
+  end
+  else begin
+    let r =
+      match expr with
+      | Ast.Binop (op, a, b) ->
+          let ra = eval_int st a in
+          (match (op, Simplify.simplify_expr b) with
+          | Ast.Add, Ast.Int_lit n -> emit ctx (Insn.Addri (ra, n))
+          | Ast.Sub, Ast.Int_lit n -> emit ctx (Insn.Subri (ra, n))
+          | Ast.Mul, Ast.Int_lit n -> emit ctx (Insn.Imulri (ra, ra, n))
+          | _, b ->
+              let rb = eval_int st b in
+              (match op with
+              | Ast.Add -> emit ctx (Insn.Addrr (ra, rb))
+              | Ast.Sub -> emit ctx (Insn.Subrr (ra, rb))
+              | Ast.Mul -> emit ctx (Insn.Imulrr (ra, rb))
+              | Ast.Div -> err "integer division is not supported");
+              Gpralloc.free_temp ctx.gprs rb);
+          ra
+      | _ -> eval_int st expr
+    in
+    (* persist: give the synthetic var a home and store it clean *)
+    let s = Gpralloc.state ctx.gprs name in
+    let off = Gpralloc.home_slot ctx.gprs s in
+    emit ctx (Insn.Storeq (Insn.mem ~disp:off Reg.Rbp, r));
+    r
+  end
+
+(* ---------------------------------------------------------------------- *)
+(* addressing                                                              *)
+(* ---------------------------------------------------------------------- *)
+
+(* Build a memory operand for element [base[idx]] (8-byte doubles) and
+   pass it to [k]; index temporaries are freed afterwards. *)
+let with_addr st (base : string) (idx : Ast.expr) (k : Insn.mem -> unit) : unit
+    =
+  let ctx = st.ctx in
+  let rb = Gpralloc.get ctx.gprs base in
+  match Simplify.simplify_expr idx with
+  | Ast.Int_lit n -> k (Insn.mem ~disp:(8 * n) rb)
+  | e -> (
+      match Poly.of_expr e with
+      | Some p ->
+          let c = match Poly.Mmap.find_opt [] p with Some c -> c | None -> 0 in
+          let rest = Poly.sub p (Poly.const c) in
+          if Poly.is_zero rest then k (Insn.mem ~disp:(8 * c) rb)
+          else begin
+            let rest_expr = Poly.to_expr rest in
+            (* fast path: a live variable or memoized invariant can be
+               used as the index register directly *)
+            let direct =
+              match rest_expr with
+              | Ast.Var v when Gpralloc.is_defined ctx.gprs v -> Some v
+              | Ast.Binop _ ->
+                  let name = "$" ^ Pp.expr_to_string rest_expr in
+                  if Gpralloc.is_defined ctx.gprs name then Some name else None
+              | _ -> None
+            in
+            match direct with
+            | Some v ->
+                let ri = Gpralloc.get ctx.gprs v ~avoid:[ rb ] in
+                let rb = Gpralloc.get ctx.gprs base ~avoid:[ ri ] in
+                k (Insn.mem ~index:(ri, Insn.S8) ~disp:(8 * c) rb)
+            | None ->
+                let ri = eval_int st rest_expr in
+                let rb = Gpralloc.get ctx.gprs base ~avoid:[ ri ] in
+                k (Insn.mem ~index:(ri, Insn.S8) ~disp:(8 * c) rb);
+                Gpralloc.free_temp ctx.gprs ri
+          end
+      | None ->
+          let ri = eval_int st e in
+          let rb = Gpralloc.get ctx.gprs base ~avoid:[ ri ] in
+          k (Insn.mem ~index:(ri, Insn.S8) rb);
+          Gpralloc.free_temp ctx.gprs ri)
+
+(* ---------------------------------------------------------------------- *)
+(* scalar double expressions                                               *)
+(* ---------------------------------------------------------------------- *)
+
+let note_width st (w : Insn.vwidth) =
+  if w = Insn.W256 then st.used_256 <- true
+
+(* Read the scalar value of [v] into some register's lane 0.  Returns
+   (register, is_temporary). *)
+let read_scalar st (v : string) : int * bool =
+  let ctx = st.ctx in
+  match Regfile.residence ctx.vecs v with
+  | Some (Regfile.Lane (r, 0)) | Some (Regfile.Splat r) -> (r, false)
+  | Some (Regfile.Lane (r, lane)) ->
+      let t = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
+      sel_extract_lane ctx ~dst:t ~src:r ~lane;
+      (t, true)
+  | None -> err "read of floating-point variable %s before definition" v
+
+let free_if_temp st (r, is_temp) =
+  if is_temp then Regfile.free_temp st.ctx.vecs r
+
+(* Evaluate a double expression into a register lane 0 (owned temp
+   unless it is a direct variable reference). *)
+let rec eval_double st (e : Ast.expr) : int * bool =
+  let ctx = st.ctx in
+  match e with
+  | Ast.Var v -> read_scalar st v
+  | Ast.Double_lit 0. ->
+      let t = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
+      sel_zero ctx Insn.W128 ~dst:t;
+      (t, true)
+  | Ast.Double_lit f ->
+      let t = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
+      let g = Gpralloc.alloc_temp ctx.gprs () in
+      emit ctx (Insn.Movabs (g, Int64.bits_of_float f));
+      emit ctx (Insn.Movq_xr { dst = t; src = g });
+      Gpralloc.free_temp ctx.gprs g;
+      (t, true)
+  | Ast.Index (a, idx) ->
+      let t = Regfile.alloc_temp ctx.vecs ~cls:(Augem_analysis.Arrays.base_array_of a) in
+      with_addr st a idx (fun m ->
+          emit ctx (Insn.Vload { w = Insn.W64; dst = t; src = m }));
+      (t, true)
+  | Ast.Binop (op, a, b) ->
+      let ra = eval_double st a in
+      let rb = eval_double st b in
+      let t = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
+      let fop =
+        match op with
+        | Ast.Add -> Insn.Fadd
+        | Ast.Sub -> Insn.Fsub
+        | Ast.Mul -> Insn.Fmul
+        | Ast.Div -> Insn.Fdiv
+      in
+      sel_vop ctx fop Insn.W64 ~dst:t ~src1:(fst ra) ~src2:(fst rb);
+      free_if_temp st ra;
+      free_if_temp st rb;
+      (t, true)
+  | Ast.Neg a ->
+      let ra = eval_double st a in
+      let z = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
+      sel_zero ctx Insn.W128 ~dst:z;
+      sel_vop ctx Insn.Fsub Insn.W64 ~dst:z ~src1:z ~src2:(fst ra);
+      free_if_temp st ra;
+      (z, true)
+  | Ast.Int_lit _ -> err "integer literal in floating-point context"
+
+(* ---------------------------------------------------------------------- *)
+(* accumulator (plan) state                                                *)
+(* ---------------------------------------------------------------------- *)
+
+let plan_id (gp : Plan.group_plan) =
+  match gp.Plan.gp_slots with
+  | (v, _) :: _ -> v
+  | [] -> "?"
+
+let acc_arrays st (gp : Plan.group_plan) : (int array * bool array) option =
+  Hashtbl.find_opt st.accs (plan_id gp)
+
+(* Allocate the accumulator registers of a plan, binding every res
+   variable to its (register, lane); called at the zero-init idiom. *)
+let ensure_accs st (gp : Plan.group_plan) : int array * bool array =
+  match acc_arrays st gp with
+  | Some x -> x
+  | None ->
+      let n = gp.Plan.gp_accs in
+      let regs = Array.make n (-1) in
+      for i = 0 to n - 1 do
+        let vars =
+          gp.Plan.gp_slots
+          |> List.filter (fun (_, s) -> s.Plan.slot_acc = i)
+          |> List.sort (fun (_, a) (_, b) ->
+                 compare a.Plan.slot_lane b.Plan.slot_lane)
+          |> List.map fst
+        in
+        regs.(i) <-
+          Regfile.alloc_lanes st.ctx.vecs ~cls:gp.Plan.gp_store_class ~vars
+      done;
+      let zeroed = Array.make n false in
+      Hashtbl.replace st.accs (plan_id gp) (regs, zeroed);
+      (regs, zeroed)
+
+(* ---------------------------------------------------------------------- *)
+(* plain statement emission                                                *)
+(* ---------------------------------------------------------------------- *)
+
+let emit_double_assign_var st v (e : Ast.expr) =
+  let ctx = st.ctx in
+  match (Plan.find_plan st.plan v, e) with
+  | Some gp, Ast.Double_lit 0. ->
+      (* accumulator zero-init idiom: first lane zeroes the register *)
+      let regs, zeroed = ensure_accs st gp in
+      let slot = List.assoc v gp.Plan.gp_slots in
+      let i = slot.Plan.slot_acc in
+      if not (zeroed.(i)) then begin
+        note_width st gp.Plan.gp_width;
+        sel_zero ctx gp.Plan.gp_width ~dst:regs.(i);
+        zeroed.(i) <- true
+      end
+  | Some _, _ ->
+      err "unsupported scalar write to vector accumulator %s" v
+  | None, _ -> (
+      (* splat variables get broadcast at their defining load *)
+      let wants_splat = Plan.needs_splat st.plan v in
+      match (wants_splat, e) with
+      | true, Ast.Index (a, idx) ->
+          let w = full_width ctx in
+          note_width st w;
+          let r =
+            match Regfile.residence ctx.vecs v with
+            | Some (Regfile.Splat r) -> r
+            | Some (Regfile.Lane _) | None ->
+                Regfile.alloc_splat ctx.vecs ~var:v
+                  ~cls:(Augem_analysis.Arrays.base_array_of a)
+          in
+          with_addr st a idx (fun m ->
+              emit ctx (Insn.Vbroadcast { w; dst = r; src = m }))
+      | true, _ ->
+          (* splat variable defined by a computed expression (e.g. the
+             GER column scalar alpha*y[j]): evaluate scalar, then
+             replicate across lanes *)
+          let value = eval_double st e in
+          let w = full_width ctx in
+          note_width st w;
+          let dst =
+            match Regfile.residence ctx.vecs v with
+            | Some (Regfile.Splat r) -> r
+            | Some (Regfile.Lane _) | None ->
+                Regfile.alloc_splat ctx.vecs ~var:v ~cls:"tmp"
+          in
+          sel_splat ctx w ~dst ~src:(fst value);
+          free_if_temp st value
+      | false, _ ->
+          let value = eval_double st e in
+          let dst =
+            match Regfile.residence ctx.vecs v with
+            | Some (Regfile.Lane (r, 0)) -> r
+            | Some (Regfile.Splat _) | Some (Regfile.Lane _) ->
+                (* overwrite kills the old (splat/lane) residence *)
+                let r = Regfile.alloc_scalar ctx.vecs ~var:v in
+                Regfile.rebind ctx.vecs ~var:v ~res:(Regfile.Lane (r, 0));
+                r
+            | None ->
+                Regfile.set_class ctx.vecs ~var:v ~cls:"tmp";
+                Regfile.alloc_scalar ctx.vecs ~var:v
+          in
+          if fst value <> dst then
+            sel_vop ctx Insn.Fmov Insn.W64 ~dst ~src1:(fst value)
+              ~src2:(fst value);
+          free_if_temp st value)
+
+let emit_int_assign st v (e : Ast.expr) =
+  let ctx = st.ctx in
+  let e = Simplify.simplify_expr e in
+  if is_pointer ctx v then begin
+    (* pointer arithmetic is in elements: scale by 8 bytes *)
+    match e with
+    | Ast.Var b when is_pointer ctx b ->
+        let rb = Gpralloc.get ctx.gprs b in
+        let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb ] in
+        if rv <> rb then emit ctx (Insn.Movrr (rv, rb))
+    | Ast.Binop (Ast.Add, Ast.Var b, off) when is_pointer ctx b -> (
+        match Simplify.simplify_expr off with
+        | Ast.Int_lit n ->
+            let rb = Gpralloc.get ctx.gprs b in
+            if String.equal b v then emit ctx (Insn.Addri (rb, 8 * n))
+            else begin
+              let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb ] in
+              emit ctx (Insn.Lea (rv, Insn.mem ~disp:(8 * n) rb))
+            end;
+            ignore (Gpralloc.def ctx.gprs v)
+        | Ast.Var o when Gpralloc.is_defined ctx.gprs o ->
+            let ri = Gpralloc.get ctx.gprs o in
+            let rb = Gpralloc.get ctx.gprs b ~avoid:[ ri ] in
+            let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb; ri ] in
+            emit ctx (Insn.Lea (rv, Insn.mem ~index:(ri, Insn.S8) rb))
+        | off ->
+            let ri = eval_int st off in
+            let rb = Gpralloc.get ctx.gprs b ~avoid:[ ri ] in
+            let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb; ri ] in
+            emit ctx (Insn.Lea (rv, Insn.mem ~index:(ri, Insn.S8) rb));
+            Gpralloc.free_temp ctx.gprs ri)
+    | Ast.Binop (Ast.Sub, Ast.Var b, off) when is_pointer ctx b -> (
+        match Simplify.simplify_expr off with
+        | Ast.Int_lit n ->
+            let rb = Gpralloc.get ctx.gprs b in
+            if String.equal b v then emit ctx (Insn.Addri (rb, -8 * n))
+            else begin
+              let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb ] in
+              emit ctx (Insn.Lea (rv, Insn.mem ~disp:(-8 * n) rb))
+            end;
+            ignore (Gpralloc.def ctx.gprs v)
+        | off ->
+            let ri = eval_int st off in
+            emit ctx (Insn.Negr ri);
+            let rb = Gpralloc.get ctx.gprs b ~avoid:[ ri ] in
+            let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb; ri ] in
+            emit ctx (Insn.Lea (rv, Insn.mem ~index:(ri, Insn.S8) rb));
+            Gpralloc.free_temp ctx.gprs ri)
+    | _ -> err "unsupported pointer expression for %s" v
+  end
+  else
+    match e with
+    | Ast.Binop (Ast.Add, Ast.Var v', Ast.Int_lit n) when String.equal v v' ->
+        let r = Gpralloc.get ctx.gprs v in
+        let _ = Gpralloc.def ctx.gprs v in
+        emit ctx (Insn.Addri (r, n))
+    | Ast.Int_lit n ->
+        let r = Gpralloc.def ctx.gprs v in
+        emit ctx (Insn.Movri (r, n))
+    | _ ->
+        let rt = eval_int st e in
+        let rv = Gpralloc.def ctx.gprs v ~avoid:[ rt ] in
+        emit ctx (Insn.Movrr (rv, rt));
+        Gpralloc.free_temp ctx.gprs rt
+
+let emit_plain st (s : Ast.stmt) =
+  let ctx = st.ctx in
+  match s with
+  | Ast.Decl (ty, v, init) -> (
+      Hashtbl.replace ctx.types v ty;
+      match init with
+      | None -> ()
+      | Some e -> (
+          match ty with
+          | Ast.Double -> emit_double_assign_var st v e
+          | Ast.Int | Ast.Ptr _ -> emit_int_assign st v e))
+  | Ast.Assign (Ast.Lvar v, e) -> (
+      match type_of_var ctx v with
+      | Ast.Double -> emit_double_assign_var st v e
+      | Ast.Int | Ast.Ptr _ -> emit_int_assign st v e)
+  | Ast.Assign (Ast.Lindex (a, idx), e) ->
+      let value = eval_double st e in
+      with_addr st a idx (fun m ->
+          emit ctx (Insn.Vstore { w = Insn.W64; src = fst value; dst = m }));
+      free_if_temp st value
+  | Ast.Prefetch (hint, base, off) ->
+      let kind =
+        match hint with
+        | Ast.Prefetch_read -> Insn.Pf_t0
+        | Ast.Prefetch_write ->
+            if String.equal ctx.arch.Arch.vendor "AMD" then Insn.Pf_w
+            else Insn.Pf_t0
+      in
+      with_addr st base off (fun m -> emit ctx (Insn.Prefetch (kind, m)))
+  | Ast.Comment c -> emit ctx (Insn.Comment c)
+  | Ast.For _ | Ast.If _ | Ast.Tagged _ ->
+      err "control statement reached the plain emitter"

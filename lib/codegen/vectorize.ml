@@ -1,0 +1,416 @@
+(* The template optimizers (paper sections 3.1-3.6): SIMD vectorization
+   of the identified regions by the Vdup / Shuf / elementwise
+   strategies, per-array register queues, FMA3/FMA4 or Mul+Add
+   instruction selection.  Each [emit_*] returns whether it applied;
+   when none does, the region falls back to the scalar path
+   ([emit_region_scalar]), statement by statement through [Translate].
+
+   Internal plumbing of this library, deliberately not sealed with an
+   .mli. *)
+
+module SS = Set.Make (String)
+
+open Augem_ir
+open Augem_machine
+open Augem_templates
+module T = Template
+
+open Ctx
+open Translate
+
+(* Scalar fall-back: translate the template's statements one by one,
+   releasing each unit template's dead temporaries before the next so a
+   long unrolled group does not exhaust the register file. *)
+let emit_region_scalar st (r : T.region) (live_out : SS.t) =
+  let release () =
+    Regfile.release_dead st.ctx.vecs ~live:(fun v -> SS.mem v live_out)
+  in
+  let unit_stmts =
+    match r with
+    | T.Mm_unrolled_comp l -> List.map T.mm_comp_stmts l
+    | T.Mm_unrolled_store l -> List.map T.mm_store_stmts l
+    | T.Mv_unrolled_comp l -> List.map T.mv_comp_stmts l
+    | T.Sv_unrolled_scal l -> List.map T.sv_scal_stmts l
+    | T.Sv_unrolled_copy l -> List.map T.sv_copy_stmts l
+  in
+  List.iter
+    (fun stmts ->
+      List.iter (emit_plain st) stmts;
+      release ())
+    unit_stmts
+
+(* The mmUnrolledCOMP optimizer (3.1, 3.4). *)
+let emit_mm_comp st (gp : Plan.group_plan) (group : T.mm_comp list) : bool =
+  let ctx = st.ctx in
+  match acc_arrays st gp with
+  | None -> false (* accumulators were never zero-initialized *)
+  | Some (acc_regs, _) -> (
+      let first = List.hd group in
+      let a_ptr = first.T.mc_a in
+      let a_cls = Augem_analysis.Arrays.base_array_of a_ptr in
+      let d0 =
+        match T.disp_of first.T.mc_idx1 with Some d -> d | None -> 0
+      in
+      (* rotating scratch pool: distinct registers for the Mul results
+         of consecutive template instances avoid false dependences
+         (the reason for the per-array queues in the first place) *)
+      let pool = ref [] in
+      let pos = ref 0 in
+      let scratch () =
+        if List.length !pool < 4 then (
+          match Regfile.alloc_temp ctx.vecs ~cls:"tmp" with
+          | t ->
+              pool := !pool @ [ t ];
+              t
+          | exception Regfile.Out_of_registers _ when !pool <> [] ->
+              pos := (!pos + 1) mod List.length !pool;
+              List.nth !pool !pos)
+        else begin
+          pos := (!pos + 1) mod List.length !pool;
+          List.nth !pool !pos
+        end
+      in
+      let free_pool () =
+        List.iter (Regfile.free_temp ctx.vecs) !pool;
+        pool := []
+      in
+      match gp.Plan.gp_strategy with
+      | Plan.S_scalar -> false
+      | Plan.S_vdup { w; n1 = _; chunks; bs } ->
+          note_width st w;
+          let lanes = Insn.lanes w in
+          (* load the contiguous A vectors once; reuse across B's *)
+          let va =
+            Array.init chunks (fun c ->
+                let r = Regfile.alloc_temp ctx.vecs ~cls:a_cls in
+                with_addr st a_ptr (Ast.Int_lit (d0 + (c * lanes))) (fun m ->
+                    emit ctx (Insn.Vload { w; dst = r; src = m }));
+                r)
+          in
+          List.iteri
+            (fun bi (b_ptr, b_disp) ->
+              let b_cls = Augem_analysis.Arrays.base_array_of b_ptr in
+              let vb = Regfile.alloc_temp ctx.vecs ~cls:b_cls in
+              with_addr st b_ptr (Ast.Int_lit b_disp) (fun m ->
+                  emit ctx (Insn.Vbroadcast { w; dst = vb; src = m }));
+              for c = 0 to chunks - 1 do
+                let acc = acc_regs.((bi * chunks) + c) in
+                sel_fmadd ctx w ~acc ~a:va.(c) ~b:vb ~scratch
+              done;
+              Regfile.free_temp ctx.vecs vb)
+            bs;
+          Array.iter (Regfile.free_temp ctx.vecs) va;
+          free_pool ();
+          true
+      | Plan.S_elem { w; chunks } ->
+          note_width st w;
+          let lanes = Insn.lanes w in
+          let b_ptr = first.T.mc_b in
+          let b_cls = Augem_analysis.Arrays.base_array_of b_ptr in
+          let d0b =
+            match T.disp_of first.T.mc_idx2 with Some d -> d | None -> 0
+          in
+          for c = 0 to chunks - 1 do
+            let va = Regfile.alloc_temp ctx.vecs ~cls:a_cls in
+            with_addr st a_ptr (Ast.Int_lit (d0 + (c * lanes))) (fun m ->
+                emit ctx (Insn.Vload { w; dst = va; src = m }));
+            let vb = Regfile.alloc_temp ctx.vecs ~cls:b_cls in
+            with_addr st b_ptr (Ast.Int_lit (d0b + (c * lanes))) (fun m ->
+                emit ctx (Insn.Vload { w; dst = vb; src = m }));
+            sel_fmadd ctx w ~acc:acc_regs.(c) ~a:va ~b:vb ~scratch;
+            Regfile.free_temp ctx.vecs va;
+            Regfile.free_temp ctx.vecs vb
+          done;
+          free_pool ();
+          true
+      | Plan.S_shuf { w; a_chunks; b_chunks } ->
+          note_width st w;
+          let lanes = Insn.lanes w in
+          let b_ptr = first.T.mc_b in
+          let b_cls = Augem_analysis.Arrays.base_array_of b_ptr in
+          let d0b =
+            match T.disp_of first.T.mc_idx2 with Some d -> d | None -> 0
+          in
+          let va =
+            Array.init a_chunks (fun c ->
+                let r = Regfile.alloc_temp ctx.vecs ~cls:a_cls in
+                with_addr st a_ptr (Ast.Int_lit (d0 + (c * lanes))) (fun m ->
+                    emit ctx (Insn.Vload { w; dst = r; src = m }));
+                r)
+          in
+          for bc = 0 to b_chunks - 1 do
+            let vb = Regfile.alloc_temp ctx.vecs ~cls:b_cls in
+            with_addr st b_ptr (Ast.Int_lit (d0b + (bc * lanes))) (fun m ->
+                emit ctx (Insn.Vload { w; dst = vb; src = m }));
+            let current = ref vb in
+            for k = 0 to lanes - 1 do
+              if k > 0 then begin
+                (* rotate the B vector by one lane: for W128 this is a
+                   single swap (shufpd $1) *)
+                let rot = Regfile.alloc_temp ctx.vecs ~cls:b_cls in
+                emit ctx
+                  (Insn.Vshuf { w; dst = rot; src1 = !current; src2 = !current;
+                                imm = 1 });
+                if !current <> vb then Regfile.free_temp ctx.vecs !current;
+                current := rot
+              end;
+              for ac = 0 to a_chunks - 1 do
+                let acc = acc_regs.((((ac * b_chunks) + bc) * lanes) + k) in
+                sel_fmadd ctx w ~acc ~a:va.(ac) ~b:!current ~scratch
+              done
+            done;
+            if !current <> vb then Regfile.free_temp ctx.vecs !current;
+            Regfile.free_temp ctx.vecs vb
+          done;
+          Array.iter (Regfile.free_temp ctx.vecs) va;
+          free_pool ();
+          true)
+
+(* The mmUnrolledSTORE optimizer (3.2, 3.5). *)
+let emit_mm_store st (group : T.mm_store list) (live_out : SS.t) : bool =
+  let ctx = st.ctx in
+  (* all res scalars must be dead after the region and resident in
+     vector lanes forming gatherable chunks *)
+  if List.exists (fun m -> SS.mem m.T.ms_res live_out) group then false
+  else
+    let residences =
+      List.map
+        (fun m ->
+          match Regfile.residence ctx.vecs m.T.ms_res with
+          | Some (Regfile.Lane (r, l)) -> Some (m, r, l)
+          | Some (Regfile.Splat _) | None -> None)
+        group
+    in
+    if List.exists Option.is_none residences then false
+    else
+      let residences = List.map Option.get residences in
+      let n = List.length residences in
+      let w_lanes =
+        (* width of the accumulators: infer from the plan of the first res *)
+        match Plan.find_plan st.plan (List.hd group).T.ms_res with
+        | Some gp -> Insn.lanes gp.Plan.gp_width
+        | None -> 1
+      in
+      if w_lanes < 2 || n mod w_lanes <> 0 then false
+      else begin
+        let w = Plan.Insn_width.of_lanes w_lanes in
+        note_width st w;
+        let c_ptr = (List.hd group).T.ms_c in
+        let c_cls = Augem_analysis.Arrays.base_array_of c_ptr in
+        let d0 =
+          match T.disp_of (List.hd group).T.ms_idx with Some d -> d | None -> 0
+        in
+        let chunk_ok = ref true in
+        let chunks = n / w_lanes in
+        (* validate gatherability first *)
+        let gathered = Array.make chunks None in
+        for c = 0 to chunks - 1 do
+          let sources =
+            List.filteri (fun i _ -> i / w_lanes = c) residences
+            |> List.map (fun (_, r, l) -> (r, l))
+          in
+          let identity =
+            List.mapi (fun i (r, l) -> (i, r, l)) sources
+            |> List.for_all (fun (i, r, l) ->
+                   l = i && r = (match sources with (r0, _) :: _ -> r0 | [] -> r))
+          in
+          if identity then gathered.(c) <- Some (`Direct (fst (List.hd sources)))
+          else if w_lanes = 2 then
+            match sources with
+            | [ (r0, l0); (r1, l1) ] ->
+                gathered.(c) <- Some (`Shuf (r0, l0, r1, l1))
+            | _ -> chunk_ok := false
+          else chunk_ok := false
+        done;
+        if not !chunk_ok then false
+        else begin
+          for c = 0 to chunks - 1 do
+            let src, src_temp =
+              match gathered.(c) with
+              | Some (`Direct r) -> (r, false)
+              | Some (`Shuf (r0, l0, r1, l1)) ->
+                  let t = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
+                  if avx ctx then
+                    emit ctx
+                      (Insn.Vshuf { w; dst = t; src1 = r0; src2 = r1;
+                                    imm = l0 lor (l1 lsl 1) })
+                  else begin
+                    emit ctx
+                      (Insn.Vop { op = Insn.Fmov; w; dst = t; src1 = r0;
+                                  src2 = r0 });
+                    emit ctx
+                      (Insn.Vshuf { w; dst = t; src1 = t; src2 = r1;
+                                    imm = l0 lor (l1 lsl 1) })
+                  end;
+                  (t, true)
+              | None -> assert false
+            in
+            let vc = Regfile.alloc_temp ctx.vecs ~cls:c_cls in
+            with_addr st c_ptr (Ast.Int_lit (d0 + (c * w_lanes))) (fun m ->
+                emit ctx (Insn.Vload { w; dst = vc; src = m }));
+            sel_vop ctx Insn.Fadd w ~dst:vc ~src1:vc ~src2:src;
+            with_addr st c_ptr (Ast.Int_lit (d0 + (c * w_lanes))) (fun m ->
+                emit ctx (Insn.Vstore { w; src = vc; dst = m }));
+            Regfile.free_temp ctx.vecs vc;
+            if src_temp then Regfile.free_temp ctx.vecs src
+          done;
+          true
+        end
+      end
+
+(* The mvUnrolledCOMP optimizer (3.3, 3.6). *)
+let emit_mv_comp st (group : T.mv_comp list) : bool =
+  let ctx = st.ctx in
+  let first = List.hd group in
+  let n = List.length group in
+  let disps_ok =
+    List.for_all
+      (fun m ->
+        Option.is_some (T.disp_of m.T.mv_idx1)
+        && Option.is_some (T.disp_of m.T.mv_idx2))
+      group
+  in
+  let lanes = min (Insn.lanes (full_width ctx)) 4 in
+  if (not disps_ok) || n < lanes then false
+  else begin
+    let w = full_width ctx in
+    note_width st w;
+    let chunks = n / lanes in
+    let leftover = n mod lanes in
+    let a_ptr = first.T.mv_a and b_ptr = first.T.mv_b in
+    let a_cls = Augem_analysis.Arrays.base_array_of a_ptr in
+    let b_cls = Augem_analysis.Arrays.base_array_of b_ptr in
+    let d0a = Option.get (T.disp_of first.T.mv_idx1) in
+    let d0b = Option.get (T.disp_of first.T.mv_idx2) in
+    (* the scalar multiplier must already be replicated: broadcast
+       happens at its defining load or, for parameters, at function
+       entry — never here, since this code may sit inside a loop *)
+    let scal = first.T.mv_scal in
+    match Regfile.residence ctx.vecs scal with
+    | Some (Regfile.Lane _) | None -> false
+    | Some (Regfile.Splat scal_reg) ->
+    for c = 0 to chunks - 1 do
+      let va = Regfile.alloc_temp ctx.vecs ~cls:a_cls in
+      with_addr st a_ptr (Ast.Int_lit (d0a + (c * lanes))) (fun m ->
+          emit ctx (Insn.Vload { w; dst = va; src = m }));
+      let vb = Regfile.alloc_temp ctx.vecs ~cls:b_cls in
+      with_addr st b_ptr (Ast.Int_lit (d0b + (c * lanes))) (fun m ->
+          emit ctx (Insn.Vload { w; dst = vb; src = m }));
+      let tmp = ref (-1) in
+      sel_fmadd ctx w ~acc:vb ~a:va ~b:scal_reg ~scratch:(fun () ->
+          let t = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
+          tmp := t;
+          t);
+      if !tmp >= 0 then Regfile.free_temp ctx.vecs !tmp;
+      with_addr st b_ptr (Ast.Int_lit (d0b + (c * lanes))) (fun m ->
+          emit ctx (Insn.Vstore { w; src = vb; dst = m }));
+      Regfile.free_temp ctx.vecs va;
+      Regfile.free_temp ctx.vecs vb
+    done;
+    (* leftover instances take the scalar path *)
+    if leftover > 0 then begin
+      let rest = List.filteri (fun i _ -> i >= chunks * lanes) group in
+      List.iter (fun m -> List.iter (emit_plain st) (T.mv_comp_stmts m)) rest
+    end;
+    true
+  end
+
+(* The svUnrolledSCAL optimizer (extension template): fold n in-place
+   scalings into Vld-Vmul-Vst over the replicated scalar. *)
+let emit_sv_scal st (group : T.sv_scal list) : bool =
+  let ctx = st.ctx in
+  let first = List.hd group in
+  let n = List.length group in
+  let disps_ok =
+    List.for_all (fun m -> Option.is_some (T.disp_of m.T.ss_idx)) group
+  in
+  let lanes = min (Insn.lanes (full_width ctx)) 4 in
+  if (not disps_ok) || n < lanes then false
+  else
+    match Regfile.residence ctx.vecs first.T.ss_scal with
+    | Some (Regfile.Lane _) | None -> false
+    | Some (Regfile.Splat scal_reg) ->
+        let w = full_width ctx in
+        note_width st w;
+        let chunks = n / lanes and leftover = n mod lanes in
+        let b_ptr = first.T.ss_b in
+        let b_cls = Augem_analysis.Arrays.base_array_of b_ptr in
+        let d0 = Option.get (T.disp_of first.T.ss_idx) in
+        for c = 0 to chunks - 1 do
+          let vb = Regfile.alloc_temp ctx.vecs ~cls:b_cls in
+          with_addr st b_ptr (Ast.Int_lit (d0 + (c * lanes))) (fun m ->
+              emit ctx (Insn.Vload { w; dst = vb; src = m }));
+          sel_vop ctx Insn.Fmul w ~dst:vb ~src1:vb ~src2:scal_reg;
+          with_addr st b_ptr (Ast.Int_lit (d0 + (c * lanes))) (fun m ->
+              emit ctx (Insn.Vstore { w; src = vb; dst = m }));
+          Regfile.free_temp ctx.vecs vb
+        done;
+        if leftover > 0 then begin
+          let rest = List.filteri (fun i _ -> i >= chunks * lanes) group in
+          List.iter
+            (fun m -> List.iter (emit_plain st) (T.sv_scal_stmts m))
+            rest
+        end;
+        true
+
+(* The svUnrolledCOPY optimizer (extension template): block moves. *)
+let emit_sv_copy st (group : T.sv_copy list) : bool =
+  let ctx = st.ctx in
+  let first = List.hd group in
+  let n = List.length group in
+  let disps_ok =
+    List.for_all
+      (fun m ->
+        Option.is_some (T.disp_of m.T.sc_idx1)
+        && Option.is_some (T.disp_of m.T.sc_idx2))
+      group
+  in
+  let lanes = min (Insn.lanes (full_width ctx)) 4 in
+  if (not disps_ok) || n < lanes then false
+  else begin
+    let w = full_width ctx in
+    note_width st w;
+    let chunks = n / lanes and leftover = n mod lanes in
+    let a_ptr = first.T.sc_a and b_ptr = first.T.sc_b in
+    let a_cls = Augem_analysis.Arrays.base_array_of a_ptr in
+    let d0a = Option.get (T.disp_of first.T.sc_idx1) in
+    let d0b = Option.get (T.disp_of first.T.sc_idx2) in
+    for c = 0 to chunks - 1 do
+      let va = Regfile.alloc_temp ctx.vecs ~cls:a_cls in
+      with_addr st a_ptr (Ast.Int_lit (d0a + (c * lanes))) (fun m ->
+          emit ctx (Insn.Vload { w; dst = va; src = m }));
+      with_addr st b_ptr (Ast.Int_lit (d0b + (c * lanes))) (fun m ->
+          emit ctx (Insn.Vstore { w; src = va; dst = m }));
+      Regfile.free_temp ctx.vecs va
+    done;
+    if leftover > 0 then begin
+      let rest = List.filteri (fun i _ -> i >= chunks * lanes) group in
+      List.iter (fun m -> List.iter (emit_plain st) (T.sv_copy_stmts m)) rest
+    end;
+    true
+  end
+
+let emit_region st (r : T.region) (live_out : SS.t) =
+  let ctx = st.ctx in
+  emit ctx (Insn.Comment (Printf.sprintf "<%s n=%d>" (T.region_name r)
+                            (T.region_size r)));
+  let vectorized =
+    match r with
+    | T.Mm_unrolled_comp group -> (
+        match Plan.find_plan st.plan (List.hd group).T.mc_res with
+        | Some gp
+          when gp.Plan.gp_strategy <> Plan.S_scalar
+               (* the plan must belong to THIS region: a different group
+                  may share an accumulator variable (round-robin
+                  expansion leftovers) but have a different shape *)
+               && gp.Plan.gp_region = group ->
+            emit_mm_comp st gp group
+        | Some _ | None -> false)
+    | T.Mm_unrolled_store group -> emit_mm_store st group live_out
+    | T.Mv_unrolled_comp group -> emit_mv_comp st group
+    | T.Sv_unrolled_scal group -> emit_sv_scal st group
+    | T.Sv_unrolled_copy group -> emit_sv_copy st group
+  in
+  if not vectorized then emit_region_scalar st r live_out;
+  (* release registers whose residents are dead after the region *)
+  Regfile.release_dead ctx.vecs ~live:(fun v -> SS.mem v live_out)

@@ -68,8 +68,17 @@ module Codegen = struct
   module Regfile = Augem_codegen.Regfile
   module Gpralloc = Augem_codegen.Gpralloc
   module Plan = Augem_codegen.Plan
-  module Emit = Augem_codegen.Emit
+
+  (* The historical [Emit] API is now a compatibility veneer over the
+     staged-lowering driver; see {!Driver.Lower}. *)
+  module Emit = Augem_driver.Emit
   module Schedule = Augem_codegen.Schedule
+end
+
+module Driver = struct
+  module Stage = Augem_driver.Stage
+  module Trace = Augem_driver.Trace
+  module Lower = Augem_driver.Lower
 end
 
 module Sim = struct
@@ -120,19 +129,69 @@ let generate ?(opts = Codegen.Emit.default_options) ~(arch : Machine.Arch.t)
     ~(config : Transform.Pipeline.config) (name : Ir.Kernels.name) : generated
     =
   let source = Ir.Kernels.kernel_of_name name in
-  let optimized = Transform.Pipeline.apply source config in
-  let annotated = Templates.Matcher.identify optimized in
-  let program = Codegen.Emit.generate_annotated ~arch ~opts annotated in
-  let program = Codegen.Schedule.run arch program in
+  let trace =
+    Driver.Lower.run
+      ~opts:
+        {
+          Driver.Lower.default_opts with
+          Driver.Lower.prefer = opts.Codegen.Emit.prefer;
+          max_width = opts.Codegen.Emit.max_width;
+        }
+      ~arch ~config source
+  in
   {
     g_kernel = name;
     g_arch = arch;
     g_config = config;
     g_source = source;
-    g_optimized = optimized;
-    g_tagged = Templates.Matcher.to_tagged_kernel annotated;
-    g_program = program;
+    g_optimized =
+      (match Driver.Trace.optimized trace with
+      | Some k -> k
+      | None -> assert false (* full runs always record it *));
+    g_tagged = Templates.Matcher.to_tagged_kernel (Driver.Trace.annotated trace);
+    g_program = Driver.Trace.program trace;
   }
+
+(* Run the staged-lowering driver on one of the paper's kernels,
+   keeping the whole trace (per-stage timings, fingerprints, size
+   counters and, when [snapshots], rendered artifacts).  This is what
+   `augem explain` renders. *)
+let explain ?(opts = Driver.Lower.default_opts) ~(arch : Machine.Arch.t)
+    ~(config : Transform.Pipeline.config) (name : Ir.Kernels.name) :
+    Driver.Trace.t =
+  Driver.Lower.run ~opts ~arch ~config (Ir.Kernels.kernel_of_name name)
+
+(* Machine-readable rendering of a lowering trace. *)
+let trace_to_json (t : Driver.Trace.t) : Json.t =
+  let stage (r : Driver.Trace.stage_record) =
+    Json.Obj
+      ([
+         ("index", Json.Int r.Driver.Trace.sr_index);
+         ("name", Json.String r.Driver.Trace.sr_name);
+         ("kind", Json.String r.Driver.Trace.sr_kind);
+         ("ms", Json.Float r.Driver.Trace.sr_ms);
+         ("fingerprint", Json.String r.Driver.Trace.sr_fingerprint);
+         ( "stats",
+           Json.Obj
+             (List.map
+                (fun (k, v) -> (k, Json.Int v))
+                r.Driver.Trace.sr_stats) );
+       ]
+      @
+      match r.Driver.Trace.sr_artifact with
+      | None -> []
+      | Some a -> [ ("artifact", Json.String a) ])
+  in
+  Json.Obj
+    [
+      ("kernel", Json.String t.Driver.Trace.tr_kernel);
+      ("arch", Json.String t.Driver.Trace.tr_arch);
+      ( "config",
+        match t.Driver.Trace.tr_config with
+        | Some c -> Json.String c
+        | None -> Json.Null );
+      ("stages", Json.List (List.map stage t.Driver.Trace.tr_stages));
+    ]
 
 (* Run the pipeline under a transformation script (the mini-POET layer:
    see [Transform.Script] for the directive language). *)

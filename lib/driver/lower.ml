@@ -1,0 +1,280 @@
+(* The staged-lowering driver: builds the full stage list for a kernel
+   — the configured C passes, template identification, vectorization
+   planning, parameter binding, body emission, frame emission, and
+   (optionally) scheduling — and folds it, recording a
+   {!Trace.stage_record} per stage.  One entry point, [run], is what
+   the tuner, the oracle and the CLI call; [run_annotated] is the
+   backend-only variant the [Emit] compatibility wrappers use.
+
+   Behaviour is bit-for-bit identical to the pre-refactor monolith:
+   the stages execute exactly the statements the old
+   [Emit.generate_annotated] executed, in the same order. *)
+
+open Augem_ir
+open Augem_machine
+open Augem_templates
+open Augem_transform
+open Augem_codegen
+module M = Matcher
+
+type opts = {
+  prefer : Plan.prefer;
+  max_width : Insn.vwidth option;  (** cap vector width (None = machine) *)
+  validate_each : bool;
+      (** type-check after every C pass, not only the last *)
+  snapshots : bool;  (** record each stage's rendered artifact *)
+  max_insns : int option;
+      (** instruction budget, checked on the unscheduled program *)
+  lint : bool;  (** static-check the scheduled program; errors fail *)
+  schedule : bool;  (** run the list scheduler as a final stage *)
+}
+
+let default_opts =
+  {
+    prefer = Plan.Prefer_auto;
+    max_width = None;
+    validate_each = false;
+    snapshots = false;
+    max_insns = None;
+    lint = false;
+    schedule = true;
+  }
+
+(* A stage's [run] or [validate] raised: the stage name is the
+   attribution the tuner's diagnostics record. *)
+exception Stage_failed of string * exn
+
+(* The unscheduled program blew the instruction budget (tuner sweeps
+   discard such candidates before the length-proportional analyses). *)
+exception Budget_exceeded of { stage : string; len : int; budget : int }
+
+let () =
+  Printexc.register_printer (function
+    | Stage_failed (name, exn) ->
+        Some (Printf.sprintf "stage %s: %s" name (Printexc.to_string exn))
+    | Budget_exceeded { stage; len; budget } ->
+        Some
+          (Printf.sprintf "stage %s: %d instructions > budget %d" stage len
+             budget)
+    | _ -> None)
+
+let machine_lanes (opts : opts) (arch : Arch.t) =
+  let base = Arch.simd_lanes arch in
+  match opts.max_width with None -> base | Some w -> min base (Insn.lanes w)
+
+(* --- stage construction ------------------------------------------------ *)
+
+let typecheck_artifact = function
+  | Stage.A_kernel k -> Typecheck.check_kernel k
+  | _ -> ()
+
+(* The C-level stages: one per configured source pass, each validated
+   by the type checker when [validate_each] (always on the last, which
+   preserves [Pipeline.apply]'s contract). *)
+let c_stages (opts : opts) (config : Pipeline.config) : Stage.t list =
+  let passes = Pipeline.passes config in
+  let last = List.length passes - 1 in
+  List.mapi
+    (fun i (name, pass) ->
+      {
+        Stage.name;
+        run =
+          (function
+          | Stage.A_kernel k -> Stage.A_kernel (pass k)
+          | a -> a);
+        validate =
+          (if opts.validate_each || i = last then Some typecheck_artifact
+           else None);
+      })
+    passes
+
+(* The tuner's static gate on the scheduled program: any error-severity
+   finding fails the stage (and so the candidate). *)
+let lint_validator (arch : Arch.t) ~(params : Ast.param list) :
+    Stage.artifact -> unit = function
+  | Stage.A_program p -> (
+      let module AC = Augem_analysis.Asmcheck in
+      let config = AC.config_for ~avx:(arch.Arch.simd = Arch.AVX) ~params in
+      match AC.errors (AC.check ~config p) with
+      | [] -> ()
+      | errs -> raise (AC.Lint_error ("asmcheck", errs)))
+  | _ -> ()
+
+(* The backend stages, mirroring the old [Emit.generate_annotated]
+   step for step.  [params] is the kernel's parameter list (invariant
+   across the pipeline), needed by the lint gate's checker config. *)
+let backend_stages (opts : opts) (arch : Arch.t) ~(params : Ast.param list) :
+    Stage.t list =
+  let lanes = machine_lanes opts arch in
+  let stage name run = { Stage.name; run; validate = None } in
+  [
+    stage "identify-templates" (function
+      | Stage.A_kernel k -> Stage.A_annotated (M.identify k)
+      | a -> a);
+    stage "plan-vectorization" (function
+      | Stage.A_annotated ak ->
+          Stage.A_plan
+            {
+              Stage.pl_ak = ak;
+              pl_plan = Plan.build ~machine_lanes:lanes ~prefer:opts.prefer ak;
+              pl_lanes = lanes;
+            }
+      | a -> a);
+    stage "bind-parameters" (function
+      | Stage.A_plan p ->
+          Stage.A_state
+            {
+              Stage.bd_plan = p;
+              bd_st =
+                Frame.create_state ~arch ~plan:p.Stage.pl_plan p.Stage.pl_ak;
+            }
+      | a -> a);
+    stage "emit-body" (function
+      | Stage.A_state b ->
+          Control.emit_astmts b.Stage.bd_st
+            b.Stage.bd_plan.Stage.pl_ak.M.ak_body;
+          Stage.A_body
+            {
+              Stage.em_ak = b.Stage.bd_plan.Stage.pl_ak;
+              em_st = b.Stage.bd_st;
+              em_insns = Frame.body b.Stage.bd_st;
+            }
+      | a -> a);
+    stage "emit-frame" (function
+      | Stage.A_body b ->
+          Stage.A_program
+            (Frame.finish b.Stage.em_st b.Stage.em_ak ~body:b.Stage.em_insns)
+      | a -> a);
+  ]
+  @
+  if not opts.schedule then []
+  else
+    [
+      {
+        Stage.name = "schedule";
+        run =
+          (function
+          | Stage.A_program p -> Stage.A_program (Schedule.run arch p)
+          | a -> a);
+        validate =
+          (if opts.lint then Some (lint_validator arch ~params) else None);
+      };
+    ]
+
+(* --- the fold ----------------------------------------------------------- *)
+
+(* Fold a stage list, timing and recording each stage.  Returns the
+   records and every stage's output artifact, both in execution
+   order. *)
+let run_stages ~(avx : bool) ~(opts : opts) ~(idx0 : int)
+    (stages : Stage.t list) (init : Stage.artifact) :
+    Trace.stage_record list * Stage.artifact list =
+  let records = ref [] in
+  let arts = ref [] in
+  let _ =
+    List.fold_left
+      (fun (idx, art) (st : Stage.t) ->
+        let t0 = Unix.gettimeofday () in
+        let art' =
+          try st.Stage.run art
+          with exn -> raise (Stage_failed (st.Stage.name, exn))
+        in
+        (match st.Stage.validate with
+        | None -> ()
+        | Some v -> (
+            try v art' with exn -> raise (Stage_failed (st.Stage.name, exn))));
+        let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        (* the instruction budget applies to the unscheduled program *)
+        (match art' with
+        | Stage.A_program p when String.equal st.Stage.name "emit-frame" -> (
+            match opts.max_insns with
+            | Some budget ->
+                let len = List.length p.Insn.prog_insns in
+                if len > budget then
+                  raise
+                    (Budget_exceeded { stage = st.Stage.name; len; budget })
+            | None -> ())
+        | _ -> ());
+        records :=
+          {
+            Trace.sr_index = idx;
+            sr_name = st.Stage.name;
+            sr_kind = Stage.kind art';
+            sr_ms = ms;
+            sr_fingerprint = Stage.fingerprint ~avx art';
+            sr_stats = Stage.stats art';
+            sr_artifact =
+              (if opts.snapshots then Some (Stage.to_string ~avx art')
+               else None);
+          }
+          :: !records;
+        arts := art' :: !arts;
+        (idx + 1, art'))
+      (idx0, init) stages
+  in
+  (List.rev !records, List.rev !arts)
+
+let final_program (arts : Stage.artifact list) ~(who : string) : Insn.program =
+  match List.rev arts with
+  | Stage.A_program p :: _ -> p
+  | _ -> invalid_arg (who ^ ": lowering produced no program")
+
+(* --- entry points ------------------------------------------------------- *)
+
+(* Backend-only lowering: from a template-annotated kernel to a
+   program, exactly the old [Emit.generate_annotated] (plus optional
+   scheduling).  Used by the [Emit] compatibility wrappers. *)
+let run_annotated ?(opts = default_opts) ~(arch : Arch.t) (ak : M.akernel) :
+    Trace.t =
+  let avx = arch.Arch.simd = Arch.AVX in
+  let stages =
+    (* skip identify-templates: the input is already annotated *)
+    List.filter
+      (fun s -> not (String.equal s.Stage.name "identify-templates"))
+      (backend_stages opts arch ~params:ak.M.ak_params)
+  in
+  let records, arts =
+    run_stages ~avx ~opts ~idx0:0 stages (Stage.A_annotated ak)
+  in
+  {
+    Trace.tr_kernel = ak.M.ak_name;
+    tr_arch = arch.Arch.name;
+    tr_config = None;
+    tr_stages = records;
+    tr_optimized = None;
+    tr_annotated = ak;
+    tr_program = final_program arts ~who:"Lower.run_annotated";
+  }
+
+(* The single full-pipeline entry point: C passes, template
+   identification, the backend, optional scheduling and lint. *)
+let run ?(opts = default_opts) ~(arch : Arch.t) ~(config : Pipeline.config)
+    (kernel : Ast.kernel) : Trace.t =
+  let avx = arch.Arch.simd = Arch.AVX in
+  let stages =
+    c_stages opts config @ backend_stages opts arch ~params:kernel.Ast.k_params
+  in
+  let records, arts =
+    run_stages ~avx ~opts ~idx0:0 stages (Stage.A_kernel kernel)
+  in
+  let optimized =
+    List.fold_left
+      (fun acc -> function Stage.A_kernel k -> Some k | _ -> acc)
+      None arts
+  in
+  let annotated =
+    match
+      List.find_opt (function Stage.A_annotated _ -> true | _ -> false) arts
+    with
+    | Some (Stage.A_annotated ak) -> ak
+    | _ -> invalid_arg "Lower.run: lowering skipped template identification"
+  in
+  {
+    Trace.tr_kernel = kernel.Ast.k_name;
+    tr_arch = arch.Arch.name;
+    tr_config = Some (Pipeline.config_to_string config);
+    tr_stages = records;
+    tr_optimized = optimized;
+    tr_annotated = annotated;
+    tr_program = final_program arts ~who:"Lower.run";
+  }

@@ -1,0 +1,130 @@
+(* The staged-lowering protocol: every layer of the pipeline — from the
+   source-to-source C passes down to the scheduled assembly — is a
+   [Stage.t] mapping one [artifact] to the next.  The driver ([Lower])
+   folds a stage list, and because every intermediate artifact is a
+   first-class value it can be fingerprinted, size-counted,
+   pretty-printed and validated uniformly.  This reifies the paper's
+   Figure 2 flow (C optimizer → template identifier → template
+   optimizer → assembly generator) as data rather than as the call
+   graph of a monolith. *)
+
+open Augem_ir
+open Augem_machine
+open Augem_templates
+open Augem_codegen
+module M = Matcher
+
+(* Every representation a kernel passes through on the way from simple
+   C to scheduled assembly.  The mid-backend artifacts carry the live
+   emitter state ([Translate.state]): the backend stages communicate
+   through it, and its pretty-printing reads only what has been emitted
+   at snapshot time. *)
+type artifact =
+  | A_kernel of Ast.kernel  (** C, before/after a source pass *)
+  | A_annotated of M.akernel  (** template-annotated C *)
+  | A_plan of plan  (** vectorization plan, pre-emission *)
+  | A_state of bound  (** emitter state after parameter binding *)
+  | A_body of body  (** emitted body, pre-frame *)
+  | A_program of Insn.program  (** complete program *)
+
+and plan = { pl_ak : M.akernel; pl_plan : Plan.t; pl_lanes : int }
+and bound = { bd_plan : plan; bd_st : Translate.state }
+
+and body = {
+  em_ak : M.akernel;
+  em_st : Translate.state;
+  em_insns : Insn.t list;
+}
+
+type t = {
+  name : string;  (** unique within a stage list, e.g. "emit-body" *)
+  run : artifact -> artifact;
+  validate : (artifact -> unit) option;
+      (** checked on the stage's output; raises on failure *)
+}
+
+let kind = function
+  | A_kernel _ -> "c-kernel"
+  | A_annotated _ -> "annotated-c"
+  | A_plan _ -> "vector-plan"
+  | A_state _ -> "emitter-state"
+  | A_body _ -> "insn-list"
+  | A_program _ -> "program"
+
+(* --- size counters ----------------------------------------------------- *)
+
+let rec count_stmts = function
+  | [] -> 0
+  | (Ast.Decl _ | Ast.Assign _ | Ast.Prefetch _ | Ast.Comment _) :: rest ->
+      1 + count_stmts rest
+  | Ast.For (_, body) :: rest -> 1 + count_stmts body + count_stmts rest
+  | Ast.If (_, _, _, t, f) :: rest ->
+      1 + count_stmts t + count_stmts f + count_stmts rest
+  | Ast.Tagged (_, body) :: rest -> count_stmts body + count_stmts rest
+
+let rec count_astmts = function
+  | [] -> (0, 0)
+  | M.A_plain _ :: rest ->
+      let s, r = count_astmts rest in
+      (s + 1, r)
+  | M.A_region _ :: rest ->
+      let s, r = count_astmts rest in
+      (s, r + 1)
+  | M.A_for (_, body) :: rest ->
+      let s1, r1 = count_astmts body and s2, r2 = count_astmts rest in
+      (s1 + s2 + 1, r1 + r2)
+  | M.A_if (_, _, _, t, f) :: rest ->
+      let s1, r1 = count_astmts t
+      and s2, r2 = count_astmts f
+      and s3, r3 = count_astmts rest in
+      (s1 + s2 + s3 + 1, r1 + r2 + r3)
+
+let plan_stats (p : plan) =
+  [
+    ("groups", List.length (Plan.groups p.pl_plan));
+    ("splats", List.length (Plan.splat_vars p.pl_plan));
+    ("lanes", p.pl_lanes);
+  ]
+
+(* What has been emitted into the state's output stream so far, in
+   program order. *)
+let emitted_so_far (st : Translate.state) : Insn.t list =
+  List.rev !(st.Translate.ctx.Ctx.out)
+
+let stats = function
+  | A_kernel k -> [ ("stmts", count_stmts k.Ast.k_body) ]
+  | A_annotated ak ->
+      let s, r = count_astmts ak.M.ak_body in
+      [ ("stmts", s); ("regions", r) ]
+  | A_plan p -> plan_stats p
+  | A_state b ->
+      plan_stats b.bd_plan
+      @ [ ("prelude-insns", List.length (emitted_so_far b.bd_st)) ]
+  | A_body b -> [ ("insns", List.length b.em_insns) ]
+  | A_program p -> [ ("insns", List.length p.Insn.prog_insns) ]
+
+(* --- rendering --------------------------------------------------------- *)
+
+let insns_to_string ~avx insns =
+  insns |> List.map (Att.insn_str ~avx) |> String.concat "\n"
+
+let plan_to_string (p : plan) =
+  Printf.sprintf "machine lanes: %d\n%s" p.pl_lanes (Plan.to_string p.pl_plan)
+
+let to_string ~avx = function
+  | A_kernel k -> Pp.kernel_to_string k
+  | A_annotated ak -> Pp.kernel_to_string (M.to_tagged_kernel ak)
+  | A_plan p -> plan_to_string p
+  | A_state b ->
+      plan_to_string b.bd_plan
+      ^ "prelude:\n"
+      ^ insns_to_string ~avx (emitted_so_far b.bd_st)
+      ^ "\n"
+  | A_body b -> insns_to_string ~avx b.em_insns ^ "\n"
+  | A_program p -> Att.program_to_string ~avx p
+
+(* Content fingerprint of an artifact: stable across runs for the same
+   input, sensitive to any rendered difference.  The determinism suite
+   asserts these match between repeated lowerings. *)
+let fingerprint ~avx (a : artifact) : string =
+  Digest.to_hex (Digest.string (kind a ^ "\n" ^ to_string ~avx a))

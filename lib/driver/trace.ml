@@ -1,0 +1,37 @@
+(* The record a staged lowering leaves behind: one [stage_record] per
+   stage (name, artifact kind, wall time, fingerprint, size counters,
+   optional snapshot) plus the final artifacts the callers need.  The
+   tuner reads stage names out of failures, `augem explain` renders the
+   whole trace, and the determinism suite compares two traces
+   field-by-field (timings excluded). *)
+
+open Augem_ir
+open Augem_machine
+open Augem_templates
+
+type stage_record = {
+  sr_index : int;  (** position in the stage list, 0-based *)
+  sr_name : string;
+  sr_kind : string;  (** artifact kind, see {!Stage.kind} *)
+  sr_ms : float;  (** wall-clock milliseconds for run + validate *)
+  sr_fingerprint : string;
+  sr_stats : (string * int) list;  (** artifact-size counters *)
+  sr_artifact : string option;  (** snapshot, when requested *)
+}
+
+type t = {
+  tr_kernel : string;  (** kernel (function) name *)
+  tr_arch : string;  (** architecture name *)
+  tr_config : string option;
+      (** rendered tuning configuration; [None] for backend-only runs *)
+  tr_stages : stage_record list;  (** in execution order *)
+  tr_optimized : Ast.kernel option;
+      (** after the last C pass; [None] for backend-only runs *)
+  tr_annotated : Matcher.akernel;
+  tr_program : Insn.program;  (** the final program *)
+}
+
+let program (t : t) : Insn.program = t.tr_program
+let annotated (t : t) : Matcher.akernel = t.tr_annotated
+let optimized (t : t) : Ast.kernel option = t.tr_optimized
+let stage_names (t : t) : string list = List.map (fun r -> r.sr_name) t.tr_stages

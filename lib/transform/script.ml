@@ -30,55 +30,61 @@ type t = {
 let default =
   { sc_config = Pipeline.default; sc_prefer = `Auto; sc_width = None }
 
-exception Script_error of string
+(* line (1-based) of the offending directive, and the message *)
+exception Script_error of int * string
 
-let err fmt = Fmt.kstr (fun s -> raise (Script_error s)) fmt
+let err ~line fmt = Fmt.kstr (fun s -> raise (Script_error (line, s))) fmt
 
-let split_directives (src : string) : string list list =
+(* Split into directives, each tagged with the 1-based source line it
+   came from (';'-separated directives share their line). *)
+let split_directives (src : string) : (int * string list) list =
   String.split_on_char '\n' src
-  |> List.concat_map (String.split_on_char ';')
-  |> List.map (fun line ->
-         let line =
-           match String.index_opt line '#' with
-           | Some i -> String.sub line 0 i
-           | None -> line
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.concat_map (fun (ln, line) ->
+         String.split_on_char ';' line |> List.map (fun seg -> (ln, seg)))
+  |> List.map (fun (ln, seg) ->
+         let seg =
+           match String.index_opt seg '#' with
+           | Some i -> String.sub seg 0 i
+           | None -> seg
          in
-         String.split_on_char ' ' line
-         |> List.concat_map (String.split_on_char '\t')
-         |> List.filter (fun w -> w <> ""))
-  |> List.filter (fun words -> words <> [])
+         ( ln,
+           String.split_on_char ' ' seg
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (fun w -> w <> "") ))
+  |> List.filter (fun (_, words) -> words <> [])
 
-let int_arg name s =
+let int_arg ~line name s =
   match int_of_string_opt s with
   | Some n when n >= 1 -> n
-  | Some _ | None -> err "%s expects a positive integer, got %S" name s
+  | Some _ | None -> err ~line "%s expects a positive integer, got %S" name s
 
-let onoff name = function
+let onoff ~line name = function
   | "on" -> true
   | "off" -> false
-  | s -> err "%s expects on or off, got %S" name s
+  | s -> err ~line "%s expects on or off, got %S" name s
 
-let apply_directive (t : t) (words : string list) : t =
+let apply_directive (t : t) ((line, words) : int * string list) : t =
   let cfg = t.sc_config in
   match words with
   | [ "unroll_jam"; var; f ] ->
       {
         t with
         sc_config =
-          { cfg with Pipeline.jam = cfg.Pipeline.jam @ [ (var, int_arg "unroll_jam" f) ] };
+          { cfg with Pipeline.jam = cfg.Pipeline.jam @ [ (var, int_arg ~line "unroll_jam" f) ] };
       }
   | [ "unroll"; var; f ] ->
       { t with
-        sc_config = { cfg with Pipeline.inner_unroll = Some (var, int_arg "unroll" f) } }
+        sc_config = { cfg with Pipeline.inner_unroll = Some (var, int_arg ~line "unroll" f) } }
   | [ "expand"; w ] ->
       { t with
-        sc_config = { cfg with Pipeline.expand_reduction = Some (int_arg "expand" w) } }
+        sc_config = { cfg with Pipeline.expand_reduction = Some (int_arg ~line "expand" w) } }
   | [ "strength_reduce"; v ] ->
       { t with
-        sc_config = { cfg with Pipeline.strength_reduce = onoff "strength_reduce" v } }
+        sc_config = { cfg with Pipeline.strength_reduce = onoff ~line "strength_reduce" v } }
   | [ "scalar_replace"; v ] ->
       { t with
-        sc_config = { cfg with Pipeline.scalar_replace = onoff "scalar_replace" v } }
+        sc_config = { cfg with Pipeline.scalar_replace = onoff ~line "scalar_replace" v } }
   | [ "prefetch"; "off" ] ->
       { t with sc_config = { cfg with Pipeline.prefetch = None } }
   | [ "prefetch"; d ] ->
@@ -88,7 +94,7 @@ let apply_directive (t : t) (words : string list) : t =
           {
             cfg with
             Pipeline.prefetch =
-              Some { Prefetch.pf_distance = int_arg "prefetch" d; pf_stores = true };
+              Some { Prefetch.pf_distance = int_arg ~line "prefetch" d; pf_stores = true };
           };
       }
   | [ "prefer"; "auto" ] -> { t with sc_prefer = `Auto }
@@ -99,8 +105,8 @@ let apply_directive (t : t) (words : string list) : t =
       | "64" -> { t with sc_width = Some 64 }
       | "128" -> { t with sc_width = Some 128 }
       | "256" -> { t with sc_width = Some 256 }
-      | _ -> err "width expects 64, 128 or 256, got %S" w)
-  | cmd :: _ -> err "unknown directive %S" cmd
+      | _ -> err ~line "width expects 64, 128 or 256, got %S" w)
+  | cmd :: _ -> err ~line "unknown directive %S" cmd
   | [] -> t
 
 let parse (src : string) : (t, string) result =
@@ -108,10 +114,12 @@ let parse (src : string) : (t, string) result =
     List.fold_left apply_directive default (split_directives src)
   with
   | t -> Ok t
-  | exception Script_error msg -> Error msg
+  | exception Script_error (line, msg) ->
+      Error (Printf.sprintf "line %d: %s" line msg)
 
 let parse_exn (src : string) : t =
-  match parse src with Ok t -> t | Error msg -> raise (Script_error msg)
+  (* the exception carries the structured (line, message) payload *)
+  List.fold_left apply_directive default (split_directives src)
 
 let to_string (t : t) : string =
   let b = Buffer.create 128 in

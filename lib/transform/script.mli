@@ -24,9 +24,13 @@ type t = {
 
 val default : t
 
-exception Script_error of string
+(** 1-based line number of the offending directive, and the message.
+    Directives separated by [';'] on one line share that line. *)
+exception Script_error of int * string
 
+(** [Error] messages are prefixed with ["line N: "]. *)
 val parse : string -> (t, string) result
+
 val parse_exn : string -> t
 
 (** Render back to directive text; [parse (to_string t)] is a

@@ -29,6 +29,7 @@ type code =
 type t = {
   d_code : code;
   d_stage : stage;
+  d_stage_name : string option;
   d_kernel : string;
   d_arch : string;
   d_config : string;
@@ -61,15 +62,20 @@ let code_to_string = function
   | E_unexpected exn -> "unexpected:" ^ exn
 
 let to_string d =
+  let stage =
+    match d.d_stage_name with
+    | Some n -> Printf.sprintf "%s(%s)" (stage_to_string d.d_stage) n
+    | None -> stage_to_string d.d_stage
+  in
   Printf.sprintf "%s@%s %s/%s [%s]: %s"
     (code_to_string d.d_code)
-    (stage_to_string d.d_stage)
-    d.d_kernel d.d_arch d.d_config d.d_detail
+    stage d.d_kernel d.d_arch d.d_config d.d_detail
 
-let make ~code ~stage ~kernel ~arch ~config ~detail =
+let make ?stage_name ~code ~stage ~kernel ~arch ~config ~detail () =
   {
     d_code = code;
     d_stage = stage;
+    d_stage_name = stage_name;
     d_kernel = kernel;
     d_arch = arch;
     d_config = config;

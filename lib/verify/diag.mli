@@ -40,6 +40,10 @@ type code =
 type t = {
   d_code : code;
   d_stage : stage;
+  d_stage_name : string option;
+      (** precise lowering-stage attribution from the staged driver
+          (e.g. ["emit-body"]), when the failure came out of a
+          {!Augem_driver.Lower} stage *)
   d_kernel : string;  (** kernel name, e.g. "gemm" *)
   d_arch : string;  (** architecture name *)
   d_config : string;  (** pretty-printed tuning configuration *)
@@ -49,16 +53,20 @@ type t = {
 val stage_to_string : stage -> string
 val code_to_string : code -> string
 
-(** One-line rendering: [code@stage kernel/arch config: detail]. *)
+(** One-line rendering: [code@stage kernel/arch config: detail],
+    with the stage shown as [stage(stage-name)] when the precise
+    lowering stage is known. *)
 val to_string : t -> string
 
 val make :
+  ?stage_name:string ->
   code:code ->
   stage:stage ->
   kernel:string ->
   arch:string ->
   config:string ->
   detail:string ->
+  unit ->
   t
 
 (** Classify an arbitrary exception into a code (the catch-all path of

@@ -1,0 +1,74 @@
+	.text
+	.globl daxpy_kernel
+	.type daxpy_kernel, @function
+daxpy_kernel:
+	pushq %rbp
+	movq %rsp, %rbp
+	movq %rdi, %r8
+	vmovsd %xmm0, -80(%rbp)
+	subq $7, %r8
+	movq %rbx, -8(%rbp)
+	vbroadcastsd -80(%rbp), %ymm10
+	movq %r8, -88(%rbp)
+	movq $0, %rcx
+	movq -88(%rbp), %r8
+	subq $128, %rsp
+	movq %rsi, %rax
+	movq %rdx, %rbx
+	movq %rdx, -96(%rbp)
+	movq %rsi, -104(%rbp)
+	cmpq %r8, %rcx
+	jge .Lend2
+.Lbody1:
+	# <mvUnrolledCOMP n=8>
+	vmovupd (%rax), %ymm0
+	addq $8, %rcx
+	vmovupd (%rbx), %ymm5
+	cmpq %r8, %rcx
+	prefetcht0 512(%rax)
+	prefetchw 512(%rbx)
+	vfmadd231pd %ymm10, %ymm0, %ymm5
+	vmovupd %ymm5, (%rbx)
+	vmovupd 32(%rbx), %ymm5
+	vmovupd 32(%rax), %ymm0
+	addq $64, %rax
+	vfmadd231pd %ymm10, %ymm0, %ymm5
+	vmovupd %ymm5, 32(%rbx)
+	addq $64, %rbx
+	jl .Lbody1
+.Lend2:
+	movq -104(%rbp), %rdx
+	movq -96(%rbp), %r8
+	leaq (%rdx,%rcx,8), %rsi
+	leaq (%r8,%rcx,8), %r9
+	movq %rcx, %r10
+	movq %rax, -112(%rbp)
+	movq %r10, %rcx
+	movq %rbx, -120(%rbp)
+	cmpq %rdi, %rcx
+	jge .Lend4
+.Lbody3:
+	# <mvCOMP n=1>
+	vmovsd (%rsi), %xmm0
+	vmovsd (%r9), %xmm5
+	addq $1, %rcx
+	prefetcht0 64(%rsi)
+	prefetchw 64(%r9)
+	addq $8, %rsi
+	cmpq %rdi, %rcx
+	vmovapd %xmm0, %xmm11
+	vmovapd %xmm5, %xmm12
+	vmulsd %xmm10, %xmm11, %xmm13
+	vmovapd %xmm13, %xmm11
+	vaddsd %xmm11, %xmm12, %xmm13
+	vmovapd %xmm13, %xmm12
+	vmovsd %xmm12, (%r9)
+	addq $8, %r9
+	jl .Lbody3
+.Lend4:
+	movq -8(%rbp), %rbx
+	vzeroupper
+	movq %rbp, %rsp
+	popq %rbp
+	ret
+	.size daxpy_kernel, .-daxpy_kernel

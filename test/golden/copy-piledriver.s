@@ -1,0 +1,62 @@
+	.text
+	.globl dcopy_kernel
+	.type dcopy_kernel, @function
+dcopy_kernel:
+	pushq %rbp
+	movq %rdi, %r8
+	movq %rsp, %rbp
+	subq $7, %r8
+	movq %rbx, -8(%rbp)
+	movq %r8, -56(%rbp)
+	movq $0, %rcx
+	movq -56(%rbp), %r8
+	subq $96, %rsp
+	movq %rsi, %rax
+	movq %rdx, %rbx
+	movq %rdx, -64(%rbp)
+	movq %rsi, -72(%rbp)
+	cmpq %r8, %rcx
+	jge .Lend2
+.Lbody1:
+	# <svUnrolledCOPY n=8>
+	vmovupd (%rax), %ymm0
+	addq $8, %rcx
+	prefetcht0 512(%rax)
+	prefetchw 512(%rbx)
+	cmpq %r8, %rcx
+	vmovupd %ymm0, (%rbx)
+	vmovupd 32(%rax), %ymm0
+	addq $64, %rax
+	vmovupd %ymm0, 32(%rbx)
+	addq $64, %rbx
+	jl .Lbody1
+.Lend2:
+	movq -72(%rbp), %rdx
+	movq -64(%rbp), %r8
+	leaq (%rdx,%rcx,8), %rsi
+	leaq (%r8,%rcx,8), %r9
+	movq %rcx, %r10
+	movq %rax, -80(%rbp)
+	movq %r10, %rcx
+	movq %rbx, -88(%rbp)
+	cmpq %rdi, %rcx
+	jge .Lend4
+.Lbody3:
+	# <svCOPY n=1>
+	vmovsd (%rsi), %xmm0
+	prefetcht0 64(%rsi)
+	addq $1, %rcx
+	addq $8, %rsi
+	prefetchw 64(%r9)
+	cmpq %rdi, %rcx
+	vmovapd %xmm0, %xmm10
+	vmovsd %xmm10, (%r9)
+	addq $8, %r9
+	jl .Lbody3
+.Lend4:
+	movq -8(%rbp), %rbx
+	vzeroupper
+	movq %rbp, %rsp
+	popq %rbp
+	ret
+	.size dcopy_kernel, .-dcopy_kernel

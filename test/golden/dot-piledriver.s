@@ -1,0 +1,105 @@
+	.text
+	.globl ddot_kernel
+	.type ddot_kernel, @function
+ddot_kernel:
+	pushq %rbp
+	vxorpd %xmm12, %xmm12, %xmm12
+	movq %rdi, %r9
+	movq %rsp, %rbp
+	subq $7, %r9
+	movq %rbx, -8(%rbp)
+	vxorpd %ymm14, %ymm14, %ymm14
+	vmovapd %xmm12, %xmm13
+	movq %r9, -56(%rbp)
+	movq $0, %r8
+	vxorpd %ymm12, %ymm12, %ymm12
+	movq -56(%rbp), %r9
+	subq $96, %rsp
+	movq %rsi, %rax
+	movq %rdx, %rbx
+	movq %rcx, -64(%rbp)
+	movq %rdx, -72(%rbp)
+	movq %rsi, -80(%rbp)
+	cmpq %r9, %r8
+	jge .Lend2
+.Lbody1:
+	# <mmUnrolledCOMP n=8>
+	vmovupd (%rax), %ymm0
+	addq $8, %r8
+	vmovupd (%rbx), %ymm4
+	cmpq %r9, %r8
+	prefetcht0 512(%rax)
+	prefetcht0 512(%rbx)
+	vfmadd231pd %ymm4, %ymm0, %ymm12
+	vmovupd 32(%rax), %ymm0
+	addq $64, %rax
+	vmovupd 32(%rbx), %ymm4
+	addq $64, %rbx
+	vfmadd231pd %ymm4, %ymm0, %ymm14
+	jl .Lbody1
+.Lend2:
+	vaddsd %xmm12, %xmm13, %xmm15
+	movq -80(%rbp), %rcx
+	movq -72(%rbp), %rsi
+	leaq (%rcx,%r8,8), %rdx
+	leaq (%rsi,%r8,8), %r9
+	movq %r8, %r10
+	movq %rax, -88(%rbp)
+	movq %r10, %r8
+	movq %rbx, -96(%rbp)
+	cmpq %rdi, %r8
+	vmovapd %xmm15, %xmm13
+	vunpckhpd %xmm12, %xmm12, %xmm15
+	vaddsd %xmm15, %xmm13, %xmm0
+	vextractf128 $1, %ymm12, %xmm15
+	vmovapd %xmm0, %xmm13
+	vaddsd %xmm15, %xmm13, %xmm0
+	vextractf128 $1, %ymm12, %xmm15
+	vunpckhpd %xmm15, %xmm15, %xmm15
+	vmovapd %xmm0, %xmm13
+	vaddsd %xmm15, %xmm13, %xmm0
+	vmovapd %xmm0, %xmm13
+	vaddsd %xmm14, %xmm13, %xmm15
+	vmovapd %xmm15, %xmm13
+	vunpckhpd %xmm14, %xmm14, %xmm15
+	vaddsd %xmm15, %xmm13, %xmm0
+	vextractf128 $1, %ymm14, %xmm15
+	vmovapd %xmm0, %xmm13
+	vaddsd %xmm15, %xmm13, %xmm0
+	vextractf128 $1, %ymm14, %xmm15
+	vunpckhpd %xmm15, %xmm15, %xmm15
+	vmovapd %xmm0, %xmm13
+	vaddsd %xmm15, %xmm13, %xmm0
+	vmovapd %xmm0, %xmm13
+	jge .Lend4
+.Lbody3:
+	# <mmCOMP n=1>
+	vmovsd (%rdx), %xmm0
+	vmovsd (%r9), %xmm4
+	addq $1, %r8
+	prefetcht0 64(%rdx)
+	prefetcht0 64(%r9)
+	addq $8, %rdx
+	addq $8, %r9
+	cmpq %rdi, %r8
+	vmovapd %xmm0, %xmm15
+	vmovapd %xmm4, %xmm0
+	vmulsd %xmm0, %xmm15, %xmm1
+	vmovapd %xmm1, %xmm2
+	vaddsd %xmm2, %xmm13, %xmm1
+	vmovapd %xmm1, %xmm13
+	jl .Lbody3
+.Lend4:
+	# <mmSTORE n=1>
+	movq -64(%rbp), %rax
+	vmovsd (%rax), %xmm8
+	vmovapd %xmm8, %xmm12
+	vaddsd %xmm12, %xmm13, %xmm14
+	vmovapd %xmm14, %xmm13
+	vmovsd %xmm13, (%rax)
+	movq -8(%rbp), %rbx
+	vzeroupper
+	movq %rbp, %rsp
+	popq %rbp
+	ret
+	.size ddot_kernel, .-ddot_kernel

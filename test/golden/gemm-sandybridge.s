@@ -1,0 +1,579 @@
+	.text
+	.globl dgemm_kernel
+	.type dgemm_kernel, @function
+dgemm_kernel:
+	pushq %rbp
+	movq %rsp, %rbp
+	movq $0, %rax
+	subq $368, %rsp
+	movq %rbx, -8(%rbp)
+	movq %rdx, %rbx
+	movq %r12, -24(%rbp)
+	subq $3, %rbx
+	movq %r13, -32(%rbp)
+	movq %r14, -40(%rbp)
+	movq %rbx, -56(%rbp)
+	movq -56(%rbp), %rbx
+	movq %r15, -48(%rbp)
+	movq %rcx, -64(%rbp)
+	movq %rdx, -72(%rbp)
+	movq %rsi, -80(%rbp)
+	movq %rdi, -88(%rbp)
+	movq %r8, -96(%rbp)
+	movq %r9, -104(%rbp)
+	cmpq %rbx, %rax
+	jge .Lend2
+.Lbody1:
+	movq -64(%rbp), %rbx
+	movq %rax, %rdx
+	movq %rax, %r8
+	movq %rbx, %rcx
+	movq %rbx, %rdi
+	movq %rax, %r9
+	imulq %rdx, %rcx
+	movq 16(%rbp), %rdx
+	imulq %r8, %rdi
+	leaq (%rdx,%rcx,8), %rsi
+	movq %rbx, %rcx
+	movq %rbx, %r8
+	addq %rdi, %rcx
+	movq %rax, %r10
+	movq %rsi, -120(%rbp)
+	leaq (%rdx,%rcx,8), %rdi
+	movq $2, %rcx
+	imulq %r8, %rcx
+	movq %rbx, %r8
+	movq %rdi, -128(%rbp)
+	imulq %r9, %r8
+	movq %rbx, %r9
+	addq %r8, %rcx
+	leaq (%rdx,%rcx,8), %r8
+	movq $3, %rcx
+	imulq %r9, %rcx
+	movq %rbx, %r9
+	movq %r8, -136(%rbp)
+	imulq %r10, %r9
+	movq -88(%rbp), %r10
+	movq %r10, %r11
+	addq %r9, %rcx
+	subq $7, %r11
+	leaq (%rdx,%rcx,8), %r9
+	movq $0, %rcx
+	movq %r11, -112(%rbp)
+	movq -112(%rbp), %r11
+	movq %r9, -144(%rbp)
+	cmpq %r11, %rcx
+	jge .Lend4
+.Lbody3:
+	movq -80(%rbp), %r10
+	movq %rax, %r12
+	movq %rax, %r15
+	vxorpd %ymm8, %ymm8, %ymm8
+	movq %r10, %r11
+	movq %r10, %r14
+	movq -120(%rbp), %rbx
+	vxorpd %ymm9, %ymm9, %ymm9
+	imulq %r12, %r11
+	movq -104(%rbp), %r12
+	imulq %r15, %r14
+	prefetcht0 512(%rbx)
+	vxorpd %ymm10, %ymm10, %ymm10
+	leaq (%r12,%r11,8), %r13
+	movq %r10, %r11
+	movq %r10, %r15
+	vxorpd %ymm11, %ymm11, %ymm11
+	addq %r14, %r11
+	movq %rax, %rbx
+	movq -128(%rbp), %rdx
+	vxorpd %ymm12, %ymm12, %ymm12
+	leaq (%r12,%r11,8), %r14
+	movq $2, %r11
+	prefetcht0 512(%rdx)
+	movq -136(%rbp), %rsi
+	vxorpd %ymm13, %ymm13, %ymm13
+	imulq %r15, %r11
+	movq %r10, %r15
+	prefetcht0 512(%rsi)
+	movq -144(%rbp), %rdi
+	vxorpd %ymm14, %ymm14, %ymm14
+	imulq %rbx, %r15
+	prefetcht0 512(%rdi)
+	movq %rax, %rdx
+	movq -88(%rbp), %rsi
+	vxorpd %ymm15, %ymm15, %ymm15
+	addq %r15, %r11
+	movq %r10, %r15
+	movq %rsi, %rdi
+	leaq (%r12,%r11,8), %rbx
+	movq $3, %r11
+	movq -96(%rbp), %r8
+	imulq %r15, %r11
+	movq %r10, %r15
+	leaq (%r8,%rcx,8), %r9
+	imulq %rdx, %r15
+	addq %r15, %r11
+	movq $8, %r15
+	leaq (%r12,%r11,8), %rdx
+	imulq %rdi, %r15
+	movq $0, %r11
+	movq %r15, -152(%rbp)
+	cmpq %r10, %r11
+	movq -152(%rbp), %rdi
+	jge .Lend6
+.Lbody5:
+	# <mmUnrolledCOMP n=32>
+	vmovupd (%r9), %ymm0
+	vmovupd 32(%r9), %ymm1
+	movq -88(%rbp), %rsi
+	addq $1, %r11
+	vbroadcastsd (%r13), %ymm4
+	prefetcht0 (%r9,%rdi,8)
+	leaq (%r9,%rsi,8), %r9
+	cmpq %r10, %r11
+	prefetcht0 64(%r13)
+	prefetcht0 64(%r14)
+	addq $8, %r13
+	prefetcht0 64(%rbx)
+	prefetcht0 64(%rdx)
+	vmulpd %ymm4, %ymm0, %ymm2
+	vmulpd %ymm4, %ymm1, %ymm3
+	vbroadcastsd (%r14), %ymm4
+	addq $8, %r14
+	vmulpd %ymm4, %ymm0, %ymm5
+	vaddpd %ymm2, %ymm8, %ymm8
+	vmulpd %ymm4, %ymm1, %ymm6
+	vbroadcastsd (%rbx), %ymm4
+	vaddpd %ymm3, %ymm9, %ymm9
+	addq $8, %rbx
+	vaddpd %ymm5, %ymm10, %ymm10
+	vmulpd %ymm4, %ymm0, %ymm3
+	vmulpd %ymm4, %ymm1, %ymm5
+	vbroadcastsd (%rdx), %ymm4
+	vaddpd %ymm6, %ymm11, %ymm11
+	addq $8, %rdx
+	vmulpd %ymm4, %ymm0, %ymm6
+	vaddpd %ymm3, %ymm12, %ymm12
+	vmulpd %ymm4, %ymm1, %ymm2
+	vaddpd %ymm5, %ymm13, %ymm13
+	vaddpd %ymm6, %ymm14, %ymm14
+	vaddpd %ymm2, %ymm15, %ymm15
+	jl .Lbody5
+.Lend6:
+	# <mmUnrolledSTORE n=8>
+	# <mmUnrolledSTORE n=8>
+	# <mmUnrolledSTORE n=8>
+	# <mmUnrolledSTORE n=8>
+	movq -120(%rbp), %rsi
+	addq $8, %rcx
+	vmovupd (%rsi), %ymm0
+	vaddpd %ymm8, %ymm0, %ymm0
+	vmovupd %ymm0, (%rsi)
+	vmovupd 32(%rsi), %ymm0
+	vaddpd %ymm9, %ymm0, %ymm0
+	vmovupd %ymm0, 32(%rsi)
+	addq $64, %rsi
+	movq -128(%rbp), %rdi
+	vmovupd (%rdi), %ymm8
+	vaddpd %ymm10, %ymm8, %ymm8
+	vmovupd %ymm8, (%rdi)
+	vmovupd 32(%rdi), %ymm8
+	vaddpd %ymm11, %ymm8, %ymm8
+	vmovupd %ymm8, 32(%rdi)
+	addq $64, %rdi
+	movq -136(%rbp), %r8
+	vmovupd (%r8), %ymm8
+	vaddpd %ymm12, %ymm8, %ymm8
+	vmovupd %ymm8, (%r8)
+	vmovupd 32(%r8), %ymm8
+	vaddpd %ymm13, %ymm8, %ymm8
+	vmovupd %ymm8, 32(%r8)
+	addq $64, %r8
+	movq -144(%rbp), %r12
+	vmovupd (%r12), %ymm8
+	vaddpd %ymm14, %ymm8, %ymm8
+	vmovupd %ymm8, (%r12)
+	vmovupd 32(%r12), %ymm8
+	vaddpd %ymm15, %ymm8, %ymm8
+	vmovupd %ymm8, 32(%r12)
+	addq $64, %r12
+	movq -112(%rbp), %r15
+	movq %rbx, -160(%rbp)
+	movq %rdx, -168(%rbp)
+	movq %rsi, -120(%rbp)
+	movq %rdi, -128(%rbp)
+	movq %r8, -136(%rbp)
+	movq %r9, -176(%rbp)
+	movq %r11, -184(%rbp)
+	movq %r12, -144(%rbp)
+	movq %r13, -192(%rbp)
+	movq %r14, -200(%rbp)
+	cmpq %r15, %rcx
+	jl .Lbody3
+.Lend4:
+	movq -64(%rbp), %rbx
+	movq %rax, %rsi
+	movq %rax, %r9
+	movq %rbx, %rdx
+	movq %rbx, %r8
+	movq %rax, %r10
+	imulq %rsi, %rdx
+	movq %rcx, %rsi
+	imulq %r9, %r8
+	addq %rsi, %rdx
+	movq 16(%rbp), %rsi
+	movq %rbx, %r9
+	leaq (%rsi,%rdx,8), %rdi
+	movq %rbx, %rdx
+	movq %rax, %r11
+	addq %r8, %rdx
+	movq %rcx, %r8
+	movq %rdi, -208(%rbp)
+	addq %r8, %rdx
+	leaq (%rsi,%rdx,8), %r8
+	movq $2, %rdx
+	imulq %r9, %rdx
+	movq %rbx, %r9
+	movq %r8, -216(%rbp)
+	imulq %r10, %r9
+	movq %rbx, %r10
+	addq %r9, %rdx
+	movq %rcx, %r9
+	addq %r9, %rdx
+	leaq (%rsi,%rdx,8), %r9
+	movq $3, %rdx
+	imulq %r10, %rdx
+	movq %rbx, %r10
+	movq %r9, -224(%rbp)
+	imulq %r11, %r10
+	addq %r10, %rdx
+	movq %rcx, %r10
+	addq %r10, %rdx
+	leaq (%rsi,%rdx,8), %r10
+	movq %rcx, %rdx
+	movq %rdx, %rcx
+	movq -88(%rbp), %rdx
+	movq %r10, -232(%rbp)
+	cmpq %rdx, %rcx
+	jge .Lend8
+.Lbody7:
+	movq -80(%rbp), %r10
+	movq %rax, %r12
+	movq %rax, %r15
+	vxorpd %xmm12, %xmm12, %xmm12
+	movq %r10, %r11
+	movq %r10, %r14
+	movq -208(%rbp), %rbx
+	vmovapd %xmm12, %xmm13
+	imulq %r12, %r11
+	movq -104(%rbp), %r12
+	imulq %r15, %r14
+	prefetcht0 64(%rbx)
+	vxorpd %xmm12, %xmm12, %xmm12
+	leaq (%r12,%r11,8), %r13
+	movq %r10, %r11
+	movq %r10, %r15
+	vmovapd %xmm12, %xmm14
+	addq %r14, %r11
+	movq %rax, %rbx
+	movq -216(%rbp), %rdx
+	vxorpd %xmm12, %xmm12, %xmm12
+	leaq (%r12,%r11,8), %r14
+	movq $2, %r11
+	prefetcht0 64(%rdx)
+	movq -224(%rbp), %rsi
+	vmovapd %xmm12, %xmm15
+	imulq %r15, %r11
+	movq %r10, %r15
+	prefetcht0 64(%rsi)
+	movq -232(%rbp), %rdi
+	vxorpd %xmm12, %xmm12, %xmm12
+	imulq %rbx, %r15
+	prefetcht0 64(%rdi)
+	movq %rax, %rdx
+	movq -88(%rbp), %rsi
+	vmovapd %xmm12, %xmm0
+	addq %r15, %r11
+	movq %r10, %r15
+	movq %rsi, %rdi
+	leaq (%r12,%r11,8), %rbx
+	movq $3, %r11
+	movq -96(%rbp), %r8
+	imulq %r15, %r11
+	movq %r10, %r15
+	leaq (%r8,%rcx,8), %r9
+	imulq %rdx, %r15
+	addq %r15, %r11
+	movq $8, %r15
+	leaq (%r12,%r11,8), %rdx
+	imulq %rdi, %r15
+	movq $0, %r11
+	movq %r15, -240(%rbp)
+	cmpq %r10, %r11
+	movq -240(%rbp), %rdi
+	jge .Lend10
+.Lbody9:
+	# <mmUnrolledCOMP n=4>
+	vmovsd (%r9), %xmm1
+	vmovsd (%r13), %xmm4
+	movq -88(%rbp), %rsi
+	addq $1, %r11
+	prefetcht0 (%r9,%rdi,8)
+	prefetcht0 64(%r13)
+	addq $8, %r13
+	cmpq %r10, %r11
+	prefetcht0 64(%r14)
+	prefetcht0 64(%rbx)
+	prefetcht0 64(%rdx)
+	vmovapd %xmm1, %xmm12
+	vmovapd %xmm4, %xmm1
+	vmovsd (%r14), %xmm4
+	addq $8, %r14
+	vmulsd %xmm1, %xmm12, %xmm2
+	vmovsd (%r9), %xmm1
+	vmovapd %xmm1, %xmm12
+	vmovapd %xmm2, %xmm3
+	vaddsd %xmm3, %xmm13, %xmm2
+	vmovapd %xmm4, %xmm1
+	vmovsd (%rbx), %xmm4
+	addq $8, %rbx
+	vmovapd %xmm2, %xmm13
+	vmulsd %xmm1, %xmm12, %xmm2
+	vmovsd (%r9), %xmm1
+	vmovapd %xmm1, %xmm12
+	vmovapd %xmm2, %xmm3
+	vaddsd %xmm3, %xmm14, %xmm2
+	vmovapd %xmm4, %xmm1
+	vmovsd (%rdx), %xmm4
+	addq $8, %rdx
+	vmovapd %xmm2, %xmm14
+	vmulsd %xmm1, %xmm12, %xmm2
+	vmovsd (%r9), %xmm1
+	leaq (%r9,%rsi,8), %r9
+	vmovapd %xmm1, %xmm12
+	vmovapd %xmm2, %xmm3
+	vaddsd %xmm3, %xmm15, %xmm2
+	vmovapd %xmm4, %xmm1
+	vmovapd %xmm2, %xmm15
+	vmulsd %xmm1, %xmm12, %xmm2
+	vmovapd %xmm2, %xmm3
+	vaddsd %xmm3, %xmm0, %xmm2
+	vmovapd %xmm2, %xmm0
+	jl .Lbody9
+.Lend10:
+	# <mmSTORE n=1>
+	# <mmSTORE n=1>
+	# <mmSTORE n=1>
+	# <mmSTORE n=1>
+	movq -208(%rbp), %rsi
+	addq $1, %rcx
+	vmovsd (%rsi), %xmm8
+	vmovapd %xmm8, %xmm12
+	vaddsd %xmm12, %xmm13, %xmm1
+	vmovapd %xmm1, %xmm13
+	vmovsd %xmm13, (%rsi)
+	addq $8, %rsi
+	movq -216(%rbp), %rdi
+	vmovsd (%rdi), %xmm8
+	vmovapd %xmm8, %xmm12
+	vaddsd %xmm12, %xmm14, %xmm13
+	vmovapd %xmm13, %xmm14
+	vmovsd %xmm14, (%rdi)
+	addq $8, %rdi
+	movq -224(%rbp), %r8
+	vmovsd (%r8), %xmm8
+	vmovapd %xmm8, %xmm12
+	vaddsd %xmm12, %xmm15, %xmm13
+	vmovapd %xmm13, %xmm15
+	vmovsd %xmm15, (%r8)
+	addq $8, %r8
+	movq -232(%rbp), %r12
+	vmovsd (%r12), %xmm8
+	vmovapd %xmm8, %xmm12
+	vaddsd %xmm12, %xmm0, %xmm13
+	vmovapd %xmm13, %xmm0
+	vmovsd %xmm0, (%r12)
+	addq $8, %r12
+	movq -88(%rbp), %r15
+	movq %rbx, -248(%rbp)
+	movq %rdx, -256(%rbp)
+	movq %rsi, -208(%rbp)
+	movq %rdi, -216(%rbp)
+	movq %r8, -224(%rbp)
+	movq %r9, -264(%rbp)
+	movq %r11, -184(%rbp)
+	movq %r12, -232(%rbp)
+	movq %r13, -272(%rbp)
+	movq %r14, -280(%rbp)
+	cmpq %r15, %rcx
+	jl .Lbody7
+.Lend8:
+	addq $4, %rax
+	movq -56(%rbp), %rbx
+	movq %rcx, -288(%rbp)
+	cmpq %rbx, %rax
+	jl .Lbody1
+.Lend2:
+	movq %rax, %rbx
+	movq %rbx, %rax
+	movq -72(%rbp), %rbx
+	cmpq %rbx, %rax
+	jge .Lend12
+.Lbody11:
+	movq -64(%rbp), %rbx
+	movq %rax, %rdx
+	movq -88(%rbp), %rdi
+	movq %rbx, %rcx
+	movq %rdi, %r8
+	imulq %rdx, %rcx
+	movq 16(%rbp), %rdx
+	subq $7, %r8
+	leaq (%rdx,%rcx,8), %rsi
+	movq %r8, -296(%rbp)
+	movq $0, %rcx
+	movq -296(%rbp), %r8
+	movq %rsi, -304(%rbp)
+	cmpq %r8, %rcx
+	jge .Lend14
+.Lbody13:
+	movq -80(%rbp), %rdi
+	movq %rax, %r9
+	movq -304(%rbp), %rbx
+	vxorpd %ymm8, %ymm8, %ymm8
+	movq %rdi, %r8
+	movq -88(%rbp), %r12
+	prefetcht0 512(%rbx)
+	movq $8, %r11
+	vxorpd %ymm9, %ymm9, %ymm9
+	imulq %r9, %r8
+	movq -104(%rbp), %r9
+	movq %r12, %r13
+	leaq (%r9,%r8,8), %r10
+	imulq %r13, %r11
+	movq -96(%rbp), %rdx
+	movq $0, %r8
+	movq %r11, -312(%rbp)
+	leaq (%rdx,%rcx,8), %rsi
+	movq -312(%rbp), %r11
+	cmpq %rdi, %r8
+	jge .Lend16
+.Lbody15:
+	# <mmUnrolledCOMP n=8>
+	vmovupd (%rsi), %ymm0
+	vmovupd 32(%rsi), %ymm1
+	addq $1, %r8
+	vbroadcastsd (%r10), %ymm4
+	prefetcht0 (%rsi,%r11,8)
+	leaq (%rsi,%r12,8), %rsi
+	cmpq %rdi, %r8
+	prefetcht0 64(%r10)
+	addq $8, %r10
+	vmulpd %ymm4, %ymm0, %ymm12
+	vmulpd %ymm4, %ymm1, %ymm13
+	vaddpd %ymm12, %ymm8, %ymm8
+	vaddpd %ymm13, %ymm9, %ymm9
+	jl .Lbody15
+.Lend16:
+	# <mmUnrolledSTORE n=8>
+	movq -304(%rbp), %rbx
+	addq $8, %rcx
+	vmovupd (%rbx), %ymm10
+	vaddpd %ymm8, %ymm10, %ymm10
+	vmovupd %ymm10, (%rbx)
+	vmovupd 32(%rbx), %ymm10
+	vaddpd %ymm9, %ymm10, %ymm10
+	vmovupd %ymm10, 32(%rbx)
+	addq $64, %rbx
+	movq -296(%rbp), %rdx
+	movq %rbx, -304(%rbp)
+	movq %rsi, -320(%rbp)
+	movq %r8, -184(%rbp)
+	movq %r10, -328(%rbp)
+	cmpq %rdx, %rcx
+	jl .Lbody13
+.Lend14:
+	movq -64(%rbp), %rbx
+	movq %rax, %rsi
+	movq %rbx, %rdx
+	imulq %rsi, %rdx
+	movq %rcx, %rsi
+	addq %rsi, %rdx
+	movq 16(%rbp), %rsi
+	leaq (%rsi,%rdx,8), %rdi
+	movq %rcx, %rdx
+	movq %rdx, %rcx
+	movq -88(%rbp), %rdx
+	movq %rdi, -336(%rbp)
+	cmpq %rdx, %rcx
+	jge .Lend18
+.Lbody17:
+	movq -80(%rbp), %rdi
+	movq %rax, %r9
+	movq -336(%rbp), %rbx
+	vxorpd %xmm12, %xmm12, %xmm12
+	movq %rdi, %r8
+	movq -88(%rbp), %r12
+	prefetcht0 64(%rbx)
+	movq $8, %r11
+	vmovapd %xmm12, %xmm13
+	imulq %r9, %r8
+	movq -104(%rbp), %r9
+	movq %r12, %r13
+	leaq (%r9,%r8,8), %r10
+	imulq %r13, %r11
+	movq -96(%rbp), %rdx
+	movq $0, %r8
+	movq %r11, -344(%rbp)
+	leaq (%rdx,%rcx,8), %rsi
+	movq -344(%rbp), %r11
+	cmpq %rdi, %r8
+	jge .Lend20
+.Lbody19:
+	# <mmCOMP n=1>
+	vmovsd (%rsi), %xmm0
+	vmovsd (%r10), %xmm4
+	addq $1, %r8
+	prefetcht0 (%rsi,%r11,8)
+	prefetcht0 64(%r10)
+	leaq (%rsi,%r12,8), %rsi
+	addq $8, %r10
+	cmpq %rdi, %r8
+	vmovapd %xmm0, %xmm12
+	vmovapd %xmm4, %xmm14
+	vmulsd %xmm14, %xmm12, %xmm15
+	vmovapd %xmm15, %xmm0
+	vaddsd %xmm0, %xmm13, %xmm15
+	vmovapd %xmm15, %xmm13
+	jl .Lbody19
+.Lend20:
+	# <mmSTORE n=1>
+	movq -336(%rbp), %rbx
+	addq $1, %rcx
+	vmovsd (%rbx), %xmm8
+	cmpq %r12, %rcx
+	vmovapd %xmm8, %xmm12
+	vaddsd %xmm12, %xmm13, %xmm14
+	vmovapd %xmm14, %xmm13
+	vmovsd %xmm13, (%rbx)
+	addq $8, %rbx
+	movq %rbx, -336(%rbp)
+	movq %rsi, -352(%rbp)
+	movq %r8, -184(%rbp)
+	movq %r10, -360(%rbp)
+	jl .Lbody17
+.Lend18:
+	addq $1, %rax
+	movq -72(%rbp), %rbx
+	movq %rcx, -288(%rbp)
+	cmpq %rbx, %rax
+	jl .Lbody11
+.Lend12:
+	movq -8(%rbp), %rbx
+	movq -24(%rbp), %r12
+	movq -32(%rbp), %r13
+	movq -40(%rbp), %r14
+	movq -48(%rbp), %r15
+	vzeroupper
+	movq %rbp, %rsp
+	popq %rbp
+	ret
+	.size dgemm_kernel, .-dgemm_kernel

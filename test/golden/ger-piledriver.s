@@ -1,0 +1,115 @@
+	.text
+	.globl dger_kernel
+	.type dger_kernel, @function
+dger_kernel:
+	pushq %rbp
+	movq %rsp, %rbp
+	movq %r8, %rax
+	movq %rbx, -8(%rbp)
+	movq $0, %rbx
+	subq $192, %rsp
+	movq %r12, -24(%rbp)
+	movq %rax, -56(%rbp)
+	movq %rcx, -64(%rbp)
+	movq %rdx, -72(%rbp)
+	movq %rsi, -80(%rbp)
+	movq %rdi, -88(%rbp)
+	movq %r8, -96(%rbp)
+	movq %r9, -104(%rbp)
+	cmpq %rsi, %rbx
+	jge .Lend2
+.Lbody1:
+	movq -56(%rbp), %rax
+	movq -72(%rbp), %rcx
+	vmovsd (%rax), %xmm8
+	movq %rcx, %rdx
+	movq %rbx, %rsi
+	prefetcht0 64(%rax)
+	movq -88(%rbp), %r10
+	imulq %rsi, %rdx
+	movq %r10, %r11
+	movq -104(%rbp), %rsi
+	subq $7, %r11
+	leaq (%rsi,%rdx,8), %rdi
+	vmovapd %xmm8, %xmm12
+	movq %r11, -144(%rbp)
+	movq -64(%rbp), %rdx
+	movq $0, %r9
+	movq -144(%rbp), %r11
+	vmulsd %xmm0, %xmm12, %xmm13
+	movq %rdx, %r8
+	cmpq %r11, %r9
+	vmovsd %xmm13, -136(%rbp)
+	vbroadcastsd -136(%rbp), %ymm14
+	jge .Lend4
+.Lbody3:
+	# <mvUnrolledCOMP n=8>
+	vmovupd (%r8), %ymm4
+	addq $8, %r9
+	vmovupd (%rdi), %ymm1
+	cmpq %r11, %r9
+	prefetchw 512(%rdi)
+	prefetcht0 512(%r8)
+	vfmadd231pd %ymm14, %ymm4, %ymm1
+	vmovupd %ymm1, (%rdi)
+	vmovupd 32(%rdi), %ymm1
+	vmovupd 32(%r8), %ymm4
+	addq $64, %r8
+	vfmadd231pd %ymm14, %ymm4, %ymm1
+	vmovupd %ymm1, 32(%rdi)
+	addq $64, %rdi
+	jl .Lbody3
+.Lend4:
+	movq -72(%rbp), %rax
+	movq %rbx, %rdx
+	movq %rax, %rcx
+	movq %r9, %r12
+	imulq %rdx, %rcx
+	movq %r9, %rdx
+	addq %rdx, %rcx
+	movq -104(%rbp), %rdx
+	leaq (%rdx,%rcx,8), %rsi
+	movq -64(%rbp), %rcx
+	leaq (%rcx,%r9,8), %r11
+	movq %r12, %r9
+	movq %rdi, -152(%rbp)
+	movq %r8, -160(%rbp)
+	cmpq %r10, %r9
+	jge .Lend6
+.Lbody5:
+	# <mvCOMP n=1>
+	vmovsd (%r11), %xmm4
+	vmovsd (%rsi), %xmm1
+	addq $1, %r9
+	prefetchw 64(%rsi)
+	prefetcht0 64(%r11)
+	addq $8, %r11
+	cmpq %r10, %r9
+	vmovapd %xmm4, %xmm12
+	vmovapd %xmm1, %xmm13
+	vmulsd %xmm14, %xmm12, %xmm15
+	vmovapd %xmm15, %xmm12
+	vaddsd %xmm12, %xmm13, %xmm15
+	vmovapd %xmm15, %xmm13
+	vmovsd %xmm13, (%rsi)
+	addq $8, %rsi
+	jl .Lbody5
+.Lend6:
+	movq -56(%rbp), %rax
+	addq $1, %rbx
+	addq $8, %rax
+	movq -80(%rbp), %rcx
+	movq %rax, -56(%rbp)
+	movq %rsi, -168(%rbp)
+	movq %r9, -176(%rbp)
+	movq %r11, -184(%rbp)
+	cmpq %rcx, %rbx
+	jl .Lbody1
+.Lend2:
+	movq -8(%rbp), %rbx
+	movq -24(%rbp), %r12
+	vzeroupper
+	movq %rbp, %rsp
+	popq %rbp
+	ret
+	.size dger_kernel, .-dger_kernel

@@ -1,0 +1,59 @@
+	.text
+	.globl dscal_kernel
+	.type dscal_kernel, @function
+dscal_kernel:
+	pushq %rbp
+	movq %rsp, %rbp
+	movq %rdi, %rcx
+	subq $112, %rsp
+	vmovsd %xmm0, -80(%rbp)
+	subq $7, %rcx
+	movq %rbx, -8(%rbp)
+	movq $0, %rbx
+	vbroadcastsd -80(%rbp), %ymm8
+	movq %rcx, -88(%rbp)
+	movq -88(%rbp), %rcx
+	movq %rsi, %rax
+	movq %rsi, -96(%rbp)
+	cmpq %rcx, %rbx
+	jge .Lend2
+.Lbody1:
+	# <svUnrolledSCAL n=8>
+	vmovupd (%rax), %ymm0
+	prefetcht0 512(%rax)
+	addq $8, %rbx
+	cmpq %rcx, %rbx
+	vmulpd %ymm8, %ymm0, %ymm0
+	vmovupd %ymm0, (%rax)
+	vmovupd 32(%rax), %ymm0
+	vmulpd %ymm8, %ymm0, %ymm0
+	vmovupd %ymm0, 32(%rax)
+	addq $64, %rax
+	jl .Lbody1
+.Lend2:
+	movq -96(%rbp), %rcx
+	movq %rbx, %rsi
+	movq %rax, -104(%rbp)
+	leaq (%rcx,%rbx,8), %rdx
+	movq %rsi, %rbx
+	cmpq %rdi, %rbx
+	jge .Lend4
+.Lbody3:
+	# <svSCAL n=1>
+	vmovsd (%rdx), %xmm0
+	prefetcht0 64(%rdx)
+	addq $1, %rbx
+	cmpq %rdi, %rbx
+	vmovapd %xmm0, %xmm9
+	vmulsd %xmm8, %xmm9, %xmm10
+	vmovapd %xmm10, %xmm9
+	vmovsd %xmm9, (%rdx)
+	addq $8, %rdx
+	jl .Lbody3
+.Lend4:
+	movq -8(%rbp), %rbx
+	vzeroupper
+	movq %rbp, %rsp
+	popq %rbp
+	ret
+	.size dscal_kernel, .-dscal_kernel

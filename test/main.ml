@@ -1,23 +1,38 @@
+(* Test entry point.  With AUGEM_FAST set (the `dune build @fast`
+   alias), the slow meta-suites — fuzzing, end-to-end integration and
+   the multi-domain sweep tests — are skipped, leaving the pure unit
+   suites for a quick inner-loop signal.  The default `dune runtest`
+   always runs everything. *)
+
+let fast = Sys.getenv_opt "AUGEM_FAST" <> None
+
+let unit_suites =
+  [
+    ("poly", Test_poly.suite);
+    ("ir", Test_ir.suite);
+    ("analysis", Test_analysis.suite);
+    ("asmcheck", Test_asmcheck.suite);
+    ("transform", Test_transform.suite);
+    ("templates", Test_templates.suite);
+    ("script", Test_script.suite);
+    ("machine", Test_machine.suite);
+    ("sim", Test_sim.suite);
+    ("blas", Test_blas.suite);
+    ("codegen", Test_codegen.suite);
+    ("driver", Test_driver.suite);
+    ("autotune", Test_autotune.suite);
+    ("cache", Test_cache.suite);
+    ("baselines", Test_baselines.suite);
+    ("report", Test_report.suite);
+    ("extensions", Test_extensions.suite);
+  ]
+
+let slow_suites =
+  [
+    ("parallel", Test_parallel.suite);
+    ("fuzz", Test_fuzz.suite);
+    ("integration", Test_integration.suite);
+  ]
+
 let () =
-  Alcotest.run "augem"
-    [
-      ("poly", Test_poly.suite);
-      ("ir", Test_ir.suite);
-      ("analysis", Test_analysis.suite);
-      ("asmcheck", Test_asmcheck.suite);
-      ("transform", Test_transform.suite);
-      ("templates", Test_templates.suite);
-      ("script", Test_script.suite);
-      ("machine", Test_machine.suite);
-      ("sim", Test_sim.suite);
-      ("blas", Test_blas.suite);
-      ("codegen", Test_codegen.suite);
-      ("autotune", Test_autotune.suite);
-      ("parallel", Test_parallel.suite);
-      ("cache", Test_cache.suite);
-      ("baselines", Test_baselines.suite);
-      ("report", Test_report.suite);
-      ("extensions", Test_extensions.suite);
-      ("fuzz", Test_fuzz.suite);
-      ("integration", Test_integration.suite);
-    ]
+  Alcotest.run "augem" (unit_suites @ if fast then [] else slow_suites)

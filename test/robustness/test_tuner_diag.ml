@@ -167,11 +167,56 @@ let test_generate_candidate_explicit_kname () =
   | ds -> Alcotest.failf "expected exactly one diagnostic, got %d"
             (List.length ds)
 
+(* The staged-lowering driver attributes rejections to the lowering
+   stage that raised: register starvation surfaces inside the
+   instruction-selection stage ("emit-body"), and the step budget is
+   enforced on the framed-but-unscheduled program ("emit-frame").  The
+   stage name rides on the diagnostic so a sweep's failure histogram
+   can be read per stage. *)
+let test_rejection_attributes_stage () =
+  let gemm = Kernels.kernel_of_name Kernels.Gemm in
+  (* register-starved candidate: dies in emit-body *)
+  (match
+     Tuner.generate_candidate_diag arch Kernels.Gemm gemm
+       (List.hd hostile_space)
+   with
+  | Ok _ -> Alcotest.fail "register-starved candidate accepted"
+  | Error d ->
+      Alcotest.(check string) "out-of-registers code" "out-of-registers"
+        (Diag.code_to_string d.Diag.d_code);
+      Alcotest.(check (option string))
+        "starvation attributed to emit-body" (Some "emit-body")
+        d.Diag.d_stage_name;
+      Alcotest.(check bool) "stage name rendered" true
+        (let s = Diag.to_string d in
+         let re = "emit-body" in
+         let n = String.length s and m = String.length re in
+         let rec find i = i + m <= n && (String.sub s i m = re || find (i + 1)) in
+         find 0));
+  (* viable candidate under a tiny step budget: rejected at emit-frame,
+     before scheduling *)
+  let viable =
+    {
+      Tuner.cand_config = { Pipeline.default with jam = [ ("j", 4); ("i", 8) ] };
+      cand_opts = A.Codegen.Emit.default_options;
+    }
+  in
+  match
+    Tuner.generate_candidate_diag arch ~max_insns:5 Kernels.Gemm gemm viable
+  with
+  | Ok _ -> Alcotest.fail "over-budget candidate accepted"
+  | Error d ->
+      Alcotest.(check string) "budget code" "budget-exceeded"
+        (Diag.code_to_string d.Diag.d_code);
+      Alcotest.(check (option string))
+        "budget attributed to emit-frame" (Some "emit-frame")
+        d.Diag.d_stage_name
+
 (* Diag.histogram sorts descending and aggregates by code. *)
 let test_histogram_shape () =
   let mk code =
     Diag.make ~code ~stage:Diag.S_codegen ~kernel:"gemm" ~arch:"snb"
-      ~config:"-" ~detail:"-"
+      ~config:"-" ~detail:"-" ()
   in
   let h =
     Diag.histogram
@@ -209,6 +254,8 @@ let suite =
       test_generate_candidate_labels_real_kernel;
     Alcotest.test_case "explicit kname overrides inference" `Quick
       test_generate_candidate_explicit_kname;
+    Alcotest.test_case "rejections attribute the lowering stage" `Quick
+      test_rejection_attributes_stage;
     Alcotest.test_case "histogram aggregates and sorts" `Quick
       test_histogram_shape;
   ]

@@ -276,10 +276,56 @@ let test_planted_fallback_entry_ignored () =
   Alcotest.(check bool) "re-tuned to a real winner" true
     (r.Tuner.best_score > 0.)
 
+(* The `augem cache` inspection surface: [entries] lists only cache
+   files (sorted, sized, header-validated without unmarshalling),
+   [validate] agrees with what [load] would accept, and [clear] removes
+   exactly the cache entries. *)
+let test_entries_validate_clear () =
+  let dir = fresh_dir () in
+  Alcotest.(check int) "empty dir" 0 (List.length (Cache.entries ~dir));
+  Alcotest.(check int) "missing dir" 0
+    (List.length (Cache.entries ~dir:(Filename.concat dir "nope")));
+  let keydesc, digest = key () in
+  store_ok ~dir ~keydesc ~digest "payload-one";
+  let keydesc2, digest2 = key ~kernel:"gemv" () in
+  store_ok ~dir ~keydesc:keydesc2 ~digest:digest2 "payload-two";
+  (* a corrupt entry and a foreign file *)
+  let bad = Cache.path ~dir ~digest:"feedfacefeedfacefeedfacefeedface" in
+  Out_channel.with_open_bin bad (fun oc ->
+      Out_channel.output_string oc "not a cache file");
+  Out_channel.with_open_bin (Filename.concat dir "README.txt") (fun oc ->
+      Out_channel.output_string oc "left alone");
+  let es = Cache.entries ~dir in
+  Alcotest.(check int) "three cache entries, foreign file skipped" 3
+    (List.length es);
+  Alcotest.(check bool) "sorted by file name" true
+    (let names = List.map (fun e -> e.Cache.e_file) es in
+     names = List.sort String.compare names);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) ("sized: " ^ e.Cache.e_file) true (e.Cache.e_bytes > 0))
+    es;
+  let valid, corrupt =
+    List.partition (fun e -> Result.is_ok e.Cache.e_key) es
+  in
+  Alcotest.(check int) "two valid" 2 (List.length valid);
+  Alcotest.(check int) "one corrupt" 1 (List.length corrupt);
+  (* validate returns the embedded keydesc, matching what was stored *)
+  Alcotest.(check bool) "keydescs recovered" true
+    (List.sort compare (List.map (fun e -> e.Cache.e_key) valid)
+    = List.sort compare [ Ok keydesc; Ok keydesc2 ]);
+  (* clear removes the cache entries (even corrupt ones), nothing else *)
+  Alcotest.(check int) "cleared three" 3 (Cache.clear ~dir);
+  Alcotest.(check int) "now empty" 0 (List.length (Cache.entries ~dir));
+  Alcotest.(check bool) "foreign file untouched" true
+    (Sys.file_exists (Filename.concat dir "README.txt"))
+
 let suite =
   [
     Alcotest.test_case "roundtrip + per-component digest miss" `Quick
       test_roundtrip_and_digest_miss;
+    Alcotest.test_case "entries/validate/clear inspection" `Quick
+      test_entries_validate_clear;
     Alcotest.test_case "corrupt files tolerated (5 modes)" `Quick
       test_corrupt_files_are_tolerated;
     Alcotest.test_case "tuned persists; survives corruption" `Quick

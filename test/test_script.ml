@@ -46,6 +46,28 @@ let test_errors () =
     [ "unroll_jam j"; "unroll i zero"; "prefetch -3"; "frobnicate 2";
       "width 512"; "strength_reduce maybe" ]
 
+(* Errors carry the 1-based source line of the offending directive, in
+   both the [Error] rendering and the structured exception payload. *)
+let test_error_line_numbers () =
+  let expect_line src line =
+    (match Script.parse src with
+    | Ok _ -> Alcotest.failf "accepted bad script: %s" src
+    | Error msg ->
+        let prefix = Printf.sprintf "line %d: " line in
+        if not (String.starts_with ~prefix msg) then
+          Alcotest.failf "expected %S prefix, got %S" prefix msg);
+    match Script.parse_exn src with
+    | exception Script.Script_error (l, _) ->
+        Alcotest.(check int) ("structured line for " ^ String.escaped src) line l
+    | _ -> Alcotest.failf "parse_exn accepted bad script: %s" src
+  in
+  expect_line "frobnicate 2" 1;
+  (* blank and comment lines still count toward line numbers *)
+  expect_line "unroll_jam j 4\n\n# comment\nunroll i zero" 4;
+  (* ';'-separated directives share their source line *)
+  expect_line "unroll i 8\nprefetch 4; width 512\nprefer shuf" 2;
+  expect_line "unroll_jam j 4\nunroll_jam i" 2
+
 let test_roundtrip () =
   let t =
     parse_ok
@@ -89,6 +111,8 @@ let suite =
       test_comments_and_semicolons;
     Alcotest.test_case "switches" `Quick test_switches;
     Alcotest.test_case "error reporting" `Quick test_errors;
+    Alcotest.test_case "errors carry 1-based line numbers" `Quick
+      test_error_line_numbers;
     Alcotest.test_case "print/parse round trip" `Quick test_roundtrip;
     Alcotest.test_case "script drives the pipeline" `Quick test_drives_pipeline;
     Alcotest.test_case "width cap respected" `Quick test_width_cap_respected;
