@@ -1,0 +1,165 @@
+(* Serving benchmark: closed-loop clients against an in-process kernel
+   service, cold cache vs warm cache.
+
+   Cold phase: one first-request per (kernel, arch) key, issued
+   sequentially — every request misses both tiers and pays for a full
+   tuning sweep.  Warm phase: --clients closed-loop threads each issue
+   --requests requests round-robin over the same keys — every request
+   is an in-memory tier hit.  The headline number is the cold/warm mean
+   latency ratio; BENCH_serve.json records both distributions plus the
+   server's own metrics snapshot so the artifact is self-consistent
+   (requests = cold + warm + 1 stats, tiers.memory = warm count).
+
+   --smoke shrinks the grid to two keys with one-candidate spaces for
+   the @serve-smoke alias. *)
+
+module A = Augem
+module Arch = A.Machine.Arch
+module Kernels = A.Ir.Kernels
+module Json = A.Json
+module Tuner = A.Tuner
+module Service = Augem_service
+
+let json_out = ref "."
+let smoke = ref false
+let clients_flag = ref 4
+let requests_flag = ref 25
+
+let speclist =
+  [
+    ("--smoke", Arg.Set smoke, "reduced grid for CI");
+    ("--json-out", Arg.Set_string json_out, "DIR artifact directory");
+    ("--clients", Arg.Set_int clients_flag, "N warm-phase client threads");
+    ("--requests", Arg.Set_int requests_flag, "N warm requests per client");
+  ]
+
+(* one-candidate spaces keep the cold sweep cheap without changing what
+   is measured (a miss still walks queue -> sweep -> store -> insert) *)
+let tiny_space kernel =
+  match Tuner.space_for kernel with c :: _ -> [ c ] | [] -> []
+
+let keys () : (Kernels.name * Arch.t * Tuner.candidate list) list =
+  if !smoke then
+    [
+      (Kernels.Axpy, Arch.sandy_bridge, tiny_space Kernels.Axpy);
+      (Kernels.Dot, Arch.piledriver, tiny_space Kernels.Dot);
+    ]
+  else
+    List.concat_map
+      (fun arch ->
+        List.map
+          (fun k -> (k, arch, Tuner.space_for k))
+          [ Kernels.Axpy; Kernels.Dot; Kernels.Scal; Kernels.Gemv ])
+      [ Arch.sandy_bridge; Arch.piledriver ]
+
+let tune_line (kernel, (arch : Arch.t), space) : string =
+  Json.to_string
+    (Service.Proto.request_to_json
+       {
+         Service.Proto.rq_id = Json.String (Kernels.name_to_string kernel);
+         rq_op =
+           Service.Proto.Op_tune
+             {
+               Service.Proto.tq_kernel = kernel;
+               tq_arch = arch;
+               tq_space = (if space = [] then None else Some space);
+               tq_deadline_ms = None;
+             };
+       })
+
+let expect_ok line =
+  match Json.parse line with
+  | Ok j when Json.member "ok" j = Some (Json.Bool true) -> ()
+  | _ -> failwith ("serve_bench: request failed: " ^ line)
+
+type phase = { count : int; mean_ms : float; max_ms : float }
+
+let summarize (samples : float list) : phase =
+  let n = List.length samples in
+  let sum = List.fold_left ( +. ) 0. samples in
+  let mx = List.fold_left Stdlib.max 0. samples in
+  { count = n; mean_ms = (if n = 0 then 0. else sum /. float_of_int n);
+    max_ms = mx }
+
+let phase_json p =
+  Json.Obj
+    [
+      ("count", Json.Int p.count);
+      ("mean_ms", Json.Float p.mean_ms);
+      ("max_ms", Json.Float p.max_ms);
+    ]
+
+let () =
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "serve_bench [--smoke] [--json-out DIR] [--clients N] [--requests N]";
+  let ks = keys () in
+  let lines = List.map tune_line ks in
+  let server = Service.Server.create () in
+  (* cold: sequential first requests, full sweep each *)
+  let cold =
+    List.map
+      (fun line ->
+        let t0 = Unix.gettimeofday () in
+        expect_ok (Service.Server.handle_line server line);
+        (Unix.gettimeofday () -. t0) *. 1000.)
+      lines
+  in
+  (* warm: closed-loop clients over the now-resident keys *)
+  let clients = max 1 !clients_flag and per_client = max 1 !requests_flag in
+  let warm_m = Mutex.create () in
+  let warm = ref [] in
+  let client i =
+    let mine = ref [] in
+    for r = 0 to per_client - 1 do
+      let line = List.nth lines ((i + r) mod List.length lines) in
+      let t0 = Unix.gettimeofday () in
+      expect_ok (Service.Server.handle_line server line);
+      mine := ((Unix.gettimeofday () -. t0) *. 1000.) :: !mine
+    done;
+    Mutex.protect warm_m (fun () -> warm := !mine @ !warm)
+  in
+  let threads = List.init clients (fun i -> Thread.create client i) in
+  List.iter Thread.join threads;
+  let stats =
+    match
+      Json.parse
+        (Service.Server.handle_line server {|{"id":0,"op":"stats"}|})
+    with
+    | Ok j -> ( match Json.member "stats" j with Some s -> s | None -> Json.Null)
+    | Error _ -> Json.Null
+  in
+  Service.Server.drain server;
+  let cold_p = summarize cold and warm_p = summarize !warm in
+  let speedup =
+    if warm_p.mean_ms > 0. then cold_p.mean_ms /. warm_p.mean_ms else 0.
+  in
+  Fmt.pr "serve bench (%s): %d keys, %d clients x %d requests@."
+    (if !smoke then "smoke" else "full")
+    (List.length ks) clients per_client;
+  Fmt.pr "  cold  %d requests  mean %.2f ms  max %.2f ms@." cold_p.count
+    cold_p.mean_ms cold_p.max_ms;
+  Fmt.pr "  warm  %d requests  mean %.3f ms  max %.3f ms@." warm_p.count
+    warm_p.mean_ms warm_p.max_ms;
+  Fmt.pr "  warm speedup %.1fx@." speedup;
+  let artifact =
+    Json.Obj
+      [
+        ("mode", Json.String (if !smoke then "smoke" else "full"));
+        ( "kernels",
+          Json.List
+            (List.map
+               (fun (k, (a : Arch.t), _) ->
+                 Json.String (Kernels.name_to_string k ^ "@" ^ a.Arch.name))
+               ks) );
+        ("clients", Json.Int clients);
+        ("requests_per_client", Json.Int per_client);
+        ("cold", phase_json cold_p);
+        ("warm", phase_json warm_p);
+        ("speedup", Json.Float speedup);
+        ("stats", stats);
+      ]
+  in
+  let path = Filename.concat !json_out "BENCH_serve.json" in
+  Json.to_file path artifact;
+  Fmt.pr "wrote %s@." path

@@ -189,10 +189,41 @@ let json_out_arg =
            configuration, score, discard histogram, wall-clock, \
            candidates/sec, cache statistics) to $(docv).")
 
+(* Cache-tier accounting for `tune`: the same event stream the serving
+   metrics consume (Tuner.set_cache_observer), folded into counters and
+   printed — corrupt entries and failed stores surface their structured
+   diagnostics instead of being silent. *)
+type tune_cache_counts = {
+  mutable tc_memory : int;
+  mutable tc_disk_hits : int;
+  mutable tc_disk_misses : int;
+  mutable tc_corrupt : int;
+  mutable tc_swept : int;
+  mutable tc_stores : int;
+  mutable tc_diags : A.Verify.Diag.t list;
+}
+
 let tune_cmd =
   let run arch kernel jobs cache_dir json_out =
     let jobs = if jobs <= 0 then A.Pool.default_jobs () else jobs in
     (match cache_dir with Some _ -> A.Tuner.set_cache_dir cache_dir | None -> ());
+    let tc =
+      { tc_memory = 0; tc_disk_hits = 0; tc_disk_misses = 0; tc_corrupt = 0;
+        tc_swept = 0; tc_stores = 0; tc_diags = [] }
+    in
+    A.Tuner.set_cache_observer
+      (Some
+         (fun ~arch:_ ~kernel:_ ev ->
+           match ev with
+           | A.Tuner.Ev_memory_hit -> tc.tc_memory <- tc.tc_memory + 1
+           | A.Tuner.Ev_disk_hit -> tc.tc_disk_hits <- tc.tc_disk_hits + 1
+           | A.Tuner.Ev_disk_miss -> tc.tc_disk_misses <- tc.tc_disk_misses + 1
+           | A.Tuner.Ev_disk_corrupt d ->
+               tc.tc_corrupt <- tc.tc_corrupt + 1;
+               tc.tc_diags <- d :: tc.tc_diags
+           | A.Tuner.Ev_swept -> tc.tc_swept <- tc.tc_swept + 1
+           | A.Tuner.Ev_store -> tc.tc_stores <- tc.tc_stores + 1
+           | A.Tuner.Ev_store_error d -> tc.tc_diags <- d :: tc.tc_diags));
     let t0 = Unix.gettimeofday () in
     let r = A.Tuner.tuned ~jobs arch kernel in
     let wall = Unix.gettimeofday () -. t0 in
@@ -203,11 +234,15 @@ let tune_cmd =
       r.A.Tuner.best_score r.A.Tuner.visited r.A.Tuner.discarded;
     Fmt.pr "sweep: %.3f s at jobs=%d (%.1f candidates/sec)@." wall jobs
       (float_of_int r.A.Tuner.visited /. Float.max wall 1e-9);
-    let cs = A.Tuning_cache.stats in
     if cache_dir <> None || A.Tuner.cache_dir () <> None then
-      Fmt.pr "cache: %d hit(s), %d miss(es), %d corrupt, %d store(s)@."
-        cs.A.Tuning_cache.hits cs.A.Tuning_cache.misses
-        cs.A.Tuning_cache.corrupt cs.A.Tuning_cache.stores;
+      Fmt.pr
+        "cache: %d memory hit(s), %d disk hit(s), %d miss(es), %d corrupt, \
+         %d sweep(s), %d store(s)@."
+        tc.tc_memory tc.tc_disk_hits tc.tc_disk_misses tc.tc_corrupt
+        tc.tc_swept tc.tc_stores;
+    List.iter
+      (fun d -> Fmt.pr "cache diagnostic: %s@." (A.Verify.Diag.to_string d))
+      (List.rev tc.tc_diags);
     if r.A.Tuner.fell_back then
       Fmt.pr "WARNING: whole space discarded; safe baseline in use@.";
     if r.A.Tuner.failure_histogram <> [] then
@@ -242,10 +277,12 @@ let tune_cmd =
                ( "cache",
                  A.Json.Obj
                    [
-                     ("hits", A.Json.Int cs.A.Tuning_cache.hits);
-                     ("misses", A.Json.Int cs.A.Tuning_cache.misses);
-                     ("corrupt", A.Json.Int cs.A.Tuning_cache.corrupt);
-                     ("stores", A.Json.Int cs.A.Tuning_cache.stores);
+                     ("memory_hits", A.Json.Int tc.tc_memory);
+                     ("disk_hits", A.Json.Int tc.tc_disk_hits);
+                     ("misses", A.Json.Int tc.tc_disk_misses);
+                     ("corrupt", A.Json.Int tc.tc_corrupt);
+                     ("sweeps", A.Json.Int tc.tc_swept);
+                     ("stores", A.Json.Int tc.tc_stores);
                    ] );
              ]);
         Fmt.pr "wrote %s@." path);
@@ -675,6 +712,166 @@ let cache_cmd =
           this process's hit/miss counters; $(b,--clear) empties it")
     Term.(const run $ cache_dir_arg $ cache_clear_arg)
 
+(* --- the kernel service -------------------------------------------------- *)
+
+module Service = Augem_service
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (serve: bind; request: connect).")
+
+let serve_cmd =
+  let stdio_arg =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve stdin/stdout: one JSON request per line, one JSON \
+             response per line, EOF shuts down cleanly.  The default when \
+             no $(b,--socket) is given.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Tuning-worker domains draining the admission queue.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission-queue capacity; requests beyond it are rejected \
+             with a structured E_overload.")
+  in
+  let lru_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "lru" ] ~docv:"N"
+          ~doc:"In-memory cache tier capacity (entries).")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline: a tune request still queued \
+             after $(docv) is served the safe-baseline kernel with \
+             degraded:true instead of waiting for a sweep.  Requests may \
+             override with their own deadline_ms.")
+  in
+  let tune_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "tune-jobs" ] ~docv:"N"
+          ~doc:"Intra-sweep parallelism of one tuning job.")
+  in
+  let run stdio socket workers queue lru cache_dir deadline_ms tune_jobs =
+    let config =
+      {
+        Service.Server.cfg_workers = max 1 workers;
+        cfg_queue = max 1 queue;
+        cfg_lru = max 1 lru;
+        cfg_cache_dir =
+          (match cache_dir with Some _ -> cache_dir | None -> A.Tuner.cache_dir ());
+        cfg_deadline_ms = deadline_ms;
+        cfg_tune_jobs = max 1 tune_jobs;
+      }
+    in
+    let t = Service.Server.create ~config () in
+    let stop _ = Service.Server.request_stop t in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    match socket with
+    | Some path when not stdio -> Service.Server.serve_socket t path
+    | _ -> Service.Server.serve_stdio t
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the kernel service: accept line-delimited JSON tune/stats \
+          requests (stdio or a Unix-domain socket) and answer with tuned \
+          assembly plus provenance, through the two-tier cache, \
+          single-flight deduplication and the bounded admission queue")
+    Term.(
+      const run $ stdio_arg $ socket_arg $ workers_arg $ queue_arg $ lru_arg
+      $ cache_dir_arg $ deadline_arg $ tune_jobs_arg)
+
+let request_cmd =
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Send a stats request.")
+  in
+  let ping_arg =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Send a ping request.")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag & info [ "shutdown" ] ~doc:"Ask the server to shut down.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline.")
+  in
+  let run socket kernel arch stats ping shutdown deadline_ms =
+    let path =
+      match socket with
+      | Some p -> p
+      | None ->
+          Fmt.epr "request: --socket PATH is required@.";
+          exit 2
+    in
+    let op =
+      if stats then Service.Proto.Op_stats
+      else if ping then Service.Proto.Op_ping
+      else if shutdown then Service.Proto.Op_shutdown
+      else
+        Service.Proto.Op_tune
+          {
+            Service.Proto.tq_kernel = kernel;
+            tq_arch = arch;
+            tq_space = None;
+            tq_deadline_ms = deadline_ms;
+          }
+    in
+    let rq = { Service.Proto.rq_id = A.Json.Int 1; rq_op = op } in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with Unix.Unix_error (e, _, _) ->
+       Fmt.epr "request: cannot connect to %s: %s@." path
+         (Unix.error_message e);
+       exit 1);
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    output_string oc (A.Json.to_string (Service.Proto.request_to_json rq));
+    output_char oc '\n';
+    flush oc;
+    (match In_channel.input_line ic with
+    | None ->
+        Fmt.epr "request: server closed the connection@.";
+        exit 1
+    | Some line ->
+        print_endline line;
+        let ok =
+          match A.Json.parse line with
+          | Ok j -> A.Json.member "ok" j = Some (A.Json.Bool true)
+          | Error _ -> false
+        in
+        Unix.close fd;
+        if not ok then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one request to a running kernel service over its \
+          Unix-domain socket and print the JSON response")
+    Term.(
+      const run $ socket_arg $ kernel_arg $ arch_arg $ stats_arg $ ping_arg
+      $ shutdown_arg $ deadline_arg)
+
 let platforms_cmd =
   let run () =
     Fmt.pr "%-22s %20s %20s@." "" "Intel" "AMD";
@@ -693,6 +890,7 @@ let main =
          "Template-based generation of optimized dense linear algebra \
           assembly kernels (AUGEM, SC'13)")
     [ generate_cmd; tune_cmd; phases_cmd; explain_cmd; verify_cmd; lint_cmd;
-      compile_cmd; simulate_cmd; cache_cmd; platforms_cmd ]
+      compile_cmd; simulate_cmd; cache_cmd; serve_cmd; request_cmd;
+      platforms_cmd ]
 
 let () = exit (Cmd.eval main)

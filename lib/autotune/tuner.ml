@@ -402,6 +402,43 @@ let space_fingerprint (space : candidate list) : string =
   Digest.to_hex
     (Digest.string (String.concat "\n" (List.map candidate_fingerprint space)))
 
+(* --- cache-tier accounting ---------------------------------------------- *)
+
+(* One event per tier decision of [tuned] (and of any other cache built
+   on the same fingerprint scheme, via [notify_cache_event]): the tune
+   CLI and the serving metrics both subscribe here instead of scraping
+   their own counters. *)
+type cache_event =
+  | Ev_memory_hit
+  | Ev_disk_hit
+  | Ev_disk_miss
+  | Ev_disk_corrupt of Diag.t
+  | Ev_swept
+  | Ev_store
+  | Ev_store_error of Diag.t
+
+let cache_event_to_string = function
+  | Ev_memory_hit -> "memory-hit"
+  | Ev_disk_hit -> "disk-hit"
+  | Ev_disk_miss -> "disk-miss"
+  | Ev_disk_corrupt d -> "disk-corrupt: " ^ Diag.to_string d
+  | Ev_swept -> "swept"
+  | Ev_store -> "store"
+  | Ev_store_error d -> "store-error: " ^ Diag.to_string d
+
+type cache_observer = arch:string -> kernel:string -> cache_event -> unit
+
+let observer_mutex = Mutex.create ()
+let observer : cache_observer option ref = ref None
+
+let set_cache_observer o =
+  Mutex.protect observer_mutex (fun () -> observer := o)
+
+let notify_cache_event ~arch ~kernel (ev : cache_event) : unit =
+  match Mutex.protect observer_mutex (fun () -> !observer) with
+  | None -> ()
+  | Some f -> ( try f ~arch ~kernel ev with _ -> ())
+
 (* Process-wide persistent-cache location: [set_cache_dir] (or the
    AUGEM_CACHE_DIR environment variable); None disables the disk
    layer. *)
@@ -424,8 +461,11 @@ let tuned ?jobs ?cache_dir:cdir ?space (arch : Arch.t) (name : Kernels.name) :
   let space = match space with Some s -> s | None -> space_for name in
   let fingerprint = space_fingerprint space in
   let key = (arch.Arch.name, kernel_s, fingerprint) in
+  let notify ev = notify_cache_event ~arch:arch.Arch.name ~kernel:kernel_s ev in
   match Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key) with
-  | Some r -> r
+  | Some r ->
+      notify Ev_memory_hit;
+      r
   | None -> (
       let dir = match cdir with Some _ as d -> d | None -> !cache_dir_ref in
       let ckey =
@@ -454,12 +494,16 @@ let tuned ?jobs ?cache_dir:cdir ?space (arch : Arch.t) (name : Kernels.name) :
                 ~digest
             with
             | Cache.Hit (r : result) when not r.fell_back ->
-                (* a persisted fallback result (foreign writer / older
-                   version) must not poison this process: re-tune *)
+                notify Ev_disk_hit;
                 remember r;
                 Some r
-            | Cache.Hit _ | Cache.Miss -> None
+            | Cache.Hit _ | Cache.Miss ->
+                (* a persisted fallback result (foreign writer / older
+                   version) must not poison this process: re-tune *)
+                notify Ev_disk_miss;
+                None
             | Cache.Corrupt d ->
+                notify (Ev_disk_corrupt d);
                 Log.warn (fun m -> m "%s" (Diag.to_string d));
                 None)
       in
@@ -467,6 +511,7 @@ let tuned ?jobs ?cache_dir:cdir ?space (arch : Arch.t) (name : Kernels.name) :
       | Some r -> r
       | None ->
           let r = tune ?jobs ~space arch name in
+          notify Ev_swept;
           (* Never memoize or persist a fallback result: a sweep that
              degraded (e.g. under a hostile space or a transient
              budget) must not poison later callers with the slow
@@ -475,10 +520,14 @@ let tuned ?jobs ?cache_dir:cdir ?space (arch : Arch.t) (name : Kernels.name) :
             remember r;
             match ckey with
             | None -> ()
-            | Some (dir, keydesc, digest) ->
-                Option.iter
-                  (fun d -> Log.warn (fun m -> m "%s" (Diag.to_string d)))
-                  (Cache.store ~dir ~arch:arch.Arch.name ~kernel:kernel_s
-                     ~keydesc ~digest r)
+            | Some (dir, keydesc, digest) -> (
+                match
+                  Cache.store ~dir ~arch:arch.Arch.name ~kernel:kernel_s
+                    ~keydesc ~digest r
+                with
+                | None -> notify Ev_store
+                | Some d ->
+                    notify (Ev_store_error d);
+                    Log.warn (fun m -> m "%s" (Diag.to_string d)))
           end;
           r)

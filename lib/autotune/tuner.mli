@@ -140,6 +140,37 @@ val tuner_version : string
     their fingerprints match. *)
 val space_fingerprint : candidate list -> string
 
+(** {2 Cache-tier accounting}
+
+    Every tier decision the memoized sweep (or any other two-tier cache
+    keyed like it, e.g. the serving registry) makes is reported as one
+    of these events, so the [tune] CLI and the service metrics share
+    one accounting path instead of each scraping its own counters.
+    Corrupt entries and failed stores carry their structured
+    {!Augem_verify.Diag.t}. *)
+type cache_event =
+  | Ev_memory_hit  (** answered from the in-memory tier *)
+  | Ev_disk_hit  (** answered from the persistent on-disk tier *)
+  | Ev_disk_miss  (** no usable on-disk entry (includes stale fallbacks) *)
+  | Ev_disk_corrupt of Augem_verify.Diag.t
+      (** on-disk entry failed to load; treated as a miss *)
+  | Ev_swept  (** a full tuning sweep ran *)
+  | Ev_store  (** the sweep result was persisted *)
+  | Ev_store_error of Augem_verify.Diag.t  (** persisting failed (non-fatal) *)
+
+val cache_event_to_string : cache_event -> string
+
+type cache_observer = arch:string -> kernel:string -> cache_event -> unit
+
+(** Install (or clear) the process-wide observer.  [tuned] calls it on
+    every tier decision; {!notify_cache_event} lets other caches that
+    share the fingerprint scheme report through the same path. *)
+val set_cache_observer : cache_observer option -> unit
+
+(** Invoke the installed observer, if any.  Never raises (an observer
+    exception is swallowed: accounting must not break tuning). *)
+val notify_cache_event : arch:string -> kernel:string -> cache_event -> unit
+
 (** Set the process-wide persistent tuning-cache directory (also
     settable via the [AUGEM_CACHE_DIR] environment variable); [None]
     disables the on-disk layer. *)

@@ -21,6 +21,8 @@ let escape_string buf s =
       | '\n' -> Buffer.add_string buf "\\n"
       | '\r' -> Buffer.add_string buf "\\r"
       | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
       | c when Char.code c < 0x20 ->
           Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
@@ -116,12 +118,25 @@ let parse (s : string) : (t, string) result =
     end
   in
   let hex4 () =
+    (* strict: exactly four hex digits.  [int_of_string "0x…"] alone
+       would also accept OCaml numeric-literal syntax (underscores), so
+       validate the characters first. *)
     if !pos + 4 > n then fail "truncated \\u escape";
-    let h = String.sub s !pos 4 in
+    let digit c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail "bad \\u escape"
+    in
+    let v =
+      (digit s.[!pos] lsl 12)
+      lor (digit s.[!pos + 1] lsl 8)
+      lor (digit s.[!pos + 2] lsl 4)
+      lor digit s.[!pos + 3]
+    in
     pos := !pos + 4;
-    match int_of_string_opt ("0x" ^ h) with
-    | Some c -> c
-    | None -> fail "bad \\u escape"
+    v
   in
   let parse_string () =
     expect '"';
@@ -156,6 +171,10 @@ let parse (s : string) : (t, string) result =
                   if c2 < 0xDC00 || c2 > 0xDFFF then fail "lone surrogate";
                   0x10000 + ((c1 - 0xD800) lsl 10) + (c2 - 0xDC00)
                 end
+                else if c1 >= 0xDC00 && c1 <= 0xDFFF then
+                  (* a low half with no preceding high half would
+                     otherwise encode as invalid UTF-8 *)
+                  fail "lone surrogate"
                 else c1
               in
               utf8_of_code buf code;
@@ -186,7 +205,12 @@ let parse (s : string) : (t, string) result =
     else
       match int_of_string_opt lit with
       | Some i -> Int i
-      | None -> fail ("bad number " ^ lit)
+      | None -> (
+          (* integer literal wider than the OCaml int range: degrade to
+             the nearest float rather than rejecting the document *)
+          match float_of_string_opt lit with
+          | Some f -> Float f
+          | None -> fail ("bad number " ^ lit))
   in
   let rec parse_value () =
     skip_ws ();

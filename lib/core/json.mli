@@ -1,10 +1,17 @@
 (** Minimal JSON: the benchmark harness's machine-readable output
-    (`BENCH_*.json`) and its validation.  No external dependency — the
-    emitter and the recursive-descent parser cover standard JSON
-    (RFC 8259) over the values the harness produces.
+    (`BENCH_*.json`), its validation, and the kernel service's
+    line-delimited wire protocol.  No external dependency — the emitter
+    and the recursive-descent parser cover standard JSON (RFC 8259).
+
+    String escaping is round-trip safe: the emitter escapes every
+    control character (with the [\b \f \n \r \t] shortcuts), the parser
+    accepts all RFC escapes including [\uXXXX] with surrogate pairs
+    (lone surrogates are rejected), and [parse (to_string v) = Ok v]
+    for every finite value — property-tested in [test/test_json.ml].
 
     Non-finite floats have no JSON encoding; the emitter writes them as
-    [null] rather than producing an unparseable file. *)
+    [null] rather than producing an unparseable file.  Integer literals
+    wider than the OCaml [int] range parse as {!Float}. *)
 
 type t =
   | Null

@@ -1,0 +1,83 @@
+(* Persistent bounded task queue over worker domains.  See taskq.mli. *)
+
+type t = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  capacity : int;
+  n_workers : int;
+  mutable stopped : bool;
+  mutable exceptions : int;
+  mutable domains : unit Domain.t list;
+}
+
+let create ?(workers = 1) ?(capacity = 64) () : t =
+  let t =
+    {
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      capacity = max 0 capacity;
+      n_workers = max 1 workers;
+      stopped = false;
+      exceptions = 0;
+      domains = [];
+    }
+  in
+  let worker () =
+    let rec loop () =
+      Mutex.lock t.m;
+      while Queue.is_empty t.queue && not t.stopped do
+        Condition.wait t.nonempty t.m
+      done;
+      match Queue.take_opt t.queue with
+      | None ->
+          (* stopped and drained *)
+          Mutex.unlock t.m
+      | Some task ->
+          Mutex.unlock t.m;
+          (match task () with
+          | () -> ()
+          | exception _ ->
+              Mutex.lock t.m;
+              t.exceptions <- t.exceptions + 1;
+              Mutex.unlock t.m);
+          loop ()
+    in
+    loop ()
+  in
+  t.domains <- List.init t.n_workers (fun _ -> Domain.spawn worker);
+  t
+
+let submit (t : t) (task : unit -> unit) : bool =
+  Mutex.lock t.m;
+  let accepted = (not t.stopped) && Queue.length t.queue < t.capacity in
+  if accepted then begin
+    Queue.add task t.queue;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.m;
+  accepted
+
+let pending (t : t) : int =
+  Mutex.lock t.m;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.m;
+  n
+
+let workers (t : t) : int = t.n_workers
+
+let dropped_exceptions (t : t) : int =
+  Mutex.lock t.m;
+  let n = t.exceptions in
+  Mutex.unlock t.m;
+  n
+
+let shutdown (t : t) : unit =
+  Mutex.lock t.m;
+  let domains = t.domains in
+  t.stopped <- true;
+  t.domains <- [];
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m;
+  List.iter Domain.join domains

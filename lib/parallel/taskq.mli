@@ -1,0 +1,43 @@
+(** A persistent, bounded task queue served by a fixed set of worker
+    domains — the long-lived sibling of {!Pool.map}.
+
+    {!Pool.map} is a batch API: it spawns domains for one sweep and
+    joins them before returning.  A serving runtime instead wants a
+    pool that outlives any single request: workers are spawned once at
+    {!create} and keep draining the queue until {!shutdown}.
+
+    The queue is {i bounded}: at most [capacity] tasks may be queued
+    (tasks currently executing on a worker do not count).  A full queue
+    makes {!submit} return [false] immediately — admission control is
+    the caller's job (the service layer turns it into a structured
+    overload rejection), the pool never blocks a producer and never
+    buffers unboundedly.
+
+    Tasks are [unit -> unit] thunks and must not let exceptions escape;
+    as a backstop, an escaping exception is caught and counted
+    ({!dropped_exceptions}) rather than killing the worker.
+
+    All operations are safe from any domain or thread. *)
+
+type t
+
+(** [create ~workers ~capacity ()] spawns [workers] domains (clamped to
+    at least 1) that block on the queue. *)
+val create : ?workers:int -> ?capacity:int -> unit -> t
+
+(** Enqueue a task; [false] when the queue is at capacity or the pool
+    is shut down (the task is dropped, never partially enqueued). *)
+val submit : t -> (unit -> unit) -> bool
+
+(** Tasks queued and not yet picked up by a worker. *)
+val pending : t -> int
+
+(** Worker count the pool was created with. *)
+val workers : t -> int
+
+(** Tasks whose thunk raised (caught by the worker backstop). *)
+val dropped_exceptions : t -> int
+
+(** Stop accepting tasks, drain the queue, and join every worker.
+    Idempotent; returns once all workers have exited. *)
+val shutdown : t -> unit

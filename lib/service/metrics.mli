@@ -1,0 +1,48 @@
+(** Live service metrics: counters and latency histograms, snapshotted
+    as JSON by the [stats] request.
+
+    Everything is guarded by one mutex (mutations are nanoseconds
+    against multi-millisecond requests) and safe from any domain or
+    thread.  The snapshot is a point-in-time view: the [stats] request
+    that takes it has already been counted. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Counters} *)
+
+val incr_request : t -> string -> unit
+(** by op name ("tune", "stats", "ping", "shutdown", "bad") *)
+
+val incr_tier : t -> Proto.tier -> unit
+val incr_overload : t -> unit
+
+val incr_degraded_deadline : t -> unit
+(** served the baseline because the deadline expired pre-sweep *)
+
+val incr_degraded_fell_back : t -> unit
+(** served a sweep result whose whole space was discarded *)
+
+val incr_errors : t -> unit
+
+(** Fold a {!Augem.Tuner.cache_event} into the counters — the shared
+    accounting path with the [tune] CLI (disk corruptions, stores,
+    store failures). *)
+val record_cache_event : t -> Augem.Tuner.cache_event -> unit
+
+(** {2 Latency} *)
+
+(** Whole-request wall clock, admission to response. *)
+val observe_request_ms : t -> float -> unit
+
+(** Tuning-sweep wall clock (only requests that ran a sweep). *)
+val observe_tuning_ms : t -> float -> unit
+
+(** {2 Reading} *)
+
+(** Counter value by snapshot path, e.g. ["tiers.memory"],
+    ["requests.tune"], ["rejects.overload"] — test/validation helper. *)
+val get : t -> string -> int
+
+val snapshot : t -> Augem.Json.t

@@ -1,0 +1,220 @@
+(* Bounded LRU over the persistent tuning cache, with single-flight
+   deduplication.  See registry.mli. *)
+
+module A = Augem
+module Tuner = A.Tuner
+module Cache = A.Tuning_cache
+module Arch = A.Machine.Arch
+module Kernels = A.Ir.Kernels
+
+type computed = { c_result : Tuner.result; c_deadline_expired : bool }
+
+type outcome = {
+  o_result : Tuner.result;
+  o_tier : Proto.tier;
+  o_degraded : bool;
+  o_deadline_expired : bool;
+  o_tuning_ms : float;
+}
+
+type slot = { mutable value : Tuner.result; mutable tick : int }
+
+type flight = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable f_state : (outcome, exn) Stdlib.result option;
+}
+
+type t = {
+  m : Mutex.t;
+  changed : Condition.t;  (* signalled when coalesced_total moves *)
+  lru : (string, slot) Hashtbl.t;
+  inflight : (string, flight) Hashtbl.t;
+  capacity : int;
+  cache_dir : string option;
+  on_event : Tuner.cache_observer;
+  mutable tick : int;
+  mutable coalesced : int;
+}
+
+let create ?(lru_capacity = 64) ?cache_dir
+    ?(on_event = Tuner.notify_cache_event) () : t =
+  {
+    m = Mutex.create ();
+    changed = Condition.create ();
+    lru = Hashtbl.create 32;
+    inflight = Hashtbl.create 8;
+    capacity = max 1 lru_capacity;
+    cache_dir;
+    on_event;
+    tick = 0;
+    coalesced = 0;
+  }
+
+let key_of ~(arch : Arch.t) ~(kernel : Kernels.name)
+    ~(space : Tuner.candidate list) : string * string =
+  let fingerprint = Tuner.space_fingerprint space in
+  let keydesc =
+    Cache.keydesc ~version:Tuner.tuner_version ~arch:arch.Arch.name
+      ~kernel:(Kernels.name_to_string kernel) ~fingerprint
+  in
+  let digest =
+    Cache.digest ~version:Tuner.tuner_version ~arch:arch.Arch.name
+      ~kernel:(Kernels.name_to_string kernel) ~fingerprint
+  in
+  (keydesc, digest)
+
+let digest_of ~arch ~kernel ~space : string = snd (key_of ~arch ~kernel ~space)
+
+(* caller holds t.m *)
+let lru_touch (t : t) (s : slot) : unit =
+  t.tick <- t.tick + 1;
+  s.tick <- t.tick
+
+(* caller holds t.m.  Capacity is small (a server config knob), so a
+   scan-for-minimum eviction beats the bookkeeping of a linked list. *)
+let lru_insert (t : t) (digest : string) (v : Tuner.result) : unit =
+  (match Hashtbl.find_opt t.lru digest with
+  | Some s ->
+      s.value <- v;
+      lru_touch t s
+  | None ->
+      t.tick <- t.tick + 1;
+      Hashtbl.replace t.lru digest { value = v; tick = t.tick });
+  if Hashtbl.length t.lru > t.capacity then begin
+    let victim =
+      Hashtbl.fold
+        (fun k (s : slot) acc ->
+          match acc with
+          | Some (_, best) when best <= s.tick -> acc
+          | _ -> Some (k, s.tick))
+        t.lru None
+    in
+    match victim with
+    | Some (k, _) -> Hashtbl.remove t.lru k
+    | None -> ()
+  end
+
+let lru_size (t : t) : int =
+  Mutex.protect t.m (fun () -> Hashtbl.length t.lru)
+
+let lru_capacity (t : t) : int = t.capacity
+
+let coalesced_total (t : t) : int = Mutex.protect t.m (fun () -> t.coalesced)
+
+let wait_coalesced (t : t) (n : int) : unit =
+  Mutex.lock t.m;
+  while t.coalesced < n do
+    Condition.wait t.changed t.m
+  done;
+  Mutex.unlock t.m
+
+let find_or_compute (t : t) ~(arch : Arch.t) ~(kernel : Kernels.name)
+    ~(space : Tuner.candidate list) ~(compute : unit -> computed) : outcome =
+  let arch_s = arch.Arch.name in
+  let kernel_s = Kernels.name_to_string kernel in
+  let emit ev = t.on_event ~arch:arch_s ~kernel:kernel_s ev in
+  let keydesc, digest = key_of ~arch ~kernel ~space in
+  Mutex.lock t.m;
+  match Hashtbl.find_opt t.lru digest with
+  | Some slot ->
+      lru_touch t slot;
+      let v = slot.value in
+      Mutex.unlock t.m;
+      emit Tuner.Ev_memory_hit;
+      { o_result = v; o_tier = Proto.T_memory; o_degraded = false;
+        o_deadline_expired = false; o_tuning_ms = 0. }
+  | None -> (
+      match Hashtbl.find_opt t.inflight digest with
+      | Some fl ->
+          (* single-flight: attach to the running sweep *)
+          t.coalesced <- t.coalesced + 1;
+          Condition.broadcast t.changed;
+          Mutex.unlock t.m;
+          Mutex.lock fl.fm;
+          let rec wait () =
+            match fl.f_state with
+            | Some r -> r
+            | None ->
+                Condition.wait fl.fc fl.fm;
+                wait ()
+          in
+          let r = wait () in
+          Mutex.unlock fl.fm;
+          (match r with
+          | Ok o -> { o with o_tier = Proto.T_coalesced }
+          | Error e -> raise e)
+      | None ->
+          let fl =
+            { fm = Mutex.create (); fc = Condition.create (); f_state = None }
+          in
+          Hashtbl.replace t.inflight digest fl;
+          Mutex.unlock t.m;
+          let finish (r : (outcome, exn) Stdlib.result) : outcome =
+            Mutex.lock t.m;
+            Hashtbl.remove t.inflight digest;
+            (match r with
+            | Ok o when not o.o_degraded -> lru_insert t digest o.o_result
+            | _ -> ());
+            Mutex.unlock t.m;
+            Mutex.lock fl.fm;
+            fl.f_state <- Some r;
+            Condition.broadcast fl.fc;
+            Mutex.unlock fl.fm;
+            match r with Ok o -> o | Error e -> raise e
+          in
+          let disk =
+            match t.cache_dir with
+            | Some dir ->
+                Some
+                  (Cache.load ~dir ~arch:arch_s ~kernel:kernel_s ~keydesc
+                     ~digest)
+            | None -> None
+          in
+          (match disk with
+          | Some (Cache.Hit (r : Tuner.result)) when not r.Tuner.fell_back ->
+              emit Tuner.Ev_disk_hit;
+              finish
+                (Ok
+                   {
+                     o_result = r;
+                     o_tier = Proto.T_disk;
+                     o_degraded = false;
+                     o_deadline_expired = false;
+                     o_tuning_ms = 0.;
+                   })
+          | _ ->
+              (match disk with
+              | Some (Cache.Hit _) | Some Cache.Miss ->
+                  (* a persisted fallback is stale, same as a miss *)
+                  emit Tuner.Ev_disk_miss
+              | Some (Cache.Corrupt d) -> emit (Tuner.Ev_disk_corrupt d)
+              | None -> ());
+              let t0 = Unix.gettimeofday () in
+              match compute () with
+              | exception e -> finish (Error e)
+              | { c_result; c_deadline_expired } ->
+                  let tuning_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+                  if not c_deadline_expired then emit Tuner.Ev_swept;
+                  let degraded =
+                    c_deadline_expired || c_result.Tuner.fell_back
+                  in
+                  (if (not degraded) && t.cache_dir <> None then
+                     match t.cache_dir with
+                     | Some dir -> (
+                         match
+                           Cache.store ~dir ~arch:arch_s ~kernel:kernel_s
+                             ~keydesc ~digest c_result
+                         with
+                         | None -> emit Tuner.Ev_store
+                         | Some d -> emit (Tuner.Ev_store_error d))
+                     | None -> ());
+                  finish
+                    (Ok
+                       {
+                         o_result = c_result;
+                         o_tier = Proto.T_tuned;
+                         o_degraded = degraded;
+                         o_deadline_expired = c_deadline_expired;
+                         o_tuning_ms = tuning_ms;
+                       })))

@@ -1,0 +1,83 @@
+(** Two-tier kernel-result cache with single-flight deduplication —
+    the serving counterpart of {!Augem.Tuner.tuned}.
+
+    Tier 1 is a {i bounded} in-memory LRU (a server must not grow
+    without bound across millions of distinct requests); tier 2 is the
+    persistent on-disk store of {!Augem.Tuning_cache}.  Both tiers key
+    on the same content address as the tuner — (tuner version, arch,
+    kernel, search-space fingerprint) — so the daemon, the [tune] CLI
+    and offline sweeps all share one cache population.
+
+    Single-flight: N concurrent requests for the same key trigger
+    exactly one compute; the other N-1 attach to the in-flight sweep
+    and are handed its result (tier {!Proto.T_coalesced}).  If the
+    flight fails (e.g. overload at admission), every attached waiter
+    fails with the same exception.
+
+    Degraded results (baseline fallback, deadline expiry) are {i
+    never} inserted into either tier — a degraded answer must not
+    poison later requests — mirroring the tuner's fell-back rule.
+
+    Every tier decision is reported through the shared
+    {!Augem.Tuner.cache_observer} accounting path. *)
+
+type t
+
+(** [create ~lru_capacity ~cache_dir ~on_event ()].  [cache_dir = None]
+    disables the disk tier.  [on_event] defaults to
+    {!Augem.Tuner.notify_cache_event} (the process-wide observer). *)
+val create :
+  ?lru_capacity:int ->
+  ?cache_dir:string ->
+  ?on_event:Augem.Tuner.cache_observer ->
+  unit ->
+  t
+
+(** What a compute (the scheduler round-trip) produced. *)
+type computed = {
+  c_result : Augem.Tuner.result;
+  c_deadline_expired : bool;
+      (** the baseline was generated because the deadline expired *)
+}
+
+type outcome = {
+  o_result : Augem.Tuner.result;
+  o_tier : Proto.tier;
+  o_degraded : bool;
+      (** deadline expiry or a fully-discarded space: the safe
+          baseline is being served *)
+  o_deadline_expired : bool;
+  o_tuning_ms : float;  (** wall clock of the compute; 0 on cache hits *)
+}
+
+(** The content address a (arch, kernel, space) triple caches under —
+    identical to the tuner's persistent-cache digest. *)
+val digest_of :
+  arch:Augem.Machine.Arch.t ->
+  kernel:Augem.Ir.Kernels.name ->
+  space:Augem.Tuner.candidate list ->
+  string
+
+(** Look the key up (L1, then the in-flight table, then L2), running
+    [compute] on a miss.  Re-raises [compute]'s exception — to this
+    caller and to every coalesced waiter. *)
+val find_or_compute :
+  t ->
+  arch:Augem.Machine.Arch.t ->
+  kernel:Augem.Ir.Kernels.name ->
+  space:Augem.Tuner.candidate list ->
+  compute:(unit -> computed) ->
+  outcome
+
+(** Entries currently in the in-memory tier. *)
+val lru_size : t -> int
+
+val lru_capacity : t -> int
+
+(** Requests that attached to another request's flight, ever. *)
+val coalesced_total : t -> int
+
+(** Block until {!coalesced_total} reaches [n] — lets tests release a
+    gated compute only after every waiter has attached, making
+    coalescing assertions deterministic without sleeps. *)
+val wait_coalesced : t -> int -> unit

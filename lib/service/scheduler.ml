@@ -1,0 +1,64 @@
+(* Bounded admission + deadlines over the persistent domain pool.  See
+   scheduler.mli. *)
+
+module Taskq = Augem_parallel.Taskq
+
+type 'a outcome = Done of 'a | Expired | Failed of exn
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a outcome option;
+}
+
+type t = {
+  pool : Taskq.t;
+  clock : unit -> float;
+  cap : int;
+  n_workers : int;
+}
+
+let create ?(workers = 1) ?(capacity = 8) ?(now = Unix.gettimeofday) () : t =
+  {
+    pool = Taskq.create ~workers ~capacity ();
+    clock = now;
+    cap = capacity;
+    n_workers = workers;
+  }
+
+let fulfill (fut : 'a future) (o : 'a outcome) : unit =
+  Mutex.lock fut.fm;
+  fut.state <- Some o;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+let submit (t : t) ?deadline (f : unit -> 'a) : 'a future option =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); state = None } in
+  let job () =
+    let expired =
+      match deadline with Some d -> t.clock () > d | None -> false
+    in
+    if expired then fulfill fut Expired
+    else
+      fulfill fut (match f () with v -> Done v | exception e -> Failed e)
+  in
+  if Taskq.submit t.pool job then Some fut else None
+
+let await (fut : 'a future) : 'a outcome =
+  Mutex.lock fut.fm;
+  let rec wait () =
+    match fut.state with
+    | Some o -> o
+    | None ->
+        Condition.wait fut.fc fut.fm;
+        wait ()
+  in
+  let o = wait () in
+  Mutex.unlock fut.fm;
+  o
+
+let now (t : t) : float = t.clock ()
+let pending (t : t) : int = Taskq.pending t.pool
+let capacity (t : t) : int = t.cap
+let workers (t : t) : int = t.n_workers
+let shutdown (t : t) : unit = Taskq.shutdown t.pool

@@ -1,0 +1,52 @@
+(** Bounded admission in front of a persistent
+    {!Augem_parallel.Taskq} worker pool, with per-request deadlines.
+
+    Admission control: {!submit} returns [None] the instant the queue
+    is at capacity — the caller (the server) turns that into a
+    structured [E_overload] rejection; nothing ever blocks a producer
+    or buffers unboundedly.
+
+    Deadlines are {i admission-to-start}: an absolute timestamp checked
+    when a worker picks the job up.  A job whose deadline has passed is
+    not run at all — its future resolves to {!Expired} and the caller
+    degrades (the server serves the safe-baseline kernel instead of a
+    tuned one).  The clock is injectable ([?now]) so expiry is testable
+    deterministically, without sleeps.
+
+    Exceptions raised by the job resolve the future to {!Failed};
+    awaiters re-classify (the overload exception propagates to every
+    coalesced waiter of a single-flight). *)
+
+type t
+
+(** [create ~workers ~capacity ~now ()] spawns the worker domains.
+    [now] defaults to [Unix.gettimeofday]. *)
+val create :
+  ?workers:int -> ?capacity:int -> ?now:(unit -> float) -> unit -> t
+
+type 'a outcome =
+  | Done of 'a
+  | Expired  (** deadline passed before a worker could start the job *)
+  | Failed of exn
+
+type 'a future
+
+(** [submit t ?deadline f] enqueues [f]; [None] when the queue is at
+    capacity (or the scheduler is shut down).  [deadline] is an
+    absolute time in [now]'s timebase. *)
+val submit : t -> ?deadline:float -> (unit -> 'a) -> 'a future option
+
+(** Block until the job resolves. *)
+val await : 'a future -> 'a outcome
+
+(** The scheduler's clock (for deriving absolute deadlines). *)
+val now : t -> float
+
+(** Jobs queued and not yet started. *)
+val pending : t -> int
+
+val capacity : t -> int
+val workers : t -> int
+
+(** Drain and join the worker pool.  Idempotent. *)
+val shutdown : t -> unit

@@ -1,0 +1,310 @@
+(* The compile-and-serve runtime.  See server.mli. *)
+
+module A = Augem
+module Tuner = A.Tuner
+module Arch = A.Machine.Arch
+module Kernels = A.Ir.Kernels
+module Att = A.Machine.Att
+module Json = A.Json
+
+let log_src = Logs.Src.create "augem.serve" ~doc:"AUGEM kernel service"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  cfg_workers : int;
+  cfg_queue : int;
+  cfg_lru : int;
+  cfg_cache_dir : string option;
+  cfg_deadline_ms : float option;
+  cfg_tune_jobs : int;
+}
+
+let default_config =
+  {
+    cfg_workers = 1;
+    cfg_queue = 8;
+    cfg_lru = 64;
+    cfg_cache_dir = None;
+    cfg_deadline_ms = None;
+    cfg_tune_jobs = 1;
+  }
+
+type t = {
+  cfg : config;
+  now : unit -> float;
+  metrics : Metrics.t;
+  registry : Registry.t;
+  sched : Scheduler.t;
+  mutable stop : bool;
+  mutable listen_fd : Unix.file_descr option;
+  clients : (Unix.file_descr, unit) Hashtbl.t;
+  cm : Mutex.t;  (* stop / listen_fd / clients *)
+}
+
+let create ?(now = Unix.gettimeofday) ?(config = default_config) () : t =
+  let metrics = Metrics.create () in
+  let registry =
+    Registry.create ~lru_capacity:config.cfg_lru
+      ?cache_dir:config.cfg_cache_dir
+      ~on_event:(fun ~arch ~kernel ev ->
+        Metrics.record_cache_event metrics ev;
+        (* keep feeding the process-wide accounting path (CLI, logs) *)
+        Tuner.notify_cache_event ~arch ~kernel ev)
+      ()
+  in
+  let sched =
+    Scheduler.create ~workers:config.cfg_workers ~capacity:config.cfg_queue
+      ~now ()
+  in
+  {
+    cfg = config;
+    now;
+    metrics;
+    registry;
+    sched;
+    stop = false;
+    listen_fd = None;
+    clients = Hashtbl.create 8;
+    cm = Mutex.create ();
+  }
+
+let metrics t = t.metrics
+let registry t = t.registry
+let scheduler t = t.sched
+let config t = t.cfg
+let stopping t = Mutex.protect t.cm (fun () -> t.stop)
+
+let request_stop (t : t) : unit =
+  (* may run inside a signal handler: no logging, just flag + nudge *)
+  t.stop <- true;
+  match t.listen_fd with
+  | Some fd -> ( try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+  | None -> ()
+
+let drain (t : t) : unit = Scheduler.shutdown t.sched
+
+(* --- request handling ---------------------------------------------------- *)
+
+let handle_tune (t : t) (id : Json.t) (tq : Proto.tune_request) :
+    Proto.response =
+  let t0 = t.now () in
+  let arch = tq.Proto.tq_arch in
+  let kernel = tq.Proto.tq_kernel in
+  let space =
+    match tq.Proto.tq_space with
+    | Some s -> s
+    | None -> Tuner.space_for kernel
+  in
+  let deadline_ms =
+    match tq.Proto.tq_deadline_ms with
+    | Some _ as d -> d
+    | None -> t.cfg.cfg_deadline_ms
+  in
+  let deadline = Option.map (fun ms -> t0 +. (ms /. 1000.)) deadline_ms in
+  let compute () : Registry.computed =
+    let job () = Tuner.tune ~jobs:t.cfg.cfg_tune_jobs ~space arch kernel in
+    match Scheduler.submit t.sched ?deadline job with
+    | None ->
+        raise
+          (Proto.Overload
+             (Printf.sprintf "queue at capacity (%d)"
+                (Scheduler.capacity t.sched)))
+    | Some fut -> (
+        match Scheduler.await fut with
+        | Scheduler.Done r ->
+            { Registry.c_result = r; c_deadline_expired = false }
+        | Scheduler.Expired ->
+            (* the deadline passed while the job was queued: degrade to
+               the safe baseline via the tuner's fallback path (an
+               empty space falls back by construction) *)
+            let r = Tuner.tune ~space:[] arch kernel in
+            { Registry.c_result = r; c_deadline_expired = true }
+        | Scheduler.Failed e -> raise e)
+  in
+  let respond (rs_result : (Proto.reply, Proto.error) Stdlib.result) =
+    Metrics.observe_request_ms t.metrics ((t.now () -. t0) *. 1000.);
+    { Proto.rs_id = id; rs_result }
+  in
+  match Registry.find_or_compute t.registry ~arch ~kernel ~space ~compute with
+  | exception Proto.Overload detail ->
+      Metrics.incr_overload t.metrics;
+      respond (Error { Proto.e_code = Proto.e_overload; e_detail = detail })
+  | exception Tuner.No_viable_configuration detail ->
+      Metrics.incr_errors t.metrics;
+      respond (Error { Proto.e_code = Proto.e_internal; e_detail = detail })
+  | exception e ->
+      Metrics.incr_errors t.metrics;
+      respond
+        (Error
+           { Proto.e_code = Proto.e_internal; e_detail = Printexc.to_string e })
+  | o ->
+      Metrics.incr_tier t.metrics o.Registry.o_tier;
+      if o.Registry.o_deadline_expired then
+        Metrics.incr_degraded_deadline t.metrics
+      else if o.Registry.o_degraded then
+        Metrics.incr_degraded_fell_back t.metrics;
+      if o.Registry.o_tier = Proto.T_tuned then
+        Metrics.observe_tuning_ms t.metrics o.Registry.o_tuning_ms;
+      let r = o.Registry.o_result in
+      let assembly =
+        Att.program_to_string
+          ~avx:(arch.Arch.simd = Arch.AVX)
+          r.Tuner.best_program
+      in
+      respond
+        (Ok
+           (Proto.R_kernel
+              {
+                rk_kernel = Kernels.name_to_string kernel;
+                rk_arch = arch.Arch.name;
+                rk_assembly = assembly;
+                rk_provenance =
+                  {
+                    Proto.pv_tier = o.Registry.o_tier;
+                    pv_config =
+                      A.Transform.Pipeline.config_to_string
+                        r.Tuner.best.Tuner.cand_config;
+                    pv_mflops = r.Tuner.best_score;
+                    pv_visited = r.Tuner.visited;
+                    pv_discarded = r.Tuner.discarded;
+                    pv_fell_back = r.Tuner.fell_back;
+                    pv_deadline_expired = o.Registry.o_deadline_expired;
+                    pv_tuning_ms = o.Registry.o_tuning_ms;
+                  };
+                rk_degraded = o.Registry.o_degraded;
+              }))
+
+let handle_request (t : t) (rq : Proto.request) : Proto.response =
+  let id = rq.Proto.rq_id in
+  match rq.Proto.rq_op with
+  | Proto.Op_ping ->
+      Metrics.incr_request t.metrics "ping";
+      { Proto.rs_id = id; rs_result = Ok Proto.R_pong }
+  | Proto.Op_stats ->
+      Metrics.incr_request t.metrics "stats";
+      {
+        Proto.rs_id = id;
+        rs_result = Ok (Proto.R_stats (Metrics.snapshot t.metrics));
+      }
+  | Proto.Op_shutdown ->
+      Metrics.incr_request t.metrics "shutdown";
+      (* also unblocks a parked accept loop, like SIGINT/SIGTERM *)
+      request_stop t;
+      { Proto.rs_id = id; rs_result = Ok Proto.R_shutting_down }
+  | Proto.Op_tune tq ->
+      Metrics.incr_request t.metrics "tune";
+      if stopping t then
+        {
+          Proto.rs_id = id;
+          rs_result =
+            Error
+              {
+                Proto.e_code = Proto.e_shutting_down;
+                e_detail = "server is shutting down";
+              };
+        }
+      else handle_tune t id tq
+
+let handle_line (t : t) (line : string) : string =
+  match Proto.parse_request line with
+  | Error (id, e) ->
+      Metrics.incr_request t.metrics "bad";
+      Proto.response_line { Proto.rs_id = id; rs_result = Error e }
+  | Ok rq -> (
+      match handle_request t rq with
+      | rs -> Proto.response_line rs
+      | exception e ->
+          (* handle_request is supposed to be total; backstop anyway *)
+          Metrics.incr_errors t.metrics;
+          Proto.response_line
+            {
+              Proto.rs_id = rq.Proto.rq_id;
+              rs_result =
+                Error
+                  {
+                    Proto.e_code = Proto.e_internal;
+                    e_detail = Printexc.to_string e;
+                  };
+            })
+
+(* --- transports ---------------------------------------------------------- *)
+
+let serve_stdio (t : t) : unit =
+  let rec loop () =
+    if stopping t then ()
+    else
+      match In_channel.input_line In_channel.stdin with
+      | None -> ()
+      | Some line when String.trim line = "" -> loop ()
+      | Some line ->
+          print_string (handle_line t line);
+          print_newline ();
+          flush stdout;
+          loop ()
+  in
+  loop ();
+  drain t
+
+let track_client (t : t) (fd : Unix.file_descr) : unit =
+  Mutex.protect t.cm (fun () -> Hashtbl.replace t.clients fd ())
+
+let untrack_client (t : t) (fd : Unix.file_descr) : unit =
+  Mutex.protect t.cm (fun () -> Hashtbl.remove t.clients fd)
+
+let serve_client (t : t) (fd : Unix.file_descr) : unit =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some line when String.trim line = "" -> loop ()
+    | Some line ->
+        output_string oc (handle_line t line);
+        output_char oc '\n';
+        flush oc;
+        if not (stopping t) then loop ()
+  in
+  (try loop () with Sys_error _ | End_of_file -> ());
+  untrack_client t fd;
+  try Unix.close fd with _ -> ()
+
+let serve_socket (t : t) (path : string) : unit =
+  (* a client that disconnects mid-response must surface as EPIPE in
+     the handler thread, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (try Unix.unlink path with _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 64;
+  Mutex.protect t.cm (fun () -> t.listen_fd <- Some listen_fd);
+  Log.info (fun m -> m "listening on %s" path);
+  let threads = ref [] in
+  let rec accept_loop () =
+    if stopping t then ()
+    else
+      match Unix.accept listen_fd with
+      | fd, _ ->
+          track_client t fd;
+          threads := Thread.create (fun () -> serve_client t fd) () :: !threads;
+          accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ ->
+          (* listen socket shut down under us: stop *)
+          ()
+  in
+  accept_loop ();
+  Mutex.protect t.cm (fun () ->
+      t.stop <- true;
+      t.listen_fd <- None);
+  (try Unix.close listen_fd with _ -> ());
+  (* unblock every client still parked in a read — receive side only,
+     so a response already being written (e.g. the shutdown ack) still
+     reaches its client — then join *)
+  let fds = Mutex.protect t.cm (fun () -> Hashtbl.fold (fun fd () acc -> fd :: acc) t.clients []) in
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+    fds;
+  List.iter Thread.join !threads;
+  (try Unix.unlink path with _ -> ());
+  drain t

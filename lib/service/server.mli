@@ -1,0 +1,72 @@
+(** The kernel service runtime: composes {!Proto}, {!Registry},
+    {!Scheduler} and {!Metrics} into a long-lived compile-and-serve
+    daemon with two transports.
+
+    Request flow for [tune]: admission counter → registry L1 →
+    single-flight attach → registry L2 (disk) → bounded scheduler queue
+    ([E_overload] when full) → tuning sweep on a worker domain →
+    store + L1 insert → response.  A deadline that expires while the
+    job is queued degrades the request to the safe-baseline kernel
+    (the tuner's PR-1 fallback path) with [degraded: true] instead of
+    failing it.
+
+    Transports: [serve_stdio] (one request per stdin line, one response
+    per stdout line, EOF = clean shutdown — what the [@serve-smoke]
+    alias boots) and [serve_socket] (Unix-domain socket, one thread per
+    client, concurrent requests across clients).  A [shutdown] request
+    or SIGINT/SIGTERM ({!request_stop}) stops the accept loop, unblocks
+    every client, joins their threads, and drains the worker pool. *)
+
+type config = {
+  cfg_workers : int;  (** tuning-worker domains *)
+  cfg_queue : int;  (** admission-queue capacity *)
+  cfg_lru : int;  (** in-memory tier capacity (entries) *)
+  cfg_cache_dir : string option;  (** persistent tier; [None] disables *)
+  cfg_deadline_ms : float option;
+      (** default per-request deadline; a request's own [deadline_ms]
+          overrides *)
+  cfg_tune_jobs : int;  (** intra-sweep parallelism of one tuning job *)
+}
+
+val default_config : config
+
+type t
+
+(** [create ~now ~config ()].  [now] is the clock used for deadlines
+    (injectable for deterministic tests). *)
+val create : ?now:(unit -> float) -> ?config:config -> unit -> t
+
+val metrics : t -> Metrics.t
+val registry : t -> Registry.t
+val scheduler : t -> Scheduler.t
+val config : t -> config
+
+(** Handle one decoded request synchronously (blocks through the
+    scheduler for [tune] misses).  Never raises. *)
+val handle_request : t -> Proto.request -> Proto.response
+
+(** Parse one wire line and handle it; the response line (no trailing
+    newline).  Never raises. *)
+val handle_line : t -> string -> string
+
+(** Has a [shutdown] request or {!request_stop} been seen? *)
+val stopping : t -> bool
+
+(** Flag the server to stop and unblock a blocked accept loop.
+    Safe to call from a signal handler or any thread. *)
+val request_stop : t -> unit
+
+(** Serve stdin/stdout until EOF or [shutdown]; drains the worker pool
+    before returning. *)
+val serve_stdio : t -> unit
+
+(** Bind a Unix-domain socket at [path] (replacing a stale socket
+    file), serve until [shutdown]/{!request_stop}, then unblock and
+    join every client and drain the worker pool.  The socket file is
+    removed on exit. *)
+val serve_socket : t -> string -> unit
+
+(** Drain and join the worker pool (idempotent; transports call it on
+    the way out — only needed directly when using {!handle_request}
+    in-process). *)
+val drain : t -> unit

@@ -25,6 +25,8 @@ let unit_suites =
     ("baselines", Test_baselines.suite);
     ("report", Test_report.suite);
     ("extensions", Test_extensions.suite);
+    ("json", Test_json.suite);
+    ("service", Test_service.suite);
   ]
 
 let slow_suites =

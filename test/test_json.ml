@@ -1,0 +1,130 @@
+(* The JSON layer under the service wire protocol: string-escape
+   corner cases (\uXXXX strictness, surrogate pairs, control
+   characters) and a parse<->emit round-trip property over randomly
+   generated finite values. *)
+
+module Json = Augem.Json
+
+let parse_ok s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let parse_err s =
+  match Json.parse s with
+  | Ok v -> Alcotest.failf "parse %S unexpectedly succeeded: %s" s (Json.to_string v)
+  | Error _ -> ()
+
+let check_json = Alcotest.testable (Fmt.of_to_string Json.to_string) ( = )
+
+let test_escape_emit () =
+  Alcotest.(check string)
+    "control escapes" {|"\b\f\n\r\t"|}
+    (Json.to_string (Json.String "\b\012\n\r\t"));
+  Alcotest.(check string)
+    "low control chars use \\u" {|"\u0001\u001f"|}
+    (Json.to_string (Json.String "\001\031"));
+  Alcotest.(check string)
+    "quote and backslash" {|"a\"b\\c"|}
+    (Json.to_string (Json.String "a\"b\\c"))
+
+let test_escape_parse () =
+  Alcotest.check check_json "basic escapes" (Json.String "a\"b\\c/\b\012\n\r\t")
+    (parse_ok {|"a\"b\\c\/\b\f\n\r\t"|});
+  Alcotest.check check_json "\\u BMP" (Json.String "\xe2\x82\xac")
+    (parse_ok {|"€"|});
+  Alcotest.check check_json "surrogate pair" (Json.String "\xf0\x9f\x98\x80")
+    (parse_ok {|"😀"|})
+
+let test_escape_strictness () =
+  (* exactly four strict hex digits: OCaml's int_of_string underscore
+     leniency must not leak into the wire format *)
+  parse_err {|"\u_123"|};
+  parse_err {|"\u12"|};
+  parse_err {|"\u12G4"|};
+  parse_err {|"\uD800"|} (* lone high surrogate *);
+  parse_err {|"\uDC00"|} (* lone low surrogate *);
+  parse_err {|"\uD800x"|};
+  parse_err {|"\x41"|} (* not a JSON escape *)
+
+let test_number_edges () =
+  (match parse_ok "123456789012345678901234567890" with
+  | Json.Float _ -> ()
+  | v ->
+      Alcotest.failf "big integer should fall back to Float, got %s"
+        (Json.to_string v));
+  Alcotest.check check_json "int max" (Json.Int max_int)
+    (parse_ok (string_of_int max_int));
+  Alcotest.check check_json "negative" (Json.Int (-42)) (parse_ok "-42");
+  Alcotest.check check_json "float" (Json.Float 1.5) (parse_ok "1.5")
+
+let test_round_trip_units () =
+  let rt v = Alcotest.check check_json (Json.to_string v) v (parse_ok (Json.to_string v)) in
+  rt (Json.String "\b\012\127");
+  rt (Json.String "embedded\nnewline");
+  rt (Json.Obj [ ("k\twith\ttabs", Json.List [ Json.Null; Json.Bool false ]) ]);
+  rt (Json.Float 0.1);
+  rt (Json.Float (-3.0));
+  rt (Json.Int 0)
+
+(* --- fuzz: parse (to_string v) = Ok v ------------------------------------ *)
+
+let arb_value =
+  let open QCheck in
+  let leaf =
+    Gen.oneof
+      [
+        Gen.return Json.Null;
+        Gen.map (fun b -> Json.Bool b) Gen.bool;
+        Gen.map (fun i -> Json.Int i) Gen.int;
+        (* finite floats only: non-finite emits as null by design *)
+        Gen.map (fun f -> Json.Float f) (Gen.float_range (-1e9) 1e9);
+        Gen.map (fun s -> Json.String s) Gen.string;
+      ]
+  in
+  let value =
+    Gen.sized (fun n ->
+        Gen.fix
+          (fun self n ->
+            if n = 0 then leaf
+            else
+              Gen.oneof
+                [
+                  leaf;
+                  Gen.map
+                    (fun xs -> Json.List xs)
+                    (Gen.list_size (Gen.int_bound 4) (self (n / 2)));
+                  Gen.map
+                    (fun kvs ->
+                      (* dedupe keys: Obj is an assoc list and duplicate
+                         keys would not survive member-wise comparison *)
+                      let seen = Hashtbl.create 8 in
+                      Json.Obj
+                        (List.filter
+                           (fun (k, _) ->
+                             if Hashtbl.mem seen k then false
+                             else (Hashtbl.add seen k (); true))
+                           kvs))
+                    (Gen.list_size (Gen.int_bound 4)
+                       (Gen.pair Gen.(string_size (int_bound 8)) (self (n / 2))));
+                ])
+          (min n 6))
+  in
+  make ~print:Json.to_string value
+
+let fuzz_round_trip =
+  QCheck.Test.make ~name:"parse (to_string v) = Ok v" ~count:500 arb_value
+    (fun v ->
+      match Json.parse (Json.to_string v) with
+      | Ok v' -> v = v'
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "escape emit" `Quick test_escape_emit;
+    Alcotest.test_case "escape parse" `Quick test_escape_parse;
+    Alcotest.test_case "escape strictness" `Quick test_escape_strictness;
+    Alcotest.test_case "number edges" `Quick test_number_edges;
+    Alcotest.test_case "round-trip units" `Quick test_round_trip_units;
+    QCheck_alcotest.to_alcotest fuzz_round_trip;
+  ]

@@ -1,0 +1,469 @@
+(* The kernel service runtime: wire protocol round-trips, the two-tier
+   registry (bounded LRU + disk), single-flight coalescing, overload
+   rejection, deadline degradation and metrics consistency.
+
+   Every concurrency assertion is deterministic — gates (a mutex +
+   condition the test opens explicitly) and an injectable clock stand
+   in for timing; there are no sleeps. *)
+
+module A = Augem
+module Arch = A.Machine.Arch
+module Kernels = A.Ir.Kernels
+module Tuner = A.Tuner
+module Json = A.Json
+module S = Augem_service
+module Proto = S.Proto
+module Registry = S.Registry
+module Scheduler = S.Scheduler
+module Metrics = S.Metrics
+module Server = S.Server
+
+let arch = Arch.sandy_bridge
+
+let tiny_space k =
+  match Tuner.space_for k with c :: _ -> [ c ] | [] -> Alcotest.fail "empty space"
+
+(* a real (cheap) sweep result to hand out from stub computes *)
+let canned = lazy (Tuner.tune ~space:(tiny_space Kernels.Axpy) arch Kernels.Axpy)
+
+let computed ?(expired = false) () =
+  { Registry.c_result = Lazy.force canned; c_deadline_expired = expired }
+
+(* --- gates: explicit open/close instead of sleeps ------------------------- *)
+
+type gate = { gm : Mutex.t; gc : Condition.t; mutable opened : bool }
+
+let gate () = { gm = Mutex.create (); gc = Condition.create (); opened = false }
+
+let open_gate g =
+  Mutex.protect g.gm (fun () ->
+      g.opened <- true;
+      Condition.broadcast g.gc)
+
+let wait_gate g =
+  Mutex.lock g.gm;
+  while not g.opened do
+    Condition.wait g.gc g.gm
+  done;
+  Mutex.unlock g.gm
+
+(* --- proto ---------------------------------------------------------------- *)
+
+let test_proto_round_trip () =
+  let space = tiny_space Kernels.Gemv in
+  let rq =
+    {
+      Proto.rq_id = Json.Int 7;
+      rq_op =
+        Proto.Op_tune
+          {
+            Proto.tq_kernel = Kernels.Gemv;
+            tq_arch = Arch.piledriver;
+            tq_space = Some space;
+            tq_deadline_ms = Some 250.;
+          };
+    }
+  in
+  let line = Json.to_string (Proto.request_to_json rq) in
+  match Proto.parse_request line with
+  | Error (_, e) -> Alcotest.failf "round-trip failed: %s" e.Proto.e_detail
+  | Ok rq' -> (
+      Alcotest.(check bool) "id" true (rq'.Proto.rq_id = Json.Int 7);
+      match rq'.Proto.rq_op with
+      | Proto.Op_tune tq ->
+          Alcotest.(check string) "kernel" "gemv"
+            (Kernels.name_to_string tq.Proto.tq_kernel);
+          Alcotest.(check string) "arch" "piledriver" tq.Proto.tq_arch.Arch.name;
+          Alcotest.(check bool) "space" true (tq.Proto.tq_space = Some space);
+          Alcotest.(check (option (float 0.))) "deadline" (Some 250.)
+            tq.Proto.tq_deadline_ms
+      | _ -> Alcotest.fail "wrong op")
+
+let bad_code line =
+  match Proto.parse_request line with
+  | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" line
+  | Error (_, e) -> e.Proto.e_code
+
+let test_proto_bad_requests () =
+  let chk l = Alcotest.(check string) l Proto.e_bad_request (bad_code l) in
+  chk "not json at all";
+  chk {|{"id":1}|};
+  chk {|{"id":1,"op":"frobnicate"}|};
+  chk {|{"id":1,"op":"tune","kernel":"nope","arch":"sandybridge"}|};
+  chk {|{"id":1,"op":"tune","kernel":"axpy","arch":"vax"}|};
+  chk {|{"id":1,"op":"tune","kernel":"axpy","arch":"sandybridge","space":[]}|};
+  chk {|{"id":1,"op":"tune","kernel":"axpy","arch":"sandybridge","space":[{"bogus":1}]}|};
+  (* the best-effort id is recovered for the error response *)
+  match
+    Proto.parse_request {|{"id":41,"op":"frobnicate"}|}
+  with
+  | Error (id, _) -> Alcotest.(check bool) "id recovered" true (id = Json.Int 41)
+  | Ok _ -> Alcotest.fail "unexpected parse"
+
+let test_candidate_round_trip () =
+  List.iter
+    (fun c ->
+      match Proto.candidate_of_json (Proto.candidate_to_json c) with
+      | Ok c' -> Alcotest.(check bool) "candidate" true (c = c')
+      | Error e -> Alcotest.failf "candidate round-trip failed: %s" e)
+    (Tuner.space_for Kernels.Gemm)
+
+(* --- registry: tiers and LRU ---------------------------------------------- *)
+
+let test_registry_memory_tier () =
+  let t = Registry.create ~lru_capacity:4 () in
+  let computes = ref 0 in
+  let compute () = incr computes; computed () in
+  let space = tiny_space Kernels.Axpy in
+  let o1 =
+    Registry.find_or_compute t ~arch ~kernel:Kernels.Axpy ~space ~compute
+  in
+  let o2 =
+    Registry.find_or_compute t ~arch ~kernel:Kernels.Axpy ~space ~compute
+  in
+  Alcotest.(check int) "one compute" 1 !computes;
+  Alcotest.(check string) "first is tuned" "tuned"
+    (Proto.tier_to_string o1.Registry.o_tier);
+  Alcotest.(check string) "second is memory" "memory"
+    (Proto.tier_to_string o2.Registry.o_tier);
+  Alcotest.(check int) "lru holds it" 1 (Registry.lru_size t)
+
+let test_registry_lru_eviction () =
+  let t = Registry.create ~lru_capacity:1 () in
+  let computes = ref 0 in
+  let compute () = incr computes; computed () in
+  let go k = Registry.find_or_compute t ~arch ~kernel:k ~space:(tiny_space k) ~compute in
+  ignore (go Kernels.Axpy);
+  ignore (go Kernels.Dot) (* evicts axpy: capacity 1 *);
+  Alcotest.(check int) "bounded" 1 (Registry.lru_size t);
+  let o = go Kernels.Axpy in
+  Alcotest.(check int) "evicted key recomputes" 3 !computes;
+  Alcotest.(check string) "tier" "tuned" (Proto.tier_to_string o.Registry.o_tier)
+
+let test_registry_disk_tier () =
+  let dir = Filename.temp_dir "augem-serve-disk" "" in
+  let computes = ref 0 in
+  let compute () = incr computes; computed () in
+  let space = tiny_space Kernels.Scal in
+  let events = ref [] in
+  let on_event ~arch:_ ~kernel:_ ev = events := ev :: !events in
+  let t1 = Registry.create ~cache_dir:dir ~on_event () in
+  ignore (Registry.find_or_compute t1 ~arch ~kernel:Kernels.Scal ~space ~compute);
+  (* a fresh registry with an empty L1 but the same disk dir *)
+  let t2 = Registry.create ~cache_dir:dir ~on_event () in
+  let o = Registry.find_or_compute t2 ~arch ~kernel:Kernels.Scal ~space ~compute in
+  Alcotest.(check int) "disk hit avoids the sweep" 1 !computes;
+  Alcotest.(check string) "tier" "disk" (Proto.tier_to_string o.Registry.o_tier);
+  Alcotest.(check bool) "store event seen" true
+    (List.exists (function Tuner.Ev_store -> true | _ -> false) !events);
+  Alcotest.(check bool) "disk-hit event seen" true
+    (List.exists (function Tuner.Ev_disk_hit -> true | _ -> false) !events)
+
+let test_registry_degraded_not_cached () =
+  let t = Registry.create () in
+  let computes = ref 0 in
+  let compute () = incr computes; computed ~expired:true () in
+  let space = tiny_space Kernels.Axpy in
+  let o = Registry.find_or_compute t ~arch ~kernel:Kernels.Axpy ~space ~compute in
+  Alcotest.(check bool) "degraded" true o.Registry.o_degraded;
+  Alcotest.(check int) "not inserted" 0 (Registry.lru_size t);
+  ignore (Registry.find_or_compute t ~arch ~kernel:Kernels.Axpy ~space ~compute);
+  Alcotest.(check int) "recomputed" 2 !computes
+
+(* --- single flight --------------------------------------------------------- *)
+
+let test_single_flight () =
+  let t = Registry.create () in
+  let g = gate () in
+  let computes = ref 0 in
+  let cm = Mutex.create () in
+  let compute () =
+    Mutex.protect cm (fun () -> incr computes);
+    wait_gate g;
+    computed ()
+  in
+  let n = 5 in
+  let space = tiny_space Kernels.Axpy in
+  let tiers = Array.make n "" in
+  let threads =
+    List.init n (fun i ->
+        Thread.create
+          (fun () ->
+            let o =
+              Registry.find_or_compute t ~arch ~kernel:Kernels.Axpy ~space
+                ~compute
+            in
+            tiers.(i) <- Proto.tier_to_string o.Registry.o_tier)
+          ())
+  in
+  (* only open the gate once every follower has attached to the flight:
+     coalescing is then a fact, not a race *)
+  Registry.wait_coalesced t (n - 1);
+  open_gate g;
+  List.iter Thread.join threads;
+  Alcotest.(check int) "exactly one sweep" 1 !computes;
+  Alcotest.(check int) "everyone else coalesced" (n - 1)
+    (Registry.coalesced_total t);
+  let count tier =
+    Array.fold_left (fun acc s -> if s = tier then acc + 1 else acc) 0 tiers
+  in
+  Alcotest.(check int) "one tuned" 1 (count "tuned");
+  Alcotest.(check int) "n-1 coalesced" (n - 1) (count "coalesced")
+
+let test_single_flight_failure_shared () =
+  let t = Registry.create () in
+  let g = gate () in
+  let compute () = wait_gate g; raise (Proto.Overload "synthetic") in
+  let n = 3 in
+  let space = tiny_space Kernels.Dot in
+  let failures = ref 0 in
+  let fm = Mutex.create () in
+  let threads =
+    List.init n (fun _ ->
+        Thread.create
+          (fun () ->
+            match
+              Registry.find_or_compute t ~arch ~kernel:Kernels.Dot ~space
+                ~compute
+            with
+            | exception Proto.Overload _ ->
+                Mutex.protect fm (fun () -> incr failures)
+            | _ -> ())
+          ())
+  in
+  Registry.wait_coalesced t (n - 1);
+  open_gate g;
+  List.iter Thread.join threads;
+  Alcotest.(check int) "every waiter shares the failure" n !failures;
+  (* the failed flight must not wedge the key *)
+  let o =
+    Registry.find_or_compute t ~arch ~kernel:Kernels.Dot ~space
+      ~compute:(fun () -> computed ())
+  in
+  Alcotest.(check string) "key recovers" "tuned"
+    (Proto.tier_to_string o.Registry.o_tier)
+
+(* --- scheduler: overload and deadlines ------------------------------------ *)
+
+let test_scheduler_overload () =
+  let sched = Scheduler.create ~workers:1 ~capacity:1 () in
+  let g = gate () in
+  (* occupy the single worker... *)
+  let busy = Scheduler.submit sched (fun () -> wait_gate g) in
+  Alcotest.(check bool) "worker job admitted" true (busy <> None);
+  (* ...wait until it has actually been picked up (the queue is empty
+     again), then fill the queue slot *)
+  while Scheduler.pending sched > 0 do Thread.yield () done;
+  let queued = Scheduler.submit sched (fun () -> ()) in
+  Alcotest.(check bool) "queue slot admitted" true (queued <> None);
+  let rejected = Scheduler.submit sched (fun () -> ()) in
+  Alcotest.(check bool) "at capacity: rejected" true (rejected = None);
+  open_gate g;
+  (match busy with Some f -> ignore (Scheduler.await f) | None -> ());
+  (match queued with Some f -> ignore (Scheduler.await f) | None -> ());
+  Scheduler.shutdown sched
+
+let test_scheduler_deadline_expiry () =
+  let clock = ref 0. in
+  let sched = Scheduler.create ~workers:1 ~capacity:4 ~now:(fun () -> !clock) () in
+  let g = gate () in
+  let busy = Scheduler.submit sched (fun () -> wait_gate g) in
+  while Scheduler.pending sched > 0 do Thread.yield () done;
+  let ran = ref false in
+  let doomed =
+    Scheduler.submit sched ~deadline:1.0 (fun () -> ran := true)
+  in
+  clock := 2.0 (* the deadline passes while the job is still queued *);
+  open_gate g;
+  (match doomed with
+  | Some f ->
+      (match Scheduler.await f with
+      | Scheduler.Expired -> ()
+      | _ -> Alcotest.fail "expected Expired")
+  | None -> Alcotest.fail "submit rejected");
+  Alcotest.(check bool) "expired job never ran" false !ran;
+  (match busy with Some f -> ignore (Scheduler.await f) | None -> ());
+  Scheduler.shutdown sched
+
+(* --- server: end to end through handle_line -------------------------------- *)
+
+let space_json k =
+  Json.to_string (Json.List (List.map Proto.candidate_to_json (tiny_space k)))
+
+let tune_line ?deadline_ms ?(id = 1) k =
+  Printf.sprintf
+    {|{"id":%d,"op":"tune","kernel":"%s","arch":"sandybridge"%s,"space":%s}|}
+    id
+    (Kernels.name_to_string k)
+    (match deadline_ms with
+    | Some ms -> Printf.sprintf {|,"deadline_ms":%g|} ms
+    | None -> "")
+    (space_json k)
+
+let reply_of line =
+  match Json.parse line with
+  | Error e -> Alcotest.failf "unparsable response %s: %s" line e
+  | Ok j -> j
+
+let jbool path j =
+  match Json.member path j with Some (Json.Bool b) -> b | _ -> false
+
+let jstr j path =
+  match Json.member path j with Some (Json.String s) -> s | _ -> "<missing>"
+
+let test_server_scripted_sequence () =
+  let server = Server.create () in
+  let r1 = reply_of (Server.handle_line server (tune_line Kernels.Axpy)) in
+  Alcotest.(check bool) "ok" true (jbool "ok" r1);
+  Alcotest.(check bool) "not degraded" false (jbool "degraded" r1);
+  let prov1 = Option.get (Json.member "provenance" r1) in
+  Alcotest.(check string) "cold tier" "tuned" (jstr prov1 "tier");
+  let r2 = reply_of (Server.handle_line server (tune_line Kernels.Axpy)) in
+  let prov2 = Option.get (Json.member "provenance" r2) in
+  Alcotest.(check string) "warm tier" "memory" (jstr prov2 "tier");
+  ignore (Server.handle_line server {|{"id":3,"op":"ping"}|});
+  ignore (Server.handle_line server "this is not json");
+  let m = Server.metrics server in
+  Alcotest.(check int) "tune requests" 2 (Metrics.get m "requests.tune");
+  Alcotest.(check int) "ping requests" 1 (Metrics.get m "requests.ping");
+  Alcotest.(check int) "bad requests" 1 (Metrics.get m "requests.bad");
+  Alcotest.(check int) "tuned tier" 1 (Metrics.get m "tiers.memory");
+  Alcotest.(check int) "memory tier" 1 (Metrics.get m "tiers.tuned");
+  (* the stats reply agrees with the counters *)
+  let rs = reply_of (Server.handle_line server {|{"id":4,"op":"stats"}|}) in
+  let stats = Option.get (Json.member "stats" rs) in
+  let requests = Option.get (Json.member "requests" stats) in
+  Alcotest.(check bool) "stats.requests.tune" true
+    (Json.member "tune" requests = Some (Json.Int 2));
+  Alcotest.(check bool) "stats counted itself" true
+    (Json.member "stats" requests = Some (Json.Int 1));
+  (* shutdown is acknowledged, then tune is refused *)
+  let rsd = reply_of (Server.handle_line server {|{"id":5,"op":"shutdown"}|}) in
+  Alcotest.(check bool) "shutdown ok" true (jbool "ok" rsd);
+  let refused = reply_of (Server.handle_line server (tune_line Kernels.Dot)) in
+  Alcotest.(check string) "tune while stopping" Proto.e_shutting_down
+    (jstr (Option.get (Json.member "error" refused)) "code");
+  Server.drain server
+
+let test_server_deadline_degrades () =
+  let clock = ref 100. in
+  let config = { Server.default_config with cfg_workers = 1; cfg_queue = 4 } in
+  let server = Server.create ~now:(fun () -> !clock) ~config () in
+  let sched = Server.scheduler server in
+  let g = gate () in
+  (* park the only worker so the tune job sits in the queue *)
+  let busy = Scheduler.submit sched (fun () -> wait_gate g) in
+  while Scheduler.pending sched > 0 do Thread.yield () done;
+  let resp = ref Json.Null in
+  let requester =
+    Thread.create
+      (fun () ->
+        resp :=
+          reply_of
+            (Server.handle_line server
+               (tune_line ~deadline_ms:50. Kernels.Gemv)))
+      ()
+  in
+  (* the request is queued once the scheduler holds one pending job *)
+  while Scheduler.pending sched < 1 do Thread.yield () done;
+  clock := 101. (* 1000 ms later: the 50 ms deadline is long gone *);
+  open_gate g;
+  Thread.join requester;
+  let r = !resp in
+  Alcotest.(check bool) "ok" true (jbool "ok" r);
+  Alcotest.(check bool) "degraded" true (jbool "degraded" r);
+  let prov = Option.get (Json.member "provenance" r) in
+  Alcotest.(check bool) "deadline_expired" true (jbool "deadline_expired" prov);
+  Alcotest.(check bool) "baseline fell back" true (jbool "fell_back" prov);
+  let m = Server.metrics server in
+  Alcotest.(check int) "degraded.deadline" 1 (Metrics.get m "degraded.deadline");
+  Alcotest.(check int) "degraded answers are not cached" 0
+    (Registry.lru_size (Server.registry server));
+  (match busy with Some f -> ignore (Scheduler.await f) | None -> ());
+  Server.drain server
+
+let test_server_overload_rejects () =
+  let config = { Server.default_config with cfg_workers = 1; cfg_queue = 1 } in
+  let server = Server.create ~config () in
+  let sched = Server.scheduler server in
+  let g = gate () in
+  let busy = Scheduler.submit sched (fun () -> wait_gate g) in
+  while Scheduler.pending sched > 0 do Thread.yield () done;
+  let filler = Scheduler.submit sched (fun () -> ()) in
+  Alcotest.(check bool) "queue full" true (filler <> None);
+  (* worker parked + queue full: admission must reject, structurally *)
+  let r = reply_of (Server.handle_line server (tune_line Kernels.Axpy)) in
+  Alcotest.(check bool) "not ok" false (jbool "ok" r);
+  Alcotest.(check string) "E_overload" Proto.e_overload
+    (jstr (Option.get (Json.member "error" r)) "code");
+  let m = Server.metrics server in
+  Alcotest.(check int) "rejects.overload" 1 (Metrics.get m "rejects.overload");
+  open_gate g;
+  (match busy with Some f -> ignore (Scheduler.await f) | None -> ());
+  (match filler with Some f -> ignore (Scheduler.await f) | None -> ());
+  Server.drain server
+
+(* --- metrics --------------------------------------------------------------- *)
+
+let test_metrics_snapshot_consistency () =
+  let m = Metrics.create () in
+  Metrics.incr_request m "tune";
+  Metrics.incr_request m "tune";
+  Metrics.incr_tier m Proto.T_memory;
+  Metrics.incr_tier m Proto.T_tuned;
+  Metrics.incr_overload m;
+  Metrics.record_cache_event m
+    (Tuner.Ev_disk_corrupt
+       (A.Verify.Diag.make ~code:A.Verify.Diag.E_cache_corrupt
+          ~stage:A.Verify.Diag.S_cache ~kernel:"axpy" ~arch:"sandybridge"
+          ~config:"-" ~detail:"synthetic" ()));
+  Metrics.record_cache_event m Tuner.Ev_store;
+  Metrics.observe_request_ms m 0.05;
+  Metrics.observe_request_ms m 5000.;
+  Alcotest.(check int) "requests.tune" 2 (Metrics.get m "requests.tune");
+  Alcotest.(check int) "tiers.memory" 1 (Metrics.get m "tiers.memory");
+  Alcotest.(check int) "rejects.overload" 1 (Metrics.get m "rejects.overload");
+  Alcotest.(check int) "cache.disk_corrupt" 1 (Metrics.get m "cache.disk_corrupt");
+  Alcotest.(check int) "cache.stores" 1 (Metrics.get m "cache.stores");
+  let j = Metrics.snapshot m in
+  let hist = Option.get (Json.member "request_ms" j) in
+  (match Json.member "count" hist with
+  | Some (Json.Int 2) -> ()
+  | v ->
+      Alcotest.failf "histogram count: %s"
+        (match v with Some v -> Json.to_string v | None -> "missing"));
+  (* bucket counts are cumulative-style per-bucket: they sum to count *)
+  match Json.member "buckets" hist with
+  | Some (Json.List bs) ->
+      let total =
+        List.fold_left
+          (fun acc b ->
+            match Json.member "n" b with Some (Json.Int n) -> acc + n | _ -> acc)
+          0 bs
+      in
+      Alcotest.(check int) "buckets sum to count" 2 total
+  | _ -> Alcotest.fail "missing buckets"
+
+let suite =
+  [
+    Alcotest.test_case "proto round-trip" `Quick test_proto_round_trip;
+    Alcotest.test_case "proto bad requests" `Quick test_proto_bad_requests;
+    Alcotest.test_case "candidate round-trip" `Quick test_candidate_round_trip;
+    Alcotest.test_case "registry memory tier" `Quick test_registry_memory_tier;
+    Alcotest.test_case "registry LRU eviction" `Quick test_registry_lru_eviction;
+    Alcotest.test_case "registry disk tier" `Quick test_registry_disk_tier;
+    Alcotest.test_case "degraded not cached" `Quick test_registry_degraded_not_cached;
+    Alcotest.test_case "single flight coalesces" `Quick test_single_flight;
+    Alcotest.test_case "single flight shares failure" `Quick
+      test_single_flight_failure_shared;
+    Alcotest.test_case "scheduler overload" `Quick test_scheduler_overload;
+    Alcotest.test_case "scheduler deadline expiry" `Quick
+      test_scheduler_deadline_expiry;
+    Alcotest.test_case "server scripted sequence" `Quick
+      test_server_scripted_sequence;
+    Alcotest.test_case "server deadline degrades" `Quick
+      test_server_deadline_degrades;
+    Alcotest.test_case "server overload rejects" `Quick
+      test_server_overload_rejects;
+    Alcotest.test_case "metrics snapshot" `Quick test_metrics_snapshot_consistency;
+  ]
