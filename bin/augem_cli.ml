@@ -769,25 +769,87 @@ let serve_cmd =
       & info [ "tune-jobs" ] ~docv:"N"
           ~doc:"Intra-sweep parallelism of one tuning job.")
   in
-  let run stdio socket workers queue lru cache_dir deadline_ms tune_jobs =
-    let config =
-      {
-        Service.Server.cfg_workers = max 1 workers;
-        cfg_queue = max 1 queue;
-        cfg_lru = max 1 lru;
-        cfg_cache_dir =
-          (match cache_dir with Some _ -> cache_dir | None -> A.Tuner.cache_dir ());
-        cfg_deadline_ms = deadline_ms;
-        cfg_tune_jobs = max 1 tune_jobs;
-      }
-    in
-    let t = Service.Server.create ~config () in
-    let stop _ = Service.Server.request_stop t in
-    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-    match socket with
-    | Some path when not stdio -> Service.Server.serve_socket t path
-    | _ -> Service.Server.serve_stdio t
+  let breaker_threshold_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "breaker-threshold" ] ~docv:"N"
+          ~doc:
+            "Consecutive failures before a key's circuit opens (degraded \
+             baseline served until a cooldown probe succeeds); 0 disables \
+             circuit breaking.")
+  in
+  let breaker_cooldown_arg =
+    Arg.(
+      value & opt float 30_000.
+      & info [ "breaker-cooldown-ms" ] ~docv:"MS"
+          ~doc:"How long an open circuit waits before admitting a probe.")
+  in
+  let restart_budget_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "restart-budget" ] ~docv:"N"
+          ~doc:
+            "Worker-domain respawns allowed over the server's lifetime; a \
+             worker that dies beyond the budget is not replaced.")
+  in
+  let no_recover_arg =
+    Arg.(
+      value & flag
+      & info [ "no-recover" ]
+          ~doc:
+            "Skip the startup cache-recovery scan (quarantining of write \
+             debris left by a crashed instance).")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:
+            "Instead of serving, run the deterministic chaos driver: \
+             scripted serve sessions under injected faults (crashes, \
+             worker kills, corruption), reproducible from $(docv) alone.  \
+             Exits 0 only if every service invariant held.")
+  in
+  let run stdio socket workers queue lru cache_dir deadline_ms tune_jobs
+      breaker_threshold breaker_cooldown_ms restart_budget no_recover
+      chaos_seed =
+    match chaos_seed with
+    | Some seed ->
+        let o =
+          Service.Chaos_serve.run ~seed
+            ~log:(fun l -> Logs.debug (fun m -> m "%s" l))
+            ()
+        in
+        print_string (Service.Chaos_serve.report o);
+        exit (if o.Service.Chaos_serve.co_violations = [] then 0 else 1)
+    | None ->
+        let config =
+          {
+            Service.Server.cfg_workers = max 1 workers;
+            cfg_queue = max 1 queue;
+            cfg_lru = max 1 lru;
+            cfg_cache_dir =
+              (match cache_dir with
+              | Some _ -> cache_dir
+              | None -> A.Tuner.cache_dir ());
+            cfg_deadline_ms = deadline_ms;
+            cfg_tune_jobs = max 1 tune_jobs;
+            cfg_breaker_threshold = max 0 breaker_threshold;
+            cfg_breaker_cooldown_ms = max 0. breaker_cooldown_ms;
+            cfg_restart_budget = max 0 restart_budget;
+            cfg_recover = not no_recover;
+          }
+        in
+        (* injected delays must really delay in a live server *)
+        Augem_resilience.Faultpoint.set_sleeper (fun ms ->
+            Thread.delay (ms /. 1000.));
+        let t = Service.Server.create ~config () in
+        let stop _ = Service.Server.request_stop t in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        (match socket with
+        | Some path when not stdio -> Service.Server.serve_socket t path
+        | _ -> Service.Server.serve_stdio t)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -795,10 +857,34 @@ let serve_cmd =
          "Run the kernel service: accept line-delimited JSON tune/stats \
           requests (stdio or a Unix-domain socket) and answer with tuned \
           assembly plus provenance, through the two-tier cache, \
-          single-flight deduplication and the bounded admission queue")
+          single-flight deduplication and the bounded admission queue; \
+          with $(b,--chaos-seed), run the deterministic fault-injection \
+          harness instead")
     Term.(
       const run $ stdio_arg $ socket_arg $ workers_arg $ queue_arg $ lru_arg
-      $ cache_dir_arg $ deadline_arg $ tune_jobs_arg)
+      $ cache_dir_arg $ deadline_arg $ tune_jobs_arg $ breaker_threshold_arg
+      $ breaker_cooldown_arg $ restart_budget_arg $ no_recover_arg
+      $ chaos_seed_arg)
+
+(* Error classes of one request attempt, each with its own exit code so
+   scripts can tell a full queue from a bad request from a dead socket. *)
+type request_error =
+  | Req_transport of string  (* connect/read failure: exit 6, retryable *)
+  | Req_code of string * string  (* structured error: (code, response line) *)
+
+let request_exit_code = function
+  | Req_transport _ -> 6
+  | Req_code (code, _) ->
+      if code = Service.Proto.e_bad_request then 3
+      else if code = Service.Proto.e_overload then 4
+      else if code = Service.Proto.e_shutting_down then 5
+      else 1 (* E_internal and anything unknown *)
+
+let request_retryable = function
+  | Req_transport _ -> true (* the server may just be (re)starting *)
+  | Req_code (code, _) ->
+      (* a full queue drains; a bad request never stops being bad *)
+      code = Service.Proto.e_overload
 
 let request_cmd =
   let stats_arg =
@@ -816,7 +902,32 @@ let request_cmd =
       value & opt (some float) None
       & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline.")
   in
-  let run socket kernel arch stats ping shutdown deadline_ms =
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry up to $(docv) times on E_overload or transport errors \
+             (never on E_bad_request), with exponential backoff.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float 100.
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:
+            "Backoff envelope of the first retry; doubles per retry \
+             (capped at 50x) with deterministic seeded jitter.")
+  in
+  let retry_seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retry-seed" ] ~docv:"SEED"
+          ~doc:
+            "Jitter seed: one client replays its exact backoff schedule; \
+             differently-seeded clients desynchronize.")
+  in
+  let run socket kernel arch stats ping shutdown deadline_ms retries
+      backoff_ms retry_seed =
     let path =
       match socket with
       | Some p -> p
@@ -838,39 +949,87 @@ let request_cmd =
           }
     in
     let rq = { Service.Proto.rq_id = A.Json.Int 1; rq_op = op } in
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd (Unix.ADDR_UNIX path)
-     with Unix.Unix_error (e, _, _) ->
-       Fmt.epr "request: cannot connect to %s: %s@." path
-         (Unix.error_message e);
-       exit 1);
-    let oc = Unix.out_channel_of_descr fd in
-    let ic = Unix.in_channel_of_descr fd in
-    output_string oc (A.Json.to_string (Service.Proto.request_to_json rq));
-    output_char oc '\n';
-    flush oc;
-    (match In_channel.input_line ic with
-    | None ->
-        Fmt.epr "request: server closed the connection@.";
-        exit 1
-    | Some line ->
-        print_endline line;
-        let ok =
-          match A.Json.parse line with
-          | Ok j -> A.Json.member "ok" j = Some (A.Json.Bool true)
-          | Error _ -> false
-        in
-        Unix.close fd;
-        if not ok then exit 1)
+    let attempt () : (string, request_error) result =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with _ -> ());
+          Error
+            (Req_transport
+               (Printf.sprintf "cannot connect to %s: %s" path
+                  (Unix.error_message e)))
+      | () -> (
+          let finally () = try Unix.close fd with _ -> () in
+          Fun.protect ~finally (fun () ->
+              let oc = Unix.out_channel_of_descr fd in
+              let ic = Unix.in_channel_of_descr fd in
+              output_string oc
+                (A.Json.to_string (Service.Proto.request_to_json rq));
+              output_char oc '\n';
+              flush oc;
+              match In_channel.input_line ic with
+              | None -> Error (Req_transport "server closed the connection")
+              | exception Sys_error e -> Error (Req_transport e)
+              | Some line -> (
+                  match A.Json.parse line with
+                  | Error e ->
+                      Error (Req_transport ("unparsable response: " ^ e))
+                  | Ok j ->
+                      if A.Json.member "ok" j = Some (A.Json.Bool true) then
+                        Ok line
+                      else
+                        let code =
+                          match A.Json.member "error" j with
+                          | Some err -> (
+                              match A.Json.member "code" err with
+                              | Some (A.Json.String c) -> c
+                              | _ -> Service.Proto.e_internal)
+                          | None -> Service.Proto.e_internal
+                        in
+                        Error (Req_code (code, line)))))
+    in
+    let policy =
+      {
+        Augem_resilience.Retry.r_max = max 0 retries;
+        r_base_ms = max 1. backoff_ms;
+        r_cap_ms = max 1. backoff_ms *. 50.;
+        r_seed = retry_seed;
+      }
+    in
+    let outcome =
+      Augem_resilience.Retry.run policy
+        ~sleep:(fun ms -> Thread.delay (ms /. 1000.))
+        ~on_retry:(fun ~attempt ~delay_ms e ->
+          let why =
+            match e with
+            | Req_transport d -> d
+            | Req_code (code, _) -> code
+          in
+          Fmt.epr "request: attempt %d failed (%s); retrying in %.0f ms@."
+            attempt why delay_ms)
+        ~retryable:request_retryable attempt
+    in
+    match outcome with
+    | Ok line -> print_endline line
+    | Error e ->
+        (match e with
+        | Req_transport detail -> Fmt.epr "request: %s@." detail
+        | Req_code (_, line) -> print_endline line);
+        exit (request_exit_code e)
   in
   Cmd.v
     (Cmd.info "request"
        ~doc:
          "Send one request to a running kernel service over its \
-          Unix-domain socket and print the JSON response")
+          Unix-domain socket and print the JSON response.  Exit codes \
+          classify the failure: 0 success, 1 internal error, 2 usage, 3 \
+          bad request, 4 overload, 5 server shutting down, 6 transport \
+          failure.  $(b,--retries) retries transient classes (overload, \
+          transport) with seeded exponential backoff.")
     Term.(
       const run $ socket_arg $ kernel_arg $ arch_arg $ stats_arg $ ping_arg
-      $ shutdown_arg $ deadline_arg)
+      $ shutdown_arg $ deadline_arg $ retries_arg $ backoff_arg
+      $ retry_seed_arg)
 
 let platforms_cmd =
   let run () =

@@ -15,10 +15,19 @@
     {!Augem_verify.Diag.t} ([E_cache_corrupt @ cache]), never an
     exception.
 
-    Stores are atomic (temp file in the same directory + [Sys.rename]),
-    so concurrent writers racing on one key leave a valid file — last
-    writer wins, and both wrote the same bytes anyway because tuning is
-    deterministic.
+    Stores are atomic {i and} crash-consistent: temp file in the same
+    directory, [fsync] of the file {i before} [Sys.rename], [fsync] of
+    the directory after — a kill at any instruction of the write
+    sequence leaves either the old entry, no entry plus an orphaned
+    [.tmp], or the complete new entry under the final name; never torn
+    bytes under a servable path.  Concurrent writers racing on one key
+    leave a valid file — last writer wins, and both wrote the same
+    bytes anyway because tuning is deterministic.
+
+    Every step of the load/store/recover protocol is an
+    {!Augem_resilience.Faultpoint} (the [cache.*] points in
+    {!fault_points}), so the chaos driver and the kill-at-every-step
+    torture test can crash or corrupt it deterministically.
 
     The value type is the caller's ([Marshal] is untyped); the header's
     key-description check is what makes reading a foreign value back at
@@ -66,10 +75,15 @@ val load :
   'v load_result
 
 (** [store ~dir ~arch ~kernel ~keydesc ~digest v] writes the entry
-    atomically, creating [dir] (and parents) if needed.  Returns a
+    atomically and durably (tmp → write → fsync file → rename → fsync
+    dir), creating [dir] (and parents) if needed.  Returns a
     diagnostic instead of raising when the write fails (read-only
     directory, disk full, ...): a cache that cannot persist degrades to
-    a cache that never hits. *)
+    a cache that never hits.  Exception: an injected
+    {!Augem_resilience.Faultpoint.Injected} crash propagates — it
+    simulates a kill, and deliberately leaves the on-disk debris a real
+    kill would (callers that must survive it guard the call; the chaos
+    registry does). *)
 val store :
   dir:string ->
   arch:string ->
@@ -107,3 +121,37 @@ val entries : dir:string -> entry list
 (** Remove every cache entry under [dir] (other files are untouched);
     returns how many were removed.  Never raises. *)
 val clear : dir:string -> int
+
+(** {2 Crash recovery}
+
+    A daemon that may have been killed mid-store runs {!recover} before
+    serving: write debris and unverifiable entries are moved into a
+    [quarantine/] subdirectory (falling back to removal), so the
+    servable namespace only ever contains entries {!load} would accept.
+    A quarantined entry is preserved for post-mortem, never loadable. *)
+
+(** Fault-point names of the cache layer (["cache.read"],
+    ["cache.store.*"], ["cache.recover.*"]), pre-registered. *)
+val fault_points : string list
+
+(** Name of the quarantine subdirectory under a cache dir. *)
+val quarantine_dirname : string
+
+(** Does this path look like store write-debris ([augem-tune-*.tmp])? *)
+val is_tmp_file : string -> bool
+
+type recovery = {
+  rc_scanned : int;  (** cache entries examined *)
+  rc_valid : int;  (** entries whose header + checksum verify *)
+  rc_quarantined : int;  (** corrupt entries moved aside *)
+  rc_tmp_quarantined : int;  (** orphaned [.tmp] files moved aside *)
+  rc_diags : Augem_verify.Diag.t list;
+      (** one structured record per action or per failure-to-act *)
+}
+
+(** Scan [dir] and quarantine everything {!load} would reject.
+    [arch]/[kernel] label the diagnostics (default ["-"]: a startup
+    scan is not about any one kernel).  A missing directory is an empty
+    recovery.  Never raises — including under injected faults. *)
+val recover :
+  ?arch:string -> ?kernel:string -> dir:string -> unit -> recovery

@@ -1,17 +1,28 @@
-(* Persistent bounded task queue over worker domains.  See taskq.mli. *)
+(* Persistent bounded task queue over supervised worker domains.  See
+   taskq.mli. *)
+
+module Faultpoint = Augem_resilience.Faultpoint
+
+let kill_point = "taskq.worker"
+let () = Faultpoint.register kill_point
+
+type task = { run : unit -> unit; abandon : (unit -> unit) option }
 
 type t = {
   m : Mutex.t;
   nonempty : Condition.t;
-  queue : (unit -> unit) Queue.t;
+  queue : task Queue.t;
   capacity : int;
   n_workers : int;
+  restart_budget : int;
   mutable stopped : bool;
   mutable exceptions : int;
+  mutable deaths : int;
+  mutable restarts : int;
   mutable domains : unit Domain.t list;
 }
 
-let create ?(workers = 1) ?(capacity = 64) () : t =
+let create ?(workers = 1) ?(capacity = 64) ?(restart_budget = 8) () : t =
   let t =
     {
       m = Mutex.create ();
@@ -19,12 +30,22 @@ let create ?(workers = 1) ?(capacity = 64) () : t =
       queue = Queue.create ();
       capacity = max 0 capacity;
       n_workers = max 1 workers;
+      restart_budget = max 0 restart_budget;
       stopped = false;
       exceptions = 0;
+      deaths = 0;
+      restarts = 0;
       domains = [];
     }
   in
-  let worker () =
+  (* The supervised worker: an ordinary task exception is counted and
+     the worker lives on; a {!Faultpoint.Worker_kill} is fatal — the
+     task's abandon callback fires (so no future is left unresolved)
+     and the supervisor respawns a replacement domain, up to the
+     restart budget.  The respawn happens under [t.m] so the
+     stopped-check, the budget accounting and the domain-list append
+     are atomic with respect to {!shutdown}. *)
+  let rec worker () =
     let rec loop () =
       Mutex.lock t.m;
       while Queue.is_empty t.queue && not t.stopped do
@@ -34,50 +55,85 @@ let create ?(workers = 1) ?(capacity = 64) () : t =
       | None ->
           (* stopped and drained *)
           Mutex.unlock t.m
-      | Some task ->
+      | Some task -> (
           Mutex.unlock t.m;
-          (match task () with
-          | () -> ()
+          match
+            Faultpoint.hit kill_point;
+            task.run ()
+          with
+          | () -> loop ()
+          | exception Faultpoint.Worker_kill _ ->
+              (match task.abandon with
+              | Some f -> ( try f () with _ -> ())
+              | None -> ());
+              Mutex.protect t.m (fun () ->
+                  t.deaths <- t.deaths + 1;
+                  if (not t.stopped) && t.restarts < t.restart_budget then begin
+                    t.restarts <- t.restarts + 1;
+                    t.domains <- Domain.spawn worker :: t.domains
+                  end)
+              (* the dying worker's own loop ends here *)
           | exception _ ->
-              Mutex.lock t.m;
-              t.exceptions <- t.exceptions + 1;
-              Mutex.unlock t.m);
-          loop ()
+              (* the worker survives an ordinary exception, but the
+                 task did not complete: a task that resolves a future
+                 in-band never lets an exception escape, so whatever
+                 reached here (e.g. an injected fault before the task
+                 body) left that future dangling — abandon it *)
+              (match task.abandon with
+              | Some f -> ( try f () with _ -> ())
+              | None -> ());
+              Mutex.protect t.m (fun () ->
+                  t.exceptions <- t.exceptions + 1);
+              loop ())
     in
     loop ()
   in
   t.domains <- List.init t.n_workers (fun _ -> Domain.spawn worker);
   t
 
-let submit (t : t) (task : unit -> unit) : bool =
+let submit (t : t) ?on_abandon (task : unit -> unit) : bool =
   Mutex.lock t.m;
   let accepted = (not t.stopped) && Queue.length t.queue < t.capacity in
   if accepted then begin
-    Queue.add task t.queue;
+    Queue.add { run = task; abandon = on_abandon } t.queue;
     Condition.signal t.nonempty
   end;
   Mutex.unlock t.m;
   accepted
 
 let pending (t : t) : int =
-  Mutex.lock t.m;
-  let n = Queue.length t.queue in
-  Mutex.unlock t.m;
-  n
+  Mutex.protect t.m (fun () -> Queue.length t.queue)
 
 let workers (t : t) : int = t.n_workers
+let restart_budget (t : t) : int = t.restart_budget
 
 let dropped_exceptions (t : t) : int =
-  Mutex.lock t.m;
-  let n = t.exceptions in
-  Mutex.unlock t.m;
-  n
+  Mutex.protect t.m (fun () -> t.exceptions)
+
+let deaths (t : t) : int = Mutex.protect t.m (fun () -> t.deaths)
+let restarts (t : t) : int = Mutex.protect t.m (fun () -> t.restarts)
+
+let live_workers (t : t) : int =
+  Mutex.protect t.m (fun () -> t.n_workers - t.deaths + t.restarts)
 
 let shutdown (t : t) : unit =
   Mutex.lock t.m;
-  let domains = t.domains in
   t.stopped <- true;
-  t.domains <- [];
   Condition.broadcast t.nonempty;
   Mutex.unlock t.m;
-  List.iter Domain.join domains
+  (* join in rounds: a worker dying concurrently may have appended a
+     replacement between our reads (never after [stopped] though) *)
+  let rec drain () =
+    let ds =
+      Mutex.protect t.m (fun () ->
+          let ds = t.domains in
+          t.domains <- [];
+          ds)
+    in
+    match ds with
+    | [] -> ()
+    | ds ->
+        List.iter Domain.join ds;
+        drain ()
+  in
+  drain ()

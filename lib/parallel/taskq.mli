@@ -1,5 +1,5 @@
-(** A persistent, bounded task queue served by a fixed set of worker
-    domains — the long-lived sibling of {!Pool.map}.
+(** A persistent, bounded task queue served by a {i supervised} set of
+    worker domains — the long-lived sibling of {!Pool.map}.
 
     {!Pool.map} is a batch API: it spawns domains for one sweep and
     joins them before returning.  A serving runtime instead wants a
@@ -17,17 +17,34 @@
     as a backstop, an escaping exception is caught and counted
     ({!dropped_exceptions}) rather than killing the worker.
 
+    {b Supervision.}  One exception {i is} lethal:
+    {!Augem_resilience.Faultpoint.Worker_kill} (raised by the
+    ["taskq.worker"] fault point, or deliberately re-raised by a task
+    wrapper) kills the executing worker domain, modeling a crashed
+    worker.  The pool detects the death, invokes the task's
+    [on_abandon] callback — so a future tied to the lost job resolves
+    instead of hanging its waiters — counts it ({!deaths}), and
+    respawns a replacement domain as long as the restart budget lasts
+    ({!restarts} ≤ [restart_budget]).  Once the budget is exhausted the
+    pool keeps running with fewer workers ({!live_workers}); admission
+    control still bounds the queue.
+
     All operations are safe from any domain or thread. *)
 
 type t
 
-(** [create ~workers ~capacity ()] spawns [workers] domains (clamped to
-    at least 1) that block on the queue. *)
-val create : ?workers:int -> ?capacity:int -> unit -> t
+(** [create ~workers ~capacity ~restart_budget ()] spawns [workers]
+    domains (clamped to at least 1) that block on the queue.  At most
+    [restart_budget] (default 8) replacement domains are ever
+    spawned. *)
+val create :
+  ?workers:int -> ?capacity:int -> ?restart_budget:int -> unit -> t
 
 (** Enqueue a task; [false] when the queue is at capacity or the pool
-    is shut down (the task is dropped, never partially enqueued). *)
-val submit : t -> (unit -> unit) -> bool
+    is shut down (the task is dropped, never partially enqueued).
+    [on_abandon] fires iff the task was picked up by a worker that then
+    died (before finishing it) — exactly once, from the dying worker. *)
+val submit : t -> ?on_abandon:(unit -> unit) -> (unit -> unit) -> bool
 
 (** Tasks queued and not yet picked up by a worker. *)
 val pending : t -> int
@@ -35,9 +52,25 @@ val pending : t -> int
 (** Worker count the pool was created with. *)
 val workers : t -> int
 
-(** Tasks whose thunk raised (caught by the worker backstop). *)
+(** Workers currently alive (initial - deaths + restarts). *)
+val live_workers : t -> int
+
+val restart_budget : t -> int
+
+(** Tasks whose thunk raised an ordinary exception (caught by the
+    worker backstop). *)
 val dropped_exceptions : t -> int
 
-(** Stop accepting tasks, drain the queue, and join every worker.
-    Idempotent; returns once all workers have exited. *)
+(** Worker domains killed (by {!Augem_resilience.Faultpoint.Worker_kill}). *)
+val deaths : t -> int
+
+(** Replacement domains spawned by the supervisor. *)
+val restarts : t -> int
+
+(** The fault-point name armed to kill a worker at task pickup. *)
+val kill_point : string
+
+(** Stop accepting tasks, drain the queue, and join every worker
+    (including replacements).  Idempotent; returns once all workers
+    have exited. *)
 val shutdown : t -> unit

@@ -1,0 +1,49 @@
+(* Exponential backoff with deterministic jitter.  See retry.mli. *)
+
+type policy = {
+  r_max : int;
+  r_base_ms : float;
+  r_cap_ms : float;
+  r_seed : int;
+}
+
+let default = { r_max = 0; r_base_ms = 100.; r_cap_ms = 5000.; r_seed = 0 }
+
+(* splitmix64-style integer mix; good avalanche, no state *)
+let mix (a : int) (b : int) : int =
+  let z = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) in
+  let z = (z lxor (z lsr 15)) * 0xC2B2AE35 in
+  (z lxor (z lsr 13)) land 0x3FFFFFFF
+
+(* attempt is 1-based: the delay before the attempt-th retry.
+   Full-jitter-lite: exponential envelope, scaled into [0.5, 1.0] by a
+   hash of (seed, attempt) so two clients with different seeds do not
+   retry in lockstep, yet one client replays identically. *)
+let delay_ms (p : policy) (attempt : int) : float =
+  let envelope =
+    Float.min p.r_cap_ms
+      (p.r_base_ms *. Float.pow 2. (float_of_int (attempt - 1)))
+  in
+  let jitter =
+    0.5 +. (0.5 *. float_of_int (mix p.r_seed attempt) /. 1073741823.)
+  in
+  envelope *. jitter
+
+let delays_ms (p : policy) : float list =
+  List.init (max 0 p.r_max) (fun i -> delay_ms p (i + 1))
+
+let run (p : policy) ?(sleep = fun _ -> ())
+    ?(on_retry = fun ~attempt:_ ~delay_ms:_ _ -> ())
+    ~(retryable : 'e -> bool) (f : unit -> ('a, 'e) Stdlib.result) :
+    ('a, 'e) Stdlib.result =
+  let rec go attempt =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error e when attempt <= p.r_max && retryable e ->
+        let d = delay_ms p attempt in
+        on_retry ~attempt ~delay_ms:d e;
+        sleep d;
+        go (attempt + 1)
+    | Error _ as err -> err
+  in
+  go 1

@@ -1,0 +1,39 @@
+(** Retry with exponential backoff and deterministic jitter.
+
+    Purpose-built for the [augem request] client: transient failures
+    (transport errors, [E_overload]) are worth retrying, semantic ones
+    ([E_bad_request]) never are — the caller supplies the classifier.
+
+    Jitter is {i deterministic}: a hash of (seed, attempt) scales each
+    exponential envelope into [0.5 × envelope, 1.0 × envelope].  Two
+    clients seeded differently desynchronize; one client replays its
+    exact schedule, which is what a reproducible chaos run needs. *)
+
+type policy = {
+  r_max : int;  (** retries after the first attempt; 0 = no retry *)
+  r_base_ms : float;  (** envelope of the first retry *)
+  r_cap_ms : float;  (** envelope ceiling *)
+  r_seed : int;  (** jitter seed *)
+}
+
+(** [{ r_max = 0; r_base_ms = 100.; r_cap_ms = 5000.; r_seed = 0 }] *)
+val default : policy
+
+(** Delay before the [attempt]-th retry (1-based), jitter applied. *)
+val delay_ms : policy -> int -> float
+
+(** The full schedule, [r_max] entries. *)
+val delays_ms : policy -> float list
+
+(** [run p ~retryable f] calls [f] up to [1 + r_max] times, sleeping
+    [delay_ms] between attempts via [sleep] (default: no-op, so tests
+    never wait).  Only [Error e] with [retryable e = true] is retried;
+    the final result is returned as-is.  [on_retry] observes each
+    scheduled retry. *)
+val run :
+  policy ->
+  ?sleep:(float -> unit) ->
+  ?on_retry:(attempt:int -> delay_ms:float -> 'e -> unit) ->
+  retryable:('e -> bool) ->
+  (unit -> ('a, 'e) Stdlib.result) ->
+  ('a, 'e) Stdlib.result

@@ -1,0 +1,52 @@
+(** Deterministic seeded chaos driver: scripted serve sessions under
+    injected faults, with the service invariants asserted after each.
+
+    Each session arms one schedule of {!Augem_resilience.Faultpoint}
+    triggers (crashes, worker kills, delays, byte corruption), boots a
+    fresh in-process {!Server} over a scratch cache directory seeded
+    with crash debris, races two client threads through tune requests
+    (exercising single-flight, the breaker and supervision), then
+    checks:
+
+    - {b no hang}: every request is answered within the session
+      deadline — single-flight waiters and futures of dead workers
+      are always woken;
+    - {b no corrupted entry served}: every [ok] reply carries
+      plausible assembly; injected corruption must surface as a cache
+      miss or a structured error;
+    - {b metrics arithmetic}: tier counters + breaker-degraded replies
+      equal the [ok] tune replies, breaker rejections equal
+      breaker-degraded replies, every worker death within budget was
+      respawned, and the stats snapshot carries the resilience section;
+    - {b structured failure}: every [ok:false] reply has a known error
+      code.
+
+    Session [i]'s primary trigger walks the (point x action x hit)
+    grid, so a run covers the whole fault-point catalog with provably
+    distinct schedules; secondary triggers come from a PRNG seeded by
+    [seed], so the injected fault schedules are reproducible from
+    [seed] alone.  Client-thread interleaving is the one
+    non-deterministic input (which racing request a trigger lands on),
+    which is the point: the invariants must hold for {i every}
+    interleaving of a reproducible schedule. *)
+
+type outcome = {
+  co_sessions : int;
+  co_schedules : int;  (** distinct fault schedules injected *)
+  co_points : string list;  (** distinct fault points exercised *)
+  co_requests : int;  (** requests sent (tune + ping + stats) *)
+  co_ok : int;
+  co_err : int;  (** structured [ok:false] replies *)
+  co_degraded : int;  (** [ok] replies served the safe baseline *)
+  co_coalesced : int;  (** single-flight attachments observed *)
+  co_worker_deaths : int;
+  co_injected : int;  (** faults actually fired *)
+  co_violations : string list;  (** empty = every invariant held *)
+}
+
+(** Run [sessions] (default 40) scripted sessions.  [log] observes one
+    line per session (the armed schedule).  Deterministic in [seed]. *)
+val run : ?sessions:int -> ?log:(string -> unit) -> seed:int -> unit -> outcome
+
+(** Human-readable summary, violations included. *)
+val report : outcome -> string

@@ -52,6 +52,8 @@ let histogram_to_json (h : histogram) : Json.t =
 
 type t = {
   m : Mutex.t;
+  now : unit -> float;
+  t0 : float;
   requests : (string, int ref) Hashtbl.t;
   mutable tier_memory : int;
   mutable tier_disk : int;
@@ -60,17 +62,32 @@ type t = {
   mutable overload : int;
   mutable degraded_deadline : int;
   mutable degraded_fell_back : int;
+  mutable degraded_lost : int;
+  mutable degraded_breaker : int;
   mutable errors : int;
   mutable disk_corrupt : int;
   mutable stores : int;
   mutable store_errors : int;
+  (* resilience gauges: sampled from scheduler / breaker / recovery at
+     stats time rather than counted here, so they can't drift from the
+     owning component's own arithmetic *)
+  mutable g_worker_live : int;
+  mutable g_worker_deaths : int;
+  mutable g_worker_restarts : int;
+  mutable g_breaker_open : int;
+  mutable g_breaker_open_total : int;
+  mutable g_breaker_rejected : int;
+  mutable g_cache_recovered : int;
+  mutable g_cache_quarantined : int;
   request_ms : histogram;
   tuning_ms : histogram;
 }
 
-let create () : t =
+let create ?(now = Unix.gettimeofday) () : t =
   {
     m = Mutex.create ();
+    now;
+    t0 = now ();
     requests = Hashtbl.create 8;
     tier_memory = 0;
     tier_disk = 0;
@@ -79,10 +96,20 @@ let create () : t =
     overload = 0;
     degraded_deadline = 0;
     degraded_fell_back = 0;
+    degraded_lost = 0;
+    degraded_breaker = 0;
     errors = 0;
     disk_corrupt = 0;
     stores = 0;
     store_errors = 0;
+    g_worker_live = 0;
+    g_worker_deaths = 0;
+    g_worker_restarts = 0;
+    g_breaker_open = 0;
+    g_breaker_open_total = 0;
+    g_breaker_rejected = 0;
+    g_cache_recovered = 0;
+    g_cache_quarantined = 0;
     request_ms = histogram ();
     tuning_ms = histogram ();
   }
@@ -111,7 +138,32 @@ let incr_degraded_deadline t =
 let incr_degraded_fell_back t =
   with_lock t (fun () -> t.degraded_fell_back <- t.degraded_fell_back + 1)
 
+let incr_degraded_lost t =
+  with_lock t (fun () -> t.degraded_lost <- t.degraded_lost + 1)
+
+let incr_degraded_breaker t =
+  with_lock t (fun () -> t.degraded_breaker <- t.degraded_breaker + 1)
+
 let incr_errors t = with_lock t (fun () -> t.errors <- t.errors + 1)
+
+let set_workers t ~live ~deaths ~restarts =
+  with_lock t (fun () ->
+      t.g_worker_live <- live;
+      t.g_worker_deaths <- deaths;
+      t.g_worker_restarts <- restarts)
+
+let set_breaker t ~open_now ~opened_total ~rejected =
+  with_lock t (fun () ->
+      t.g_breaker_open <- open_now;
+      t.g_breaker_open_total <- opened_total;
+      t.g_breaker_rejected <- rejected)
+
+let set_cache_recovery t ~recovered ~quarantined =
+  with_lock t (fun () ->
+      t.g_cache_recovered <- recovered;
+      t.g_cache_quarantined <- quarantined)
+
+let uptime_ms (t : t) : float = (t.now () -. t.t0) *. 1000.
 
 let record_cache_event t (ev : Tuner.cache_event) =
   with_lock t (fun () ->
@@ -139,10 +191,24 @@ let get (t : t) (path : string) : int =
       | "rejects.overload" -> t.overload
       | "degraded.deadline" -> t.degraded_deadline
       | "degraded.fell_back" -> t.degraded_fell_back
+      | "degraded.lost" -> t.degraded_lost
+      | "degraded.breaker_open" -> t.degraded_breaker
       | "errors" -> t.errors
       | "cache.disk_corrupt" -> t.disk_corrupt
       | "cache.stores" -> t.stores
       | "cache.store_errors" -> t.store_errors
+      | "worker_live" | "resilience.worker_live" -> t.g_worker_live
+      | "worker_deaths" | "resilience.worker_deaths" -> t.g_worker_deaths
+      | "worker_restarts" | "resilience.worker_restarts" -> t.g_worker_restarts
+      | "breaker_open" | "resilience.breaker_open" -> t.g_breaker_open
+      | "breaker_open_total" | "resilience.breaker_open_total" ->
+          t.g_breaker_open_total
+      | "breaker_rejected" | "resilience.breaker_rejected" ->
+          t.g_breaker_rejected
+      | "cache_recovered" | "resilience.cache_recovered" -> t.g_cache_recovered
+      | "cache_quarantined" | "resilience.cache_quarantined" ->
+          t.g_cache_quarantined
+      | "uptime_ms" -> int_of_float ((t.now () -. t.t0) *. 1000.)
       | _ -> (
           match String.split_on_char '.' path with
           | [ "requests"; op ] -> (
@@ -174,6 +240,8 @@ let snapshot (t : t) : Json.t =
               [
                 ("deadline", Json.Int t.degraded_deadline);
                 ("fell_back", Json.Int t.degraded_fell_back);
+                ("lost", Json.Int t.degraded_lost);
+                ("breaker_open", Json.Int t.degraded_breaker);
               ] );
           ("errors", Json.Int t.errors);
           ( "cache",
@@ -183,6 +251,19 @@ let snapshot (t : t) : Json.t =
                 ("stores", Json.Int t.stores);
                 ("store_errors", Json.Int t.store_errors);
               ] );
+          ( "resilience",
+            Json.Obj
+              [
+                ("worker_live", Json.Int t.g_worker_live);
+                ("worker_deaths", Json.Int t.g_worker_deaths);
+                ("worker_restarts", Json.Int t.g_worker_restarts);
+                ("breaker_open", Json.Int t.g_breaker_open);
+                ("breaker_open_total", Json.Int t.g_breaker_open_total);
+                ("breaker_rejected", Json.Int t.g_breaker_rejected);
+                ("cache_recovered", Json.Int t.g_cache_recovered);
+                ("cache_quarantined", Json.Int t.g_cache_quarantined);
+              ] );
+          ("uptime_ms", Json.Float ((t.now () -. t.t0) *. 1000.));
           ("request_ms", histogram_to_json t.request_ms);
           ("tuning_ms", histogram_to_json t.tuning_ms);
         ])

@@ -37,6 +37,8 @@ type provenance = {
   pv_discarded : int;
   pv_fell_back : bool;
   pv_deadline_expired : bool;
+  pv_breaker_open : bool;
+      (** served the baseline because the key's circuit is open *)
   pv_tuning_ms : float;
 }
 
@@ -58,6 +60,10 @@ let e_overload = "E_overload"
 let e_bad_request = "E_bad_request"
 let e_shutting_down = "E_shutting_down"
 let e_internal = "E_internal"
+
+(* not a response error code: annotates a degraded reply whose key is
+   being short-circuited by the registry's breaker *)
+let e_circuit_open = "E_circuit_open"
 
 type response = { rs_id : Json.t; rs_result : (reply, error) Stdlib.result }
 
@@ -358,6 +364,7 @@ let provenance_to_json (p : provenance) : Json.t =
       ("discarded", Json.Int p.pv_discarded);
       ("fell_back", Json.Bool p.pv_fell_back);
       ("deadline_expired", Json.Bool p.pv_deadline_expired);
+      ("breaker_open", Json.Bool p.pv_breaker_open);
       ("tuning_ms", Json.Float p.pv_tuning_ms);
     ]
 

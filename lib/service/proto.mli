@@ -19,8 +19,10 @@
     cache tier answered, the winning configuration, predicted MFLOPS,
     sweep statistics, tuning wall-clock) and a [degraded] flag — [true]
     when the safe-baseline kernel was served because the request's
-    deadline expired before tuning started or the whole search space
-    was discarded:
+    deadline expired before tuning started, the whole search space was
+    discarded, the worker running the sweep died, or the key's circuit
+    breaker is open ([provenance.breaker_open = true], the
+    [E_circuit_open] annotation):
 
     {v
     {"id":1,"ok":true,"kernel":"gemm","arch":"sandybridge",
@@ -28,7 +30,7 @@
      "provenance":{"tier":"tuned","config":"jam[j:4,i:8]+...",
                    "mflops":21804.0,"visited":48,"discarded":0,
                    "fell_back":false,"deadline_expired":false,
-                   "tuning_ms":812.4}}
+                   "breaker_open":false,"tuning_ms":812.4}}
     v}
 
     Failures are structured: [{"id":1,"ok":false,"error":{"code":
@@ -70,6 +72,8 @@ type provenance = {
   pv_discarded : int;
   pv_fell_back : bool;
   pv_deadline_expired : bool;
+  pv_breaker_open : bool;
+      (** served the baseline because the key's circuit is open *)
   pv_tuning_ms : float;  (** 0 for pure cache hits *)
 }
 
@@ -91,6 +95,10 @@ val e_overload : string
 val e_bad_request : string
 val e_shutting_down : string
 val e_internal : string
+
+(** Annotation (not a response code) for degraded replies served while
+    the key's circuit breaker is open. *)
+val e_circuit_open : string
 
 type response = {
   rs_id : Augem.Json.t;

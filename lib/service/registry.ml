@@ -6,6 +6,12 @@ module Tuner = A.Tuner
 module Cache = A.Tuning_cache
 module Arch = A.Machine.Arch
 module Kernels = A.Ir.Kernels
+module Faultpoint = Augem_resilience.Faultpoint
+module Breaker = Augem_resilience.Breaker
+
+let fp_lookup = "registry.lookup"
+let fp_compute = "registry.compute"
+let () = List.iter Faultpoint.register [ fp_lookup; fp_compute ]
 
 type computed = { c_result : Tuner.result; c_deadline_expired : bool }
 
@@ -33,11 +39,12 @@ type t = {
   capacity : int;
   cache_dir : string option;
   on_event : Tuner.cache_observer;
+  breaker : Breaker.t option;
   mutable tick : int;
   mutable coalesced : int;
 }
 
-let create ?(lru_capacity = 64) ?cache_dir
+let create ?(lru_capacity = 64) ?cache_dir ?breaker
     ?(on_event = Tuner.notify_cache_event) () : t =
   {
     m = Mutex.create ();
@@ -47,9 +54,12 @@ let create ?(lru_capacity = 64) ?cache_dir
     capacity = max 1 lru_capacity;
     cache_dir;
     on_event;
+    breaker;
     tick = 0;
     coalesced = 0;
   }
+
+let breaker (t : t) : Breaker.t option = t.breaker
 
 let key_of ~(arch : Arch.t) ~(kernel : Kernels.name)
     ~(space : Tuner.candidate list) : string * string =
@@ -115,6 +125,7 @@ let find_or_compute (t : t) ~(arch : Arch.t) ~(kernel : Kernels.name)
   let kernel_s = Kernels.name_to_string kernel in
   let emit ev = t.on_event ~arch:arch_s ~kernel:kernel_s ev in
   let keydesc, digest = key_of ~arch ~kernel ~space in
+  Faultpoint.hit fp_lookup;
   Mutex.lock t.m;
   match Hashtbl.find_opt t.lru digest with
   | Some slot ->
@@ -145,6 +156,19 @@ let find_or_compute (t : t) ~(arch : Arch.t) ~(kernel : Kernels.name)
           | Ok o -> { o with o_tier = Proto.T_coalesced }
           | Error e -> raise e)
       | None ->
+          (* would-be leader: a key whose circuit is open degrades
+             immediately instead of starting yet another doomed sweep.
+             (Coalescing onto an existing flight — e.g. a half-open
+             probe — is handled above and stays allowed: those waiters
+             share the probe's verdict.) *)
+          (match t.breaker with
+          | Some b -> (
+              match Breaker.admit b digest with
+              | Breaker.Reject ->
+                  Mutex.unlock t.m;
+                  raise (Breaker.Open_circuit keydesc)
+              | Breaker.Allow | Breaker.Probe -> ())
+          | None -> ());
           let fl =
             { fm = Mutex.create (); fc = Condition.create (); f_state = None }
           in
@@ -157,6 +181,16 @@ let find_or_compute (t : t) ~(arch : Arch.t) ~(kernel : Kernels.name)
             | Ok o when not o.o_degraded -> lru_insert t digest o.o_result
             | _ -> ());
             Mutex.unlock t.m;
+            (* feed the breaker: a clean result closes the key, a
+               failure or a fell-back sweep counts against it; deadline
+               expiry is queue latency, not the key's fault *)
+            (match t.breaker with
+            | Some b -> (
+                match r with
+                | Ok o when not o.o_degraded -> Breaker.success b digest
+                | Ok o when o.o_deadline_expired -> ()
+                | Ok _ | Error _ -> Breaker.failure b digest)
+            | None -> ());
             Mutex.lock fl.fm;
             fl.f_state <- Some r;
             Condition.broadcast fl.fc;
@@ -191,7 +225,7 @@ let find_or_compute (t : t) ~(arch : Arch.t) ~(kernel : Kernels.name)
               | Some (Cache.Corrupt d) -> emit (Tuner.Ev_disk_corrupt d)
               | None -> ());
               let t0 = Unix.gettimeofday () in
-              match compute () with
+              match Faultpoint.wrap fp_compute compute with
               | exception e -> finish (Error e)
               | { c_result; c_deadline_expired } ->
                   let tuning_ms = (Unix.gettimeofday () -. t0) *. 1000. in
@@ -207,7 +241,21 @@ let find_or_compute (t : t) ~(arch : Arch.t) ~(kernel : Kernels.name)
                              ~keydesc ~digest c_result
                          with
                          | None -> emit Tuner.Ev_store
-                         | Some d -> emit (Tuner.Ev_store_error d))
+                         | Some d -> emit (Tuner.Ev_store_error d)
+                         | exception e ->
+                             (* a store crash (injected or real) must
+                                not fail a request whose sweep
+                                succeeded: account it and serve *)
+                             emit
+                               (Tuner.Ev_store_error
+                                  (A.Verify.Diag.make
+                                     ~code:A.Verify.Diag.E_cache_corrupt
+                                     ~stage:A.Verify.Diag.S_cache
+                                     ~kernel:kernel_s ~arch:arch_s ~config:"-"
+                                     ~detail:
+                                       ("store crashed: "
+                                      ^ Printexc.to_string e)
+                                     ())))
                      | None -> ());
                   finish
                     (Ok

@@ -19,19 +19,34 @@
     poison later requests — mirroring the tuner's fell-back rule.
 
     Every tier decision is reported through the shared
-    {!Augem.Tuner.cache_observer} accounting path. *)
+    {!Augem.Tuner.cache_observer} accounting path.
+
+    Resilience: the lookup and compute steps are
+    {!Augem_resilience.Faultpoint}s (["registry.lookup"],
+    ["registry.compute"]); a crashed persistent store is accounted as a
+    store error, never a failed request; and an optional per-key
+    {!Augem_resilience.Breaker} short-circuits keys that keep failing —
+    a would-be leader on an open key raises
+    {!Augem_resilience.Breaker.Open_circuit} (the server catches it and
+    serves the safe baseline immediately), while waiters may still
+    coalesce onto a live half-open probe flight. *)
 
 type t
 
-(** [create ~lru_capacity ~cache_dir ~on_event ()].  [cache_dir = None]
-    disables the disk tier.  [on_event] defaults to
+(** [create ~lru_capacity ~cache_dir ~breaker ~on_event ()].
+    [cache_dir = None] disables the disk tier.  [breaker = None]
+    disables circuit breaking.  [on_event] defaults to
     {!Augem.Tuner.notify_cache_event} (the process-wide observer). *)
 val create :
   ?lru_capacity:int ->
   ?cache_dir:string ->
+  ?breaker:Augem_resilience.Breaker.t ->
   ?on_event:Augem.Tuner.cache_observer ->
   unit ->
   t
+
+(** The breaker passed at creation, for stats snapshots. *)
+val breaker : t -> Augem_resilience.Breaker.t option
 
 (** What a compute (the scheduler round-trip) produced. *)
 type computed = {
@@ -60,7 +75,9 @@ val digest_of :
 
 (** Look the key up (L1, then the in-flight table, then L2), running
     [compute] on a miss.  Re-raises [compute]'s exception — to this
-    caller and to every coalesced waiter. *)
+    caller and to every coalesced waiter.  Raises
+    {!Augem_resilience.Breaker.Open_circuit} without computing when the
+    key's circuit is open. *)
 val find_or_compute :
   t ->
   arch:Augem.Machine.Arch.t ->

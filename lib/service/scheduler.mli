@@ -15,19 +15,31 @@
 
     Exceptions raised by the job resolve the future to {!Failed};
     awaiters re-classify (the overload exception propagates to every
-    coalesced waiter of a single-flight). *)
+    coalesced waiter of a single-flight).  One exception is different:
+    {!Augem_resilience.Faultpoint.Worker_kill} kills the worker domain
+    itself — the pool's supervisor respawns it (budget permitting) and
+    the orphaned job's future resolves to {!Lost}, so no awaiter ever
+    hangs on a dead worker; the server degrades a {!Lost} job to the
+    safe-baseline reply. *)
 
 type t
 
-(** [create ~workers ~capacity ~now ()] spawns the worker domains.
-    [now] defaults to [Unix.gettimeofday]. *)
+(** [create ~workers ~capacity ~restart_budget ~now ()] spawns the
+    supervised worker domains.  [now] defaults to
+    [Unix.gettimeofday]. *)
 val create :
-  ?workers:int -> ?capacity:int -> ?now:(unit -> float) -> unit -> t
+  ?workers:int ->
+  ?capacity:int ->
+  ?restart_budget:int ->
+  ?now:(unit -> float) ->
+  unit ->
+  t
 
 type 'a outcome =
   | Done of 'a
   | Expired  (** deadline passed before a worker could start the job *)
   | Failed of exn
+  | Lost  (** the worker running the job died; the job did not finish *)
 
 type 'a future
 
@@ -47,6 +59,12 @@ val pending : t -> int
 
 val capacity : t -> int
 val workers : t -> int
+
+(** Supervision counters, straight from {!Augem_parallel.Taskq}. *)
+val live_workers : t -> int
+
+val worker_deaths : t -> int
+val worker_restarts : t -> int
 
 (** Drain and join the worker pool.  Idempotent. *)
 val shutdown : t -> unit

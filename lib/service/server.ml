@@ -6,10 +6,16 @@ module Arch = A.Machine.Arch
 module Kernels = A.Ir.Kernels
 module Att = A.Machine.Att
 module Json = A.Json
+module Cache = A.Tuning_cache
+module Faultpoint = Augem_resilience.Faultpoint
+module Breaker = Augem_resilience.Breaker
 
 let log_src = Logs.Src.create "augem.serve" ~doc:"AUGEM kernel service"
 
 module Log = (val Logs.src_log log_src)
+
+let fp_handle = "server.handle"
+let () = Faultpoint.register fp_handle
 
 type config = {
   cfg_workers : int;
@@ -18,6 +24,10 @@ type config = {
   cfg_cache_dir : string option;
   cfg_deadline_ms : float option;
   cfg_tune_jobs : int;
+  cfg_breaker_threshold : int;
+  cfg_breaker_cooldown_ms : float;
+  cfg_restart_budget : int;
+  cfg_recover : bool;
 }
 
 let default_config =
@@ -28,6 +38,10 @@ let default_config =
     cfg_cache_dir = None;
     cfg_deadline_ms = None;
     cfg_tune_jobs = 1;
+    cfg_breaker_threshold = 3;
+    cfg_breaker_cooldown_ms = 30_000.;
+    cfg_restart_budget = 8;
+    cfg_recover = true;
   }
 
 type t = {
@@ -43,10 +57,32 @@ type t = {
 }
 
 let create ?(now = Unix.gettimeofday) ?(config = default_config) () : t =
-  let metrics = Metrics.create () in
+  let metrics = Metrics.create ~now () in
+  (* the cache dir may hold debris of a previous instance killed
+     mid-store: quarantine it before the first lookup can see it *)
+  (match config.cfg_cache_dir with
+  | Some dir when config.cfg_recover ->
+      let r = Cache.recover ~dir () in
+      let quarantined = r.Cache.rc_quarantined + r.Cache.rc_tmp_quarantined in
+      Metrics.set_cache_recovery metrics ~recovered:r.Cache.rc_valid
+        ~quarantined;
+      if quarantined > 0 then
+        Log.warn (fun m ->
+            m "cache recovery: %d valid, %d quarantined (%d torn, %d tmp)"
+              r.Cache.rc_valid quarantined r.Cache.rc_quarantined
+              r.Cache.rc_tmp_quarantined)
+  | _ -> ());
+  let breaker =
+    if config.cfg_breaker_threshold > 0 then
+      Some
+        (Breaker.create ~threshold:config.cfg_breaker_threshold
+           ~cooldown_s:(config.cfg_breaker_cooldown_ms /. 1000.)
+           ~now ())
+    else None
+  in
   let registry =
     Registry.create ~lru_capacity:config.cfg_lru
-      ?cache_dir:config.cfg_cache_dir
+      ?cache_dir:config.cfg_cache_dir ?breaker
       ~on_event:(fun ~arch ~kernel ev ->
         Metrics.record_cache_event metrics ev;
         (* keep feeding the process-wide accounting path (CLI, logs) *)
@@ -55,7 +91,7 @@ let create ?(now = Unix.gettimeofday) ?(config = default_config) () : t =
   in
   let sched =
     Scheduler.create ~workers:config.cfg_workers ~capacity:config.cfg_queue
-      ~now ()
+      ~restart_budget:config.cfg_restart_budget ~now ()
   in
   {
     cfg = config;
@@ -102,6 +138,9 @@ let handle_tune (t : t) (id : Json.t) (tq : Proto.tune_request) :
     | None -> t.cfg.cfg_deadline_ms
   in
   let deadline = Option.map (fun ms -> t0 +. (ms /. 1000.)) deadline_ms in
+  (* did THIS request's job die with its worker?  (A coalesced waiter
+     handed a lost leader's baseline sees it as an ordinary fallback.) *)
+  let lost = ref false in
   let compute () : Registry.computed =
     let job () = Tuner.tune ~jobs:t.cfg.cfg_tune_jobs ~space arch kernel in
     match Scheduler.submit t.sched ?deadline job with
@@ -120,16 +159,67 @@ let handle_tune (t : t) (id : Json.t) (tq : Proto.tune_request) :
                empty space falls back by construction) *)
             let r = Tuner.tune ~space:[] arch kernel in
             { Registry.c_result = r; c_deadline_expired = true }
+        | Scheduler.Lost ->
+            (* the worker running the sweep died: the supervisor is
+               respawning it, and this request degrades to the safe
+               baseline instead of failing or hanging *)
+            lost := true;
+            let r = Tuner.tune ~space:[] arch kernel in
+            { Registry.c_result = r; c_deadline_expired = false }
         | Scheduler.Failed e -> raise e)
   in
   let respond (rs_result : (Proto.reply, Proto.error) Stdlib.result) =
     Metrics.observe_request_ms t.metrics ((t.now () -. t0) *. 1000.);
     { Proto.rs_id = id; rs_result }
   in
+  let kernel_reply ?(breaker_open = false) (o : Registry.outcome) : Proto.reply
+      =
+    let r = o.Registry.o_result in
+    let assembly =
+      Att.program_to_string ~avx:(arch.Arch.simd = Arch.AVX) r.Tuner.best_program
+    in
+    Proto.R_kernel
+      {
+        rk_kernel = Kernels.name_to_string kernel;
+        rk_arch = arch.Arch.name;
+        rk_assembly = assembly;
+        rk_provenance =
+          {
+            Proto.pv_tier = o.Registry.o_tier;
+            pv_config =
+              A.Transform.Pipeline.config_to_string
+                r.Tuner.best.Tuner.cand_config;
+            pv_mflops = r.Tuner.best_score;
+            pv_visited = r.Tuner.visited;
+            pv_discarded = r.Tuner.discarded;
+            pv_fell_back = r.Tuner.fell_back;
+            pv_deadline_expired = o.Registry.o_deadline_expired;
+            pv_breaker_open = breaker_open;
+            pv_tuning_ms = o.Registry.o_tuning_ms;
+          };
+        rk_degraded = o.Registry.o_degraded;
+      }
+  in
   match Registry.find_or_compute t.registry ~arch ~kernel ~space ~compute with
   | exception Proto.Overload detail ->
       Metrics.incr_overload t.metrics;
       respond (Error { Proto.e_code = Proto.e_overload; e_detail = detail })
+  | exception Breaker.Open_circuit _ ->
+      (* the key's circuit is open: serve the safe baseline immediately
+         (annotated, degraded) rather than queueing another doomed
+         sweep.  The baseline needs no sweep, so it runs inline. *)
+      Metrics.incr_degraded_breaker t.metrics;
+      let r = Tuner.tune ~space:[] arch kernel in
+      respond
+        (Ok
+           (kernel_reply ~breaker_open:true
+              {
+                Registry.o_result = r;
+                o_tier = Proto.T_tuned;
+                o_degraded = true;
+                o_deadline_expired = false;
+                o_tuning_ms = 0.;
+              }))
   | exception Tuner.No_viable_configuration detail ->
       Metrics.incr_errors t.metrics;
       respond (Error { Proto.e_code = Proto.e_internal; e_detail = detail })
@@ -142,38 +232,12 @@ let handle_tune (t : t) (id : Json.t) (tq : Proto.tune_request) :
       Metrics.incr_tier t.metrics o.Registry.o_tier;
       if o.Registry.o_deadline_expired then
         Metrics.incr_degraded_deadline t.metrics
+      else if !lost then Metrics.incr_degraded_lost t.metrics
       else if o.Registry.o_degraded then
         Metrics.incr_degraded_fell_back t.metrics;
       if o.Registry.o_tier = Proto.T_tuned then
         Metrics.observe_tuning_ms t.metrics o.Registry.o_tuning_ms;
-      let r = o.Registry.o_result in
-      let assembly =
-        Att.program_to_string
-          ~avx:(arch.Arch.simd = Arch.AVX)
-          r.Tuner.best_program
-      in
-      respond
-        (Ok
-           (Proto.R_kernel
-              {
-                rk_kernel = Kernels.name_to_string kernel;
-                rk_arch = arch.Arch.name;
-                rk_assembly = assembly;
-                rk_provenance =
-                  {
-                    Proto.pv_tier = o.Registry.o_tier;
-                    pv_config =
-                      A.Transform.Pipeline.config_to_string
-                        r.Tuner.best.Tuner.cand_config;
-                    pv_mflops = r.Tuner.best_score;
-                    pv_visited = r.Tuner.visited;
-                    pv_discarded = r.Tuner.discarded;
-                    pv_fell_back = r.Tuner.fell_back;
-                    pv_deadline_expired = o.Registry.o_deadline_expired;
-                    pv_tuning_ms = o.Registry.o_tuning_ms;
-                  };
-                rk_degraded = o.Registry.o_degraded;
-              }))
+      respond (Ok (kernel_reply o))
 
 let handle_request (t : t) (rq : Proto.request) : Proto.response =
   let id = rq.Proto.rq_id in
@@ -183,6 +247,18 @@ let handle_request (t : t) (rq : Proto.request) : Proto.response =
       { Proto.rs_id = id; rs_result = Ok Proto.R_pong }
   | Proto.Op_stats ->
       Metrics.incr_request t.metrics "stats";
+      (* refresh the resilience gauges from their owning components so
+         the snapshot can't drift from the real counters *)
+      Metrics.set_workers t.metrics
+        ~live:(Scheduler.live_workers t.sched)
+        ~deaths:(Scheduler.worker_deaths t.sched)
+        ~restarts:(Scheduler.worker_restarts t.sched);
+      (match Registry.breaker t.registry with
+      | Some b ->
+          Metrics.set_breaker t.metrics ~open_now:(Breaker.open_now b)
+            ~opened_total:(Breaker.opened_total b)
+            ~rejected:(Breaker.rejected_total b)
+      | None -> ());
       {
         Proto.rs_id = id;
         rs_result = Ok (Proto.R_stats (Metrics.snapshot t.metrics));
@@ -212,7 +288,10 @@ let handle_line (t : t) (line : string) : string =
       Metrics.incr_request t.metrics "bad";
       Proto.response_line { Proto.rs_id = id; rs_result = Error e }
   | Ok rq -> (
-      match handle_request t rq with
+      match
+        Faultpoint.hit fp_handle;
+        handle_request t rq
+      with
       | rs -> Proto.response_line rs
       | exception e ->
           (* handle_request is supposed to be total; backstop anyway *)

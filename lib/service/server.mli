@@ -15,7 +15,16 @@
     alias boots) and [serve_socket] (Unix-domain socket, one thread per
     client, concurrent requests across clients).  A [shutdown] request
     or SIGINT/SIGTERM ({!request_stop}) stops the accept loop, unblocks
-    every client, joins their threads, and drains the worker pool. *)
+    every client, joins their threads, and drains the worker pool.
+
+    Resilience: {!create} first quarantines crash debris in the cache
+    dir ({!Augem.Tuning_cache.recover}); worker domains that die are
+    respawned under [cfg_restart_budget] and their lost jobs degrade to
+    the safe baseline ([degraded.lost]); a key whose sweeps keep
+    failing trips a per-key circuit breaker and is served the baseline
+    with [provenance.breaker_open = true] until a cooldown probe
+    succeeds.  The [stats] snapshot carries the supervision, breaker
+    and recovery gauges under ["resilience"]. *)
 
 type config = {
   cfg_workers : int;  (** tuning-worker domains *)
@@ -26,6 +35,16 @@ type config = {
       (** default per-request deadline; a request's own [deadline_ms]
           overrides *)
   cfg_tune_jobs : int;  (** intra-sweep parallelism of one tuning job *)
+  cfg_breaker_threshold : int;
+      (** consecutive failures before a key's circuit opens; [0]
+          disables circuit breaking *)
+  cfg_breaker_cooldown_ms : float;
+      (** how long an open circuit waits before admitting a probe *)
+  cfg_restart_budget : int;
+      (** worker-domain respawns allowed over the server's lifetime *)
+  cfg_recover : bool;
+      (** run {!Augem.Tuning_cache.recover} on the cache dir at
+          {!create}, quarantining write debris of a crashed instance *)
 }
 
 val default_config : config

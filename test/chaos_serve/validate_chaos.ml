@@ -1,0 +1,48 @@
+(* Validates the @chaos-serve report against the acceptance bar: the
+   run must have injected at least 30 distinct fault schedules across
+   at least 8 fault points, and every service invariant must have held
+   (the chaos CLI already exits nonzero on a violation — this checks
+   the coverage floor on top, so a silently-shrunk catalog cannot
+   pass). *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ ->
+        prerr_endline "usage: validate_chaos CHAOS_REPORT.txt";
+        exit 2
+  in
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  let summary =
+    match
+      List.find_opt
+        (fun l -> String.length l >= 12 && String.sub l 0 12 = "chaos-serve:")
+        lines
+    with
+    | Some l -> l
+    | None -> fail "no chaos-serve summary line in %s" path
+  in
+  let sessions, schedules, points =
+    try
+      Scanf.sscanf summary
+        "chaos-serve: %d sessions, %d distinct schedules over %d fault points"
+        (fun a b c -> (a, b, c))
+    with Scanf.Scan_failure _ | End_of_file ->
+      fail "unparsable summary line: %s" summary
+  in
+  if schedules < 30 then
+    fail "only %d distinct fault schedules (acceptance floor: 30)" schedules;
+  if points < 8 then
+    fail "only %d fault points exercised (acceptance floor: 8)" points;
+  if
+    not
+      (List.exists
+         (fun l -> String.trim l = "invariants: all held")
+         lines)
+  then fail "report does not state that every invariant held";
+  Printf.printf
+    "chaos-serve report OK: %d sessions, %d schedules, %d points, invariants held\n"
+    sessions schedules points

@@ -27,6 +27,7 @@ let unit_suites =
     ("extensions", Test_extensions.suite);
     ("json", Test_json.suite);
     ("service", Test_service.suite);
+    ("resilience", Test_resilience.suite);
   ]
 
 let slow_suites =

@@ -73,6 +73,25 @@ let check_responses path =
   expect_int "stats.tiers.coalesced" 0 (member "coalesced" tiers);
   expect_int "stats.rejects.overload" 0 (member "overload" (member "rejects" stats));
   expect_int "stats.errors" 0 (member "errors" stats);
+  (* an undisturbed session: the resilience gauges exist and are all
+     quiet — no worker died, no circuit opened, nothing quarantined *)
+  let res = member "resilience" stats in
+  expect_int "stats.resilience.worker_deaths" 0 (member "worker_deaths" res);
+  expect_int "stats.resilience.worker_restarts" 0 (member "worker_restarts" res);
+  expect_int "stats.resilience.breaker_open" 0 (member "breaker_open" res);
+  expect_int "stats.resilience.breaker_open_total" 0
+    (member "breaker_open_total" res);
+  expect_int "stats.resilience.cache_quarantined" 0
+    (member "cache_quarantined" res);
+  (match member "degraded" stats with
+  | degraded ->
+      expect_int "stats.degraded.lost" 0 (member "lost" degraded);
+      expect_int "stats.degraded.breaker_open" 0 (member "breaker_open" degraded));
+  (match member "uptime_ms" stats with
+  | Json.Float f when f >= 0. -> ()
+  | Json.Int n when n >= 0 -> ()
+  | x -> fail "stats.uptime_ms: expected a non-negative number, got %s"
+           (Json.to_string x));
   (* both tune requests are in the latency histogram (only tune
      requests pay a measurable admission-to-response path) *)
   expect_int "stats.request_ms.count" 2 (member "count" (member "request_ms" stats))
