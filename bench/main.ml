@@ -85,7 +85,11 @@ let json_of_series (s : Report.series) : Json.t =
              (fun (x, y) ->
                Json.Obj [ ("size", Json.Int x); ("mflops", Json.Float y) ])
              s.Report.s_points) );
-      ("mean_mflops", Json.Float (Report.series_mean s));
+      ( "mean_mflops",
+        (* an empty series has no mean: Null, not a fake 0. *)
+        match Report.series_mean s with
+        | Some m -> Json.Float m
+        | None -> Json.Null );
     ]
 
 (* The paper's prose numbers: AUGEM's mean over a figure vs each other
@@ -96,24 +100,27 @@ let json_of_speedups ~(baseline : string) (series : Report.series list) :
     List.find_opt (fun s -> String.equal s.Report.s_label baseline) series
   with
   | None -> Json.List []
-  | Some base ->
-      let b = Report.series_mean base in
-      Json.List
-        (List.filter_map
-           (fun s ->
-             if String.equal s.Report.s_label baseline then None
-             else
-               let m = Report.series_mean s in
-               if m <= 0. then None
-               else
-                 Some
-                   (Json.Obj
-                      [
-                        ("baseline", Json.String baseline);
-                        ("vs", Json.String s.Report.s_label);
-                        ("percent", Json.Float ((b /. m -. 1.) *. 100.));
-                      ]))
-           series)
+  | Some base -> (
+      match Report.series_mean base with
+      | None -> Json.List []
+      | Some b ->
+          Json.List
+            (List.filter_map
+               (fun s ->
+                 if String.equal s.Report.s_label baseline then None
+                 else
+                   match Report.series_mean s with
+                   | Some m when m > 0. ->
+                       Some
+                         (Json.Obj
+                            [
+                              ("baseline", Json.String baseline);
+                              ("vs", Json.String s.Report.s_label);
+                              ( "percent",
+                                Json.Float ((b /. m -. 1.) *. 100.) );
+                            ])
+                   | Some _ | None -> None)
+               series))
 
 let figure ~num ~title ~kernel ~workload ~sizes ~x_label : Json.t =
   let arch_objs =
@@ -167,6 +174,131 @@ let fig21 () =
   figure ~num:21 ~title:"DDOT" ~kernel:Kernels.Dot
     ~workload:(fun n -> Perf.W_dot { n })
     ~sizes:(range 100_000 200_000 5_000) ~x_label:"n"
+
+(* --- full-matrix blocked GEMM sweep -------------------------------------- *)
+
+module Mem_model = A.Sim.Mem_model
+
+(* The full blocked DGEMM (generated packing + macro-kernel loop nest
+   around the tuned micro-kernel) against the unblocked
+   micro-kernel-streaming path, on square m=n=k problems.  Before
+   reporting model numbers, the generated driver is differentially
+   checked on the functional simulator against [dgemm_naive] over
+   shapes that force multi-block trips and remainder blocks (a tiny
+   blocking override makes small matrices span many blocks — the
+   blocking is a runtime parameter of the generated code). *)
+
+let full_sizes_default = [ 256; 512; 1024; 1536; 2048 ]
+
+(* Awkward shapes: primes, one block exactly, one block + remainder,
+   unit.  With blocking 8/6/4 every one of these exercises remainder
+   blocks in at least one dimension. *)
+let full_check_shapes = [ (17, 13, 11); (8, 6, 6); (9, 5, 7); (1, 1, 1) ]
+let full_check_blocking = { Mem_model.bl_mc = 8; bl_kc = 6; bl_nc = 4 }
+
+let full_matrix ?(sizes = full_sizes_default) () : Json.t =
+  Fmt.pr
+    "== Full-matrix blocked DGEMM (m=n=k; generated packing + macro-kernel) \
+     ==@.";
+  let largest = List.fold_left max 0 sizes in
+  let arch_objs =
+    List.map
+      (fun (arch : Arch.t) ->
+        let plan = A.Blocked.plan ~jobs:!jobs_flag arch in
+        (* correctness first: the generated blocked driver on the
+           simulator vs the reference BLAS, remainder shapes included *)
+        let diffs =
+          List.map
+            (fun (m, n, k) ->
+              let r =
+                A.Blocked.check ~blocking:full_check_blocking plan ~m ~n ~k ()
+              in
+              (match r with
+              | Ok _ -> ()
+              | Error e ->
+                  Fmt.pr "BLOCKED DIFFERENTIAL FAIL on %s: %s@." arch.Arch.name
+                    e;
+                  exit 1);
+              Json.Obj
+                [
+                  ("m", Json.Int m); ("n", Json.Int n); ("k", Json.Int k);
+                  ("ok", Json.Bool true);
+                ])
+            full_check_shapes
+        in
+        let point f s =
+          (s, (f plan (Perf.W_gemm { m = s; n = s; k = s })).Perf.e_mflops)
+        in
+        let blocked =
+          {
+            Report.s_label = "AUGEM blocked";
+            s_points = List.map (point A.Blocked.predict) sizes;
+          }
+        in
+        let streamed =
+          {
+            Report.s_label = "unblocked (streamed)";
+            s_points = List.map (point A.Blocked.predict_streamed) sizes;
+          }
+        in
+        let series = [ blocked; streamed ] in
+        Report.pp_series_table Fmt.stdout
+          ~title:
+            (Printf.sprintf "Blocked DGEMM (m=n=k) on %s (MFLOPS)"
+               arch.Arch.model)
+          ~x_label:"m=n=k" series;
+        Report.pp_bars Fmt.stdout series;
+        let at s size =
+          match List.assoc_opt size s.Report.s_points with
+          | Some v -> v
+          | None -> 0.
+        in
+        let ratio =
+          let s = at streamed largest in
+          if s > 0. then at blocked largest /. s else 0.
+        in
+        Fmt.pr
+          "blocking %s (mr=%d nr=%d, %s); blocked/streamed at m=n=k=%d: \
+           %.1fx@.@."
+          (Mem_model.blocking_to_string plan.A.Blocked.pl_blocking)
+          plan.A.Blocked.pl_mr plan.A.Blocked.pl_nr
+          (A.Transform.Pipeline.config_to_string
+             plan.A.Blocked.pl_micro_config.Tuner.cand_config)
+          largest ratio;
+        Json.Obj
+          [
+            ("arch", Json.String arch.Arch.name);
+            ("model", Json.String arch.Arch.model);
+            ( "blocking",
+              Json.Obj
+                [
+                  ("mc", Json.Int plan.A.Blocked.pl_blocking.Mem_model.bl_mc);
+                  ("kc", Json.Int plan.A.Blocked.pl_blocking.Mem_model.bl_kc);
+                  ("nc", Json.Int plan.A.Blocked.pl_blocking.Mem_model.bl_nc);
+                ] );
+            ("mr", Json.Int plan.A.Blocked.pl_mr);
+            ("nr", Json.Int plan.A.Blocked.pl_nr);
+            ( "micro_config",
+              Json.String
+                (A.Transform.Pipeline.config_to_string
+                   plan.A.Blocked.pl_micro_config.Tuner.cand_config) );
+            ("series", Json.List (List.map json_of_series series));
+            ("speedup_at_largest", Json.Float ratio);
+            ("differential", Json.List diffs);
+          ])
+      archs
+  in
+  Json.Obj
+    [
+      ("experiment", Json.String "full");
+      ( "title",
+        Json.String
+          "Full-matrix blocked DGEMM: generated packing + macro-kernel vs \
+           unblocked streaming" );
+      ("x_label", Json.String "m=n=k");
+      ("largest", Json.Int largest);
+      ("arches", Json.List arch_objs);
+    ]
 
 (* --- Table 6 ------------------------------------------------------------- *)
 
@@ -537,6 +669,7 @@ let run_full () =
   write_json "fig19" (fig19 ());
   write_json "fig20" (fig20 ());
   write_json "fig21" (fig21 ());
+  write_json "full" (full_matrix ());
   write_json "table6" (table6 ());
   write_json "sweep" (tuning_sweep ~jobs:!jobs_flag (all_pairs ()));
   ablations ();
@@ -551,8 +684,17 @@ let run_smoke () =
     (tuning_sweep ~jobs:!jobs_flag
        [ (Arch.sandy_bridge, Kernels.Axpy); (Arch.piledriver, Kernels.Dot) ])
 
+(* Reduced blocked-GEMM run for CI (@blocked-smoke): the differential
+   gate on the simulator plus a small model sweep, emitting the same
+   BENCH_full.json the full run does. *)
+let run_blocked_smoke () =
+  write_json "full" (full_matrix ~sizes:[ 256; 512; 1024 ] ())
+
 let () =
-  let usage = "bench/main.exe [--json-out DIR] [--jobs N] [--smoke]" in
+  let usage =
+    "bench/main.exe [--json-out DIR] [--jobs N] [--smoke] [--blocked-smoke]"
+  in
+  let blocked_smoke = ref false in
   Arg.parse
     [
       ( "--json-out",
@@ -564,6 +706,10 @@ let () =
       ( "--smoke",
         Arg.Set smoke,
         "  reduced CI run: small Figure 18 grid + one small sweep" );
+      ( "--blocked-smoke",
+        Arg.Set blocked_smoke,
+        "  reduced CI run: blocked-DGEMM differential gate + small \
+         full-matrix sweep" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage;
@@ -571,4 +717,6 @@ let () =
   Tuner.set_jobs !jobs_flag;
   Fmt.pr "AUGEM reproduction benchmark harness@.";
   Fmt.pr "(modelled CPUs; shapes reproduce the paper's figures/tables)@.@.";
-  if !smoke then run_smoke () else run_full ()
+  if !blocked_smoke then run_blocked_smoke ()
+  else if !smoke then run_smoke ()
+  else run_full ()

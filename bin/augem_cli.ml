@@ -119,8 +119,11 @@ let config_of_flags kernel jam unroll prefetch =
     | A.Ir.Kernels.Dot ->
         { A.Transform.Pipeline.default with inner_unroll = Some ("i", 8);
           expand_reduction = Some 8 }
-    | A.Ir.Kernels.Ger | A.Ir.Kernels.Scal | A.Ir.Kernels.Copy ->
+    | A.Ir.Kernels.Ger | A.Ir.Kernels.Scal | A.Ir.Kernels.Copy
+    | A.Ir.Kernels.Pack_a ->
         { A.Transform.Pipeline.default with inner_unroll = Some ("i", 8) }
+    | A.Ir.Kernels.Pack_b ->
+        { A.Transform.Pipeline.default with inner_unroll = Some ("l", 8) }
   in
   let cfg = default_for kernel in
   let cfg = match jam with None -> cfg | Some j -> { cfg with jam = j } in
@@ -558,6 +561,14 @@ let simulate_cmd =
       | A.Ir.Kernels.Scal -> E.[ Aint n; Adouble 1.5; Abuf (fill 1 n) ]
       | A.Ir.Kernels.Copy ->
           E.[ Aint n; Abuf (fill 1 n); Abuf (Array.make n 0.) ]
+      | A.Ir.Kernels.Pack_a ->
+          let mc = min n 64 and kc = min n 64 in
+          E.[ Aint mc; Aint kc; Aint mc; Abuf (fill 1 (mc * kc));
+              Abuf (Array.make (mc * kc) 0.) ]
+      | A.Ir.Kernels.Pack_b ->
+          let kc = min n 64 and nc = min n 16 in
+          E.[ Aint kc; Aint nc; Aint kc; Abuf (fill 1 (kc * nc));
+              Abuf (Array.make (kc * nc) 0.) ]
     in
     let r = E.call ~on_access g.A.g_program args in
     Fmt.pr "%s (%s, tuned %s), n=%d:@."
@@ -897,6 +908,23 @@ let request_cmd =
     Arg.(
       value & flag & info [ "shutdown" ] ~doc:"Ask the server to shut down.")
   in
+  let blocked_arg =
+    Arg.(
+      value & flag
+      & info [ "blocked" ]
+          ~doc:
+            "Request a full blocked-DGEMM plan (tuned micro-kernel, \
+             MC/KC/NC blocking and both packing kernels) instead of a \
+             single kernel.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "size" ] ~docv:"N"
+          ~doc:
+            "Problem size m=n=k the blocked plan's blocking sweep \
+             optimizes for (with $(b,--blocked)).")
+  in
   let deadline_arg =
     Arg.(
       value & opt (some float) None
@@ -926,8 +954,8 @@ let request_cmd =
             "Jitter seed: one client replays its exact backoff schedule; \
              differently-seeded clients desynchronize.")
   in
-  let run socket kernel arch stats ping shutdown deadline_ms retries
-      backoff_ms retry_seed =
+  let run socket kernel arch stats ping shutdown blocked size deadline_ms
+      retries backoff_ms retry_seed =
     let path =
       match socket with
       | Some p -> p
@@ -939,6 +967,15 @@ let request_cmd =
       if stats then Service.Proto.Op_stats
       else if ping then Service.Proto.Op_ping
       else if shutdown then Service.Proto.Op_shutdown
+      else if blocked then
+        Service.Proto.Op_blocked
+          {
+            Service.Proto.bq_arch = arch;
+            bq_m = size;
+            bq_n = size;
+            bq_k = size;
+            bq_deadline_ms = deadline_ms;
+          }
       else
         Service.Proto.Op_tune
           {
@@ -1028,8 +1065,8 @@ let request_cmd =
           transport) with seeded exponential backoff.")
     Term.(
       const run $ socket_arg $ kernel_arg $ arch_arg $ stats_arg $ ping_arg
-      $ shutdown_arg $ deadline_arg $ retries_arg $ backoff_arg
-      $ retry_seed_arg)
+      $ shutdown_arg $ blocked_arg $ size_arg $ deadline_arg $ retries_arg
+      $ backoff_arg $ retry_seed_arg)
 
 let platforms_cmd =
   let run () =

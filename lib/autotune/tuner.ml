@@ -106,6 +106,10 @@ let space_for (k : Kernels.name) : candidate list =
   | Kernels.Ger -> vector_space "i" ~expand:false ()
   | Kernels.Scal -> vector_space "i" ~expand:false ()
   | Kernels.Copy -> vector_space "i" ~expand:false ()
+  (* packing kernels are straight copies: unroll the unit-stride inner
+     copy loop (i for pack-A, l for pack-B), no reduction to expand *)
+  | Kernels.Pack_a -> vector_space "i" ~expand:false ()
+  | Kernels.Pack_b -> vector_space "l" ~expand:false ()
 
 (* The graceful-degradation configuration: no unroll&jam, no unrolling,
    no prefetching — just the always-safe scalar passes.  Every kernel
@@ -128,6 +132,9 @@ let reference_workload (k : Kernels.name) : Augem_sim.Perf.workload =
   | Kernels.Ger -> Augem_sim.Perf.W_gemv { m = 4096; n = 4096 }
   | Kernels.Scal -> Augem_sim.Perf.W_axpy { n = 150_000 }
   | Kernels.Copy -> Augem_sim.Perf.W_axpy { n = 150_000 }
+  (* packing is a pure streaming copy; score it like DCOPY *)
+  | Kernels.Pack_a -> Augem_sim.Perf.W_axpy { n = 150_000 }
+  | Kernels.Pack_b -> Augem_sim.Perf.W_axpy { n = 150_000 }
 
 (* --- the loop ----------------------------------------------------------- *)
 
@@ -145,6 +152,8 @@ let diag_of_generation_exn (exn : exn) : Diag.code * string =
   | Augem_codegen.Regfile.Out_of_registers m -> (Diag.E_out_of_registers, m)
   | Augem_codegen.Gpralloc.Gpr_error m -> (Diag.E_gpr_pressure, m)
   | Augem_codegen.Ctx.Codegen_error m -> (Diag.E_codegen, m)
+  | Augem_transform.Strength_reduction.Reduction_error m ->
+      (Diag.E_strength_reduction, m)
   | Unroll.Unroll_error m -> (Diag.E_unroll, m)
   | Typecheck.Type_error m -> (Diag.E_type_error, m)
   | Augem_analysis.Asmcheck.Lint_error (name, fs) ->
@@ -199,7 +208,9 @@ let generate_candidate_diag (arch : Arch.t) ?(max_insns = default_max_insns)
       let code, detail = diag_of_generation_exn exn in
       let stage =
         match exn with
-        | Unroll.Unroll_error _ | Typecheck.Type_error _ -> Diag.S_pipeline
+        | Unroll.Unroll_error _ | Typecheck.Type_error _
+        | Augem_transform.Strength_reduction.Reduction_error _ ->
+            Diag.S_pipeline
         | Augem_analysis.Asmcheck.Lint_error _ -> Diag.S_asmcheck
         | _ -> Diag.S_codegen
       in
@@ -374,8 +385,10 @@ let tune ?(workload : Augem_sim.Perf.workload option)
 
 (* Bump whenever the sweep's semantics or the marshalled result layout
    change: old on-disk entries then stop being found (their content
-   address changes) instead of being misread. *)
-let tuner_version = "4"
+   address changes) instead of being misread.  5: blocked-GEMM search
+   dimensions and the E_strength_reduction diagnostic code (Diag is
+   part of the marshalled result). *)
+let tuner_version = "5"
 
 let candidate_fingerprint (c : candidate) : string =
   let prefer =
@@ -531,3 +544,168 @@ let tuned ?jobs ?cache_dir:cdir ?space (arch : Arch.t) (name : Kernels.name) :
                     Log.warn (fun m -> m "%s" (Diag.to_string d)))
           end;
           r)
+
+(* --- blocked GEMM: micro candidates x MC/KC/NC blocking triples ---------- *)
+
+module Mem_model = Augem_sim.Mem_model
+
+(* The register tile a candidate's unroll&jam configuration produces:
+   MR from the i-jam factor, NR from the j-jam factor (the GEMM space
+   jams both).  The cache blocks must decompose into this tile. *)
+let register_tile (c : candidate) : int * int =
+  let factor v =
+    match List.assoc_opt v c.cand_config.Pipeline.jam with
+    | Some f when f > 0 -> f
+    | _ -> 1
+  in
+  (factor "i", factor "j")
+
+(* Best blocking for one generated micro-kernel under the blocked-GEMM
+   performance model: scores every triple in
+   {!Mem_model.blocking_candidates} with {!Perf.predict_blocked} and
+   keeps the first-seen maximum (the analytically-derived triple is
+   first, so it wins score ties). *)
+let select_blocking (arch : Arch.t) (c : candidate) (prog : Insn.program)
+    (w : Augem_sim.Perf.workload) :
+    (Mem_model.blocking * float * int, Diag.t) Stdlib.result =
+  let mr, nr = register_tile c in
+  let blockings = Mem_model.blocking_candidates arch ~mr ~nr in
+  let best =
+    List.fold_left
+      (fun acc b ->
+        match Augem_sim.Perf.predict_blocked arch prog ~blocking:b w with
+        | e -> (
+            let s = e.Augem_sim.Perf.e_mflops in
+            match acc with
+            | Some (_, s') when s' >= s -> acc
+            | _ -> Some (b, s))
+        | exception Augem_sim.Perf.No_hot_loop _ -> acc)
+      None blockings
+  in
+  match best with
+  | Some (b, s) -> Ok (b, s, List.length blockings)
+  | None ->
+      Error
+        (Diag.make ~code:Diag.E_no_hot_loop ~stage:Diag.S_score
+           ~kernel:"gemm_blocked" ~arch:arch.Arch.name
+           ~config:(Pipeline.config_to_string c.cand_config)
+           ~detail:"no blocking scored: hot loop not analyzable" ())
+
+type blocked_result = {
+  bb_candidate : candidate;  (** winning micro-kernel configuration *)
+  bb_program : Insn.program;  (** its generated micro-kernel *)
+  bb_blocking : Mem_model.blocking;  (** winning MC/KC/NC triple *)
+  bb_mr : int;
+  bb_nr : int;
+  bb_blocked_score : float;
+  bb_streamed_score : float;
+  bb_micro_visited : int;
+  bb_blockings_visited : int;  (** total (candidate, blocking) pairs *)
+  bb_discarded : int;
+  bb_failures : Diag.t list;
+  bb_failure_histogram : (string * int) list;
+}
+
+(* One candidate of the blocked cross-product: generate the
+   micro-kernel, then pick its best blocking.  Pure, so the space
+   shards across domains exactly like [tune]'s. *)
+let evaluate_blocked_candidate (arch : Arch.t) ~max_insns
+    (kernel : Ast.kernel) (w : Augem_sim.Perf.workload) (cand : candidate) :
+    (Insn.program * Mem_model.blocking * float * int, Diag.t) Stdlib.result =
+  match generate_candidate_diag arch ~max_insns Kernels.Gemm kernel cand with
+  | Error d -> Error d
+  | Ok prog -> (
+      match select_blocking arch cand prog w with
+      | Error d -> Error d
+      | Ok (b, s, visited) -> Ok (prog, b, s, visited))
+
+(* Tune the full blocked DGEMM: the micro-kernel configuration space
+   crossed with the cache-blocking triples each configuration's
+   register tile admits — the MC/KC/NC dimensions of the search space
+   the blocked driver adds.  Selection is the first-seen maximum over
+   the cross-product in space order (bit-identical for every [?jobs]),
+   scored by {!Augem_sim.Perf.predict_blocked} on [workload]; the
+   result also carries the {!Augem_sim.Perf.predict_streamed} score of
+   the winner, the unblocked baseline the blocked driver is gated
+   against. *)
+let tune_blocked ?(workload : Augem_sim.Perf.workload option)
+    ?(space : candidate list option) ?(max_insns = default_max_insns)
+    ?(jobs : int option) (arch : Arch.t) : blocked_result =
+  let w =
+    match workload with
+    | Some w -> w
+    | None -> reference_workload Kernels.Gemm
+  in
+  (match w with
+  | Augem_sim.Perf.W_gemm _ -> ()
+  | _ -> invalid_arg "Tuner.tune_blocked: workload must be W_gemm");
+  let kernel = Kernels.kernel_of_name Kernels.Gemm in
+  let space =
+    match space with Some s -> s | None -> space_for Kernels.Gemm
+  in
+  let jobs = match jobs with Some j -> max 1 j | None -> !default_jobs_ref in
+  let evaluated =
+    Pool.map ~jobs (evaluate_blocked_candidate arch ~max_insns kernel w) space
+  in
+  let failures = ref [] in
+  let best = ref None in
+  let blockings_visited = ref 0 in
+  List.iter2
+    (fun cand outcome ->
+      match outcome with
+      | Error d -> failures := d :: !failures
+      | Ok (prog, b, s, visited) -> (
+          blockings_visited := !blockings_visited + visited;
+          match !best with
+          | Some (_, _, _, s') when s' >= s -> ()
+          | _ -> best := Some (cand, prog, b, s)))
+    space evaluated;
+  let failures_list = List.rev !failures in
+  let finish (cand, prog, blocking, s) =
+    let mr, nr = register_tile cand in
+    let streamed =
+      match Augem_sim.Perf.predict_streamed arch prog ~nr w with
+      | e -> e.Augem_sim.Perf.e_mflops
+      | exception Augem_sim.Perf.No_hot_loop _ -> 0.0
+    in
+    {
+      bb_candidate = cand;
+      bb_program = prog;
+      bb_blocking = blocking;
+      bb_mr = mr;
+      bb_nr = nr;
+      bb_blocked_score = s;
+      bb_streamed_score = streamed;
+      bb_micro_visited = List.length space;
+      bb_blockings_visited = !blockings_visited;
+      bb_discarded = List.length failures_list;
+      bb_failures = failures_list;
+      bb_failure_histogram = Diag.histogram failures_list;
+    }
+  in
+  match !best with
+  | Some b -> finish b
+  | None -> (
+      (* same graceful degradation as [tune]: a discarded cross-product
+         falls back to the safe baseline and the derived blocking *)
+      Log.warn (fun m ->
+          m "%s/gemm blocked: all %d candidates discarded; falling back"
+            arch.Arch.name (List.length space));
+      match
+        generate_candidate_diag arch ~max_insns:default_max_insns Kernels.Gemm
+          kernel safe_baseline
+      with
+      | Ok prog ->
+          let mr, nr = register_tile safe_baseline in
+          let blocking = Mem_model.derive_blocking arch ~mr ~nr in
+          let s =
+            match Augem_sim.Perf.predict_blocked arch prog ~blocking w with
+            | e -> e.Augem_sim.Perf.e_mflops
+            | exception Augem_sim.Perf.No_hot_loop _ -> 0.0
+          in
+          finish (safe_baseline, prog, blocking, s)
+      | Error d ->
+          raise
+            (No_viable_configuration
+               (Printf.sprintf "blocked gemm on %s (baseline also failed: %s)"
+                  arch.Arch.name (Diag.to_string d))))

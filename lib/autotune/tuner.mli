@@ -196,3 +196,56 @@ val tuned :
   Augem_machine.Arch.t ->
   Augem_ir.Kernels.name ->
   result
+
+(** {2 Blocked GEMM}
+
+    The blocked driver adds the MC/KC/NC cache-blocking triple as
+    search dimensions: the micro-kernel configuration space is crossed
+    with every blocking the configuration's register tile admits
+    ({!Augem_sim.Mem_model.blocking_candidates}), scored under the
+    blocked performance model {!Augem_sim.Perf.predict_blocked}. *)
+
+(** The MR/NR register tile a candidate's unroll&jam configuration
+    produces (i-jam and j-jam factors; 1 when absent). *)
+val register_tile : candidate -> int * int
+
+(** Best blocking for one generated micro-kernel on a workload:
+    first-seen maximum over {!Augem_sim.Mem_model.blocking_candidates}
+    (the analytically-derived triple wins ties).  Returns the triple,
+    its predicted MFLOPS, and the number of triples scored. *)
+val select_blocking :
+  Augem_machine.Arch.t ->
+  candidate ->
+  Augem_machine.Insn.program ->
+  Augem_sim.Perf.workload ->
+  (Augem_sim.Mem_model.blocking * float * int, Augem_verify.Diag.t)
+  Stdlib.result
+
+type blocked_result = {
+  bb_candidate : candidate;  (** winning micro-kernel configuration *)
+  bb_program : Augem_machine.Insn.program;  (** its micro-kernel *)
+  bb_blocking : Augem_sim.Mem_model.blocking;  (** winning MC/KC/NC *)
+  bb_mr : int;
+  bb_nr : int;
+  bb_blocked_score : float;  (** predicted MFLOPS, blocked driver *)
+  bb_streamed_score : float;  (** predicted MFLOPS, unblocked baseline *)
+  bb_micro_visited : int;
+  bb_blockings_visited : int;  (** total (candidate, blocking) pairs *)
+  bb_discarded : int;
+  bb_failures : Augem_verify.Diag.t list;
+  bb_failure_histogram : (string * int) list;
+}
+
+(** Tune the full blocked DGEMM over the micro-configuration x blocking
+    cross-product.  [workload] must be a [W_gemm] (default: the GEMM
+    reference workload; raises [Invalid_argument] otherwise).
+    Bit-identical for every [?jobs], same sharding contract as
+    {!tune}; degrades to {!safe_baseline} with the analytically-derived
+    blocking when the whole space is discarded. *)
+val tune_blocked :
+  ?workload:Augem_sim.Perf.workload ->
+  ?space:candidate list ->
+  ?max_insns:int ->
+  ?jobs:int ->
+  Augem_machine.Arch.t ->
+  blocked_result

@@ -75,7 +75,7 @@ let prefetches (id : id) (arch : Arch.t) (kernel : Kernels.name) =
   | Vendor, Kernels.Gemm -> true
   | Vendor, Kernels.Gemv -> not amd
   | Vendor, (Kernels.Axpy | Kernels.Dot | Kernels.Ger | Kernels.Scal
-            | Kernels.Copy) ->
+            | Kernels.Copy | Kernels.Pack_a | Kernels.Pack_b) ->
       false
   | ATLAS, Kernels.Dot -> false
   | ATLAS, _ -> true
@@ -111,6 +111,9 @@ let config_for (id : id) (arch : Arch.t) (kernel : Kernels.name) :
     | _, Kernels.Ger -> unroll "i" 8 ~expand:false
     | _, Kernels.Scal -> unroll "i" 8 ~expand:false
     | _, Kernels.Copy -> unroll "i" 8 ~expand:false
+    (* packing routines: plain unrolled copies in every library *)
+    | _, Kernels.Pack_a -> unroll "i" 8 ~expand:false
+    | _, Kernels.Pack_b -> unroll "l" 8 ~expand:false
     (* gcc 4.7 vectorizes reductions only partially (no reassociation
        without -ffast-math): model the ATLAS DOT as a short chain *)
     | ATLAS, Kernels.Dot ->

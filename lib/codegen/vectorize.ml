@@ -243,7 +243,15 @@ let emit_mm_store st (group : T.mm_store list) (live_out : SS.t) : bool =
                                     imm = l0 lor (l1 lsl 1) })
                   end;
                   (t, true)
-              | None -> assert false
+              | None ->
+                  (* every chunk was filled by the gather loop above or
+                     [chunk_ok] cleared; a hole here means the lane
+                     bookkeeping broke — classify, don't abort *)
+                  raise
+                    (Codegen_error
+                       (Printf.sprintf
+                          "vectorize: gathered chunk %d of %d has no source"
+                          c chunks))
             in
             let vc = Regfile.alloc_temp ctx.vecs ~cls:c_cls in
             with_addr st c_ptr (Ast.Int_lit (d0 + (c * w_lanes))) (fun m ->

@@ -107,6 +107,7 @@ module Tuning_cache = Augem_autotune.Cache
 module Pool = Augem_parallel.Pool
 module Library = Augem_baselines.Library
 module Harness = Harness
+module Blocked = Blocked
 module Chaos = Chaos
 module Report = Report
 module Json = Json

@@ -1,0 +1,85 @@
+(** The blocked DGEMM driver: Goto's jc/pc/ic macro-kernel loop nest
+    over NC/KC/MC cache blocks where every inner routine — pack-A,
+    pack-B and the micro-kernel — is AUGEM-generated assembly executed
+    on the functional simulator.  The full generated GEMM the paper
+    deploys inside OpenBLAS.
+
+    The loop structure mirrors {!Augem_blas.Level3.dgemm_blocked}
+    exactly, so a differential run against that reference with the same
+    simulated micro-kernel is bit-exact ({!check}). *)
+
+type plan = {
+  pl_arch : Augem_machine.Arch.t;
+  pl_blocking : Augem_sim.Mem_model.blocking;  (** tuned MC/KC/NC *)
+  pl_mr : int;
+  pl_nr : int;
+  pl_micro : Augem_machine.Insn.program;
+  pl_micro_config : Augem_autotune.Tuner.candidate;
+  pl_pack_a : Augem_machine.Insn.program;
+  pl_pack_b : Augem_machine.Insn.program;
+  pl_blocked_mflops : float;
+      (** predicted MFLOPS of the blocked driver on the tuning workload *)
+  pl_streamed_mflops : float;
+      (** predicted MFLOPS of the unblocked (streaming) baseline *)
+}
+
+(** Tune the micro-kernel jointly with its blocking triple
+    ({!Augem_autotune.Tuner.tune_blocked}) and the two packing kernels,
+    all through the staged-lowering pipeline. *)
+val plan :
+  ?jobs:int -> ?workload:Augem_sim.Perf.workload -> Augem_machine.Arch.t ->
+  plan
+
+type stats = {
+  st_micro_calls : int;
+  st_pack_a_calls : int;
+  st_pack_b_calls : int;
+  st_insns : int;  (** instructions interpreted across all three kernels *)
+}
+
+val zero_stats : stats
+val default_fuel : int
+
+(** [gemm p a b c] computes C := alpha * A * B + beta * C with the
+    plan's generated kernels on the simulator.  [?blocking] overrides
+    the plan's triple (it is a runtime parameter of the generated code;
+    tests use small triples to force multi-block trips on small
+    matrices).  Raises [Augem_sim.Exec_sim.Sim_error] on a kernel
+    fault, [Invalid_argument] on shape mismatch or a non-positive
+    blocking. *)
+val gemm :
+  ?fuel:int ->
+  ?blocking:Augem_sim.Mem_model.blocking ->
+  ?alpha:float ->
+  ?beta:float ->
+  plan ->
+  Augem_blas.Matrix.t ->
+  Augem_blas.Matrix.t ->
+  Augem_blas.Matrix.t ->
+  stats
+
+(** Cycle-model prediction of the plan's blocked driver on a workload. *)
+val predict : plan -> Augem_sim.Perf.workload -> Augem_sim.Perf.estimate
+
+(** Cycle-model prediction of the unblocked streaming baseline. *)
+val predict_streamed :
+  plan -> Augem_sim.Perf.workload -> Augem_sim.Perf.estimate
+
+(** Differential check on one shape: the generated blocked driver must
+    match {!Augem_blas.Level3.dgemm_naive} within [tol] {i and} agree
+    bit-exactly with the reference macro-kernel
+    ({!Augem_blas.Level3.dgemm_blocked}, reference packing) driving the
+    same simulated micro-kernel — same block schedule, same packed
+    layouts, same FP order, so any deviation is a packing or loop-nest
+    bug rather than rounding. *)
+val check :
+  ?fuel:int ->
+  ?blocking:Augem_sim.Mem_model.blocking ->
+  ?tol:float ->
+  ?seed:int ->
+  plan ->
+  m:int ->
+  n:int ->
+  k:int ->
+  unit ->
+  (stats, string) result

@@ -175,6 +175,42 @@ let verify_copy ?fuel ?(seed = 7) ?(n = 37) (prog : Insn.program) : outcome =
       let copied = Array.for_all2 close x (Array.sub y 0 n) in
       if copied then pass (Some r) else fail "copy: output mismatch"
 
+let verify_pack_a ?fuel ?(seed = 8) ?(shape = default_shape)
+    (prog : Insn.program) : outcome =
+  let mc = shape.sh_m and kc = shape.sh_k in
+  let lda = mc + shape.sh_ld_slack in
+  let a = fill seed (lda * kc) in
+  let mat = Mat.{ data = a; rows = mc; cols = kc; ld = lda } in
+  let buf_ref = Array.make (max 1 (mc * kc)) 0. in
+  let buf_sim = Array.copy buf_ref in
+  L3.pack_a mat ~i0:0 ~l0:0 ~mc ~kc buf_ref;
+  match
+    run_sim ?fuel prog
+      Exec.[ Aint mc; Aint kc; Aint lda; Abuf a; Abuf buf_sim ]
+  with
+  | Error e -> fail e
+  | Ok r ->
+      if arrays_close buf_ref buf_sim then pass (Some r)
+      else fail "pack_a: packed panel mismatch"
+
+let verify_pack_b ?fuel ?(seed = 9) ?(shape = default_shape)
+    (prog : Insn.program) : outcome =
+  let kc = shape.sh_k and nc = shape.sh_n in
+  let ldb = kc + shape.sh_ld_slack in
+  let b = fill seed (ldb * nc) in
+  let mat = Mat.{ data = b; rows = kc; cols = nc; ld = ldb } in
+  let buf_ref = Array.make (max 1 (kc * nc)) 0. in
+  let buf_sim = Array.copy buf_ref in
+  L3.pack_b mat ~l0:0 ~j0:0 ~kc ~nc buf_ref;
+  match
+    run_sim ?fuel prog
+      Exec.[ Aint kc; Aint nc; Aint ldb; Abuf b; Abuf buf_sim ]
+  with
+  | Error e -> fail e
+  | Ok r ->
+      if arrays_close buf_ref buf_sim then pass (Some r)
+      else fail "pack_b: packed panel mismatch"
+
 (* Degenerate problem shapes: unit dimensions and zero-length vectors.
    These exercise the edge where every main loop is skipped and only
    remainder (or no) code runs — a classic source of miscompiles that
@@ -215,6 +251,26 @@ let degenerate_cases ?fuel (kernel : Kernels.name) (prog : Insn.program) :
         ("n=1", fun () -> verify_copy ?fuel ~seed:412 ~n:1 prog);
         ("n=0", fun () -> verify_copy ?fuel ~seed:413 ~n:0 prog);
       ]
+  | Kernels.Pack_a ->
+      [
+        ( "mc=kc=1",
+          fun () -> verify_pack_a ?fuel ~seed:414 ~shape:unit_shape prog );
+        ( "kc=0",
+          fun () ->
+            verify_pack_a ?fuel ~seed:415
+              ~shape:{ sh_m = 3; sh_n = 1; sh_k = 0; sh_ld_slack = 1 }
+              prog );
+      ]
+  | Kernels.Pack_b ->
+      [
+        ( "kc=nc=1",
+          fun () -> verify_pack_b ?fuel ~seed:416 ~shape:unit_shape prog );
+        ( "nc=0",
+          fun () ->
+            verify_pack_b ?fuel ~seed:417
+              ~shape:{ sh_m = 1; sh_n = 0; sh_k = 3; sh_ld_slack = 1 }
+              prog );
+      ]
 
 (* Verify a program implementing [kernel] (the simple-C kernels of the
    paper) on a few shapes, including non-divisible remainder cases and
@@ -253,6 +309,8 @@ let verify ?fuel (kernel : Kernels.name) (prog : Insn.program) : outcome =
           | Kernels.Ger -> verify_ger ?fuel ~seed ~shape prog
           | Kernels.Scal -> verify_scal ?fuel ~seed ~n:((shape.sh_m * 3) + 1) prog
           | Kernels.Copy -> verify_copy ?fuel ~seed ~n:((shape.sh_m * 3) + 2) prog
+          | Kernels.Pack_a -> verify_pack_a ?fuel ~seed ~shape prog
+          | Kernels.Pack_b -> verify_pack_b ?fuel ~seed ~shape prog
         in
         match outcome.ok with
         | true -> go (seed + 17) rest

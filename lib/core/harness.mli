@@ -75,6 +75,16 @@ val verify_scal :
 val verify_copy :
   ?fuel:int -> ?seed:int -> ?n:int -> Augem_machine.Insn.program -> outcome
 
+(** Pack-A panel kernel against {!Augem_blas.Level3.pack_a}:
+    mc = [sh_m], kc = [sh_k], lda = mc + [sh_ld_slack]. *)
+val verify_pack_a :
+  ?fuel:int -> ?seed:int -> ?shape:shape -> Augem_machine.Insn.program -> outcome
+
+(** Pack-B panel kernel against {!Augem_blas.Level3.pack_b}:
+    kc = [sh_k], nc = [sh_n], ldb = kc + [sh_ld_slack]. *)
+val verify_pack_b :
+  ?fuel:int -> ?seed:int -> ?shape:shape -> Augem_machine.Insn.program -> outcome
+
 (** The degenerate-shape sweep for a kernel: labelled thunks covering
     unit dimensions and (where the contract allows) zero-length
     vectors.  [verify] runs these after the regular shapes; they are

@@ -12,8 +12,12 @@ let pp_series_table fmt ~(title : string) ~(x_label : string)
   Fmt.pf fmt "%-10s" x_label;
   List.iter (fun s -> Fmt.pf fmt " %14s" s.s_label) series;
   Fmt.pf fmt "@\n";
+  (* rows = the sorted union of every series' x-values: series measured
+     at different sizes each still get all their points printed (the
+     first-series-only version silently dropped the others' rows) *)
   let xs =
-    match series with [] -> [] | s :: _ -> List.map fst s.s_points
+    List.concat_map (fun s -> List.map fst s.s_points) series
+    |> List.sort_uniq compare
   in
   List.iter
     (fun x ->
@@ -27,27 +31,35 @@ let pp_series_table fmt ~(title : string) ~(x_label : string)
       Fmt.pf fmt "@\n")
     xs
 
+(* [None] for an empty list: an empty series has no mean, and the old
+   0. answer leaked into BENCH_*.json as a real-looking measurement and
+   into speedup ratios as a near-zero denominator. *)
 let mean xs =
   match xs with
-  | [] -> 0.
-  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+  | [] -> None
+  | _ -> Some (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))
 
 let series_mean s = mean (List.map snd s.s_points)
 
-(* "AUGEM outperforms X by p%" rows, as the paper summarizes figures. *)
+(* "AUGEM outperforms X by p%" rows, as the paper summarizes figures.
+   Series without a mean (empty) or with a non-positive one are
+   skipped, never divided by. *)
 let pp_speedups fmt ~(baseline : string) (series : series list) =
   match List.find_opt (fun s -> String.equal s.s_label baseline) series with
   | None -> ()
-  | Some base ->
-      let b = series_mean base in
-      List.iter
-        (fun s ->
-          if not (String.equal s.s_label baseline) then
-            let m = series_mean s in
-            if m > 0. then
-              Fmt.pf fmt "  %s vs %s: %+.1f%%@\n" baseline s.s_label
-                ((b /. m -. 1.) *. 100.))
-        series
+  | Some base -> (
+      match series_mean base with
+      | None -> ()
+      | Some b ->
+          List.iter
+            (fun s ->
+              if not (String.equal s.s_label baseline) then
+                match series_mean s with
+                | Some m when m > 0. ->
+                    Fmt.pf fmt "  %s vs %s: %+.1f%%@\n" baseline s.s_label
+                      ((b /. m -. 1.) *. 100.)
+                | Some _ | None -> ())
+            series)
 
 (* Plain named-rows table (Table 5, Table 6). *)
 let pp_table fmt ~(title : string) ~(header : string list)
@@ -68,13 +80,20 @@ let pp_table fmt ~(title : string) ~(header : string list)
 let pp_bars fmt (series : series list) =
   let width = 46 in
   let best =
-    List.fold_left (fun acc s -> Float.max acc (series_mean s)) 1e-9 series
+    List.fold_left
+      (fun acc s ->
+        match series_mean s with Some m -> Float.max acc m | None -> acc)
+      1e-9 series
   in
   List.iter
     (fun s ->
-      let m = series_mean s in
-      let n = int_of_float (Float.round (m /. best *. float_of_int width)) in
-      let n = max 0 (min width n) in
-      Fmt.pf fmt "  %-16s %9.1f |%s%s|@\n" s.s_label m (String.make n '#')
-        (String.make (width - n) ' '))
+      match series_mean s with
+      | None -> Fmt.pf fmt "  %-16s %9s |%s|@\n" s.s_label "-" (String.make width ' ')
+      | Some m ->
+          let n =
+            int_of_float (Float.round (m /. best *. float_of_int width))
+          in
+          let n = max 0 (min width n) in
+          Fmt.pf fmt "  %-16s %9.1f |%s%s|@\n" s.s_label m (String.make n '#')
+            (String.make (width - n) ' '))
     series

@@ -9,10 +9,14 @@ type series = {
 val pp_series_table :
   Format.formatter -> title:string -> x_label:string -> series list -> unit
 
-val mean : float list -> float
-val series_mean : series -> float
+(** [None] for an empty list — an empty series has no mean (the old
+    [0.] answer masqueraded as a measurement downstream). *)
+val mean : float list -> float option
 
-(** "AUGEM outperforms X by p%" rows, as the paper's prose quotes. *)
+val series_mean : series -> float option
+
+(** "AUGEM outperforms X by p%" rows, as the paper's prose quotes.
+    Series with no mean (empty) or a non-positive one are skipped. *)
 val pp_speedups : Format.formatter -> baseline:string -> series list -> unit
 
 (** Plain named-row table (Tables 5 and 6). *)

@@ -267,11 +267,74 @@ let copy : kernel =
       ];
   }
 
-type name = Gemm | Gemv | Axpy | Dot | Ger | Scal | Copy
+(* Pack-A panel: copy an Mc x Kc block of A (leading dimension LDA,
+   already offset to the block's first element) into the contiguous
+   column-major-within-block layout A[l*Mc + i] the GEMM micro-kernel
+   reads.  The inner i-sweep is a unit-stride copy on both sides, so
+   it tags as the svCOPY template and vectorizes like DCOPY. *)
+let pack_a : kernel =
+  {
+    k_name = "dpack_a_kernel";
+    k_params =
+      [
+        { p_name = "Mc"; p_type = Int };
+        { p_name = "Kc"; p_type = Int };
+        { p_name = "LDA"; p_type = Int };
+        { p_name = "A"; p_type = Ptr Double };
+        { p_name = "P"; p_type = Ptr Double };
+      ];
+    k_body =
+      [
+        Decl (Int, "i", None);
+        Decl (Int, "l", None);
+        loop "l" ~from:(Int_lit 0) ~below:(Var "Kc")
+          [
+            loop "i" ~from:(Int_lit 0) ~below:(Var "Mc")
+              [
+                Assign
+                  ( Lindex ("P", (Var "l" *! Var "Mc") +! Var "i"),
+                    Index ("A", (Var "l" *! Var "LDA") +! Var "i") );
+              ];
+          ];
+      ];
+  }
+
+(* Pack-B panel: copy a Kc x Nc block of B (leading dimension LDB,
+   offset to the block start) into the per-column stream layout
+   B[j*Kc + l].  The inner l-sweep walks one column of B and of the
+   packed panel at unit stride — again the svCOPY template. *)
+let pack_b : kernel =
+  {
+    k_name = "dpack_b_kernel";
+    k_params =
+      [
+        { p_name = "Kc"; p_type = Int };
+        { p_name = "Nc"; p_type = Int };
+        { p_name = "LDB"; p_type = Int };
+        { p_name = "B"; p_type = Ptr Double };
+        { p_name = "P"; p_type = Ptr Double };
+      ];
+    k_body =
+      [
+        Decl (Int, "j", None);
+        Decl (Int, "l", None);
+        loop "j" ~from:(Int_lit 0) ~below:(Var "Nc")
+          [
+            loop "l" ~from:(Int_lit 0) ~below:(Var "Kc")
+              [
+                Assign
+                  ( Lindex ("P", (Var "j" *! Var "Kc") +! Var "l"),
+                    Index ("B", (Var "j" *! Var "LDB") +! Var "l") );
+              ];
+          ];
+      ];
+  }
+
+type name = Gemm | Gemv | Axpy | Dot | Ger | Scal | Copy | Pack_a | Pack_b
 
 let all =
   [ (Gemm, gemm); (Gemv, gemv); (Axpy, axpy); (Dot, dot); (Ger, ger);
-    (Scal, scal); (Copy, copy) ]
+    (Scal, scal); (Copy, copy); (Pack_a, pack_a); (Pack_b, pack_b) ]
 
 let kernel_of_name = function
   | Gemm -> gemm
@@ -281,6 +344,8 @@ let kernel_of_name = function
   | Ger -> ger
   | Scal -> scal
   | Copy -> copy
+  | Pack_a -> pack_a
+  | Pack_b -> pack_b
 
 let name_to_string = function
   | Gemm -> "gemm"
@@ -290,6 +355,8 @@ let name_to_string = function
   | Ger -> "ger"
   | Scal -> "scal"
   | Copy -> "copy"
+  | Pack_a -> "pack_a"
+  | Pack_b -> "pack_b"
 
 let name_of_string = function
   | "gemm" -> Some Gemm
@@ -299,4 +366,6 @@ let name_of_string = function
   | "ger" -> Some Ger
   | "scal" -> Some Scal
   | "copy" -> Some Copy
+  | "pack_a" -> Some Pack_a
+  | "pack_b" -> Some Pack_b
   | _ -> None

@@ -40,9 +40,19 @@ val scal : Ast.kernel
 val copy : Ast.kernel
 (** Extension: DCOPY, Y = X (the svCOPY template). *)
 
+val pack_a : Ast.kernel
+(** Blocked-GEMM packing: copy an Mc x Kc block of A (leading
+    dimension LDA) into the contiguous A\[l*Mc+i\] layout the GEMM
+    micro-kernel consumes.  Unit-stride inner copy — svCOPY shaped. *)
+
+val pack_b : Ast.kernel
+(** Blocked-GEMM packing: copy a Kc x Nc block of B (leading
+    dimension LDB) into the per-column B\[j*Kc+l\] layout.  Unit-stride
+    inner copy — svCOPY shaped. *)
+
 (** Kernel identifiers used across the tuner, library models, harness
     and CLI. *)
-type name = Gemm | Gemv | Axpy | Dot | Ger | Scal | Copy
+type name = Gemm | Gemv | Axpy | Dot | Ger | Scal | Copy | Pack_a | Pack_b
 
 val all : (name * Ast.kernel) list
 val kernel_of_name : name -> Ast.kernel

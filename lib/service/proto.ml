@@ -19,7 +19,20 @@ type tune_request = {
   tq_deadline_ms : float option;
 }
 
-type op = Op_tune of tune_request | Op_stats | Op_ping | Op_shutdown
+type blocked_request = {
+  bq_arch : Arch.t;
+  bq_m : int;
+  bq_n : int;
+  bq_k : int;
+  bq_deadline_ms : float option;
+}
+
+type op =
+  | Op_tune of tune_request
+  | Op_blocked of blocked_request
+  | Op_stats
+  | Op_ping
+  | Op_shutdown
 type request = { rq_id : Json.t; rq_op : op }
 type tier = T_memory | T_disk | T_tuned | T_coalesced
 
@@ -49,6 +62,23 @@ type reply =
       rk_assembly : string;
       rk_provenance : provenance;
       rk_degraded : bool;
+    }
+  | R_blocked of {
+      rb_arch : string;
+      rb_mc : int;
+      rb_kc : int;
+      rb_nc : int;
+      rb_mr : int;
+      rb_nr : int;
+      rb_micro_config : string;
+      rb_micro_assembly : string;
+      rb_pack_a_assembly : string;
+      rb_pack_b_assembly : string;
+      rb_blocked_mflops : float;
+      rb_streamed_mflops : float;
+      rb_tier : tier;
+      rb_degraded : bool;
+      rb_tuning_ms : float;
     }
   | R_stats of Json.t
   | R_pong
@@ -248,6 +278,35 @@ let candidate_to_json (c : Tuner.candidate) : Json.t =
 
 let bad detail = { e_code = e_bad_request; e_detail = detail }
 
+let decode_arch ~op (j : Json.t) : (Arch.t, error) Stdlib.result =
+  match Json.member "arch" j with
+  | Some (Json.String s) -> (
+      match Arch.by_name s with
+      | Some a -> Ok a
+      | None ->
+          Error
+            (bad
+               (Printf.sprintf "unknown architecture %S (try: %s)" s
+                  (String.concat ", "
+                     (List.map (fun a -> a.Arch.name) Arch.all)))))
+  | _ -> Error (bad (op ^ " needs an \"arch\" string"))
+
+let decode_deadline_ms (j : Json.t) : (float option, error) Stdlib.result =
+  match Json.member "deadline_ms" j with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Int i) when i > 0 -> Ok (Some (float_of_int i))
+  | Some (Json.Float f) when f > 0. -> Ok (Some f)
+  | Some _ -> Error (bad "deadline_ms must be a positive number")
+
+(* m/n/k of a blocked request: positive integers, defaulting to the
+   reference square size. *)
+let decode_dim (j : Json.t) (name : string) : (int, error) Stdlib.result =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok 1024
+  | Some (Json.Int i) when i > 0 -> Ok i
+  | Some _ ->
+      Error (bad (Printf.sprintf "%s must be a positive integer" name))
+
 let request_of_json (j : Json.t) : (request, error) Stdlib.result =
   match j with
   | Json.Obj _ -> (
@@ -267,22 +326,7 @@ let request_of_json (j : Json.t) : (request, error) Stdlib.result =
                    | None -> Error (bad (Printf.sprintf "unknown kernel %S" s)))
                | _ -> Error (bad "tune needs a \"kernel\" string")
              in
-             let* arch =
-               match Json.member "arch" j with
-               | Some (Json.String s) -> (
-                   match Arch.by_name s with
-                   | Some a -> Ok a
-                   | None ->
-                       Error
-                         (bad
-                            (Printf.sprintf "unknown architecture %S (try: %s)"
-                               s
-                               (String.concat ", "
-                                  (List.map
-                                     (fun a -> a.Arch.name)
-                                     Arch.all)))))
-               | _ -> Error (bad "tune needs an \"arch\" string")
-             in
+             let* arch = decode_arch ~op:"tune" j in
              let* space =
                match Json.member "space" j with
                | None | Some Json.Null -> Ok None
@@ -298,13 +342,7 @@ let request_of_json (j : Json.t) : (request, error) Stdlib.result =
                    |> Result.map (fun l -> Some (List.rev l))
                | Some _ -> Error (bad "space must be an array of candidates")
              in
-             let* deadline_ms =
-               match Json.member "deadline_ms" j with
-               | None | Some Json.Null -> Ok None
-               | Some (Json.Int i) when i > 0 -> Ok (Some (float_of_int i))
-               | Some (Json.Float f) when f > 0. -> Ok (Some f)
-               | Some _ -> Error (bad "deadline_ms must be a positive number")
-             in
+             let* deadline_ms = decode_deadline_ms j in
              Ok
                (Op_tune
                   {
@@ -312,6 +350,22 @@ let request_of_json (j : Json.t) : (request, error) Stdlib.result =
                     tq_arch = arch;
                     tq_space = space;
                     tq_deadline_ms = deadline_ms;
+                  }))
+      | Some (Json.String "blocked") ->
+          with_id
+            (let* arch = decode_arch ~op:"blocked" j in
+             let* m = decode_dim j "m" in
+             let* n = decode_dim j "n" in
+             let* k = decode_dim j "k" in
+             let* deadline_ms = decode_deadline_ms j in
+             Ok
+               (Op_blocked
+                  {
+                    bq_arch = arch;
+                    bq_m = m;
+                    bq_n = n;
+                    bq_k = k;
+                    bq_deadline_ms = deadline_ms;
                   }))
       | Some (Json.String op) ->
           Error (bad (Printf.sprintf "unknown op %S" op))
@@ -351,6 +405,20 @@ let request_to_json (r : request) : Json.t =
         match t.tq_deadline_ms with
         | None -> []
         | Some ms -> [ ("deadline_ms", Json.Float ms) ])
+  | Op_blocked b ->
+      Json.Obj
+        (base
+        @ [
+            ("op", Json.String "blocked");
+            ("arch", Json.String b.bq_arch.Arch.name);
+            ("m", Json.Int b.bq_m);
+            ("n", Json.Int b.bq_n);
+            ("k", Json.Int b.bq_k);
+          ]
+        @
+        match b.bq_deadline_ms with
+        | None -> []
+        | Some ms -> [ ("deadline_ms", Json.Float ms) ])
 
 (* --- response encoding --------------------------------------------------- *)
 
@@ -380,6 +448,43 @@ let response_to_json (r : response) : Json.t =
           ("assembly", Json.String k.rk_assembly);
           ("degraded", Json.Bool k.rk_degraded);
           ("provenance", provenance_to_json k.rk_provenance);
+        ]
+  | Ok (R_blocked b) ->
+      Json.Obj
+        [
+          ("id", r.rs_id);
+          ("ok", Json.Bool true);
+          ("arch", Json.String b.rb_arch);
+          ( "blocking",
+            Json.Obj
+              [
+                ("mc", Json.Int b.rb_mc);
+                ("kc", Json.Int b.rb_kc);
+                ("nc", Json.Int b.rb_nc);
+              ] );
+          ("mr", Json.Int b.rb_mr);
+          ("nr", Json.Int b.rb_nr);
+          ("micro_config", Json.String b.rb_micro_config);
+          ( "assembly",
+            Json.Obj
+              [
+                ("micro", Json.String b.rb_micro_assembly);
+                ("pack_a", Json.String b.rb_pack_a_assembly);
+                ("pack_b", Json.String b.rb_pack_b_assembly);
+              ] );
+          ( "mflops",
+            Json.Obj
+              [
+                ("blocked", Json.Float b.rb_blocked_mflops);
+                ("streamed", Json.Float b.rb_streamed_mflops);
+                ( "speedup",
+                  if b.rb_streamed_mflops > 0. then
+                    Json.Float (b.rb_blocked_mflops /. b.rb_streamed_mflops)
+                  else Json.Null );
+              ] );
+          ("tier", Json.String (tier_to_string b.rb_tier));
+          ("degraded", Json.Bool b.rb_degraded);
+          ("tuning_ms", Json.Float b.rb_tuning_ms);
         ]
   | Ok (R_stats s) ->
       Json.Obj [ ("id", r.rs_id); ("ok", Json.Bool true); ("stats", s) ]

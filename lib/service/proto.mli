@@ -13,6 +13,7 @@
     {"id":3,"op":"stats"}
     {"id":4,"op":"ping"}
     {"id":5,"op":"shutdown"}
+    {"id":6,"op":"blocked","arch":"sandybridge","m":1024,"n":1024,"k":1024}
     v}
 
     A [tune] response carries the tuned assembly plus provenance (which
@@ -48,7 +49,30 @@ type tune_request = {
   tq_deadline_ms : float option;
 }
 
-type op = Op_tune of tune_request | Op_stats | Op_ping | Op_shutdown
+(** A [blocked] request: plan the full generated blocked DGEMM — tuned
+    micro-kernel with its MC/KC/NC blocking triple plus the two packing
+    kernels — for one architecture and problem shape:
+
+    {v
+    {"id":6,"op":"blocked","arch":"sandybridge","m":1024,"n":1024,"k":1024}
+    v}
+
+    [m]/[n]/[k] are optional (default 1024 each) and size the workload
+    the blocking sweep optimizes for. *)
+type blocked_request = {
+  bq_arch : Augem.Machine.Arch.t;
+  bq_m : int;
+  bq_n : int;
+  bq_k : int;
+  bq_deadline_ms : float option;
+}
+
+type op =
+  | Op_tune of tune_request
+  | Op_blocked of blocked_request
+  | Op_stats
+  | Op_ping
+  | Op_shutdown
 
 type request = {
   rq_id : Augem.Json.t;  (** echoed verbatim; any JSON value *)
@@ -85,6 +109,27 @@ type reply =
       rk_provenance : provenance;
       rk_degraded : bool;
     }
+  | R_blocked of {
+      rb_arch : string;
+      rb_mc : int;
+      rb_kc : int;
+      rb_nc : int;  (** tuned blocking triple *)
+      rb_mr : int;
+      rb_nr : int;  (** the micro-kernel's register tile *)
+      rb_micro_config : string;
+      rb_micro_assembly : string;
+      rb_pack_a_assembly : string;
+      rb_pack_b_assembly : string;
+      rb_blocked_mflops : float;  (** predicted, blocked driver *)
+      rb_streamed_mflops : float;  (** predicted, unblocked baseline *)
+      rb_tier : tier;  (** [T_memory] for a plan-cache hit *)
+      rb_degraded : bool;
+          (** baseline plan served (deadline expired or worker lost) *)
+      rb_tuning_ms : float;
+    }
+      (** Response to [blocked]: all three generated kernels plus the
+          blocking triple and the blocked/streamed cycle-model
+          predictions at the requested shape. *)
   | R_stats of Augem.Json.t  (** metrics snapshot *)
   | R_pong
   | R_shutting_down  (** acknowledgement of [shutdown] *)

@@ -6,6 +6,8 @@ module Arch = A.Machine.Arch
 module Kernels = A.Ir.Kernels
 module Att = A.Machine.Att
 module Json = A.Json
+module Perf = A.Sim.Perf
+module Mem_model = A.Sim.Mem_model
 module Cache = A.Tuning_cache
 module Faultpoint = Augem_resilience.Faultpoint
 module Breaker = Augem_resilience.Breaker
@@ -54,6 +56,12 @@ type t = {
   mutable listen_fd : Unix.file_descr option;
   clients : (Unix.file_descr, unit) Hashtbl.t;
   cm : Mutex.t;  (* stop / listen_fd / clients *)
+  (* blocked-DGEMM plans by (arch, m, n, k): a plan bundles three tuned
+     kernels plus a blocking sweep, so it gets its own memo rather than
+     riding the per-kernel registry.  Degraded plans are never stored
+     (same contract as the tuner's fallback-no-cache rule). *)
+  bplans : (string * int * int * int, A.Blocked.plan * float) Hashtbl.t;
+  bm : Mutex.t;  (* bplans *)
 }
 
 let create ?(now = Unix.gettimeofday) ?(config = default_config) () : t =
@@ -103,6 +111,8 @@ let create ?(now = Unix.gettimeofday) ?(config = default_config) () : t =
     listen_fd = None;
     clients = Hashtbl.create 8;
     cm = Mutex.create ();
+    bplans = Hashtbl.create 4;
+    bm = Mutex.create ();
   }
 
 let metrics t = t.metrics
@@ -239,6 +249,134 @@ let handle_tune (t : t) (id : Json.t) (tq : Proto.tune_request) :
         Metrics.observe_tuning_ms t.metrics o.Registry.o_tuning_ms;
       respond (Ok (kernel_reply o))
 
+(* --- blocked-DGEMM planning ---------------------------------------------- *)
+
+(* The safe-baseline plan: the degradation target when a blocked
+   request's deadline expires or its worker dies.  No sweep — the
+   baseline micro-kernel with the analytically-derived blocking and
+   baseline packing kernels, all generated inline. *)
+let baseline_plan ~(workload : Perf.workload) (arch : Arch.t) : A.Blocked.plan
+    =
+  let bb = Tuner.tune_blocked ~workload ~space:[] arch in
+  let pa = Tuner.tune ~space:[] arch Kernels.Pack_a in
+  let pb = Tuner.tune ~space:[] arch Kernels.Pack_b in
+  {
+    A.Blocked.pl_arch = arch;
+    pl_blocking = bb.Tuner.bb_blocking;
+    pl_mr = bb.Tuner.bb_mr;
+    pl_nr = bb.Tuner.bb_nr;
+    pl_micro = bb.Tuner.bb_program;
+    pl_micro_config = bb.Tuner.bb_candidate;
+    pl_pack_a = pa.Tuner.best_program;
+    pl_pack_b = pb.Tuner.best_program;
+    pl_blocked_mflops = bb.Tuner.bb_blocked_score;
+    pl_streamed_mflops = bb.Tuner.bb_streamed_score;
+  }
+
+let handle_blocked (t : t) (id : Json.t) (bq : Proto.blocked_request) :
+    Proto.response =
+  let t0 = t.now () in
+  let arch = bq.Proto.bq_arch in
+  let m = bq.Proto.bq_m and n = bq.Proto.bq_n and k = bq.Proto.bq_k in
+  let key = (arch.Arch.name, m, n, k) in
+  let workload = Perf.W_gemm { m; n; k } in
+  let deadline_ms =
+    match bq.Proto.bq_deadline_ms with
+    | Some _ as d -> d
+    | None -> t.cfg.cfg_deadline_ms
+  in
+  let deadline = Option.map (fun ms -> t0 +. (ms /. 1000.)) deadline_ms in
+  let respond (rs_result : (Proto.reply, Proto.error) Stdlib.result) =
+    Metrics.observe_request_ms t.metrics ((t.now () -. t0) *. 1000.);
+    { Proto.rs_id = id; rs_result }
+  in
+  let reply ~tier ~degraded ~tuning_ms (p : A.Blocked.plan) : Proto.reply =
+    let avx = arch.Arch.simd = Arch.AVX in
+    let bl = p.A.Blocked.pl_blocking in
+    Proto.R_blocked
+      {
+        rb_arch = arch.Arch.name;
+        rb_mc = bl.Mem_model.bl_mc;
+        rb_kc = bl.Mem_model.bl_kc;
+        rb_nc = bl.Mem_model.bl_nc;
+        rb_mr = p.A.Blocked.pl_mr;
+        rb_nr = p.A.Blocked.pl_nr;
+        rb_micro_config =
+          A.Transform.Pipeline.config_to_string
+            p.A.Blocked.pl_micro_config.Tuner.cand_config;
+        rb_micro_assembly =
+          Att.program_to_string ~avx p.A.Blocked.pl_micro;
+        rb_pack_a_assembly =
+          Att.program_to_string ~avx p.A.Blocked.pl_pack_a;
+        rb_pack_b_assembly =
+          Att.program_to_string ~avx p.A.Blocked.pl_pack_b;
+        rb_blocked_mflops =
+          (A.Blocked.predict p workload).Perf.e_mflops;
+        rb_streamed_mflops =
+          (A.Blocked.predict_streamed p workload).Perf.e_mflops;
+        rb_tier = tier;
+        rb_degraded = degraded;
+        rb_tuning_ms = tuning_ms;
+      }
+  in
+  match Mutex.protect t.bm (fun () -> Hashtbl.find_opt t.bplans key) with
+  | Some (p, _) ->
+      Metrics.incr_tier t.metrics Proto.T_memory;
+      respond (Ok (reply ~tier:Proto.T_memory ~degraded:false ~tuning_ms:0. p))
+  | None -> (
+      (* no single-flight here: concurrent identical blocked requests
+         each run their own sweep (the plan memo only dedupes across
+         time).  Plans are requested rarely enough that coalescing
+         machinery isn't worth its states. *)
+      let job () = A.Blocked.plan ~jobs:t.cfg.cfg_tune_jobs ~workload arch in
+      match Scheduler.submit t.sched ?deadline job with
+      | None ->
+          Metrics.incr_overload t.metrics;
+          respond
+            (Error
+               {
+                 Proto.e_code = Proto.e_overload;
+                 e_detail =
+                   Printf.sprintf "queue at capacity (%d)"
+                     (Scheduler.capacity t.sched);
+               })
+      | Some fut -> (
+          let degrade counter =
+            counter t.metrics;
+            Metrics.incr_tier t.metrics Proto.T_tuned;
+            match baseline_plan ~workload arch with
+            | p ->
+                respond
+                  (Ok (reply ~tier:Proto.T_tuned ~degraded:true ~tuning_ms:0. p))
+            | exception Tuner.No_viable_configuration detail ->
+                Metrics.incr_errors t.metrics;
+                respond
+                  (Error { Proto.e_code = Proto.e_internal; e_detail = detail })
+          in
+          match Scheduler.await fut with
+          | Scheduler.Done p ->
+              let tuning_ms = (t.now () -. t0) *. 1000. in
+              Mutex.protect t.bm (fun () ->
+                  Hashtbl.replace t.bplans key (p, tuning_ms));
+              Metrics.incr_tier t.metrics Proto.T_tuned;
+              Metrics.observe_tuning_ms t.metrics tuning_ms;
+              respond
+                (Ok (reply ~tier:Proto.T_tuned ~degraded:false ~tuning_ms p))
+          | Scheduler.Expired -> degrade Metrics.incr_degraded_deadline
+          | Scheduler.Lost -> degrade Metrics.incr_degraded_lost
+          | Scheduler.Failed (Tuner.No_viable_configuration detail) ->
+              Metrics.incr_errors t.metrics;
+              respond
+                (Error { Proto.e_code = Proto.e_internal; e_detail = detail })
+          | Scheduler.Failed e ->
+              Metrics.incr_errors t.metrics;
+              respond
+                (Error
+                   {
+                     Proto.e_code = Proto.e_internal;
+                     e_detail = Printexc.to_string e;
+                   })))
+
 let handle_request (t : t) (rq : Proto.request) : Proto.response =
   let id = rq.Proto.rq_id in
   match rq.Proto.rq_op with
@@ -281,6 +419,19 @@ let handle_request (t : t) (rq : Proto.request) : Proto.response =
               };
         }
       else handle_tune t id tq
+  | Proto.Op_blocked bq ->
+      Metrics.incr_request t.metrics "blocked";
+      if stopping t then
+        {
+          Proto.rs_id = id;
+          rs_result =
+            Error
+              {
+                Proto.e_code = Proto.e_shutting_down;
+                e_detail = "server is shutting down";
+              };
+        }
+      else handle_blocked t id bq
 
 let handle_line (t : t) (line : string) : string =
   match Proto.parse_request line with

@@ -52,3 +52,85 @@ let stream_cycles (arch : Arch.t) ~(working_set : int) ~(traffic : float)
 
 let stream_level (arch : Arch.t) ~(working_set : int) : level =
   residency arch working_set
+
+(* --- Goto blocking derivation ------------------------------------------- *)
+
+(* The cache-size-derived MC/KC/NC triple of the blocked GEMM driver
+   (Goto & van de Geijn, "Anatomy of high-performance matrix
+   multiplication"):
+
+     - the KC x NR micro-panel of packed B streams from L1 while one
+       micro-tile computes, so KC is sized to keep it within (half of)
+       L1 alongside the A micro-panel;
+     - the MC x KC packed block of A is the steady-state resident of
+       L2, sized to half of it so packed-B slices and C tiles can pass
+       through without evicting it;
+     - the KC x NC panel of packed B lives in L3 when one is modelled
+       (otherwise NC only bounds the packing buffer).
+
+   All three are rounded down to multiples of the register tile
+   (MR/NR) so full blocks decompose into whole micro-tiles; remainder
+   handling is the macro-kernel's job, not the derivation's. *)
+
+type blocking = {
+  bl_mc : int;
+  bl_kc : int;
+  bl_nc : int;
+}
+
+let blocking_to_string (b : blocking) =
+  Printf.sprintf "mc=%d kc=%d nc=%d" b.bl_mc b.bl_kc b.bl_nc
+
+let round_down_to ~multiple x = max multiple (x - (x mod multiple))
+
+let derive_blocking (arch : Arch.t) ~(mr : int) ~(nr : int) : blocking =
+  let elt = 8 in
+  (* KC: the KC x NR slice of packed B must sit in half of L1 (the
+     other half carries the A micro-panel and the C tile). *)
+  let kc_raw = arch.Arch.l1_bytes / 2 / (elt * nr) in
+  let kc = max 16 (round_down_to ~multiple:16 kc_raw) in
+  (* MC: the MC x KC packed block of A occupies half of L2. *)
+  let mc_raw = arch.Arch.l2_bytes / 2 / (elt * kc) in
+  let mc = round_down_to ~multiple:mr (max mr mc_raw) in
+  (* NC: the KC x NC packed panel of B occupies half of L3 when one is
+     modelled; without an L3 it only sizes the packing buffer. *)
+  let nc_raw =
+    if arch.Arch.l3_bytes > 0 then arch.Arch.l3_bytes / 2 / (elt * kc)
+    else 4096
+  in
+  let nc = round_down_to ~multiple:nr (max nr (min 8192 nc_raw)) in
+  { bl_mc = mc; bl_kc = kc; bl_nc = nc }
+
+(* The blocking dimension of the tuner's search space: the derived
+   triple plus halved/doubled variants of each dimension that still
+   satisfy the cache-capacity constraints (same cache level for the
+   panel each constraint protects).  Deduplicated, derived point
+   first — on a score tie the analytic derivation wins. *)
+let blocking_candidates (arch : Arch.t) ~(mr : int) ~(nr : int) :
+    blocking list =
+  let d = derive_blocking arch ~mr ~nr in
+  let fits (b : blocking) =
+    let elt = 8 in
+    b.bl_kc >= 16 && b.bl_mc >= mr && b.bl_nc >= nr
+    && elt * b.bl_kc * nr <= arch.Arch.l1_bytes
+    && elt * b.bl_mc * b.bl_kc <= arch.Arch.l2_bytes
+  in
+  let scale f x ~multiple = round_down_to ~multiple (int_of_float (float_of_int x *. f)) in
+  let variants =
+    d
+    :: List.concat_map
+         (fun f ->
+           [
+             { d with bl_mc = scale f d.bl_mc ~multiple:mr };
+             { d with bl_kc = scale f d.bl_kc ~multiple:16 };
+             { d with bl_nc = scale f d.bl_nc ~multiple:nr };
+           ])
+         [ 0.5; 2.0 ]
+  in
+  let rec dedup seen = function
+    | [] -> []
+    | b :: rest ->
+        if List.mem b seen then dedup seen rest
+        else b :: dedup (b :: seen) rest
+  in
+  dedup [] (List.filter fits variants)

@@ -33,3 +33,29 @@ val stream_cycles :
   float
 
 val stream_level : Augem_machine.Arch.t -> working_set:int -> level
+
+(** {2 Goto blocking derivation}
+
+    The cache-size-derived MC/KC/NC triple of the blocked GEMM driver
+    (Goto's analysis): the KC x NR micro-panel of packed B fits in
+    (half of) L1, the MC x KC packed block of A fills half of L2, and
+    the KC x NC panel of B sizes against L3 when one is modelled.
+    [mr]/[nr] are the register-tile dimensions the blocks must
+    decompose into. *)
+
+type blocking = {
+  bl_mc : int;
+  bl_kc : int;
+  bl_nc : int;
+}
+
+val blocking_to_string : blocking -> string
+
+(** The analytically-derived triple for an architecture. *)
+val derive_blocking : Augem_machine.Arch.t -> mr:int -> nr:int -> blocking
+
+(** The blocking dimension of the tuner's search space: the derived
+    triple first, then halved/doubled per-dimension variants that
+    still satisfy the cache-capacity constraints; deduplicated. *)
+val blocking_candidates :
+  Augem_machine.Arch.t -> mr:int -> nr:int -> blocking list

@@ -79,6 +79,111 @@ let memory_profile (w : workload) : int * float =
       let ws = 16 * n in
       (ws, 16.0 *. float_of_int n)
 
+(* --- blocked vs streamed GEMM predictors -------------------------------- *)
+
+(* Compute-roof cycles of a GEMM micro-kernel whose hot loop retires
+   [li_flops] flops per iteration, over [flops] total flops, including
+   the per-microtile invocation overhead (same accounting as the
+   W_gemm branch of [predict]). *)
+let gemm_compute_cycles (li : Cycle_sim.loop_info) ~(flops : float) : float =
+  if li.Cycle_sim.li_flops = 0 then
+    raise (No_hot_loop "gemm hot loop retires no flops");
+  let per_iter = float_of_int li.Cycle_sim.li_flops in
+  let work_per_cycle = per_iter /. li.Cycle_sim.li_cycles in
+  let tiles = flops /. 2.0 /. per_iter *. 2.0 /. 256. in
+  (flops /. work_per_cycle)
+  +. (tiles *. tile_overhead ~flops_per_iter:li.Cycle_sim.li_flops)
+
+let gemm_dims = function
+  | W_gemm { m; n; k } -> (float_of_int m, float_of_int n, float_of_int k)
+  | _ -> invalid_arg "Perf: blocked/streamed prediction needs a W_gemm workload"
+
+let ceil_div a b = Float.of_int (int_of_float (Float.ceil (a /. b)))
+
+(* The full blocked driver: packing + macro-kernel loops around the
+   micro-kernel, under an explicit MC/KC/NC blocking.  DRAM traffic
+   follows Goto's analysis: packed B written/read once per (jc,pc)
+   panel — 2·k·n total; the A block packed once per jc pass —
+   2·m·k·ceil(n/NC); C read+written once per pc pass —
+   2·m·n·ceil(k/KC).  Micro-kernel loads stream from the packed
+   panels resident in L1/L2, and their port pressure is already inside
+   the hot loop's cycle count, so they add no memory-leg traffic. *)
+let predict_blocked ?pipeline_model (arch : Arch.t) (p : Insn.program)
+    ~(blocking : Mem_model.blocking) (w : workload) : estimate =
+  let li = analyze_loop ?pipeline_model arch p in
+  let fm, fn, fk = gemm_dims w in
+  let flops = workload_flops w in
+  let n_jc = ceil_div fn (float_of_int blocking.Mem_model.bl_nc) in
+  let n_pc = ceil_div fk (float_of_int blocking.Mem_model.bl_kc) in
+  let n_ic = ceil_div fm (float_of_int blocking.Mem_model.bl_mc) in
+  (* per-block driver overhead: one pack-A + one micro-kernel dispatch
+     per (jc, pc, ic) block, one pack-B per (jc, pc) *)
+  let blocks = n_jc *. n_pc *. n_ic in
+  let compute =
+    gemm_compute_cycles li ~flops +. (blocks *. 200.) +. (n_jc *. n_pc *. 100.)
+  in
+  let traffic =
+    8.0
+    *. ((2. *. fk *. fn) (* pack B: read + write packed *)
+       +. (2. *. fm *. fk *. n_jc) (* pack A, once per jc pass *)
+       +. (2. *. fm *. fn *. n_pc) (* C read + write, once per pc pass *))
+  in
+  let working_set = 8 * int_of_float ((fm *. fk) +. (fk *. fn) +. (fm *. fn)) in
+  let prefetch = li.Cycle_sim.li_prefetches > 0 in
+  let memory = Mem_model.stream_cycles arch ~working_set ~traffic ~prefetch in
+  let total = Float.max compute memory +. call_overhead in
+  let mflops = flops *. arch.Arch.turbo_ghz *. 1000.0 /. total in
+  let panel_set = 8 * blocking.Mem_model.bl_mc * blocking.Mem_model.bl_kc in
+  {
+    e_mflops = mflops;
+    e_compute_cycles = compute;
+    e_memory_cycles = memory;
+    e_flops = flops;
+    e_level = Mem_model.stream_level arch ~working_set:panel_set;
+    e_cycles_per_iter = li.Cycle_sim.li_cycles;
+    e_flops_per_iter = li.Cycle_sim.li_flops;
+  }
+
+(* The unblocked path the benchmarks measured before the macro-kernel
+   existed: the micro-kernel streaming over the full matrices as one
+   giant panel.  Without cache blocking the whole of A is re-read for
+   every NR-wide column strip of C, so the working set is the full
+   problem and the traffic scales with n/NR — DRAM-bound at any size
+   that matters.
+
+   Unlike the blocked driver, the memory leg does NOT overlap with
+   compute: blocking is precisely what keeps the micro-kernel's
+   operands cache-resident so its loads retire at the cycle-model's
+   L1 latencies.  Streaming the full matrices, each panel pass misses
+   to DRAM and the out-of-order window (tens of instructions) cannot
+   hide hundreds of cycles of miss latency, so the legs serialize —
+   the textbook account of why unblocked GEMM collapses, and the
+   behaviour blocking exists to fix. *)
+let predict_streamed ?pipeline_model (arch : Arch.t) (p : Insn.program)
+    ?(nr = 4) (w : workload) : estimate =
+  let li = analyze_loop ?pipeline_model arch p in
+  let fm, fn, fk = gemm_dims w in
+  let flops = workload_flops w in
+  let strips = ceil_div fn (float_of_int (max 1 nr)) in
+  let compute = gemm_compute_cycles li ~flops in
+  let traffic =
+    8.0 *. ((fm *. fk *. strips) +. (fk *. fn) +. (2. *. fm *. fn))
+  in
+  let working_set = 8 * int_of_float ((fm *. fk) +. (fk *. fn) +. (fm *. fn)) in
+  let prefetch = li.Cycle_sim.li_prefetches > 0 in
+  let memory = Mem_model.stream_cycles arch ~working_set ~traffic ~prefetch in
+  let total = compute +. memory +. call_overhead in
+  let mflops = flops *. arch.Arch.turbo_ghz *. 1000.0 /. total in
+  {
+    e_mflops = mflops;
+    e_compute_cycles = compute;
+    e_memory_cycles = memory;
+    e_flops = flops;
+    e_level = Mem_model.stream_level arch ~working_set;
+    e_cycles_per_iter = li.Cycle_sim.li_cycles;
+    e_flops_per_iter = li.Cycle_sim.li_flops;
+  }
+
 let predict ?pipeline_model (arch : Arch.t) (p : Insn.program)
     (w : workload) : estimate =
   let li = analyze_loop ?pipeline_model arch p in

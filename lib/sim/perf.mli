@@ -41,3 +41,34 @@ val predict :
   Augem_machine.Insn.program ->
   workload ->
   estimate
+
+(** Predict the full blocked GEMM driver (packing + jc/pc/ic
+    macro-kernel loops around the given micro-kernel program) under an
+    explicit MC/KC/NC blocking.  Only meaningful for {!W_gemm}
+    workloads (raises [Invalid_argument] otherwise).  DRAM traffic
+    follows Goto's analysis: packed B moved once, the A block repacked
+    once per NC pass, C touched once per KC pass; micro-kernel panel
+    loads are in-cache and already inside the hot loop's cycle
+    count. *)
+val predict_blocked :
+  ?pipeline_model:[ `Out_of_order | `In_order ] ->
+  Augem_machine.Arch.t ->
+  Augem_machine.Insn.program ->
+  blocking:Mem_model.blocking ->
+  workload ->
+  estimate
+
+(** Predict the unblocked path: the micro-kernel streaming over the
+    full matrices with register tiling only, re-reading A for every
+    [nr]-wide column strip.  The baseline the blocked driver is gated
+    against.  The compute and memory legs serialize (no overlap):
+    without blocking the operands are not cache-resident and the
+    out-of-order window cannot hide DRAM miss latency.  Only
+    meaningful for {!W_gemm} workloads. *)
+val predict_streamed :
+  ?pipeline_model:[ `Out_of_order | `In_order ] ->
+  Augem_machine.Arch.t ->
+  Augem_machine.Insn.program ->
+  ?nr:int ->
+  workload ->
+  estimate

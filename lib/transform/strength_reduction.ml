@@ -24,6 +24,12 @@ module SS = Set.Make (String)
 open Augem_ir
 open Ast
 
+(* An index shape that violates the pass's own decomposition
+   invariants.  Raised instead of [assert false] so the tuner can
+   classify the failure ([Diag.E_strength_reduction]) and keep sweeping
+   instead of aborting. *)
+exception Reduction_error of string
+
 type group = {
   g_ptr : string;
   g_array : string;
@@ -121,7 +127,12 @@ let rewrite_lvalue reg tbl ~v ~forbidden = function
   | Lindex (a, idx) -> (
       match rewrite_expr reg tbl ~v ~forbidden (Index (a, idx)) with
       | Index (a', idx') -> Lindex (a', idx')
-      | _ -> assert false)
+      | e ->
+          raise
+            (Reduction_error
+               (Printf.sprintf
+                  "store %s[%s] rewrote to a non-index expression %s"
+                  a (Pp.expr_to_string idx) (Pp.expr_to_string e))))
 
 let rec rewrite_stmt reg tbl ~v ~forbidden s =
   let re = rewrite_expr reg tbl ~v ~forbidden in
@@ -166,7 +177,12 @@ let reduce_loop reg (h : loop_header) (body : stmt list) : stmt list =
         let init_of g =
           (* ptr = A + common{v := init} *)
           match Poly.split_linear v g.g_common with
-          | None -> assert false
+          | None ->
+              raise
+                (Reduction_error
+                   (Printf.sprintf
+                      "group %s over %s: common term %s is not linear in %s"
+                      g.g_ptr g.g_array (Poly.to_string g.g_common) v))
           | Some (base, stride) ->
               let p = Poly.add base (Poly.mul stride init_p) in
               Assign

@@ -11,4 +11,12 @@
     reproducing the ptr_A / ptr_B / ptr_C0 / ptr_C1 structure of the
     paper's optimized GEMM. *)
 
+(** Raised when an access's index shape violates the pass's own
+    decomposition invariants (a store rewriting to a non-index
+    expression, or a group's common term losing linearity in the loop
+    variable).  Classified by the tuner as
+    [Augem_verify.Diag.E_strength_reduction] so a broken candidate
+    lands in the failure histogram instead of aborting the sweep. *)
+exception Reduction_error of string
+
 val run : Augem_ir.Ast.kernel -> Augem_ir.Ast.kernel

@@ -15,6 +15,7 @@ type code =
   | E_out_of_registers
   | E_gpr_pressure
   | E_codegen
+  | E_strength_reduction
   | E_unroll
   | E_no_hot_loop
   | E_budget_exceeded
@@ -50,6 +51,7 @@ let code_to_string = function
   | E_out_of_registers -> "out-of-registers"
   | E_gpr_pressure -> "gpr-pressure"
   | E_codegen -> "codegen-error"
+  | E_strength_reduction -> "strength-reduction-error"
   | E_unroll -> "unroll-error"
   | E_no_hot_loop -> "no-hot-loop"
   | E_budget_exceeded -> "budget-exceeded"

@@ -23,6 +23,9 @@ type code =
   | E_out_of_registers  (** SIMD register pressure *)
   | E_gpr_pressure  (** general-purpose register pressure *)
   | E_codegen  (** instruction-selection fault *)
+  | E_strength_reduction
+      (** the strength-reduction pass hit an index shape its own
+          decomposition invariants rule out *)
   | E_unroll  (** loop restructuring rejected the kernel *)
   | E_no_hot_loop  (** cycle model found no loop to score *)
   | E_budget_exceeded  (** program too large for the step budget *)

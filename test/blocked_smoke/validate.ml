@@ -1,0 +1,111 @@
+(* Validator behind the @blocked-smoke alias: BENCH_full.json — the
+   full-matrix blocked-DGEMM sweep the benchmark harness just emitted —
+   must parse, carry the documented shape (EXPERIMENTS.md), record a
+   passing differential gate for every checked shape, and show the
+   blocked path at least 2x the unblocked streaming path at the
+   sweep's largest size on every architecture. *)
+
+module Json = Augem.Json
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.eprintf "blocked-smoke: FAIL %s\n" msg)
+    fmt
+
+let field ~ctx name v =
+  match Json.member name v with
+  | Some x -> x
+  | None ->
+      fail "%s: missing field %S" ctx name;
+      Json.Null
+
+let as_list ~ctx name v =
+  match field ~ctx name v with
+  | Json.List l ->
+      if l = [] then fail "%s: field %S is empty" ctx name;
+      l
+  | Json.Null -> []
+  | _ ->
+      fail "%s: field %S is not an array" ctx name;
+      []
+
+let check_string ~ctx ?expect name v =
+  match (field ~ctx name v, expect) with
+  | Json.String s, Some e when s <> e ->
+      fail "%s: field %S is %S, expected %S" ctx name s e
+  | Json.String _, _ -> ()
+  | Json.Null, _ -> ()
+  | _ -> fail "%s: field %S is not a string" ctx name
+
+let number ~ctx name v =
+  match field ~ctx name v with
+  | Json.Int i -> float_of_int i
+  | Json.Float f -> f
+  | Json.Null -> 0.
+  | _ ->
+      fail "%s: field %S is not a number" ctx name;
+      0.
+
+let check_series ~ctx v =
+  check_string ~ctx "label" v;
+  List.iter
+    (fun p ->
+      let ctx = ctx ^ ".points[]" in
+      ignore (number ~ctx "size" p);
+      ignore (number ~ctx "mflops" p))
+    (as_list ~ctx "points" v)
+
+let check_full file =
+  match Json.of_file file with
+  | Error msg -> fail "%s: %s" file msg
+  | Ok j ->
+      let ctx = Filename.basename file in
+      check_string ~ctx ~expect:"full" "experiment" j;
+      check_string ~ctx "title" j;
+      ignore (number ~ctx "largest" j);
+      let arches = as_list ~ctx "arches" j in
+      if List.length arches < 2 then
+        fail "%s: expected both modelled architectures" ctx;
+      List.iter
+        (fun a ->
+          let ctx = ctx ^ ".arches[]" in
+          check_string ~ctx "arch" a;
+          check_string ~ctx "model" a;
+          let b = field ~ctx "blocking" a in
+          List.iter
+            (fun d ->
+              if number ~ctx:(ctx ^ ".blocking") d b < 1. then
+                fail "%s: blocking %s < 1" ctx d)
+            [ "mc"; "kc"; "nc" ];
+          check_string ~ctx "micro_config" a;
+          List.iter (check_series ~ctx:(ctx ^ ".series")) (as_list ~ctx "series" a);
+          (* the paper-motivating gate: cache blocking must pay off *)
+          let speedup = number ~ctx "speedup_at_largest" a in
+          if speedup < 2.0 then
+            fail "%s: blocked path only %.2fx the streamed path (want >= 2x)"
+              ctx speedup;
+          (* every differential shape ran and matched the oracle *)
+          List.iter
+            (fun d ->
+              let ctx = ctx ^ ".differential[]" in
+              ignore (number ~ctx "m" d);
+              ignore (number ~ctx "n" d);
+              ignore (number ~ctx "k" d);
+              match field ~ctx "ok" d with
+              | Json.Bool true -> ()
+              | Json.Bool false -> fail "%s: differential shape failed" ctx
+              | _ -> fail "%s: ok is not a bool" ctx)
+            (as_list ~ctx "differential" a))
+        arches
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
+  check_full (Filename.concat dir "BENCH_full.json");
+  if !failures > 0 then (
+    Printf.eprintf "blocked-smoke: %d validation failure(s)\n" !failures;
+    exit 1)
+  else print_endline "blocked-smoke: BENCH_full.json valid"

@@ -1,0 +1,100 @@
+	.text
+	.globl dpack_b_kernel
+	.type dpack_b_kernel, @function
+dpack_b_kernel:
+	pushq %rbp
+	movq %rsp, %rbp
+	movq $0, %rax
+	subq $144, %rsp
+	movq %rbx, -8(%rbp)
+	movq %r12, -24(%rbp)
+	movq %rcx, -56(%rbp)
+	movq %rdx, -64(%rbp)
+	movq %rsi, -72(%rbp)
+	movq %rdi, -80(%rbp)
+	movq %r8, -88(%rbp)
+	cmpq %rsi, %rax
+	jge .Lend2
+.Lbody1:
+	movq -64(%rbp), %rbx
+	movq %rax, %rdx
+	movq %rbx, %rcx
+	movq %rax, %r8
+	imulq %rdx, %rcx
+	movq -56(%rbp), %rdx
+	leaq (%rdx,%rcx,8), %rsi
+	movq -80(%rbp), %rcx
+	movq %rcx, %rdi
+	movq %rcx, %r10
+	imulq %r8, %rdi
+	movq -88(%rbp), %r8
+	subq $7, %r10
+	leaq (%r8,%rdi,8), %r9
+	movq %r10, -96(%rbp)
+	movq $0, %rdi
+	movq -96(%rbp), %r10
+	cmpq %r10, %rdi
+	jge .Lend4
+.Lbody3:
+	# <svUnrolledCOPY n=8>
+	vmovupd (%rsi), %ymm0
+	addq $8, %rdi
+	prefetcht0 512(%rsi)
+	prefetchw 512(%r9)
+	cmpq %r10, %rdi
+	vmovupd %ymm0, (%r9)
+	vmovupd 32(%rsi), %ymm0
+	addq $64, %rsi
+	vmovupd %ymm0, 32(%r9)
+	addq $64, %r9
+	jl .Lbody3
+.Lend4:
+	movq -64(%rbp), %rbx
+	movq %rax, %r8
+	movq %rbx, %rdx
+	movq %rax, %r11
+	imulq %r8, %rdx
+	movq %rdi, %r8
+	addq %r8, %rdx
+	movq -56(%rbp), %r8
+	leaq (%r8,%rdx,8), %r10
+	movq %rcx, %rdx
+	imulq %r11, %rdx
+	movq %rdi, %r11
+	addq %r11, %rdx
+	movq -88(%rbp), %r11
+	leaq (%r11,%rdx,8), %r12
+	movq %rdi, %rdx
+	movq %rdx, %rdi
+	movq %rsi, -104(%rbp)
+	movq %r9, -112(%rbp)
+	cmpq %rcx, %rdi
+	jge .Lend6
+.Lbody5:
+	# <svCOPY n=1>
+	vmovsd (%r10), %xmm0
+	prefetcht0 64(%r10)
+	addq $1, %rdi
+	addq $8, %r10
+	prefetchw 64(%r12)
+	cmpq %rcx, %rdi
+	vmovapd %xmm0, %xmm10
+	vmovsd %xmm10, (%r12)
+	addq $8, %r12
+	jl .Lbody5
+.Lend6:
+	addq $1, %rax
+	movq -72(%rbp), %rbx
+	movq %rdi, -120(%rbp)
+	movq %r10, -128(%rbp)
+	movq %r12, -136(%rbp)
+	cmpq %rbx, %rax
+	jl .Lbody1
+.Lend2:
+	movq -8(%rbp), %rbx
+	movq -24(%rbp), %r12
+	vzeroupper
+	movq %rbp, %rsp
+	popq %rbp
+	ret
+	.size dpack_b_kernel, .-dpack_b_kernel

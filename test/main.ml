@@ -23,6 +23,7 @@ let unit_suites =
     ("autotune", Test_autotune.suite);
     ("cache", Test_cache.suite);
     ("baselines", Test_baselines.suite);
+    ("blocked", Test_blocked.suite);
     ("report", Test_report.suite);
     ("extensions", Test_extensions.suite);
     ("json", Test_json.suite);

@@ -27,6 +27,8 @@ let short_name = function
   | Kernels.Ger -> "ger"
   | Kernels.Scal -> "scal"
   | Kernels.Copy -> "copy"
+  | Kernels.Pack_a -> "pack_a"
+  | Kernels.Pack_b -> "pack_b"
 
 (* The CLI's per-kernel default configuration (bin/augem_cli.ml,
    [config_of_flags] with no flags): the goldens were captured through
@@ -39,8 +41,11 @@ let cli_default_config (k : Kernels.name) : Pipeline.config =
     | Kernels.Dot ->
         { Pipeline.default with inner_unroll = Some ("i", 8);
           expand_reduction = Some 8 }
-    | Kernels.Axpy | Kernels.Ger | Kernels.Scal | Kernels.Copy ->
+    | Kernels.Axpy | Kernels.Ger | Kernels.Scal | Kernels.Copy
+    | Kernels.Pack_a ->
         { Pipeline.default with inner_unroll = Some ("i", 8) }
+    | Kernels.Pack_b ->
+        { Pipeline.default with inner_unroll = Some ("l", 8) }
   in
   {
     base with
@@ -200,7 +205,7 @@ let test_script_fixpoint_over_spaces () =
 
 let suite =
   [
-    Alcotest.test_case "golden assembly byte-identical (7 kernels x 2 arches)"
+    Alcotest.test_case "golden assembly byte-identical (9 kernels x 2 arches)"
       `Quick test_golden_assembly;
     Alcotest.test_case "trace deterministic across runs" `Quick
       test_trace_deterministic;

@@ -9,9 +9,68 @@ let series =
   ]
 
 let test_means () =
-  Alcotest.(check (float 1e-9)) "mean" 105.0
+  Alcotest.(check (option (float 1e-9))) "mean" (Some 105.0)
     (Report.series_mean (List.hd series));
-  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Report.mean [])
+  (* an empty series has no mean — not a 0. that masquerades as one *)
+  Alcotest.(check (option (float 1e-9))) "empty mean" None (Report.mean []);
+  Alcotest.(check (option (float 1e-9)))
+    "empty series mean" None
+    (Report.series_mean { Report.s_label = "EMPTY"; s_points = [] })
+
+(* the union-of-x-values fix: series measured at disjoint sizes all get
+   their rows printed (the old table took rows from the first series
+   only) *)
+let test_series_table_union () =
+  let disjoint =
+    [
+      { Report.s_label = "A"; s_points = [ (512, 10.) ] };
+      { Report.s_label = "B"; s_points = [ (1024, 20.); (256, 5.) ] };
+    ]
+  in
+  let out = Fmt.str "%a" (fun fmt () ->
+      Report.pp_series_table fmt ~title:"U" ~x_label:"n" disjoint) () in
+  let contains needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length out && (String.sub out i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains needle))
+    [ "256"; "512"; "1024"; "20.0"; "5.0" ];
+  (* rows come out sorted: 256 before 512 before 1024 *)
+  let idx needle =
+    let n = String.length needle in
+    let rec go i =
+      if i + n > String.length out then -1
+      else if String.sub out i n = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Alcotest.(check bool) "sorted rows" true
+    (idx "256" < idx "512" && idx "512" < idx "1024")
+
+(* empty series must not divide pp_speedups nor crash pp_bars *)
+let test_empty_series_guards () =
+  let with_empty =
+    { Report.s_label = "EMPTY"; s_points = [] } :: series
+  in
+  let speedups = Fmt.str "%a" (fun fmt () ->
+      Report.pp_speedups fmt ~baseline:"AUGEM" with_empty) () in
+  Alcotest.(check bool) "no EMPTY speedup row" false
+    (let needle = "EMPTY" in
+     let n = String.length needle in
+     let rec go i =
+       i + n <= String.length speedups
+       && (String.sub speedups i n = needle || go (i + 1))
+     in
+     go 0);
+  let bars = Fmt.str "%a" (fun fmt () -> Report.pp_bars fmt with_empty) () in
+  let lines = String.split_on_char '\n' bars |> List.filter (( <> ) "") in
+  Alcotest.(check int) "one bar per series incl. empty" 3 (List.length lines)
 
 let test_series_table () =
   let out = Fmt.str "%a" (fun fmt () ->
@@ -51,6 +110,8 @@ let suite =
   [
     Alcotest.test_case "means" `Quick test_means;
     Alcotest.test_case "series table" `Quick test_series_table;
+    Alcotest.test_case "series table x union" `Quick test_series_table_union;
+    Alcotest.test_case "empty-series guards" `Quick test_empty_series_guards;
     Alcotest.test_case "speedup summary" `Quick test_speedups;
     Alcotest.test_case "bars" `Quick test_bars;
   ]
