@@ -34,6 +34,7 @@ module Perf = A.Sim.Perf
 module Report = A.Report
 module Json = A.Json
 module Tuner = A.Tuner
+module Etype = A.Machine.Etype
 module Routine = Augem_baselines.Routine_model
 
 let archs = [ Arch.sandy_bridge; Arch.piledriver ]
@@ -196,15 +197,16 @@ let full_sizes_default = [ 256; 512; 1024; 1536; 2048 ]
 let full_check_shapes = [ (17, 13, 11); (8, 6, 6); (9, 5, 7); (1, 1, 1) ]
 let full_check_blocking = { Mem_model.bl_mc = 8; bl_kc = 6; bl_nc = 4 }
 
-let full_matrix ?(sizes = full_sizes_default) () : Json.t =
+let full_matrix ?(et = Etype.F64) ?(sizes = full_sizes_default) () : Json.t =
+  let gemm_name = String.uppercase_ascii (Etype.blas_prefix et) ^ "GEMM" in
   Fmt.pr
-    "== Full-matrix blocked DGEMM (m=n=k; generated packing + macro-kernel) \
-     ==@.";
+    "== Full-matrix blocked %s (m=n=k; generated packing + macro-kernel) \
+     ==@." gemm_name;
   let largest = List.fold_left max 0 sizes in
   let arch_objs =
     List.map
       (fun (arch : Arch.t) ->
-        let plan = A.Blocked.plan ~jobs:!jobs_flag arch in
+        let plan = A.Blocked.plan ~et ~jobs:!jobs_flag arch in
         (* correctness first: the generated blocked driver on the
            simulator vs the reference BLAS, remainder shapes included *)
         let diffs =
@@ -244,7 +246,7 @@ let full_matrix ?(sizes = full_sizes_default) () : Json.t =
         let series = [ blocked; streamed ] in
         Report.pp_series_table Fmt.stdout
           ~title:
-            (Printf.sprintf "Blocked DGEMM (m=n=k) on %s (MFLOPS)"
+            (Printf.sprintf "Blocked %s (m=n=k) on %s (MFLOPS)" gemm_name
                arch.Arch.model)
           ~x_label:"m=n=k" series;
         Report.pp_bars Fmt.stdout series;
@@ -290,11 +292,15 @@ let full_matrix ?(sizes = full_sizes_default) () : Json.t =
   in
   Json.Obj
     [
-      ("experiment", Json.String "full");
+      ( "experiment",
+        Json.String
+          (match et with Etype.F64 -> "full" | Etype.F32 -> "full_f32") );
+      ("precision", Json.String (Etype.name et));
       ( "title",
         Json.String
-          "Full-matrix blocked DGEMM: generated packing + macro-kernel vs \
-           unblocked streaming" );
+          (Printf.sprintf
+             "Full-matrix blocked %s: generated packing + macro-kernel vs \
+              unblocked streaming" gemm_name) );
       ("x_label", Json.String "m=n=k");
       ("largest", Json.Int largest);
       ("arches", Json.List arch_objs);
@@ -670,6 +676,7 @@ let run_full () =
   write_json "fig20" (fig20 ());
   write_json "fig21" (fig21 ());
   write_json "full" (full_matrix ());
+  write_json "full_f32" (full_matrix ~et:Etype.F32 ());
   write_json "table6" (table6 ());
   write_json "sweep" (tuning_sweep ~jobs:!jobs_flag (all_pairs ()));
   ablations ();
@@ -685,10 +692,13 @@ let run_smoke () =
        [ (Arch.sandy_bridge, Kernels.Axpy); (Arch.piledriver, Kernels.Dot) ])
 
 (* Reduced blocked-GEMM run for CI (@blocked-smoke): the differential
-   gate on the simulator plus a small model sweep, emitting the same
-   BENCH_full.json the full run does. *)
+   gate on the simulator plus a small model sweep, at both precisions,
+   emitting the same BENCH_full.json / BENCH_full_f32.json the full run
+   does. *)
 let run_blocked_smoke () =
-  write_json "full" (full_matrix ~sizes:[ 256; 512; 1024 ] ())
+  let sizes = [ 256; 512; 1024 ] in
+  write_json "full" (full_matrix ~sizes ());
+  write_json "full_f32" (full_matrix ~et:Etype.F32 ~sizes ())
 
 let () =
   let usage =

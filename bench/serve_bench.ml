@@ -62,6 +62,7 @@ let tune_line (kernel, (arch : Arch.t), space) : string =
              {
                Service.Proto.tq_kernel = kernel;
                tq_arch = arch;
+               tq_et = A.Machine.Etype.F64;
                tq_space = (if space = [] then None else Some space);
                tq_deadline_ms = None;
              };

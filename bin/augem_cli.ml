@@ -15,16 +15,9 @@ module A = Augem
 
 let arch_conv =
   let parse s =
-    match A.Machine.Arch.by_name s with
-    | Some a -> Ok a
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown architecture %s (try: %s)" s
-               (String.concat ", "
-                  (List.map
-                     (fun a -> a.A.Machine.Arch.name)
-                     A.Machine.Arch.all))))
+    match A.Machine.Arch.by_name_result s with
+    | Ok a -> Ok a
+    | Error msg -> Error (`Msg msg)
   in
   Arg.conv (parse, fun fmt a -> Fmt.string fmt a.A.Machine.Arch.name)
 
@@ -35,6 +28,23 @@ let kernel_conv =
     | None -> Error (`Msg (Printf.sprintf "unknown kernel %s" s))
   in
   Arg.conv (parse, fun fmt k -> Fmt.string fmt (A.Ir.Kernels.name_to_string k))
+
+let precision_conv =
+  let parse s =
+    match A.Machine.Etype.of_name s with
+    | Some et -> Ok et
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "unknown precision %s (valid: f32, f64)" s))
+  in
+  Arg.conv (parse, fun fmt et -> Fmt.string fmt (A.Machine.Etype.name et))
+
+let precision_arg =
+  Arg.(
+    value
+    & opt precision_conv A.Machine.Etype.F64
+    & info [ "precision" ] ~docv:"PREC"
+        ~doc:"Scalar precision: f64 (default) or f32.")
 
 let arch_arg =
   Arg.(
@@ -142,12 +152,13 @@ let config_of_flags kernel jam unroll prefetch =
 (* --- subcommands -------------------------------------------------------- *)
 
 let generate_cmd =
-  let run arch kernel jam unroll prefetch script =
+  let run arch kernel et jam unroll prefetch script =
     let g =
       match load_script script with
-      | Some s -> A.generate_scripted ~arch ~script:s kernel
+      | Some s -> A.generate_scripted ~et ~arch ~script:s kernel
       | None ->
-          A.generate ~arch ~config:(config_of_flags kernel jam unroll prefetch)
+          A.generate ~et ~arch
+            ~config:(config_of_flags kernel jam unroll prefetch)
             kernel
     in
     print_string (A.assembly g)
@@ -155,8 +166,8 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate an assembly kernel")
     Term.(
-      const run $ arch_arg $ kernel_arg $ jam_arg $ unroll_arg $ prefetch_arg
-      $ script_arg)
+      const run $ arch_arg $ kernel_arg $ precision_arg $ jam_arg $ unroll_arg
+      $ prefetch_arg $ script_arg)
 
 let jobs_arg =
   Arg.(
@@ -207,7 +218,7 @@ type tune_cache_counts = {
 }
 
 let tune_cmd =
-  let run arch kernel jobs cache_dir json_out =
+  let run arch kernel et jobs cache_dir json_out =
     let jobs = if jobs <= 0 then A.Pool.default_jobs () else jobs in
     (match cache_dir with Some _ -> A.Tuner.set_cache_dir cache_dir | None -> ());
     let tc =
@@ -228,7 +239,7 @@ let tune_cmd =
            | A.Tuner.Ev_store -> tc.tc_stores <- tc.tc_stores + 1
            | A.Tuner.Ev_store_error d -> tc.tc_diags <- d :: tc.tc_diags));
     let t0 = Unix.gettimeofday () in
-    let r = A.Tuner.tuned ~jobs arch kernel in
+    let r = A.Tuner.tuned ~et ~jobs arch kernel in
     let wall = Unix.gettimeofday () -. t0 in
     Fmt.pr "best configuration: %s@."
       (A.Transform.Pipeline.config_to_string
@@ -259,6 +270,7 @@ let tune_cmd =
              [
                ("arch", A.Json.String arch.A.Machine.Arch.name);
                ("kernel", A.Json.String (A.Ir.Kernels.name_to_string kernel));
+               ("precision", A.Json.String (A.Machine.Etype.name et));
                ("jobs", A.Json.Int jobs);
                ("visited", A.Json.Int r.A.Tuner.visited);
                ("discarded", A.Json.Int r.A.Tuner.discarded);
@@ -289,15 +301,15 @@ let tune_cmd =
                    ] );
              ]);
         Fmt.pr "wrote %s@." path);
-    let g = A.tuned ~arch kernel in
+    let g = A.tuned ~et ~arch kernel in
     let v = A.verify g in
     Fmt.pr "verification: %s@." v.A.Harness.detail
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Auto-tune a kernel and report the best configuration")
     Term.(
-      const run $ arch_arg $ kernel_arg $ jobs_arg $ cache_dir_arg
-      $ json_out_arg)
+      const run $ arch_arg $ kernel_arg $ precision_arg $ jobs_arg
+      $ cache_dir_arg $ json_out_arg)
 
 let phases_cmd =
   let run arch kernel jam unroll prefetch script =
@@ -351,12 +363,17 @@ let max_faults_arg =
         ~doc:"Cap on injected faults for $(b,--chaos).")
 
 let verify_cmd =
-  let run arch kernel jam unroll prefetch chaos chaos_asm max_faults =
+  let run arch kernel et jam unroll prefetch chaos chaos_asm max_faults =
+    let fp =
+      match et with
+      | A.Machine.Etype.F32 -> Some A.Ir.Ast.Float
+      | A.Machine.Etype.F64 -> None
+    in
     let config = config_of_flags kernel jam unroll prefetch in
-    let g = A.generate ~arch ~config kernel in
+    let g = A.generate ~et ~arch ~config kernel in
     let v = A.verify g in
     Fmt.pr "%s %s on %s: %s@."
-      (A.Ir.Kernels.name_to_string kernel)
+      (A.Ir.Kernels.name_to_string ?fp kernel)
       (A.Transform.Pipeline.config_to_string config)
       arch.A.Machine.Arch.name
       (if v.A.Harness.ok then "OK (simulator matches reference BLAS)"
@@ -366,7 +383,7 @@ let verify_cmd =
       else begin
         (* stage 1: per-pass differential oracle over the pipeline *)
         Fmt.pr "@.per-pass differential oracle:@.";
-        let source = A.Ir.Kernels.kernel_of_name kernel in
+        let source = A.Ir.Kernels.kernel_of_name ?fp kernel in
         let oracle_ok =
           match A.Verify.Oracle.check source config with
           | Ok _ ->
@@ -380,7 +397,7 @@ let verify_cmd =
         in
         (* stage 2: fault injection against the harness *)
         Fmt.pr "@.fault injection (harness sensitivity):@.";
-        let r = A.Chaos.run ~max_faults kernel g.A.g_program in
+        let r = A.Chaos.run ~et ~max_faults kernel g.A.g_program in
         Fmt.pr "%a" A.Chaos.pp_report r;
         oracle_ok && A.Chaos.rate r >= 0.95
       end
@@ -390,7 +407,7 @@ let verify_cmd =
       else begin
         (* asm-level fault injection against the static checker *)
         Fmt.pr "@.asm fault injection (static checker sensitivity):@.";
-        let r = A.Chaos.run_static ~max_faults ~arch kernel g.A.g_program in
+        let r = A.Chaos.run_static ~et ~max_faults ~arch kernel g.A.g_program in
         Fmt.pr "%a" A.Chaos.pp_report r;
         A.Chaos.rate r >= 0.95
       end
@@ -404,8 +421,8 @@ let verify_cmd =
           with $(b,--chaos) / $(b,--chaos-asm), also measure the \
           verification layer itself")
     Term.(
-      const run $ arch_arg $ kernel_arg $ jam_arg $ unroll_arg $ prefetch_arg
-      $ chaos_arg $ chaos_asm_arg $ max_faults_arg)
+      const run $ arch_arg $ kernel_arg $ precision_arg $ jam_arg $ unroll_arg
+      $ prefetch_arg $ chaos_arg $ chaos_asm_arg $ max_faults_arg)
 
 let lint_json_arg =
   Arg.(
@@ -428,15 +445,21 @@ let finding_to_json (f : A.Analysis.Asmcheck.finding) : A.Json.t =
     ]
 
 let lint_cmd =
-  let run arch kernel jam unroll prefetch script json =
+  let run arch kernel et jam unroll prefetch script json =
     let g =
       match load_script script with
-      | Some s -> A.generate_scripted ~arch ~script:s kernel
+      | Some s -> A.generate_scripted ~et ~arch ~script:s kernel
       | None ->
-          A.generate ~arch ~config:(config_of_flags kernel jam unroll prefetch)
+          A.generate ~et ~arch
+            ~config:(config_of_flags kernel jam unroll prefetch)
             kernel
     in
-    let params = (A.Ir.Kernels.kernel_of_name kernel).A.Ir.Ast.k_params in
+    let fp =
+      match et with
+      | A.Machine.Etype.F32 -> Some A.Ir.Ast.Float
+      | A.Machine.Etype.F64 -> None
+    in
+    let params = (A.Ir.Kernels.kernel_of_name ?fp kernel).A.Ir.Ast.k_params in
     let findings =
       A.Verify.Oracle.check_static
         ~avx:(arch.A.Machine.Arch.simd = A.Machine.Arch.AVX)
@@ -471,8 +494,8 @@ let lint_cmd =
           encoding invariants, dead/unreachable code) over a generated \
           kernel; exits non-zero if it reports any finding")
     Term.(
-      const run $ arch_arg $ kernel_arg $ jam_arg $ unroll_arg $ prefetch_arg
-      $ script_arg $ lint_json_arg)
+      const run $ arch_arg $ kernel_arg $ precision_arg $ jam_arg
+      $ unroll_arg $ prefetch_arg $ script_arg $ lint_json_arg)
 
 let compile_cmd =
   let file_arg =
@@ -598,7 +621,7 @@ let explain_json_arg =
            single JSON object on stdout.")
 
 let explain_cmd =
-  let run arch kernel jam unroll prefetch script json =
+  let run arch kernel et jam unroll prefetch script json =
     let config, prefer, max_width =
       match load_script script with
       | Some sc ->
@@ -619,7 +642,7 @@ let explain_cmd =
         snapshots = true;
       }
     in
-    let trace = A.explain ~opts ~arch ~config kernel in
+    let trace = A.explain ~et ~opts ~arch ~config kernel in
     if json then print_endline (A.Json.to_string (A.trace_to_json trace))
     else begin
       Fmt.pr "lowering %s on %s (%s): %d stages@.@."
@@ -655,8 +678,8 @@ let explain_cmd =
           and content fingerprints; $(b,--json) renders the same trace \
           machine-readably")
     Term.(
-      const run $ arch_arg $ kernel_arg $ jam_arg $ unroll_arg $ prefetch_arg
-      $ script_arg $ explain_json_arg)
+      const run $ arch_arg $ kernel_arg $ precision_arg $ jam_arg
+      $ unroll_arg $ prefetch_arg $ script_arg $ explain_json_arg)
 
 let cache_clear_arg =
   Arg.(
@@ -954,7 +977,7 @@ let request_cmd =
             "Jitter seed: one client replays its exact backoff schedule; \
              differently-seeded clients desynchronize.")
   in
-  let run socket kernel arch stats ping shutdown blocked size deadline_ms
+  let run socket kernel arch et stats ping shutdown blocked size deadline_ms
       retries backoff_ms retry_seed =
     let path =
       match socket with
@@ -971,6 +994,7 @@ let request_cmd =
         Service.Proto.Op_blocked
           {
             Service.Proto.bq_arch = arch;
+            bq_et = et;
             bq_m = size;
             bq_n = size;
             bq_k = size;
@@ -981,6 +1005,7 @@ let request_cmd =
           {
             Service.Proto.tq_kernel = kernel;
             tq_arch = arch;
+            tq_et = et;
             tq_space = None;
             tq_deadline_ms = deadline_ms;
           }
@@ -1064,9 +1089,9 @@ let request_cmd =
           failure.  $(b,--retries) retries transient classes (overload, \
           transport) with seeded exponential backoff.")
     Term.(
-      const run $ socket_arg $ kernel_arg $ arch_arg $ stats_arg $ ping_arg
-      $ shutdown_arg $ blocked_arg $ size_arg $ deadline_arg $ retries_arg
-      $ backoff_arg $ retry_seed_arg)
+      const run $ socket_arg $ kernel_arg $ arch_arg $ precision_arg
+      $ stats_arg $ ping_arg $ shutdown_arg $ blocked_arg $ size_arg
+      $ deadline_arg $ retries_arg $ backoff_arg $ retry_seed_arg)
 
 let platforms_cmd =
   let run () =

@@ -93,7 +93,10 @@ let config_for ~avx ~(params : Ast.param list) =
   (* System V AMD64: integer/pointer arguments bind [argument_gprs] in
      order (the rest spill to the stack above the return address);
      double arguments bind xmm0..7 in order *)
-  let is_fp p = p.Ast.p_type = Ast.Double in
+  let is_fp p = match p.Ast.p_type with
+    | Ast.Double | Ast.Float -> true
+    | _ -> false
+  in
   let n_int = List.length (List.filter (fun p -> not (is_fp p)) params) in
   let n_fp = List.length (List.filter is_fp params) in
   {

@@ -21,6 +21,7 @@ open Augem_ir
 open Augem_transform
 module Arch = Augem_machine.Arch
 module Insn = Augem_machine.Insn
+module Etype = Augem_machine.Etype
 module Diag = Augem_verify.Diag
 module Pool = Augem_parallel.Pool
 
@@ -28,6 +29,25 @@ type candidate = {
   cand_config : Pipeline.config;
   cand_opts : Augem_driver.Emit.options;
 }
+
+(* The IR precision a scalar element type selects; [None] keeps the
+   built-in (f64) kernel text, so f64 sweeps are bit-identical to the
+   pre-precision tuner. *)
+let fp_of_et : Etype.t -> Ast.dtype option = function
+  | Etype.F32 -> Some Ast.Float
+  | Etype.F64 -> None
+
+(* The element type of a kernel's own parameter list: diagnostics and
+   the performance model follow the kernel, not a separate flag. *)
+let et_of_kernel (kernel : Ast.kernel) : Etype.t =
+  match
+    Ast.fp_type_of_params kernel.Ast.k_params ~p_type:(fun p -> p.Ast.p_type)
+  with
+  | Ast.Float -> Etype.F32
+  | _ -> Etype.F64
+
+let fp_of_kernel (kernel : Ast.kernel) : Ast.dtype option =
+  fp_of_et (et_of_kernel kernel)
 
 type result = {
   best : candidate;
@@ -169,9 +189,10 @@ let diag_of_generation_exn (exn : exn) : Diag.code * string =
 let generate_candidate_diag (arch : Arch.t) ?(max_insns = default_max_insns)
     (kname : Kernels.name) (kernel : Ast.kernel) (c : candidate) :
     (Insn.program, Diag.t) Stdlib.result =
+  let fp = fp_of_kernel kernel in
   let mk ?stage_name code stage detail =
     Diag.make ?stage_name ~code ~stage
-      ~kernel:(Kernels.name_to_string kname)
+      ~kernel:(Kernels.name_to_string ?fp kname)
       ~arch:arch.Arch.name
       ~config:(Pipeline.config_to_string c.cand_config)
       ~detail ()
@@ -245,17 +266,17 @@ let generate_candidate ?kname ?(on_diag = fun (_ : Diag.t) -> ())
       on_diag d;
       None
 
-let score_diag (arch : Arch.t) (kname : Kernels.name) (c : candidate)
-    (prog : Insn.program) (w : Augem_sim.Perf.workload) :
+let score_diag ?(et = Etype.F64) (arch : Arch.t) (kname : Kernels.name)
+    (c : candidate) (prog : Insn.program) (w : Augem_sim.Perf.workload) :
     (float, Diag.t) Stdlib.result =
   let mk code detail =
     Diag.make ~code ~stage:Diag.S_score
-      ~kernel:(Kernels.name_to_string kname)
+      ~kernel:(Kernels.name_to_string ?fp:(fp_of_et et) kname)
       ~arch:arch.Arch.name
       ~config:(Pipeline.config_to_string c.cand_config)
       ~detail ()
   in
-  match Augem_sim.Perf.predict arch prog w with
+  match Augem_sim.Perf.predict ~et arch prog w with
   | e -> Ok e.Augem_sim.Perf.e_mflops
   | exception Augem_sim.Perf.No_hot_loop m -> Error (mk Diag.E_no_hot_loop m)
   | exception exn ->
@@ -289,14 +310,16 @@ let evaluate_candidate (arch : Arch.t) ~max_insns (name : Kernels.name)
   match generate_candidate_diag arch ~max_insns name kernel cand with
   | Error d -> Error d
   | Ok prog -> (
-      match score_diag arch name cand prog workload with
+      match
+        score_diag ~et:(et_of_kernel kernel) arch name cand prog workload
+      with
       | Error d -> Error d
       | Ok s -> Ok (prog, s))
 
-let tune ?(workload : Augem_sim.Perf.workload option)
+let tune ?(et = Etype.F64) ?(workload : Augem_sim.Perf.workload option)
     ?(space : candidate list option) ?(max_insns = default_max_insns)
     ?(jobs : int option) (arch : Arch.t) (name : Kernels.name) : result =
-  let kernel = Kernels.kernel_of_name name in
+  let kernel = Kernels.kernel_of_name ?fp:(fp_of_et et) name in
   let workload =
     match workload with Some w -> w | None -> reference_workload name
   in
@@ -327,7 +350,7 @@ let tune ?(workload : Augem_sim.Perf.workload option)
       | Ok (prog, s) ->
           Log.debug (fun m ->
               m "%s/%s %s -> %.0f MFLOPS" arch.Arch.name
-                (Kernels.name_to_string name)
+                (Kernels.name_to_string ?fp:(fp_of_et et) name)
                 (Pipeline.config_to_string cand.cand_config)
                 s);
           (match !best with
@@ -356,7 +379,7 @@ let tune ?(workload : Augem_sim.Perf.workload option)
       Log.warn (fun m ->
           m "%s/%s: all %d candidates discarded; falling back to baseline"
             arch.Arch.name
-            (Kernels.name_to_string name)
+            (Kernels.name_to_string ?fp:(fp_of_et et) name)
             !visited);
       (* the baseline is generated under the default step budget, not
          the caller's: a tight [max_insns] is a candidate filter, and
@@ -367,7 +390,7 @@ let tune ?(workload : Augem_sim.Perf.workload option)
       with
       | Ok prog ->
           let s =
-            match score_diag arch name safe_baseline prog workload with
+            match score_diag ~et arch name safe_baseline prog workload with
             | Ok s -> s
             | Error _ -> 0.0
           in
@@ -378,7 +401,7 @@ let tune ?(workload : Augem_sim.Perf.workload option)
           raise
             (No_viable_configuration
                (Printf.sprintf "%s on %s (baseline also failed: %s)"
-                  (Kernels.name_to_string name)
+                  (Kernels.name_to_string ?fp:(fp_of_et et) name)
                   arch.Arch.name (Diag.to_string d))))
 
 (* --- memoized tuning (in-memory L1 + persistent on-disk L2) ------------- *)
@@ -468,9 +491,9 @@ let cache_dir () = !cache_dir_ref
 let cache : (string * string * string, result) Hashtbl.t = Hashtbl.create 8
 let cache_mutex = Mutex.create ()
 
-let tuned ?jobs ?cache_dir:cdir ?space (arch : Arch.t) (name : Kernels.name) :
-    result =
-  let kernel_s = Kernels.name_to_string name in
+let tuned ?(et = Etype.F64) ?jobs ?cache_dir:cdir ?space (arch : Arch.t)
+    (name : Kernels.name) : result =
+  let kernel_s = Kernels.name_to_string ?fp:(fp_of_et et) name in
   let space = match space with Some s -> s | None -> space_for name in
   let fingerprint = space_fingerprint space in
   let key = (arch.Arch.name, kernel_s, fingerprint) in
@@ -523,7 +546,7 @@ let tuned ?jobs ?cache_dir:cdir ?space (arch : Arch.t) (name : Kernels.name) :
       match from_disk with
       | Some r -> r
       | None ->
-          let r = tune ?jobs ~space arch name in
+          let r = tune ~et ?jobs ~space arch name in
           notify Ev_swept;
           (* Never memoize or persist a fallback result: a sweep that
              degraded (e.g. under a hostile space or a transient
@@ -565,15 +588,15 @@ let register_tile (c : candidate) : int * int =
    {!Mem_model.blocking_candidates} with {!Perf.predict_blocked} and
    keeps the first-seen maximum (the analytically-derived triple is
    first, so it wins score ties). *)
-let select_blocking (arch : Arch.t) (c : candidate) (prog : Insn.program)
-    (w : Augem_sim.Perf.workload) :
+let select_blocking ~(et : Etype.t) (arch : Arch.t) (c : candidate)
+    (prog : Insn.program) (w : Augem_sim.Perf.workload) :
     (Mem_model.blocking * float * int, Diag.t) Stdlib.result =
   let mr, nr = register_tile c in
-  let blockings = Mem_model.blocking_candidates arch ~mr ~nr in
+  let blockings = Mem_model.blocking_candidates ~et arch ~mr ~nr in
   let best =
     List.fold_left
       (fun acc b ->
-        match Augem_sim.Perf.predict_blocked arch prog ~blocking:b w with
+        match Augem_sim.Perf.predict_blocked ~et arch prog ~blocking:b w with
         | e -> (
             let s = e.Augem_sim.Perf.e_mflops in
             match acc with
@@ -615,7 +638,7 @@ let evaluate_blocked_candidate (arch : Arch.t) ~max_insns
   match generate_candidate_diag arch ~max_insns Kernels.Gemm kernel cand with
   | Error d -> Error d
   | Ok prog -> (
-      match select_blocking arch cand prog w with
+      match select_blocking ~et:(et_of_kernel kernel) arch cand prog w with
       | Error d -> Error d
       | Ok (b, s, visited) -> Ok (prog, b, s, visited))
 
@@ -628,7 +651,8 @@ let evaluate_blocked_candidate (arch : Arch.t) ~max_insns
    result also carries the {!Augem_sim.Perf.predict_streamed} score of
    the winner, the unblocked baseline the blocked driver is gated
    against. *)
-let tune_blocked ?(workload : Augem_sim.Perf.workload option)
+let tune_blocked ?(et = Etype.F64)
+    ?(workload : Augem_sim.Perf.workload option)
     ?(space : candidate list option) ?(max_insns = default_max_insns)
     ?(jobs : int option) (arch : Arch.t) : blocked_result =
   let w =
@@ -639,7 +663,7 @@ let tune_blocked ?(workload : Augem_sim.Perf.workload option)
   (match w with
   | Augem_sim.Perf.W_gemm _ -> ()
   | _ -> invalid_arg "Tuner.tune_blocked: workload must be W_gemm");
-  let kernel = Kernels.kernel_of_name Kernels.Gemm in
+  let kernel = Kernels.kernel_of_name ?fp:(fp_of_et et) Kernels.Gemm in
   let space =
     match space with Some s -> s | None -> space_for Kernels.Gemm
   in
@@ -664,7 +688,7 @@ let tune_blocked ?(workload : Augem_sim.Perf.workload option)
   let finish (cand, prog, blocking, s) =
     let mr, nr = register_tile cand in
     let streamed =
-      match Augem_sim.Perf.predict_streamed arch prog ~nr w with
+      match Augem_sim.Perf.predict_streamed ~et arch prog ~nr w with
       | e -> e.Augem_sim.Perf.e_mflops
       | exception Augem_sim.Perf.No_hot_loop _ -> 0.0
     in
@@ -697,9 +721,9 @@ let tune_blocked ?(workload : Augem_sim.Perf.workload option)
       with
       | Ok prog ->
           let mr, nr = register_tile safe_baseline in
-          let blocking = Mem_model.derive_blocking arch ~mr ~nr in
+          let blocking = Mem_model.derive_blocking ~et arch ~mr ~nr in
           let s =
-            match Augem_sim.Perf.predict_blocked arch prog ~blocking w with
+            match Augem_sim.Perf.predict_blocked ~et arch prog ~blocking w with
             | e -> e.Augem_sim.Perf.e_mflops
             | exception Augem_sim.Perf.No_hot_loop _ -> 0.0
           in

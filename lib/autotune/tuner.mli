@@ -86,8 +86,11 @@ val generate_candidate :
   candidate ->
   Augem_machine.Insn.program option
 
-(** Score a generated program, classifying failures. *)
+(** Score a generated program, classifying failures.  [et] selects the
+    element type the performance model counts flops in (default f64)
+    and the precision label on the diagnostic. *)
 val score_diag :
+  ?et:Augem_machine.Etype.t ->
   Augem_machine.Arch.t ->
   Augem_ir.Kernels.name ->
   candidate ->
@@ -121,8 +124,13 @@ val jobs : unit -> int
     count: candidates are generated and scored in parallel, but the
     best-candidate selection (first-seen maximum, the tie-break the
     search-space ordering depends on) and the failure list are reduced
-    sequentially in candidate order. *)
+    sequentially in candidate order.
+
+    [?et] selects the scalar precision (default f64): the kernel text
+    is retyped to [float], the performance model counts f32 flops, and
+    diagnostics carry the s-prefixed kernel name. *)
 val tune :
+  ?et:Augem_machine.Etype.t ->
   ?workload:Augem_sim.Perf.workload ->
   ?space:candidate list ->
   ?max_insns:int ->
@@ -188,8 +196,13 @@ val cache_dir : unit -> string option
     ([fell_back = true]) are never memoized or persisted — a degraded
     sweep (e.g. over a hostile space) must not poison later callers —
     and a corrupt cache file is a logged miss, never an error.  Safe to
-    call from concurrent domains. *)
+    call from concurrent domains.
+
+    [?et] selects the scalar precision; f32 results address under the
+    s-prefixed kernel name in both tiers, so the f64 content addresses
+    are untouched by the precision axis. *)
 val tuned :
+  ?et:Augem_machine.Etype.t ->
   ?jobs:int ->
   ?cache_dir:string ->
   ?space:candidate list ->
@@ -212,8 +225,10 @@ val register_tile : candidate -> int * int
 (** Best blocking for one generated micro-kernel on a workload:
     first-seen maximum over {!Augem_sim.Mem_model.blocking_candidates}
     (the analytically-derived triple wins ties).  Returns the triple,
-    its predicted MFLOPS, and the number of triples scored. *)
+    its predicted MFLOPS, and the number of triples scored.  [et] sets
+    the element size of the blocking footprints and the flop counts. *)
 val select_blocking :
+  et:Augem_machine.Etype.t ->
   Augem_machine.Arch.t ->
   candidate ->
   Augem_machine.Insn.program ->
@@ -241,8 +256,12 @@ type blocked_result = {
     reference workload; raises [Invalid_argument] otherwise).
     Bit-identical for every [?jobs], same sharding contract as
     {!tune}; degrades to {!safe_baseline} with the analytically-derived
-    blocking when the whole space is discarded. *)
+    blocking when the whole space is discarded.  [?et] selects the
+    scalar precision exactly as in {!tune}; f32 blocking triples are
+    derived with 4-byte elements, so the same caches admit larger
+    blocks. *)
 val tune_blocked :
+  ?et:Augem_machine.Etype.t ->
   ?workload:Augem_sim.Perf.workload ->
   ?space:candidate list ->
   ?max_insns:int ->

@@ -141,7 +141,7 @@ and emit_for st (h : Ast.loop_header) (body : M.astmt list) =
           Hashtbl.replace seen v ();
           match Hashtbl.find_opt ctx.types v with
           | Some (Ast.Int | Ast.Ptr _) -> true
-          | Some Ast.Double | None -> false
+          | Some (Ast.Double | Ast.Float) | None -> false
         end)
       candidates
   in

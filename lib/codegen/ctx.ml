@@ -15,6 +15,7 @@ let err fmt = Fmt.kstr (fun s -> raise (Codegen_error s)) fmt
 
 type t = {
   arch : Arch.t;
+  et : Etype.t; (* element type of the kernel being emitted *)
   out : Insn.t list ref; (* reversed; shared with the GPR allocator *)
   mutable vecs : Regfile.t;
   gprs : Gpralloc.t;
@@ -42,6 +43,14 @@ let full_width (t : t) : Insn.vwidth =
   match t.arch.Arch.simd with Arch.AVX -> Insn.W256 | Arch.SSE -> Insn.W128
 
 let avx t = t.arch.Arch.simd = Arch.AVX
+
+(* Lane count of a width at this kernel's element type. *)
+let lanes t (w : Insn.vwidth) = Insn.lanes_of t.et w
+
+(* Element size in bytes, and the matching index scale, for address
+   arithmetic (8-byte doubles, 4-byte floats). *)
+let elem_bytes t = Etype.bytes t.et
+let elem_scale t = match t.et with Etype.F64 -> Insn.S8 | Etype.F32 -> Insn.S4
 
 let width_for_lanes n : Insn.vwidth option =
   match n with 1 -> Some Insn.W64 | 2 -> Some Insn.W128 | 4 -> Some Insn.W256 | _ -> None
@@ -78,25 +87,54 @@ let sel_zero t w ~dst =
 (* --- lane extraction --------------------------------------------------- *)
 
 (* Copy lane [lane] of [src] into lane 0 of [dst] (dst may equal src
-   only when the operation is a pure in-place shuffle). *)
+   only when the operation is a pure in-place shuffle).  Lane indices
+   are in the kernel's element type: 0-3 for f64, 0-7 for f32. *)
 let sel_extract_lane t ~dst ~src ~lane =
-  match lane with
-  | 0 ->
-      if dst <> src then
-        emit t (Insn.Vop { op = Insn.Fmov; w = Insn.W128; dst; src1 = src; src2 = src })
-  | 1 ->
-      (* unpckhpd dst, src, src: dst = (src[1], src[1]) *)
-      if avx t then
-        emit t (Insn.Vop { op = Insn.Funpckh; w = Insn.W128; dst; src1 = src; src2 = src })
-      else begin
-        emit t (Insn.Vop { op = Insn.Fmov; w = Insn.W128; dst; src1 = src; src2 = src });
-        emit t (Insn.Vop { op = Insn.Funpckh; w = Insn.W128; dst; src1 = dst; src2 = dst })
+  match t.et with
+  | Etype.F64 -> (
+      match lane with
+      | 0 ->
+          if dst <> src then
+            emit t (Insn.Vop { op = Insn.Fmov; w = Insn.W128; dst; src1 = src; src2 = src })
+      | 1 ->
+          (* unpckhpd dst, src, src: dst = (src[1], src[1]) *)
+          if avx t then
+            emit t (Insn.Vop { op = Insn.Funpckh; w = Insn.W128; dst; src1 = src; src2 = src })
+          else begin
+            emit t (Insn.Vop { op = Insn.Fmov; w = Insn.W128; dst; src1 = src; src2 = src });
+            emit t (Insn.Vop { op = Insn.Funpckh; w = Insn.W128; dst; src1 = dst; src2 = dst })
+          end
+      | 2 | 3 ->
+          emit t (Insn.Vextract128 { dst; src; lane = 1 });
+          if lane = 3 then
+            emit t (Insn.Vop { op = Insn.Funpckh; w = Insn.W128; dst; src1 = dst; src2 = dst })
+      | _ -> err "lane %d out of range" lane)
+  | Etype.F32 ->
+      if lane < 0 || lane > 7 then err "lane %d out of range" lane;
+      (* fetch the upper 128-bit half first when needed, then rotate
+         the wanted element into position 0 with a shufps *)
+      let sub = lane land 3 in
+      let base =
+        if lane >= 4 then begin
+          emit t (Insn.Vextract128 { dst; src; lane = 1 });
+          dst
+        end
+        else src
+      in
+      if sub = 0 then begin
+        if base <> dst then
+          emit t (Insn.Vop { op = Insn.Fmov; w = Insn.W128; dst; src1 = base; src2 = base })
       end
-  | 2 | 3 ->
-      emit t (Insn.Vextract128 { dst; src; lane = 1 });
-      if lane = 3 then
-        emit t (Insn.Vop { op = Insn.Funpckh; w = Insn.W128; dst; src1 = dst; src2 = dst })
-  | _ -> err "lane %d out of range" lane
+      else begin
+        let imm = sub lor (sub lsl 2) lor (sub lsl 4) lor (sub lsl 6) in
+        if avx t then
+          emit t (Insn.Vshuf { w = Insn.W128; dst; src1 = base; src2 = base; imm })
+        else begin
+          if base <> dst then
+            emit t (Insn.Vop { op = Insn.Fmov; w = Insn.W128; dst; src1 = base; src2 = base });
+          emit t (Insn.Vshuf { w = Insn.W128; dst; src1 = dst; src2 = dst; imm })
+        end
+      end
 
 (* --- scratch stack slot ------------------------------------------------ *)
 
@@ -120,21 +158,38 @@ let scratch_mem t : Insn.mem =
 
 (* Broadcast the scalar in lane 0 of [src] to all lanes of [dst] at
    width [w].  AVX1 has no register-to-register broadcast, so W256 goes
-   through the scratch slot. *)
+   through the scratch slot.  In-register replication is unpcklpd for
+   doubles and shufps $0 for floats. *)
 let sel_splat t w ~dst ~src =
+  let replicate128 ~dst ~src =
+    match t.et with
+    | Etype.F64 ->
+        emit t (Insn.Vop { op = Insn.Funpckl; w = Insn.W128; dst; src1 = src; src2 = src })
+    | Etype.F32 ->
+        emit t (Insn.Vshuf { w = Insn.W128; dst; src1 = src; src2 = src; imm = 0 })
+  in
   match w with
   | Insn.W64 ->
       if dst <> src then
         emit t (Insn.Vop { op = Insn.Fmov; w = Insn.W128; dst; src1 = src; src2 = src })
   | Insn.W128 ->
-      if avx t then
-        emit t (Insn.Vop { op = Insn.Funpckl; w = Insn.W128; dst; src1 = src; src2 = src })
+      if avx t then replicate128 ~dst ~src
       else begin
         if dst <> src then
           emit t (Insn.Vop { op = Insn.Fmov; w = Insn.W128; dst; src1 = src; src2 = src });
-        emit t (Insn.Vop { op = Insn.Funpckl; w = Insn.W128; dst; src1 = dst; src2 = dst })
+        replicate128 ~dst ~src:dst
       end
   | Insn.W256 ->
       let m = scratch_mem t in
       emit t (Insn.Vstore { w = Insn.W64; src; dst = m });
       emit t (Insn.Vbroadcast { w = Insn.W256; dst; src = m })
+
+(* Broadcast a memory scalar to all lanes of [dst].  One instruction
+   everywhere except f32 under SSE, which has no single-instruction
+   broadcast (movss + shufps $0). *)
+let sel_broadcast_mem t w ~dst (m : Insn.mem) =
+  match (t.et, w, avx t) with
+  | Etype.F32, (Insn.W128 | Insn.W256), false ->
+      emit t (Insn.Vload { w = Insn.W64; dst; src = m });
+      emit t (Insn.Vshuf { w = Insn.W128; dst; src1 = dst; src2 = dst; imm = 0 })
+  | _ -> emit t (Insn.Vbroadcast { w; dst; src = m })

@@ -47,8 +47,16 @@ let create_state ~(arch : Arch.t) ~(plan : Plan.t) (ak : M.akernel) :
   List.iter (fun p -> Hashtbl.replace types p.Ast.p_name p.Ast.p_type)
     ak.M.ak_params;
   Control.record_types types ak.M.ak_body;
+  let et =
+    match
+      Ast.fp_type_of_params ak.M.ak_params ~p_type:(fun p -> p.Ast.p_type)
+    with
+    | Ast.Float -> Etype.F32
+    | _ -> Etype.F64
+  in
   let ctx =
-    { Ctx.arch; out; vecs; gprs; types; label_count = 0; scratch_slot = None }
+    { Ctx.arch; et; out; vecs; gprs; types; label_count = 0;
+      scratch_slot = None }
   in
   let st =
     {
@@ -77,7 +85,7 @@ let create_state ~(arch : Arch.t) ~(plan : Plan.t) (ak : M.akernel) :
               Gpralloc.bind_stack_param ctx.gprs ~var:p.Ast.p_name
                 ~disp:!stack_disp;
               stack_disp := !stack_disp + 8)
-      | Ast.Double -> (
+      | Ast.Double | Ast.Float -> (
           match !fp_regs with
           | r :: rest ->
               fp_regs := rest;
@@ -89,7 +97,10 @@ let create_state ~(arch : Arch.t) ~(plan : Plan.t) (ak : M.akernel) :
      replicated across lanes once, before any loop *)
   List.iter
     (fun p ->
-      if p.Ast.p_type = Ast.Double && Plan.needs_splat plan p.Ast.p_name then
+      if
+        (p.Ast.p_type = Ast.Double || p.Ast.p_type = Ast.Float)
+        && Plan.needs_splat plan p.Ast.p_name
+      then
         match Regfile.residence ctx.vecs p.Ast.p_name with
         | Some (Regfile.Lane (r, 0)) ->
             let w = full_width ctx in

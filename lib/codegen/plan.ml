@@ -12,16 +12,25 @@ open Augem_templates.Template
 
 (* Width alias re-exporting [Insn.vwidth]'s constructors. *)
 module Insn_width = struct
+  module Etype = Augem_machine.Etype
+
   type t = Augem_machine.Insn.vwidth =
     | W64
     | W128
     | W256
 
-  let of_lanes = function
-    | 1 -> W64
-    | 2 -> W128
-    | 4 -> W256
-    | n -> invalid_arg (Printf.sprintf "Insn_width.of_lanes %d" n)
+  (* Lane count -> width at an element type.  W64 is one scalar lane
+     of either type; packed widths hold [width_bits / Etype.bits]
+     lanes, so the valid vector lane counts are {2, 4} for f64 and
+     {4, 8} for f32 (there is no 2-lane f32 vector). *)
+  let of_lanes ?(et = Etype.F64) n =
+    match (n, et) with
+    | 1, _ -> W64
+    | 2, Etype.F64 | 4, Etype.F32 -> W128
+    | 4, Etype.F64 | 8, Etype.F32 -> W256
+    | n, et ->
+        invalid_arg
+          (Printf.sprintf "Insn_width.of_lanes %d (%s)" n (Etype.name et))
 end
 
 type strategy =
@@ -55,8 +64,6 @@ type t = {
 
 let find_plan t res = Hashtbl.find_opt t.by_res res
 let needs_splat t v = Hashtbl.mem t.splats v
-
-let width_of_lanes = Insn_width.of_lanes
 
 (* --- group shape analysis --------------------------------------------- *)
 
@@ -153,11 +160,20 @@ let analyze (group : mm_comp list) : shape =
         else Irregular
     end
 
-(* Largest usable chunk width: a power-of-two lane count dividing [n]
-   and not exceeding the machine's SIMD lanes. *)
-let chunk_lanes ~machine_lanes n =
-  let rec go w = if w >= 2 && n mod w = 0 then w else if w <= 1 then 1 else go (w / 2) in
-  go (min machine_lanes (if n >= 4 then 4 else if n >= 2 then 2 else 1))
+(* Largest usable chunk width: a lane count that is valid for the
+   element type (f64: 4 or 2; f32: 8 or 4 — no 2-lane f32 vectors),
+   divides [n], and does not exceed the machine's SIMD lanes. *)
+let chunk_lanes ~et ~machine_lanes n =
+  let candidates =
+    match et with
+    | Augem_machine.Etype.F64 -> [ 4; 2 ]
+    | Augem_machine.Etype.F32 -> [ 8; 4 ]
+  in
+  let rec pick = function
+    | [] -> 1
+    | w :: rest -> if w <= machine_lanes && n mod w = 0 then w else pick rest
+  in
+  pick candidates
 
 type prefer =
   | Prefer_auto
@@ -165,8 +181,10 @@ type prefer =
   | Prefer_shuf
 
 (* Decide the strategy and lane layout for one group. *)
-let plan_group ~machine_lanes ~(prefer : prefer) (group : mm_comp list) :
+let plan_group ~et ~machine_lanes ~(prefer : prefer) (group : mm_comp list) :
     group_plan =
+  let width_of_lanes = Insn_width.of_lanes ~et in
+  let chunk_lanes = chunk_lanes ~et in
   let res_of i = (List.nth group i).mc_res in
   let scalar () =
     {
@@ -307,7 +325,7 @@ let rec regions_of_astmts acc = function
    draw registers from that array's queue (paper 3.1: "res0 is later
    saved as an element of Array C, so it is allocated with a register
    assigned to C"). *)
-let build ~machine_lanes ~prefer (ak : akernel) : t =
+let build ~et ~machine_lanes ~prefer (ak : akernel) : t =
   let t = { by_res = Hashtbl.create 16; splats = Hashtbl.create 8 } in
   let regions = regions_of_astmts [] ak.ak_body in
   (* an accumulator written by more than one comp region cannot be
@@ -349,7 +367,7 @@ let build ~machine_lanes ~prefer (ak : akernel) : t =
   List.iter
     (function
       | Mm_unrolled_comp group ->
-          let plan = plan_group ~machine_lanes ~prefer group in
+          let plan = plan_group ~et ~machine_lanes ~prefer group in
           let cls =
             match group with
             | m :: _ -> (

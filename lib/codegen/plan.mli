@@ -18,7 +18,10 @@ module Insn_width : sig
     | W128
     | W256
 
-  val of_lanes : int -> t
+  val of_lanes : ?et:Augem_machine.Etype.t -> int -> t
+  (** Lane count -> width at an element type (default f64).  Valid
+      vector lane counts are [{2, 4}] for f64 and [{4, 8}] for f32;
+      [1] is the scalar width [W64] for either. *)
 end
 
 type strategy =
@@ -60,8 +63,10 @@ type prefer =
   | Prefer_vdup
   | Prefer_shuf
 
-(** Strategy and lane layout for one group. *)
+(** Strategy and lane layout for one group.  [machine_lanes] must be
+    the SIMD lane count at the same element type [et]. *)
 val plan_group :
+  et:Augem_machine.Etype.t ->
   machine_lanes:int ->
   prefer:prefer ->
   Augem_templates.Template.mm_comp list ->
@@ -69,6 +74,7 @@ val plan_group :
 
 (** Plan a whole annotated kernel. *)
 val build :
+  et:Augem_machine.Etype.t ->
   machine_lanes:int ->
   prefer:prefer ->
   Augem_templates.Matcher.akernel ->

@@ -136,20 +136,24 @@ and memoized st expr : Reg.gpr =
 (* addressing                                                              *)
 (* ---------------------------------------------------------------------- *)
 
-(* Build a memory operand for element [base[idx]] (8-byte doubles) and
-   pass it to [k]; index temporaries are freed afterwards. *)
+(* Build a memory operand for element [base[idx]] (element size and
+   index scale from the kernel's element type: 8-byte doubles, 4-byte
+   floats) and pass it to [k]; index temporaries are freed
+   afterwards. *)
 let with_addr st (base : string) (idx : Ast.expr) (k : Insn.mem -> unit) : unit
     =
   let ctx = st.ctx in
+  let eb = elem_bytes ctx in
+  let escale = elem_scale ctx in
   let rb = Gpralloc.get ctx.gprs base in
   match Simplify.simplify_expr idx with
-  | Ast.Int_lit n -> k (Insn.mem ~disp:(8 * n) rb)
+  | Ast.Int_lit n -> k (Insn.mem ~disp:(eb * n) rb)
   | e -> (
       match Poly.of_expr e with
       | Some p ->
           let c = match Poly.Mmap.find_opt [] p with Some c -> c | None -> 0 in
           let rest = Poly.sub p (Poly.const c) in
-          if Poly.is_zero rest then k (Insn.mem ~disp:(8 * c) rb)
+          if Poly.is_zero rest then k (Insn.mem ~disp:(eb * c) rb)
           else begin
             let rest_expr = Poly.to_expr rest in
             (* fast path: a live variable or memoized invariant can be
@@ -166,17 +170,17 @@ let with_addr st (base : string) (idx : Ast.expr) (k : Insn.mem -> unit) : unit
             | Some v ->
                 let ri = Gpralloc.get ctx.gprs v ~avoid:[ rb ] in
                 let rb = Gpralloc.get ctx.gprs base ~avoid:[ ri ] in
-                k (Insn.mem ~index:(ri, Insn.S8) ~disp:(8 * c) rb)
+                k (Insn.mem ~index:(ri, escale) ~disp:(eb * c) rb)
             | None ->
                 let ri = eval_int st rest_expr in
                 let rb = Gpralloc.get ctx.gprs base ~avoid:[ ri ] in
-                k (Insn.mem ~index:(ri, Insn.S8) ~disp:(8 * c) rb);
+                k (Insn.mem ~index:(ri, escale) ~disp:(eb * c) rb);
                 Gpralloc.free_temp ctx.gprs ri
           end
       | None ->
           let ri = eval_int st e in
           let rb = Gpralloc.get ctx.gprs base ~avoid:[ ri ] in
-          k (Insn.mem ~index:(ri, Insn.S8) rb);
+          k (Insn.mem ~index:(ri, escale) rb);
           Gpralloc.free_temp ctx.gprs ri)
 
 (* ---------------------------------------------------------------------- *)
@@ -214,7 +218,11 @@ let rec eval_double st (e : Ast.expr) : int * bool =
   | Ast.Double_lit f ->
       let t = Regfile.alloc_temp ctx.vecs ~cls:"tmp" in
       let g = Gpralloc.alloc_temp ctx.gprs () in
-      emit ctx (Insn.Movabs (g, Int64.bits_of_float f));
+      (match ctx.Ctx.et with
+      | Etype.F64 -> emit ctx (Insn.Movabs (g, Int64.bits_of_float f))
+      | Etype.F32 ->
+          (* materialize the f32 bit pattern; Movq_xr prints as movd *)
+          emit ctx (Insn.Movri (g, Int32.to_int (Int32.bits_of_float f))));
       emit ctx (Insn.Movq_xr { dst = t; src = g });
       Gpralloc.free_temp ctx.gprs g;
       (t, true)
@@ -315,8 +323,7 @@ let emit_double_assign_var st v (e : Ast.expr) =
                 Regfile.alloc_splat ctx.vecs ~var:v
                   ~cls:(Augem_analysis.Arrays.base_array_of a)
           in
-          with_addr st a idx (fun m ->
-              emit ctx (Insn.Vbroadcast { w; dst = r; src = m }))
+          with_addr st a idx (fun m -> sel_broadcast_mem ctx w ~dst:r m)
       | true, _ ->
           (* splat variable defined by a computed expression (e.g. the
              GER column scalar alpha*y[j]): evaluate scalar, then
@@ -355,7 +362,9 @@ let emit_int_assign st v (e : Ast.expr) =
   let ctx = st.ctx in
   let e = Simplify.simplify_expr e in
   if is_pointer ctx v then begin
-    (* pointer arithmetic is in elements: scale by 8 bytes *)
+    (* pointer arithmetic is in elements: scale by the element size *)
+    let eb = elem_bytes ctx in
+    let escale = elem_scale ctx in
     match e with
     | Ast.Var b when is_pointer ctx b ->
         let rb = Gpralloc.get ctx.gprs b in
@@ -365,31 +374,31 @@ let emit_int_assign st v (e : Ast.expr) =
         match Simplify.simplify_expr off with
         | Ast.Int_lit n ->
             let rb = Gpralloc.get ctx.gprs b in
-            if String.equal b v then emit ctx (Insn.Addri (rb, 8 * n))
+            if String.equal b v then emit ctx (Insn.Addri (rb, eb * n))
             else begin
               let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb ] in
-              emit ctx (Insn.Lea (rv, Insn.mem ~disp:(8 * n) rb))
+              emit ctx (Insn.Lea (rv, Insn.mem ~disp:(eb * n) rb))
             end;
             ignore (Gpralloc.def ctx.gprs v)
         | Ast.Var o when Gpralloc.is_defined ctx.gprs o ->
             let ri = Gpralloc.get ctx.gprs o in
             let rb = Gpralloc.get ctx.gprs b ~avoid:[ ri ] in
             let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb; ri ] in
-            emit ctx (Insn.Lea (rv, Insn.mem ~index:(ri, Insn.S8) rb))
+            emit ctx (Insn.Lea (rv, Insn.mem ~index:(ri, escale) rb))
         | off ->
             let ri = eval_int st off in
             let rb = Gpralloc.get ctx.gprs b ~avoid:[ ri ] in
             let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb; ri ] in
-            emit ctx (Insn.Lea (rv, Insn.mem ~index:(ri, Insn.S8) rb));
+            emit ctx (Insn.Lea (rv, Insn.mem ~index:(ri, escale) rb));
             Gpralloc.free_temp ctx.gprs ri)
     | Ast.Binop (Ast.Sub, Ast.Var b, off) when is_pointer ctx b -> (
         match Simplify.simplify_expr off with
         | Ast.Int_lit n ->
             let rb = Gpralloc.get ctx.gprs b in
-            if String.equal b v then emit ctx (Insn.Addri (rb, -8 * n))
+            if String.equal b v then emit ctx (Insn.Addri (rb, -eb * n))
             else begin
               let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb ] in
-              emit ctx (Insn.Lea (rv, Insn.mem ~disp:(-8 * n) rb))
+              emit ctx (Insn.Lea (rv, Insn.mem ~disp:(-eb * n) rb))
             end;
             ignore (Gpralloc.def ctx.gprs v)
         | off ->
@@ -397,7 +406,7 @@ let emit_int_assign st v (e : Ast.expr) =
             emit ctx (Insn.Negr ri);
             let rb = Gpralloc.get ctx.gprs b ~avoid:[ ri ] in
             let rv = Gpralloc.def ctx.gprs v ~avoid:[ rb; ri ] in
-            emit ctx (Insn.Lea (rv, Insn.mem ~index:(ri, Insn.S8) rb));
+            emit ctx (Insn.Lea (rv, Insn.mem ~index:(ri, escale) rb));
             Gpralloc.free_temp ctx.gprs ri)
     | _ -> err "unsupported pointer expression for %s" v
   end
@@ -425,11 +434,11 @@ let emit_plain st (s : Ast.stmt) =
       | None -> ()
       | Some e -> (
           match ty with
-          | Ast.Double -> emit_double_assign_var st v e
+          | Ast.Double | Ast.Float -> emit_double_assign_var st v e
           | Ast.Int | Ast.Ptr _ -> emit_int_assign st v e))
   | Ast.Assign (Ast.Lvar v, e) -> (
       match type_of_var ctx v with
-      | Ast.Double -> emit_double_assign_var st v e
+      | Ast.Double | Ast.Float -> emit_double_assign_var st v e
       | Ast.Int | Ast.Ptr _ -> emit_int_assign st v e)
   | Ast.Assign (Ast.Lindex (a, idx), e) ->
       let value = eval_double st e in

@@ -78,7 +78,7 @@ let emit_mm_comp st (gp : Plan.group_plan) (group : T.mm_comp list) : bool =
       | Plan.S_scalar -> false
       | Plan.S_vdup { w; n1 = _; chunks; bs } ->
           note_width st w;
-          let lanes = Insn.lanes w in
+          let lanes = Insn.lanes_of ctx.et w in
           (* load the contiguous A vectors once; reuse across B's *)
           let va =
             Array.init chunks (fun c ->
@@ -92,7 +92,7 @@ let emit_mm_comp st (gp : Plan.group_plan) (group : T.mm_comp list) : bool =
               let b_cls = Augem_analysis.Arrays.base_array_of b_ptr in
               let vb = Regfile.alloc_temp ctx.vecs ~cls:b_cls in
               with_addr st b_ptr (Ast.Int_lit b_disp) (fun m ->
-                  emit ctx (Insn.Vbroadcast { w; dst = vb; src = m }));
+                  sel_broadcast_mem ctx w ~dst:vb m);
               for c = 0 to chunks - 1 do
                 let acc = acc_regs.((bi * chunks) + c) in
                 sel_fmadd ctx w ~acc ~a:va.(c) ~b:vb ~scratch
@@ -104,7 +104,7 @@ let emit_mm_comp st (gp : Plan.group_plan) (group : T.mm_comp list) : bool =
           true
       | Plan.S_elem { w; chunks } ->
           note_width st w;
-          let lanes = Insn.lanes w in
+          let lanes = Insn.lanes_of ctx.et w in
           let b_ptr = first.T.mc_b in
           let b_cls = Augem_analysis.Arrays.base_array_of b_ptr in
           let d0b =
@@ -125,7 +125,7 @@ let emit_mm_comp st (gp : Plan.group_plan) (group : T.mm_comp list) : bool =
           true
       | Plan.S_shuf { w; a_chunks; b_chunks } ->
           note_width st w;
-          let lanes = Insn.lanes w in
+          let lanes = Insn.lanes_of ctx.et w in
           let b_ptr = first.T.mc_b in
           let b_cls = Augem_analysis.Arrays.base_array_of b_ptr in
           let d0b =
@@ -188,12 +188,12 @@ let emit_mm_store st (group : T.mm_store list) (live_out : SS.t) : bool =
       let w_lanes =
         (* width of the accumulators: infer from the plan of the first res *)
         match Plan.find_plan st.plan (List.hd group).T.ms_res with
-        | Some gp -> Insn.lanes gp.Plan.gp_width
+        | Some gp -> Insn.lanes_of ctx.et gp.Plan.gp_width
         | None -> 1
       in
       if w_lanes < 2 || n mod w_lanes <> 0 then false
       else begin
-        let w = Plan.Insn_width.of_lanes w_lanes in
+        let w = Plan.Insn_width.of_lanes ~et:ctx.et w_lanes in
         note_width st w;
         let c_ptr = (List.hd group).T.ms_c in
         let c_cls = Augem_analysis.Arrays.base_array_of c_ptr in
@@ -278,7 +278,7 @@ let emit_mv_comp st (group : T.mv_comp list) : bool =
         && Option.is_some (T.disp_of m.T.mv_idx2))
       group
   in
-  let lanes = min (Insn.lanes (full_width ctx)) 4 in
+  let lanes = Insn.lanes_of ctx.et (full_width ctx) in
   if (not disps_ok) || n < lanes then false
   else begin
     let w = full_width ctx in
@@ -332,7 +332,7 @@ let emit_sv_scal st (group : T.sv_scal list) : bool =
   let disps_ok =
     List.for_all (fun m -> Option.is_some (T.disp_of m.T.ss_idx)) group
   in
-  let lanes = min (Insn.lanes (full_width ctx)) 4 in
+  let lanes = Insn.lanes_of ctx.et (full_width ctx) in
   if (not disps_ok) || n < lanes then false
   else
     match Regfile.residence ctx.vecs first.T.ss_scal with
@@ -373,7 +373,7 @@ let emit_sv_copy st (group : T.sv_copy list) : bool =
         && Option.is_some (T.disp_of m.T.sc_idx2))
       group
   in
-  let lanes = min (Insn.lanes (full_width ctx)) 4 in
+  let lanes = Insn.lanes_of ctx.et (full_width ctx) in
   if (not disps_ok) || n < lanes then false
   else begin
     let w = full_width ctx in

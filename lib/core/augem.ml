@@ -57,6 +57,7 @@ module Templates = struct
 end
 
 module Machine = struct
+  module Etype = Augem_machine.Etype
   module Reg = Augem_machine.Reg
   module Insn = Augem_machine.Insn
   module Arch = Augem_machine.Arch
@@ -117,6 +118,7 @@ module Json = Json
 type generated = {
   g_kernel : Ir.Kernels.name;
   g_arch : Machine.Arch.t;
+  g_et : Machine.Etype.t; (* scalar precision the kernel computes in *)
   g_config : Transform.Pipeline.config;
   g_source : Ir.Ast.kernel; (* the simple C input *)
   g_optimized : Ir.Ast.kernel; (* after the C kernel generator *)
@@ -124,12 +126,23 @@ type generated = {
   g_program : Machine.Insn.program;
 }
 
+(* The IR precision an element type selects; [None] keeps the built-in
+   f64 kernel text, so the default path is unchanged by the precision
+   axis. *)
+let fp_of_et : Machine.Etype.t -> Ir.Ast.dtype option = function
+  | Machine.Etype.F32 -> Some Ir.Ast.Float
+  | Machine.Etype.F64 -> None
+
 (* Run the full pipeline on one of the paper's kernels under an
-   explicit configuration. *)
-let generate ?(opts = Codegen.Emit.default_options) ~(arch : Machine.Arch.t)
+   explicit configuration.  [?et] selects the scalar precision
+   (default f64): f32 retypes the kernel source to [float] and the
+   whole stack — vector widths, instruction suffixes, simulation
+   semantics — follows the parameter types from there. *)
+let generate ?(et = Machine.Etype.F64)
+    ?(opts = Codegen.Emit.default_options) ~(arch : Machine.Arch.t)
     ~(config : Transform.Pipeline.config) (name : Ir.Kernels.name) : generated
     =
-  let source = Ir.Kernels.kernel_of_name name in
+  let source = Ir.Kernels.kernel_of_name ?fp:(fp_of_et et) name in
   let trace =
     Driver.Lower.run
       ~opts:
@@ -143,6 +156,7 @@ let generate ?(opts = Codegen.Emit.default_options) ~(arch : Machine.Arch.t)
   {
     g_kernel = name;
     g_arch = arch;
+    g_et = et;
     g_config = config;
     g_source = source;
     g_optimized =
@@ -157,10 +171,11 @@ let generate ?(opts = Codegen.Emit.default_options) ~(arch : Machine.Arch.t)
    keeping the whole trace (per-stage timings, fingerprints, size
    counters and, when [snapshots], rendered artifacts).  This is what
    `augem explain` renders. *)
-let explain ?(opts = Driver.Lower.default_opts) ~(arch : Machine.Arch.t)
-    ~(config : Transform.Pipeline.config) (name : Ir.Kernels.name) :
-    Driver.Trace.t =
-  Driver.Lower.run ~opts ~arch ~config (Ir.Kernels.kernel_of_name name)
+let explain ?(et = Machine.Etype.F64) ?(opts = Driver.Lower.default_opts)
+    ~(arch : Machine.Arch.t) ~(config : Transform.Pipeline.config)
+    (name : Ir.Kernels.name) : Driver.Trace.t =
+  Driver.Lower.run ~opts ~arch ~config
+    (Ir.Kernels.kernel_of_name ?fp:(fp_of_et et) name)
 
 (* Machine-readable rendering of a lowering trace. *)
 let trace_to_json (t : Driver.Trace.t) : Json.t =
@@ -212,9 +227,9 @@ let opts_of_script (s : Transform.Script.t) : Codegen.Emit.options =
         s.Transform.Script.sc_width;
   }
 
-let generate_scripted ~(arch : Machine.Arch.t) ~(script : Transform.Script.t)
-    (name : Ir.Kernels.name) : generated =
-  generate ~arch ~config:script.Transform.Script.sc_config
+let generate_scripted ?et ~(arch : Machine.Arch.t)
+    ~(script : Transform.Script.t) (name : Ir.Kernels.name) : generated =
+  generate ?et ~arch ~config:script.Transform.Script.sc_config
     ~opts:(opts_of_script script) name
 
 (* Same, with the configuration chosen by the empirical tuner.
@@ -222,22 +237,22 @@ let generate_scripted ~(arch : Machine.Arch.t) ~(script : Transform.Script.t)
    tuning result on disk (both also settable process-wide via
    [Tuner.set_jobs] / [Tuner.set_cache_dir] or the AUGEM_JOBS /
    AUGEM_CACHE_DIR environment variables). *)
-let tuned ?jobs ?cache_dir ~(arch : Machine.Arch.t) (name : Ir.Kernels.name) :
-    generated =
-  let r = Tuner.tuned ?jobs ?cache_dir arch name in
-  generate ~arch ~config:r.Tuner.best.Tuner.cand_config
+let tuned ?(et = Machine.Etype.F64) ?jobs ?cache_dir
+    ~(arch : Machine.Arch.t) (name : Ir.Kernels.name) : generated =
+  let r = Tuner.tuned ~et ?jobs ?cache_dir arch name in
+  generate ~et ~arch ~config:r.Tuner.best.Tuner.cand_config
     ~opts:r.Tuner.best.Tuner.cand_opts name
 
 (* Verify a generated kernel end to end (simulator vs reference BLAS). *)
 let verify (g : generated) : Harness.outcome =
-  Harness.verify g.g_kernel g.g_program
+  Harness.verify ~et:g.g_et g.g_kernel g.g_program
 
 (* The assembly listing, as the Assembly Kernel Generator emits it. *)
 let assembly (g : generated) : string =
-  Machine.Att.program_to_string
+  Machine.Att.program_to_string ~et:g.g_et
     ~avx:(g.g_arch.Machine.Arch.simd = Machine.Arch.AVX)
     g.g_program
 
 (* Cycle-model MFLOPS estimate on a workload. *)
 let predict (g : generated) (w : Sim.Perf.workload) : Sim.Perf.estimate =
-  Sim.Perf.predict g.g_arch g.g_program w
+  Sim.Perf.predict ~et:g.g_et g.g_arch g.g_program w

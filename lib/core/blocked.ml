@@ -22,9 +22,11 @@ module Mem_model = Augem_sim.Mem_model
 module Perf = Augem_sim.Perf
 module Kernels = Augem_ir.Kernels
 module Pipeline = Augem_transform.Pipeline
+module Et = Augem_machine.Etype
 
 type plan = {
   pl_arch : Arch.t;
+  pl_et : Et.t;  (* scalar precision the plan's kernels compute in *)
   pl_blocking : Mem_model.blocking;  (* tuned MC/KC/NC *)
   pl_mr : int;
   pl_nr : int;
@@ -40,12 +42,13 @@ type plan = {
    with its blocking triple (the cross-product sweep), then tune the
    two packing kernels through the same staged-lowering pipeline
    (validators, asmcheck lints and all). *)
-let plan ?jobs ?workload (arch : Arch.t) : plan =
-  let bb = Tuner.tune_blocked ?jobs ?workload arch in
-  let pa = Tuner.tuned ?jobs arch Kernels.Pack_a in
-  let pb = Tuner.tuned ?jobs arch Kernels.Pack_b in
+let plan ?(et = Et.F64) ?jobs ?workload (arch : Arch.t) : plan =
+  let bb = Tuner.tune_blocked ~et ?jobs ?workload arch in
+  let pa = Tuner.tuned ~et ?jobs arch Kernels.Pack_a in
+  let pb = Tuner.tuned ~et ?jobs arch Kernels.Pack_b in
   {
     pl_arch = arch;
+    pl_et = et;
     pl_blocking = bb.Tuner.bb_blocking;
     pl_mr = bb.Tuner.bb_mr;
     pl_nr = bb.Tuner.bb_nr;
@@ -78,6 +81,8 @@ let default_fuel = 20_000_000
    generated kernel faults, [Invalid_argument] on a shape mismatch. *)
 let gemm ?(fuel = default_fuel) ?blocking ?(alpha = 1.0) ?(beta = 1.0)
     (p : plan) (a : Mat.t) (b : Mat.t) (c : Mat.t) : stats =
+  let et = p.pl_et in
+  let alpha = Et.round et alpha and beta = Et.round et beta in
   let m = a.Mat.rows and k = a.Mat.cols and n = b.Mat.cols in
   if b.Mat.rows <> k || c.Mat.rows <> m || c.Mat.cols <> n then
     invalid_arg "Blocked.gemm: shape mismatch";
@@ -90,7 +95,7 @@ let gemm ?(fuel = default_fuel) ?blocking ?(alpha = 1.0) ?(beta = 1.0)
   if beta <> 1. then
     for j = 0 to n - 1 do
       for i = 0 to m - 1 do
-        Mat.set c i j (beta *. Mat.get c i j)
+        Mat.set c i j (Et.round et (beta *. Mat.get c i j))
       done
     done;
   let stats = ref zero_stats in
@@ -114,14 +119,14 @@ let gemm ?(fuel = default_fuel) ?blocking ?(alpha = 1.0) ?(beta = 1.0)
         let b_len = ((nc - 1) * b.Mat.ld) + kc in
         let b_view = Array.sub b.Mat.data b_off b_len in
         let r =
-          Exec.call ~fuel p.pl_pack_b
+          Exec.call ~et ~fuel p.pl_pack_b
             Exec.[ Aint kc; Aint nc; Aint b.Mat.ld; Abuf b_view; Abuf pbbuf ]
         in
         count r.Exec.r_executed (fun s ->
             stats := { s with st_pack_b_calls = s.st_pack_b_calls + 1 });
         if alpha <> 1. then
           for idx = 0 to (kc * nc) - 1 do
-            pbbuf.(idx) <- alpha *. pbbuf.(idx)
+            pbbuf.(idx) <- Et.round et (alpha *. pbbuf.(idx))
           done;
         let i0 = ref 0 in
         while !i0 < m do
@@ -131,7 +136,7 @@ let gemm ?(fuel = default_fuel) ?blocking ?(alpha = 1.0) ?(beta = 1.0)
           let a_len = ((kc - 1) * a.Mat.ld) + mc in
           let a_view = Array.sub a.Mat.data a_off a_len in
           let r =
-            Exec.call ~fuel p.pl_pack_a
+            Exec.call ~et ~fuel p.pl_pack_a
               Exec.[ Aint mc; Aint kc; Aint a.Mat.ld; Abuf a_view; Abuf pabuf ]
           in
           count r.Exec.r_executed (fun s ->
@@ -141,7 +146,7 @@ let gemm ?(fuel = default_fuel) ?blocking ?(alpha = 1.0) ?(beta = 1.0)
           let c_len = ((nc - 1) * c.Mat.ld) + mc in
           let c_view = Array.sub c.Mat.data c_off c_len in
           let r =
-            Exec.call ~fuel p.pl_micro
+            Exec.call ~et ~fuel p.pl_micro
               Exec.[ Aint mc; Aint kc; Aint nc; Aint c.Mat.ld; Abuf pabuf;
                      Abuf pbbuf; Abuf c_view ]
           in
@@ -160,22 +165,37 @@ let gemm ?(fuel = default_fuel) ?blocking ?(alpha = 1.0) ?(beta = 1.0)
 (* Predicted MFLOPS of the plan's blocked driver / unblocked baseline
    on an arbitrary problem size (the cycle model, not simulation). *)
 let predict (p : plan) (w : Perf.workload) : Perf.estimate =
-  Perf.predict_blocked p.pl_arch p.pl_micro ~blocking:p.pl_blocking w
+  Perf.predict_blocked ~et:p.pl_et p.pl_arch p.pl_micro
+    ~blocking:p.pl_blocking w
 
 let predict_streamed (p : plan) (w : Perf.workload) : Perf.estimate =
-  Perf.predict_streamed p.pl_arch p.pl_micro ~nr:p.pl_nr w
+  Perf.predict_streamed ~et:p.pl_et p.pl_arch p.pl_micro ~nr:p.pl_nr w
 
 (* Differential check on one problem shape: the generated blocked
    driver against (1) [dgemm_naive] within [tol], and (2) the reference
    macro-kernel loop nest ([dgemm_blocked], reference packing) driving
    the *same* simulated micro-kernel, which must agree bit-exactly —
    same block schedule, same packed layouts, same FP operation order,
-   so any deviation is a packing or loop-nest bug, not rounding. *)
-let check ?fuel ?blocking ?(tol = 1e-9) ?(seed = 42) (p : plan) ~m ~n ~k () :
+   so any deviation is a packing or loop-nest bug, not rounding.
+
+   The naive reference accumulates in f64 regardless of the plan's
+   precision, so the default tolerance is relative and scales with
+   both the element type's epsilon and the K reduction length
+   ({!Et.tol}) — a fixed 1e-9 would spuriously fail every f32 plan at
+   large K while being looser than necessary for f64 at small K. *)
+let check ?fuel ?blocking ?tol ?(seed = 42) (p : plan) ~m ~n ~k () :
     (stats, string) result =
-  let a = Mat.random ~seed m k in
-  let b = Mat.random ~seed:(seed + 1) k n in
-  let c0 = Mat.random ~seed:(seed + 2) m n in
+  let et = p.pl_et in
+  let tol = match tol with Some t -> t | None -> Et.tol ~k et in
+  (* narrow the random inputs to the plan's precision so reference and
+     generated kernels start from identical representable values *)
+  let nar (mat : Mat.t) =
+    Array.iteri (fun i x -> mat.Mat.data.(i) <- Et.round et x) mat.Mat.data;
+    mat
+  in
+  let a = nar (Mat.random ~seed m k) in
+  let b = nar (Mat.random ~seed:(seed + 1) k n) in
+  let c0 = nar (Mat.random ~seed:(seed + 2) m n) in
   let c_naive = Mat.copy c0 in
   let c_gen = Mat.copy c0 in
   let c_hybrid = Mat.copy c0 in
@@ -188,7 +208,7 @@ let check ?fuel ?blocking ?(tol = 1e-9) ?(seed = 42) (p : plan) ~m ~n ~k () :
         let len = ((nc - 1) * ldc) + mc in
         let view = Array.sub c_data c_off len in
         ignore
-          (Exec.call ?fuel p.pl_micro
+          (Exec.call ~et ?fuel p.pl_micro
              Exec.[ Aint mc; Aint kc; Aint nc; Aint ldc; Abuf pa; Abuf pb;
                     Abuf view ]);
         Array.blit view 0 c_data c_off len

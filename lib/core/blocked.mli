@@ -10,6 +10,8 @@
 
 type plan = {
   pl_arch : Augem_machine.Arch.t;
+  pl_et : Augem_machine.Etype.t;
+      (** scalar precision the plan's kernels compute in *)
   pl_blocking : Augem_sim.Mem_model.blocking;  (** tuned MC/KC/NC *)
   pl_mr : int;
   pl_nr : int;
@@ -25,8 +27,12 @@ type plan = {
 
 (** Tune the micro-kernel jointly with its blocking triple
     ({!Augem_autotune.Tuner.tune_blocked}) and the two packing kernels,
-    all through the staged-lowering pipeline. *)
+    all through the staged-lowering pipeline.  [?et] selects the scalar
+    precision (default f64): an f32 plan generates SGEMM kernels,
+    derives its blocking with 4-byte elements, and simulates with f32
+    lane semantics. *)
 val plan :
+  ?et:Augem_machine.Etype.t ->
   ?jobs:int -> ?workload:Augem_sim.Perf.workload -> Augem_machine.Arch.t ->
   plan
 
@@ -71,7 +77,13 @@ val predict_streamed :
     ({!Augem_blas.Level3.dgemm_blocked}, reference packing) driving the
     same simulated micro-kernel — same block schedule, same packed
     layouts, same FP order, so any deviation is a packing or loop-nest
-    bug rather than rounding. *)
+    bug rather than rounding.
+
+    [tol] defaults to the relative, element-type- and K-scaled
+    tolerance {!Augem_machine.Etype.tol} (the naive reference
+    accumulates in f64, so the rounding gap grows with the reduction
+    length and the element epsilon); pass an explicit value to
+    override. *)
 val check :
   ?fuel:int ->
   ?blocking:Augem_sim.Mem_model.blocking ->

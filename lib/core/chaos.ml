@@ -36,15 +36,20 @@ let by_kind entries =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let run ?(fuel = Harness.default_fuel) ?(max_faults = 96) ?(seed = 0)
-    (kernel : Kernels.name) (prog : Insn.program) : report =
+let fp_of_et : Augem_machine.Etype.t -> Ast.dtype option = function
+  | Augem_machine.Etype.F32 -> Some Ast.Float
+  | Augem_machine.Etype.F64 -> None
+
+let run ?(et = Augem_machine.Etype.F64) ?(fuel = Harness.default_fuel)
+    ?(max_faults = 96) ?(seed = 0) (kernel : Kernels.name)
+    (prog : Insn.program) : report =
   let faults = Faults.sample ~seed ~max:max_faults prog in
   let entries =
     List.map
       (fun f ->
         let mutant = Faults.apply prog f in
         let detected, detail =
-          match Harness.verify ~fuel kernel mutant with
+          match Harness.verify ~et ~fuel kernel mutant with
           | { Harness.ok = true; _ } -> (false, "MISSED")
           | { Harness.ok = false; detail; _ } -> (true, detail)
           | exception exn ->
@@ -56,7 +61,7 @@ let run ?(fuel = Harness.default_fuel) ?(max_faults = 96) ?(seed = 0)
       faults
   in
   {
-    c_kernel = Kernels.name_to_string kernel;
+    c_kernel = Kernels.name_to_string ?fp:(fp_of_et et) kernel;
     c_total = List.length entries;
     c_detected = List.length (List.filter (fun e -> e.e_detected) entries);
     c_entries = entries;
@@ -67,12 +72,14 @@ let run ?(fuel = Harness.default_fuel) ?(max_faults = 96) ?(seed = 0)
    fault classes and the oracle is {!Augem_analysis.Asmcheck}, not the
    execution harness.  This measures the machine-code checker's
    sensitivity the same way [run] measures the differential oracle's. *)
-let run_static ?(max_faults = 96) ?(seed = 0)
+let run_static ?(et = Augem_machine.Etype.F64) ?(max_faults = 96) ?(seed = 0)
     ~(arch : Augem_machine.Arch.t) (kernel : Kernels.name)
     (prog : Insn.program) : report =
   let module Asmcheck = Augem_analysis.Asmcheck in
   let avx = arch.Augem_machine.Arch.simd = Augem_machine.Arch.AVX in
-  let params = (Kernels.kernel_of_name kernel).Ast.k_params in
+  let params =
+    (Kernels.kernel_of_name ?fp:(fp_of_et et) kernel).Ast.k_params
+  in
   let config = Asmcheck.config_for ~avx ~params in
   let faults =
     Faults.sample_asm ~seed ~avx ~entry:config.Asmcheck.cfg_entry
@@ -93,7 +100,7 @@ let run_static ?(max_faults = 96) ?(seed = 0)
       faults
   in
   {
-    c_kernel = Kernels.name_to_string kernel;
+    c_kernel = Kernels.name_to_string ?fp:(fp_of_et et) kernel;
     c_total = List.length entries;
     c_detected = List.length (List.filter (fun e -> e.e_detected) entries);
     c_entries = entries;

@@ -30,8 +30,12 @@ val missed : report -> Augem_verify.Faults.fault list
 (** Inject up to [max_faults] (default 96) sampled faults into the
     program and verify every mutant with a [fuel] instruction budget
     (default {!Harness.default_fuel}), so diverging mutants terminate.
-    Any exception escaping the harness counts as a detection. *)
+    Any exception escaping the harness counts as a detection.  [et]
+    selects the scalar precision the mutants are verified at (default
+    f64); an f32 run measures whether the harness still catches faults
+    under the looser f32 tolerance. *)
 val run :
+  ?et:Augem_machine.Etype.t ->
   ?fuel:int ->
   ?max_faults:int ->
   ?seed:int ->
@@ -47,6 +51,7 @@ val run :
     encoding discipline (AVX vs SSE) and the kernel name supplies the
     parameter registers defined at entry. *)
 val run_static :
+  ?et:Augem_machine.Etype.t ->
   ?max_faults:int ->
   ?seed:int ->
   arch:Augem_machine.Arch.t ->

@@ -26,6 +26,7 @@ type outcome = {
 val default_fuel : int
 
 val verify_gemm :
+  ?et:Augem_machine.Etype.t ->
   ?fuel:int ->
   ?packed:bool ->
   ?seed:int ->
@@ -36,6 +37,7 @@ val verify_gemm :
 (** [?m]/[?n] override the shape-derived dimensions (used for
     degenerate unit and empty shapes). *)
 val verify_gemv :
+  ?et:Augem_machine.Etype.t ->
   ?fuel:int ->
   ?seed:int ->
   ?shape:shape ->
@@ -45,6 +47,7 @@ val verify_gemv :
   outcome
 
 val verify_axpy :
+  ?et:Augem_machine.Etype.t ->
   ?fuel:int ->
   ?seed:int ->
   ?n:int ->
@@ -53,9 +56,11 @@ val verify_axpy :
   outcome
 
 val verify_dot :
+  ?et:Augem_machine.Etype.t ->
   ?fuel:int -> ?seed:int -> ?n:int -> Augem_machine.Insn.program -> outcome
 
 val verify_ger :
+  ?et:Augem_machine.Etype.t ->
   ?fuel:int ->
   ?seed:int ->
   ?shape:shape ->
@@ -65,6 +70,7 @@ val verify_ger :
   outcome
 
 val verify_scal :
+  ?et:Augem_machine.Etype.t ->
   ?fuel:int ->
   ?seed:int ->
   ?n:int ->
@@ -73,16 +79,19 @@ val verify_scal :
   outcome
 
 val verify_copy :
+  ?et:Augem_machine.Etype.t ->
   ?fuel:int -> ?seed:int -> ?n:int -> Augem_machine.Insn.program -> outcome
 
 (** Pack-A panel kernel against {!Augem_blas.Level3.pack_a}:
     mc = [sh_m], kc = [sh_k], lda = mc + [sh_ld_slack]. *)
 val verify_pack_a :
+  ?et:Augem_machine.Etype.t ->
   ?fuel:int -> ?seed:int -> ?shape:shape -> Augem_machine.Insn.program -> outcome
 
 (** Pack-B panel kernel against {!Augem_blas.Level3.pack_b}:
     kc = [sh_k], nc = [sh_n], ldb = kc + [sh_ld_slack]. *)
 val verify_pack_b :
+  ?et:Augem_machine.Etype.t ->
   ?fuel:int -> ?seed:int -> ?shape:shape -> Augem_machine.Insn.program -> outcome
 
 (** The degenerate-shape sweep for a kernel: labelled thunks covering
@@ -90,6 +99,7 @@ val verify_pack_b :
     vectors.  [verify] runs these after the regular shapes; they are
     exported so the regression suite can exercise them in isolation. *)
 val degenerate_cases :
+  ?et:Augem_machine.Etype.t ->
   ?fuel:int ->
   Augem_ir.Kernels.name ->
   Augem_machine.Insn.program ->
@@ -100,4 +110,5 @@ val degenerate_cases :
     shapes (unit dimensions, zero-length vectors) where every main loop
     is skipped. *)
 val verify :
+  ?et:Augem_machine.Etype.t ->
   ?fuel:int -> Augem_ir.Kernels.name -> Augem_machine.Insn.program -> outcome

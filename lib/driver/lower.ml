@@ -58,9 +58,18 @@ let () =
              budget)
     | _ -> None)
 
-let machine_lanes (opts : opts) (arch : Arch.t) =
-  let base = Arch.simd_lanes arch in
-  match opts.max_width with None -> base | Some w -> min base (Insn.lanes w)
+(* The element type of a kernel, read off its parameter list (kernels
+   are monomorphic in their FP type). *)
+let etype_of_params (params : Ast.param list) : Etype.t =
+  match Ast.fp_type_of_params params ~p_type:(fun p -> p.Ast.p_type) with
+  | Ast.Float -> Etype.F32
+  | _ -> Etype.F64
+
+let machine_lanes (opts : opts) (arch : Arch.t) ~(et : Etype.t) =
+  let base = Arch.simd_lanes ~et arch in
+  match opts.max_width with
+  | None -> base
+  | Some w -> min base (Insn.lanes_of et w)
 
 (* --- stage construction ------------------------------------------------ *)
 
@@ -105,7 +114,8 @@ let lint_validator (arch : Arch.t) ~(params : Ast.param list) :
    across the pipeline), needed by the lint gate's checker config. *)
 let backend_stages (opts : opts) (arch : Arch.t) ~(params : Ast.param list) :
     Stage.t list =
-  let lanes = machine_lanes opts arch in
+  let et = etype_of_params params in
+  let lanes = machine_lanes opts arch ~et in
   let stage name run = { Stage.name; run; validate = None } in
   [
     stage "identify-templates" (function
@@ -116,7 +126,7 @@ let backend_stages (opts : opts) (arch : Arch.t) ~(params : Ast.param list) :
           Stage.A_plan
             {
               Stage.pl_ak = ak;
-              pl_plan = Plan.build ~machine_lanes:lanes ~prefer:opts.prefer ak;
+              pl_plan = Plan.build ~et ~machine_lanes:lanes ~prefer:opts.prefer ak;
               pl_lanes = lanes;
             }
       | a -> a);
@@ -166,7 +176,7 @@ let backend_stages (opts : opts) (arch : Arch.t) ~(params : Ast.param list) :
 (* Fold a stage list, timing and recording each stage.  Returns the
    records and every stage's output artifact, both in execution
    order. *)
-let run_stages ~(avx : bool) ~(opts : opts) ~(idx0 : int)
+let run_stages ~(avx : bool) ~(et : Etype.t) ~(opts : opts) ~(idx0 : int)
     (stages : Stage.t list) (init : Stage.artifact) :
     Trace.stage_record list * Stage.artifact list =
   let records = ref [] in
@@ -201,10 +211,10 @@ let run_stages ~(avx : bool) ~(opts : opts) ~(idx0 : int)
             sr_name = st.Stage.name;
             sr_kind = Stage.kind art';
             sr_ms = ms;
-            sr_fingerprint = Stage.fingerprint ~avx art';
+            sr_fingerprint = Stage.fingerprint ~et ~avx art';
             sr_stats = Stage.stats art';
             sr_artifact =
-              (if opts.snapshots then Some (Stage.to_string ~avx art')
+              (if opts.snapshots then Some (Stage.to_string ~et ~avx art')
                else None);
           }
           :: !records;
@@ -227,6 +237,7 @@ let final_program (arts : Stage.artifact list) ~(who : string) : Insn.program =
 let run_annotated ?(opts = default_opts) ~(arch : Arch.t) (ak : M.akernel) :
     Trace.t =
   let avx = arch.Arch.simd = Arch.AVX in
+  let et = etype_of_params ak.M.ak_params in
   let stages =
     (* skip identify-templates: the input is already annotated *)
     List.filter
@@ -234,7 +245,7 @@ let run_annotated ?(opts = default_opts) ~(arch : Arch.t) (ak : M.akernel) :
       (backend_stages opts arch ~params:ak.M.ak_params)
   in
   let records, arts =
-    run_stages ~avx ~opts ~idx0:0 stages (Stage.A_annotated ak)
+    run_stages ~avx ~et ~opts ~idx0:0 stages (Stage.A_annotated ak)
   in
   {
     Trace.tr_kernel = ak.M.ak_name;
@@ -251,11 +262,12 @@ let run_annotated ?(opts = default_opts) ~(arch : Arch.t) (ak : M.akernel) :
 let run ?(opts = default_opts) ~(arch : Arch.t) ~(config : Pipeline.config)
     (kernel : Ast.kernel) : Trace.t =
   let avx = arch.Arch.simd = Arch.AVX in
+  let et = etype_of_params kernel.Ast.k_params in
   let stages =
     c_stages opts config @ backend_stages opts arch ~params:kernel.Ast.k_params
   in
   let records, arts =
-    run_stages ~avx ~opts ~idx0:0 stages (Stage.A_kernel kernel)
+    run_stages ~avx ~et ~opts ~idx0:0 stages (Stage.A_kernel kernel)
   in
   let optimized =
     List.fold_left

@@ -105,26 +105,26 @@ let stats = function
 
 (* --- rendering --------------------------------------------------------- *)
 
-let insns_to_string ~avx insns =
-  insns |> List.map (Att.insn_str ~avx) |> String.concat "\n"
+let insns_to_string ?(et = Etype.F64) ~avx insns =
+  insns |> List.map (Att.insn_str ~et ~avx) |> String.concat "\n"
 
 let plan_to_string (p : plan) =
   Printf.sprintf "machine lanes: %d\n%s" p.pl_lanes (Plan.to_string p.pl_plan)
 
-let to_string ~avx = function
+let to_string ?(et = Etype.F64) ~avx = function
   | A_kernel k -> Pp.kernel_to_string k
   | A_annotated ak -> Pp.kernel_to_string (M.to_tagged_kernel ak)
   | A_plan p -> plan_to_string p
   | A_state b ->
       plan_to_string b.bd_plan
       ^ "prelude:\n"
-      ^ insns_to_string ~avx (emitted_so_far b.bd_st)
+      ^ insns_to_string ~et ~avx (emitted_so_far b.bd_st)
       ^ "\n"
-  | A_body b -> insns_to_string ~avx b.em_insns ^ "\n"
-  | A_program p -> Att.program_to_string ~avx p
+  | A_body b -> insns_to_string ~et ~avx b.em_insns ^ "\n"
+  | A_program p -> Att.program_to_string ~avx ~et p
 
 (* Content fingerprint of an artifact: stable across runs for the same
    input, sensitive to any rendered difference.  The determinism suite
    asserts these match between repeated lowerings. *)
-let fingerprint ~avx (a : artifact) : string =
-  Digest.to_hex (Digest.string (kind a ^ "\n" ^ to_string ~avx a))
+let fingerprint ?(et = Etype.F64) ~avx (a : artifact) : string =
+  Digest.to_hex (Digest.string (kind a ^ "\n" ^ to_string ~et ~avx a))

@@ -9,7 +9,26 @@
 type dtype =
   | Int
   | Double
+  | Float (* single precision; typing treats it like [Double], codegen
+             derives the kernel's element type from it *)
   | Ptr of dtype
+
+(* The floating-point dtypes.  A kernel is monomorphic in its FP type:
+   every FP param, array and scalar shares one precision, derived from
+   the parameter list (see [fp_type_of_params]). *)
+let rec is_fp_dtype = function
+  | Double | Float -> true
+  | Int -> false
+  | Ptr t -> is_fp_dtype t
+
+let rec base_dtype = function Ptr t -> base_dtype t | t -> t
+
+(* The FP element type of a parameter list: [Float] if any param
+   involves it, else [Double] (the default for all-integer kernels,
+   which generate no FP code anyway). *)
+let fp_type_of_params (params : 'p list) ~(p_type : 'p -> dtype) : dtype =
+  if List.exists (fun p -> base_dtype (p_type p) = Float) params then Float
+  else Double
 
 type binop =
   | Add

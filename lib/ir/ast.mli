@@ -9,7 +9,21 @@
 type dtype =
   | Int
   | Double
+  | Float
+      (** single precision; typed like [Double], the element type of
+          the generated code is derived from the parameter list *)
   | Ptr of dtype
+
+val is_fp_dtype : dtype -> bool
+(** [Double], [Float], or a pointer chain ending in one. *)
+
+val base_dtype : dtype -> dtype
+(** Strip [Ptr] wrappers. *)
+
+val fp_type_of_params : 'p list -> p_type:('p -> dtype) -> dtype
+(** The FP element type of a parameter list: [Float] if any parameter
+    involves it, else [Double].  Kernels are monomorphic in their FP
+    type. *)
 
 type binop =
   | Add

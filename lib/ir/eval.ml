@@ -122,7 +122,7 @@ let cmp_values c va vb =
    assignment faults with an out-of-bounds error. *)
 let zero_of = function
   | Int -> Vint 0
-  | Double -> Vdouble 0.
+  | Double | Float -> Vdouble 0.
   | Ptr _ -> Vptr ([||], 0)
 
 let max_steps = 1_000_000_000
@@ -188,7 +188,10 @@ let run (k : kernel) (args : arg list) : stats =
   List.iter2
     (fun p a ->
       (match (p.p_type, a) with
-      | Int, Aint _ | Double, Adouble _ | Ptr Double, Abuf _ -> ()
+      | Int, Aint _
+      | (Double | Float), Adouble _
+      | Ptr (Double | Float), Abuf _ ->
+          ()
       | _ -> err "argument type mismatch for %s" p.p_name);
       Hashtbl.replace st.env p.p_name (value_of_arg a))
     k.k_params args;

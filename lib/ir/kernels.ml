@@ -330,33 +330,89 @@ let pack_b : kernel =
       ];
   }
 
+(* Precision parameterization: the templates above are written once
+   with [Double] element types; [retype Float] rewrites every FP
+   parameter and declaration to [Float] and renames the d-prefixed
+   function to its s-prefixed BLAS sibling (dgemm_kernel ->
+   sgemm_kernel).  The loop structure — and therefore the template
+   identification and vectorization planning — is shared between the
+   two precisions; only the element type differs. *)
+
+let rec retype_dtype fp = function
+  | Double -> fp
+  | Ptr t -> Ptr (retype_dtype fp t)
+  | t -> t
+
+let rec retype_stmt fp s =
+  match s with
+  | Decl (t, v, init) -> Decl (retype_dtype fp t, v, init)
+  | For (h, body) -> For (h, List.map (retype_stmt fp) body)
+  | If (a, c, b, t, f) ->
+      If (a, c, b, List.map (retype_stmt fp) t, List.map (retype_stmt fp) f)
+  | Tagged (tag, body) -> Tagged (tag, List.map (retype_stmt fp) body)
+  | Assign _ | Prefetch _ | Comment _ -> s
+
+let retype (fp : dtype) (k : kernel) : kernel =
+  if fp = Double then k
+  else
+    let k_name =
+      if String.length k.k_name > 0 && k.k_name.[0] = 'd' then
+        "s" ^ String.sub k.k_name 1 (String.length k.k_name - 1)
+      else k.k_name
+    in
+    {
+      k_name;
+      k_params =
+        List.map
+          (fun p -> { p with p_type = retype_dtype fp p.p_type })
+          k.k_params;
+      k_body = List.map (retype_stmt fp) k.k_body;
+    }
+
+let sgemm = retype Float gemm
+let sgemm_packed = retype Float gemm_packed
+let sgemv = retype Float gemv
+let saxpy = retype Float axpy
+let sdot = retype Float dot
+let sger = retype Float ger
+let sscal = retype Float scal
+let scopy = retype Float copy
+let spack_a = retype Float pack_a
+let spack_b = retype Float pack_b
+
 type name = Gemm | Gemv | Axpy | Dot | Ger | Scal | Copy | Pack_a | Pack_b
 
-let all =
-  [ (Gemm, gemm); (Gemv, gemv); (Axpy, axpy); (Dot, dot); (Ger, ger);
-    (Scal, scal); (Copy, copy); (Pack_a, pack_a); (Pack_b, pack_b) ]
+let kernel_of_name ?(fp = Double) n =
+  retype fp
+    (match n with
+    | Gemm -> gemm
+    | Gemv -> gemv
+    | Axpy -> axpy
+    | Dot -> dot
+    | Ger -> ger
+    | Scal -> scal
+    | Copy -> copy
+    | Pack_a -> pack_a
+    | Pack_b -> pack_b)
 
-let kernel_of_name = function
-  | Gemm -> gemm
-  | Gemv -> gemv
-  | Axpy -> axpy
-  | Dot -> dot
-  | Ger -> ger
-  | Scal -> scal
-  | Copy -> copy
-  | Pack_a -> pack_a
-  | Pack_b -> pack_b
+let names = [ Gemm; Gemv; Axpy; Dot; Ger; Scal; Copy; Pack_a; Pack_b ]
+let all_for fp = List.map (fun n -> (n, kernel_of_name ~fp n)) names
+let all = all_for Double
 
-let name_to_string = function
-  | Gemm -> "gemm"
-  | Gemv -> "gemv"
-  | Axpy -> "axpy"
-  | Dot -> "dot"
-  | Ger -> "ger"
-  | Scal -> "scal"
-  | Copy -> "copy"
-  | Pack_a -> "pack_a"
-  | Pack_b -> "pack_b"
+let name_to_string ?(fp = Double) n =
+  let base =
+    match n with
+    | Gemm -> "gemm"
+    | Gemv -> "gemv"
+    | Axpy -> "axpy"
+    | Dot -> "dot"
+    | Ger -> "ger"
+    | Scal -> "scal"
+    | Copy -> "copy"
+    | Pack_a -> "pack_a"
+    | Pack_b -> "pack_b"
+  in
+  match fp with Float -> "s" ^ base | _ -> base
 
 let name_of_string = function
   | "gemm" -> Some Gemm
@@ -369,3 +425,15 @@ let name_of_string = function
   | "pack_a" -> Some Pack_a
   | "pack_b" -> Some Pack_b
   | _ -> None
+
+(* Accepts both the bare (double-precision) names and the s-prefixed
+   single-precision spellings: "sgemm" -> (Gemm, Float). *)
+let name_of_string_fp s =
+  match name_of_string s with
+  | Some n -> Some (n, Double)
+  | None ->
+      if String.length s > 1 && s.[0] = 's' then
+        match name_of_string (String.sub s 1 (String.length s - 1)) with
+        | Some n -> Some (n, Float)
+        | None -> None
+      else None

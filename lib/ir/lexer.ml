@@ -7,6 +7,7 @@ type token =
   | KW_VOID
   | KW_INT
   | KW_DOUBLE
+  | KW_FLOAT
   | KW_FOR
   | KW_IF
   | KW_ELSE
@@ -41,6 +42,7 @@ let token_to_string = function
   | KW_VOID -> "void"
   | KW_INT -> "int"
   | KW_DOUBLE -> "double"
+  | KW_FLOAT -> "float"
   | KW_FOR -> "for"
   | KW_IF -> "if"
   | KW_ELSE -> "else"
@@ -74,6 +76,7 @@ let keyword = function
   | "void" -> Some KW_VOID
   | "int" -> Some KW_INT
   | "double" -> Some KW_DOUBLE
+  | "float" -> Some KW_FLOAT
   | "for" -> Some KW_FOR
   | "if" -> Some KW_IF
   | "else" -> Some KW_ELSE

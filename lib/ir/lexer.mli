@@ -7,6 +7,7 @@ type token =
   | KW_VOID
   | KW_INT
   | KW_DOUBLE
+  | KW_FLOAT
   | KW_FOR
   | KW_IF
   | KW_ELSE

@@ -106,6 +106,7 @@ let parse_base_type st =
   match next st with
   | Lexer.KW_INT, _ -> Int
   | Lexer.KW_DOUBLE, _ -> Double
+  | Lexer.KW_FLOAT, _ -> Float
   | t, p -> err p "expected type, got %s" (Lexer.token_to_string t)
 
 let parse_type st =

@@ -6,6 +6,7 @@ open Ast
 let rec pp_dtype fmt = function
   | Int -> Fmt.string fmt "int"
   | Double -> Fmt.string fmt "double"
+  | Float -> Fmt.string fmt "float"
   | Ptr t -> Fmt.pf fmt "%a*" pp_dtype t
 
 let binop_str = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"

@@ -11,6 +11,17 @@ let err fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
 
 type env = (string, dtype) Hashtbl.t
 
+(* [Float] and [Double] are one type class for checking purposes (FP
+   literals are double-typed, passes synthesize double temporaries);
+   a kernel's actual element precision is a whole-kernel property of
+   its parameter list, checked separately in [check_kernel]. *)
+let rec norm = function
+  | Float -> Double
+  | Ptr t -> Ptr (norm t)
+  | t -> t
+
+let same a b = norm a = norm b
+
 let rec type_of_expr (env : env) (e : expr) : dtype =
   match e with
   | Int_lit _ -> Int
@@ -30,11 +41,11 @@ let rec type_of_expr (env : env) (e : expr) : dtype =
   | Neg e -> (
       match type_of_expr env e with
       | Int -> Int
-      | Double -> Double
+      | Double | Float -> Double
       | Ptr _ -> err "negation of a pointer")
   | Binop (op, a, b) -> (
       let ta = type_of_expr env a and tb = type_of_expr env b in
-      match (op, ta, tb) with
+      match (op, norm ta, norm tb) with
       | _, Int, Int -> Int
       | _, Double, Double -> Double
       | (Add | Sub), Ptr t, Int -> Ptr t
@@ -45,7 +56,7 @@ let rec type_of_expr (env : env) (e : expr) : dtype =
 
 let check_cond env a b =
   let ta = type_of_expr env a and tb = type_of_expr env b in
-  match (ta, tb) with
+  match (norm ta, norm tb) with
   | Int, Int | Double, Double | Ptr _, Ptr _ -> ()
   | _ ->
       err "comparison of incompatible types %a and %a" Pp.pp_dtype ta
@@ -58,7 +69,7 @@ let rec check_stmt (env : env) (s : stmt) : unit =
       | None -> ()
       | Some e ->
           let te = type_of_expr env e in
-          if te <> t then
+          if not (same te t) then
             err "declaration of %s : %a initialized with %a" v Pp.pp_dtype t
               Pp.pp_dtype te);
       Hashtbl.replace env v t
@@ -67,7 +78,7 @@ let rec check_stmt (env : env) (s : stmt) : unit =
       | None -> err "assignment to undeclared variable %s" v
       | Some t ->
           let te = type_of_expr env e in
-          if te <> t then
+          if not (same te t) then
             err "assignment of %a value to %s : %a" Pp.pp_dtype te v
               Pp.pp_dtype t)
   | Assign (Lindex (a, i), e) -> (
@@ -77,7 +88,7 @@ let rec check_stmt (env : env) (s : stmt) : unit =
       match Hashtbl.find_opt env a with
       | Some (Ptr t) ->
           let te = type_of_expr env e in
-          if te <> t then
+          if not (same te t) then
             err "store of %a value into %s : %a*" Pp.pp_dtype te a Pp.pp_dtype
               t
       | Some t -> err "store into non-pointer %s : %a" a Pp.pp_dtype t
@@ -118,6 +129,14 @@ let initial_env (k : kernel) : env =
   env
 
 let check_kernel (k : kernel) : unit =
+  (* kernels are monomorphic in their FP element type: mixing Float
+     and Double pointers in one signature has no single-precision
+     lowering *)
+  let has t =
+    List.exists (fun p -> base_dtype p.p_type = t) k.k_params
+  in
+  if has Float && has Double then
+    err "kernel %s mixes float and double parameters" k.k_name;
   let env = initial_env k in
   List.iter (check_stmt env) k.k_body
 

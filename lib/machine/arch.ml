@@ -184,23 +184,37 @@ let haswell : t =
     compiler = "gcc-4.7.2";
   }
 
-(* The paper's two evaluation platforms. *)
+(* The paper's two evaluation platforms (Sandy Bridge and Piledriver);
+   [extended] additionally has the Haswell portability target this
+   reproduction models beyond the paper. *)
 let all = [ sandy_bridge; piledriver ]
 
-(* Every modelled architecture, including the portability target. *)
+(* Every modelled architecture: [all] plus Haswell. *)
 let extended = all @ [ haswell ]
+
+let names () = List.map (fun a -> a.name) extended
 
 let by_name n =
   List.find_opt (fun a -> String.equal a.name n) extended
 
-(* Peak double-precision MFLOPS of one core at the modelled frequency. *)
-let peak_mflops (a : t) : float =
+let by_name_result n =
+  match by_name n with
+  | Some a -> Ok a
+  | None ->
+      Error
+        (Printf.sprintf "unknown architecture %S (valid: %s)" n
+           (String.concat ", " (names ())))
+
+(* Peak MFLOPS of one core at the modelled frequency, per element
+   type (single precision doubles the lanes per vector). *)
+let peak_mflops ?(et = Etype.F64) (a : t) : float =
+  let native_lanes = a.native_fp_bits / Etype.bits et in
   let flops_per_cycle =
     match a.fma with
     | No_fma ->
         (* mul + add pipes, native width *)
-        float_of_int ((a.fp_mul_tp + a.fp_add_tp) * (a.native_fp_bits / 64))
-    | FMA3 | FMA4 -> float_of_int (2 * a.fp_fma_tp * (a.native_fp_bits / 64))
+        float_of_int ((a.fp_mul_tp + a.fp_add_tp) * native_lanes)
+    | FMA3 | FMA4 -> float_of_int (2 * a.fp_fma_tp * native_lanes)
   in
   flops_per_cycle *. a.turbo_ghz *. 1000.0
 
@@ -209,7 +223,7 @@ let uops_for (a : t) (w : Insn.vwidth) : int =
   let bits = Insn.width_bits w in
   max 1 ((bits + a.native_fp_bits - 1) / a.native_fp_bits)
 
-let simd_lanes (a : t) : int = a.vec_bits / 64
+let simd_lanes ?(et = Etype.F64) (a : t) : int = a.vec_bits / Etype.bits et
 
 let fma_available (a : t) = a.fma <> No_fma
 

@@ -65,22 +65,33 @@ val haswell : t
     FMA pipes. *)
 
 val all : t list
-(** The paper's two evaluation platforms. *)
+(** The paper's two evaluation platforms (Sandy Bridge, Piledriver).
+    {!extended} additionally contains the Haswell portability target
+    this reproduction models beyond the paper. *)
 
 val extended : t list
-(** [all] plus the portability target. *)
+(** Every modelled architecture: [all] plus the Haswell portability
+    target. *)
+
+val names : unit -> string list
+(** Names of every modelled architecture, in {!extended} order. *)
 
 val by_name : string -> t option
 
-(** Peak double-precision MFLOPS of one core at the modelled
-    (turbo) frequency. *)
-val peak_mflops : t -> float
+val by_name_result : string -> (t, string) result
+(** Like {!by_name}, but failures carry a message listing the valid
+    architecture names (what CLI [--arch] errors print). *)
+
+(** Peak MFLOPS of one core at the modelled (turbo) frequency for the
+    given element type (default double precision; single precision
+    doubles the lanes per vector). *)
+val peak_mflops : ?et:Etype.t -> t -> float
 
 (** Issue slots one operation of the given width occupies (wide vector
     ops on a narrow datapath split). *)
 val uops_for : t -> Insn.vwidth -> int
 
-val simd_lanes : t -> int
+val simd_lanes : ?et:Etype.t -> t -> int
 val fma_available : t -> bool
 
 (** Table 5 rows: (label, Intel value, AMD value). *)

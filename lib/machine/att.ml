@@ -34,14 +34,25 @@ let cond_suffix = function
   | Ceq -> "e"
   | Cne -> "ne"
 
-(* packed-double suffixed mnemonic for a width *)
-let pd ~avx base w =
+(* The one place FP mnemonic suffixes are derived from the element
+   type: [W64] is a scalar op (sd/ss), the packed widths get pd/ps.
+   Everything below builds its mnemonics through these. *)
+let fp_suffix ~(et : Etype.t) (w : vwidth) =
+  match w with
+  | W64 -> Etype.scalar_suffix et
+  | W128 | W256 -> Etype.packed_suffix et
+
+(* element-type suffixed mnemonic for a width *)
+let sfx ~et ~avx base w =
   match (w, avx) with
-  | W64, false -> base ^ "sd"
-  | W64, true -> "v" ^ base ^ "sd"
-  | W128, false -> base ^ "pd"
-  | (W128 | W256), true -> "v" ^ base ^ "pd"
+  | _, true -> "v" ^ base ^ fp_suffix ~et w
+  | (W64 | W128), false -> base ^ fp_suffix ~et w
   | W256, false -> err "256-bit %s requires AVX" base
+
+(* Packed-only mnemonics (xor/unpck/shuf/blend operate on the full
+   register regardless of the op width). *)
+let packed ~et ~avx base =
+  (if avx then "v" ^ base else base) ^ Etype.packed_suffix et
 
 (* Cheap assert only: the SSE two-operand [dst = src1] invariant is
    enforced at generation time by [Asmcheck] (lint sse-two-operand), so
@@ -51,7 +62,7 @@ let check_sse2op ~avx ~what dst src1 =
   if (not avx) && dst <> src1 then
     err "SSE two-operand %s with dst=%d <> src1=%d" what dst src1
 
-let fpop_insn ~avx (op : fpop) w dst src1 src2 =
+let fpop_insn ~et ~avx (op : fpop) w dst src1 src2 =
   let v = vreg_name w in
   let two name =
     check_sse2op ~avx ~what:name dst src1;
@@ -59,7 +70,7 @@ let fpop_insn ~avx (op : fpop) w dst src1 src2 =
   in
   let three name = Printf.sprintf "%s %s, %s, %s" name (v src2) (v src1) (v dst) in
   let arith base =
-    if avx then three (pd ~avx base w) else two (pd ~avx base w)
+    if avx then three (sfx ~et ~avx base w) else two (sfx ~et ~avx base w)
   in
   match op with
   | Fadd -> arith "add"
@@ -68,85 +79,101 @@ let fpop_insn ~avx (op : fpop) w dst src1 src2 =
   | Fdiv -> arith "div"
   | Fxor ->
       (* zeroing and bitwise ops are always full-register packed ops *)
-      let name = if avx then "vxorpd" else "xorpd" in
+      let name = packed ~et ~avx "xor" in
       if avx then three name else two name
   | Fmov ->
-      let name = if avx then "vmovapd" else "movapd" in
+      let name = (if avx then "vmova" else "mova") ^ Etype.packed_suffix et in
       Printf.sprintf "%s %s, %s" name (v src1) (v dst)
   | Fma231 ->
-      let name = if w = W64 then "vfmadd231sd" else "vfmadd231pd" in
+      let name = "vfmadd231" ^ fp_suffix ~et w in
       Printf.sprintf "%s %s, %s, %s" name (v src2) (v src1) (v dst)
   | Fhadd ->
-      let name = if avx then "vhaddpd" else "haddpd" in
+      let name = packed ~et ~avx "hadd" in
       if avx then three name else two name
   | Funpckl ->
-      let name = if avx then "vunpcklpd" else "unpcklpd" in
+      let name = packed ~et ~avx "unpckl" in
       if avx then three name else two name
   | Funpckh ->
-      let name = if avx then "vunpckhpd" else "unpckhpd" in
+      let name = packed ~et ~avx "unpckh" in
       if avx then three name else two name
 
-let insn_str ~avx (i : t) : string =
+let insn_str ~et ~avx (i : t) : string =
   let v = vreg_name in
   match i with
-  | Vop { op; w; dst; src1; src2 } -> fpop_insn ~avx op w dst src1 src2
+  | Vop { op; w; dst; src1; src2 } -> fpop_insn ~et ~avx op w dst src1 src2
   | Vfma4 { w; dst; a; b; c } ->
-      let name = if w = W64 then "vfmaddsd" else "vfmaddpd" in
+      let name = "vfmadd" ^ fp_suffix ~et w in
       Printf.sprintf "%s %s, %s, %s, %s" name (v w c) (v w b) (v w a) (v w dst)
   | Vload { w; dst; src } -> (
       match w with
       | W64 ->
           Printf.sprintf "%s %s, %s"
-            (if avx then "vmovsd" else "movsd")
+            (sfx ~et ~avx "mov" W64)
             (mem_str src) (v w dst)
       | W128 | W256 ->
           Printf.sprintf "%s %s, %s"
-            (if avx then "vmovupd" else "movupd")
+            ((if avx then "vmovu" else "movu") ^ Etype.packed_suffix et)
             (mem_str src) (v w dst))
   | Vstore { w; src; dst } -> (
       match w with
       | W64 ->
           Printf.sprintf "%s %s, %s"
-            (if avx then "vmovsd" else "movsd")
+            (sfx ~et ~avx "mov" W64)
             (v w src) (mem_str dst)
       | W128 | W256 ->
           Printf.sprintf "%s %s, %s"
-            (if avx then "vmovupd" else "movupd")
+            ((if avx then "vmovu" else "movu") ^ Etype.packed_suffix et)
             (v w src) (mem_str dst))
   | Vbroadcast { w; dst; src } -> (
-      match w with
-      | W64 ->
+      match (w, et) with
+      | W64, _ ->
           Printf.sprintf "%s %s, %s"
-            (if avx then "vmovsd" else "movsd")
+            (sfx ~et ~avx "mov" W64)
             (mem_str src) (v w dst)
-      | W128 ->
+      | W128, Etype.F64 ->
           Printf.sprintf "%s %s, %s"
             (if avx then "vmovddup" else "movddup")
             (mem_str src) (v w dst)
-      | W256 -> Printf.sprintf "vbroadcastsd %s, %s" (mem_str src) (v w dst))
+      | W128, Etype.F32 ->
+          if avx then
+            Printf.sprintf "vbroadcastss %s, %s" (mem_str src) (v w dst)
+          else err "SSE has no single-instruction f32 broadcast"
+      | W256, _ ->
+          Printf.sprintf "vbroadcast%s %s, %s" (Etype.scalar_suffix et)
+            (mem_str src) (v w dst))
   | Vshuf { w; dst; src1; src2; imm } ->
+      let name = packed ~et ~avx "shuf" in
       if avx then
-        Printf.sprintf "vshufpd $%d, %s, %s, %s" imm (v w src2) (v w src1)
+        Printf.sprintf "%s $%d, %s, %s, %s" name imm (v w src2) (v w src1)
           (v w dst)
       else (
-        check_sse2op ~avx ~what:"shufpd" dst src1;
-        Printf.sprintf "shufpd $%d, %s, %s" imm (v w src2) (v w dst))
+        check_sse2op ~avx ~what:name dst src1;
+        Printf.sprintf "%s $%d, %s, %s" name imm (v w src2) (v w dst))
   | Vblend { w; dst; src1; src2; imm } ->
+      let name = packed ~et ~avx "blend" in
       if avx then
-        Printf.sprintf "vblendpd $%d, %s, %s, %s" imm (v w src2) (v w src1)
+        Printf.sprintf "%s $%d, %s, %s, %s" name imm (v w src2) (v w src1)
           (v w dst)
       else (
-        check_sse2op ~avx ~what:"blendpd" dst src1;
-        Printf.sprintf "blendpd $%d, %s, %s" imm (v w src2) (v w dst))
+        check_sse2op ~avx ~what:name dst src1;
+        Printf.sprintf "%s $%d, %s, %s" name imm (v w src2) (v w dst))
   | Vperm128 { dst; src1; src2; imm } ->
       Printf.sprintf "vperm2f128 $%d, %s, %s, %s" imm (v W256 src2)
         (v W256 src1) (v W256 dst)
   | Vextract128 { dst; src; lane } ->
       Printf.sprintf "vextractf128 $%d, %s, %s" lane (v W256 src) (v W128 dst)
-  | Movq_xr { dst; src } ->
-      Printf.sprintf "%s %s, %s"
-        (if avx then "vmovq" else "movq")
-        (gpr_name src) (v W128 dst)
+  | Movq_xr { dst; src } -> (
+      (* the FP-bit-pattern move: 64-bit movq for f64, 32-bit movd for
+         f32 (only the low element-size bits carry the literal) *)
+      match et with
+      | Etype.F64 ->
+          Printf.sprintf "%s %s, %s"
+            (if avx then "vmovq" else "movq")
+            (gpr_name src) (v W128 dst)
+      | Etype.F32 ->
+          Printf.sprintf "%s %%%s, %s"
+            (if avx then "vmovd" else "movd")
+            (Reg.gpr_name32 src) (v W128 dst))
   | Movri (r, n) -> Printf.sprintf "movq $%d, %s" n (gpr_name r)
   | Movabs (r, n) -> Printf.sprintf "movabsq $%Ld, %s" n (gpr_name r)
   | Movrr (d, s) -> Printf.sprintf "movq %s, %s" (gpr_name s) (gpr_name d)
@@ -175,16 +202,16 @@ let insn_str ~avx (i : t) : string =
   | Prefetch (Pf_w, m) -> "prefetchw " ^ mem_str m
   | Comment c -> "# " ^ c
 
-let program_to_string ?(avx = true) (p : program) : string =
+let program_to_string ?(avx = true) ?(et = Etype.F64) (p : program) : string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (Printf.sprintf "\t.text\n\t.globl %s\n\t.type %s, @function\n%s:\n"
                            p.prog_name p.prog_name p.prog_name);
   List.iter
     (fun i ->
       (match i with
-      | Label _ -> Buffer.add_string buf (insn_str ~avx i)
-      | Comment _ -> Buffer.add_string buf ("\t" ^ insn_str ~avx i)
-      | _ -> Buffer.add_string buf ("\t" ^ insn_str ~avx i));
+      | Label _ -> Buffer.add_string buf (insn_str ~et ~avx i)
+      | Comment _ -> Buffer.add_string buf ("\t" ^ insn_str ~et ~avx i)
+      | _ -> Buffer.add_string buf ("\t" ^ insn_str ~et ~avx i));
       Buffer.add_char buf '\n')
     p.prog_insns;
   Buffer.add_string buf

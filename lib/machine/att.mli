@@ -3,12 +3,16 @@
     When [avx] is set, three-operand VEX encodings are used throughout;
     otherwise legacy SSE two-operand encodings are printed, which
     requires [dst = src1] on register-register operations — instruction
-    selection maintains that invariant and the printer enforces it. *)
+    selection maintains that invariant and the printer enforces it.
+
+    [et] selects the element type of every FP mnemonic (sd/pd vs
+    ss/ps, vbroadcastsd vs vbroadcastss, movq vs movd, ...); it
+    defaults to [Etype.F64], the historic output. *)
 
 exception Print_error of string
 
 (** One instruction, without trailing newline. *)
-val insn_str : avx:bool -> Insn.t -> string
+val insn_str : et:Etype.t -> avx:bool -> Insn.t -> string
 
 (** A complete listing with [.text]/[.globl]/[.size] directives. *)
-val program_to_string : ?avx:bool -> Insn.program -> string
+val program_to_string : ?avx:bool -> ?et:Etype.t -> Insn.program -> string

@@ -1,0 +1,64 @@
+(* The scalar element type of a generated kernel: the one place the
+   rest of the stack derives precision-dependent facts from.  Byte
+   size, lane counts, mnemonic suffixes, peak-FLOPS scaling and
+   comparison tolerances all come from here, so adding a precision is
+   a matter of extending this module — not of hunting string literals
+   and hard-coded 8s through the printer, the vectorizer and the
+   models.
+
+   F64 is the default everywhere (every [?et] optional argument in the
+   stack defaults to it), which keeps the pre-existing double-precision
+   behaviour — generated assembly, goldens, cache content addresses —
+   bit-for-bit identical. *)
+
+type t =
+  | F32
+  | F64
+
+let bytes = function F32 -> 4 | F64 -> 8
+let bits = function F32 -> 32 | F64 -> 64
+
+(* Wire/CLI spelling ("precision" fields, --precision flags, bench
+   artifact names). *)
+let name = function F32 -> "f32" | F64 -> "f64"
+
+let of_name = function
+  | "f32" | "float" | "single" -> Some F32
+  | "f64" | "double" -> Some F64
+  | _ -> None
+
+let all = [ F32; F64 ]
+
+(* The AT&T mnemonic suffix letter: addSS/addPS vs addSD/addPD,
+   vbroadcastSS vs vbroadcastSD, ... *)
+let suffix = function F32 -> "s" | F64 -> "d"
+
+let scalar_suffix t = "s" ^ suffix t
+let packed_suffix t = "p" ^ suffix t
+
+(* The BLAS-style kernel-name prefix: Sgemm vs Dgemm. *)
+let blas_prefix = function F32 -> "s" | F64 -> "d"
+
+(* Unit roundoff. *)
+let epsilon = function
+  | F32 -> 1.19209289550781250e-07 (* 2^-23 *)
+  | F64 -> 2.220446049250313e-16 (* 2^-52 *)
+
+(* Relative comparison tolerance for a result accumulated over [k]
+   summands: a small constant times k * eps (the worst-case
+   accumulation bound), floored so tiny reductions keep a sane gate.
+   The F64 floor is the historic 1e-9 differential gate; with k*eps
+   scaling it stays exactly 1e-9 for every realistic K (4 * 1e6 *
+   eps_f64 < 1e-9), so existing double-precision gates are
+   unchanged. *)
+let tol ?(k = 1) t =
+  let floor = match t with F32 -> 1e-6 | F64 -> 1e-9 in
+  Float.max floor (4.0 *. float_of_int (max 1 k) *. epsilon t)
+
+(* Round a real (held as an OCaml float) to this precision: the
+   functional simulator applies it after every f32 arithmetic
+   operation; for f64 it is the identity. *)
+let round t (x : float) : float =
+  match t with
+  | F64 -> x
+  | F32 -> Int32.float_of_bits (Int32.bits_of_float x)

@@ -1,0 +1,51 @@
+(** The scalar element type (precision) of a generated kernel.
+
+    Every precision-dependent fact in the stack — element byte size,
+    lanes per vector width, mnemonic suffix, comparison tolerance,
+    f32 rounding — is derived from this one module.  [F64] is the
+    default of every [?et] argument downstream, keeping the historic
+    double-precision outputs bit-identical. *)
+
+type t =
+  | F32
+  | F64
+
+val bytes : t -> int
+(** Element size in bytes: 4 / 8. *)
+
+val bits : t -> int
+(** Element size in bits: 32 / 64. *)
+
+val name : t -> string
+(** Wire/CLI spelling: ["f32"] / ["f64"]. *)
+
+val of_name : string -> t option
+(** Inverse of [name]; also accepts ["float"]/["single"] and
+    ["double"]. *)
+
+val all : t list
+(** Both precisions, [F32] first. *)
+
+val suffix : t -> string
+(** The AT&T mnemonic suffix letter: ["s"] / ["d"]. *)
+
+val scalar_suffix : t -> string
+(** ["ss"] / ["sd"]. *)
+
+val packed_suffix : t -> string
+(** ["ps"] / ["pd"]. *)
+
+val blas_prefix : t -> string
+(** BLAS routine prefix: ["s"] / ["d"]. *)
+
+val epsilon : t -> float
+(** Unit roundoff: 2{^-23} / 2{^-52}. *)
+
+val tol : ?k:int -> t -> float
+(** Relative comparison tolerance for a value accumulated over [k]
+    summands: [max floor (4 * k * epsilon)], with a per-type floor
+    (1e-6 for f32, the historic 1e-9 for f64). *)
+
+val round : t -> float -> float
+(** Round to this precision ([F32]: via the IEEE binary32 bit pattern;
+    [F64]: identity). *)

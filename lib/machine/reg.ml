@@ -41,6 +41,25 @@ let gpr_name = function
   | R14 -> "r14"
   | R15 -> "r15"
 
+(* 32-bit sub-register names, for movd (the f32 bit-pattern move). *)
+let gpr_name32 = function
+  | Rax -> "eax"
+  | Rbx -> "ebx"
+  | Rcx -> "ecx"
+  | Rdx -> "edx"
+  | Rsi -> "esi"
+  | Rdi -> "edi"
+  | Rbp -> "ebp"
+  | Rsp -> "esp"
+  | R8 -> "r8d"
+  | R9 -> "r9d"
+  | R10 -> "r10d"
+  | R11 -> "r11d"
+  | R12 -> "r12d"
+  | R13 -> "r13d"
+  | R14 -> "r14d"
+  | R15 -> "r15d"
+
 let gpr_index r =
   let rec go i = function
     | [] -> assert false

@@ -21,6 +21,10 @@ type gpr =
 
 val all_gprs : gpr list
 val gpr_name : gpr -> string
+
+val gpr_name32 : gpr -> string
+(** 32-bit sub-register spelling (eax, r8d, ...), used by movd. *)
+
 val gpr_index : gpr -> int
 
 (** System V AMD64: integer/pointer argument registers, in order. *)

@@ -11,16 +11,19 @@ module Plan = A.Codegen.Plan
 module Insn = A.Machine.Insn
 module Emit = A.Codegen.Emit
 module Tuner = A.Tuner
+module Etype = A.Machine.Etype
 
 type tune_request = {
   tq_kernel : Kernels.name;
   tq_arch : Arch.t;
+  tq_et : Etype.t;
   tq_space : Tuner.candidate list option;
   tq_deadline_ms : float option;
 }
 
 type blocked_request = {
   bq_arch : Arch.t;
+  bq_et : Etype.t;
   bq_m : int;
   bq_n : int;
   bq_k : int;
@@ -281,15 +284,24 @@ let bad detail = { e_code = e_bad_request; e_detail = detail }
 let decode_arch ~op (j : Json.t) : (Arch.t, error) Stdlib.result =
   match Json.member "arch" j with
   | Some (Json.String s) -> (
-      match Arch.by_name s with
-      | Some a -> Ok a
+      match Arch.by_name_result s with
+      | Ok a -> Ok a
+      | Error msg -> Error (bad msg))
+  | _ -> Error (bad (op ^ " needs an \"arch\" string"))
+
+(* The precision wire field; absent or null means f64, keeping every
+   pre-precision client bit-compatible. *)
+let decode_precision (j : Json.t) : (Etype.t, error) Stdlib.result =
+  match Json.member "precision" j with
+  | None | Some Json.Null -> Ok Etype.F64
+  | Some (Json.String s) -> (
+      match Etype.of_name s with
+      | Some et -> Ok et
       | None ->
           Error
             (bad
-               (Printf.sprintf "unknown architecture %S (try: %s)" s
-                  (String.concat ", "
-                     (List.map (fun a -> a.Arch.name) Arch.all)))))
-  | _ -> Error (bad (op ^ " needs an \"arch\" string"))
+               (Printf.sprintf "unknown precision %S (valid: f32, f64)" s)))
+  | Some _ -> Error (bad "precision must be \"f32\" or \"f64\"")
 
 let decode_deadline_ms (j : Json.t) : (float option, error) Stdlib.result =
   match Json.member "deadline_ms" j with
@@ -327,6 +339,7 @@ let request_of_json (j : Json.t) : (request, error) Stdlib.result =
                | _ -> Error (bad "tune needs a \"kernel\" string")
              in
              let* arch = decode_arch ~op:"tune" j in
+             let* et = decode_precision j in
              let* space =
                match Json.member "space" j with
                | None | Some Json.Null -> Ok None
@@ -348,12 +361,14 @@ let request_of_json (j : Json.t) : (request, error) Stdlib.result =
                   {
                     tq_kernel = kernel;
                     tq_arch = arch;
+                    tq_et = et;
                     tq_space = space;
                     tq_deadline_ms = deadline_ms;
                   }))
       | Some (Json.String "blocked") ->
           with_id
             (let* arch = decode_arch ~op:"blocked" j in
+             let* et = decode_precision j in
              let* m = decode_dim j "m" in
              let* n = decode_dim j "n" in
              let* k = decode_dim j "k" in
@@ -362,6 +377,7 @@ let request_of_json (j : Json.t) : (request, error) Stdlib.result =
                (Op_blocked
                   {
                     bq_arch = arch;
+                    bq_et = et;
                     bq_m = m;
                     bq_n = n;
                     bq_k = k;
@@ -397,6 +413,9 @@ let request_to_json (r : request) : Json.t =
             ("kernel", Json.String (Kernels.name_to_string t.tq_kernel));
             ("arch", Json.String t.tq_arch.Arch.name);
           ]
+        @ (match t.tq_et with
+          | Etype.F64 -> []
+          | et -> [ ("precision", Json.String (Etype.name et)) ])
         @ (match t.tq_space with
           | None -> []
           | Some cs ->
@@ -411,6 +430,11 @@ let request_to_json (r : request) : Json.t =
         @ [
             ("op", Json.String "blocked");
             ("arch", Json.String b.bq_arch.Arch.name);
+          ]
+        @ (match b.bq_et with
+          | Etype.F64 -> []
+          | et -> [ ("precision", Json.String (Etype.name et)) ])
+        @ [
             ("m", Json.Int b.bq_m);
             ("n", Json.Int b.bq_n);
             ("k", Json.Int b.bq_k);

@@ -43,6 +43,10 @@
 type tune_request = {
   tq_kernel : Augem.Ir.Kernels.name;
   tq_arch : Augem.Machine.Arch.t;
+  tq_et : Augem.Machine.Etype.t;
+      (** scalar precision from the optional ["precision"] wire field
+          (["f32"] or ["f64"]); absent means f64, so pre-precision
+          clients are untouched *)
   tq_space : Augem.Tuner.candidate list option;
       (** explicit candidate list overriding the kernel's default
           search space *)
@@ -61,6 +65,8 @@ type tune_request = {
     the blocking sweep optimizes for. *)
 type blocked_request = {
   bq_arch : Augem.Machine.Arch.t;
+  bq_et : Augem.Machine.Etype.t;
+      (** scalar precision from the optional ["precision"] wire field *)
   bq_m : int;
   bq_n : int;
   bq_k : int;

@@ -6,6 +6,7 @@ module Tuner = A.Tuner
 module Cache = A.Tuning_cache
 module Arch = A.Machine.Arch
 module Kernels = A.Ir.Kernels
+module Etype = A.Machine.Etype
 module Faultpoint = Augem_resilience.Faultpoint
 module Breaker = Augem_resilience.Breaker
 
@@ -61,20 +62,29 @@ let create ?(lru_capacity = 64) ?cache_dir ?breaker
 
 let breaker (t : t) : Breaker.t option = t.breaker
 
-let key_of ~(arch : Arch.t) ~(kernel : Kernels.name)
-    ~(space : Tuner.candidate list) : string * string =
+(* the precision rides in the kernel-name component of the content
+   address (s-prefixed for f32, bare for f64), so f64 addresses are
+   untouched by the precision axis *)
+let fp_of_et = function
+  | Etype.F32 -> Some A.Ir.Ast.Float
+  | Etype.F64 -> None
+
+let key_of ?(et = Etype.F64) ~(arch : Arch.t) ~(kernel : Kernels.name)
+    ~(space : Tuner.candidate list) () : string * string =
   let fingerprint = Tuner.space_fingerprint space in
+  let kernel_s = Kernels.name_to_string ?fp:(fp_of_et et) kernel in
   let keydesc =
     Cache.keydesc ~version:Tuner.tuner_version ~arch:arch.Arch.name
-      ~kernel:(Kernels.name_to_string kernel) ~fingerprint
+      ~kernel:kernel_s ~fingerprint
   in
   let digest =
     Cache.digest ~version:Tuner.tuner_version ~arch:arch.Arch.name
-      ~kernel:(Kernels.name_to_string kernel) ~fingerprint
+      ~kernel:kernel_s ~fingerprint
   in
   (keydesc, digest)
 
-let digest_of ~arch ~kernel ~space : string = snd (key_of ~arch ~kernel ~space)
+let digest_of ?et ~arch ~kernel ~space () : string =
+  snd (key_of ?et ~arch ~kernel ~space ())
 
 (* caller holds t.m *)
 let lru_touch (t : t) (s : slot) : unit =
@@ -119,12 +129,13 @@ let wait_coalesced (t : t) (n : int) : unit =
   done;
   Mutex.unlock t.m
 
-let find_or_compute (t : t) ~(arch : Arch.t) ~(kernel : Kernels.name)
-    ~(space : Tuner.candidate list) ~(compute : unit -> computed) : outcome =
+let find_or_compute ?(et = Etype.F64) (t : t) ~(arch : Arch.t)
+    ~(kernel : Kernels.name) ~(space : Tuner.candidate list)
+    ~(compute : unit -> computed) : outcome =
   let arch_s = arch.Arch.name in
-  let kernel_s = Kernels.name_to_string kernel in
+  let kernel_s = Kernels.name_to_string ?fp:(fp_of_et et) kernel in
   let emit ev = t.on_event ~arch:arch_s ~kernel:kernel_s ev in
-  let keydesc, digest = key_of ~arch ~kernel ~space in
+  let keydesc, digest = key_of ~et ~arch ~kernel ~space () in
   Faultpoint.hit fp_lookup;
   Mutex.lock t.m;
   match Hashtbl.find_opt t.lru digest with

@@ -65,12 +65,16 @@ type outcome = {
   o_tuning_ms : float;  (** wall clock of the compute; 0 on cache hits *)
 }
 
-(** The content address a (arch, kernel, space) triple caches under —
-    identical to the tuner's persistent-cache digest. *)
+(** The content address a (arch, kernel, space, precision) tuple caches
+    under — identical to the tuner's persistent-cache digest.  [?et]
+    (default f64) selects the precision component: f32 addresses under
+    the s-prefixed kernel name, f64 under the bare one. *)
 val digest_of :
+  ?et:Augem.Machine.Etype.t ->
   arch:Augem.Machine.Arch.t ->
   kernel:Augem.Ir.Kernels.name ->
   space:Augem.Tuner.candidate list ->
+  unit ->
   string
 
 (** Look the key up (L1, then the in-flight table, then L2), running
@@ -79,6 +83,7 @@ val digest_of :
     {!Augem_resilience.Breaker.Open_circuit} without computing when the
     key's circuit is open. *)
 val find_or_compute :
+  ?et:Augem.Machine.Etype.t ->
   t ->
   arch:Augem.Machine.Arch.t ->
   kernel:Augem.Ir.Kernels.name ->

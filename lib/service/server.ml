@@ -9,6 +9,7 @@ module Json = A.Json
 module Perf = A.Sim.Perf
 module Mem_model = A.Sim.Mem_model
 module Cache = A.Tuning_cache
+module Etype = A.Machine.Etype
 module Faultpoint = Augem_resilience.Faultpoint
 module Breaker = Augem_resilience.Breaker
 
@@ -56,11 +57,12 @@ type t = {
   mutable listen_fd : Unix.file_descr option;
   clients : (Unix.file_descr, unit) Hashtbl.t;
   cm : Mutex.t;  (* stop / listen_fd / clients *)
-  (* blocked-DGEMM plans by (arch, m, n, k): a plan bundles three tuned
-     kernels plus a blocking sweep, so it gets its own memo rather than
-     riding the per-kernel registry.  Degraded plans are never stored
-     (same contract as the tuner's fallback-no-cache rule). *)
-  bplans : (string * int * int * int, A.Blocked.plan * float) Hashtbl.t;
+  (* blocked-DGEMM plans by (arch, precision, m, n, k): a plan bundles
+     three tuned kernels plus a blocking sweep, so it gets its own memo
+     rather than riding the per-kernel registry.  Degraded plans are
+     never stored (same contract as the tuner's fallback-no-cache
+     rule). *)
+  bplans : (string * string * int * int * int, A.Blocked.plan * float) Hashtbl.t;
   bm : Mutex.t;  (* bplans *)
 }
 
@@ -137,6 +139,8 @@ let handle_tune (t : t) (id : Json.t) (tq : Proto.tune_request) :
   let t0 = t.now () in
   let arch = tq.Proto.tq_arch in
   let kernel = tq.Proto.tq_kernel in
+  let et = tq.Proto.tq_et in
+  let fp = match et with Etype.F32 -> Some A.Ir.Ast.Float | Etype.F64 -> None in
   let space =
     match tq.Proto.tq_space with
     | Some s -> s
@@ -152,7 +156,7 @@ let handle_tune (t : t) (id : Json.t) (tq : Proto.tune_request) :
      handed a lost leader's baseline sees it as an ordinary fallback.) *)
   let lost = ref false in
   let compute () : Registry.computed =
-    let job () = Tuner.tune ~jobs:t.cfg.cfg_tune_jobs ~space arch kernel in
+    let job () = Tuner.tune ~et ~jobs:t.cfg.cfg_tune_jobs ~space arch kernel in
     match Scheduler.submit t.sched ?deadline job with
     | None ->
         raise
@@ -167,14 +171,14 @@ let handle_tune (t : t) (id : Json.t) (tq : Proto.tune_request) :
             (* the deadline passed while the job was queued: degrade to
                the safe baseline via the tuner's fallback path (an
                empty space falls back by construction) *)
-            let r = Tuner.tune ~space:[] arch kernel in
+            let r = Tuner.tune ~et ~space:[] arch kernel in
             { Registry.c_result = r; c_deadline_expired = true }
         | Scheduler.Lost ->
             (* the worker running the sweep died: the supervisor is
                respawning it, and this request degrades to the safe
                baseline instead of failing or hanging *)
             lost := true;
-            let r = Tuner.tune ~space:[] arch kernel in
+            let r = Tuner.tune ~et ~space:[] arch kernel in
             { Registry.c_result = r; c_deadline_expired = false }
         | Scheduler.Failed e -> raise e)
   in
@@ -186,11 +190,12 @@ let handle_tune (t : t) (id : Json.t) (tq : Proto.tune_request) :
       =
     let r = o.Registry.o_result in
     let assembly =
-      Att.program_to_string ~avx:(arch.Arch.simd = Arch.AVX) r.Tuner.best_program
+      Att.program_to_string ~et ~avx:(arch.Arch.simd = Arch.AVX)
+        r.Tuner.best_program
     in
     Proto.R_kernel
       {
-        rk_kernel = Kernels.name_to_string kernel;
+        rk_kernel = Kernels.name_to_string ?fp kernel;
         rk_arch = arch.Arch.name;
         rk_assembly = assembly;
         rk_provenance =
@@ -210,7 +215,9 @@ let handle_tune (t : t) (id : Json.t) (tq : Proto.tune_request) :
         rk_degraded = o.Registry.o_degraded;
       }
   in
-  match Registry.find_or_compute t.registry ~arch ~kernel ~space ~compute with
+  match
+    Registry.find_or_compute t.registry ~et ~arch ~kernel ~space ~compute
+  with
   | exception Proto.Overload detail ->
       Metrics.incr_overload t.metrics;
       respond (Error { Proto.e_code = Proto.e_overload; e_detail = detail })
@@ -219,7 +226,7 @@ let handle_tune (t : t) (id : Json.t) (tq : Proto.tune_request) :
          (annotated, degraded) rather than queueing another doomed
          sweep.  The baseline needs no sweep, so it runs inline. *)
       Metrics.incr_degraded_breaker t.metrics;
-      let r = Tuner.tune ~space:[] arch kernel in
+      let r = Tuner.tune ~et ~space:[] arch kernel in
       respond
         (Ok
            (kernel_reply ~breaker_open:true
@@ -255,13 +262,14 @@ let handle_tune (t : t) (id : Json.t) (tq : Proto.tune_request) :
    request's deadline expires or its worker dies.  No sweep — the
    baseline micro-kernel with the analytically-derived blocking and
    baseline packing kernels, all generated inline. *)
-let baseline_plan ~(workload : Perf.workload) (arch : Arch.t) : A.Blocked.plan
-    =
-  let bb = Tuner.tune_blocked ~workload ~space:[] arch in
-  let pa = Tuner.tune ~space:[] arch Kernels.Pack_a in
-  let pb = Tuner.tune ~space:[] arch Kernels.Pack_b in
+let baseline_plan ~(et : Etype.t) ~(workload : Perf.workload) (arch : Arch.t)
+    : A.Blocked.plan =
+  let bb = Tuner.tune_blocked ~et ~workload ~space:[] arch in
+  let pa = Tuner.tune ~et ~space:[] arch Kernels.Pack_a in
+  let pb = Tuner.tune ~et ~space:[] arch Kernels.Pack_b in
   {
     A.Blocked.pl_arch = arch;
+    pl_et = et;
     pl_blocking = bb.Tuner.bb_blocking;
     pl_mr = bb.Tuner.bb_mr;
     pl_nr = bb.Tuner.bb_nr;
@@ -277,8 +285,9 @@ let handle_blocked (t : t) (id : Json.t) (bq : Proto.blocked_request) :
     Proto.response =
   let t0 = t.now () in
   let arch = bq.Proto.bq_arch in
+  let et = bq.Proto.bq_et in
   let m = bq.Proto.bq_m and n = bq.Proto.bq_n and k = bq.Proto.bq_k in
-  let key = (arch.Arch.name, m, n, k) in
+  let key = (arch.Arch.name, Etype.name et, m, n, k) in
   let workload = Perf.W_gemm { m; n; k } in
   let deadline_ms =
     match bq.Proto.bq_deadline_ms with
@@ -305,11 +314,11 @@ let handle_blocked (t : t) (id : Json.t) (bq : Proto.blocked_request) :
           A.Transform.Pipeline.config_to_string
             p.A.Blocked.pl_micro_config.Tuner.cand_config;
         rb_micro_assembly =
-          Att.program_to_string ~avx p.A.Blocked.pl_micro;
+          Att.program_to_string ~et ~avx p.A.Blocked.pl_micro;
         rb_pack_a_assembly =
-          Att.program_to_string ~avx p.A.Blocked.pl_pack_a;
+          Att.program_to_string ~et ~avx p.A.Blocked.pl_pack_a;
         rb_pack_b_assembly =
-          Att.program_to_string ~avx p.A.Blocked.pl_pack_b;
+          Att.program_to_string ~et ~avx p.A.Blocked.pl_pack_b;
         rb_blocked_mflops =
           (A.Blocked.predict p workload).Perf.e_mflops;
         rb_streamed_mflops =
@@ -328,7 +337,9 @@ let handle_blocked (t : t) (id : Json.t) (bq : Proto.blocked_request) :
          each run their own sweep (the plan memo only dedupes across
          time).  Plans are requested rarely enough that coalescing
          machinery isn't worth its states. *)
-      let job () = A.Blocked.plan ~jobs:t.cfg.cfg_tune_jobs ~workload arch in
+      let job () =
+        A.Blocked.plan ~et ~jobs:t.cfg.cfg_tune_jobs ~workload arch
+      in
       match Scheduler.submit t.sched ?deadline job with
       | None ->
           Metrics.incr_overload t.metrics;
@@ -344,7 +355,7 @@ let handle_blocked (t : t) (id : Json.t) (bq : Proto.blocked_request) :
           let degrade counter =
             counter t.metrics;
             Metrics.incr_tier t.metrics Proto.T_tuned;
-            match baseline_plan ~workload arch with
+            match baseline_plan ~et ~workload arch with
             | p ->
                 respond
                   (Ok (reply ~tier:Proto.T_tuned ~degraded:true ~tuning_ms:0. p))

@@ -57,15 +57,15 @@ let innermost_loops (p : Insn.program) : (string * Insn.t list) list =
   done;
   List.rev !loops
 
-let body_stats (body : Insn.t list) =
-  let flops = List.fold_left (fun acc i -> acc + Insn.flops i) 0 body in
+let body_stats ?(et = Etype.F64) (body : Insn.t list) =
+  let flops = List.fold_left (fun acc i -> acc + Insn.flops ~et i) 0 body in
   let count f = List.length (List.filter f body) in
   let load_bytes =
     List.fold_left
       (fun acc i ->
         match i with
         | Insn.Vload { w; _ } -> acc + (Insn.width_bits w / 8)
-        | Insn.Vbroadcast _ -> acc + 8
+        | Insn.Vbroadcast _ -> acc + Etype.bytes et
         | Insn.Loadq _ -> acc + 8
         | _ -> acc)
       0 body
@@ -119,11 +119,11 @@ let steady_cycles ?(pipeline_model = `Out_of_order) (arch : Arch.t)
   Float.max per_iter 1.0
 
 (* Analyze every innermost loop of a program. *)
-let analyze ?pipeline_model (arch : Arch.t) (p : Insn.program) :
+let analyze ?pipeline_model ?et (arch : Arch.t) (p : Insn.program) :
     loop_info list =
   List.map
     (fun (label, body) ->
-      let flops, loads, stores, lb, sb, pf = body_stats body in
+      let flops, loads, stores, lb, sb, pf = body_stats ?et body in
       {
         li_label = label;
         li_body = body;
@@ -142,17 +142,18 @@ let analyze ?pipeline_model (arch : Arch.t) (p : Insn.program) :
    kernel at many problem sizes. *)
 let hot_cache : (string, loop_info option) Hashtbl.t = Hashtbl.create 64
 
-let hot_loop ?(pipeline_model = `Out_of_order) (arch : Arch.t)
-    (p : Insn.program) : loop_info option =
+let hot_loop ?(pipeline_model = `Out_of_order) ?(et = Etype.F64)
+    (arch : Arch.t) (p : Insn.program) : loop_info option =
   let key =
     arch.Arch.name
     ^ (match pipeline_model with `Out_of_order -> "/ooo/" | `In_order -> "/io/")
+    ^ Etype.name et ^ "/"
     ^ Digest.to_hex (Digest.string (Marshal.to_string p.Insn.prog_insns []))
   in
   match Hashtbl.find_opt hot_cache key with
   | Some v -> v
   | None ->
-      let loops = analyze ~pipeline_model arch p in
+      let loops = analyze ~pipeline_model ~et arch p in
       let v =
         List.fold_left
           (fun acc li ->
@@ -172,12 +173,13 @@ let hot_loop ?(pipeline_model = `Out_of_order) (arch : Arch.t)
 
 (* Peak-fraction efficiency of a kernel's hot loop: flops per cycle
    relative to the machine peak. *)
-let kernel_efficiency (arch : Arch.t) (p : Insn.program) : float =
-  match hot_loop arch p with
+let kernel_efficiency ?(et = Etype.F64) (arch : Arch.t) (p : Insn.program) :
+    float =
+  match hot_loop ~et arch p with
   | None -> 0.0
   | Some li ->
       if li.li_cycles <= 0. then 0.
       else
         let fpc = float_of_int li.li_flops /. li.li_cycles in
-        let peak = Arch.peak_mflops arch /. (arch.Arch.turbo_ghz *. 1000.) in
+        let peak = Arch.peak_mflops ~et arch /. (arch.Arch.turbo_ghz *. 1000.) in
         Float.min 1.0 (fpc /. peak)

@@ -37,20 +37,27 @@ val steady_cycles :
   Augem_machine.Insn.t list ->
   float
 
+(** [et] sets the element type flop and byte counts are taken at
+    (default f64: a 256-bit FMA is 8 flops of f64, 16 of f32). *)
 val analyze :
   ?pipeline_model:[ `Out_of_order | `In_order ] ->
+  ?et:Augem_machine.Etype.t ->
   Augem_machine.Arch.t ->
   Augem_machine.Insn.program ->
   loop_info list
 
 (** The hot loop (most flops per iteration, then most bytes loaded);
-    memoized on the program text. *)
+    memoized on the program text, pipeline model and element type. *)
 val hot_loop :
   ?pipeline_model:[ `Out_of_order | `In_order ] ->
+  ?et:Augem_machine.Etype.t ->
   Augem_machine.Arch.t ->
   Augem_machine.Insn.program ->
   loop_info option
 
 (** Hot-loop flops per cycle as a fraction of machine peak. *)
 val kernel_efficiency :
-  Augem_machine.Arch.t -> Augem_machine.Insn.program -> float
+  ?et:Augem_machine.Etype.t ->
+  Augem_machine.Arch.t ->
+  Augem_machine.Insn.program ->
+  float

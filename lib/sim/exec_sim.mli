@@ -4,17 +4,23 @@
     whole framework: generated kernels run here against randomized
     inputs and are compared with the reference BLAS.
 
-    Memory is a flat 8-byte-cell store; doubles live as their IEEE-754
-    bit patterns.  Caller buffers are copied in at distinct base
-    addresses and copied back after the run. *)
+    Memory is a flat 8-byte-cell store; FP values live as their
+    IEEE-754 bit patterns (doubles fill a cell, floats half of one).
+    Caller buffers are copied in at distinct base addresses and copied
+    back after the run.
+
+    The machine is typed by the kernel's element type: lane counts,
+    shuffle semantics and element sizes follow [state.et], and f32
+    arithmetic rounds every result to binary32. *)
 
 exception Sim_error of string
 
 (** Full machine state.  Exposed for white-box tests (e.g. checking
     callee-saved registers survive a call). *)
 type state = {
+  et : Augem_machine.Etype.t;  (** element type of the vector lanes *)
   gpr : int64 array;
-  vec : float array array;  (** 16 registers x 4 lanes *)
+  vec : float array array;  (** 16 registers x 8 lanes (f64 uses 4) *)
   mem : (int, int64) Hashtbl.t;
   mutable flags : int64 * int64;  (** last comparison operands *)
   mutable executed : int;
@@ -24,7 +30,7 @@ type state = {
   mutable prefetches : int;
 }
 
-val create : unit -> state
+val create : ?et:Augem_machine.Etype.t -> unit -> state
 val get_gpr : state -> Augem_machine.Reg.gpr -> int64
 val set_gpr : state -> Augem_machine.Reg.gpr -> int64 -> unit
 
@@ -63,9 +69,12 @@ type arg =
   | Abuf of float array
 
 (** Call a program with System V AMD64 argument passing (integer and
-    pointer args in rdi/rsi/rdx/rcx/r8/r9 then the stack, doubles in
-    xmm0-7). *)
+    pointer args in rdi/rsi/rdx/rcx/r8/r9 then the stack, FP scalars
+    in xmm0-7).  [et] selects the element type the machine runs at
+    (default double precision); [Abuf]/[Adouble] payloads are rounded
+    to it on the way in. *)
 val call :
+  ?et:Augem_machine.Etype.t ->
   ?fuel:int ->
   ?on_access:(addr:int -> bytes:int -> store:bool -> unit) ->
   Augem_machine.Insn.program ->

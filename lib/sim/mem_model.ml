@@ -83,8 +83,9 @@ let blocking_to_string (b : blocking) =
 
 let round_down_to ~multiple x = max multiple (x - (x mod multiple))
 
-let derive_blocking (arch : Arch.t) ~(mr : int) ~(nr : int) : blocking =
-  let elt = 8 in
+let derive_blocking ?(et = Etype.F64) (arch : Arch.t) ~(mr : int) ~(nr : int)
+    : blocking =
+  let elt = Etype.bytes et in
   (* KC: the KC x NR slice of packed B must sit in half of L1 (the
      other half carries the A micro-panel and the C tile). *)
   let kc_raw = arch.Arch.l1_bytes / 2 / (elt * nr) in
@@ -106,11 +107,11 @@ let derive_blocking (arch : Arch.t) ~(mr : int) ~(nr : int) : blocking =
    satisfy the cache-capacity constraints (same cache level for the
    panel each constraint protects).  Deduplicated, derived point
    first — on a score tie the analytic derivation wins. *)
-let blocking_candidates (arch : Arch.t) ~(mr : int) ~(nr : int) :
-    blocking list =
-  let d = derive_blocking arch ~mr ~nr in
+let blocking_candidates ?(et = Etype.F64) (arch : Arch.t) ~(mr : int)
+    ~(nr : int) : blocking list =
+  let d = derive_blocking ~et arch ~mr ~nr in
   let fits (b : blocking) =
-    let elt = 8 in
+    let elt = Etype.bytes et in
     b.bl_kc >= 16 && b.bl_mc >= mr && b.bl_nc >= nr
     && elt * b.bl_kc * nr <= arch.Arch.l1_bytes
     && elt * b.bl_mc * b.bl_kc <= arch.Arch.l2_bytes

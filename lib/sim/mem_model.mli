@@ -51,11 +51,22 @@ type blocking = {
 
 val blocking_to_string : blocking -> string
 
-(** The analytically-derived triple for an architecture. *)
-val derive_blocking : Augem_machine.Arch.t -> mr:int -> nr:int -> blocking
+(** The analytically-derived triple for an architecture.  [et] sets
+    the element size the footprints are computed in (default f64);
+    4-byte f32 elements double every derived dimension's capacity. *)
+val derive_blocking :
+  ?et:Augem_machine.Etype.t ->
+  Augem_machine.Arch.t ->
+  mr:int ->
+  nr:int ->
+  blocking
 
 (** The blocking dimension of the tuner's search space: the derived
     triple first, then halved/doubled per-dimension variants that
     still satisfy the cache-capacity constraints; deduplicated. *)
 val blocking_candidates :
-  Augem_machine.Arch.t -> mr:int -> nr:int -> blocking list
+  ?et:Augem_machine.Etype.t ->
+  Augem_machine.Arch.t ->
+  mr:int ->
+  nr:int ->
+  blocking list

@@ -50,34 +50,36 @@ let tile_overhead ~flops_per_iter = 30.0 +. float_of_int flops_per_iter
 
 exception No_hot_loop of string
 
-let analyze_loop ?pipeline_model (arch : Arch.t) (p : Insn.program) :
+let analyze_loop ?pipeline_model ?et (arch : Arch.t) (p : Insn.program) :
     Cycle_sim.loop_info =
-  match Cycle_sim.hot_loop ?pipeline_model arch p with
+  match Cycle_sim.hot_loop ?pipeline_model ?et arch p with
   | Some li when li.Cycle_sim.li_flops > 0 || li.Cycle_sim.li_load_bytes > 0
     ->
       li
   | Some _ | None -> raise (No_hot_loop p.Insn.prog_name)
 
-(* Traffic and working-set model per workload (bytes). *)
-let memory_profile (w : workload) : int * float =
+(* Traffic and working-set model per workload (bytes), at element
+   size [eb] (8 for f64, 4 for f32). *)
+let memory_profile ~(eb : int) (w : workload) : int * float =
+  let feb = float_of_int eb in
   match w with
   | W_gemm { m; n; k } ->
       (* Working set of the steady state: the packed panels (sized by
          the blocking, not the problem); traffic: A and B each read and
          repacked once per panel pass, C read+written once. *)
       let fm = float_of_int m and fn = float_of_int n and fk = float_of_int k in
-      let traffic = 8.0 *. ((2. *. fm *. fk) +. (2. *. fk *. fn) +. (3. *. fm *. fn)) in
+      let traffic = feb *. ((2. *. fm *. fk) +. (2. *. fk *. fn) +. (3. *. fm *. fn)) in
       (* steady-state working set: packed A block (L2-sized by design) *)
       (256 * 1024, traffic)
   | W_gemv { m; n } ->
-      let bytes = 8 * ((m * n) + m + n) in
-      (bytes, 8.0 *. float_of_int ((m * n) + (2 * m) + n))
+      let bytes = eb * ((m * n) + m + n) in
+      (bytes, feb *. float_of_int ((m * n) + (2 * m) + n))
   | W_axpy { n } ->
-      let ws = 16 * n in
-      (ws, 24.0 *. float_of_int n)
+      let ws = 2 * eb * n in
+      (ws, 3. *. feb *. float_of_int n)
   | W_dot { n } ->
-      let ws = 16 * n in
-      (ws, 16.0 *. float_of_int n)
+      let ws = 2 * eb * n in
+      (ws, 2. *. feb *. float_of_int n)
 
 (* --- blocked vs streamed GEMM predictors -------------------------------- *)
 
@@ -108,9 +110,11 @@ let ceil_div a b = Float.of_int (int_of_float (Float.ceil (a /. b)))
    2·m·n·ceil(k/KC).  Micro-kernel loads stream from the packed
    panels resident in L1/L2, and their port pressure is already inside
    the hot loop's cycle count, so they add no memory-leg traffic. *)
-let predict_blocked ?pipeline_model (arch : Arch.t) (p : Insn.program)
-    ~(blocking : Mem_model.blocking) (w : workload) : estimate =
-  let li = analyze_loop ?pipeline_model arch p in
+let predict_blocked ?pipeline_model ?(et = Etype.F64) (arch : Arch.t)
+    (p : Insn.program) ~(blocking : Mem_model.blocking) (w : workload) :
+    estimate =
+  let li = analyze_loop ?pipeline_model ~et arch p in
+  let feb = float_of_int (Etype.bytes et) in
   let fm, fn, fk = gemm_dims w in
   let flops = workload_flops w in
   let n_jc = ceil_div fn (float_of_int blocking.Mem_model.bl_nc) in
@@ -123,17 +127,21 @@ let predict_blocked ?pipeline_model (arch : Arch.t) (p : Insn.program)
     gemm_compute_cycles li ~flops +. (blocks *. 200.) +. (n_jc *. n_pc *. 100.)
   in
   let traffic =
-    8.0
+    feb
     *. ((2. *. fk *. fn) (* pack B: read + write packed *)
        +. (2. *. fm *. fk *. n_jc) (* pack A, once per jc pass *)
        +. (2. *. fm *. fn *. n_pc) (* C read + write, once per pc pass *))
   in
-  let working_set = 8 * int_of_float ((fm *. fk) +. (fk *. fn) +. (fm *. fn)) in
+  let working_set =
+    Etype.bytes et * int_of_float ((fm *. fk) +. (fk *. fn) +. (fm *. fn))
+  in
   let prefetch = li.Cycle_sim.li_prefetches > 0 in
   let memory = Mem_model.stream_cycles arch ~working_set ~traffic ~prefetch in
   let total = Float.max compute memory +. call_overhead in
   let mflops = flops *. arch.Arch.turbo_ghz *. 1000.0 /. total in
-  let panel_set = 8 * blocking.Mem_model.bl_mc * blocking.Mem_model.bl_kc in
+  let panel_set =
+    Etype.bytes et * blocking.Mem_model.bl_mc * blocking.Mem_model.bl_kc
+  in
   {
     e_mflops = mflops;
     e_compute_cycles = compute;
@@ -159,17 +167,20 @@ let predict_blocked ?pipeline_model (arch : Arch.t) (p : Insn.program)
    hide hundreds of cycles of miss latency, so the legs serialize —
    the textbook account of why unblocked GEMM collapses, and the
    behaviour blocking exists to fix. *)
-let predict_streamed ?pipeline_model (arch : Arch.t) (p : Insn.program)
-    ?(nr = 4) (w : workload) : estimate =
-  let li = analyze_loop ?pipeline_model arch p in
+let predict_streamed ?pipeline_model ?(et = Etype.F64) (arch : Arch.t)
+    (p : Insn.program) ?(nr = 4) (w : workload) : estimate =
+  let li = analyze_loop ?pipeline_model ~et arch p in
   let fm, fn, fk = gemm_dims w in
   let flops = workload_flops w in
   let strips = ceil_div fn (float_of_int (max 1 nr)) in
   let compute = gemm_compute_cycles li ~flops in
+  let feb = float_of_int (Etype.bytes et) in
   let traffic =
-    8.0 *. ((fm *. fk *. strips) +. (fk *. fn) +. (2. *. fm *. fn))
+    feb *. ((fm *. fk *. strips) +. (fk *. fn) +. (2. *. fm *. fn))
   in
-  let working_set = 8 * int_of_float ((fm *. fk) +. (fk *. fn) +. (fm *. fn)) in
+  let working_set =
+    Etype.bytes et * int_of_float ((fm *. fk) +. (fk *. fn) +. (fm *. fn))
+  in
   let prefetch = li.Cycle_sim.li_prefetches > 0 in
   let memory = Mem_model.stream_cycles arch ~working_set ~traffic ~prefetch in
   let total = compute +. memory +. call_overhead in
@@ -184,9 +195,9 @@ let predict_streamed ?pipeline_model (arch : Arch.t) (p : Insn.program)
     e_flops_per_iter = li.Cycle_sim.li_flops;
   }
 
-let predict ?pipeline_model (arch : Arch.t) (p : Insn.program)
-    (w : workload) : estimate =
-  let li = analyze_loop ?pipeline_model arch p in
+let predict ?pipeline_model ?(et = Etype.F64) (arch : Arch.t)
+    (p : Insn.program) (w : workload) : estimate =
+  let li = analyze_loop ?pipeline_model ~et arch p in
   let flops = workload_flops w in
   (* work accounting: flops when the loop computes, elements when it
      only moves data (DCOPY-style) *)
@@ -195,7 +206,8 @@ let predict ?pipeline_model (arch : Arch.t) (p : Insn.program)
       (flops, float_of_int li.Cycle_sim.li_flops)
     else
       ( workload_elements w,
-        Float.max 1.0 (float_of_int (li.Cycle_sim.li_load_bytes / 8)) )
+        Float.max 1.0
+          (float_of_int (li.Cycle_sim.li_load_bytes / Etype.bytes et)) )
   in
   let work_per_cycle = units_per_iter /. li.Cycle_sim.li_cycles in
   let compute =
@@ -214,7 +226,7 @@ let predict ?pipeline_model (arch : Arch.t) (p : Insn.program)
     | W_gemv { n; _ } -> float_of_int n *. 12.0 (* per-column setup *)
     | W_axpy _ | W_dot _ -> 0.0
   in
-  let working_set, traffic = memory_profile w in
+  let working_set, traffic = memory_profile ~eb:(Etype.bytes et) w in
   let prefetch = li.Cycle_sim.li_prefetches > 0 in
   let memory =
     Mem_model.stream_cycles arch ~working_set ~traffic ~prefetch

@@ -34,9 +34,11 @@ exception No_hot_loop of string
 
 (** Predict performance of a generated program on a workload.
     [pipeline_model] selects out-of-order (default) or in-order core
-    modelling (see {!Cycle_sim.steady_cycles}). *)
+    modelling (see {!Cycle_sim.steady_cycles}); [et] the element type
+    flops, footprints and traffic are accounted in (default f64). *)
 val predict :
   ?pipeline_model:[ `Out_of_order | `In_order ] ->
+  ?et:Augem_machine.Etype.t ->
   Augem_machine.Arch.t ->
   Augem_machine.Insn.program ->
   workload ->
@@ -52,6 +54,7 @@ val predict :
     count. *)
 val predict_blocked :
   ?pipeline_model:[ `Out_of_order | `In_order ] ->
+  ?et:Augem_machine.Etype.t ->
   Augem_machine.Arch.t ->
   Augem_machine.Insn.program ->
   blocking:Mem_model.blocking ->
@@ -67,6 +70,7 @@ val predict_blocked :
     meaningful for {!W_gemm} workloads. *)
 val predict_streamed :
   ?pipeline_model:[ `Out_of_order | `In_order ] ->
+  ?et:Augem_machine.Etype.t ->
   Augem_machine.Arch.t ->
   Augem_machine.Insn.program ->
   ?nr:int ->

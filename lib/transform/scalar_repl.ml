@@ -156,7 +156,7 @@ let rec lower_stmt st (s : stmt) : stmt list =
             | _ -> Double)
       in
       match lv_type with
-      | Double -> lower_double_assign st lv (Simplify.simplify_expr e)
+      | Double | Float -> lower_double_assign st lv (Simplify.simplify_expr e)
       | Int | Ptr _ -> [ s ])
   | For (h, body) -> [ For (h, List.concat_map (lower_stmt st) body) ]
   | If (a, c, b, t, f) ->

@@ -218,7 +218,7 @@ let run (k : kernel) : kernel =
     (fun p ->
       match p.p_type with
       | Ptr _ -> Hashtbl.replace array_types p.p_name p.p_type
-      | Int | Double -> ())
+      | Int | Double | Float -> ())
     k.k_params;
   let rec record_decls = function
     | [] -> ()

@@ -91,8 +91,19 @@ let fill seed n =
       state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
       (float_of_int !state /. 1073741824.0 *. 2.0) -. 1.0)
 
+(* For single-precision kernels the inputs themselves are rounded to
+   f32-representable values, so the real-arithmetic interpreter and the
+   f32 machine simulation start from identical data and only accumulate
+   rounding inside the computation. *)
+let f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
 let default_inputs ?(sizes = [ 4; 7 ]) ?(seed = 19) (k : Ast.kernel) :
     Eval.arg list list =
+  let single =
+    Ast.fp_type_of_params k.Ast.k_params ~p_type:(fun p -> p.Ast.p_type)
+    = Ast.Float
+  in
+  let narrow x = if single then f32 x else x in
   List.mapi
     (fun si n ->
       (* large enough for any quadratic subscript of the size params *)
@@ -101,8 +112,11 @@ let default_inputs ?(sizes = [ 4; 7 ]) ?(seed = 19) (k : Ast.kernel) :
         (fun pi (p : Ast.param) ->
           match p.Ast.p_type with
           | Ast.Int -> Eval.Aint n
-          | Ast.Double -> Eval.Adouble (1.25 +. (0.5 *. float_of_int pi))
-          | Ast.Ptr _ -> Eval.Abuf (fill (seed + (31 * si) + pi) buf_len))
+          | Ast.Double | Ast.Float ->
+              Eval.Adouble (narrow (1.25 +. (0.5 *. float_of_int pi)))
+          | Ast.Ptr _ ->
+              Eval.Abuf
+                (Array.map narrow (fill (seed + (31 * si) + pi) buf_len)))
         k.Ast.k_params)
     sizes
 
@@ -211,7 +225,24 @@ let check_passes ?(tol = 1e-9) ~inputs (k0 : Ast.kernel) passes :
 let check ?tol ?inputs (k : Ast.kernel) (config : Pipeline.config) :
     (Ast.kernel, divergence) result =
   let inputs = match inputs with Some i -> i | None -> default_inputs k in
-  check_passes ?tol ~inputs k (Pipeline.passes config)
+  let tol =
+    match tol with
+    | Some t -> t
+    | None ->
+        (* element-type-scaled default: single-precision kernels get the
+           f32 epsilon floor, double keeps the historical 1e-9 *)
+        let module Et = Augem_machine.Etype in
+        let et =
+          if
+            Ast.fp_type_of_params k.Ast.k_params ~p_type:(fun p ->
+                p.Ast.p_type)
+            = Ast.Float
+          then Et.F32
+          else Et.F64
+        in
+        Et.tol et
+  in
+  check_passes ~tol ~inputs k (Pipeline.passes config)
 
 let apply_checked ?tol ?inputs (k : Ast.kernel) (config : Pipeline.config) :
     (Ast.kernel, divergence) result =

@@ -1,9 +1,14 @@
-(* Validator behind the @blocked-smoke alias: BENCH_full.json — the
-   full-matrix blocked-DGEMM sweep the benchmark harness just emitted —
-   must parse, carry the documented shape (EXPERIMENTS.md), record a
-   passing differential gate for every checked shape, and show the
-   blocked path at least 2x the unblocked streaming path at the
-   sweep's largest size on every architecture. *)
+(* Validator behind the @blocked-smoke alias: BENCH_full.json and
+   BENCH_full_f32.json — the full-matrix blocked GEMM sweeps at both
+   precisions the benchmark harness just emitted — must parse, carry
+   the documented shape (EXPERIMENTS.md), record a passing differential
+   gate for every checked shape, and show the blocked path beating the
+   unblocked streaming path at the sweep's largest size on every
+   architecture (2x for f64, 1.5x for f32 — the streamed baseline's
+   bandwidth ceiling is further away at 4 bytes/element).  Across the
+   two files, f32 must deliver at least 1.5x the f64 MFLOPS at the
+   largest swept size: the whole point of the precision axis is that
+   halving the element width roughly doubles the peak. *)
 
 module Json = Augem.Json
 
@@ -59,20 +64,56 @@ let check_series ~ctx v =
       ignore (number ~ctx "mflops" p))
     (as_list ~ctx "points" v)
 
-let check_full file =
+(* The blocked series' MFLOPS at the largest swept size, for the
+   cross-precision ratio check. *)
+let blocked_at_largest ~ctx ~largest a =
+  let series = as_list ~ctx "series" a in
+  let blocked =
+    List.find_opt
+      (fun s ->
+        match Json.member "label" s with
+        | Some (Json.String l) -> l = "AUGEM blocked"
+        | _ -> false)
+      series
+  in
+  match blocked with
+  | None ->
+      fail "%s: no \"AUGEM blocked\" series" ctx;
+      0.
+  | Some s ->
+      let pt =
+        List.find_opt
+          (fun p ->
+            number ~ctx:(ctx ^ ".points[]") "size" p = float_of_int largest)
+          (as_list ~ctx "points" s)
+      in
+      (match pt with
+      | None ->
+          fail "%s: blocked series has no point at largest size %d" ctx largest;
+          0.
+      | Some p -> number ~ctx:(ctx ^ ".points[]") "mflops" p)
+
+(* Validate one sweep file; returns (arch name, blocked MFLOPS at the
+   largest size) per architecture so the caller can compare files. *)
+let check_full ~experiment ~min_speedup file : (string * float) list =
   match Json.of_file file with
-  | Error msg -> fail "%s: %s" file msg
+  | Error msg ->
+      fail "%s: %s" file msg;
+      []
   | Ok j ->
       let ctx = Filename.basename file in
-      check_string ~ctx ~expect:"full" "experiment" j;
+      check_string ~ctx ~expect:experiment "experiment" j;
       check_string ~ctx "title" j;
-      ignore (number ~ctx "largest" j);
+      let largest = int_of_float (number ~ctx "largest" j) in
       let arches = as_list ~ctx "arches" j in
       if List.length arches < 2 then
         fail "%s: expected both modelled architectures" ctx;
-      List.iter
+      List.map
         (fun a ->
           let ctx = ctx ^ ".arches[]" in
+          let arch_name =
+            match field ~ctx "arch" a with Json.String s -> s | _ -> "?"
+          in
           check_string ~ctx "arch" a;
           check_string ~ctx "model" a;
           let b = field ~ctx "blocking" a in
@@ -85,9 +126,10 @@ let check_full file =
           List.iter (check_series ~ctx:(ctx ^ ".series")) (as_list ~ctx "series" a);
           (* the paper-motivating gate: cache blocking must pay off *)
           let speedup = number ~ctx "speedup_at_largest" a in
-          if speedup < 2.0 then
-            fail "%s: blocked path only %.2fx the streamed path (want >= 2x)"
-              ctx speedup;
+          if speedup < min_speedup then
+            fail
+              "%s: blocked path only %.2fx the streamed path (want >= %.1fx)"
+              ctx speedup min_speedup;
           (* every differential shape ran and matched the oracle *)
           List.iter
             (fun d ->
@@ -99,13 +141,39 @@ let check_full file =
               | Json.Bool true -> ()
               | Json.Bool false -> fail "%s: differential shape failed" ctx
               | _ -> fail "%s: ok is not a bool" ctx)
-            (as_list ~ctx "differential" a))
+            (as_list ~ctx "differential" a);
+          (arch_name, blocked_at_largest ~ctx ~largest a))
         arches
 
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
-  check_full (Filename.concat dir "BENCH_full.json");
+  let f64 =
+    check_full ~experiment:"full" ~min_speedup:2.0
+      (Filename.concat dir "BENCH_full.json")
+  in
+  let f32 =
+    check_full ~experiment:"full_f32" ~min_speedup:1.5
+      (Filename.concat dir "BENCH_full_f32.json")
+  in
+  (* f32 over f64 at the largest size: halving the element width must
+     pay off by at least 1.5x on every architecture *)
+  List.iter
+    (fun (arch, m32) ->
+      match List.assoc_opt arch f64 with
+      | None -> fail "BENCH_full.json: no f64 entry for arch %s" arch
+      | Some m64 ->
+          if m64 <= 0. then fail "BENCH_full.json: %s f64 MFLOPS <= 0" arch
+          else
+            let ratio = m32 /. m64 in
+            if ratio < 1.5 then
+              fail
+                "%s: f32 only %.2fx the f64 MFLOPS at the largest size (want \
+                 >= 1.5x)"
+                arch ratio)
+    f32;
   if !failures > 0 then (
     Printf.eprintf "blocked-smoke: %d validation failure(s)\n" !failures;
     exit 1)
-  else print_endline "blocked-smoke: BENCH_full.json valid"
+  else
+    print_endline
+      "blocked-smoke: BENCH_full.json and BENCH_full_f32.json valid"

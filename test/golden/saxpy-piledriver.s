@@ -1,0 +1,70 @@
+	.text
+	.globl saxpy_kernel
+	.type saxpy_kernel, @function
+saxpy_kernel:
+	pushq %rbp
+	movq %rsp, %rbp
+	movq %rdi, %r8
+	vmovss %xmm0, -80(%rbp)
+	subq $7, %r8
+	movq %rbx, -8(%rbp)
+	vbroadcastss -80(%rbp), %ymm10
+	movq %r8, -88(%rbp)
+	movq $0, %rcx
+	movq -88(%rbp), %r8
+	subq $128, %rsp
+	movq %rsi, %rax
+	movq %rdx, %rbx
+	movq %rdx, -96(%rbp)
+	movq %rsi, -104(%rbp)
+	cmpq %r8, %rcx
+	jge .Lend2
+.Lbody1:
+	# <mvUnrolledCOMP n=8>
+	vmovups (%rax), %ymm0
+	addq $8, %rcx
+	vmovups (%rbx), %ymm5
+	cmpq %r8, %rcx
+	prefetcht0 256(%rax)
+	prefetchw 256(%rbx)
+	addq $32, %rax
+	vfmadd231ps %ymm10, %ymm0, %ymm5
+	vmovups %ymm5, (%rbx)
+	addq $32, %rbx
+	jl .Lbody1
+.Lend2:
+	movq -104(%rbp), %rdx
+	movq -96(%rbp), %r8
+	leaq (%rdx,%rcx,4), %rsi
+	leaq (%r8,%rcx,4), %r9
+	movq %rcx, %r10
+	movq %rax, -112(%rbp)
+	movq %r10, %rcx
+	movq %rbx, -120(%rbp)
+	cmpq %rdi, %rcx
+	jge .Lend4
+.Lbody3:
+	# <mvCOMP n=1>
+	vmovss (%rsi), %xmm0
+	vmovss (%r9), %xmm5
+	addq $1, %rcx
+	prefetcht0 32(%rsi)
+	prefetchw 32(%r9)
+	addq $4, %rsi
+	cmpq %rdi, %rcx
+	vmovaps %xmm0, %xmm11
+	vmovaps %xmm5, %xmm12
+	vmulss %xmm10, %xmm11, %xmm13
+	vmovaps %xmm13, %xmm11
+	vaddss %xmm11, %xmm12, %xmm13
+	vmovaps %xmm13, %xmm12
+	vmovss %xmm12, (%r9)
+	addq $4, %r9
+	jl .Lbody3
+.Lend4:
+	movq -8(%rbp), %rbx
+	vzeroupper
+	movq %rbp, %rsp
+	popq %rbp
+	ret
+	.size saxpy_kernel, .-saxpy_kernel

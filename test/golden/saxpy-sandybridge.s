@@ -1,0 +1,71 @@
+	.text
+	.globl saxpy_kernel
+	.type saxpy_kernel, @function
+saxpy_kernel:
+	pushq %rbp
+	movq %rsp, %rbp
+	movq %rdi, %r8
+	movq $0, %rcx
+	vmovss %xmm0, -80(%rbp)
+	subq $7, %r8
+	movq %rbx, -8(%rbp)
+	subq $128, %rsp
+	vbroadcastss -80(%rbp), %ymm10
+	movq %r8, -88(%rbp)
+	movq -88(%rbp), %r8
+	movq %rsi, %rax
+	movq %rdx, %rbx
+	movq %rdx, -96(%rbp)
+	movq %rsi, -104(%rbp)
+	cmpq %r8, %rcx
+	jge .Lend2
+.Lbody1:
+	# <mvUnrolledCOMP n=8>
+	vmovups (%rax), %ymm0
+	vmovups (%rbx), %ymm5
+	addq $8, %rcx
+	prefetcht0 256(%rax)
+	prefetcht0 256(%rbx)
+	addq $32, %rax
+	cmpq %r8, %rcx
+	vmulps %ymm10, %ymm0, %ymm11
+	vaddps %ymm11, %ymm5, %ymm5
+	vmovups %ymm5, (%rbx)
+	addq $32, %rbx
+	jl .Lbody1
+.Lend2:
+	movq -104(%rbp), %rdx
+	movq -96(%rbp), %r8
+	movq %rcx, %r10
+	leaq (%rdx,%rcx,4), %rsi
+	leaq (%r8,%rcx,4), %r9
+	movq %r10, %rcx
+	movq %rax, -112(%rbp)
+	movq %rbx, -120(%rbp)
+	cmpq %rdi, %rcx
+	jge .Lend4
+.Lbody3:
+	# <mvCOMP n=1>
+	vmovss (%rsi), %xmm0
+	vmovss (%r9), %xmm5
+	addq $1, %rcx
+	prefetcht0 32(%rsi)
+	prefetcht0 32(%r9)
+	addq $4, %rsi
+	cmpq %rdi, %rcx
+	vmovaps %xmm0, %xmm11
+	vmulss %xmm10, %xmm11, %xmm13
+	vmovaps %xmm5, %xmm12
+	vmovaps %xmm13, %xmm11
+	vaddss %xmm11, %xmm12, %xmm13
+	vmovaps %xmm13, %xmm12
+	vmovss %xmm12, (%r9)
+	addq $4, %r9
+	jl .Lbody3
+.Lend4:
+	movq -8(%rbp), %rbx
+	vzeroupper
+	movq %rbp, %rsp
+	popq %rbp
+	ret
+	.size saxpy_kernel, .-saxpy_kernel

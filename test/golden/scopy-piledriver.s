@@ -1,0 +1,60 @@
+	.text
+	.globl scopy_kernel
+	.type scopy_kernel, @function
+scopy_kernel:
+	pushq %rbp
+	movq %rdi, %r8
+	movq %rsp, %rbp
+	subq $7, %r8
+	movq %rbx, -8(%rbp)
+	movq %r8, -56(%rbp)
+	movq $0, %rcx
+	movq -56(%rbp), %r8
+	subq $96, %rsp
+	movq %rsi, %rax
+	movq %rdx, %rbx
+	movq %rdx, -64(%rbp)
+	movq %rsi, -72(%rbp)
+	cmpq %r8, %rcx
+	jge .Lend2
+.Lbody1:
+	# <svUnrolledCOPY n=8>
+	vmovups (%rax), %ymm0
+	addq $8, %rcx
+	prefetcht0 256(%rax)
+	prefetchw 256(%rbx)
+	addq $32, %rax
+	cmpq %r8, %rcx
+	vmovups %ymm0, (%rbx)
+	addq $32, %rbx
+	jl .Lbody1
+.Lend2:
+	movq -72(%rbp), %rdx
+	movq -64(%rbp), %r8
+	leaq (%rdx,%rcx,4), %rsi
+	leaq (%r8,%rcx,4), %r9
+	movq %rcx, %r10
+	movq %rax, -80(%rbp)
+	movq %r10, %rcx
+	movq %rbx, -88(%rbp)
+	cmpq %rdi, %rcx
+	jge .Lend4
+.Lbody3:
+	# <svCOPY n=1>
+	vmovss (%rsi), %xmm0
+	prefetcht0 32(%rsi)
+	addq $1, %rcx
+	addq $4, %rsi
+	prefetchw 32(%r9)
+	cmpq %rdi, %rcx
+	vmovaps %xmm0, %xmm10
+	vmovss %xmm10, (%r9)
+	addq $4, %r9
+	jl .Lbody3
+.Lend4:
+	movq -8(%rbp), %rbx
+	vzeroupper
+	movq %rbp, %rsp
+	popq %rbp
+	ret
+	.size scopy_kernel, .-scopy_kernel

@@ -1,0 +1,104 @@
+	.text
+	.globl sdot_kernel
+	.type sdot_kernel, @function
+sdot_kernel:
+	pushq %rbp
+	movq %rdi, %r9
+	movq %rsp, %rbp
+	vxorps %xmm12, %xmm12, %xmm12
+	movq $0, %r8
+	subq $7, %r9
+	movq %rbx, -8(%rbp)
+	vmovaps %xmm12, %xmm13
+	subq $96, %rsp
+	movq %r9, -56(%rbp)
+	movq -56(%rbp), %r9
+	vxorps %ymm12, %ymm12, %ymm12
+	movq %rsi, %rax
+	movq %rdx, %rbx
+	movq %rcx, -64(%rbp)
+	movq %rdx, -72(%rbp)
+	movq %rsi, -80(%rbp)
+	cmpq %r9, %r8
+	jge .Lend2
+.Lbody1:
+	# <mmUnrolledCOMP n=8>
+	vmovups (%rax), %ymm0
+	vmovups (%rbx), %ymm4
+	addq $8, %r8
+	prefetcht0 256(%rax)
+	prefetcht0 256(%rbx)
+	addq $32, %rax
+	addq $32, %rbx
+	cmpq %r9, %r8
+	vmulps %ymm4, %ymm0, %ymm14
+	vaddps %ymm14, %ymm12, %ymm12
+	jl .Lbody1
+.Lend2:
+	vaddss %xmm12, %xmm13, %xmm14
+	movq -80(%rbp), %rcx
+	movq -72(%rbp), %rsi
+	movq %r8, %r10
+	leaq (%rcx,%r8,4), %rdx
+	leaq (%rsi,%r8,4), %r9
+	movq %r10, %r8
+	movq %rax, -88(%rbp)
+	movq %rbx, -96(%rbp)
+	cmpq %rdi, %r8
+	vmovaps %xmm14, %xmm13
+	vshufps $85, %xmm12, %xmm12, %xmm14
+	vaddss %xmm14, %xmm13, %xmm15
+	vshufps $170, %xmm12, %xmm12, %xmm14
+	vmovaps %xmm15, %xmm13
+	vaddss %xmm14, %xmm13, %xmm15
+	vshufps $255, %xmm12, %xmm12, %xmm14
+	vmovaps %xmm15, %xmm13
+	vaddss %xmm14, %xmm13, %xmm15
+	vextractf128 $1, %ymm12, %xmm14
+	vmovaps %xmm15, %xmm13
+	vaddss %xmm14, %xmm13, %xmm15
+	vextractf128 $1, %ymm12, %xmm14
+	vshufps $85, %xmm14, %xmm14, %xmm14
+	vmovaps %xmm15, %xmm13
+	vaddss %xmm14, %xmm13, %xmm15
+	vextractf128 $1, %ymm12, %xmm14
+	vshufps $170, %xmm14, %xmm14, %xmm14
+	vmovaps %xmm15, %xmm13
+	vaddss %xmm14, %xmm13, %xmm15
+	vextractf128 $1, %ymm12, %xmm14
+	vshufps $255, %xmm14, %xmm14, %xmm14
+	vmovaps %xmm15, %xmm13
+	vaddss %xmm14, %xmm13, %xmm15
+	vmovaps %xmm15, %xmm13
+	jge .Lend4
+.Lbody3:
+	# <mmCOMP n=1>
+	vmovss (%rdx), %xmm0
+	vmovss (%r9), %xmm4
+	addq $1, %r8
+	prefetcht0 32(%rdx)
+	prefetcht0 32(%r9)
+	addq $4, %rdx
+	addq $4, %r9
+	cmpq %rdi, %r8
+	vmovaps %xmm0, %xmm14
+	vmovaps %xmm4, %xmm15
+	vmulss %xmm15, %xmm14, %xmm0
+	vmovaps %xmm0, %xmm1
+	vaddss %xmm1, %xmm13, %xmm0
+	vmovaps %xmm0, %xmm13
+	jl .Lbody3
+.Lend4:
+	# <mmSTORE n=1>
+	movq -64(%rbp), %rax
+	vmovss (%rax), %xmm8
+	vmovaps %xmm8, %xmm12
+	vaddss %xmm12, %xmm13, %xmm14
+	vmovaps %xmm14, %xmm13
+	vmovss %xmm13, (%rax)
+	movq -8(%rbp), %rbx
+	vzeroupper
+	movq %rbp, %rsp
+	popq %rbp
+	ret
+	.size sdot_kernel, .-sdot_kernel

@@ -1,0 +1,107 @@
+	.text
+	.globl sgemv_kernel
+	.type sgemv_kernel, @function
+sgemv_kernel:
+	pushq %rbp
+	movq %rsp, %rbp
+	movq %r8, %rax
+	movq %rbx, -8(%rbp)
+	movq $0, %rbx
+	subq $160, %rsp
+	movq %r12, -24(%rbp)
+	movq %rax, -56(%rbp)
+	movq %rcx, -64(%rbp)
+	movq %rdx, -72(%rbp)
+	movq %rsi, -80(%rbp)
+	movq %rdi, -88(%rbp)
+	movq %r8, -96(%rbp)
+	movq %r9, -104(%rbp)
+	cmpq %rsi, %rbx
+	jge .Lend2
+.Lbody1:
+	movq -56(%rbp), %rax
+	movq -72(%rbp), %rcx
+	vbroadcastss (%rax), %ymm4
+	movq %rcx, %rdx
+	movq %rbx, %rsi
+	movq -88(%rbp), %r10
+	imulq %rsi, %rdx
+	prefetcht0 32(%rax)
+	movq %r10, %r11
+	movq -64(%rbp), %rsi
+	subq $7, %r11
+	leaq (%rsi,%rdx,4), %rdi
+	movq %r11, -112(%rbp)
+	movq -104(%rbp), %rdx
+	movq $0, %r9
+	movq -112(%rbp), %r11
+	movq %rdx, %r8
+	cmpq %r11, %r9
+	jge .Lend4
+.Lbody3:
+	# <mvUnrolledCOMP n=8>
+	vmovups (%rdi), %ymm0
+	addq $8, %r9
+	vmovups (%r8), %ymm8
+	cmpq %r11, %r9
+	prefetcht0 256(%rdi)
+	prefetchw 256(%r8)
+	addq $32, %rdi
+	vfmadd231ps %ymm4, %ymm0, %ymm8
+	vmovups %ymm8, (%r8)
+	addq $32, %r8
+	jl .Lbody3
+.Lend4:
+	movq -72(%rbp), %rax
+	movq %rbx, %rdx
+	movq %rax, %rcx
+	movq %r9, %r12
+	imulq %rdx, %rcx
+	movq %r9, %rdx
+	addq %rdx, %rcx
+	movq -64(%rbp), %rdx
+	leaq (%rdx,%rcx,4), %rsi
+	movq -104(%rbp), %rcx
+	leaq (%rcx,%r9,4), %r11
+	movq %r12, %r9
+	movq %rdi, -120(%rbp)
+	movq %r8, -128(%rbp)
+	cmpq %r10, %r9
+	jge .Lend6
+.Lbody5:
+	# <mvCOMP n=1>
+	vmovss (%rsi), %xmm0
+	vmovss (%r11), %xmm8
+	addq $1, %r9
+	prefetcht0 32(%rsi)
+	prefetchw 32(%r11)
+	addq $4, %rsi
+	cmpq %r10, %r9
+	vmovaps %xmm0, %xmm12
+	vmovaps %xmm8, %xmm13
+	vmulss %xmm4, %xmm12, %xmm14
+	vmovaps %xmm14, %xmm12
+	vaddss %xmm12, %xmm13, %xmm14
+	vmovaps %xmm14, %xmm13
+	vmovss %xmm13, (%r11)
+	addq $4, %r11
+	jl .Lbody5
+.Lend6:
+	movq -56(%rbp), %rax
+	addq $1, %rbx
+	addq $4, %rax
+	movq -80(%rbp), %rcx
+	movq %rax, -56(%rbp)
+	movq %rsi, -136(%rbp)
+	movq %r9, -144(%rbp)
+	movq %r11, -152(%rbp)
+	cmpq %rcx, %rbx
+	jl .Lbody1
+.Lend2:
+	movq -8(%rbp), %rbx
+	movq -24(%rbp), %r12
+	vzeroupper
+	movq %rbp, %rsp
+	popq %rbp
+	ret
+	.size sgemv_kernel, .-sgemv_kernel

@@ -1,0 +1,112 @@
+	.text
+	.globl sger_kernel
+	.type sger_kernel, @function
+sger_kernel:
+	pushq %rbp
+	movq %rsp, %rbp
+	movq %r8, %rax
+	subq $192, %rsp
+	movq %rbx, -8(%rbp)
+	movq $0, %rbx
+	movq %r12, -24(%rbp)
+	movq %rax, -56(%rbp)
+	movq %rcx, -64(%rbp)
+	movq %rdx, -72(%rbp)
+	movq %rsi, -80(%rbp)
+	movq %rdi, -88(%rbp)
+	movq %r8, -96(%rbp)
+	movq %r9, -104(%rbp)
+	cmpq %rsi, %rbx
+	jge .Lend2
+.Lbody1:
+	movq -56(%rbp), %rax
+	movq -72(%rbp), %rcx
+	movq %rbx, %rsi
+	vmovss (%rax), %xmm8
+	movq %rcx, %rdx
+	movq -88(%rbp), %r10
+	prefetcht0 32(%rax)
+	movq $0, %r9
+	imulq %rsi, %rdx
+	movq %r10, %r11
+	movq -104(%rbp), %rsi
+	subq $7, %r11
+	leaq (%rsi,%rdx,4), %rdi
+	movq -64(%rbp), %rdx
+	movq %rdx, %r8
+	vmovaps %xmm8, %xmm12
+	movq %r11, -144(%rbp)
+	movq -144(%rbp), %r11
+	vmulss %xmm0, %xmm12, %xmm13
+	cmpq %r11, %r9
+	vmovss %xmm13, -136(%rbp)
+	vbroadcastss -136(%rbp), %ymm14
+	jge .Lend4
+.Lbody3:
+	# <mvUnrolledCOMP n=8>
+	vmovups (%r8), %ymm4
+	vmovups (%rdi), %ymm1
+	addq $8, %r9
+	prefetcht0 256(%rdi)
+	prefetcht0 256(%r8)
+	addq $32, %r8
+	cmpq %r11, %r9
+	vmulps %ymm14, %ymm4, %ymm12
+	vaddps %ymm12, %ymm1, %ymm1
+	vmovups %ymm1, (%rdi)
+	addq $32, %rdi
+	jl .Lbody3
+.Lend4:
+	movq -72(%rbp), %rax
+	movq %rbx, %rdx
+	movq %r9, %r12
+	movq %rax, %rcx
+	movq %rdi, -152(%rbp)
+	movq %r8, -160(%rbp)
+	imulq %rdx, %rcx
+	movq %r9, %rdx
+	addq %rdx, %rcx
+	movq -104(%rbp), %rdx
+	leaq (%rdx,%rcx,4), %rsi
+	movq -64(%rbp), %rcx
+	leaq (%rcx,%r9,4), %r11
+	movq %r12, %r9
+	cmpq %r10, %r9
+	jge .Lend6
+.Lbody5:
+	# <mvCOMP n=1>
+	vmovss (%r11), %xmm4
+	vmovss (%rsi), %xmm1
+	addq $1, %r9
+	prefetcht0 32(%rsi)
+	prefetcht0 32(%r11)
+	addq $4, %r11
+	cmpq %r10, %r9
+	vmovaps %xmm4, %xmm12
+	vmulss %xmm14, %xmm12, %xmm15
+	vmovaps %xmm1, %xmm13
+	vmovaps %xmm15, %xmm12
+	vaddss %xmm12, %xmm13, %xmm15
+	vmovaps %xmm15, %xmm13
+	vmovss %xmm13, (%rsi)
+	addq $4, %rsi
+	jl .Lbody5
+.Lend6:
+	movq -56(%rbp), %rax
+	addq $1, %rbx
+	movq -80(%rbp), %rcx
+	addq $4, %rax
+	movq %rsi, -168(%rbp)
+	movq %r9, -176(%rbp)
+	movq %rax, -56(%rbp)
+	movq %r11, -184(%rbp)
+	cmpq %rcx, %rbx
+	jl .Lbody1
+.Lend2:
+	movq -8(%rbp), %rbx
+	movq -24(%rbp), %r12
+	vzeroupper
+	movq %rbp, %rsp
+	popq %rbp
+	ret
+	.size sger_kernel, .-sger_kernel

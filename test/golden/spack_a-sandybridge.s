@@ -1,0 +1,98 @@
+	.text
+	.globl spack_a_kernel
+	.type spack_a_kernel, @function
+spack_a_kernel:
+	pushq %rbp
+	movq %rsp, %rbp
+	movq $0, %rax
+	subq $144, %rsp
+	movq %rbx, -8(%rbp)
+	movq %r12, -24(%rbp)
+	movq %rcx, -56(%rbp)
+	movq %rdx, -64(%rbp)
+	movq %rsi, -72(%rbp)
+	movq %rdi, -80(%rbp)
+	movq %r8, -88(%rbp)
+	cmpq %rsi, %rax
+	jge .Lend2
+.Lbody1:
+	movq -64(%rbp), %rbx
+	movq %rax, %rdx
+	movq %rax, %r8
+	movq %rbx, %rcx
+	imulq %rdx, %rcx
+	movq -56(%rbp), %rdx
+	leaq (%rdx,%rcx,4), %rsi
+	movq -80(%rbp), %rcx
+	movq %rcx, %rdi
+	movq %rcx, %r10
+	imulq %r8, %rdi
+	movq -88(%rbp), %r8
+	subq $7, %r10
+	leaq (%r8,%rdi,4), %r9
+	movq %r10, -96(%rbp)
+	movq $0, %rdi
+	movq -96(%rbp), %r10
+	cmpq %r10, %rdi
+	jge .Lend4
+.Lbody3:
+	# <svUnrolledCOPY n=8>
+	vmovups (%rsi), %ymm0
+	prefetcht0 256(%rsi)
+	addq $8, %rdi
+	addq $32, %rsi
+	prefetcht0 256(%r9)
+	cmpq %r10, %rdi
+	vmovups %ymm0, (%r9)
+	addq $32, %r9
+	jl .Lbody3
+.Lend4:
+	movq -64(%rbp), %rbx
+	movq %rax, %r8
+	movq %rax, %r11
+	movq %rbx, %rdx
+	movq %rsi, -104(%rbp)
+	movq %r9, -112(%rbp)
+	imulq %r8, %rdx
+	movq %rdi, %r8
+	addq %r8, %rdx
+	movq -56(%rbp), %r8
+	leaq (%r8,%rdx,4), %r10
+	movq %rcx, %rdx
+	imulq %r11, %rdx
+	movq %rdi, %r11
+	addq %r11, %rdx
+	movq -88(%rbp), %r11
+	leaq (%r11,%rdx,4), %r12
+	movq %rdi, %rdx
+	movq %rdx, %rdi
+	cmpq %rcx, %rdi
+	jge .Lend6
+.Lbody5:
+	# <svCOPY n=1>
+	vmovss (%r10), %xmm0
+	prefetcht0 32(%r10)
+	addq $1, %rdi
+	addq $4, %r10
+	prefetcht0 32(%r12)
+	cmpq %rcx, %rdi
+	vmovaps %xmm0, %xmm10
+	vmovss %xmm10, (%r12)
+	addq $4, %r12
+	jl .Lbody5
+.Lend6:
+	addq $1, %rax
+	movq -72(%rbp), %rbx
+	movq %rdi, -120(%rbp)
+	movq %r10, -128(%rbp)
+	movq %r12, -136(%rbp)
+	cmpq %rbx, %rax
+	jl .Lbody1
+.Lend2:
+	movq -8(%rbp), %rbx
+	movq -24(%rbp), %r12
+	vzeroupper
+	movq %rbp, %rsp
+	popq %rbp
+	ret
+	.size spack_a_kernel, .-spack_a_kernel

@@ -1,0 +1,56 @@
+	.text
+	.globl sscal_kernel
+	.type sscal_kernel, @function
+sscal_kernel:
+	pushq %rbp
+	movq %rsp, %rbp
+	movq %rdi, %rcx
+	subq $112, %rsp
+	vmovss %xmm0, -80(%rbp)
+	subq $7, %rcx
+	movq %rbx, -8(%rbp)
+	movq $0, %rbx
+	vbroadcastss -80(%rbp), %ymm8
+	movq %rcx, -88(%rbp)
+	movq -88(%rbp), %rcx
+	movq %rsi, %rax
+	movq %rsi, -96(%rbp)
+	cmpq %rcx, %rbx
+	jge .Lend2
+.Lbody1:
+	# <svUnrolledSCAL n=8>
+	vmovups (%rax), %ymm0
+	prefetcht0 256(%rax)
+	addq $8, %rbx
+	cmpq %rcx, %rbx
+	vmulps %ymm8, %ymm0, %ymm0
+	vmovups %ymm0, (%rax)
+	addq $32, %rax
+	jl .Lbody1
+.Lend2:
+	movq -96(%rbp), %rcx
+	movq %rbx, %rsi
+	movq %rax, -104(%rbp)
+	leaq (%rcx,%rbx,4), %rdx
+	movq %rsi, %rbx
+	cmpq %rdi, %rbx
+	jge .Lend4
+.Lbody3:
+	# <svSCAL n=1>
+	vmovss (%rdx), %xmm0
+	prefetcht0 32(%rdx)
+	addq $1, %rbx
+	cmpq %rdi, %rbx
+	vmovaps %xmm0, %xmm9
+	vmulss %xmm8, %xmm9, %xmm10
+	vmovaps %xmm10, %xmm9
+	vmovss %xmm9, (%rdx)
+	addq $4, %rdx
+	jl .Lbody3
+.Lend4:
+	movq -8(%rbp), %rbx
+	vzeroupper
+	movq %rbp, %rsp
+	popq %rbp
+	ret
+	.size sscal_kernel, .-sscal_kernel

@@ -36,6 +36,7 @@ let slow_suites =
     ("parallel", Test_parallel.suite);
     ("fuzz", Test_fuzz.suite);
     ("integration", Test_integration.suite);
+    ("precision", Test_precision.suite);
   ]
 
 let () =

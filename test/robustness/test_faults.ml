@@ -48,6 +48,35 @@ let test_detection_rate () =
        (100. *. rate) agg.Chaos.c_detected agg.Chaos.c_total)
     true (rate >= 0.95)
 
+(* The same meta-test at single precision for the paper's three f32
+   headliners: the looser f32 tolerance must not open detection holes
+   (a wrong kernel is wrong by far more than the rounding budget). *)
+let test_detection_rate_f32 () =
+  let et = A.Machine.Etype.F32 in
+  let reports =
+    List.map
+      (fun k ->
+        let prog =
+          (A.generate ~et ~arch ~config:(config_for k) k).A.g_program
+        in
+        Chaos.run ~et ~max_faults:120 k prog)
+      Kernels.[ Gemm; Axpy; Dot ]
+  in
+  List.iter
+    (fun r ->
+      let rate = Chaos.rate r in
+      if rate < 0.90 then
+        Alcotest.failf
+          "%s: f32 detection rate %.1f%% below per-kernel floor (%d/%d)"
+          r.Chaos.c_kernel (100. *. rate) r.Chaos.c_detected r.Chaos.c_total)
+    reports;
+  let agg = Chaos.merge reports in
+  let rate = Chaos.rate agg in
+  Alcotest.(check bool)
+    (Printf.sprintf "aggregate f32 detection rate %.2f%% (%d/%d) >= 95%%"
+       (100. *. rate) agg.Chaos.c_detected agg.Chaos.c_total)
+    true (rate >= 0.95)
+
 (* Enumeration is deterministic and covers multiple fault kinds. *)
 let test_enumerate_deterministic () =
   let prog = program_for Kernels.Axpy in
@@ -126,6 +155,8 @@ let suite =
   [
     Alcotest.test_case "aggregate detection rate >= 95%" `Slow
       test_detection_rate;
+    Alcotest.test_case "aggregate f32 detection rate >= 95%" `Slow
+      test_detection_rate_f32;
     Alcotest.test_case "enumeration is deterministic" `Quick
       test_enumerate_deterministic;
     Alcotest.test_case "unobservable widens enumeration" `Quick

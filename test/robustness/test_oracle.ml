@@ -33,6 +33,20 @@ let test_oracle_clean_on_kernels () =
             (Oracle.divergence_to_string d))
     all_kernels
 
+(* Same sweep at single precision: the oracle narrows its inputs to the
+   kernel's element type, so a healthy f32 pipeline must stay clean. *)
+let test_oracle_clean_on_kernels_f32 () =
+  List.iter
+    (fun k ->
+      let source = Kernels.kernel_of_name ~fp:Ast.Float k in
+      match Oracle.check source (config_for k) with
+      | Ok _ -> ()
+      | Error d ->
+          Alcotest.failf "oracle convicted a healthy f32 pipeline on %s:\n%s"
+            (Kernels.name_to_string ~fp:Ast.Float k)
+            (Oracle.divergence_to_string d))
+    all_kernels
+
 (* Config sweep: every pass combination the tuner would visit must
    survive the per-pass check, not just the hand-picked defaults. *)
 let test_oracle_clean_on_config_sweep () =
@@ -195,6 +209,8 @@ let suite =
   [
     Alcotest.test_case "oracle clean on all kernels" `Quick
       test_oracle_clean_on_kernels;
+    Alcotest.test_case "oracle clean on all kernels (f32)" `Quick
+      test_oracle_clean_on_kernels_f32;
     Alcotest.test_case "oracle clean on config sweep" `Slow
       test_oracle_clean_on_config_sweep;
     Alcotest.test_case "oracle pinpoints seeded miscompile" `Quick

@@ -272,6 +272,32 @@ let test_corpus_clean () =
         all_kernels)
     arches
 
+(* The same zero-findings sweep at single precision: f32 kernels carry
+   ps-suffixed vector ops and 4-byte strides, and the checker's typed
+   register discipline must accept all of them. *)
+let test_corpus_clean_f32 () =
+  let et = A.Machine.Etype.F32 in
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun k ->
+          let g = A.generate ~et ~arch ~config:(config_for k) k in
+          let params =
+            (Kernels.kernel_of_name ~fp:A.Ir.Ast.Float k).A.Ir.Ast.k_params
+          in
+          let fs =
+            A.Verify.Oracle.check_static
+              ~avx:(arch.A.Machine.Arch.simd = A.Machine.Arch.AVX)
+              ~params g.A.g_program
+          in
+          if fs <> [] then
+            Alcotest.failf "f32 %s on %s: %s"
+              (Kernels.name_to_string ~fp:A.Ir.Ast.Float k)
+              arch.A.Machine.Arch.name
+              (String.concat "; " (List.map Asmcheck.finding_to_string fs)))
+        all_kernels)
+    arches
+
 (* A deterministic slice of every kernel's tuning space: candidates the
    tuner generates must pass the very gate the tuner now applies, so no
    sampled candidate may produce a lint diagnostic. *)
@@ -336,6 +362,36 @@ let test_static_detection_rate () =
        (100. *. rate) agg.Chaos.c_detected agg.Chaos.c_total)
     true (rate >= 0.95)
 
+(* Static mutation coverage at single precision: the checker's typed
+   lanes (ps vs pd) must keep catching asm-level corruption of the
+   three f32 headliner kernels on both arches. *)
+let test_static_detection_rate_f32 () =
+  let et = A.Machine.Etype.F32 in
+  let reports =
+    List.concat_map
+      (fun arch ->
+        List.map
+          (fun k ->
+            let g = A.generate ~et ~arch ~config:(config_for k) k in
+            Chaos.run_static ~et ~max_faults:120 ~arch k g.A.g_program)
+          Kernels.[ Gemm; Axpy; Dot ])
+      arches
+  in
+  List.iter
+    (fun r ->
+      let rate = Chaos.rate r in
+      if rate < 0.90 then
+        Alcotest.failf
+          "%s: f32 static detection %.1f%% below per-kernel floor (%d/%d)"
+          r.Chaos.c_kernel (100. *. rate) r.Chaos.c_detected r.Chaos.c_total)
+    reports;
+  let agg = Chaos.merge reports in
+  let rate = Chaos.rate agg in
+  Alcotest.(check bool)
+    (Printf.sprintf "aggregate f32 static detection %.2f%% (%d/%d) >= 95%%"
+       (100. *. rate) agg.Chaos.c_detected agg.Chaos.c_total)
+    true (rate >= 0.95)
+
 let test_asm_fault_enumeration_deterministic () =
   let g =
     A.generate ~arch:A.Machine.Arch.sandy_bridge
@@ -380,7 +436,7 @@ let test_vzeroupper_threading () =
   Alcotest.(check bool) "no comment-encoded vzeroupper remains" false
     (List.mem (Insn.Comment "vzeroupper") insns);
   Alcotest.(check string) "prints as the bare mnemonic" "vzeroupper"
-    (A.Machine.Att.insn_str ~avx:true Insn.Vzeroupper)
+    (A.Machine.Att.insn_str ~et:A.Machine.Etype.F64 ~avx:true Insn.Vzeroupper)
 
 let suite =
   [
@@ -403,10 +459,14 @@ let suite =
     Alcotest.test_case "check_exn raises on errors" `Quick test_check_exn;
     Alcotest.test_case "corpus: zero findings (7 kernels x 2 arches)" `Quick
       test_corpus_clean;
+    Alcotest.test_case "f32 corpus: zero findings (7 kernels x 2 arches)"
+      `Quick test_corpus_clean_f32;
     Alcotest.test_case "tuning space sample: zero findings" `Slow
       test_tuning_space_sampled_clean;
     Alcotest.test_case "static detection rate >= 95%" `Slow
       test_static_detection_rate;
+    Alcotest.test_case "f32 static detection rate >= 95%" `Slow
+      test_static_detection_rate_f32;
     Alcotest.test_case "asm fault enumeration deterministic" `Quick
       test_asm_fault_enumeration_deterministic;
     Alcotest.test_case "diagnostic wiring strings" `Quick test_diag_strings;

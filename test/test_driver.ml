@@ -59,28 +59,42 @@ let every_pair f =
 
 (* --- golden byte-identity ---------------------------------------------- *)
 
+(* Both precisions: the f64 corpus is <kernel>-<arch>.s, the f32 corpus
+   is the BLAS-style s<kernel>-<arch>.s (captured through `augem
+   generate --precision f32` under the same per-kernel defaults). *)
+let ets = A.Machine.Etype.[ F64; F32 ]
+
+let golden_base et name (arch : Arch.t) =
+  let prefix = match et with A.Machine.Etype.F64 -> "" | F32 -> "s" in
+  Printf.sprintf "%s%s-%s.s" prefix (short_name name) arch.Arch.name
+
+let golden_file base =
+  (* `dune runtest` runs in the test directory; `dune exec
+     test/main.exe` runs at the project root *)
+  let candidates =
+    [ Filename.concat "golden" base;
+      Filename.concat (Filename.concat "test" "golden") base ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some f -> f
+  | None -> Alcotest.failf "golden file %s not found" base
+
 let test_golden_assembly () =
-  every_pair (fun name arch ->
-      let base = Printf.sprintf "%s-%s.s" (short_name name) arch.Arch.name in
-      let file =
-        (* `dune runtest` runs in the test directory; `dune exec
-           test/main.exe` runs at the project root *)
-        let candidates =
-          [ Filename.concat "golden" base;
-            Filename.concat (Filename.concat "test" "golden") base ]
-        in
-        match List.find_opt Sys.file_exists candidates with
-        | Some f -> f
-        | None -> Alcotest.failf "golden file %s not found" base
-      in
-      let expected = In_channel.with_open_bin file In_channel.input_all in
-      let got =
-        A.assembly (A.generate ~arch ~config:(cli_default_config name) name)
-      in
-      if not (String.equal expected got) then
-        Alcotest.failf "%s on %s: assembly differs from %s (%d vs %d bytes)"
-          (short_name name) arch.Arch.name file (String.length got)
-          (String.length expected))
+  List.iter
+    (fun et ->
+      every_pair (fun name arch ->
+          let file = golden_file (golden_base et name arch) in
+          let expected = In_channel.with_open_bin file In_channel.input_all in
+          let got =
+            A.assembly
+              (A.generate ~et ~arch ~config:(cli_default_config name) name)
+          in
+          if not (String.equal expected got) then
+            Alcotest.failf
+              "%s %s on %s: assembly differs from %s (%d vs %d bytes)"
+              (A.Machine.Etype.name et) (short_name name) arch.Arch.name file
+              (String.length got) (String.length expected)))
+    ets
 
 (* --- trace determinism -------------------------------------------------- *)
 
@@ -205,7 +219,8 @@ let test_script_fixpoint_over_spaces () =
 
 let suite =
   [
-    Alcotest.test_case "golden assembly byte-identical (9 kernels x 2 arches)"
+    Alcotest.test_case
+      "golden assembly byte-identical (9 kernels x 2 arches x 2 precisions)"
       `Quick test_golden_assembly;
     Alcotest.test_case "trace deterministic across runs" `Quick
       test_trace_deterministic;

@@ -7,7 +7,8 @@ module Att = Augem.Machine.Att
 module Arch = Augem.Machine.Arch
 module Depgraph = Augem.Machine.Depgraph
 
-let att ?(avx = true) i = Att.insn_str ~avx i
+let att ?(avx = true) ?(et = Augem.Machine.Etype.F64) i =
+  Att.insn_str ~et ~avx i
 
 let test_att_sse_vs_avx () =
   let add = Insn.Vop { op = Insn.Fadd; w = Insn.W128; dst = 1; src1 = 1; src2 = 2 } in
@@ -169,9 +170,62 @@ let test_uops_for () =
   Alcotest.(check int) "256 on pd = 2" 2 (Arch.uops_for Arch.piledriver Insn.W256);
   Alcotest.(check int) "128 on pd = 1" 1 (Arch.uops_for Arch.piledriver Insn.W128)
 
+(* Golden table of the AT&T printer over every FP operation x vector
+   width x precision x encoding discipline (golden/att_table.txt): the
+   mnemonic/suffix selection (sd/pd vs ss/ps, VEX vs legacy) is a flat
+   enumerable surface, so lock all 120 cells at once.  Combinations the
+   printer rejects are recorded as <print_error: ...> rows. *)
+let test_att_golden_table () =
+  let fpops =
+    Insn.[ ("fadd", Fadd); ("fsub", Fsub); ("fmul", Fmul); ("fdiv", Fdiv);
+           ("fxor", Fxor); ("fmov", Fmov); ("fma231", Fma231);
+           ("fhadd", Fhadd); ("funpckl", Funpckl); ("funpckh", Funpckh) ]
+  in
+  let widths = Insn.[ ("w64", W64); ("w128", W128); ("w256", W256) ] in
+  let ets = Augem.Machine.Etype.[ F64; F32 ] in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun avx ->
+      List.iter
+        (fun et ->
+          List.iter
+            (fun (wn, w) ->
+              List.iter
+                (fun (opn, op) ->
+                  let i = Insn.Vop { op; w; dst = 1; src1 = 1; src2 = 2 } in
+                  let s =
+                    try Att.insn_str ~et ~avx i
+                    with Att.Print_error m -> "<print_error: " ^ m ^ ">"
+                  in
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s %s %-7s %-8s| %s\n"
+                       (if avx then "avx" else "sse")
+                       (Augem.Machine.Etype.name et)
+                       wn opn s))
+                fpops)
+            widths)
+        ets)
+    [ true; false ];
+  let file =
+    let base = "att_table.txt" in
+    let candidates =
+      [ Filename.concat "golden" base;
+        Filename.concat (Filename.concat "test" "golden") base ]
+    in
+    match List.find_opt Sys.file_exists candidates with
+    | Some f -> f
+    | None -> Alcotest.failf "golden file %s not found" base
+  in
+  let expected = In_channel.with_open_bin file In_channel.input_all in
+  Alcotest.(check string)
+    "AT&T fpop x width x precision table matches golden" expected
+    (Buffer.contents buf)
+
 let suite =
   [
     Alcotest.test_case "AT&T SSE vs AVX encodings" `Quick test_att_sse_vs_avx;
+    Alcotest.test_case "AT&T fpop x width x precision golden table" `Quick
+      test_att_golden_table;
     Alcotest.test_case "SSE three-operand rejected" `Quick
       test_att_sse_three_operand_rejected;
     Alcotest.test_case "FMA mnemonics" `Quick test_att_fma;

@@ -1,0 +1,181 @@
+(* The precision axis end-to-end (the `@precision` alias): f32 kernels
+   through the per-pass differential oracle, the f32 golden corpus, and
+   the naive-vs-blocked SGEMM differential at a long K=1024 reduction —
+   the shape the old fixed 1e-9 tolerance could not survive.  The
+   tolerance itself is regression-tested in both directions: the
+   element-type- and K-scaled default accepts correct f32 rounding, and
+   still rejects a genuinely wrong result. *)
+
+module A = Augem
+module Ast = A.Ir.Ast
+module Arch = A.Machine.Arch
+module Etype = A.Machine.Etype
+module Kernels = A.Ir.Kernels
+module Pipeline = A.Transform.Pipeline
+module Oracle = A.Verify.Oracle
+module Mat = A.Blas.Matrix
+module L3 = A.Blas.Level3
+
+let archs = [ Arch.sandy_bridge; Arch.piledriver ]
+
+let all_kernels =
+  Kernels.[ Gemm; Gemv; Axpy; Dot; Ger; Scal; Copy; Pack_a; Pack_b ]
+
+let config_for k =
+  match k with
+  | Kernels.Gemm -> { Pipeline.default with jam = [ ("j", 4); ("i", 8) ] }
+  | Kernels.Gemv -> { Pipeline.default with inner_unroll = Some ("j", 8) }
+  | Kernels.Dot ->
+      { Pipeline.default with inner_unroll = Some ("i", 8);
+        expand_reduction = Some 8 }
+  | Kernels.Pack_b -> { Pipeline.default with inner_unroll = Some ("l", 8) }
+  | _ -> { Pipeline.default with inner_unroll = Some ("i", 8) }
+
+(* --- f32 per-pass oracle ------------------------------------------------ *)
+
+let test_oracle_clean_f32 () =
+  List.iter
+    (fun k ->
+      let source = Kernels.kernel_of_name ~fp:Ast.Float k in
+      match Oracle.check source (config_for k) with
+      | Ok _ -> ()
+      | Error d ->
+          Alcotest.failf "oracle convicted a healthy f32 pipeline on %s:\n%s"
+            (Kernels.name_to_string ~fp:Ast.Float k)
+            (Oracle.divergence_to_string d))
+    all_kernels
+
+(* --- f32 end-to-end verification ---------------------------------------- *)
+
+let test_verify_f32_all_kernels () =
+  List.iter
+    (fun (arch : Arch.t) ->
+      List.iter
+        (fun k ->
+          let g =
+            A.generate ~et:Etype.F32 ~arch ~config:(config_for k) k
+          in
+          let outcome = A.verify g in
+          if not outcome.A.Harness.ok then
+            Alcotest.failf "f32 %s on %s failed verification: %s"
+              (Kernels.name_to_string ~fp:Ast.Float k)
+              arch.Arch.name outcome.A.Harness.detail)
+        all_kernels)
+    archs
+
+(* --- f32 golden corpus --------------------------------------------------- *)
+
+let golden_file base =
+  let candidates =
+    [ Filename.concat "golden" base;
+      Filename.concat (Filename.concat "test" "golden") base ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some f -> f
+  | None -> Alcotest.failf "golden file %s not found" base
+
+let short_name = function
+  | Kernels.Gemm -> "gemm"
+  | Kernels.Gemv -> "gemv"
+  | Kernels.Axpy -> "axpy"
+  | Kernels.Dot -> "dot"
+  | Kernels.Ger -> "ger"
+  | Kernels.Scal -> "scal"
+  | Kernels.Copy -> "copy"
+  | Kernels.Pack_a -> "pack_a"
+  | Kernels.Pack_b -> "pack_b"
+
+let cli_default_config k =
+  let base = config_for k in
+  {
+    base with
+    Pipeline.prefetch =
+      Some { A.Transform.Prefetch.pf_distance = 8; pf_stores = true };
+  }
+
+let test_golden_f32 () =
+  List.iter
+    (fun (arch : Arch.t) ->
+      List.iter
+        (fun k ->
+          let base =
+            Printf.sprintf "s%s-%s.s" (short_name k) arch.Arch.name
+          in
+          let file = golden_file base in
+          let expected = In_channel.with_open_bin file In_channel.input_all in
+          let got =
+            A.assembly
+              (A.generate ~et:Etype.F32 ~arch
+                 ~config:(cli_default_config k) k)
+          in
+          if not (String.equal expected got) then
+            Alcotest.failf "f32 %s on %s: assembly differs from %s"
+              (short_name k) arch.Arch.name file)
+        all_kernels)
+    archs
+
+(* --- blocked SGEMM differential at a long reduction ---------------------- *)
+
+(* Tuning an f32 blocked plan is expensive; share one across the suite. *)
+let plan32 =
+  lazy (A.Blocked.plan ~et:Etype.F32 ~jobs:1 Arch.sandy_bridge)
+
+(* K=1024 accumulates ~1024 f32 rounding steps against the f64 naive
+   reference: the old fixed 1e-9 tolerance rejects a perfectly correct
+   SGEMM here, the relative K- and epsilon-scaled default accepts it. *)
+let test_blocked_f32_long_k () =
+  let p = Lazy.force plan32 in
+  (match A.Blocked.check p ~m:32 ~n:24 ~k:1024 () with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "f32 blocked differential failed at K=1024: %s" e);
+  match A.Blocked.check ~tol:1e-9 p ~m:32 ~n:24 ~k:1024 () with
+  | Ok _ ->
+      Alcotest.fail
+        "fixed 1e-9 tolerance accepted f32 at K=1024 — rounding should \
+         exceed it"
+  | Error _ -> ()
+
+(* The scaled tolerance must not be so loose it passes a genuinely
+   wrong result: corrupt one element of the blocked product by far more
+   than the rounding budget and the naive comparison has to fail. *)
+let test_tolerance_rejects_wrong_result () =
+  let p = Lazy.force plan32 in
+  let et = Etype.F32 in
+  let m, n, k = (32, 24, 1024) in
+  let nar (mat : Mat.t) =
+    Array.iteri
+      (fun i x -> mat.Mat.data.(i) <- Etype.round et x)
+      mat.Mat.data;
+    mat
+  in
+  let a = nar (Mat.random ~seed:7 m k) in
+  let b = nar (Mat.random ~seed:8 k n) in
+  let c0 = nar (Mat.random ~seed:9 m n) in
+  let c_naive = Mat.copy c0 in
+  let c_gen = Mat.copy c0 in
+  L3.dgemm_naive ~alpha:1.0 ~beta:1.0 a b c_naive;
+  ignore (A.Blocked.gemm p a b c_gen);
+  let tol = Etype.tol ~k et in
+  Alcotest.(check bool)
+    "correct f32 result within scaled tolerance" true
+    (Mat.approx_equal ~tol c_naive c_gen);
+  (* a 10% relative error on one element is a bug, not rounding *)
+  c_gen.Mat.data.(0) <- (c_gen.Mat.data.(0) *. 1.1) +. 1.0;
+  Alcotest.(check bool)
+    "corrupted result rejected by scaled tolerance" false
+    (Mat.approx_equal ~tol c_naive c_gen)
+
+let suite =
+  [
+    Alcotest.test_case "f32 oracle clean on all kernels" `Quick
+      test_oracle_clean_f32;
+    Alcotest.test_case "f32 verify all kernels on both arches" `Slow
+      test_verify_f32_all_kernels;
+    Alcotest.test_case "f32 golden assembly byte-identical" `Quick
+      test_golden_f32;
+    Alcotest.test_case "f32 blocked differential at K=1024" `Slow
+      test_blocked_f32_long_k;
+    Alcotest.test_case "scaled tolerance rejects a wrong result" `Slow
+      test_tolerance_rejects_wrong_result;
+  ]

@@ -59,6 +59,7 @@ let test_proto_round_trip () =
           {
             Proto.tq_kernel = Kernels.Gemv;
             tq_arch = Arch.piledriver;
+            tq_et = A.Machine.Etype.F64;
             tq_space = Some space;
             tq_deadline_ms = Some 250.;
           };
