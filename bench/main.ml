@@ -306,6 +306,161 @@ let full_matrix ?(et = Etype.F64) ?(sizes = full_sizes_default) () : Json.t =
       ("arches", Json.List arch_objs);
     ]
 
+(* --- native wall-clock blocked GEMM ---------------------------------------- *)
+
+module Native_check = A.Native_check
+module Native_blocked = A.Native_blocked
+module Clock = A.Jit.Clock
+
+(* Measured (not modelled) MFLOPS: the blocked GEMM driver is JIT-
+   compiled to executable memory and timed on this CPU with the
+   monotonic-clock helper (warmup + min-of-N).  Results only count
+   after the guarded path passes: asmcheck lint, CPU feature check,
+   and a differential run against the simulated blocked driver and the
+   reference BLAS on remainder-heavy shapes.  When the host CPU lacks
+   the required SIMD features the whole experiment is skipped with an
+   explicit marker, never silently. *)
+
+let native_sizes_default = [ 256; 512; 1024 ]
+
+(* Pick the first modelled architecture whose generated code this host
+   can actually run (piledriver wants FMA4, which modern x86 lacks). *)
+let native_arch_for ~(et : Etype.t) : (Arch.t * A.Blocked.plan, string) result
+    =
+  let rec go = function
+    | [] -> Error "no modelled architecture is runnable on this host"
+    | arch :: rest -> (
+        let plan = A.Blocked.plan ~et ~jobs:!jobs_flag arch in
+        match Native_blocked.load plan with
+        | Native_check.Ready np ->
+            Native_blocked.release np;
+            Ok (arch, plan)
+        | Native_check.Unsupported _ | Native_check.Rejected _ -> go rest)
+  in
+  (* prefer the AVX2+FMA3 machine: it is the closest model of a modern
+     host and exercises the widest encoder surface *)
+  go (Arch.haswell :: archs)
+
+let native_precision ~(sizes : int list) (et : Etype.t) : Json.t =
+  let gemm_name = String.uppercase_ascii (Etype.blas_prefix et) ^ "GEMM" in
+  match native_arch_for ~et with
+  | Error m ->
+      Fmt.pr "native %s: skipped (%s)@." gemm_name m;
+      Json.Obj
+        [
+          ("precision", Json.String (Etype.name et));
+          ("name", Json.String gemm_name);
+          ("skipped", Json.Bool true);
+          ("reason", Json.String m);
+        ]
+  | Ok (arch, plan) -> (
+      match Native_blocked.load plan with
+      | Native_check.Unsupported m | Native_check.Rejected m ->
+          Fmt.pr "native %s: skipped (%s)@." gemm_name m;
+          Json.Obj
+            [
+              ("precision", Json.String (Etype.name et));
+              ("name", Json.String gemm_name);
+              ("skipped", Json.Bool true);
+              ("reason", Json.String m);
+            ]
+      | Native_check.Ready np ->
+          (* differential gate before any timing: remainder-heavy shapes
+             through native vs simulated-blocked vs reference BLAS *)
+          let diffs =
+            List.map
+              (fun (m, n, k) ->
+                (match Native_blocked.check np ~m ~n ~k () with
+                | Ok () -> ()
+                | Error e ->
+                    Fmt.pr "NATIVE DIFFERENTIAL FAIL (%s %s): %s@." gemm_name
+                      arch.Arch.name e;
+                    exit 1);
+                Json.Obj
+                  [
+                    ("m", Json.Int m); ("n", Json.Int n); ("k", Json.Int k);
+                    ("ok", Json.Bool true);
+                  ])
+              [ (37, 29, 23); (8, 6, 6); (1, 1, 1) ]
+          in
+          let points =
+            List.map
+              (fun s ->
+                let b = Native_blocked.time_gemm np ~m:s ~n:s ~k:s () in
+                let predicted =
+                  (A.Blocked.predict plan (Perf.W_gemm { m = s; n = s; k = s }))
+                    .Perf.e_mflops
+                in
+                Fmt.pr
+                  "%-6s %6d  measured %9.0f MFLOPS  (model %9.0f; min %.4g s \
+                   over %d)@."
+                  gemm_name s b.Native_blocked.nb_mflops predicted
+                  b.Native_blocked.nb_timing.Clock.t_min_s
+                  b.Native_blocked.nb_timing.Clock.t_runs;
+                Json.Obj
+                  [
+                    ("size", Json.Int s);
+                    ("mflops", Json.Float b.Native_blocked.nb_mflops);
+                    ("predicted_mflops", Json.Float predicted);
+                    ("runs", Json.Int b.Native_blocked.nb_timing.Clock.t_runs);
+                    ("min_s", Json.Float b.Native_blocked.nb_timing.Clock.t_min_s);
+                    ("mean_s", Json.Float b.Native_blocked.nb_timing.Clock.t_mean_s);
+                    ("max_s", Json.Float b.Native_blocked.nb_timing.Clock.t_max_s);
+                  ])
+              sizes
+          in
+          Native_blocked.release np;
+          Json.Obj
+            [
+              ("precision", Json.String (Etype.name et));
+              ("name", Json.String gemm_name);
+              ("skipped", Json.Bool false);
+              ("arch", Json.String arch.Arch.name);
+              ( "blocking",
+                Json.Obj
+                  [
+                    ("mc", Json.Int plan.A.Blocked.pl_blocking.Mem_model.bl_mc);
+                    ("kc", Json.Int plan.A.Blocked.pl_blocking.Mem_model.bl_kc);
+                    ("nc", Json.Int plan.A.Blocked.pl_blocking.Mem_model.bl_nc);
+                  ] );
+              ("differential", Json.List diffs);
+              ("points", Json.List points);
+            ])
+
+let native_bench ?(sizes = native_sizes_default) () : Json.t =
+  Fmt.pr "== Native blocked GEMM: measured wall-clock MFLOPS ==@.";
+  let host = Native_check.host_features () in
+  Fmt.pr "host: %s@."
+    (String.concat " "
+       (List.map (fun (n, b) -> Printf.sprintf "%s=%b" n b) host));
+  let host_json =
+    Json.Obj (List.map (fun (n, b) -> (n, Json.Bool b)) host)
+  in
+  if not (Native_check.host_supported ()) then begin
+    Fmt.pr "native bench: skipped (host CPU lacks SSE2+AVX)@.@.";
+    Json.Obj
+      [
+        ("experiment", Json.String "native");
+        ("skipped", Json.Bool true);
+        ("reason", Json.String "host CPU lacks SSE2+AVX");
+        ("host", host_json);
+      ]
+  end
+  else begin
+    let precisions =
+      List.map (native_precision ~sizes) [ Etype.F64; Etype.F32 ]
+    in
+    Fmt.pr "@.";
+    Json.Obj
+      [
+        ("experiment", Json.String "native");
+        ("skipped", Json.Bool false);
+        ("host", host_json);
+        ("largest", Json.Int (List.fold_left max 0 sizes));
+        ("precisions", Json.List precisions);
+      ]
+  end
+
 (* --- Table 6 ------------------------------------------------------------- *)
 
 let table6 () : Json.t =
@@ -373,9 +528,9 @@ let tuning_sweep ~(jobs : int) (pairs : (Arch.t * Kernels.name) list) : Json.t
     =
   Fmt.pr "== Tuning sweep: wall-clock and candidates/sec ==@.";
   let time f =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_s () in
     let r = f () in
-    (r, Unix.gettimeofday () -. t0)
+    (r, Clock.now_s () -. t0)
   in
   let run_all jobs =
     List.map (fun (arch, k) -> Tuner.tune ~jobs arch k) pairs
@@ -679,6 +834,7 @@ let run_full () =
   write_json "full_f32" (full_matrix ~et:Etype.F32 ());
   write_json "table6" (table6 ());
   write_json "sweep" (tuning_sweep ~jobs:!jobs_flag (all_pairs ()));
+  write_json "native" (native_bench ());
   ablations ();
   portability ();
   run_bechamel ()
@@ -700,11 +856,22 @@ let run_blocked_smoke () =
   write_json "full" (full_matrix ~sizes ());
   write_json "full_f32" (full_matrix ~et:Etype.F32 ~sizes ())
 
+(* Native wall-clock run: only the measured blocked-GEMM experiment.
+   --native-smoke shrinks the grid for CI (@native-smoke validates the
+   emitted JSON, including the skipped:true marker on hosts without
+   AVX). *)
+let run_native ~smoke () =
+  let sizes = if smoke then [ 128; 256 ] else native_sizes_default in
+  write_json "native" (native_bench ~sizes ())
+
 let () =
   let usage =
-    "bench/main.exe [--json-out DIR] [--jobs N] [--smoke] [--blocked-smoke]"
+    "bench/main.exe [--json-out DIR] [--jobs N] [--smoke] [--blocked-smoke] \
+     [--native] [--native-smoke]"
   in
   let blocked_smoke = ref false in
+  let native = ref false in
+  let native_smoke = ref false in
   Arg.parse
     [
       ( "--json-out",
@@ -720,6 +887,13 @@ let () =
         Arg.Set blocked_smoke,
         "  reduced CI run: blocked-DGEMM differential gate + small \
          full-matrix sweep" );
+      ( "--native",
+        Arg.Set native,
+        "  measured run: JIT the blocked GEMM and report wall-clock MFLOPS \
+         (BENCH_native.json; skips with a marker on hosts without AVX)" );
+      ( "--native-smoke",
+        Arg.Set native_smoke,
+        "  reduced CI run: native blocked GEMM on a small grid" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage;
@@ -727,6 +901,7 @@ let () =
   Tuner.set_jobs !jobs_flag;
   Fmt.pr "AUGEM reproduction benchmark harness@.";
   Fmt.pr "(modelled CPUs; shapes reproduce the paper's figures/tables)@.@.";
-  if !blocked_smoke then run_blocked_smoke ()
+  if !native || !native_smoke then run_native ~smoke:!native_smoke ()
+  else if !blocked_smoke then run_blocked_smoke ()
   else if !smoke then run_smoke ()
   else run_full ()

@@ -19,6 +19,15 @@ module Kernels = A.Ir.Kernels
 module Json = A.Json
 module Tuner = A.Tuner
 module Service = Augem_service
+module Clock = A.Jit.Clock
+
+(* latency of one request, on the shared monotonic clock (wall-clock
+   helpers live in the JIT runtime; gettimeofday is not monotonic and
+   jumps under NTP slew) *)
+let timed_ms f =
+  let t0 = Clock.now_ns () in
+  f ();
+  Int64.to_float (Int64.sub (Clock.now_ns ()) t0) /. 1e6
 
 let json_out = ref "."
 let smoke = ref false
@@ -101,9 +110,8 @@ let () =
   let cold =
     List.map
       (fun line ->
-        let t0 = Unix.gettimeofday () in
-        expect_ok (Service.Server.handle_line server line);
-        (Unix.gettimeofday () -. t0) *. 1000.)
+        timed_ms (fun () ->
+            expect_ok (Service.Server.handle_line server line)))
       lines
   in
   (* warm: closed-loop clients over the now-resident keys *)
@@ -114,9 +122,11 @@ let () =
     let mine = ref [] in
     for r = 0 to per_client - 1 do
       let line = List.nth lines ((i + r) mod List.length lines) in
-      let t0 = Unix.gettimeofday () in
-      expect_ok (Service.Server.handle_line server line);
-      mine := ((Unix.gettimeofday () -. t0) *. 1000.) :: !mine
+      let ms =
+        timed_ms (fun () ->
+            expect_ok (Service.Server.handle_line server line))
+      in
+      mine := ms :: !mine
     done;
     Mutex.protect warm_m (fun () -> warm := !mine @ !warm)
   in

@@ -151,8 +151,19 @@ let config_of_flags kernel jam unroll prefetch =
 
 (* --- subcommands -------------------------------------------------------- *)
 
+let native_arg =
+  Arg.(
+    value & flag
+    & info [ "native" ]
+        ~doc:
+          "Also JIT the kernel to executable memory and run the guarded \
+           native path: the asmcheck lint gate, a CPU-feature check, and \
+           the three-way differential (native vs simulator vs reference \
+           BLAS) over the full harness sweep.  Skips gracefully when the \
+           host CPU lacks the required SIMD features.")
+
 let generate_cmd =
-  let run arch kernel et jam unroll prefetch script =
+  let run arch kernel et jam unroll prefetch script native =
     let g =
       match load_script script with
       | Some s -> A.generate_scripted ~et ~arch ~script:s kernel
@@ -161,13 +172,18 @@ let generate_cmd =
             ~config:(config_of_flags kernel jam unroll prefetch)
             kernel
     in
-    print_string (A.assembly g)
+    print_string (A.assembly g);
+    if native then begin
+      let st = A.Native_check.check ~arch ~et kernel g.A.g_program in
+      Fmt.epr "native: %s@." (A.Native_check.status_to_string st);
+      match st with A.Native_check.Fail _ -> exit 1 | _ -> ()
+    end
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate an assembly kernel")
     Term.(
       const run $ arch_arg $ kernel_arg $ precision_arg $ jam_arg $ unroll_arg
-      $ prefetch_arg $ script_arg)
+      $ prefetch_arg $ script_arg $ native_arg)
 
 let jobs_arg =
   Arg.(
@@ -217,9 +233,25 @@ type tune_cache_counts = {
   mutable tc_diags : A.Verify.Diag.t list;
 }
 
+let tune_native_arg =
+  Arg.(
+    value & flag
+    & info [ "native" ]
+        ~doc:
+          "Score candidates by measured wall-clock MFLOPS (JIT-compiled, \
+           run on this CPU) instead of the cycle model.  Forces a \
+           single-domain sweep (timing is serialized to keep measurements \
+           stable) and bypasses the tuning caches (wall-clock results are \
+           host-specific and must not poison the content-addressed \
+           entries).  Candidates the host CPU cannot run fall back to the \
+           model score.")
+
 let tune_cmd =
-  let run arch kernel et jobs cache_dir json_out =
+  let run arch kernel et jobs cache_dir json_out native =
     let jobs = if jobs <= 0 then A.Pool.default_jobs () else jobs in
+    let jobs = if native then 1 else jobs in
+    if native then
+      A.Tuner.set_native_measure (Some A.Native_blocked.tuner_measure);
     (match cache_dir with Some _ -> A.Tuner.set_cache_dir cache_dir | None -> ());
     let tc =
       { tc_memory = 0; tc_disk_hits = 0; tc_disk_misses = 0; tc_corrupt = 0;
@@ -238,13 +270,14 @@ let tune_cmd =
            | A.Tuner.Ev_swept -> tc.tc_swept <- tc.tc_swept + 1
            | A.Tuner.Ev_store -> tc.tc_stores <- tc.tc_stores + 1
            | A.Tuner.Ev_store_error d -> tc.tc_diags <- d :: tc.tc_diags));
-    let t0 = Unix.gettimeofday () in
+    let t0 = A.Jit.Clock.now_s () in
     let r = A.Tuner.tuned ~et ~jobs arch kernel in
-    let wall = Unix.gettimeofday () -. t0 in
+    let wall = A.Jit.Clock.now_s () -. t0 in
     Fmt.pr "best configuration: %s@."
       (A.Transform.Pipeline.config_to_string
          r.A.Tuner.best.A.Tuner.cand_config);
-    Fmt.pr "predicted: %.0f MFLOPS (visited %d configurations, %d discarded)@."
+    Fmt.pr "%s: %.0f MFLOPS (visited %d configurations, %d discarded)@."
+      (if native then "measured" else "predicted")
       r.A.Tuner.best_score r.A.Tuner.visited r.A.Tuner.discarded;
     Fmt.pr "sweep: %.3f s at jobs=%d (%.1f candidates/sec)@." wall jobs
       (float_of_int r.A.Tuner.visited /. Float.max wall 1e-9);
@@ -271,6 +304,7 @@ let tune_cmd =
                ("arch", A.Json.String arch.A.Machine.Arch.name);
                ("kernel", A.Json.String (A.Ir.Kernels.name_to_string kernel));
                ("precision", A.Json.String (A.Machine.Etype.name et));
+               ("native", A.Json.Bool native);
                ("jobs", A.Json.Int jobs);
                ("visited", A.Json.Int r.A.Tuner.visited);
                ("discarded", A.Json.Int r.A.Tuner.discarded);
@@ -301,7 +335,13 @@ let tune_cmd =
                    ] );
              ]);
         Fmt.pr "wrote %s@." path);
-    let g = A.tuned ~et ~arch kernel in
+    (* regenerate from the winning candidate directly: with the native
+       hook installed [A.tuned] bypasses the caches and would redo the
+       whole measured sweep *)
+    let g =
+      A.generate ~et ~arch ~config:r.A.Tuner.best.A.Tuner.cand_config
+        ~opts:r.A.Tuner.best.A.Tuner.cand_opts kernel
+    in
     let v = A.verify g in
     Fmt.pr "verification: %s@." v.A.Harness.detail
   in
@@ -309,7 +349,7 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"Auto-tune a kernel and report the best configuration")
     Term.(
       const run $ arch_arg $ kernel_arg $ precision_arg $ jobs_arg
-      $ cache_dir_arg $ json_out_arg)
+      $ cache_dir_arg $ json_out_arg $ tune_native_arg)
 
 let phases_cmd =
   let run arch kernel jam unroll prefetch script =
@@ -645,8 +685,9 @@ let explain_cmd =
     let trace = A.explain ~et ~opts ~arch ~config kernel in
     if json then print_endline (A.Json.to_string (A.trace_to_json trace))
     else begin
-      Fmt.pr "lowering %s on %s (%s): %d stages@.@."
+      Fmt.pr "lowering %s on %s [%s] (%s): %d stages@.@."
         trace.A.Driver.Trace.tr_kernel trace.A.Driver.Trace.tr_arch
+        (A.Machine.Etype.name trace.A.Driver.Trace.tr_et)
         (Option.value ~default:"-" trace.A.Driver.Trace.tr_config)
         (List.length trace.A.Driver.Trace.tr_stages);
       List.iter

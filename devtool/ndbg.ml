@@ -1,0 +1,34 @@
+(* Dev-only: single-kernel native debug. *)
+module A = Augem
+module Arch = Augem_machine.Arch
+module Et = Augem_machine.Etype
+module K = Augem_ir.Kernels
+module Exec = Augem_sim.Exec_sim
+module Enc = Augem_jit.Encoder
+module Rt = Augem_jit.Runtime
+module Abi = Augem_jit.Abi
+
+let () =
+  let arch = List.hd Arch.extended in
+  let et = Et.F64 in
+  let cand = A.Tuner.safe_baseline in
+  let g =
+    A.generate ~et ~arch ~config:cand.A.Tuner.cand_config
+      ~opts:cand.A.Tuner.cand_opts K.Copy
+  in
+  let prog = g.A.g_program in
+  print_string (A.assembly g);
+  let n = 5 in
+  let x = Array.init n (fun i -> float_of_int (i + 1)) in
+  let y_native = Array.make (n + 2) 9.0 in
+  let y_sim = Array.make (n + 2) 9.0 in
+  ignore
+    (Exec.call ~et ~fuel:1_000_000 prog
+       Exec.[ Aint n; Abuf x; Abuf y_sim ]);
+  let enc = Enc.encode_program ~avx:true ~et prog in
+  let buf = Rt.Exec_buf.load enc.Enc.enc_code in
+  Abi.call ~et buf Exec.[ Aint n; Abuf x; Abuf y_native ];
+  Rt.Exec_buf.release buf;
+  Array.iteri
+    (fun i v -> Printf.printf "y[%d] sim=%g native=%g\n" i y_sim.(i) v)
+    y_native

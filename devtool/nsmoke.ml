@@ -1,0 +1,53 @@
+(* Dev-only: exercise the native path end to end. *)
+module A = Augem
+module Arch = Augem_machine.Arch
+module Et = Augem_machine.Etype
+module K = Augem_ir.Kernels
+
+let () =
+  Printf.printf "host: %s\n%!"
+    (String.concat " "
+       (List.map
+          (fun (n, b) -> Printf.sprintf "%s=%b" n b)
+          (A.Native_check.host_features ())));
+  (* every kernel x arch x et through the guarded differential check *)
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun et ->
+          List.iter
+            (fun kernel ->
+              let cand = A.Tuner.safe_baseline in
+              let g =
+                A.generate ~et ~arch ~config:cand.A.Tuner.cand_config
+                  ~opts:cand.A.Tuner.cand_opts kernel
+              in
+              let st =
+                A.Native_check.check ~arch ~et kernel g.A.g_program
+              in
+              Printf.printf "%-12s %-4s %-7s %s\n%!" arch.Arch.name
+                (Et.name et)
+                (K.name_to_string kernel)
+                (A.Native_check.status_to_string st))
+            [ K.Gemm; K.Gemv; K.Axpy; K.Dot; K.Ger; K.Scal; K.Copy;
+              K.Pack_a; K.Pack_b ])
+        [ Et.F64; Et.F32 ])
+    Arch.extended;
+  (* blocked GEMM natively *)
+  List.iter
+    (fun et ->
+      let plan = A.Blocked.plan ~et (List.nth Arch.extended 1) in
+      match A.Native_blocked.load plan with
+      | A.Native_check.Unsupported m -> Printf.printf "blocked %s: skip %s\n" (Et.name et) m
+      | A.Native_check.Rejected m -> Printf.printf "blocked %s: REJECT %s\n" (Et.name et) m
+      | A.Native_check.Ready np ->
+          (match A.Native_blocked.check np ~m:37 ~n:29 ~k:23 () with
+          | Ok () -> Printf.printf "blocked %s check: ok\n%!" (Et.name et)
+          | Error m -> Printf.printf "blocked %s check: FAIL %s\n%!" (Et.name et) m);
+          let b = A.Native_blocked.time_gemm np ~m:256 ~n:256 ~k:256 () in
+          Printf.printf "blocked %s 256^3: %.1f MFLOPS (min %.3g s over %d)\n%!"
+            (Et.name et) b.A.Native_blocked.nb_mflops
+            b.A.Native_blocked.nb_timing.Augem_jit.Clock.t_min_s
+            b.A.Native_blocked.nb_timing.Augem_jit.Clock.t_runs;
+          A.Native_blocked.release np)
+    [ Et.F64; Et.F32 ]

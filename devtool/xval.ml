@@ -1,0 +1,121 @@
+(* Dev-only cross-validation: encode every program the corpus can emit
+   and byte-compare against the system assembler (as + objcopy). *)
+module A = Augem
+module Enc = Augem_jit.Encoder
+module Et = Augem_machine.Etype
+
+let tmp = Filename.temp_file "xval" ".s"
+let obj = tmp ^ ".o"
+let bin = tmp ^ ".bin"
+
+let gas_bytes (asm : string) : string =
+  Out_channel.with_open_text tmp (fun oc -> output_string oc asm);
+  let cmd =
+    Printf.sprintf
+      "as %s -o %s 2>/dev/null && objcopy -O binary --only-section=.text %s %s"
+      (Filename.quote tmp) (Filename.quote obj) (Filename.quote obj)
+      (Filename.quote bin)
+  in
+  if Sys.command cmd <> 0 then failwith ("as failed on " ^ tmp);
+  In_channel.with_open_bin bin In_channel.input_all
+
+(* The encoder deliberately emits the IR's flags-neutral add/sub as
+   lea (see encoder.ml); feed gas the equivalent lea text so the byte
+   comparison stays meaningful for those instructions too. *)
+let flags_neutral (i : Augem_machine.Insn.t) : Augem_machine.Insn.t =
+  let module Insn = Augem_machine.Insn in
+  let module Reg = Augem_machine.Reg in
+  match i with
+  | Insn.Addri (r, n) ->
+      Insn.Lea (r, { Insn.base = r; index = None; disp = n })
+  | Insn.Addrr (d, s) ->
+      let base, index = if s = Reg.Rsp then (s, d) else (d, s) in
+      Insn.Lea (d, { Insn.base; index = Some (index, Insn.S1); disp = 0 })
+  | Insn.Subri (r, n) ->
+      Insn.Lea (r, { Insn.base = r; index = None; disp = -n })
+  | i -> i
+
+let () =
+  let total = ref 0 and bad = ref 0 in
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun et ->
+          List.iter
+            (fun kernel ->
+              let space = A.Tuner.space_for kernel in
+              List.iter
+                (fun (cand : A.Tuner.candidate) ->
+                  match
+                    A.generate ~et ~arch ~config:cand.A.Tuner.cand_config
+                      ~opts:cand.A.Tuner.cand_opts kernel
+                  with
+                  | exception _ -> ()
+                  | g ->
+                      incr total;
+                      let avx =
+                        arch.A.Machine.Arch.simd = A.Machine.Arch.AVX
+                      in
+                      let asm =
+                        A.assembly
+                          {
+                            g with
+                            A.g_program =
+                              {
+                                g.A.g_program with
+                                Augem_machine.Insn.prog_insns =
+                                  List.map flags_neutral
+                                    g.A.g_program
+                                      .Augem_machine.Insn.prog_insns;
+                              };
+                          }
+                      in
+                      let mine =
+                        (Enc.encode_program ~avx ~et g.A.g_program).Enc.enc_code
+                      in
+                      let theirs = gas_bytes asm in
+                      if not (String.equal mine theirs) then begin
+                        incr bad;
+                        if !bad <= 3 then begin
+                          Printf.printf "MISMATCH %s %s %s (%d vs %d bytes)\n"
+                            arch.A.Machine.Arch.name (Et.name et)
+                            (A.Ir.Kernels.name_to_string kernel)
+                            (String.length mine) (String.length theirs);
+                          (* find first differing byte *)
+                          let n =
+                            min (String.length mine) (String.length theirs)
+                          in
+                          let rec fst_diff i =
+                            if i >= n then i
+                            else if mine.[i] <> theirs.[i] then i
+                            else fst_diff (i + 1)
+                          in
+                          let d = fst_diff 0 in
+                          Printf.printf "  first diff at byte %d\n" d;
+                          let dump s =
+                            String.concat " "
+                              (List.init
+                                 (min 16 (String.length s - max 0 (d - 4)))
+                                 (fun i ->
+                                   Printf.sprintf "%02x"
+                                     (Char.code s.[max 0 (d - 4) + i])))
+                          in
+                          Printf.printf "  mine:   %s\n" (dump mine);
+                          Printf.printf "  theirs: %s\n" (dump theirs);
+                          Out_channel.with_open_text "/tmp/xval_fail.s"
+                            (fun oc -> output_string oc asm);
+                          if !bad = 1 then begin
+                            Out_channel.with_open_bin "/tmp/xval_mine.bin"
+                              (fun oc -> output_string oc mine);
+                            Out_channel.with_open_bin "/tmp/xval_theirs.bin"
+                              (fun oc -> output_string oc theirs)
+                          end
+                        end
+                      end)
+                space)
+            A.Ir.Kernels.
+              [ Gemm; Gemv; Axpy; Dot; Ger; Scal; Copy; Pack_a; Pack_b ])
+        [ Et.F64; Et.F32 ])
+    A.Machine.Arch.extended;
+  Printf.printf "xval: %d programs, %d mismatches\n" !total !bad;
+  exit (if !bad = 0 then 0 else 1)

@@ -109,6 +109,15 @@ module Pool = Augem_parallel.Pool
 module Library = Augem_baselines.Library
 module Harness = Harness
 module Blocked = Blocked
+module Native_check = Native_check
+module Native_blocked = Native_blocked
+
+module Jit = struct
+  module Encoder = Augem_jit.Encoder
+  module Runtime = Augem_jit.Runtime
+  module Abi = Augem_jit.Abi
+  module Clock = Augem_jit.Clock
+end
 module Chaos = Chaos
 module Report = Report
 module Json = Json
@@ -202,6 +211,7 @@ let trace_to_json (t : Driver.Trace.t) : Json.t =
     [
       ("kernel", Json.String t.Driver.Trace.tr_kernel);
       ("arch", Json.String t.Driver.Trace.tr_arch);
+      ("etype", Json.String (Machine.Etype.name t.Driver.Trace.tr_et));
       ( "config",
         match t.Driver.Trace.tr_config with
         | Some c -> Json.String c

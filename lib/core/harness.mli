@@ -13,6 +13,21 @@ type shape = {
 
 val default_shape : shape
 
+(** Deterministic pseudo-random inputs in [-1, 1): [fill seed n].  The
+    exact sequence is part of the harness contract — independent
+    executors reproduce identical inputs from the same seed. *)
+val fill : int -> int -> float array
+
+(** Narrow an array to the element type ([Etype.round] per element);
+    identity at f64. *)
+val nar : Augem_machine.Etype.t -> float array -> float array
+
+(** Relative closeness: |a-b| <= tol * (1 + |a| + |b|).  [tol] 0 demands
+    bit-equality. *)
+val close : ?tol:float -> float -> float -> bool
+
+val arrays_close : ?tol:float -> float array -> float array -> bool
+
 type outcome = {
   ok : bool;
   detail : string;  (** "ok" or a failure description *)
@@ -25,7 +40,27 @@ type outcome = {
     pathological configuration fails fast instead of hanging. *)
 val default_fuel : int
 
+(** How a verify driver executes the kernel under test: the functional
+    simulator by default ({!sim_runner}), or a plugged-in backend such
+    as the native JIT (or a differential runner that executes both and
+    cross-checks the outputs).  [run] receives the element type, the
+    instruction budget (meaningful to the simulator only), the program
+    and its arguments; it returns the simulator result when one was
+    produced. *)
+type runner = {
+  run_name : string;
+  run :
+    et:Augem_machine.Etype.t ->
+    fuel:int ->
+    Augem_machine.Insn.program ->
+    Augem_sim.Exec_sim.arg list ->
+    (Augem_sim.Exec_sim.result option, string) result;
+}
+
+val sim_runner : runner
+
 val verify_gemm :
+  ?runner:runner ->
   ?et:Augem_machine.Etype.t ->
   ?fuel:int ->
   ?packed:bool ->
@@ -37,6 +72,7 @@ val verify_gemm :
 (** [?m]/[?n] override the shape-derived dimensions (used for
     degenerate unit and empty shapes). *)
 val verify_gemv :
+  ?runner:runner ->
   ?et:Augem_machine.Etype.t ->
   ?fuel:int ->
   ?seed:int ->
@@ -47,6 +83,7 @@ val verify_gemv :
   outcome
 
 val verify_axpy :
+  ?runner:runner ->
   ?et:Augem_machine.Etype.t ->
   ?fuel:int ->
   ?seed:int ->
@@ -56,10 +93,12 @@ val verify_axpy :
   outcome
 
 val verify_dot :
+  ?runner:runner ->
   ?et:Augem_machine.Etype.t ->
   ?fuel:int -> ?seed:int -> ?n:int -> Augem_machine.Insn.program -> outcome
 
 val verify_ger :
+  ?runner:runner ->
   ?et:Augem_machine.Etype.t ->
   ?fuel:int ->
   ?seed:int ->
@@ -70,6 +109,7 @@ val verify_ger :
   outcome
 
 val verify_scal :
+  ?runner:runner ->
   ?et:Augem_machine.Etype.t ->
   ?fuel:int ->
   ?seed:int ->
@@ -79,18 +119,21 @@ val verify_scal :
   outcome
 
 val verify_copy :
+  ?runner:runner ->
   ?et:Augem_machine.Etype.t ->
   ?fuel:int -> ?seed:int -> ?n:int -> Augem_machine.Insn.program -> outcome
 
 (** Pack-A panel kernel against {!Augem_blas.Level3.pack_a}:
     mc = [sh_m], kc = [sh_k], lda = mc + [sh_ld_slack]. *)
 val verify_pack_a :
+  ?runner:runner ->
   ?et:Augem_machine.Etype.t ->
   ?fuel:int -> ?seed:int -> ?shape:shape -> Augem_machine.Insn.program -> outcome
 
 (** Pack-B panel kernel against {!Augem_blas.Level3.pack_b}:
     kc = [sh_k], nc = [sh_n], ldb = kc + [sh_ld_slack]. *)
 val verify_pack_b :
+  ?runner:runner ->
   ?et:Augem_machine.Etype.t ->
   ?fuel:int -> ?seed:int -> ?shape:shape -> Augem_machine.Insn.program -> outcome
 
@@ -99,6 +142,7 @@ val verify_pack_b :
     vectors.  [verify] runs these after the regular shapes; they are
     exported so the regression suite can exercise them in isolation. *)
 val degenerate_cases :
+  ?runner:runner ->
   ?et:Augem_machine.Etype.t ->
   ?fuel:int ->
   Augem_ir.Kernels.name ->
@@ -110,5 +154,6 @@ val degenerate_cases :
     shapes (unit dimensions, zero-length vectors) where every main loop
     is skipped. *)
 val verify :
+  ?runner:runner ->
   ?et:Augem_machine.Etype.t ->
   ?fuel:int -> Augem_ir.Kernels.name -> Augem_machine.Insn.program -> outcome

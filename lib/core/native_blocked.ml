@@ -1,0 +1,429 @@
+(* Natively-executed blocked GEMM and wall-clock kernel measurement.
+
+   [Blocked.gemm] runs the generated packing and micro-kernels on the
+   functional simulator, staging every block through [Array.sub] views
+   because simulated memory is private per call.  This module runs the
+   same plan's kernels as real machine code: the matrices and packing
+   buffers live in Bigarrays for the whole loop nest, and blocks are
+   addressed by passing interior pointers — no per-call staging, so the
+   wall clock measures the kernels, not the harness.
+
+   The loop nest mirrors [Blocked.gemm] exactly (same block schedule,
+   same beta-then-alpha handling, scaling rounded to the element type),
+   so at f64 the native result must agree bit-exactly with the
+   simulated one, and within [Etype.tol] at f32 where the simulator's
+   round-after-every-op semantics legitimately double-rounds. *)
+
+module Exec = Augem_sim.Exec_sim
+module Mat = Augem_blas.Matrix
+module L3 = Augem_blas.Level3
+module Insn = Augem_machine.Insn
+module Arch = Augem_machine.Arch
+module Et = Augem_machine.Etype
+module Kernels = Augem_ir.Kernels
+module Perf = Augem_sim.Perf
+module Mem_model = Augem_sim.Mem_model
+module Runtime = Augem_jit.Runtime
+module Abi = Augem_jit.Abi
+module Clock = Augem_jit.Clock
+
+(* --- element-typed resident buffers ------------------------------------ *)
+
+(* A Bigarray-backed buffer of the kernel's element type with
+   elementwise access and interior-pointer addressing.  The closures
+   capture the Bigarray, keeping the storage alive for as long as any
+   address derived from it can be used. *)
+type tensor = {
+  t_len : int;  (* logical length, excluding tail padding *)
+  t_get : int -> float;
+  t_set : int -> float -> unit;
+  t_addr : int -> int64;  (* address of element [i] *)
+}
+
+let tensor (et : Et.t) (n : int) : tensor =
+  let n' = max 1 n + Abi.pad_elements in
+  match et with
+  | Et.F64 ->
+      let ba = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n' in
+      Bigarray.Array1.fill ba 0.0;
+      let base = Runtime.jit_ba_addr ba in
+      {
+        t_len = n;
+        t_get = Bigarray.Array1.get ba;
+        t_set = Bigarray.Array1.set ba;
+        t_addr = (fun i -> Int64.add base (Int64.of_int (i * 8)));
+      }
+  | Et.F32 ->
+      let ba = Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout n' in
+      Bigarray.Array1.fill ba 0.0;
+      let base = Runtime.jit_ba_addr ba in
+      {
+        t_len = n;
+        (* float32 storage narrows on set, exactly like the simulator's
+           typed memory *)
+        t_get = Bigarray.Array1.get ba;
+        t_set = Bigarray.Array1.set ba;
+        t_addr = (fun i -> Int64.add base (Int64.of_int (i * 4)));
+      }
+
+let stage (et : Et.t) (data : float array) : tensor =
+  let t = tensor et (Array.length data) in
+  Array.iteri t.t_set data;
+  t
+
+let read_back (t : tensor) (data : float array) : unit =
+  for i = 0 to Array.length data - 1 do
+    data.(i) <- t.t_get i
+  done
+
+(* --- the native plan ---------------------------------------------------- *)
+
+type native_plan = {
+  np_plan : Blocked.plan;
+  np_micro : Runtime.Exec_buf.t;
+  np_pack_a : Runtime.Exec_buf.t;
+  np_pack_b : Runtime.Exec_buf.t;
+}
+
+let release (np : native_plan) =
+  Runtime.Exec_buf.release np.np_micro;
+  Runtime.Exec_buf.release np.np_pack_a;
+  Runtime.Exec_buf.release np.np_pack_b
+
+(* Push all three of the plan's programs through the guarded gates
+   (lints, host capability, encoder).  All-or-nothing: a plan whose
+   packing kernels cannot run natively is not a native plan. *)
+let load (p : Blocked.plan) : native_plan Native_check.gated =
+  let avx = p.Blocked.pl_arch.Arch.simd = Arch.AVX in
+  let et = p.Blocked.pl_et in
+  let rec go acc = function
+    | [] -> (
+        match List.rev acc with
+        | [ micro; pa; pb ] ->
+            Native_check.Ready
+              {
+                np_plan = p;
+                np_micro = micro;
+                np_pack_a = pa;
+                np_pack_b = pb;
+              }
+        | _ -> assert false)
+    | (label, prog) :: rest -> (
+        match Native_check.load ~avx ~et prog with
+        | Native_check.Ready buf -> go (buf :: acc) rest
+        | (Native_check.Unsupported m | Native_check.Rejected m) as g ->
+            List.iter Runtime.Exec_buf.release acc;
+            let m = label ^ ": " ^ m in
+            (match g with
+            | Native_check.Unsupported _ -> Native_check.Unsupported m
+            | _ -> Native_check.Rejected m))
+  in
+  go []
+    [
+      ("micro", p.Blocked.pl_micro);
+      ("pack_a", p.Blocked.pl_pack_a);
+      ("pack_b", p.Blocked.pl_pack_b);
+    ]
+
+(* --- the loop nest ------------------------------------------------------ *)
+
+(* Stage C := alpha*A*B + beta*C over resident buffers and return
+   [run] (one full blocked pass; repeatable, each pass re-applies beta
+   and accumulates) and [finish] (copy C back into [c] and return it).
+   Argument staging happens once, outside the timed region. *)
+let gemm_runner ?blocking ?(alpha = 1.0) ?(beta = 1.0) (np : native_plan)
+    (a : Mat.t) (b : Mat.t) (c : Mat.t) : (unit -> unit) * (unit -> unit) =
+  let p = np.np_plan in
+  let et = p.Blocked.pl_et in
+  let alpha = Et.round et alpha and beta = Et.round et beta in
+  let m = a.Mat.rows and k = a.Mat.cols and n = b.Mat.cols in
+  if b.Mat.rows <> k || c.Mat.rows <> m || c.Mat.cols <> n then
+    invalid_arg "Native_blocked.gemm: shape mismatch";
+  let bl =
+    match blocking with Some b -> b | None -> p.Blocked.pl_blocking
+  in
+  let bl_mc = bl.Mem_model.bl_mc
+  and bl_kc = bl.Mem_model.bl_kc
+  and bl_nc = bl.Mem_model.bl_nc in
+  if bl_mc < 1 || bl_kc < 1 || bl_nc < 1 then
+    invalid_arg "Native_blocked.gemm: blocking dimensions must be positive";
+  let ta = stage et a.Mat.data in
+  let tb = stage et b.Mat.data in
+  let tc = stage et c.Mat.data in
+  let tpa = tensor et (bl_mc * bl_kc) in
+  let tpb = tensor et (bl_kc * bl_nc) in
+  let fp32 = et = Et.F32 in
+  let invoke buf iargs =
+    Runtime.Exec_buf.invoke buf ~iargs ~dargs:[||] ~fp32
+  in
+  let i64 = Int64.of_int in
+  let run () =
+    if beta <> 1. then
+      for j = 0 to n - 1 do
+        for i = 0 to m - 1 do
+          let idx = (j * c.Mat.ld) + i in
+          tc.t_set idx (beta *. tc.t_get idx)
+        done
+      done;
+    if alpha <> 0. then begin
+      let j0 = ref 0 in
+      while !j0 < n do
+        let nc = min bl_nc (n - !j0) in
+        let l0 = ref 0 in
+        while !l0 < k do
+          let kc = min bl_kc (k - !l0) in
+          let b_off = (!j0 * b.Mat.ld) + !l0 in
+          invoke np.np_pack_b
+            [|
+              i64 kc; i64 nc; i64 b.Mat.ld; tb.t_addr b_off; tpb.t_addr 0;
+            |];
+          if alpha <> 1. then
+            for idx = 0 to (kc * nc) - 1 do
+              tpb.t_set idx (alpha *. tpb.t_get idx)
+            done;
+          let i0 = ref 0 in
+          while !i0 < m do
+            let mc = min bl_mc (m - !i0) in
+            let a_off = (!l0 * a.Mat.ld) + !i0 in
+            invoke np.np_pack_a
+              [|
+                i64 mc; i64 kc; i64 a.Mat.ld; ta.t_addr a_off; tpa.t_addr 0;
+              |];
+            let c_off = (!j0 * c.Mat.ld) + !i0 in
+            invoke np.np_micro
+              [|
+                i64 mc; i64 kc; i64 nc; i64 c.Mat.ld; tpa.t_addr 0;
+                tpb.t_addr 0; tc.t_addr c_off;
+              |];
+            i0 := !i0 + mc
+          done;
+          l0 := !l0 + kc
+        done;
+        j0 := !j0 + nc
+      done
+    end
+  in
+  let finish () = read_back tc c.Mat.data in
+  (run, finish)
+
+(* One native C := alpha*A*B + beta*C, in place in [c]. *)
+let gemm ?blocking ?alpha ?beta (np : native_plan) (a : Mat.t) (b : Mat.t)
+    (c : Mat.t) : unit =
+  let run, finish = gemm_runner ?blocking ?alpha ?beta np a b c in
+  run ();
+  finish ()
+
+(* --- differential check ------------------------------------------------- *)
+
+(* Native blocked GEMM against (1) the simulated blocked driver on the
+   same plan — bit-exact at f64, [Etype.tol]-scaled at f32 — and
+   (2) [dgemm_naive] within the usual reduction-scaled tolerance.  The
+   native result is never trusted without this. *)
+let check ?blocking ?(seed = 42) (np : native_plan) ~m ~n ~k () :
+    (unit, string) result =
+  let p = np.np_plan in
+  let et = p.Blocked.pl_et in
+  let nar (mat : Mat.t) =
+    Array.iteri
+      (fun i x -> mat.Mat.data.(i) <- Et.round et x)
+      mat.Mat.data;
+    mat
+  in
+  let a = nar (Mat.random ~seed m k) in
+  let b = nar (Mat.random ~seed:(seed + 1) k n) in
+  let c0 = nar (Mat.random ~seed:(seed + 2) m n) in
+  let c_native = Mat.copy c0 in
+  let c_sim = Mat.copy c0 in
+  let c_naive = Mat.copy c0 in
+  match gemm ?blocking np a b c_native with
+  | exception Failure msg -> Error ("native: " ^ msg)
+  | () -> (
+      match Blocked.gemm ?blocking p a b c_sim with
+      | exception Exec.Sim_error msg -> Error ("simulator fault: " ^ msg)
+      | _stats ->
+          let agree_tol =
+            match et with Et.F64 -> 0.0 | Et.F32 -> Et.tol ~k et
+          in
+          if not (Mat.approx_equal ~tol:agree_tol c_native c_sim) then
+            Error
+              (Printf.sprintf
+                 "m=%d n=%d k=%d: native result diverges from simulator \
+                  (max |diff| = %.3g, tol %g)"
+                 m n k
+                 (Mat.max_abs_diff c_native c_sim)
+                 agree_tol)
+          else begin
+            L3.dgemm_naive ~alpha:1.0 ~beta:1.0 a b c_naive;
+            let tol = Et.tol ~k et in
+            if not (Mat.approx_equal ~tol c_naive c_native) then
+              Error
+                (Printf.sprintf
+                   "m=%d n=%d k=%d: native result off dgemm_naive by %.3g \
+                    (tol %.1g)"
+                   m n k
+                   (Mat.max_abs_diff c_naive c_native)
+                   tol)
+            else Ok ()
+          end)
+
+(* --- wall-clock benchmark ----------------------------------------------- *)
+
+type bench = {
+  nb_m : int;
+  nb_n : int;
+  nb_k : int;
+  nb_timing : Clock.timing;
+  nb_mflops : float;  (* 2mnk / min time *)
+}
+
+(* Time the staged loop nest (staging excluded).  Repeated passes
+   accumulate into C (beta = 1), which is harmless for timing and
+   keeps every pass's memory traffic identical. *)
+let time_gemm ?(repeats = 5) ?(warmup = 1) ?blocking ?(seed = 42)
+    (np : native_plan) ~m ~n ~k () : bench =
+  let et = np.np_plan.Blocked.pl_et in
+  let nar (mat : Mat.t) =
+    Array.iteri
+      (fun i x -> mat.Mat.data.(i) <- Et.round et x)
+      mat.Mat.data;
+    mat
+  in
+  let a = nar (Mat.random ~seed m k) in
+  let b = nar (Mat.random ~seed:(seed + 1) k n) in
+  let c = nar (Mat.random ~seed:(seed + 2) m n) in
+  let run, _finish = gemm_runner ?blocking np a b c in
+  let t = Clock.measure ~warmup ~repeats run in
+  let flops = 2.0 *. float_of_int m *. float_of_int n *. float_of_int k in
+  {
+    nb_m = m;
+    nb_n = n;
+    nb_k = k;
+    nb_timing = t;
+    nb_mflops = flops /. t.Clock.t_min_s /. 1e6;
+  }
+
+(* --- single-kernel wall-clock measurement (the tuner hook) -------------- *)
+
+(* The reference workloads are sized for the paper's evaluation sweep
+   (gigabyte matrices at L2 shapes); a measurement only needs a shape
+   big enough to dominate the call overhead while staying
+   cache-plausible for the kernel's role — the micro-kernel in
+   particular only ever sees MC x KC x NC blocks in real use. *)
+let clamp_workload (w : Perf.workload) : Perf.workload =
+  match w with
+  | Perf.W_gemm { m; n; k } ->
+      Perf.W_gemm { m = min m 192; n = min n 192; k = min k 256 }
+  | Perf.W_gemv { m; n } -> Perf.W_gemv { m = min m 1024; n = min n 1024 }
+  | Perf.W_axpy { n } -> Perf.W_axpy { n = min n 150_000 }
+  | Perf.W_dot { n } -> Perf.W_dot { n = min n 150_000 }
+
+(* Kernel-call arguments at a workload's shape, over resident tensors.
+   Returns the argument arrays plus the tensors (kept alive for the
+   calls) and the flop count of one call. *)
+let workload_args (et : Et.t) (kernel : Kernels.name) (w : Perf.workload) :
+    (int64 array * float array * tensor list * float) option =
+  let i64 = Int64.of_int in
+  let data seed n = stage et (Array.map (Et.round et) (Harness.fill seed n)) in
+  let flops = max (Perf.workload_flops w) (Perf.workload_elements w) in
+  match (kernel, w) with
+  | Kernels.Gemm, Perf.W_gemm { m; n; k } ->
+      let pa = data 21 (m * k)
+      and pb = data 22 (k * n)
+      and c = data 23 (m * n) in
+      Some
+        ( [| i64 m; i64 k; i64 n; i64 m; pa.t_addr 0; pb.t_addr 0;
+             c.t_addr 0 |],
+          [||],
+          [ pa; pb; c ],
+          flops )
+  | Kernels.Gemv, Perf.W_gemv { m; n } ->
+      let a = data 24 (m * n) and x = data 25 n and y = data 26 m in
+      Some
+        ( [| i64 m; i64 n; i64 m; a.t_addr 0; x.t_addr 0; y.t_addr 0 |],
+          [||],
+          [ a; x; y ],
+          flops )
+  | Kernels.Ger, Perf.W_gemv { m; n } ->
+      let a = data 27 (m * n) and x = data 28 m and y = data 29 n in
+      Some
+        ( [| i64 m; i64 n; i64 m; x.t_addr 0; y.t_addr 0; a.t_addr 0 |],
+          (* alpha = 1.0: same op count, no drift across repeats *)
+          [| 1.0 |],
+          [ a; x; y ],
+          flops )
+  | Kernels.Axpy, (Perf.W_axpy { n } | Perf.W_dot { n }) ->
+      let x = data 30 n and y = data 31 n in
+      Some ([| i64 n; x.t_addr 0; y.t_addr 0 |], [| 1.0 |], [ x; y ], flops)
+  | Kernels.Dot, (Perf.W_axpy { n } | Perf.W_dot { n }) ->
+      let x = data 32 n and y = data 33 n and out = data 34 1 in
+      Some
+        ( [| i64 n; x.t_addr 0; y.t_addr 0; out.t_addr 0 |],
+          [||],
+          [ x; y; out ],
+          flops )
+  | Kernels.Scal, (Perf.W_axpy { n } | Perf.W_dot { n }) ->
+      let x = data 35 n in
+      Some ([| i64 n; x.t_addr 0 |], [| 1.0 |], [ x ], flops)
+  | Kernels.Copy, (Perf.W_axpy { n } | Perf.W_dot { n }) ->
+      let x = data 36 n and y = data 37 (n + 2) in
+      Some ([| i64 n; x.t_addr 0; y.t_addr 0 |], [||], [ x; y ], flops)
+  | Kernels.Pack_a, _ ->
+      let mc = 192 and kc = 256 in
+      let a = data 38 (mc * kc) and buf = data 39 (mc * kc) in
+      Some
+        ( [| i64 mc; i64 kc; i64 mc; a.t_addr 0; buf.t_addr 0 |],
+          [||],
+          [ a; buf ],
+          float_of_int (mc * kc) )
+  | Kernels.Pack_b, _ ->
+      let kc = 256 and nc = 192 in
+      let b = data 40 (kc * nc) and buf = data 41 (kc * nc) in
+      Some
+        ( [| i64 kc; i64 nc; i64 kc; b.t_addr 0; buf.t_addr 0 |],
+          [||],
+          [ b; buf ],
+          float_of_int (kc * nc) )
+  | _ -> None
+
+(* Wall-clock MFLOPS of one generated kernel on this host, or [None]
+   when the program cannot run here (missing ISA extension) or the
+   kernel/workload pair has no native harness shape.  Short kernels are
+   batched until one timed sample spans at least ~100us, keeping the
+   measurement above timer and call-overhead noise.  This is the
+   function behind [Tuner.set_native_measure]. *)
+let measure_kernel ?(repeats = 3) ~(arch : Arch.t) ~(et : Et.t)
+    (kernel : Kernels.name) (prog : Insn.program) (w : Perf.workload) :
+    float option =
+  let avx = arch.Arch.simd = Arch.AVX in
+  match Native_check.load ~avx ~et prog with
+  | Native_check.Rejected _ | Native_check.Unsupported _ -> None
+  | Native_check.Ready buf -> (
+      match workload_args et kernel (clamp_workload w) with
+      | None ->
+          Runtime.Exec_buf.release buf;
+          None
+      | Some (iargs, dargs, keepalive, flops) ->
+          let fp32 = et = Et.F32 in
+          let once () =
+            Runtime.Exec_buf.invoke buf ~iargs ~dargs ~fp32
+          in
+          let probe = Clock.measure ~warmup:1 ~repeats:1 once in
+          let batch =
+            if probe.Clock.t_min_s >= 1e-4 then 1
+            else
+              int_of_float (ceil (1e-4 /. max 1e-9 probe.Clock.t_min_s))
+          in
+          let f () =
+            for _ = 1 to batch do
+              once ()
+            done
+          in
+          let t = Clock.measure ~warmup:1 ~repeats f in
+          ignore (Sys.opaque_identity keepalive);
+          Runtime.Exec_buf.release buf;
+          Some (flops *. float_of_int batch /. t.Clock.t_min_s /. 1e6))
+
+(* The [Tuner.native_measure] this module provides.  [Skip]-class
+   programs return [None] and keep their model score. *)
+let tuner_measure : Augem_autotune.Tuner.native_measure =
+ fun ~et arch kernel prog w -> measure_kernel ~arch ~et kernel prog w

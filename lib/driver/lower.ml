@@ -250,6 +250,7 @@ let run_annotated ?(opts = default_opts) ~(arch : Arch.t) (ak : M.akernel) :
   {
     Trace.tr_kernel = ak.M.ak_name;
     tr_arch = arch.Arch.name;
+    tr_et = et;
     tr_config = None;
     tr_stages = records;
     tr_optimized = None;
@@ -284,6 +285,7 @@ let run ?(opts = default_opts) ~(arch : Arch.t) ~(config : Pipeline.config)
   {
     Trace.tr_kernel = kernel.Ast.k_name;
     tr_arch = arch.Arch.name;
+    tr_et = et;
     tr_config = Some (Pipeline.config_to_string config);
     tr_stages = records;
     tr_optimized = optimized;

@@ -22,6 +22,7 @@ type stage_record = {
 type t = {
   tr_kernel : string;  (** kernel (function) name *)
   tr_arch : string;  (** architecture name *)
+  tr_et : Etype.t;  (** scalar precision the lowering ran under *)
   tr_config : string option;
       (** rendered tuning configuration; [None] for backend-only runs *)
   tr_stages : stage_record list;  (** in execution order *)

@@ -1,0 +1,79 @@
+(* System V ABI bridge: call a jitted kernel with the same argument
+   list the functional simulator's [Exec_sim.call] takes, so one
+   harness case drives both execution paths.
+
+   Each [Abuf] argument is staged into a Bigarray of the kernel's
+   element type (the copy-in narrows to f32 when the kernel computes in
+   single precision, exactly like the simulator's typed memory), padded
+   at the tail: the simulator's flat memory silently tolerates a
+   vector load that reaches past the last element, but on real pages
+   the same read could cross into an unmapped page, so native buffers
+   always carry slack.  After the call the first [length] elements are
+   copied back into the caller's array — the same observable contract
+   as the simulator. *)
+
+open Augem_machine
+module Exec = Augem_sim.Exec_sim
+
+exception Abi_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Abi_error s)) fmt
+
+(* Tail slack, in elements: enough for one full 256-bit vector past the
+   end plus alignment play. *)
+let pad_elements = 16
+
+type staged =
+  | S64 of (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+  | S32 of (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let stage (et : Etype.t) (data : float array) : staged * int64 =
+  let n = Array.length data + pad_elements in
+  match et with
+  | Etype.F64 ->
+      let ba = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+      Bigarray.Array1.fill ba 0.0;
+      Array.iteri (fun i x -> Bigarray.Array1.set ba i x) data;
+      (S64 ba, Runtime.jit_ba_addr ba)
+  | Etype.F32 ->
+      let ba = Bigarray.Array1.create Bigarray.float32 Bigarray.c_layout n in
+      Bigarray.Array1.fill ba 0.0;
+      (* Bigarray float32 storage rounds each element to binary32 *)
+      Array.iteri (fun i x -> Bigarray.Array1.set ba i x) data;
+      (S32 ba, Runtime.jit_ba_addr ba)
+
+let read_back (s : staged) (data : float array) : unit =
+  match s with
+  | S64 ba ->
+      Array.iteri (fun i _ -> data.(i) <- Bigarray.Array1.get ba i) data
+  | S32 ba ->
+      Array.iteri (fun i _ -> data.(i) <- Bigarray.Array1.get ba i) data
+
+(* Call the kernel in [buf] with SysV argument passing: integer-class
+   arguments ([Aint] and buffer base addresses) bind rdi, rsi, rdx,
+   rcx, r8, r9 and then the stack; [Adouble] arguments bind xmm0-3.
+   [Abuf] arrays are updated in place after the run, mirroring
+   [Exec_sim.call]. *)
+let call ?(et = Etype.F64) (buf : Runtime.Exec_buf.t) (args : Exec.arg list) :
+    unit =
+  let iargs = ref [] and dargs = ref [] and staged = ref [] in
+  List.iter
+    (fun (a : Exec.arg) ->
+      match a with
+      | Exec.Aint n -> iargs := Int64.of_int n :: !iargs
+      | Exec.Adouble f -> dargs := Etype.round et f :: !dargs
+      | Exec.Abuf data ->
+          let s, addr = stage et data in
+          staged := (s, data) :: !staged;
+          iargs := addr :: !iargs)
+    args;
+  let iargs = Array.of_list (List.rev !iargs) in
+  let dargs = Array.of_list (List.rev !dargs) in
+  if Array.length iargs > 8 then
+    err "kernel takes %d integer-class arguments; the bridge passes at most 8"
+      (Array.length iargs);
+  if Array.length dargs > 4 then
+    err "kernel takes %d FP arguments; the bridge passes at most 4"
+      (Array.length dargs);
+  Runtime.Exec_buf.invoke buf ~iargs ~dargs ~fp32:(et = Etype.F32);
+  List.iter (fun (s, data) -> read_back s data) !staged

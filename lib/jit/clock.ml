@@ -1,0 +1,74 @@
+(* Monotonic wall-clock measurement.
+
+   All native (and serving) timing goes through here instead of ad-hoc
+   [Unix.gettimeofday] deltas: CLOCK_MONOTONIC cannot jump backwards
+   under NTP slew, and the measurement loop does the things a one-shot
+   delta cannot — warmup iterations to populate caches and the branch
+   predictor, then min-of-N repeats with running statistics (Welford),
+   because for a deterministic kernel the *minimum* is the best
+   estimate of the true cost and the spread is the noise bar. *)
+
+let now_ns () : int64 = Runtime.monotonic_ns ()
+
+let now_s () : float = Int64.to_float (now_ns ()) /. 1e9
+
+(* Welford running statistics over a stream of samples. *)
+module Stat = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let push (t : t) (x : float) =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count (t : t) = t.n
+  let mean (t : t) = t.mean
+  let min (t : t) = t.min
+  let max (t : t) = t.max
+
+  let stddev (t : t) =
+    if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+end
+
+type timing = {
+  t_runs : int;
+  t_min_s : float;  (* the headline number *)
+  t_mean_s : float;
+  t_max_s : float;
+  t_stddev_s : float;
+}
+
+(* Time [f]: run it [warmup] times unmeasured, then [repeats] measured
+   runs.  Timer resolution is nanoseconds; callers measuring very short
+   kernels should batch inside [f] themselves. *)
+let measure ?(warmup = 1) ?(repeats = 5) (f : unit -> unit) : timing =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let st = Stat.create () in
+  let repeats = Stdlib.max 1 repeats in
+  for _ = 1 to repeats do
+    let t0 = now_ns () in
+    f ();
+    let t1 = now_ns () in
+    Stat.push st (Int64.to_float (Int64.sub t1 t0) /. 1e9)
+  done;
+  {
+    t_runs = Stat.count st;
+    t_min_s = Stat.min st;
+    t_mean_s = Stat.mean st;
+    t_max_s = Stat.max st;
+    t_stddev_s = Stat.stddev st;
+  }

@@ -1,0 +1,716 @@
+(* x86-64 machine-code encoder: assembles an [Insn.program] — the same
+   IR the AT&T printer renders — into the byte sequence the hardware
+   decodes.  Mnemonic selection mirrors [Att] exactly (the printer and
+   the encoder are two renderings of one instruction-selection table):
+   with [avx] set, VEX prefixes are synthesized throughout; otherwise
+   legacy SSE encodings are produced, under the same two-operand
+   [dst = src1] invariant the printer enforces.
+
+   Layout of one encoded instruction:
+
+     [legacy prefix] [REX] opcode... ModRM [SIB] [disp] [imm]
+     [VEX (2- or 3-byte)] opcode ModRM [SIB] [disp] [imm]
+
+   The 2-byte VEX form (C5) is used whenever the instruction needs
+   neither REX.X/B extension bits, nor VEX.W, nor an opcode map beyond
+   0F — the same choice the GNU assembler makes, so encodings can be
+   cross-checked against a system toolchain.
+
+   One deliberate divergence from the printed mnemonics: the IR's
+   add/sub-immediate and register add are emitted as lea.  The IR
+   (like the functional simulator) defines flags only at cmp, so the
+   scheduler freely places pointer bumps between a cmp and its jcc;
+   the x86 add would rewrite the flags there, lea never does.
+
+   Branches are assembled with iterative relaxation: every jump starts
+   as its rel8 short form and is widened to rel32 when the (current)
+   distance does not fit; widening is monotone, so the loop reaches a
+   fixpoint.  The resulting fixup table — one record per branch, with
+   the offset and width of the displacement field — is part of the
+   public result, so tests can decode the displacements back and prove
+   they land on the label offsets. *)
+
+open Augem_machine
+
+exception Encode_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Encode_error s)) fmt
+
+(* Hardware register numbers.  [Reg.gpr_index] is the position in the
+   allocation list, which is *not* the encoding: rax=0, rcx=1, rdx=2,
+   rbx=3, rsp=4, rbp=5, rsi=6, rdi=7, r8..r15=8..15. *)
+let gpr_num : Reg.gpr -> int = function
+  | Reg.Rax -> 0
+  | Reg.Rcx -> 1
+  | Reg.Rdx -> 2
+  | Reg.Rbx -> 3
+  | Reg.Rsp -> 4
+  | Reg.Rbp -> 5
+  | Reg.Rsi -> 6
+  | Reg.Rdi -> 7
+  | Reg.R8 -> 8
+  | Reg.R9 -> 9
+  | Reg.R10 -> 10
+  | Reg.R11 -> 11
+  | Reg.R12 -> 12
+  | Reg.R13 -> 13
+  | Reg.R14 -> 14
+  | Reg.R15 -> 15
+
+(* The r/m operand: a register (by hardware number) or a memory
+   operand. *)
+type rm =
+  | R of int
+  | M of Insn.mem
+
+let fits_i8 n = n >= -128 && n <= 127
+let fits_i32 n = n >= -0x8000_0000 && n <= 0x7FFF_FFFF
+
+let add_byte buf n = Buffer.add_char buf (Char.chr (n land 0xFF))
+
+let add_i32 buf n =
+  if not (fits_i32 n) then err "displacement/immediate %d exceeds 32 bits" n;
+  add_byte buf n;
+  add_byte buf (n asr 8);
+  add_byte buf (n asr 16);
+  add_byte buf (n asr 24)
+
+(* ModRM + optional SIB + displacement for [reg] (full 4-bit hardware
+   number; the caller folds bit 3 into REX.R/VEX.R) against [rm].
+   Returns (rex_x, rex_b, encoded bytes).  Special cases of the ISA:
+   rsp/r12 as a base force a SIB byte; rbp/r13 as a base cannot use the
+   no-displacement mod=00 form; rsp can never be an index. *)
+let modrm ~reg rm : int * int * string =
+  let b = Buffer.create 8 in
+  match rm with
+  | R r ->
+      add_byte b (0xC0 lor ((reg land 7) lsl 3) lor (r land 7));
+      (0, r lsr 3, Buffer.contents b)
+  | M m ->
+      let bn = gpr_num m.Insn.base in
+      let disp = m.Insn.disp in
+      let need_sib, rex_x, sib =
+        match m.Insn.index with
+        | None ->
+            if bn land 7 = 4 then (true, 0, 0x24 lor (bn land 7) land 0xFF)
+            else (false, 0, 0)
+        | Some (idx, sc) ->
+            let ixn = gpr_num idx in
+            if ixn = 4 then err "rsp cannot be an index register";
+            let ss =
+              match sc with Insn.S1 -> 0 | S2 -> 1 | S4 -> 2 | S8 -> 3
+            in
+            (true, ixn lsr 3, (ss lsl 6) lor ((ixn land 7) lsl 3) lor (bn land 7))
+      in
+      let md, disp_kind =
+        if disp = 0 && bn land 7 <> 5 then (0b00, `None)
+        else if fits_i8 disp then (0b01, `D8)
+        else (0b10, `D32)
+      in
+      let rm_field = if need_sib then 4 else bn land 7 in
+      add_byte b ((md lsl 6) lor ((reg land 7) lsl 3) lor rm_field);
+      if need_sib then add_byte b sib;
+      (match disp_kind with
+      | `None -> ()
+      | `D8 -> add_byte b disp
+      | `D32 -> add_i32 b disp);
+      (rex_x, bn lsr 3, Buffer.contents b)
+
+(* Legacy (non-VEX) instruction: optional mandatory prefix (66/F2/F3),
+   REX when any extension bit (or REX.W) is needed, the opcode bytes,
+   ModRM tail, optional immediates. *)
+let legacy ?(prefix = "") ?(rexw = false) ~opc ~reg rm ?imm8 ?imm32 () :
+    string =
+  let rex_x, rex_b, tail = modrm ~reg rm in
+  let rex =
+    0x40
+    lor (if rexw then 8 else 0)
+    lor ((reg lsr 3) lsl 2)
+    lor (rex_x lsl 1)
+    lor rex_b
+  in
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf prefix;
+  if rex <> 0x40 then add_byte buf rex;
+  List.iter (add_byte buf) opc;
+  Buffer.add_string buf tail;
+  (match imm8 with None -> () | Some i -> add_byte buf i);
+  (match imm32 with None -> () | Some i -> add_i32 buf i);
+  Buffer.contents buf
+
+(* VEX-prefixed instruction.  [pp]: 0 = none, 1 = 66, 2 = F3, 3 = F2;
+   [mmap]: 1 = 0F, 2 = 0F38, 3 = 0F3A; [vvvv] is the extra source
+   register number (0 when the instruction leaves the field unused —
+   the inverted field then reads 1111 as the ISA requires). *)
+let vex ~pp ~mmap ~w ~l ~vvvv ~reg rm ~opc ?imm8 () : string =
+  let rex_x, rex_b, tail = modrm ~reg rm in
+  let r = reg lsr 3 in
+  let buf = Buffer.create 16 in
+  let vvvv_bits = lnot vvvv land 0xF in
+  if rex_x = 0 && rex_b = 0 && w = 0 && mmap = 1 then begin
+    add_byte buf 0xC5;
+    add_byte buf
+      (((r lxor 1) lsl 7) lor (vvvv_bits lsl 3) lor (l lsl 2) lor pp)
+  end
+  else begin
+    add_byte buf 0xC4;
+    add_byte buf
+      (((r lxor 1) lsl 7)
+      lor ((rex_x lxor 1) lsl 6)
+      lor ((rex_b lxor 1) lsl 5)
+      lor mmap);
+    add_byte buf ((w lsl 7) lor (vvvv_bits lsl 3) lor (l lsl 2) lor pp)
+  end;
+  add_byte buf opc;
+  Buffer.add_string buf tail;
+  (match imm8 with None -> () | Some i -> add_byte buf i);
+  Buffer.contents buf
+
+(* --- mnemonic-selection tables (mirroring [Att]) ----------------------- *)
+
+let scalar_pp = function Etype.F64 -> 3 (* F2 *) | Etype.F32 -> 2 (* F3 *)
+let packed_pp = function Etype.F64 -> 1 (* 66 *) | Etype.F32 -> 0
+
+let pp_prefix = function
+  | 0 -> ""
+  | 1 -> "\x66"
+  | 2 -> "\xF3"
+  | 3 -> "\xF2"
+  | _ -> assert false
+
+(* pp for a width-suffixed op: scalar for W64, packed otherwise. *)
+let width_pp et = function
+  | Insn.W64 -> scalar_pp et
+  | Insn.W128 | Insn.W256 -> packed_pp et
+
+let vex_l = function Insn.W256 -> 1 | Insn.W64 | Insn.W128 -> 0
+
+let arith_opc = function
+  | Insn.Fadd -> 0x58
+  | Insn.Fsub -> 0x5C
+  | Insn.Fmul -> 0x59
+  | Insn.Fdiv -> 0x5E
+  | _ -> assert false
+
+(* Jcc condition nibble (signed comparisons, matching the simulator's
+   [Int64.compare] semantics). *)
+let cc_bits = function
+  | Insn.Clt -> 0xC
+  | Insn.Cle -> 0xE
+  | Insn.Cgt -> 0xF
+  | Insn.Cge -> 0xD
+  | Insn.Ceq -> 0x4
+  | Insn.Cne -> 0x5
+
+let require_sse2op ~avx ~what dst src1 =
+  if (not avx) && dst <> src1 then
+    err "SSE two-operand %s with dst=%d <> src1=%d" what dst src1
+
+let require_avx ~avx what = if not avx then err "%s requires AVX" what
+
+(* rax accumulator short form for add/sub/cmp with a 32-bit immediate:
+   REX.W + single opcode + imm32, one byte shorter than the 81 /n
+   encoding (and the form gas emits). *)
+let acc_imm32 opc n =
+  let buf = Buffer.create 6 in
+  add_byte buf 0x48;
+  add_byte buf opc;
+  add_i32 buf n;
+  Buffer.contents buf
+
+(* --- one instruction ---------------------------------------------------- *)
+
+(* Encode one non-branch instruction ([Label]/[Jmp]/[Jcc] are resolved
+   at the program level; [Comment] encodes to nothing). *)
+let rec encode_insn ?(avx = true) ?(et = Etype.F64) (i : Insn.t) : string =
+  let sse_wide w what =
+    if (not avx) && w = Insn.W256 then err "256-bit %s requires AVX" what
+  in
+  match i with
+  | Insn.Vop { op; w; dst; src1; src2 } -> (
+      match op with
+      | Insn.Fadd | Insn.Fsub | Insn.Fmul | Insn.Fdiv ->
+          sse_wide w "arith";
+          let opc = arith_opc op and pp = width_pp et w in
+          if avx then
+            vex ~pp ~mmap:1 ~w:0 ~l:(vex_l w) ~vvvv:src1 ~reg:dst (R src2)
+              ~opc ()
+          else begin
+            require_sse2op ~avx ~what:"arith" dst src1;
+            legacy ~prefix:(pp_prefix pp) ~opc:[ 0x0F; opc ] ~reg:dst (R src2)
+              ()
+          end
+      | Insn.Fxor ->
+          sse_wide w "xor";
+          let pp = packed_pp et in
+          if avx then
+            vex ~pp ~mmap:1 ~w:0 ~l:(vex_l w) ~vvvv:src1 ~reg:dst (R src2)
+              ~opc:0x57 ()
+          else begin
+            require_sse2op ~avx ~what:"xor" dst src1;
+            legacy ~prefix:(pp_prefix pp) ~opc:[ 0x0F; 0x57 ] ~reg:dst
+              (R src2) ()
+          end
+      | Insn.Fmov ->
+          sse_wide w "mova";
+          let pp = packed_pp et in
+          if avx then
+            if src1 >= 8 && dst < 8 then
+              (* store form (0x29, reg = src, rm = dst) keeps the rm
+                 field below 8, so the two-byte C5 prefix suffices —
+                 the same size optimisation gas applies *)
+              vex ~pp ~mmap:1 ~w:0 ~l:(vex_l w) ~vvvv:0 ~reg:src1 (R dst)
+                ~opc:0x29 ()
+            else
+              vex ~pp ~mmap:1 ~w:0 ~l:(vex_l w) ~vvvv:0 ~reg:dst (R src1)
+                ~opc:0x28 ()
+          else
+            legacy ~prefix:(pp_prefix pp) ~opc:[ 0x0F; 0x28 ] ~reg:dst
+              (R src1) ()
+      | Insn.Fma231 ->
+          require_avx ~avx "vfmadd231";
+          let wbit = match et with Etype.F64 -> 1 | Etype.F32 -> 0 in
+          let opc = match w with Insn.W64 -> 0xB9 | _ -> 0xB8 in
+          vex ~pp:1 ~mmap:2 ~w:wbit ~l:(vex_l w) ~vvvv:src1 ~reg:dst (R src2)
+            ~opc ()
+      | Insn.Fhadd ->
+          sse_wide w "hadd";
+          (* haddpd is 66-prefixed, haddps is F2-prefixed *)
+          let pp = match et with Etype.F64 -> 1 | Etype.F32 -> 3 in
+          if avx then
+            vex ~pp ~mmap:1 ~w:0 ~l:(vex_l w) ~vvvv:src1 ~reg:dst (R src2)
+              ~opc:0x7C ()
+          else begin
+            require_sse2op ~avx ~what:"hadd" dst src1;
+            legacy ~prefix:(pp_prefix pp) ~opc:[ 0x0F; 0x7C ] ~reg:dst
+              (R src2) ()
+          end
+      | Insn.Funpckl | Insn.Funpckh ->
+          sse_wide w "unpck";
+          let pp = packed_pp et in
+          let opc = if op = Insn.Funpckl then 0x14 else 0x15 in
+          if avx then
+            vex ~pp ~mmap:1 ~w:0 ~l:(vex_l w) ~vvvv:src1 ~reg:dst (R src2)
+              ~opc ()
+          else begin
+            require_sse2op ~avx ~what:"unpck" dst src1;
+            legacy ~prefix:(pp_prefix pp) ~opc:[ 0x0F; opc ] ~reg:dst (R src2)
+              ()
+          end)
+  | Insn.Vfma4 { w; dst; a; b; c } ->
+      require_avx ~avx "vfmadd (FMA4)";
+      let opc =
+        match (w, et) with
+        | Insn.W64, Etype.F64 -> 0x6B (* vfmaddsd *)
+        | Insn.W64, Etype.F32 -> 0x6A (* vfmaddss *)
+        | _, Etype.F64 -> 0x69 (* vfmaddpd *)
+        | _, Etype.F32 -> 0x68 (* vfmaddps *)
+      in
+      (* VEX.W0: reg = dst, vvvv = src1 (a), rm = src2 (b), imm[7:4] =
+         src3 (c) *)
+      vex ~pp:1 ~mmap:3 ~w:0 ~l:(vex_l w) ~vvvv:a ~reg:dst (R b) ~opc
+        ~imm8:(c lsl 4) ()
+  | Insn.Vload { w; dst; src } -> (
+      match w with
+      | Insn.W64 ->
+          let pp = scalar_pp et in
+          if avx then
+            vex ~pp ~mmap:1 ~w:0 ~l:0 ~vvvv:0 ~reg:dst (M src) ~opc:0x10 ()
+          else
+            legacy ~prefix:(pp_prefix pp) ~opc:[ 0x0F; 0x10 ] ~reg:dst (M src)
+              ()
+      | Insn.W128 | Insn.W256 ->
+          sse_wide w "movu";
+          let pp = packed_pp et in
+          if avx then
+            vex ~pp ~mmap:1 ~w:0 ~l:(vex_l w) ~vvvv:0 ~reg:dst (M src)
+              ~opc:0x10 ()
+          else
+            legacy ~prefix:(pp_prefix pp) ~opc:[ 0x0F; 0x10 ] ~reg:dst (M src)
+              ())
+  | Insn.Vstore { w; src; dst } -> (
+      match w with
+      | Insn.W64 ->
+          let pp = scalar_pp et in
+          if avx then
+            vex ~pp ~mmap:1 ~w:0 ~l:0 ~vvvv:0 ~reg:src (M dst) ~opc:0x11 ()
+          else
+            legacy ~prefix:(pp_prefix pp) ~opc:[ 0x0F; 0x11 ] ~reg:src (M dst)
+              ()
+      | Insn.W128 | Insn.W256 ->
+          sse_wide w "movu";
+          let pp = packed_pp et in
+          if avx then
+            vex ~pp ~mmap:1 ~w:0 ~l:(vex_l w) ~vvvv:0 ~reg:src (M dst)
+              ~opc:0x11 ()
+          else
+            legacy ~prefix:(pp_prefix pp) ~opc:[ 0x0F; 0x11 ] ~reg:src (M dst)
+              ())
+  | Insn.Vbroadcast { w; dst; src } -> (
+      match (w, et) with
+      | Insn.W64, _ ->
+          encode_insn ~avx ~et (Insn.Vload { w = Insn.W64; dst; src })
+      | Insn.W128, Etype.F64 ->
+          (* movddup / vmovddup *)
+          if avx then
+            vex ~pp:3 ~mmap:1 ~w:0 ~l:0 ~vvvv:0 ~reg:dst (M src) ~opc:0x12 ()
+          else legacy ~prefix:"\xF2" ~opc:[ 0x0F; 0x12 ] ~reg:dst (M src) ()
+      | Insn.W128, Etype.F32 ->
+          require_avx ~avx "vbroadcastss";
+          vex ~pp:1 ~mmap:2 ~w:0 ~l:0 ~vvvv:0 ~reg:dst (M src) ~opc:0x18 ()
+      | Insn.W256, Etype.F64 ->
+          require_avx ~avx "vbroadcastsd";
+          vex ~pp:1 ~mmap:2 ~w:0 ~l:1 ~vvvv:0 ~reg:dst (M src) ~opc:0x19 ()
+      | Insn.W256, Etype.F32 ->
+          require_avx ~avx "vbroadcastss";
+          vex ~pp:1 ~mmap:2 ~w:0 ~l:1 ~vvvv:0 ~reg:dst (M src) ~opc:0x18 ())
+  | Insn.Vshuf { w; dst; src1; src2; imm } ->
+      sse_wide w "shuf";
+      let pp = packed_pp et in
+      if avx then
+        vex ~pp ~mmap:1 ~w:0 ~l:(vex_l w) ~vvvv:src1 ~reg:dst (R src2)
+          ~opc:0xC6 ~imm8:imm ()
+      else begin
+        require_sse2op ~avx ~what:"shuf" dst src1;
+        legacy ~prefix:(pp_prefix pp) ~opc:[ 0x0F; 0xC6 ] ~reg:dst (R src2)
+          ~imm8:imm ()
+      end
+  | Insn.Vblend { w; dst; src1; src2; imm } ->
+      sse_wide w "blend";
+      (* blendpd/blendps are both 66-prefixed 0F3A ops *)
+      let opc = match et with Etype.F64 -> 0x0D | Etype.F32 -> 0x0C in
+      if avx then
+        vex ~pp:1 ~mmap:3 ~w:0 ~l:(vex_l w) ~vvvv:src1 ~reg:dst (R src2) ~opc
+          ~imm8:imm ()
+      else begin
+        require_sse2op ~avx ~what:"blend" dst src1;
+        legacy ~prefix:"\x66" ~opc:[ 0x0F; 0x3A; opc ] ~reg:dst (R src2)
+          ~imm8:imm ()
+      end
+  | Insn.Vperm128 { dst; src1; src2; imm } ->
+      require_avx ~avx "vperm2f128";
+      vex ~pp:1 ~mmap:3 ~w:0 ~l:1 ~vvvv:src1 ~reg:dst (R src2) ~opc:0x06
+        ~imm8:imm ()
+  | Insn.Vextract128 { dst; src; lane } ->
+      require_avx ~avx "vextractf128";
+      (* reg = source ymm, rm = destination xmm *)
+      vex ~pp:1 ~mmap:3 ~w:0 ~l:1 ~vvvv:0 ~reg:src (R dst) ~opc:0x19
+        ~imm8:lane ()
+  | Insn.Movq_xr { dst; src } -> (
+      let srcn = gpr_num src in
+      match et with
+      | Etype.F64 ->
+          if avx then
+            vex ~pp:1 ~mmap:1 ~w:1 ~l:0 ~vvvv:0 ~reg:dst (R srcn) ~opc:0x6E ()
+          else
+            legacy ~prefix:"\x66" ~rexw:true ~opc:[ 0x0F; 0x6E ] ~reg:dst
+              (R srcn) ()
+      | Etype.F32 ->
+          if avx then
+            vex ~pp:1 ~mmap:1 ~w:0 ~l:0 ~vvvv:0 ~reg:dst (R srcn) ~opc:0x6E ()
+          else
+            legacy ~prefix:"\x66" ~opc:[ 0x0F; 0x6E ] ~reg:dst (R srcn) ())
+  | Insn.Movri (r, n) ->
+      if fits_i32 n then
+        legacy ~rexw:true ~opc:[ 0xC7 ] ~reg:0 (R (gpr_num r)) ~imm32:n ()
+      else encode_insn ~avx ~et (Insn.Movabs (r, Int64.of_int n))
+  | Insn.Movabs (r, v) ->
+      let n = gpr_num r in
+      let buf = Buffer.create 10 in
+      add_byte buf (0x48 lor (n lsr 3));
+      add_byte buf (0xB8 lor (n land 7));
+      for i = 0 to 7 do
+        add_byte buf (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+      done;
+      Buffer.contents buf
+  | Insn.Movrr (d, s) ->
+      legacy ~rexw:true ~opc:[ 0x89 ] ~reg:(gpr_num s) (R (gpr_num d)) ()
+  | Insn.Loadq (d, m) ->
+      legacy ~rexw:true ~opc:[ 0x8B ] ~reg:(gpr_num d) (M m) ()
+  | Insn.Storeq (m, s) ->
+      legacy ~rexw:true ~opc:[ 0x89 ] ~reg:(gpr_num s) (M m) ()
+  | Insn.Addri (r, n) ->
+      (* The IR's add does not define flags — in the simulator's
+         semantics only cmp does — but the x86 add rewrites all of
+         them, and the scheduler freely places pointer bumps between a
+         cmp and its jcc.  lea is the faithful flags-neutral
+         encoding. *)
+      legacy ~rexw:true ~opc:[ 0x8D ] ~reg:(gpr_num r)
+        (M { Insn.base = r; index = None; disp = n }) ()
+  | Insn.Addrr (d, s) ->
+      (* flags-neutral add: lea (%base,%index,1); rsp cannot be an
+         index, so put it in the base slot when it appears *)
+      let base, index = if s = Reg.Rsp then (s, d) else (d, s) in
+      if gpr_num index = 4 then
+        err "addq %%rsp, %%rsp has no flags-neutral encoding";
+      legacy ~rexw:true ~opc:[ 0x8D ] ~reg:(gpr_num d)
+        (M { Insn.base; index = Some (index, Insn.S1); disp = 0 }) ()
+  | Insn.Subri (r, n) ->
+      (* flags-neutral sub-immediate: lea with the negated
+         displacement *)
+      legacy ~rexw:true ~opc:[ 0x8D ] ~reg:(gpr_num r)
+        (M { Insn.base = r; index = None; disp = -n }) ()
+  | Insn.Subrr (d, s) ->
+      legacy ~rexw:true ~opc:[ 0x29 ] ~reg:(gpr_num s) (R (gpr_num d)) ()
+  | Insn.Imulrr (d, s) ->
+      legacy ~rexw:true ~opc:[ 0x0F; 0xAF ] ~reg:(gpr_num d) (R (gpr_num s)) ()
+  | Insn.Imulri (d, s, n) ->
+      if fits_i8 n then
+        legacy ~rexw:true ~opc:[ 0x6B ] ~reg:(gpr_num d) (R (gpr_num s))
+          ~imm8:n ()
+      else
+        legacy ~rexw:true ~opc:[ 0x69 ] ~reg:(gpr_num d) (R (gpr_num s))
+          ~imm32:n ()
+  | Insn.Shlri (r, n) ->
+      if n = 1 then legacy ~rexw:true ~opc:[ 0xD1 ] ~reg:4 (R (gpr_num r)) ()
+      else legacy ~rexw:true ~opc:[ 0xC1 ] ~reg:4 (R (gpr_num r)) ~imm8:n ()
+  | Insn.Negr r ->
+      legacy ~rexw:true ~opc:[ 0xF7 ] ~reg:3 (R (gpr_num r)) ()
+  | Insn.Lea (d, m) ->
+      legacy ~rexw:true ~opc:[ 0x8D ] ~reg:(gpr_num d) (M m) ()
+  | Insn.Cmprr (a, b) ->
+      (* cmp a, b (AT&T: cmpq %b, %a): 39 /r with rm = a, reg = b *)
+      legacy ~rexw:true ~opc:[ 0x39 ] ~reg:(gpr_num b) (R (gpr_num a)) ()
+  | Insn.Cmpri (a, n) ->
+      if fits_i8 n then
+        legacy ~rexw:true ~opc:[ 0x83 ] ~reg:7 (R (gpr_num a)) ~imm8:n ()
+      else if a = Reg.Rax then acc_imm32 0x3D n
+      else legacy ~rexw:true ~opc:[ 0x81 ] ~reg:7 (R (gpr_num a)) ~imm32:n ()
+  | Insn.Push r ->
+      let n = gpr_num r in
+      let buf = Buffer.create 2 in
+      if n lsr 3 = 1 then add_byte buf 0x41;
+      add_byte buf (0x50 lor (n land 7));
+      Buffer.contents buf
+  | Insn.Pop r ->
+      let n = gpr_num r in
+      let buf = Buffer.create 2 in
+      if n lsr 3 = 1 then add_byte buf 0x41;
+      add_byte buf (0x58 lor (n land 7));
+      Buffer.contents buf
+  | Insn.Ret -> "\xC3"
+  | Insn.Vzeroupper -> "\xC5\xF8\x77"
+  | Insn.Prefetch (k, m) ->
+      let opc, reg =
+        match k with
+        | Insn.Pf_t0 -> ([ 0x0F; 0x18 ], 1) (* prefetcht0: /1 *)
+        | Insn.Pf_w -> ([ 0x0F; 0x0D ], 1) (* prefetchw: /1 *)
+      in
+      legacy ~opc ~reg (M m) ()
+  | Insn.Comment _ -> ""
+  | Insn.Label l -> err "encode_insn: unplaced label %s" l
+  | Insn.Jmp l | Insn.Jcc (_, l) ->
+      err "encode_insn: unresolved branch to %s" l
+
+(* --- program assembly with branch relaxation --------------------------- *)
+
+type fixup = {
+  fx_label : string;  (* branch target *)
+  fx_at : int;  (* byte offset of the displacement field *)
+  fx_size : int;  (* 1 (rel8) or 4 (rel32) *)
+  fx_next : int;  (* offset of the next instruction (the rel base) *)
+}
+
+type encoded = {
+  enc_code : string;
+  enc_labels : (string * int) list;  (* label -> byte offset *)
+  enc_offsets : int array;  (* per source instruction, byte offset *)
+  enc_fixups : fixup list;
+}
+
+type chunk =
+  | C_bytes of string
+  | C_label of string
+  | C_jump of { cond : Insn.cond option; label : string; mutable long : bool }
+
+(* --- flags-hazard audit ------------------------------------------------- *)
+
+(* The IR defines flags only at cmp (the simulator's model); the
+   encoder keeps add/sub-immediate/register-add flags-neutral by
+   emitting lea, but sub, imul, shl and neg have no flags-neutral
+   x86 encoding.  One of those between a cmp and a dependent jcc would
+   silently redirect the branch on hardware while the simulator sails
+   on — exactly the class of bug native execution must never inherit —
+   so it is a hard encode error. *)
+let clobbers_flags = function
+  | Insn.Subrr _ | Insn.Imulrr _ | Insn.Imulri _ | Insn.Shlri _ | Insn.Negr _
+    ->
+      true
+  | _ -> false
+
+let sets_flags = function
+  | Insn.Cmprr _ | Insn.Cmpri _ -> true
+  | _ -> false
+
+(* Walking back from each jcc, only flags-neutral straight-line code
+   (other jccs included: they read, never write, flags) may separate it
+   from its cmp.  A label or jmp in between leaves the flag source
+   unprovable on some path, which is equally rejected — conservative,
+   and no generated program trips it. *)
+let audit_flags (insns : Insn.t array) : unit =
+  Array.iteri
+    (fun i insn ->
+      match insn with
+      | Insn.Jcc (_, l) ->
+          let rec back j =
+            if j < 0 then
+              err "jcc %s: no flag-setting cmp in straight-line code" l
+            else
+              let p = insns.(j) in
+              if sets_flags p then ()
+              else if clobbers_flags p then
+                err "flags clobbered between cmp and jcc %s" l
+              else
+                match p with
+                | Insn.Label _ | Insn.Jmp _ ->
+                    err "jcc %s: flag source crosses a control-flow boundary"
+                      l
+                | _ -> back (j - 1)
+          in
+          back (i - 1)
+      | _ -> ())
+    insns
+
+let jump_size c =
+  match c with
+  | C_bytes s -> String.length s
+  | C_label _ -> 0
+  | C_jump { cond; long; _ } -> (
+      match (cond, long) with
+      | _, false -> 2
+      | None, true -> 5
+      | Some _, true -> 6)
+
+let encode_program ?(avx = true) ?(et = Etype.F64) (p : Insn.program) :
+    encoded =
+  let insns = Array.of_list p.Insn.prog_insns in
+  audit_flags insns;
+  let chunks =
+    Array.map
+      (fun i ->
+        match i with
+        | Insn.Label l -> C_label l
+        | Insn.Jmp l -> C_jump { cond = None; label = l; long = false }
+        | Insn.Jcc (c, l) -> C_jump { cond = Some c; label = l; long = false }
+        | _ -> C_bytes (encode_insn ~avx ~et i))
+      insns
+  in
+  let n = Array.length chunks in
+  let offsets = Array.make n 0 in
+  let compute_layout () =
+    let labels = Hashtbl.create 16 in
+    let off = ref 0 in
+    Array.iteri
+      (fun i c ->
+        offsets.(i) <- !off;
+        (match c with
+        | C_label l ->
+            if Hashtbl.mem labels l then err "duplicate label %s" l;
+            Hashtbl.replace labels l !off
+        | _ -> ());
+        off := !off + jump_size c)
+      chunks;
+    (labels, !off)
+  in
+  let target labels l =
+    match Hashtbl.find_opt labels l with
+    | Some o -> o
+    | None -> err "undefined label %s" l
+  in
+  (* widen out-of-range rel8 branches until a fixpoint; widening only
+     grows distances, so no branch ever shrinks back *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let labels, _ = compute_layout () in
+    Array.iteri
+      (fun i c ->
+        match c with
+        | C_jump ({ long = false; label; _ } as j) ->
+            let next = offsets.(i) + jump_size c in
+            let rel = target labels label - next in
+            if not (fits_i8 rel) then begin
+              j.long <- true;
+              changed := true
+            end
+        | _ -> ())
+      chunks
+  done;
+  let labels, total = compute_layout () in
+  let buf = Buffer.create (total + 16) in
+  let fixups = ref [] in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | C_bytes s -> Buffer.add_string buf s
+      | C_label _ -> ()
+      | C_jump { cond; label; long } ->
+          let next = offsets.(i) + jump_size c in
+          let rel = target labels label - next in
+          let at =
+            match (cond, long) with
+            | None, false ->
+                add_byte buf 0xEB;
+                offsets.(i) + 1
+            | Some cnd, false ->
+                add_byte buf (0x70 lor cc_bits cnd);
+                offsets.(i) + 1
+            | None, true ->
+                add_byte buf 0xE9;
+                offsets.(i) + 1
+            | Some cnd, true ->
+                add_byte buf 0x0F;
+                add_byte buf (0x80 lor cc_bits cnd);
+                offsets.(i) + 2
+          in
+          if long then add_i32 buf rel
+          else begin
+            if not (fits_i8 rel) then err "rel8 overflow to %s" label;
+            add_byte buf rel
+          end;
+          fixups :=
+            {
+              fx_label = label;
+              fx_at = at;
+              fx_size = (if long then 4 else 1);
+              fx_next = next;
+            }
+            :: !fixups)
+    chunks;
+  let code = Buffer.contents buf in
+  if String.length code <> total then
+    err "layout mismatch: emitted %d bytes, laid out %d" (String.length code)
+      total;
+  {
+    enc_code = code;
+    enc_labels =
+      Hashtbl.fold (fun l o acc -> (l, o) :: acc) labels []
+      |> List.sort compare;
+    enc_offsets = offsets;
+    enc_fixups = List.rev !fixups;
+  }
+
+(* Decode the displacement a fixup points at and return the absolute
+   byte offset the branch lands on — the round-trip inverse used by the
+   label-fixup tests. *)
+let resolve_fixup (e : encoded) (f : fixup) : int =
+  let byte i = Char.code e.enc_code.[i] in
+  let rel =
+    if f.fx_size = 1 then
+      let b = byte f.fx_at in
+      if b >= 128 then b - 256 else b
+    else
+      let v =
+        byte f.fx_at
+        lor (byte (f.fx_at + 1) lsl 8)
+        lor (byte (f.fx_at + 2) lsl 16)
+        lor (byte (f.fx_at + 3) lsl 24)
+      in
+      if v land 0x8000_0000 <> 0 then v - (1 lsl 32) else v
+  in
+  f.fx_next + rel
+
+(* Hex rendering of a byte string, for golden tables. *)
+let to_hex (s : string) : string =
+  String.concat " "
+    (List.init (String.length s) (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))

@@ -1,0 +1,116 @@
+(* Executable-memory runtime and host-capability probe.
+
+   [Exec_buf] owns one W^X code mapping: the bytes are copied into
+   fresh RW pages which are flipped to R|X before any call
+   ([jit_stubs.c]); release unmaps.  [Cpu] answers "can this host
+   decode the program at all" — the mandatory gate before jumping into
+   generated code, because executing an AVX instruction on a host
+   without OS-enabled YMM state is an invalid-opcode fault, not a wrong
+   answer. *)
+
+open Augem_machine
+
+external jit_map : string -> nativeint * int = "augem_jit_map"
+external jit_unmap : nativeint -> int -> unit = "augem_jit_unmap"
+external jit_cpu_features : unit -> int = "augem_jit_cpu_features"
+
+external jit_invoke : nativeint -> int64 array -> float array -> bool -> unit
+  = "augem_jit_invoke"
+
+external jit_ba_addr :
+  ('a, 'b, Bigarray.c_layout) Bigarray.Array1.t -> int64 = "augem_jit_ba_addr"
+
+external monotonic_ns : unit -> int64 = "augem_jit_monotonic_ns"
+
+module Cpu = struct
+  type feature =
+    | SSE2
+    | AVX
+    | FMA3
+    | FMA4
+
+  let feature_name = function
+    | SSE2 -> "sse2"
+    | AVX -> "avx"
+    | FMA3 -> "fma3"
+    | FMA4 -> "fma4"
+
+  let bit = function SSE2 -> 1 | AVX -> 2 | FMA3 -> 4 | FMA4 -> 8
+
+  (* cpuid is stable for the process lifetime; probe once *)
+  let mask = lazy (jit_cpu_features ())
+
+  let have (f : feature) = Lazy.force mask land bit f <> 0
+
+  let describe () : (string * bool) list =
+    List.map (fun f -> (feature_name f, have f)) [ SSE2; AVX; FMA3; FMA4 ]
+
+  (* Missing features out of a requirement list. *)
+  let missing (req : feature list) : feature list =
+    List.filter (fun f -> not (have f)) req
+end
+
+(* The ISA extensions a program actually needs on this encoding path:
+   VEX encodings (the [avx] flag) and any 256-bit register require AVX;
+   FMA3/FMA4 come from the instructions themselves.  SSE2 is the x86-64
+   baseline and always required. *)
+let required_features ~(avx : bool) (p : Insn.program) : Cpu.feature list =
+  let needs_avx = ref avx
+  and needs_fma3 = ref false
+  and needs_fma4 = ref false in
+  List.iter
+    (fun i ->
+      match i with
+      | Insn.Vop { op = Insn.Fma231; _ } -> needs_fma3 := true
+      | Insn.Vfma4 _ -> needs_fma4 := true
+      | Insn.Vop { w = Insn.W256; _ }
+      | Insn.Vload { w = Insn.W256; _ }
+      | Insn.Vstore { w = Insn.W256; _ }
+      | Insn.Vbroadcast { w = Insn.W256; _ }
+      | Insn.Vshuf { w = Insn.W256; _ }
+      | Insn.Vblend { w = Insn.W256; _ }
+      | Insn.Vperm128 _ | Insn.Vextract128 _ | Insn.Vzeroupper ->
+          needs_avx := true
+      | _ -> ())
+    p.Insn.prog_insns;
+  Cpu.SSE2 :: (if !needs_avx then [ Cpu.AVX ] else [])
+  @ (if !needs_fma3 then [ Cpu.FMA3 ] else [])
+  @ if !needs_fma4 then [ Cpu.FMA4 ] else []
+
+module Exec_buf = struct
+  type t = {
+    addr : nativeint;
+    mapped : int;  (* page-rounded mapping size *)
+    code_len : int;
+    mutable live : bool;
+  }
+
+  let release (t : t) =
+    if t.live then begin
+      t.live <- false;
+      jit_unmap t.addr t.mapped
+    end
+
+  (* Map [code] executable.  The returned buffer is unmapped by the GC
+     finalizer if the caller never releases it explicitly. *)
+  let load (code : string) : t =
+    let addr, mapped = jit_map code in
+    let t = { addr; mapped; code_len = String.length code; live = true } in
+    Gc.finalise release t;
+    t
+
+  (* Call the entry point with up to 8 integer-class and 4 FP
+     arguments (SysV AMD64: 6 integer registers + 2 stack slots,
+     xmm0-3).  [fp32] narrows the FP arguments to single precision. *)
+  let invoke (t : t) ~(iargs : int64 array) ~(dargs : float array)
+      ~(fp32 : bool) : unit =
+    if not t.live then failwith "jit: invoke on a released code buffer";
+    let ia = Array.make 8 0L in
+    let da = Array.make 4 0.0 in
+    if Array.length iargs > 8 then
+      failwith "jit: more than 8 integer-class arguments";
+    if Array.length dargs > 4 then failwith "jit: more than 4 FP arguments";
+    Array.blit iargs 0 ia 0 (Array.length iargs);
+    Array.blit dargs 0 da 0 (Array.length dargs);
+    jit_invoke t.addr ia da fp32
+end

@@ -408,10 +408,24 @@ let handle_request (t : t) (rq : Proto.request) : Proto.response =
             ~opened_total:(Breaker.opened_total b)
             ~rejected:(Breaker.rejected_total b)
       | None -> ());
-      {
-        Proto.rs_id = id;
-        rs_result = Ok (Proto.R_stats (Metrics.snapshot t.metrics));
-      }
+      (* host native-execution capability: whether this server could JIT
+         and run generated kernels, and which SIMD features cpuid
+         reports.  Static per process, so appended at snapshot time
+         rather than tracked as a metric. *)
+      let native =
+        ( "native",
+          Json.Obj
+            (("supported", Json.Bool (A.Native_check.host_supported ()))
+            :: List.map
+                 (fun (n, b) -> (n, Json.Bool b))
+                 (A.Native_check.host_features ())) )
+      in
+      let stats =
+        match Metrics.snapshot t.metrics with
+        | Json.Obj fields -> Json.Obj (fields @ [ native ])
+        | j -> j
+      in
+      { Proto.rs_id = id; rs_result = Ok (Proto.R_stats stats) }
   | Proto.Op_shutdown ->
       Metrics.incr_request t.metrics "shutdown";
       (* also unblocks a parked accept loop, like SIGINT/SIGTERM *)

@@ -29,6 +29,7 @@ let unit_suites =
     ("json", Test_json.suite);
     ("service", Test_service.suite);
     ("resilience", Test_resilience.suite);
+    ("jit", Test_jit.suite);
   ]
 
 let slow_suites =
@@ -40,4 +41,11 @@ let slow_suites =
   ]
 
 let () =
-  Alcotest.run "augem" (unit_suites @ if fast then [] else slow_suites)
+  (* `main.exe gengold DIR` regenerates the encoder's golden byte
+     tables (test/golden/enc_*.hex) after an intentional change. *)
+  match Array.to_list Sys.argv with
+  | _ :: "gengold" :: dir :: _ ->
+      Test_jit.write_golden dir;
+      exit 0
+  | _ ->
+      Alcotest.run "augem" (unit_suites @ if fast then [] else slow_suites)

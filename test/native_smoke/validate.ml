@@ -1,0 +1,217 @@
+(* Validates the @native-smoke artifacts.
+
+   Two halves, both of which skip gracefully — with an explicit
+   `skipped:true` marker, never silently — when the host CPU lacks the
+   SIMD features the generated code needs:
+
+   1. The three-way differential (native vs simulator vs reference
+      BLAS) on every kernel x both precisions, run in-process through
+      the same guarded path `augem generate --native` uses.  Any Fail
+      is fatal; a Skip is only legal when cpuid actually reports the
+      feature missing.
+
+   2. The structure of BENCH_native.json as emitted by
+      `bench/main.exe --native-smoke`: host feature map, per-precision
+      measured points with positive MFLOPS and timing metadata, the
+      differential gate recorded as all-ok, and the SGEMM-vs-DGEMM
+      measured ordering at the largest size agreeing with the model's
+      predicted ordering. *)
+
+module A = Augem
+module Arch = A.Machine.Arch
+module Et = A.Machine.Etype
+module K = A.Ir.Kernels
+module Json = A.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let member path j =
+  match Json.member path j with
+  | Some v -> v
+  | None -> fail "missing field %S in %s" path (Json.to_string j)
+
+(* --- half 1: the differential sweep ------------------------------------- *)
+
+let kernels =
+  K.[ Gemm; Gemv; Axpy; Dot; Ger; Scal; Copy; Pack_a; Pack_b ]
+
+let differential_sweep () =
+  if not (A.Native_check.host_supported ()) then begin
+    print_endline "native differential sweep: skipped:true (host lacks SSE2+AVX)";
+    false
+  end
+  else begin
+    let checked = ref 0 and skipped = ref 0 in
+    List.iter
+      (fun (arch : Arch.t) ->
+        List.iter
+          (fun et ->
+            List.iter
+              (fun kernel ->
+                let cand = A.Tuner.safe_baseline in
+                let g =
+                  A.generate ~et ~arch ~config:cand.A.Tuner.cand_config
+                    ~opts:cand.A.Tuner.cand_opts kernel
+                in
+                match A.Native_check.check ~arch ~et kernel g.A.g_program with
+                | A.Native_check.Pass -> incr checked
+                | A.Native_check.Skip m ->
+                    incr skipped;
+                    Printf.printf "  skip %s %s %s: %s\n" arch.Arch.name
+                      (Et.name et) (K.name_to_string kernel) m
+                | A.Native_check.Fail m ->
+                    fail "differential %s %s %s: %s" arch.Arch.name
+                      (Et.name et) (K.name_to_string kernel) m)
+              kernels)
+          [ Et.F64; Et.F32 ])
+      Arch.extended;
+    Printf.printf
+      "native differential sweep: %d kernel/arch/precision combinations \
+       pass (%d feature-skipped)\n"
+      !checked !skipped;
+    if !checked = 0 then
+      fail "host claims SSE2+AVX but every differential check skipped";
+    true
+  end
+
+(* --- half 2: BENCH_native.json ------------------------------------------ *)
+
+let check_point p =
+  (match member "mflops" p with
+  | Json.Float f when f > 0. -> ()
+  | x -> fail "point.mflops: expected positive, got %s" (Json.to_string x));
+  (match member "predicted_mflops" p with
+  | Json.Float f when f > 0. -> ()
+  | x -> fail "point.predicted_mflops: %s" (Json.to_string x));
+  (match member "runs" p with
+  | Json.Int n when n >= 1 -> ()
+  | x -> fail "point.runs: %s" (Json.to_string x));
+  match member "min_s" p with
+  | Json.Float f when f > 0. -> ()
+  | x -> fail "point.min_s: %s" (Json.to_string x)
+
+(* measured MFLOPS at the largest size of one precision entry *)
+let at_largest pr =
+  let points =
+    match member "points" pr with
+    | Json.List l -> l
+    | x -> fail "points: expected a list, got %s" (Json.to_string x)
+  in
+  if points = [] then fail "points: empty";
+  List.iter check_point points;
+  let best =
+    List.fold_left
+      (fun (sz0, _m0 as acc) p ->
+        match (member "size" p, member "mflops" p) with
+        | Json.Int sz, Json.Float m -> if sz > sz0 then (sz, m) else acc
+        | _ -> fail "point: malformed size/mflops")
+      (min_int, 0.) points
+  in
+  best
+
+let predicted_at_largest pr =
+  let points =
+    match member "points" pr with Json.List l -> l | _ -> assert false
+  in
+  List.fold_left
+    (fun (sz0, _m0 as acc) p ->
+      match (member "size" p, member "predicted_mflops" p) with
+      | Json.Int sz, Json.Float m -> if sz > sz0 then (sz, m) else acc
+      | _ -> fail "point: malformed size/predicted_mflops")
+    (min_int, 0.) points
+
+let check_precision pr =
+  match member "skipped" pr with
+  | Json.Bool true ->
+      (match member "reason" pr with
+      | Json.String s ->
+          Printf.printf "  %s: skipped:true (%s)\n"
+            (Json.to_string (member "name" pr)) s
+      | x -> fail "skipped precision without a reason: %s" (Json.to_string x));
+      None
+  | Json.Bool false ->
+      (match member "differential" pr with
+      | Json.List (_ :: _ as diffs) ->
+          List.iter
+            (fun d ->
+              match member "ok" d with
+              | Json.Bool true -> ()
+              | x -> fail "differential.ok: %s" (Json.to_string x))
+            diffs
+      | x -> fail "differential: expected non-empty list, got %s"
+               (Json.to_string x));
+      Some pr
+  | x -> fail "precision.skipped: expected bool, got %s" (Json.to_string x)
+
+let check_bench path =
+  let j =
+    match Json.of_file path with
+    | Ok j -> j
+    | Error e -> fail "%s: %s" path e
+  in
+  (match member "experiment" j with
+  | Json.String "native" -> ()
+  | x -> fail "experiment: %s" (Json.to_string x));
+  (* host map: every entry a bool *)
+  (match member "host" j with
+  | Json.Obj fields ->
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Json.Bool _ -> ()
+          | x -> fail "host.%s: expected bool, got %s" k (Json.to_string x))
+        fields
+  | x -> fail "host: expected object, got %s" (Json.to_string x));
+  match member "skipped" j with
+  | Json.Bool true ->
+      (match member "reason" j with
+      | Json.String s ->
+          Printf.printf "BENCH_native.json: skipped:true (%s)\n" s
+      | x -> fail "skipped bench without a reason: %s" (Json.to_string x))
+  | Json.Bool false -> (
+      let precisions =
+        match member "precisions" j with
+        | Json.List l -> List.filter_map check_precision l
+        | x -> fail "precisions: %s" (Json.to_string x)
+      in
+      let find name =
+        List.find_opt
+          (fun pr ->
+            match member "name" pr with
+            | Json.String s -> String.equal s name
+            | _ -> false)
+          precisions
+      in
+      match (find "DGEMM", find "SGEMM") with
+      | Some d, Some s ->
+          let sz_d, m_d = at_largest d and sz_s, m_s = at_largest s in
+          if sz_d <> sz_s then
+            fail "DGEMM/SGEMM largest sizes differ: %d vs %d" sz_d sz_s;
+          let _, p_d = predicted_at_largest d
+          and _, p_s = predicted_at_largest s in
+          (* the measured ordering at the largest size must agree with
+             the model's predicted ordering (f32 has twice the lane
+             count, so both should favour SGEMM) *)
+          if (m_s > m_d) <> (p_s > p_d) then
+            fail
+              "measured ordering at size %d (SGEMM %.0f vs DGEMM %.0f) \
+               contradicts predicted (%.0f vs %.0f)"
+              sz_d m_s m_d p_s p_d;
+          Printf.printf
+            "BENCH_native.json: DGEMM %.0f / SGEMM %.0f MFLOPS measured at \
+             %d^3; ordering matches model\n"
+            m_d m_s sz_d
+      | _ ->
+          (* a precision may be feature-skipped (e.g. no AVX for f32
+             only is impossible here, but keep the structure honest) *)
+          Printf.printf
+            "BENCH_native.json: fewer than two runnable precisions; \
+             ordering check skipped\n")
+  | x -> fail "skipped: expected bool, got %s" (Json.to_string x)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
+  let ran = differential_sweep () in
+  check_bench (Filename.concat dir "BENCH_native.json");
+  if ran then print_endline "native-smoke artifacts OK"
+  else print_endline "native-smoke artifacts OK (host-skipped)"

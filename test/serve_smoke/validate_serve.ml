@@ -92,6 +92,26 @@ let check_responses path =
   | Json.Int n when n >= 0 -> ()
   | x -> fail "stats.uptime_ms: expected a non-negative number, got %s"
            (Json.to_string x));
+  (* native-capability object: a "supported" verdict plus one boolean
+     per cpuid-probed SIMD feature (the set depends on the host, so
+     only the structure is checked) *)
+  let native = member "native" stats in
+  (match member "supported" native with
+  | Json.Bool _ -> ()
+  | x -> fail "stats.native.supported: expected a bool, got %s"
+           (Json.to_string x));
+  (match native with
+  | Json.Obj fields ->
+      if List.length fields < 2 then
+        fail "stats.native: expected per-feature booleans beside 'supported'";
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Json.Bool _ -> ()
+          | x -> fail "stats.native.%s: expected a bool, got %s" k
+                   (Json.to_string x))
+        fields
+  | x -> fail "stats.native: expected an object, got %s" (Json.to_string x));
   (* both tune requests are in the latency histogram (only tune
      requests pay a measurable admission-to-response path) *)
   expect_int "stats.request_ms.count" 2 (member "count" (member "request_ms" stats))
